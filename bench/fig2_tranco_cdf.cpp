@@ -1,0 +1,35 @@
+// E6 — regenerates the paper's Figure 2: the distribution of
+// EDE-triggering domains across the Tranco top-1M ranking. Expected
+// shape: an (approximately) straight diagonal — misconfigured domains are
+// evenly spread across popularity ranks — with the paper's 22.1 k overlap
+// and 12.2 k-NOERROR split reproduced at scale.
+//
+// Usage: fig2_tranco_cdf [total_domains] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "scan/export.hpp"
+#include "scan/report.hpp"
+
+int main(int argc, char** argv) {
+  ede::scan::PopulationConfig config;
+  config.total_domains = 150'000;
+  if (argc > 1) config.total_domains = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) config.seed = std::strtoull(argv[2], nullptr, 10);
+
+  const auto population = ede::scan::generate_population(config);
+  auto clock = std::make_shared<ede::sim::Clock>();
+  auto network = std::make_shared<ede::sim::Network>(clock);
+  ede::scan::ScanWorld world(network, population);
+  auto resolver = world.make_resolver(ede::resolver::profile_cloudflare());
+  world.prewarm(resolver);
+
+  std::printf("scanning %zu domains...\n\n", population.domains.size());
+  const auto result = ede::scan::Scanner{}.run(resolver, population);
+  std::fputs(ede::scan::render_figure2(result, population).c_str(), stdout);
+  if (ede::scan::write_file("fig2_tranco_cdf.csv",
+                            ede::scan::figure2_csv(result))) {
+    std::printf("\nseries written to fig2_tranco_cdf.csv\n");
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E4 — regenerates the paper's §4.2: scan a synthetic registered-domain
+// population through the Cloudflare-profile resolver and report the
+// per-INFO-CODE domain counts (with scaled-up equivalents next to the
+// paper's published numbers).
+//
+// Usage: sec42_wild_scan [total_domains] [seed]
+// Default 303'000 domains = 1/1000 of the paper's 303 M.
+#include <cstdio>
+#include <cstdlib>
+
+#include "scan/export.hpp"
+#include "scan/report.hpp"
+
+int main(int argc, char** argv) {
+  ede::scan::PopulationConfig config;
+  if (argc > 1) config.total_domains = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) config.seed = std::strtoull(argv[2], nullptr, 10);
+
+  std::printf("generating population of %zu domains (seed %llu)...\n",
+              config.total_domains,
+              static_cast<unsigned long long>(config.seed));
+  const auto population = ede::scan::generate_population(config);
+
+  auto clock = std::make_shared<ede::sim::Clock>();
+  auto network = std::make_shared<ede::sim::Network>(clock);
+  ede::scan::ScanWorld world(network, population);
+
+  auto resolver = world.make_resolver(ede::resolver::profile_cloudflare());
+  world.prewarm(resolver);
+
+  std::printf("scanning %zu domains through %s...\n",
+              population.domains.size(), resolver.profile().name.c_str());
+  ede::scan::Scanner scanner;
+  const auto result = scanner.run(resolver, population);
+
+  std::fputs(ede::scan::render_section42(result, population).c_str(), stdout);
+  if (ede::scan::write_file("sec42_codes.csv",
+                            ede::scan::section42_csv(result, population))) {
+    std::printf("\nper-code counts written to sec42_codes.csv\n");
+  }
+  std::printf("\nscan rate            : %.0f domains/s (%llu upstream queries"
+              ", %.1f s)\n",
+              result.queries_per_second(),
+              static_cast<unsigned long long>(result.upstream_queries),
+              result.wall_seconds);
+  std::printf("dead nameservers      : %zu distinct addresses (paper: 293k "
+              "unique NS; scaled ~293)\n",
+              world.dead_provider_count());
+  return 0;
+}

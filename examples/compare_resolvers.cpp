@@ -1,0 +1,51 @@
+// The paper's §3 experiment in miniature: query one misconfigured domain
+// through all seven emulated resolver implementations and watch them
+// disagree — same root cause, different INFO-CODEs.
+//
+//   $ ./compare_resolvers [subdomain-label]
+//   $ ./compare_resolvers nsec3-rrsig-missing
+#include <cstdio>
+#include <string>
+
+#include "testbed/testbed.hpp"
+
+int main(int argc, char** argv) {
+  const std::string label = argc > 1 ? argv[1] : "rrsig-exp-before-all";
+
+  auto network = std::make_shared<ede::sim::Network>(
+      std::make_shared<ede::sim::Clock>());
+  ede::testbed::Testbed testbed(network);
+
+  const ede::testbed::CaseSpec* found = nullptr;
+  for (const auto& spec : testbed.cases()) {
+    if (spec.label == label) found = &spec;
+  }
+  if (found == nullptr) {
+    std::printf("unknown subdomain '%s' (see table2_testbed for the list)\n",
+                label.c_str());
+    return 1;
+  }
+
+  const auto qname = testbed.query_name(*found);
+  std::printf("misconfiguration : %s\n", found->description.c_str());
+  std::printf("query            : %s A\n\n", qname.to_string().c_str());
+  std::printf("%-26s %-9s %s\n", "system", "rcode", "extended DNS errors");
+  std::printf("%-26s %-9s %s\n", "------", "-----", "-------------------");
+
+  for (const auto& profile : ede::resolver::all_profiles()) {
+    auto resolver = testbed.make_resolver(profile);
+    const auto outcome = resolver.resolve(qname, ede::dns::RRType::A);
+    std::string errors;
+    for (const auto& error : outcome.errors) {
+      if (!errors.empty()) errors += "; ";
+      errors += error.to_string();
+    }
+    if (errors.empty()) errors = "(none)";
+    std::printf("%-26s %-9s %s\n", profile.name.c_str(),
+                ede::dns::to_string(outcome.rcode).c_str(), errors.c_str());
+  }
+
+  std::printf("\nSame defect, up to seven different descriptions — the "
+              "paper's 94%% disagreement in one query.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// edig — a dig-style diagnostic client for the simulated testbed.
+//
+//   $ ./edig <name> [type] [@vendor] [+noreport]
+//   $ ./edig rrsig-exp-all.extended-dns-errors.com
+//   $ ./edig nonexistent.bad-nsec3-hash.extended-dns-errors.com A @unbound
+//   $ ./edig valid.extended-dns-errors.com TXT @knot
+//
+// Vendors: bind, unbound, powerdns, knot, cloudflare (default), quad9,
+// opendns, reference.
+#include <cstdio>
+#include <string>
+
+#include "testbed/testbed.hpp"
+
+namespace {
+
+ede::resolver::ResolverProfile profile_by_name(const std::string& name) {
+  using namespace ede::resolver;
+  if (name == "bind") return profile_bind();
+  if (name == "unbound") return profile_unbound();
+  if (name == "powerdns") return profile_powerdns();
+  if (name == "knot") return profile_knot();
+  if (name == "quad9") return profile_quad9();
+  if (name == "opendns") return profile_opendns();
+  if (name == "reference") return profile_reference();
+  return profile_cloudflare();
+}
+
+ede::dns::RRType type_by_name(const std::string& name) {
+  using ede::dns::RRType;
+  if (name == "AAAA" || name == "aaaa") return RRType::AAAA;
+  if (name == "TXT" || name == "txt") return RRType::TXT;
+  if (name == "NS" || name == "ns") return RRType::NS;
+  if (name == "MX" || name == "mx") return RRType::MX;
+  if (name == "SOA" || name == "soa") return RRType::SOA;
+  if (name == "DNSKEY" || name == "dnskey") return RRType::DNSKEY;
+  if (name == "DS" || name == "ds") return RRType::DS;
+  return RRType::A;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: %s <name> [type] [@vendor]\n", argv[0]);
+    std::printf("vendors: bind unbound powerdns knot cloudflare quad9 "
+                "opendns reference\n");
+    return 1;
+  }
+
+  std::string qname_text;
+  std::string type_text = "A";
+  std::string vendor = "cloudflare";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '@') {
+      vendor = arg.substr(1);
+    } else if (qname_text.empty()) {
+      qname_text = arg;
+    } else {
+      type_text = arg;
+    }
+  }
+
+  auto parsed = ede::dns::Name::parse(qname_text);
+  if (!parsed.ok()) {
+    std::printf("bad name: %s\n", parsed.error().message.c_str());
+    return 1;
+  }
+  const auto qname = std::move(parsed).take();
+  const auto qtype = type_by_name(type_text);
+
+  auto network = std::make_shared<ede::sim::Network>(
+      std::make_shared<ede::sim::Clock>());
+  ede::testbed::Testbed testbed(network);
+  auto resolver = testbed.make_resolver(profile_by_name(vendor));
+
+  const auto outcome = resolver.resolve(qname, qtype);
+
+  std::printf("; <<>> edig (simulated) <<>> %s %s @%s\n",
+              qname.to_string().c_str(),
+              ede::dns::to_string(qtype).c_str(),
+              resolver.profile().name.c_str());
+  std::printf("%s", outcome.response.to_string().c_str());
+  if (!outcome.errors.empty()) {
+    std::printf("\n;; EDE:");
+    for (const auto& error : outcome.errors) {
+      std::printf(" %s;", error.to_string().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n;; TRACE:\n");
+  for (const auto& step : outcome.trace) {
+    std::printf(";;   [%s] %s %s -> %s\n", step.zone.to_string().c_str(),
+                step.qname.to_string().c_str(),
+                ede::dns::to_string(step.qtype).c_str(), step.note.c_str());
+  }
+  std::printf("\n;; chain of trust: %s;  upstream queries: %d;  wire size: "
+              "%zu bytes\n",
+              ede::dnssec::to_string(outcome.security).c_str(),
+              outcome.upstream_queries,
+              outcome.response.serialize().size());
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Basic byte-buffer vocabulary types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ede::crypto {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// View the raw bytes of a string without copying.
+inline BytesView as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Copy a string's bytes into an owning buffer.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interpret a byte buffer as text (useful for EXTRA-TEXT fields).
+inline std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace ede::crypto

@@ -1,0 +1,163 @@
+#include "crypto/encoding.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace ede::crypto {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+constexpr char kBase32HexDigits[] = "0123456789abcdefghijklmnopqrstuv";
+constexpr char kBase64Digits[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+int base32hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'v') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'V') return c - 'A' + 10;
+  return -1;
+}
+
+int base64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (const std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+std::optional<Bytes> from_hex(std::string_view text) {
+  if (text.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(text.size() / 2);
+  for (std::size_t i = 0; i < text.size(); i += 2) {
+    const int hi = hex_value(text[i]);
+    const int lo = hex_value(text[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string to_base32hex(BytesView data) {
+  std::string out;
+  out.reserve((data.size() * 8 + 4) / 5);
+  std::uint32_t accum = 0;
+  int bits = 0;
+  for (const std::uint8_t b : data) {
+    accum = (accum << 8) | b;
+    bits += 8;
+    while (bits >= 5) {
+      bits -= 5;
+      out.push_back(kBase32HexDigits[(accum >> bits) & 0x1f]);
+    }
+  }
+  if (bits > 0) out.push_back(kBase32HexDigits[(accum << (5 - bits)) & 0x1f]);
+  return out;
+}
+
+std::optional<Bytes> from_base32hex(std::string_view text) {
+  Bytes out;
+  out.reserve(text.size() * 5 / 8);
+  std::uint32_t accum = 0;
+  int bits = 0;
+  for (const char c : text) {
+    const int v = base32hex_value(c);
+    if (v < 0) return std::nullopt;
+    accum = (accum << 5) | static_cast<std::uint32_t>(v);
+    bits += 5;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((accum >> bits) & 0xff));
+    }
+  }
+  // Trailing bits must be zero padding.
+  if (bits > 0 && (accum & ((1u << bits) - 1)) != 0) return std::nullopt;
+  return out;
+}
+
+std::string to_base64(BytesView data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t v = (std::uint32_t{data[i]} << 16) |
+                            (std::uint32_t{data[i + 1]} << 8) |
+                            std::uint32_t{data[i + 2]};
+    out.push_back(kBase64Digits[(v >> 18) & 0x3f]);
+    out.push_back(kBase64Digits[(v >> 12) & 0x3f]);
+    out.push_back(kBase64Digits[(v >> 6) & 0x3f]);
+    out.push_back(kBase64Digits[v & 0x3f]);
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t v = std::uint32_t{data[i]} << 16;
+    out.push_back(kBase64Digits[(v >> 18) & 0x3f]);
+    out.push_back(kBase64Digits[(v >> 12) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    const std::uint32_t v =
+        (std::uint32_t{data[i]} << 16) | (std::uint32_t{data[i + 1]} << 8);
+    out.push_back(kBase64Digits[(v >> 18) & 0x3f]);
+    out.push_back(kBase64Digits[(v >> 12) & 0x3f]);
+    out.push_back(kBase64Digits[(v >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<Bytes> from_base64(std::string_view text) {
+  if (text.size() % 4 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int vals[4];
+    int pad = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // Padding may only appear in the last two positions of the final
+        // quantum.
+        if (i + 4 != text.size() || j < 2) return std::nullopt;
+        vals[j] = 0;
+        ++pad;
+      } else {
+        if (pad > 0) return std::nullopt;  // data after padding
+        vals[j] = base64_value(c);
+        if (vals[j] < 0) return std::nullopt;
+      }
+    }
+    const std::uint32_t v = (std::uint32_t(vals[0]) << 18) |
+                            (std::uint32_t(vals[1]) << 12) |
+                            (std::uint32_t(vals[2]) << 6) |
+                            std::uint32_t(vals[3]);
+    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+  return out;
+}
+
+}  // namespace ede::crypto

@@ -1,0 +1,25 @@
+// Text encodings used by DNS: hex (DS digests), Base32hex without padding
+// (NSEC3 owner names, RFC 4648 §7), and Base64 (DNSKEY public keys,
+// RRSIG signatures in presentation format).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/bytes.hpp"
+
+namespace ede::crypto {
+
+[[nodiscard]] std::string to_hex(BytesView data);
+[[nodiscard]] std::optional<Bytes> from_hex(std::string_view text);
+
+/// Base32 with the "extended hex" alphabet (0-9, A-V), no padding — the
+/// encoding NSEC3 uses for hashed owner names so that hash order matches
+/// canonical DNS name order.
+[[nodiscard]] std::string to_base32hex(BytesView data);
+[[nodiscard]] std::optional<Bytes> from_base32hex(std::string_view text);
+
+[[nodiscard]] std::string to_base64(BytesView data);
+[[nodiscard]] std::optional<Bytes> from_base64(std::string_view text);
+
+}  // namespace ede::crypto

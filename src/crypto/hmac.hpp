@@ -1,0 +1,56 @@
+// HMAC (RFC 2104), generic over the hash classes in this module.
+//
+// Used by the simulated DNSSEC signature scheme (see simsig.hpp) and by
+// deterministic pseudo-random derivation in the scan population generator.
+#pragma once
+
+#include <algorithm>
+
+#include "crypto/bytes.hpp"
+
+namespace ede::crypto {
+
+template <typename Hash>
+class Hmac {
+ public:
+  using Digest = typename Hash::Digest;
+  static constexpr std::size_t kDigestSize = Hash::kDigestSize;
+
+  explicit Hmac(BytesView key) {
+    std::array<std::uint8_t, Hash::kBlockSize> block_key{};
+    if (key.size() > Hash::kBlockSize) {
+      const auto digest = Hash::hash(key);
+      std::copy(digest.begin(), digest.end(), block_key.begin());
+    } else {
+      std::copy(key.begin(), key.end(), block_key.begin());
+    }
+    std::array<std::uint8_t, Hash::kBlockSize> ipad{};
+    for (std::size_t i = 0; i < Hash::kBlockSize; ++i) {
+      ipad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+      opad_[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+    }
+    inner_.update({ipad.data(), ipad.size()});
+  }
+
+  void update(BytesView data) { inner_.update(data); }
+
+  [[nodiscard]] Digest finish() {
+    const auto inner_digest = inner_.finish();
+    Hash outer;
+    outer.update({opad_.data(), opad_.size()});
+    outer.update({inner_digest.data(), inner_digest.size()});
+    return outer.finish();
+  }
+
+  [[nodiscard]] static Digest mac(BytesView key, BytesView data) {
+    Hmac h(key);
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  Hash inner_;
+  std::array<std::uint8_t, Hash::kBlockSize> opad_{};
+};
+
+}  // namespace ede::crypto

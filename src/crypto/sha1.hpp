@@ -1,0 +1,43 @@
+// SHA-1 (FIPS 180-4), implemented from scratch.
+//
+// SHA-1 is cryptographically broken for collision resistance but remains
+// the mandatory hash for NSEC3 owner-name hashing (RFC 5155) and DS digest
+// type 1 (RFC 4034), which is why a DNS library still needs it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace ede::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  [[nodiscard]] Digest finish();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(BytesView data) {
+    Sha1 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace ede::crypto

@@ -1,0 +1,69 @@
+// SHA-256 and SHA-384 (FIPS 180-4), implemented from scratch.
+//
+// SHA-256 backs DS digest type 2 (RFC 4509) and most simulated signature
+// algorithms; SHA-384 backs DS digest type 4 (RFC 6605). SHA-384 is the
+// truncated SHA-512 core with distinct initial values.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace ede::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  [[nodiscard]] Digest finish();
+
+  [[nodiscard]] static Digest hash(BytesView data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+class Sha384 {
+ public:
+  static constexpr std::size_t kDigestSize = 48;
+  static constexpr std::size_t kBlockSize = 128;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha384() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  [[nodiscard]] Digest finish();
+
+  [[nodiscard]] static Digest hash(BytesView data) {
+    Sha384 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace ede::crypto

@@ -1,0 +1,61 @@
+#include "crypto/simsig.hpp"
+
+#include <algorithm>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha2.hpp"
+
+namespace ede::crypto {
+
+namespace {
+
+/// Expand a 32-byte MAC to an arbitrary signature size with counter-mode
+/// re-hashing (HKDF-expand flavoured, single info byte).
+Bytes stretch(const Sha256::Digest& seed, std::size_t size) {
+  Bytes out;
+  out.reserve(size);
+  std::uint8_t counter = 1;
+  Sha256::Digest block = seed;
+  while (out.size() < size) {
+    Sha256 h;
+    h.update({block.data(), block.size()});
+    h.update({&counter, 1});
+    block = h.finish();
+    const std::size_t take = std::min(block.size(), size - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + take);
+    ++counter;
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes simsig_sign(BytesView key_material, std::uint8_t algorithm,
+                  BytesView data, std::size_t size) {
+  Hmac<Sha256> mac(key_material);
+  mac.update({&algorithm, 1});
+  mac.update(data);
+  return stretch(mac.finish(), size);
+}
+
+bool simsig_verify(BytesView key_material, std::uint8_t algorithm,
+                   BytesView data, BytesView signature) {
+  if (signature.empty()) return false;
+  const Bytes expected =
+      simsig_sign(key_material, algorithm, data, signature.size());
+  return std::equal(expected.begin(), expected.end(), signature.begin(),
+                    signature.end());
+}
+
+Bytes simsig_keygen(std::string_view zone_name, std::string_view role,
+                    std::uint8_t algorithm, std::size_t key_size) {
+  Sha256 h;
+  h.update(as_bytes("ede-keygen-v1|"));
+  h.update(as_bytes(zone_name));
+  h.update(as_bytes("|"));
+  h.update(as_bytes(role));
+  h.update({&algorithm, 1});
+  return stretch(h.finish(), key_size);
+}
+
+}  // namespace ede::crypto

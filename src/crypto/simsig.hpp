@@ -1,0 +1,41 @@
+// Simulated DNSSEC signature scheme.
+//
+// SUBSTITUTION (see DESIGN.md §2): the paper's DNSSEC behaviour depends on
+// whether signature validation succeeds, never on the hardness of RSA or
+// ECDSA. We therefore replace the public-key mathematics with a keyed MAC:
+//
+//   signature = stretch(HMAC-SHA256(key_material, algorithm || data), n)
+//
+// where `key_material` is the DNSKEY "public key" field (which doubles as
+// the signing secret inside the closed simulator) and `n` is the nominal
+// signature size of the real algorithm. Everything around the signature —
+// canonical RRset ordering, RRSIG RDATA layout, key tags, DS digests,
+// inception/expiration arithmetic, algorithm-number bookkeeping — follows
+// RFC 4034/4035 exactly, so validation failures are triggered by the same
+// zone defects as in the paper's testbed.
+#pragma once
+
+#include "crypto/bytes.hpp"
+
+namespace ede::crypto {
+
+/// Produce a deterministic simulated signature of `size` bytes over `data`
+/// under `key_material`. `algorithm` is mixed in so that a zone signed with
+/// one algorithm number never verifies under another (this is what makes
+/// the ds-bad-key-algo testbed case fail, as it does in the wild).
+[[nodiscard]] Bytes simsig_sign(BytesView key_material, std::uint8_t algorithm,
+                                BytesView data, std::size_t size);
+
+/// Constant-size check used by the validator.
+[[nodiscard]] bool simsig_verify(BytesView key_material,
+                                 std::uint8_t algorithm, BytesView data,
+                                 BytesView signature);
+
+/// Derive deterministic key material for a (zone, role, algorithm) triple so
+/// testbed and scan zones are reproducible run to run.
+[[nodiscard]] Bytes simsig_keygen(std::string_view zone_name,
+                                  std::string_view role,
+                                  std::uint8_t algorithm,
+                                  std::size_t key_size = 32);
+
+}  // namespace ede::crypto

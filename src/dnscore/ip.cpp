@@ -1,0 +1,203 @@
+#include "dnscore/ip.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace ede::dns {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::array<std::uint8_t, 4> octets{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size()) return std::nullopt;
+    unsigned value = 0;
+    const auto [ptr, ec] = std::from_chars(text.data() + pos,
+                                           text.data() + text.size(), value);
+    if (ec != std::errc{} || value > 255) return std::nullopt;
+    // Reject leading zeros ambiguity like "01"? Accept, dotted-quad only.
+    octets[i] = static_cast<std::uint8_t>(value);
+    pos = static_cast<std::size_t>(ptr - text.data());
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Ipv4Address{octets};
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", octets_[0], octets_[1],
+                octets_[2], octets_[3]);
+  return buf;
+}
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  // Split on "::" first; each side is a list of hex groups, the right side
+  // may end with an embedded dotted-quad IPv4 address.
+  std::vector<std::uint16_t> head, tail;
+  bool has_gap = false;
+
+  auto parse_groups = [](std::string_view part, std::vector<std::uint16_t>& out,
+                         bool allow_v4_suffix) -> bool {
+    if (part.empty()) return true;
+    std::size_t pos = 0;
+    while (pos <= part.size()) {
+      const std::size_t next = part.find(':', pos);
+      const std::string_view group =
+          part.substr(pos, next == std::string_view::npos ? std::string_view::npos
+                                                          : next - pos);
+      if (group.empty()) return false;
+      if (allow_v4_suffix && next == std::string_view::npos &&
+          group.find('.') != std::string_view::npos) {
+        const auto v4 = Ipv4Address::parse(group);
+        if (!v4) return false;
+        const auto& o = v4->octets();
+        out.push_back(static_cast<std::uint16_t>((o[0] << 8) | o[1]));
+        out.push_back(static_cast<std::uint16_t>((o[2] << 8) | o[3]));
+        return true;
+      }
+      if (group.size() > 4) return false;
+      unsigned value = 0;
+      const auto [ptr, ec] = std::from_chars(
+          group.data(), group.data() + group.size(), value, 16);
+      if (ec != std::errc{} || ptr != group.data() + group.size()) return false;
+      out.push_back(static_cast<std::uint16_t>(value));
+      if (next == std::string_view::npos) return true;
+      pos = next + 1;
+    }
+    return false;
+  };
+
+  const std::size_t gap = text.find("::");
+  if (gap != std::string_view::npos) {
+    has_gap = true;
+    if (text.find("::", gap + 1) != std::string_view::npos)
+      return std::nullopt;  // at most one "::"
+    if (!parse_groups(text.substr(0, gap), head, false)) return std::nullopt;
+    if (!parse_groups(text.substr(gap + 2), tail, true)) return std::nullopt;
+  } else {
+    if (!parse_groups(text, head, true)) return std::nullopt;
+  }
+
+  const std::size_t total = head.size() + tail.size();
+  if (has_gap ? total >= 8 : total != 8) return std::nullopt;
+
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t i = 0; i < head.size(); ++i) groups[i] = head[i];
+  for (std::size_t i = 0; i < tail.size(); ++i)
+    groups[8 - tail.size() + i] = tail[i];
+  return from_groups(groups);
+}
+
+std::string Ipv6Address::to_string() const {
+  std::array<std::uint16_t, 8> groups{};
+  for (int i = 0; i < 8; ++i)
+    groups[i] = static_cast<std::uint16_t>((octets_[2 * i] << 8) |
+                                           octets_[2 * i + 1]);
+
+  // Find the longest run of zero groups (length >= 2) for "::" compression.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";  // separators before groups are added below, never here
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof(buf), "%x", groups[i]);
+    out += buf;
+    ++i;
+  }
+  return out;
+}
+
+bool Ipv6Address::in_prefix(const Ipv6Address& prefix, int len) const {
+  int remaining = len;
+  for (int i = 0; i < 16 && remaining > 0; ++i) {
+    const int take = remaining >= 8 ? 8 : remaining;
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(0xff << (8 - take));
+    if ((octets_[i] & mask) != (prefix.octets()[i] & mask)) return false;
+    remaining -= take;
+  }
+  return true;
+}
+
+AddressScope classify(Ipv4Address a) {
+  using S = AddressScope;
+  const auto p = [&](const char* prefix, int len) {
+    return a.in_prefix(*Ipv4Address::parse(prefix), len);
+  };
+  if (p("0.0.0.0", 8)) return S::ThisHost;        // "this host on this network"
+  if (p("10.0.0.0", 8)) return S::Private;
+  if (p("100.64.0.0", 10)) return S::Private;     // shared address space
+  if (p("127.0.0.0", 8)) return S::Loopback;
+  if (p("169.254.0.0", 16)) return S::LinkLocal;
+  if (p("172.16.0.0", 12)) return S::Private;
+  if (p("192.0.0.0", 24)) return S::Reserved;     // IETF protocol assignments
+  if (p("192.0.2.0", 24)) return S::Documentation;  // TEST-NET-1
+  if (p("192.168.0.0", 16)) return S::Private;
+  if (p("198.18.0.0", 15)) return S::Reserved;    // benchmarking
+  if (p("198.51.100.0", 24)) return S::Documentation;  // TEST-NET-2
+  if (p("203.0.113.0", 24)) return S::Documentation;   // TEST-NET-3
+  if (p("224.0.0.0", 4)) return S::Multicast;
+  if (p("240.0.0.0", 4)) return S::Reserved;      // future use + broadcast
+  return S::GlobalUnicast;
+}
+
+AddressScope classify(const Ipv6Address& a) {
+  using S = AddressScope;
+  const auto p = [&](const char* prefix, int len) {
+    return a.in_prefix(*Ipv6Address::parse(prefix), len);
+  };
+  if (a == *Ipv6Address::parse("::")) return S::ThisHost;
+  if (a == *Ipv6Address::parse("::1")) return S::Loopback;
+  if (p("::ffff:0:0", 96)) return S::Mapped;      // IPv4-mapped
+  if (p("::", 96)) return S::Mapped;              // deprecated IPv4-compatible
+  if (p("64:ff9b::", 96)) return S::Nat64;
+  if (p("100::", 64)) return S::Reserved;         // discard-only
+  if (p("2001:db8::", 32)) return S::Documentation;
+  if (p("fc00::", 7)) return S::Private;          // unique local
+  if (p("fe80::", 10)) return S::LinkLocal;
+  if (p("ff00::", 8)) return S::Multicast;
+  if (p("2000::", 3)) return S::GlobalUnicast;
+  return S::Reserved;
+}
+
+std::string to_string(AddressScope scope) {
+  switch (scope) {
+    case AddressScope::GlobalUnicast: return "global-unicast";
+    case AddressScope::Private: return "private";
+    case AddressScope::Loopback: return "loopback";
+    case AddressScope::LinkLocal: return "link-local";
+    case AddressScope::ThisHost: return "this-host";
+    case AddressScope::Documentation: return "documentation";
+    case AddressScope::Reserved: return "reserved";
+    case AddressScope::Multicast: return "multicast";
+    case AddressScope::Mapped: return "ipv4-mapped";
+    case AddressScope::Nat64: return "nat64";
+  }
+  return "unknown";
+}
+
+}  // namespace ede::dns

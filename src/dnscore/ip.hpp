@@ -1,0 +1,110 @@
+// IPv4/IPv6 address values (payloads of A and AAAA records) plus the IANA
+// special-purpose classification the paper's testbed groups 6 and 7 rely
+// on (invalid glue records pointing at unroutable addresses).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ede::dns {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::array<std::uint8_t, 4> octets)
+      : octets_(octets) {}
+  explicit constexpr Ipv4Address(std::uint32_t value)
+      : octets_{static_cast<std::uint8_t>(value >> 24),
+                static_cast<std::uint8_t>(value >> 16),
+                static_cast<std::uint8_t>(value >> 8),
+                static_cast<std::uint8_t>(value)} {}
+
+  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 4>& octets() const {
+    return octets_;
+  }
+  [[nodiscard]] constexpr std::uint32_t value() const {
+    return (std::uint32_t{octets_[0]} << 24) |
+           (std::uint32_t{octets_[1]} << 16) |
+           (std::uint32_t{octets_[2]} << 8) | std::uint32_t{octets_[3]};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// True if the prefix `addr/len` covers this address.
+  [[nodiscard]] constexpr bool in_prefix(Ipv4Address prefix, int len) const {
+    if (len == 0) return true;
+    const std::uint32_t mask = len >= 32 ? ~0u : ~((1u << (32 - len)) - 1);
+    return (value() & mask) == (prefix.value() & mask);
+  }
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::array<std::uint8_t, 4> octets_{};
+};
+
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() = default;
+  explicit constexpr Ipv6Address(std::array<std::uint8_t, 16> octets)
+      : octets_(octets) {}
+
+  [[nodiscard]] static std::optional<Ipv6Address> parse(std::string_view text);
+
+  /// Build from eight 16-bit groups (host order).
+  [[nodiscard]] static constexpr Ipv6Address from_groups(
+      std::array<std::uint16_t, 8> groups) {
+    std::array<std::uint8_t, 16> o{};
+    for (int i = 0; i < 8; ++i) {
+      o[2 * i] = static_cast<std::uint8_t>(groups[i] >> 8);
+      o[2 * i + 1] = static_cast<std::uint8_t>(groups[i]);
+    }
+    return Ipv6Address{o};
+  }
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 16>& octets() const {
+    return octets_;
+  }
+
+  /// RFC 5952 canonical text form (longest zero run compressed).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool in_prefix(const Ipv6Address& prefix, int len) const;
+
+  auto operator<=>(const Ipv6Address&) const = default;
+
+ private:
+  std::array<std::uint8_t, 16> octets_{};
+};
+
+/// Why an address cannot host a public authoritative nameserver, per the
+/// IANA IPv4/IPv6 Special-Purpose Address Registries.
+enum class AddressScope {
+  GlobalUnicast,   // potentially reachable
+  Private,         // 10/8, 172.16/12, 192.168/16, fc00::/7
+  Loopback,        // 127/8, ::1
+  LinkLocal,       // 169.254/16, fe80::/10
+  ThisHost,        // 0.0.0.0, ::
+  Documentation,   // 192.0.2/24 etc., 2001:db8::/32
+  Reserved,        // 240/4 and friends
+  Multicast,       // 224/4, ff00::/8
+  Mapped,          // ::ffff:0:0/96 and deprecated ::/96 compat
+  Nat64,           // 64:ff9b::/96
+};
+
+[[nodiscard]] AddressScope classify(Ipv4Address addr);
+[[nodiscard]] AddressScope classify(const Ipv6Address& addr);
+[[nodiscard]] std::string to_string(AddressScope scope);
+
+/// A nameserver glue address is usable only if globally routable.
+[[nodiscard]] inline bool is_routable(AddressScope scope) {
+  return scope == AddressScope::GlobalUnicast;
+}
+
+}  // namespace ede::dns

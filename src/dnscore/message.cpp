@@ -1,0 +1,215 @@
+#include "dnscore/message.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ede::dns {
+
+namespace {
+
+void encode_record(WireWriter& w, const ResourceRecord& rr,
+                   std::uint16_t rcode_high_bits) {
+  w.write_name(rr.name);
+  w.write_u16(static_cast<std::uint16_t>(rr.type));
+  if (rr.type == RRType::OPT) {
+    // For OPT, CLASS carries the requester's UDP payload size and TTL the
+    // extended RCODE / version / DO bit (RFC 6891 §6.1.3). We store the
+    // payload size in rr.klass's raw value and DO bit in the ttl field as
+    // assembled by the edns module; here we only splice in the extended
+    // RCODE bits so header.rcode stays the single source of truth.
+    w.write_u16(static_cast<std::uint16_t>(rr.klass));
+    const std::uint32_t ttl =
+        (rr.ttl & 0x00ffffffu) | (std::uint32_t{rcode_high_bits} << 24);
+    w.write_u32(ttl);
+  } else {
+    w.write_u16(static_cast<std::uint16_t>(rr.klass));
+    w.write_u32(rr.ttl);
+  }
+  const std::size_t rdlen_at = w.size();
+  w.write_u16(0);  // placeholder
+  encode_rdata(w, rr.rdata, /*compress=*/true);
+  w.patch_u16(rdlen_at,
+              static_cast<std::uint16_t>(w.size() - rdlen_at - 2));
+}
+
+}  // namespace
+
+crypto::Bytes Message::serialize() const {
+  const auto rcode_value = static_cast<std::uint16_t>(header.rcode);
+  const std::uint16_t rcode_high = static_cast<std::uint16_t>(rcode_value >> 4);
+  if (rcode_high != 0 && find_opt() == nullptr) {
+    throw std::logic_error(
+        "Message::serialize: extended RCODE requires an OPT record");
+  }
+
+  WireWriter w;
+  w.write_u16(header.id);
+  std::uint16_t flags = 0;
+  flags |= header.qr ? 0x8000 : 0;
+  flags |= static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(header.opcode) & 0x0f) << 11);
+  flags |= header.aa ? 0x0400 : 0;
+  flags |= header.tc ? 0x0200 : 0;
+  flags |= header.rd ? 0x0100 : 0;
+  flags |= header.ra ? 0x0080 : 0;
+  flags |= header.ad ? 0x0020 : 0;
+  flags |= header.cd ? 0x0010 : 0;
+  flags |= rcode_value & 0x0f;
+  w.write_u16(flags);
+  w.write_u16(static_cast<std::uint16_t>(question.size()));
+  w.write_u16(static_cast<std::uint16_t>(answer.size()));
+  w.write_u16(static_cast<std::uint16_t>(authority.size()));
+  w.write_u16(static_cast<std::uint16_t>(additional.size()));
+
+  for (const auto& q : question) {
+    w.write_name(q.qname);
+    w.write_u16(static_cast<std::uint16_t>(q.qtype));
+    w.write_u16(static_cast<std::uint16_t>(q.qclass));
+  }
+  for (const auto& rr : answer) encode_record(w, rr, rcode_high);
+  for (const auto& rr : authority) encode_record(w, rr, rcode_high);
+  for (const auto& rr : additional) encode_record(w, rr, rcode_high);
+  return std::move(w).take();
+}
+
+Result<Message> Message::parse(crypto::BytesView wire) {
+  WireReader r(wire);
+  Message msg;
+
+  auto id = r.read_u16();
+  if (!id) return err("header: " + id.error().message);
+  msg.header.id = id.value();
+  auto flags_r = r.read_u16();
+  if (!flags_r) return err("header: " + flags_r.error().message);
+  const std::uint16_t flags = flags_r.value();
+  msg.header.qr = flags & 0x8000;
+  msg.header.opcode = static_cast<Opcode>((flags >> 11) & 0x0f);
+  msg.header.aa = flags & 0x0400;
+  msg.header.tc = flags & 0x0200;
+  msg.header.rd = flags & 0x0100;
+  msg.header.ra = flags & 0x0080;
+  msg.header.ad = flags & 0x0020;
+  msg.header.cd = flags & 0x0010;
+  std::uint16_t rcode_value = flags & 0x0f;
+
+  std::uint16_t counts[4];
+  for (auto& count : counts) {
+    auto v = r.read_u16();
+    if (!v) return err("header: " + v.error().message);
+    count = v.value();
+  }
+
+  for (std::uint16_t i = 0; i < counts[0]; ++i) {
+    Question q;
+    auto qname = r.read_name();
+    if (!qname) return err("question: " + qname.error().message);
+    q.qname = std::move(qname).take();
+    auto qtype = r.read_u16();
+    if (!qtype) return err("question: " + qtype.error().message);
+    q.qtype = static_cast<RRType>(qtype.value());
+    auto qclass = r.read_u16();
+    if (!qclass) return err("question: " + qclass.error().message);
+    q.qclass = static_cast<RRClass>(qclass.value());
+    msg.question.push_back(std::move(q));
+  }
+
+  const auto parse_section =
+      [&](std::uint16_t count,
+          std::vector<ResourceRecord>& section) -> std::optional<Error> {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      ResourceRecord rr;
+      auto name = r.read_name();
+      if (!name) return err("record owner: " + name.error().message);
+      rr.name = std::move(name).take();
+      auto type = r.read_u16();
+      if (!type) return type.error();
+      rr.type = static_cast<RRType>(type.value());
+      auto klass = r.read_u16();
+      if (!klass) return klass.error();
+      rr.klass = static_cast<RRClass>(klass.value());
+      auto ttl = r.read_u32();
+      if (!ttl) return ttl.error();
+      rr.ttl = ttl.value();
+      auto rdlen = r.read_u16();
+      if (!rdlen) return rdlen.error();
+      auto rdata = decode_rdata(r, rr.type, rdlen.value());
+      if (!rdata) return rdata.error();
+      rr.rdata = std::move(rdata).take();
+      if (rr.type == RRType::OPT) {
+        // Extended RCODE: upper 8 bits live in the OPT TTL's top byte.
+        rcode_value = static_cast<std::uint16_t>(
+            rcode_value | ((rr.ttl >> 24) << 4));
+      }
+      section.push_back(std::move(rr));
+    }
+    return std::nullopt;
+  };
+
+  if (auto e = parse_section(counts[1], msg.answer)) return *e;
+  if (auto e = parse_section(counts[2], msg.authority)) return *e;
+  if (auto e = parse_section(counts[3], msg.additional)) return *e;
+  if (!r.at_end()) return err("trailing bytes after message");
+
+  msg.header.rcode = static_cast<RCode>(rcode_value);
+  return msg;
+}
+
+const ResourceRecord* Message::find_opt() const {
+  for (const auto& rr : additional) {
+    if (rr.type == RRType::OPT) return &rr;
+  }
+  return nullptr;
+}
+
+ResourceRecord* Message::find_opt() {
+  for (auto& rr : additional) {
+    if (rr.type == RRType::OPT) return &rr;
+  }
+  return nullptr;
+}
+
+std::string Message::to_string() const {
+  std::ostringstream out;
+  out << ";; ->>HEADER<<- opcode: " << ede::dns::to_string(header.opcode)
+      << ", status: " << ede::dns::to_string(header.rcode)
+      << ", id: " << header.id << "\n;; flags:";
+  if (header.qr) out << " qr";
+  if (header.aa) out << " aa";
+  if (header.tc) out << " tc";
+  if (header.rd) out << " rd";
+  if (header.ra) out << " ra";
+  if (header.ad) out << " ad";
+  if (header.cd) out << " cd";
+  out << "; QUERY: " << question.size() << ", ANSWER: " << answer.size()
+      << ", AUTHORITY: " << authority.size()
+      << ", ADDITIONAL: " << additional.size() << "\n";
+  if (!question.empty()) {
+    out << "\n;; QUESTION SECTION:\n";
+    for (const auto& q : question) {
+      out << ";" << q.qname.to_string() << " "
+          << ede::dns::to_string(q.qclass) << " "
+          << ede::dns::to_string(q.qtype) << "\n";
+    }
+  }
+  const auto dump = [&](const char* title,
+                        const std::vector<ResourceRecord>& section) {
+    if (section.empty()) return;
+    out << "\n;; " << title << " SECTION:\n";
+    for (const auto& rr : section) out << rr.to_string() << "\n";
+  };
+  dump("ANSWER", answer);
+  dump("AUTHORITY", authority);
+  dump("ADDITIONAL", additional);
+  return out.str();
+}
+
+Message make_query(std::uint16_t id, const Name& qname, RRType qtype,
+                   bool recursion_desired) {
+  Message msg;
+  msg.header.id = id;
+  msg.header.rd = recursion_desired;
+  msg.question.push_back({qname, qtype, RRClass::IN});
+  return msg;
+}
+
+}  // namespace ede::dns

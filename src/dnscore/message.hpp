@@ -1,0 +1,64 @@
+// DNS messages (RFC 1035 §4): header, question and the three record
+// sections, with full parse/serialize and EDNS extended-RCODE plumbing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dnscore/rr.hpp"
+
+namespace ede::dns {
+
+struct Question {
+  Name qname;
+  RRType qtype = RRType::A;
+  RRClass qclass = RRClass::IN;
+  bool operator==(const Question&) const = default;
+};
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // response flag
+  Opcode opcode = Opcode::QUERY;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = false;  // recursion desired
+  bool ra = false;  // recursion available
+  bool ad = false;  // authentic data (DNSSEC, RFC 4035)
+  bool cd = false;  // checking disabled
+  // The full (possibly extended) RCODE. The low 4 bits are serialized in
+  // the header; bits 4..11 travel in the OPT TTL field when present.
+  RCode rcode = RCode::NOERROR;
+};
+
+class Message {
+ public:
+  Header header;
+  std::vector<Question> question;
+  std::vector<ResourceRecord> answer;
+  std::vector<ResourceRecord> authority;
+  std::vector<ResourceRecord> additional;
+
+  /// Serialize to wire format. If the extended RCODE needs more than 4 bits
+  /// and no OPT record is present, serialization throws std::logic_error —
+  /// callers must attach EDNS first.
+  [[nodiscard]] crypto::Bytes serialize() const;
+
+  /// Parse a full message; reassembles the extended RCODE from any OPT.
+  [[nodiscard]] static Result<Message> parse(crypto::BytesView wire);
+
+  /// The OPT pseudo-record in the additional section, if any.
+  [[nodiscard]] const ResourceRecord* find_opt() const;
+  [[nodiscard]] ResourceRecord* find_opt();
+
+  /// Multi-line dig-style rendering for diagnostics and examples.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Build a query skeleton (RD set, one question).
+[[nodiscard]] Message make_query(std::uint16_t id, const Name& qname,
+                                 RRType qtype, bool recursion_desired = true);
+
+}  // namespace ede::dns

@@ -1,0 +1,204 @@
+#include "dnscore/name.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace ede::dns {
+
+namespace {
+
+char lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+int compare_labels_ci(std::string_view a, std::string_view b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto ca = static_cast<unsigned char>(lower(a[i]));
+    const auto cb = static_cast<unsigned char>(lower(b[i]));
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+}  // namespace
+
+Result<Name> Name::parse(std::string_view text) {
+  if (text.empty()) return err("empty name (use \".\" for root)");
+  if (text == ".") return Name{};
+
+  std::vector<std::string> labels;
+  std::string current;
+  bool saw_trailing_dot = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '.') {
+      if (current.empty())
+        return err("empty label in name: '" + std::string(text) + "'");
+      labels.push_back(std::move(current));
+      current.clear();
+      saw_trailing_dot = (i + 1 == text.size());
+      continue;
+    }
+    if (c == '\\') {
+      if (i + 1 >= text.size()) return err("dangling escape in name");
+      const char next = text[i + 1];
+      if (std::isdigit(static_cast<unsigned char>(next))) {
+        if (i + 3 >= text.size()) return err("truncated \\ddd escape");
+        int value = 0;
+        for (int j = 1; j <= 3; ++j) {
+          const char d = text[i + j];
+          if (!std::isdigit(static_cast<unsigned char>(d)))
+            return err("bad \\ddd escape");
+          value = value * 10 + (d - '0');
+        }
+        if (value > 255) return err("\\ddd escape out of range");
+        current.push_back(static_cast<char>(value));
+        i += 3;
+      } else {
+        current.push_back(next);
+        i += 1;
+      }
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (!current.empty()) labels.push_back(std::move(current));
+  else if (!saw_trailing_dot) return err("empty name");
+
+  return from_labels(std::move(labels));
+}
+
+Name Name::of(std::string_view text) {
+  auto result = parse(text);
+  if (!result) throw std::invalid_argument("Name::of: " + result.error().message);
+  return std::move(result).take();
+}
+
+Result<Name> Name::from_labels(std::vector<std::string> labels) {
+  std::size_t wire_len = 1;  // root octet
+  for (const auto& label : labels) {
+    if (label.empty()) return err("empty label");
+    if (label.size() > kMaxLabelLength)
+      return err("label longer than 63 octets");
+    wire_len += 1 + label.size();
+  }
+  if (wire_len > kMaxWireLength) return err("name longer than 255 octets");
+  return Name{std::move(labels)};
+}
+
+std::size_t Name::wire_length() const {
+  std::size_t len = 1;
+  for (const auto& label : labels_) len += 1 + label.size();
+  return len;
+}
+
+std::string Name::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (const auto& label : labels_) {
+    for (const char c : label) {
+      if (c == '.' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x21 ||
+                 static_cast<unsigned char>(c) > 0x7e) {
+        out.push_back('\\');
+        const auto v = static_cast<unsigned>(static_cast<unsigned char>(c));
+        out.push_back(static_cast<char>('0' + v / 100));
+        out.push_back(static_cast<char>('0' + (v / 10) % 10));
+        out.push_back(static_cast<char>('0' + v % 10));
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('.');
+  }
+  return out;
+}
+
+crypto::Bytes Name::canonical_wire() const {
+  crypto::Bytes out;
+  out.reserve(wire_length());
+  for (const auto& label : labels_) {
+    out.push_back(static_cast<std::uint8_t>(label.size()));
+    for (const char c : label)
+      out.push_back(static_cast<std::uint8_t>(lower(c)));
+  }
+  out.push_back(0);
+  return out;
+}
+
+crypto::Bytes Name::wire() const {
+  crypto::Bytes out;
+  out.reserve(wire_length());
+  for (const auto& label : labels_) {
+    out.push_back(static_cast<std::uint8_t>(label.size()));
+    out.insert(out.end(), label.begin(), label.end());
+  }
+  out.push_back(0);
+  return out;
+}
+
+Name Name::parent() const {
+  if (is_root()) throw std::logic_error("Name::parent on root");
+  return Name{{labels_.begin() + 1, labels_.end()}};
+}
+
+Result<Name> Name::prefixed(std::string_view label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return from_labels(std::move(labels));
+}
+
+bool Name::is_subdomain_of(const Name& ancestor) const {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  const std::size_t skip = labels_.size() - ancestor.labels_.size();
+  for (std::size_t i = 0; i < ancestor.labels_.size(); ++i) {
+    if (compare_labels_ci(labels_[skip + i], ancestor.labels_[i]) != 0)
+      return false;
+  }
+  return true;
+}
+
+bool Name::equals(const Name& other) const {
+  if (labels_.size() != other.labels_.size()) return false;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (compare_labels_ci(labels_[i], other.labels_[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::strong_ordering Name::canonical_compare(const Name& other) const {
+  const std::size_t n = std::min(labels_.size(), other.labels_.size());
+  for (std::size_t i = 1; i <= n; ++i) {
+    const int c = compare_labels_ci(labels_[labels_.size() - i],
+                                    other.labels_[other.labels_.size() - i]);
+    if (c < 0) return std::strong_ordering::less;
+    if (c > 0) return std::strong_ordering::greater;
+  }
+  if (labels_.size() != other.labels_.size())
+    return labels_.size() < other.labels_.size()
+               ? std::strong_ordering::less
+               : std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::size_t Name::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& label : labels_) {
+    for (const char c : label) {
+      h ^= static_cast<std::uint8_t>(lower(c));
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;  // label separator, so ("ab","c") != ("a","bc")
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace ede::dns

@@ -1,0 +1,96 @@
+// Domain names (RFC 1035 §3.1), stored as a label sequence.
+//
+// Invariants held by Name:
+//   - at most 127 labels, each 1..63 octets;
+//   - total wire length (labels + length octets + root octet) <= 255;
+//   - label bytes are stored verbatim (case preserved), but comparison and
+//     hashing are case-insensitive per RFC 4343.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+#include "dnscore/result.hpp"
+
+namespace ede::dns {
+
+class Name {
+ public:
+  static constexpr std::size_t kMaxWireLength = 255;
+  static constexpr std::size_t kMaxLabelLength = 63;
+
+  /// The root name ".".
+  Name() = default;
+
+  /// Parse presentation format ("www.example.com", trailing dot optional,
+  /// "\ddd" and "\X" escapes supported). Returns an error for empty labels,
+  /// oversized labels, or an oversized name.
+  [[nodiscard]] static Result<Name> parse(std::string_view text);
+
+  /// parse() that throws std::invalid_argument — for literals in tests and
+  /// internal tables where failure is a programming error.
+  [[nodiscard]] static Name of(std::string_view text);
+
+  /// Build from raw labels (already validated by the wire parser).
+  [[nodiscard]] static Result<Name> from_labels(
+      std::vector<std::string> labels);
+
+  [[nodiscard]] bool is_root() const { return labels_.empty(); }
+  [[nodiscard]] std::size_t label_count() const { return labels_.size(); }
+  [[nodiscard]] const std::vector<std::string>& labels() const {
+    return labels_;
+  }
+
+  /// Wire length including per-label length octets and the root octet.
+  [[nodiscard]] std::size_t wire_length() const;
+
+  /// Presentation format with trailing dot ("example.com.", "." for root).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Uncompressed canonical wire form: lowercase labels (RFC 4034 §6.2).
+  [[nodiscard]] crypto::Bytes canonical_wire() const;
+
+  /// Uncompressed wire form with original case.
+  [[nodiscard]] crypto::Bytes wire() const;
+
+  /// Parent name (drops the leftmost label). Precondition: !is_root().
+  [[nodiscard]] Name parent() const;
+
+  /// Prepend a label: Name::of("example.com").prefixed("www").
+  [[nodiscard]] Result<Name> prefixed(std::string_view label) const;
+
+  /// True if *this is `ancestor` or a descendant of it.
+  [[nodiscard]] bool is_subdomain_of(const Name& ancestor) const;
+
+  /// Case-insensitive equality.
+  [[nodiscard]] bool equals(const Name& other) const;
+  bool operator==(const Name& other) const { return equals(other); }
+
+  /// Canonical DNS name order (RFC 4034 §6.1): compare label-by-label from
+  /// the rightmost label, bytewise on lowercased labels.
+  [[nodiscard]] std::strong_ordering canonical_compare(
+      const Name& other) const;
+  bool operator<(const Name& other) const {
+    return canonical_compare(other) == std::strong_ordering::less;
+  }
+
+  /// Case-insensitive FNV-based hash, for unordered containers.
+  [[nodiscard]] std::size_t hash() const;
+
+ private:
+  explicit Name(std::vector<std::string> labels) : labels_(std::move(labels)) {}
+
+  std::vector<std::string> labels_;  // leftmost label first, root == empty
+};
+
+struct NameHash {
+  std::size_t operator()(const Name& n) const { return n.hash(); }
+};
+
+}  // namespace ede::dns

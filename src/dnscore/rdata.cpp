@@ -1,0 +1,539 @@
+#include "dnscore/rdata.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "crypto/encoding.hpp"
+
+namespace ede::dns {
+
+TypeBitmap::TypeBitmap(std::vector<RRType> types) {
+  for (const auto t : types) add(t);
+}
+
+void TypeBitmap::add(RRType type) {
+  const auto v = static_cast<std::uint16_t>(type);
+  const auto it = std::lower_bound(types_.begin(), types_.end(), v);
+  if (it == types_.end() || *it != v) types_.insert(it, v);
+}
+
+void TypeBitmap::remove(RRType type) {
+  const auto v = static_cast<std::uint16_t>(type);
+  const auto it = std::lower_bound(types_.begin(), types_.end(), v);
+  if (it != types_.end() && *it == v) types_.erase(it);
+}
+
+bool TypeBitmap::contains(RRType type) const {
+  const auto v = static_cast<std::uint16_t>(type);
+  return std::binary_search(types_.begin(), types_.end(), v);
+}
+
+std::vector<RRType> TypeBitmap::types() const {
+  std::vector<RRType> out;
+  out.reserve(types_.size());
+  for (const auto v : types_) out.push_back(static_cast<RRType>(v));
+  return out;
+}
+
+void TypeBitmap::encode(WireWriter& w) const {
+  std::size_t i = 0;
+  while (i < types_.size()) {
+    const std::uint8_t window = static_cast<std::uint8_t>(types_[i] >> 8);
+    std::uint8_t bitmap[32] = {};
+    int max_octet = -1;
+    while (i < types_.size() && (types_[i] >> 8) == window) {
+      const std::uint8_t low = static_cast<std::uint8_t>(types_[i] & 0xff);
+      bitmap[low / 8] |= static_cast<std::uint8_t>(0x80 >> (low % 8));
+      max_octet = std::max(max_octet, low / 8);
+      ++i;
+    }
+    w.write_u8(window);
+    w.write_u8(static_cast<std::uint8_t>(max_octet + 1));
+    w.write_bytes({bitmap, static_cast<std::size_t>(max_octet + 1)});
+  }
+}
+
+Result<TypeBitmap> TypeBitmap::decode(crypto::BytesView data) {
+  TypeBitmap out;
+  std::size_t pos = 0;
+  int last_window = -1;
+  while (pos < data.size()) {
+    if (pos + 2 > data.size()) return err("type bitmap: truncated header");
+    const std::uint8_t window = data[pos];
+    const std::uint8_t len = data[pos + 1];
+    pos += 2;
+    if (len == 0 || len > 32) return err("type bitmap: bad window length");
+    if (static_cast<int>(window) <= last_window)
+      return err("type bitmap: windows not ascending");
+    last_window = window;
+    if (pos + len > data.size()) return err("type bitmap: truncated window");
+    for (std::uint8_t octet = 0; octet < len; ++octet) {
+      const std::uint8_t bits = data[pos + octet];
+      for (int bit = 0; bit < 8; ++bit) {
+        if (bits & (0x80 >> bit)) {
+          out.types_.push_back(static_cast<std::uint16_t>(
+              (window << 8) | (octet * 8 + bit)));
+        }
+      }
+    }
+    pos += len;
+  }
+  return out;
+}
+
+std::string TypeBitmap::to_string() const {
+  std::string out;
+  for (const auto v : types_) {
+    if (!out.empty()) out += ' ';
+    out += ede::dns::to_string(static_cast<RRType>(v));
+  }
+  return out;
+}
+
+RRType rdata_type(const Rdata& rdata) {
+  return std::visit(
+      [](const auto& r) -> RRType {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, ARdata>) return RRType::A;
+        else if constexpr (std::is_same_v<T, AaaaRdata>) return RRType::AAAA;
+        else if constexpr (std::is_same_v<T, NsRdata>) return RRType::NS;
+        else if constexpr (std::is_same_v<T, CnameRdata>) return RRType::CNAME;
+        else if constexpr (std::is_same_v<T, PtrRdata>) return RRType::PTR;
+        else if constexpr (std::is_same_v<T, SoaRdata>) return RRType::SOA;
+        else if constexpr (std::is_same_v<T, MxRdata>) return RRType::MX;
+        else if constexpr (std::is_same_v<T, TxtRdata>) return RRType::TXT;
+        else if constexpr (std::is_same_v<T, SrvRdata>) return RRType::SRV;
+        else if constexpr (std::is_same_v<T, DsRdata>) return RRType::DS;
+        else if constexpr (std::is_same_v<T, DnskeyRdata>) return RRType::DNSKEY;
+        else if constexpr (std::is_same_v<T, RrsigRdata>) return RRType::RRSIG;
+        else if constexpr (std::is_same_v<T, NsecRdata>) return RRType::NSEC;
+        else if constexpr (std::is_same_v<T, Nsec3Rdata>) return RRType::NSEC3;
+        else if constexpr (std::is_same_v<T, Nsec3ParamRdata>)
+          return RRType::NSEC3PARAM;
+        else if constexpr (std::is_same_v<T, OptRdata>) return RRType::OPT;
+        else return static_cast<RRType>(r.type);
+      },
+      rdata);
+}
+
+void encode_rdata(WireWriter& w, const Rdata& rdata, bool compress) {
+  const auto put_name = [&](const Name& n, bool compressible) {
+    if (compress && compressible) w.write_name(n);
+    else w.write_name_uncompressed(n);
+  };
+
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, ARdata>) {
+          w.write_bytes({r.address.octets().data(), 4});
+        } else if constexpr (std::is_same_v<T, AaaaRdata>) {
+          w.write_bytes({r.address.octets().data(), 16});
+        } else if constexpr (std::is_same_v<T, NsRdata>) {
+          put_name(r.nsdname, true);
+        } else if constexpr (std::is_same_v<T, CnameRdata>) {
+          put_name(r.target, true);
+        } else if constexpr (std::is_same_v<T, PtrRdata>) {
+          put_name(r.target, true);
+        } else if constexpr (std::is_same_v<T, SoaRdata>) {
+          put_name(r.mname, true);
+          put_name(r.rname, true);
+          w.write_u32(r.serial);
+          w.write_u32(r.refresh);
+          w.write_u32(r.retry);
+          w.write_u32(r.expire);
+          w.write_u32(r.minimum);
+        } else if constexpr (std::is_same_v<T, MxRdata>) {
+          w.write_u16(r.preference);
+          put_name(r.exchange, true);
+        } else if constexpr (std::is_same_v<T, TxtRdata>) {
+          for (const auto& s : r.strings) {
+            w.write_u8(static_cast<std::uint8_t>(s.size()));
+            w.write_bytes(crypto::as_bytes(s));
+          }
+        } else if constexpr (std::is_same_v<T, SrvRdata>) {
+          w.write_u16(r.priority);
+          w.write_u16(r.weight);
+          w.write_u16(r.port);
+          put_name(r.target, false);  // RFC 2782: no compression
+        } else if constexpr (std::is_same_v<T, DsRdata>) {
+          w.write_u16(r.key_tag);
+          w.write_u8(r.algorithm);
+          w.write_u8(r.digest_type);
+          w.write_bytes(r.digest);
+        } else if constexpr (std::is_same_v<T, DnskeyRdata>) {
+          w.write_u16(r.flags);
+          w.write_u8(r.protocol);
+          w.write_u8(r.algorithm);
+          w.write_bytes(r.public_key);
+        } else if constexpr (std::is_same_v<T, RrsigRdata>) {
+          w.write_u16(static_cast<std::uint16_t>(r.type_covered));
+          w.write_u8(r.algorithm);
+          w.write_u8(r.labels);
+          w.write_u32(r.original_ttl);
+          w.write_u32(r.expiration);
+          w.write_u32(r.inception);
+          w.write_u16(r.key_tag);
+          w.write_name_uncompressed(r.signer_name);
+          w.write_bytes(r.signature);
+        } else if constexpr (std::is_same_v<T, NsecRdata>) {
+          w.write_name_uncompressed(r.next_domain);
+          r.types.encode(w);
+        } else if constexpr (std::is_same_v<T, Nsec3Rdata>) {
+          w.write_u8(r.hash_algorithm);
+          w.write_u8(r.flags);
+          w.write_u16(r.iterations);
+          w.write_u8(static_cast<std::uint8_t>(r.salt.size()));
+          w.write_bytes(r.salt);
+          w.write_u8(static_cast<std::uint8_t>(r.next_hashed_owner.size()));
+          w.write_bytes(r.next_hashed_owner);
+          r.types.encode(w);
+        } else if constexpr (std::is_same_v<T, Nsec3ParamRdata>) {
+          w.write_u8(r.hash_algorithm);
+          w.write_u8(r.flags);
+          w.write_u16(r.iterations);
+          w.write_u8(static_cast<std::uint8_t>(r.salt.size()));
+          w.write_bytes(r.salt);
+        } else if constexpr (std::is_same_v<T, OptRdata>) {
+          for (const auto& opt : r.options) {
+            w.write_u16(opt.code);
+            w.write_u16(static_cast<std::uint16_t>(opt.data.size()));
+            w.write_bytes(opt.data);
+          }
+        } else {
+          w.write_bytes(r.data);
+        }
+      },
+      rdata);
+}
+
+namespace {
+
+Result<Rdata> decode_typed(WireReader& r, RRType type, std::size_t rdlen,
+                           std::size_t rdata_end) {
+  switch (type) {
+    case RRType::A: {
+      auto bytes = r.read_bytes(4);
+      if (!bytes) return bytes.error();
+      std::array<std::uint8_t, 4> o{};
+      std::copy(bytes.value().begin(), bytes.value().end(), o.begin());
+      return Rdata{ARdata{Ipv4Address{o}}};
+    }
+    case RRType::AAAA: {
+      auto bytes = r.read_bytes(16);
+      if (!bytes) return bytes.error();
+      std::array<std::uint8_t, 16> o{};
+      std::copy(bytes.value().begin(), bytes.value().end(), o.begin());
+      return Rdata{AaaaRdata{Ipv6Address{o}}};
+    }
+    case RRType::NS: {
+      auto n = r.read_name();
+      if (!n) return n.error();
+      return Rdata{NsRdata{std::move(n).take()}};
+    }
+    case RRType::CNAME: {
+      auto n = r.read_name();
+      if (!n) return n.error();
+      return Rdata{CnameRdata{std::move(n).take()}};
+    }
+    case RRType::PTR: {
+      auto n = r.read_name();
+      if (!n) return n.error();
+      return Rdata{PtrRdata{std::move(n).take()}};
+    }
+    case RRType::SOA: {
+      SoaRdata soa;
+      auto mname = r.read_name();
+      if (!mname) return mname.error();
+      soa.mname = std::move(mname).take();
+      auto rname = r.read_name();
+      if (!rname) return rname.error();
+      soa.rname = std::move(rname).take();
+      for (auto* field : {&soa.serial, &soa.refresh, &soa.retry, &soa.expire,
+                          &soa.minimum}) {
+        auto v = r.read_u32();
+        if (!v) return v.error();
+        *field = v.value();
+      }
+      return Rdata{std::move(soa)};
+    }
+    case RRType::MX: {
+      MxRdata mx;
+      auto pref = r.read_u16();
+      if (!pref) return pref.error();
+      mx.preference = pref.value();
+      auto n = r.read_name();
+      if (!n) return n.error();
+      mx.exchange = std::move(n).take();
+      return Rdata{std::move(mx)};
+    }
+    case RRType::TXT: {
+      TxtRdata txt;
+      while (r.position() < rdata_end) {
+        auto len = r.read_u8();
+        if (!len) return len.error();
+        auto bytes = r.read_bytes(len.value());
+        if (!bytes) return bytes.error();
+        txt.strings.emplace_back(bytes.value().begin(), bytes.value().end());
+      }
+      return Rdata{std::move(txt)};
+    }
+    case RRType::SRV: {
+      SrvRdata srv;
+      for (auto* field : {&srv.priority, &srv.weight, &srv.port}) {
+        auto v = r.read_u16();
+        if (!v) return v.error();
+        *field = v.value();
+      }
+      auto n = r.read_name();
+      if (!n) return n.error();
+      srv.target = std::move(n).take();
+      return Rdata{std::move(srv)};
+    }
+    case RRType::DS: {
+      DsRdata ds;
+      auto tag = r.read_u16();
+      if (!tag) return tag.error();
+      ds.key_tag = tag.value();
+      auto algo = r.read_u8();
+      if (!algo) return algo.error();
+      ds.algorithm = algo.value();
+      auto dt = r.read_u8();
+      if (!dt) return dt.error();
+      ds.digest_type = dt.value();
+      if (rdata_end < r.position()) return err("DS: bad rdlen");
+      auto digest = r.read_bytes(rdata_end - r.position());
+      if (!digest) return digest.error();
+      ds.digest = std::move(digest).take();
+      return Rdata{std::move(ds)};
+    }
+    case RRType::DNSKEY: {
+      DnskeyRdata key;
+      auto flags = r.read_u16();
+      if (!flags) return flags.error();
+      key.flags = flags.value();
+      auto proto = r.read_u8();
+      if (!proto) return proto.error();
+      key.protocol = proto.value();
+      auto algo = r.read_u8();
+      if (!algo) return algo.error();
+      key.algorithm = algo.value();
+      if (rdata_end < r.position()) return err("DNSKEY: bad rdlen");
+      auto pk = r.read_bytes(rdata_end - r.position());
+      if (!pk) return pk.error();
+      key.public_key = std::move(pk).take();
+      return Rdata{std::move(key)};
+    }
+    case RRType::RRSIG: {
+      RrsigRdata sig;
+      auto tc = r.read_u16();
+      if (!tc) return tc.error();
+      sig.type_covered = static_cast<RRType>(tc.value());
+      auto algo = r.read_u8();
+      if (!algo) return algo.error();
+      sig.algorithm = algo.value();
+      auto labels = r.read_u8();
+      if (!labels) return labels.error();
+      sig.labels = labels.value();
+      for (auto* field : {&sig.original_ttl, &sig.expiration, &sig.inception}) {
+        auto v = r.read_u32();
+        if (!v) return v.error();
+        *field = v.value();
+      }
+      auto tag = r.read_u16();
+      if (!tag) return tag.error();
+      sig.key_tag = tag.value();
+      auto signer = r.read_name();
+      if (!signer) return signer.error();
+      sig.signer_name = std::move(signer).take();
+      if (rdata_end < r.position()) return err("RRSIG: bad rdlen");
+      auto sigbytes = r.read_bytes(rdata_end - r.position());
+      if (!sigbytes) return sigbytes.error();
+      sig.signature = std::move(sigbytes).take();
+      return Rdata{std::move(sig)};
+    }
+    case RRType::NSEC: {
+      NsecRdata nsec;
+      auto next = r.read_name();
+      if (!next) return next.error();
+      nsec.next_domain = std::move(next).take();
+      if (rdata_end < r.position()) return err("NSEC: bad rdlen");
+      auto bitmap_bytes = r.read_bytes(rdata_end - r.position());
+      if (!bitmap_bytes) return bitmap_bytes.error();
+      auto bitmap = TypeBitmap::decode(bitmap_bytes.value());
+      if (!bitmap) return bitmap.error();
+      nsec.types = std::move(bitmap).take();
+      return Rdata{std::move(nsec)};
+    }
+    case RRType::NSEC3: {
+      Nsec3Rdata n3;
+      auto ha = r.read_u8();
+      if (!ha) return ha.error();
+      n3.hash_algorithm = ha.value();
+      auto flags = r.read_u8();
+      if (!flags) return flags.error();
+      n3.flags = flags.value();
+      auto iter = r.read_u16();
+      if (!iter) return iter.error();
+      n3.iterations = iter.value();
+      auto salt_len = r.read_u8();
+      if (!salt_len) return salt_len.error();
+      auto salt = r.read_bytes(salt_len.value());
+      if (!salt) return salt.error();
+      n3.salt = std::move(salt).take();
+      auto hash_len = r.read_u8();
+      if (!hash_len) return hash_len.error();
+      auto hash = r.read_bytes(hash_len.value());
+      if (!hash) return hash.error();
+      n3.next_hashed_owner = std::move(hash).take();
+      if (rdata_end < r.position()) return err("NSEC3: bad rdlen");
+      auto bitmap_bytes = r.read_bytes(rdata_end - r.position());
+      if (!bitmap_bytes) return bitmap_bytes.error();
+      auto bitmap = TypeBitmap::decode(bitmap_bytes.value());
+      if (!bitmap) return bitmap.error();
+      n3.types = std::move(bitmap).take();
+      return Rdata{std::move(n3)};
+    }
+    case RRType::NSEC3PARAM: {
+      Nsec3ParamRdata p;
+      auto ha = r.read_u8();
+      if (!ha) return ha.error();
+      p.hash_algorithm = ha.value();
+      auto flags = r.read_u8();
+      if (!flags) return flags.error();
+      p.flags = flags.value();
+      auto iter = r.read_u16();
+      if (!iter) return iter.error();
+      p.iterations = iter.value();
+      auto salt_len = r.read_u8();
+      if (!salt_len) return salt_len.error();
+      auto salt = r.read_bytes(salt_len.value());
+      if (!salt) return salt.error();
+      p.salt = std::move(salt).take();
+      return Rdata{std::move(p)};
+    }
+    case RRType::OPT: {
+      OptRdata opt;
+      while (r.position() < rdata_end) {
+        auto code = r.read_u16();
+        if (!code) return code.error();
+        auto len = r.read_u16();
+        if (!len) return len.error();
+        if (r.position() + len.value() > rdata_end)
+          return err("OPT: option overruns rdata");
+        auto data = r.read_bytes(len.value());
+        if (!data) return data.error();
+        opt.options.push_back({code.value(), std::move(data).take()});
+      }
+      return Rdata{std::move(opt)};
+    }
+    default: {
+      auto data = r.read_bytes(rdlen);
+      if (!data) return data.error();
+      return Rdata{UnknownRdata{static_cast<std::uint16_t>(type),
+                                std::move(data).take()}};
+    }
+  }
+}
+
+}  // namespace
+
+Result<Rdata> decode_rdata(WireReader& r, RRType type, std::size_t rdlen) {
+  const std::size_t rdata_end = r.position() + rdlen;
+  auto result = decode_typed(r, type, rdlen, rdata_end);
+  if (!result) return result;
+  if (r.position() != rdata_end)
+    return err(to_string(type) + ": rdata length mismatch (" +
+               std::to_string(r.position()) + " != " +
+               std::to_string(rdata_end) + ")");
+  return result;
+}
+
+std::string rdata_to_string(const Rdata& rdata) {
+  std::ostringstream out;
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, ARdata>) {
+          out << r.address.to_string();
+        } else if constexpr (std::is_same_v<T, AaaaRdata>) {
+          out << r.address.to_string();
+        } else if constexpr (std::is_same_v<T, NsRdata>) {
+          out << r.nsdname.to_string();
+        } else if constexpr (std::is_same_v<T, CnameRdata>) {
+          out << r.target.to_string();
+        } else if constexpr (std::is_same_v<T, PtrRdata>) {
+          out << r.target.to_string();
+        } else if constexpr (std::is_same_v<T, SoaRdata>) {
+          out << r.mname.to_string() << ' ' << r.rname.to_string() << ' '
+              << r.serial << ' ' << r.refresh << ' ' << r.retry << ' '
+              << r.expire << ' ' << r.minimum;
+        } else if constexpr (std::is_same_v<T, MxRdata>) {
+          out << r.preference << ' ' << r.exchange.to_string();
+        } else if constexpr (std::is_same_v<T, TxtRdata>) {
+          bool first = true;
+          for (const auto& s : r.strings) {
+            if (!first) out << ' ';
+            first = false;
+            out << '"' << s << '"';
+          }
+        } else if constexpr (std::is_same_v<T, SrvRdata>) {
+          out << r.priority << ' ' << r.weight << ' ' << r.port << ' '
+              << r.target.to_string();
+        } else if constexpr (std::is_same_v<T, DsRdata>) {
+          out << r.key_tag << ' ' << unsigned{r.algorithm} << ' '
+              << unsigned{r.digest_type} << ' ' << crypto::to_hex(r.digest);
+        } else if constexpr (std::is_same_v<T, DnskeyRdata>) {
+          out << r.flags << ' ' << unsigned{r.protocol} << ' '
+              << unsigned{r.algorithm} << ' '
+              << crypto::to_base64(r.public_key);
+        } else if constexpr (std::is_same_v<T, RrsigRdata>) {
+          out << to_string(r.type_covered) << ' ' << unsigned{r.algorithm}
+              << ' ' << unsigned{r.labels} << ' ' << r.original_ttl << ' '
+              << r.expiration << ' ' << r.inception << ' ' << r.key_tag << ' '
+              << r.signer_name.to_string() << ' '
+              << crypto::to_base64(r.signature);
+        } else if constexpr (std::is_same_v<T, NsecRdata>) {
+          out << r.next_domain.to_string() << ' ' << r.types.to_string();
+        } else if constexpr (std::is_same_v<T, Nsec3Rdata>) {
+          out << unsigned{r.hash_algorithm} << ' ' << unsigned{r.flags} << ' '
+              << r.iterations << ' '
+              << (r.salt.empty() ? "-" : crypto::to_hex(r.salt)) << ' '
+              << crypto::to_base32hex(r.next_hashed_owner) << ' '
+              << r.types.to_string();
+        } else if constexpr (std::is_same_v<T, Nsec3ParamRdata>) {
+          out << unsigned{r.hash_algorithm} << ' ' << unsigned{r.flags} << ' '
+              << r.iterations << ' '
+              << (r.salt.empty() ? "-" : crypto::to_hex(r.salt));
+        } else if constexpr (std::is_same_v<T, OptRdata>) {
+          out << "OPT(" << r.options.size() << " option"
+              << (r.options.size() == 1 ? "" : "s");
+          for (const auto& option : r.options) {
+            // Option 15 is EDE; decode its INFO-CODE inline so message
+            // dumps are self-explanatory. Other options print their code.
+            if (option.code == 15 && option.data.size() >= 2) {
+              const unsigned code = (unsigned{option.data[0]} << 8) |
+                                    option.data[1];
+              out << "; EDE=" << code;
+              if (option.data.size() > 2) {
+                out << " \"";
+                out.write(reinterpret_cast<const char*>(option.data.data()) +
+                              2,
+                          static_cast<std::streamsize>(option.data.size() -
+                                                       2));
+                out << '"';
+              }
+            } else {
+              out << "; opt" << option.code;
+            }
+          }
+          out << ")";
+        } else {
+          out << "\\# " << r.data.size() << ' ' << crypto::to_hex(r.data);
+        }
+      },
+      rdata);
+  return out.str();
+}
+
+}  // namespace ede::dns

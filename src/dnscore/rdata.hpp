@@ -1,0 +1,208 @@
+// Typed RDATA for the record types the paper's experiments exercise,
+// with wire encode/decode and presentation formatting.
+//
+// Unknown types round-trip as opaque bytes (RFC 3597).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+#include "dnscore/ip.hpp"
+#include "dnscore/name.hpp"
+#include "dnscore/result.hpp"
+#include "dnscore/types.hpp"
+#include "dnscore/wire.hpp"
+
+namespace ede::dns {
+
+/// NSEC/NSEC3 type bitmap (RFC 4034 §4.1.2): the set of RR types present
+/// at a name, encoded as window blocks.
+class TypeBitmap {
+ public:
+  TypeBitmap() = default;
+  explicit TypeBitmap(std::vector<RRType> types);
+
+  void add(RRType type);
+  void remove(RRType type);
+  [[nodiscard]] bool contains(RRType type) const;
+  [[nodiscard]] std::vector<RRType> types() const;
+  [[nodiscard]] bool empty() const { return types_.empty(); }
+
+  void encode(WireWriter& w) const;
+  [[nodiscard]] static Result<TypeBitmap> decode(crypto::BytesView data);
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const TypeBitmap&) const = default;
+
+ private:
+  std::vector<std::uint16_t> types_;  // sorted, unique
+};
+
+struct ARdata {
+  Ipv4Address address;
+  bool operator==(const ARdata&) const = default;
+};
+
+struct AaaaRdata {
+  Ipv6Address address;
+  bool operator==(const AaaaRdata&) const = default;
+};
+
+struct NsRdata {
+  Name nsdname;
+  bool operator==(const NsRdata&) const = default;
+};
+
+struct CnameRdata {
+  Name target;
+  bool operator==(const CnameRdata&) const = default;
+};
+
+struct PtrRdata {
+  Name target;
+  bool operator==(const PtrRdata&) const = default;
+};
+
+struct SoaRdata {
+  Name mname;
+  Name rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;  // also the negative-caching TTL (RFC 2308)
+  bool operator==(const SoaRdata&) const = default;
+};
+
+struct MxRdata {
+  std::uint16_t preference = 0;
+  Name exchange;
+  bool operator==(const MxRdata&) const = default;
+};
+
+struct TxtRdata {
+  std::vector<std::string> strings;  // each at most 255 octets
+  bool operator==(const TxtRdata&) const = default;
+};
+
+struct SrvRdata {
+  std::uint16_t priority = 0;
+  std::uint16_t weight = 0;
+  std::uint16_t port = 0;
+  Name target;
+  bool operator==(const SrvRdata&) const = default;
+};
+
+/// DS (RFC 4034 §5).
+struct DsRdata {
+  std::uint16_t key_tag = 0;
+  std::uint8_t algorithm = 0;
+  std::uint8_t digest_type = 0;
+  crypto::Bytes digest;
+  bool operator==(const DsRdata&) const = default;
+};
+
+/// DNSKEY (RFC 4034 §2). flags bit 7 (value 256) = Zone Key, bit 15
+/// (value 1) = SEP; KSKs conventionally use 257, ZSKs 256.
+struct DnskeyRdata {
+  std::uint16_t flags = 0;
+  std::uint8_t protocol = 3;  // must be 3 per RFC 4034
+  std::uint8_t algorithm = 0;
+  crypto::Bytes public_key;
+
+  static constexpr std::uint16_t kZoneKeyFlag = 0x0100;
+  static constexpr std::uint16_t kSepFlag = 0x0001;
+  static constexpr std::uint16_t kZskFlags = 0x0100;  // 256
+  static constexpr std::uint16_t kKskFlags = 0x0101;  // 257
+
+  [[nodiscard]] bool is_zone_key() const { return flags & kZoneKeyFlag; }
+  [[nodiscard]] bool is_sep() const { return flags & kSepFlag; }
+  bool operator==(const DnskeyRdata&) const = default;
+};
+
+/// RRSIG (RFC 4034 §3). Times are absolute seconds (we use a simulated
+/// epoch clock, see simnet/clock.hpp).
+struct RrsigRdata {
+  RRType type_covered = RRType::A;
+  std::uint8_t algorithm = 0;
+  std::uint8_t labels = 0;
+  std::uint32_t original_ttl = 0;
+  std::uint32_t expiration = 0;
+  std::uint32_t inception = 0;
+  std::uint16_t key_tag = 0;
+  Name signer_name;
+  crypto::Bytes signature;
+  bool operator==(const RrsigRdata&) const = default;
+};
+
+struct NsecRdata {
+  Name next_domain;
+  TypeBitmap types;
+  bool operator==(const NsecRdata&) const = default;
+};
+
+/// NSEC3 (RFC 5155 §3).
+struct Nsec3Rdata {
+  std::uint8_t hash_algorithm = 1;  // 1 = SHA-1
+  std::uint8_t flags = 0;           // bit 0 = opt-out
+  std::uint16_t iterations = 0;
+  crypto::Bytes salt;
+  crypto::Bytes next_hashed_owner;  // raw 20 bytes, not base32
+  TypeBitmap types;
+  bool operator==(const Nsec3Rdata&) const = default;
+};
+
+struct Nsec3ParamRdata {
+  std::uint8_t hash_algorithm = 1;
+  std::uint8_t flags = 0;
+  std::uint16_t iterations = 0;
+  crypto::Bytes salt;
+  bool operator==(const Nsec3ParamRdata&) const = default;
+};
+
+/// One EDNS(0) option inside OPT rdata (RFC 6891 §6.1.2).
+struct EdnsOption {
+  std::uint16_t code = 0;
+  crypto::Bytes data;
+  bool operator==(const EdnsOption&) const = default;
+};
+
+struct OptRdata {
+  std::vector<EdnsOption> options;
+  bool operator==(const OptRdata&) const = default;
+};
+
+/// RFC 3597 opaque rdata for types this library does not model.
+struct UnknownRdata {
+  std::uint16_t type = 0;
+  crypto::Bytes data;
+  bool operator==(const UnknownRdata&) const = default;
+};
+
+using Rdata =
+    std::variant<ARdata, AaaaRdata, NsRdata, CnameRdata, PtrRdata, SoaRdata,
+                 MxRdata, TxtRdata, SrvRdata, DsRdata, DnskeyRdata,
+                 RrsigRdata, NsecRdata, Nsec3Rdata, Nsec3ParamRdata, OptRdata,
+                 UnknownRdata>;
+
+/// The RRType a given rdata value corresponds to.
+[[nodiscard]] RRType rdata_type(const Rdata& rdata);
+
+/// Encode rdata (without the RDLENGTH prefix). `compress` enables name
+/// compression for the legacy types that allow it (NS/CNAME/SOA/MX/PTR);
+/// canonical encodings pass false.
+void encode_rdata(WireWriter& w, const Rdata& rdata, bool compress);
+
+/// Decode `rdlen` bytes of rdata of the given type. The reader must be
+/// positioned at the rdata start inside the full message (so compression
+/// pointers in legacy types resolve).
+[[nodiscard]] Result<Rdata> decode_rdata(WireReader& r, RRType type,
+                                         std::size_t rdlen);
+
+/// Presentation format of the rdata fields (no owner/TTL).
+[[nodiscard]] std::string rdata_to_string(const Rdata& rdata);
+
+}  // namespace ede::dns

@@ -1,0 +1,52 @@
+// Minimal expected-style result type for parse paths.
+//
+// The library uses exceptions only for programming errors (violated
+// preconditions); malformed wire data is an expected runtime condition on a
+// network and is reported through Result<T> instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ede::dns {
+
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().message);
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().message);
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& take() && {
+    if (!ok()) throw std::logic_error("Result::take on error: " + error().message);
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    return std::get<Error>(storage_);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Build an error result with a formatted message.
+inline Error err(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace ede::dns

@@ -1,0 +1,105 @@
+#include "dnscore/rr.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace ede::dns {
+
+std::string ResourceRecord::to_string() const {
+  std::ostringstream out;
+  out << name.to_string() << ' ' << ttl << ' ' << ede::dns::to_string(klass)
+      << ' ' << ede::dns::to_string(type) << ' ' << rdata_to_string(rdata);
+  return out.str();
+}
+
+std::vector<ResourceRecord> RRset::to_records() const {
+  std::vector<ResourceRecord> out;
+  out.reserve(rdatas.size());
+  for (const auto& rd : rdatas)
+    out.push_back({name, type, klass, ttl, rd});
+  return out;
+}
+
+std::vector<RRset> group_rrsets(const std::vector<ResourceRecord>& records) {
+  std::vector<RRset> out;
+  for (const auto& rr : records) {
+    auto it = std::find_if(out.begin(), out.end(), [&](const RRset& set) {
+      return set.type == rr.type && set.klass == rr.klass &&
+             set.name == rr.name;
+    });
+    if (it == out.end()) {
+      out.push_back({rr.name, rr.type, rr.klass, rr.ttl, {rr.rdata}});
+    } else {
+      it->rdatas.push_back(rr.rdata);
+      it->ttl = std::min(it->ttl, rr.ttl);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Lowercase the embedded names of legacy rdata types for canonical form.
+Rdata canonicalize_names(const Rdata& rdata) {
+  Rdata out = rdata;
+  const auto lower_name = [](Name& n) {
+    std::vector<std::string> labels;
+    labels.reserve(n.labels().size());
+    for (const auto& label : n.labels()) {
+      std::string lowered = label;
+      for (char& c : lowered)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      labels.push_back(std::move(lowered));
+    }
+    n = Name::from_labels(std::move(labels)).take();
+  };
+  std::visit(
+      [&](auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, NsRdata>) lower_name(r.nsdname);
+        else if constexpr (std::is_same_v<T, CnameRdata>) lower_name(r.target);
+        else if constexpr (std::is_same_v<T, PtrRdata>) lower_name(r.target);
+        else if constexpr (std::is_same_v<T, SoaRdata>) {
+          lower_name(r.mname);
+          lower_name(r.rname);
+        } else if constexpr (std::is_same_v<T, MxRdata>) lower_name(r.exchange);
+        else if constexpr (std::is_same_v<T, SrvRdata>) lower_name(r.target);
+        else if constexpr (std::is_same_v<T, RrsigRdata>)
+          lower_name(r.signer_name);
+        else if constexpr (std::is_same_v<T, NsecRdata>)
+          lower_name(r.next_domain);
+      },
+      out);
+  return out;
+}
+
+}  // namespace
+
+crypto::Bytes canonical_rdata(const Rdata& rdata) {
+  WireWriter w;
+  encode_rdata(w, canonicalize_names(rdata), /*compress=*/false);
+  return std::move(w).take();
+}
+
+crypto::Bytes canonical_rrset(const RRset& rrset, std::uint32_t original_ttl) {
+  std::vector<crypto::Bytes> encoded;
+  encoded.reserve(rrset.rdatas.size());
+  for (const auto& rd : rrset.rdatas) encoded.push_back(canonical_rdata(rd));
+  std::sort(encoded.begin(), encoded.end());
+  encoded.erase(std::unique(encoded.begin(), encoded.end()), encoded.end());
+
+  WireWriter w;
+  const crypto::Bytes owner = rrset.name.canonical_wire();
+  for (const auto& rd : encoded) {
+    w.write_bytes(owner);
+    w.write_u16(static_cast<std::uint16_t>(rrset.type));
+    w.write_u16(static_cast<std::uint16_t>(rrset.klass));
+    w.write_u32(original_ttl);
+    w.write_u16(static_cast<std::uint16_t>(rd.size()));
+    w.write_bytes(rd);
+  }
+  return std::move(w).take();
+}
+
+}  // namespace ede::dns

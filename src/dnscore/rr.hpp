@@ -1,0 +1,50 @@
+// Resource records and RRsets, including the RFC 4034 §6 canonical forms
+// that DNSSEC signing and validation are computed over.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnscore/rdata.hpp"
+
+namespace ede::dns {
+
+struct ResourceRecord {
+  Name name;
+  RRType type = RRType::A;
+  RRClass klass = RRClass::IN;
+  std::uint32_t ttl = 0;
+  Rdata rdata;
+
+  [[nodiscard]] std::string to_string() const;
+  bool operator==(const ResourceRecord&) const = default;
+};
+
+/// Records sharing (name, type, class). Invariant: non-empty, homogeneous.
+struct RRset {
+  Name name;
+  RRType type = RRType::A;
+  RRClass klass = RRClass::IN;
+  std::uint32_t ttl = 0;
+  std::vector<Rdata> rdatas;
+
+  [[nodiscard]] std::vector<ResourceRecord> to_records() const;
+  [[nodiscard]] bool empty() const { return rdatas.empty(); }
+};
+
+/// Group records into RRsets preserving first-seen order.
+[[nodiscard]] std::vector<RRset> group_rrsets(
+    const std::vector<ResourceRecord>& records);
+
+/// Canonical wire form of one rdata (uncompressed, lowercased names where
+/// RFC 4034 §6.2 requires it — we lowercase names in all modeled types).
+[[nodiscard]] crypto::Bytes canonical_rdata(const Rdata& rdata);
+
+/// The canonical RRset byte stream that RRSIGs sign: each record as
+/// owner | type | class | original_ttl | rdlength | rdata, records sorted
+/// by canonical rdata order (RFC 4034 §6.3).
+[[nodiscard]] crypto::Bytes canonical_rrset(const RRset& rrset,
+                                            std::uint32_t original_ttl);
+
+}  // namespace ede::dns

@@ -1,0 +1,68 @@
+#include "dnscore/types.hpp"
+
+namespace ede::dns {
+
+std::string to_string(RRType type) {
+  switch (type) {
+    case RRType::A: return "A";
+    case RRType::NS: return "NS";
+    case RRType::CNAME: return "CNAME";
+    case RRType::SOA: return "SOA";
+    case RRType::PTR: return "PTR";
+    case RRType::MX: return "MX";
+    case RRType::TXT: return "TXT";
+    case RRType::AAAA: return "AAAA";
+    case RRType::SRV: return "SRV";
+    case RRType::OPT: return "OPT";
+    case RRType::DS: return "DS";
+    case RRType::RRSIG: return "RRSIG";
+    case RRType::NSEC: return "NSEC";
+    case RRType::DNSKEY: return "DNSKEY";
+    case RRType::NSEC3: return "NSEC3";
+    case RRType::NSEC3PARAM: return "NSEC3PARAM";
+    case RRType::CAA: return "CAA";
+    case RRType::ANY: return "ANY";
+  }
+  return "TYPE" + std::to_string(static_cast<std::uint16_t>(type));
+}
+
+std::string to_string(RRClass klass) {
+  switch (klass) {
+    case RRClass::IN: return "IN";
+    case RRClass::CH: return "CH";
+    case RRClass::ANY: return "ANY";
+  }
+  return "CLASS" + std::to_string(static_cast<std::uint16_t>(klass));
+}
+
+std::string to_string(RCode rcode) {
+  switch (rcode) {
+    case RCode::NOERROR: return "NOERROR";
+    case RCode::FORMERR: return "FORMERR";
+    case RCode::SERVFAIL: return "SERVFAIL";
+    case RCode::NXDOMAIN: return "NXDOMAIN";
+    case RCode::NOTIMP: return "NOTIMP";
+    case RCode::REFUSED: return "REFUSED";
+    case RCode::YXDOMAIN: return "YXDOMAIN";
+    case RCode::YXRRSET: return "YXRRSET";
+    case RCode::NXRRSET: return "NXRRSET";
+    case RCode::NOTAUTH: return "NOTAUTH";
+    case RCode::NOTZONE: return "NOTZONE";
+    case RCode::BADVERS: return "BADVERS";
+    case RCode::BADCOOKIE: return "BADCOOKIE";
+  }
+  return "RCODE" + std::to_string(static_cast<std::uint16_t>(rcode));
+}
+
+std::string to_string(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::QUERY: return "QUERY";
+    case Opcode::IQUERY: return "IQUERY";
+    case Opcode::STATUS: return "STATUS";
+    case Opcode::NOTIFY: return "NOTIFY";
+    case Opcode::UPDATE: return "UPDATE";
+  }
+  return "OPCODE" + std::to_string(static_cast<std::uint8_t>(opcode));
+}
+
+}  // namespace ede::dns

@@ -1,0 +1,68 @@
+// DNS protocol constants: RR types, classes, opcodes and response codes,
+// per RFC 1035 and the IANA DNS Parameters registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ede::dns {
+
+enum class RRType : std::uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  PTR = 12,
+  MX = 15,
+  TXT = 16,
+  AAAA = 28,
+  SRV = 33,
+  OPT = 41,      // EDNS(0) pseudo-RR, RFC 6891
+  DS = 43,       // RFC 4034
+  RRSIG = 46,    // RFC 4034
+  NSEC = 47,     // RFC 4034
+  DNSKEY = 48,   // RFC 4034
+  NSEC3 = 50,    // RFC 5155
+  NSEC3PARAM = 51,  // RFC 5155
+  CAA = 257,
+  ANY = 255,
+};
+
+enum class RRClass : std::uint16_t {
+  IN = 1,
+  CH = 3,
+  ANY = 255,
+};
+
+enum class Opcode : std::uint8_t {
+  QUERY = 0,
+  IQUERY = 1,
+  STATUS = 2,
+  NOTIFY = 4,
+  UPDATE = 5,
+};
+
+/// Response codes. Values above 15 require the EDNS(0) extended-RCODE
+/// mechanism (the OPT record contributes the upper 8 bits).
+enum class RCode : std::uint16_t {
+  NOERROR = 0,
+  FORMERR = 1,
+  SERVFAIL = 2,
+  NXDOMAIN = 3,
+  NOTIMP = 4,
+  REFUSED = 5,
+  YXDOMAIN = 6,
+  YXRRSET = 7,
+  NXRRSET = 8,
+  NOTAUTH = 9,
+  NOTZONE = 10,
+  BADVERS = 16,
+  BADCOOKIE = 23,
+};
+
+[[nodiscard]] std::string to_string(RRType type);
+[[nodiscard]] std::string to_string(RRClass klass);
+[[nodiscard]] std::string to_string(RCode rcode);
+[[nodiscard]] std::string to_string(Opcode opcode);
+
+}  // namespace ede::dns

@@ -1,0 +1,142 @@
+#include "dnscore/wire.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ede::dns {
+
+Result<std::uint8_t> WireReader::read_u8() {
+  if (remaining() < 1) return err("truncated: need 1 byte");
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> WireReader::read_u16() {
+  if (remaining() < 2) return err("truncated: need 2 bytes");
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      (std::uint16_t{data_[pos_]} << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> WireReader::read_u32() {
+  if (remaining() < 4) return err("truncated: need 4 bytes");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+Result<crypto::Bytes> WireReader::read_bytes(std::size_t count) {
+  if (remaining() < count)
+    return err("truncated: need " + std::to_string(count) + " bytes");
+  crypto::Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                    data_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
+  pos_ += count;
+  return out;
+}
+
+Result<Name> WireReader::read_name() {
+  std::vector<std::string> labels;
+  std::size_t cursor = pos_;
+  std::size_t after_first_pointer = 0;
+  bool jumped = false;
+  int safety = 0;
+
+  while (true) {
+    if (++safety > 256) return err("name: too many labels/pointers");
+    if (cursor >= data_.size()) return err("name: runs past end of message");
+    const std::uint8_t len = data_[cursor];
+    if ((len & 0xc0) == 0xc0) {
+      if (cursor + 1 >= data_.size()) return err("name: truncated pointer");
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | data_[cursor + 1];
+      if (target >= cursor)
+        return err("name: compression pointer does not point backwards");
+      if (!jumped) {
+        after_first_pointer = cursor + 2;
+        jumped = true;
+      }
+      cursor = target;
+      continue;
+    }
+    if ((len & 0xc0) != 0) return err("name: reserved label type");
+    ++cursor;
+    if (len == 0) break;
+    if (cursor + len > data_.size()) return err("name: label past end");
+    labels.emplace_back(
+        reinterpret_cast<const char*>(data_.data() + cursor), len);
+    cursor += len;
+  }
+
+  pos_ = jumped ? after_first_pointer : cursor;
+  auto name = Name::from_labels(std::move(labels));
+  if (!name) return err("name: " + name.error().message);
+  return std::move(name).take();
+}
+
+Result<bool> WireReader::seek(std::size_t offset) {
+  if (offset > data_.size()) return err("seek past end");
+  pos_ = offset;
+  return true;
+}
+
+void WireWriter::write_u8(std::uint8_t v) { out_.push_back(v); }
+
+void WireWriter::write_u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void WireWriter::write_u32(std::uint32_t v) {
+  for (int i = 3; i >= 0; --i)
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::write_bytes(crypto::BytesView data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+namespace {
+
+std::string suffix_key(const std::vector<std::string>& labels,
+                       std::size_t from) {
+  std::string key;
+  for (std::size_t i = from; i < labels.size(); ++i) {
+    for (const char c : labels[i])
+      key.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    key.push_back('.');
+  }
+  return key;
+}
+
+}  // namespace
+
+void WireWriter::write_name(const Name& name) {
+  const auto& labels = name.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::string key = suffix_key(labels, i);
+    const auto it = offsets_.find(key);
+    if (it != offsets_.end()) {
+      write_u16(static_cast<std::uint16_t>(0xc000 | it->second));
+      return;
+    }
+    // Compression pointers can only address the first 16 KiB - 2 bits.
+    if (out_.size() <= 0x3fff)
+      offsets_.emplace(key, static_cast<std::uint16_t>(out_.size()));
+    write_u8(static_cast<std::uint8_t>(labels[i].size()));
+    write_bytes(crypto::as_bytes(labels[i]));
+  }
+  write_u8(0);
+}
+
+void WireWriter::write_name_uncompressed(const Name& name) {
+  write_bytes(name.wire());
+}
+
+void WireWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  out_.at(offset) = static_cast<std::uint8_t>(v >> 8);
+  out_.at(offset + 1) = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace ede::dns

@@ -1,0 +1,73 @@
+// Bounds-checked wire-format reader and writer (RFC 1035 §4.1).
+//
+// WireReader tracks position inside a full message buffer so compression
+// pointers (§4.1.4) can be followed safely: pointers must point strictly
+// backwards and the total label count is capped, which defeats pointer
+// loops in malformed packets.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "crypto/bytes.hpp"
+#include "dnscore/name.hpp"
+#include "dnscore/result.hpp"
+
+namespace ede::dns {
+
+class WireReader {
+ public:
+  explicit WireReader(crypto::BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+
+  Result<std::uint8_t> read_u8();
+  Result<std::uint16_t> read_u16();
+  Result<std::uint32_t> read_u32();
+  Result<crypto::Bytes> read_bytes(std::size_t count);
+
+  /// Read a possibly-compressed domain name starting at the current
+  /// position. The cursor advances past the name's in-place encoding
+  /// (pointers are followed without moving the cursor past them).
+  Result<Name> read_name();
+
+  /// Move the cursor to an absolute offset (used for bounded rdata reads).
+  Result<bool> seek(std::size_t offset);
+
+ private:
+  crypto::BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+class WireWriter {
+ public:
+  WireWriter() = default;
+
+  void write_u8(std::uint8_t v);
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+  void write_bytes(crypto::BytesView data);
+
+  /// Write a name with compression against previously written names.
+  void write_name(const Name& name);
+
+  /// Write a name without compression (required inside RRSIG/NSEC rdata by
+  /// RFC 3597/4034: names in newer rdata types must not be compressed).
+  void write_name_uncompressed(const Name& name);
+
+  /// Patch a previously written 16-bit field (e.g. RDLENGTH back-fill).
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+  [[nodiscard]] const crypto::Bytes& data() const& { return out_; }
+  [[nodiscard]] crypto::Bytes take() && { return std::move(out_); }
+
+ private:
+  crypto::Bytes out_;
+  // Map from name suffix (canonical text) to offset of its first encoding.
+  std::unordered_map<std::string, std::uint16_t> offsets_;
+};
+
+}  // namespace ede::dns

@@ -1,0 +1,80 @@
+#include "dnssec/algorithm.hpp"
+
+namespace ede::dnssec {
+
+AlgorithmInfo algorithm_info(std::uint8_t number) {
+  switch (number) {
+    case 1: return {1, "RSAMD5", AlgorithmStatus::Deprecated, 128};
+    case 3: return {3, "DSA", AlgorithmStatus::Deprecated, 41};
+    case 5: return {5, "RSASHA1", AlgorithmStatus::Active, 128};
+    case 6:
+      return {6, "DSA-NSEC3-SHA1", AlgorithmStatus::Deprecated, 41};
+    case 7:
+      return {7, "RSASHA1-NSEC3-SHA1", AlgorithmStatus::Active, 128};
+    case 8: return {8, "RSASHA256", AlgorithmStatus::Active, 256};
+    case 10: return {10, "RSASHA512", AlgorithmStatus::Active, 256};
+    case 12: return {12, "ECC-GOST", AlgorithmStatus::Optional, 64};
+    case 13: return {13, "ECDSAP256SHA256", AlgorithmStatus::Active, 64};
+    case 14: return {14, "ECDSAP384SHA384", AlgorithmStatus::Active, 96};
+    case 15: return {15, "ED25519", AlgorithmStatus::Active, 64};
+    case 16: return {16, "ED448", AlgorithmStatus::Active, 114};
+    default:
+      if (number >= 123 && number <= 251)
+        return {number, "RESERVED", AlgorithmStatus::Reserved, 64};
+      if (number >= 253)  // 253/254 private, 255 reserved — treat as reserved
+        return {number, "RESERVED", AlgorithmStatus::Reserved, 64};
+      if (number == 0 || number == 2 || number == 4 || number == 9 ||
+          number == 11)
+        return {number, "RESERVED", AlgorithmStatus::Reserved, 64};
+      return {number, "UNASSIGNED", AlgorithmStatus::Unassigned, 64};
+  }
+}
+
+std::string algorithm_name(std::uint8_t number) {
+  const auto info = algorithm_info(number);
+  if (info.status == AlgorithmStatus::Unassigned)
+    return "UNASSIGNED" + std::to_string(number);
+  if (info.status == AlgorithmStatus::Reserved &&
+      info.mnemonic == std::string_view("RESERVED"))
+    return "RESERVED" + std::to_string(number);
+  return std::string(info.mnemonic);
+}
+
+bool is_known_digest_type(std::uint8_t number) {
+  return number >= 1 && number <= 4;
+}
+
+std::string digest_type_name(std::uint8_t number) {
+  switch (number) {
+    case 1: return "SHA-1";
+    case 2: return "SHA-256";
+    case 3: return "GOST R 34.11-94";
+    case 4: return "SHA-384";
+    default: return "UNASSIGNED" + std::to_string(number);
+  }
+}
+
+std::optional<std::size_t> digest_size(std::uint8_t number) {
+  switch (number) {
+    case 1: return 20;
+    case 2: return 32;
+    case 3: return 32;
+    case 4: return 48;
+    default: return std::nullopt;
+  }
+}
+
+const std::set<std::uint8_t>& default_supported_algorithms() {
+  // What a modern validator accepts: the active algorithms. Deprecated
+  // (RSAMD5, DSA) are excluded per RFC 8624; GOST is optional and most
+  // resolvers skip it.
+  static const std::set<std::uint8_t> algorithms = {5, 7, 8, 10, 13, 14, 15, 16};
+  return algorithms;
+}
+
+const std::set<std::uint8_t>& default_supported_digest_types() {
+  static const std::set<std::uint8_t> digests = {1, 2, 4};
+  return digests;
+}
+
+}  // namespace ede::dnssec

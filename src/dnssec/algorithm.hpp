@@ -1,0 +1,73 @@
+// DNSSEC algorithm and DS digest registries (IANA "DNS Security Algorithm
+// Numbers" and "DS RR Type Digest Algorithms").
+//
+// Real algorithm numbers are kept throughout the library; only the
+// signature mathematics are simulated (crypto/simsig.hpp). Which numbers a
+// given validator supports is a per-profile decision (e.g. the paper finds
+// Cloudflare rejects Ed448 and GOST while others accept or ignore them).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace ede::dnssec {
+
+/// IANA DNS Security Algorithm Numbers (subset the paper exercises).
+enum class Algorithm : std::uint8_t {
+  RSAMD5 = 1,            // deprecated, must not implement
+  DSA = 3,               // optional, effectively prohibited
+  RSASHA1 = 5,
+  DSA_NSEC3_SHA1 = 6,
+  RSASHA1_NSEC3_SHA1 = 7,
+  RSASHA256 = 8,
+  RSASHA512 = 10,
+  ECC_GOST = 12,         // GOST R 34.10-2001, optional
+  ECDSAP256SHA256 = 13,
+  ECDSAP384SHA384 = 14,
+  ED25519 = 15,
+  ED448 = 16,
+  Unassigned100 = 100,   // used by the testbed's unassigned-algo cases
+  Reserved200 = 200,     // used by the testbed's reserved-algo cases
+};
+
+enum class AlgorithmStatus {
+  Active,       // fine to use
+  Deprecated,   // MUST NOT validate (RSAMD5, DSA)
+  Optional,     // registry-optional (GOST)
+  Unassigned,   // not in the registry
+  Reserved,     // reserved range
+};
+
+struct AlgorithmInfo {
+  std::uint8_t number;
+  std::string_view mnemonic;
+  AlgorithmStatus status;
+  std::size_t signature_size;  // nominal size of the simulated signature
+};
+
+/// Registry lookup; unknown numbers are classified Unassigned (or Reserved
+/// for 123-251 and 253-255 per IANA).
+[[nodiscard]] AlgorithmInfo algorithm_info(std::uint8_t number);
+
+[[nodiscard]] std::string algorithm_name(std::uint8_t number);
+
+/// DS digest types (IANA): 1 SHA-1, 2 SHA-256, 3 GOST R 34.11-94, 4 SHA-384.
+enum class DigestType : std::uint8_t {
+  SHA1 = 1,
+  SHA256 = 2,
+  GOST = 3,
+  SHA384 = 4,
+};
+
+[[nodiscard]] bool is_known_digest_type(std::uint8_t number);
+[[nodiscard]] std::string digest_type_name(std::uint8_t number);
+[[nodiscard]] std::optional<std::size_t> digest_size(std::uint8_t number);
+
+/// The algorithm set a modern validating resolver accepts. Individual
+/// profiles subtract from / add to this (see resolver/profile.hpp).
+[[nodiscard]] const std::set<std::uint8_t>& default_supported_algorithms();
+[[nodiscard]] const std::set<std::uint8_t>& default_supported_digest_types();
+
+}  // namespace ede::dnssec

@@ -1,0 +1,100 @@
+#include "dnssec/findings.hpp"
+
+namespace ede::dnssec {
+
+std::string to_string(Stage stage) {
+  switch (stage) {
+    case Stage::Transport: return "transport";
+    case Stage::DsLookup: return "ds-lookup";
+    case Stage::DnskeyTrust: return "dnskey-trust";
+    case Stage::Answer: return "answer";
+    case Stage::Denial: return "denial";
+    case Stage::Cache: return "cache";
+    case Stage::Policy: return "policy";
+  }
+  return "unknown";
+}
+
+std::string to_string(Defect defect) {
+  switch (defect) {
+    case Defect::NoMatchingDnskeyForDs: return "no-matching-dnskey-for-ds";
+    case Defect::KskNoZoneKeyBit: return "ksk-no-zone-key-bit";
+    case Defect::DsDigestMismatch: return "ds-digest-mismatch";
+    case Defect::DsUnassignedKeyAlgorithm: return "ds-unassigned-key-algorithm";
+    case Defect::DsReservedKeyAlgorithm: return "ds-reserved-key-algorithm";
+    case Defect::DsUnknownDigestType: return "ds-unknown-digest-type";
+    case Defect::DsUnsupportedDigestType: return "ds-unsupported-digest-type";
+    case Defect::ZoneAlgorithmUnsupported: return "zone-algorithm-unsupported";
+    case Defect::DnskeyRrsigMissing: return "dnskey-rrsig-missing";
+    case Defect::DnskeyNotSignedByKsk: return "dnskey-not-signed-by-ksk";
+    case Defect::DnskeyKskSigInvalid: return "dnskey-ksk-sig-invalid";
+    case Defect::DnskeyRrsigInvalid: return "dnskey-rrsig-invalid";
+    case Defect::DnskeyRrsigExpired: return "dnskey-rrsig-expired";
+    case Defect::DnskeyRrsigNotYetValid: return "dnskey-rrsig-not-yet-valid";
+    case Defect::DnskeyRrsigExpiredBeforeValid:
+      return "dnskey-rrsig-expired-before-valid";
+    case Defect::NoZoneKeysAtAll: return "no-zone-keys-at-all";
+    case Defect::StandbyKeyNotSigned: return "standby-key-not-signed";
+    case Defect::AnswerRrsigMissing: return "answer-rrsig-missing";
+    case Defect::AnswerRrsigExpired: return "answer-rrsig-expired";
+    case Defect::AnswerRrsigNotYetValid: return "answer-rrsig-not-yet-valid";
+    case Defect::AnswerRrsigExpiredBeforeValid:
+      return "answer-rrsig-expired-before-valid";
+    case Defect::AnswerRrsigInvalid: return "answer-rrsig-invalid";
+    case Defect::AnswerSigKeyMissing: return "answer-sig-key-missing";
+    case Defect::ZskNoZoneKeyBit: return "zsk-no-zone-key-bit";
+    case Defect::ZskAlgorithmMismatch: return "zsk-algorithm-mismatch";
+    case Defect::ZskUnassignedAlgorithm: return "zsk-unassigned-algorithm";
+    case Defect::ZskReservedAlgorithm: return "zsk-reserved-algorithm";
+    case Defect::DenialNsec3RecordsMissing:
+      return "denial-nsec3-records-missing";
+    case Defect::DenialNsec3NoMatchingHash:
+      return "denial-nsec3-no-matching-hash";
+    case Defect::DenialNsec3BadNextOwner: return "denial-nsec3-bad-next-owner";
+    case Defect::DenialNsec3SigInvalid: return "denial-nsec3-sig-invalid";
+    case Defect::DenialNsec3SigMissing: return "denial-nsec3-sig-missing";
+    case Defect::DenialParamMissing: return "denial-param-missing";
+    case Defect::DenialSaltMismatch: return "denial-salt-mismatch";
+    case Defect::DenialAllMissing: return "denial-all-missing";
+    case Defect::InsecureReferralProofFailed:
+      return "insecure-referral-proof-failed";
+    case Defect::Nsec3IterationsTooHigh: return "nsec3-iterations-too-high";
+    case Defect::AllServersUnreachable: return "all-servers-unreachable";
+    case Defect::ServerRefused: return "server-refused";
+    case Defect::ServerServfail: return "server-servfail";
+    case Defect::ServerTimeout: return "server-timeout";
+    case Defect::ServerNotAuth: return "server-notauth";
+    case Defect::DnskeyFetchFailed: return "dnskey-fetch-failed";
+    case Defect::MismatchedQuestion: return "mismatched-question";
+    case Defect::NoOptInResponse: return "no-opt-in-response";
+    case Defect::IterationLimitExceeded: return "iteration-limit-exceeded";
+    case Defect::StaleAnswerServed: return "stale-answer-served";
+    case Defect::StaleNxdomainServed: return "stale-nxdomain-served";
+    case Defect::CachedServfail: return "cached-servfail";
+    case Defect::AnswerSynthesized: return "answer-synthesized";
+    case Defect::QueryBlocked: return "query-blocked";
+    case Defect::QueryCensored: return "query-censored";
+    case Defect::QueryFiltered: return "query-filtered";
+    case Defect::QueryProhibited: return "query-prohibited";
+  }
+  return "unknown";
+}
+
+std::string to_string(const Finding& finding) {
+  std::string out =
+      to_string(finding.stage) + "/" + to_string(finding.defect);
+  if (!finding.detail.empty()) out += ": " + finding.detail;
+  return out;
+}
+
+std::string to_string(Security security) {
+  switch (security) {
+    case Security::Secure: return "secure";
+    case Security::Insecure: return "insecure";
+    case Security::Bogus: return "bogus";
+    case Security::Indeterminate: return "indeterminate";
+  }
+  return "unknown";
+}
+
+}  // namespace ede::dnssec

@@ -1,0 +1,123 @@
+// Diagnosis vocabulary shared by the validator and the resolver.
+//
+// The validator reports *what went wrong* as (stage, defect) findings;
+// vendor profiles (resolver/profile.hpp) then decide which RFC 8914
+// INFO-CODE — if any — each finding surfaces as. This separation is the
+// key architectural choice of the reproduction: the paper shows the seven
+// tested systems diagnose the same root causes but *name* them with
+// different specificity (§3.3), which is exactly a finding→code mapping
+// difference.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ede::dnssec {
+
+/// Where in the resolution/validation pipeline a defect was observed.
+enum class Stage {
+  Transport,   // reaching authoritative servers
+  DsLookup,    // the DS RRset at the parent / chain entry
+  DnskeyTrust, // establishing trust in the child's DNSKEY RRset
+  Answer,      // validating the answer RRset
+  Denial,      // validating proof of non-existence
+  Cache,       // stale/cached responses
+  Policy,      // resolver-local policy
+};
+
+enum class Defect {
+  // --- DS stage ------------------------------------------------------
+  NoMatchingDnskeyForDs,     // DS tag/algorithm matches no zone key
+  KskNoZoneKeyBit,           // DS-designated key lacks the zone-key flag
+  DsDigestMismatch,          // tag+algorithm matched, digest differs
+  DsUnassignedKeyAlgorithm,  // DS names an unassigned signing algorithm
+  DsReservedKeyAlgorithm,    // DS names a reserved signing algorithm
+  DsUnknownDigestType,       // DS digest type is unassigned
+  DsUnsupportedDigestType,   // known type this validator does not implement
+  ZoneAlgorithmUnsupported,  // zone signed with an algorithm this validator
+                             // does not implement (profile-dependent)
+
+  // --- DNSKEY trust stage ---------------------------------------------
+  DnskeyRrsigMissing,            // no RRSIG over the DNSKEY RRset at all
+  DnskeyNotSignedByKsk,          // signed, but not by the DS-matching KSK
+  DnskeyKskSigInvalid,           // KSK's signature fails cryptographically
+  DnskeyRrsigInvalid,            // every DNSKEY signature fails
+  DnskeyRrsigExpired,
+  DnskeyRrsigNotYetValid,
+  DnskeyRrsigExpiredBeforeValid, // expiration precedes inception
+  NoZoneKeysAtAll,               // DNSKEY RRset holds no zone keys
+  StandbyKeyNotSigned,           // informational: a stand-by KSK has no
+                                 // covering RRSIG (the paper's §4.2.3 case)
+
+  // --- Answer stage ----------------------------------------------------
+  AnswerRrsigMissing,
+  AnswerRrsigExpired,
+  AnswerRrsigNotYetValid,
+  AnswerRrsigExpiredBeforeValid,
+  AnswerRrsigInvalid,        // signature fails cryptographically
+  AnswerSigKeyMissing,       // RRSIG names a key tag absent from DNSKEY
+  ZskNoZoneKeyBit,           // signing key present but zone-key bit clear
+  ZskAlgorithmMismatch,      // RRSIG algorithm != DNSKEY algorithm
+  ZskUnassignedAlgorithm,
+  ZskReservedAlgorithm,
+
+  // --- Denial stage ------------------------------------------------------
+  DenialNsec3RecordsMissing,   // negative answer lacks NSEC3 records
+  DenialNsec3NoMatchingHash,   // no NSEC3 matches/covers the hashed name
+  DenialNsec3BadNextOwner,     // chain's next-owner fields are inconsistent
+  DenialNsec3SigInvalid,
+  DenialNsec3SigMissing,
+  DenialParamMissing,          // negative answer unsigned: NSEC3PARAM gone
+  DenialSaltMismatch,          // NSEC3 salt != NSEC3PARAM salt
+  DenialAllMissing,            // no denial material and no signatures
+  InsecureReferralProofFailed, // parent cannot prove the delegation has no DS
+  Nsec3IterationsTooHigh,
+
+  // --- Transport stage -----------------------------------------------
+  AllServersUnreachable,   // no authoritative server answered at all
+  ServerRefused,           // an authority answered REFUSED
+  ServerServfail,          // an authority answered SERVFAIL
+  ServerTimeout,
+  ServerNotAuth,           // NOTAUTH from an authority (unexpected)
+  DnskeyFetchFailed,       // DNSKEY query specifically got no usable answer
+  MismatchedQuestion,      // answer's question section differs from query
+  NoOptInResponse,         // EDNS-unaware authority (no OPT echoed)
+  IterationLimitExceeded,  // resolver gave up chasing referrals
+
+  // --- Cache stage ----------------------------------------------------
+  StaleAnswerServed,
+  StaleNxdomainServed,
+  CachedServfail,
+  AnswerSynthesized,  // negative answer synthesized from cached proofs
+                      // (RFC 8198 aggressive NSEC caching)
+
+  // --- Policy stage ---------------------------------------------------
+  QueryBlocked,     // local blocklist (RPZ-style)
+  QueryCensored,    // externally mandated block
+  QueryFiltered,    // client-requested filtering
+  QueryProhibited,
+};
+
+struct Finding {
+  Stage stage;
+  Defect defect;
+  std::string detail;  // EXTRA-TEXT material, e.g. "192.0.2.1:53 rcode=REFUSED for a.com A"
+
+  bool operator==(const Finding&) const = default;
+};
+
+[[nodiscard]] std::string to_string(Stage stage);
+[[nodiscard]] std::string to_string(Defect defect);
+[[nodiscard]] std::string to_string(const Finding& finding);
+
+/// Chain-of-trust outcome (RFC 4033 §5).
+enum class Security {
+  Secure,
+  Insecure,
+  Bogus,
+  Indeterminate,
+};
+
+[[nodiscard]] std::string to_string(Security security);
+
+}  // namespace ede::dnssec

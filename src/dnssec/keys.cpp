@@ -1,0 +1,98 @@
+#include "dnssec/keys.hpp"
+
+#include "crypto/sha1.hpp"
+#include "crypto/sha2.hpp"
+#include "crypto/simsig.hpp"
+#include "dnscore/wire.hpp"
+
+namespace ede::dnssec {
+
+std::uint16_t key_tag(const dns::DnskeyRdata& key) {
+  dns::WireWriter w;
+  encode_rdata(w, dns::Rdata{key}, /*compress=*/false);
+  const auto& rdata = w.data();
+
+  // RFC 4034 Appendix B (the non-RSAMD5 computation, which modern tooling
+  // applies to every algorithm).
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < rdata.size(); ++i) {
+    acc += (i & 1) ? rdata[i] : (std::uint32_t{rdata[i]} << 8);
+  }
+  acc += (acc >> 16) & 0xffff;
+  return static_cast<std::uint16_t>(acc & 0xffff);
+}
+
+dns::DsRdata make_ds(const dns::Name& owner, const dns::DnskeyRdata& key,
+                     std::uint8_t digest_type) {
+  // digest = hash(canonical owner name | DNSKEY RDATA)  (RFC 4034 §5.1.4)
+  dns::WireWriter w;
+  w.write_bytes(owner.canonical_wire());
+  encode_rdata(w, dns::Rdata{key}, /*compress=*/false);
+  const auto& input = w.data();
+
+  dns::DsRdata ds;
+  ds.key_tag = key_tag(key);
+  ds.algorithm = key.algorithm;
+  ds.digest_type = digest_type;
+  switch (digest_type) {
+    case 1: {
+      const auto d = crypto::Sha1::hash(input);
+      ds.digest.assign(d.begin(), d.end());
+      break;
+    }
+    case 2: {
+      const auto d = crypto::Sha256::hash(input);
+      ds.digest.assign(d.begin(), d.end());
+      break;
+    }
+    case 3: {
+      // GOST R 34.11-94 is not implemented (validators in the paper reject
+      // it); emit a SHA-256-derived stand-in so the record is well-formed.
+      const auto d = crypto::Sha256::hash(input);
+      ds.digest.assign(d.begin(), d.end());
+      break;
+    }
+    case 4: {
+      const auto d = crypto::Sha384::hash(input);
+      ds.digest.assign(d.begin(), d.end());
+      break;
+    }
+    default:
+      ds.digest.assign(32, 0);
+      break;
+  }
+  return ds;
+}
+
+bool ds_matches(const dns::Name& owner, const dns::DsRdata& ds,
+                const dns::DnskeyRdata& key) {
+  if (ds.key_tag != key_tag(key)) return false;
+  if (ds.algorithm != key.algorithm) return false;
+  const dns::DsRdata expected = make_ds(owner, key, ds.digest_type);
+  return expected.digest == ds.digest;
+}
+
+SigningKey make_key(const dns::Name& zone, std::string_view role,
+                    std::uint16_t flags, std::uint8_t algorithm) {
+  SigningKey key;
+  const auto info = algorithm_info(algorithm);
+  // Key material sized loosely like the real algorithm's public key.
+  const std::size_t key_size = info.signature_size >= 128 ? 64 : 32;
+  key.private_material =
+      crypto::simsig_keygen(zone.to_string(), role, algorithm, key_size);
+  key.dnskey.flags = flags;
+  key.dnskey.protocol = 3;
+  key.dnskey.algorithm = algorithm;
+  key.dnskey.public_key = key.private_material;
+  return key;
+}
+
+SigningKey make_ksk(const dns::Name& zone, std::uint8_t algorithm) {
+  return make_key(zone, "ksk", dns::DnskeyRdata::kKskFlags, algorithm);
+}
+
+SigningKey make_zsk(const dns::Name& zone, std::uint8_t algorithm) {
+  return make_key(zone, "zsk", dns::DnskeyRdata::kZskFlags, algorithm);
+}
+
+}  // namespace ede::dnssec

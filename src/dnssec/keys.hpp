@@ -1,0 +1,48 @@
+// DNSKEY/DS helpers: RFC 4034 Appendix B key tags, DS digest construction,
+// and deterministic key-pair generation for simulated zones.
+#pragma once
+
+#include "dnscore/name.hpp"
+#include "dnscore/rdata.hpp"
+#include "dnssec/algorithm.hpp"
+
+namespace ede::dnssec {
+
+/// RFC 4034 Appendix B key tag over the DNSKEY RDATA wire form.
+[[nodiscard]] std::uint16_t key_tag(const dns::DnskeyRdata& key);
+
+/// Compute a DS record for `key` owned by `owner` with the given digest
+/// type. Returns an all-zero digest for unknown digest types (callers
+/// normally check is_known_digest_type first; the testbed uses this to
+/// fabricate broken DS records deliberately).
+[[nodiscard]] dns::DsRdata make_ds(const dns::Name& owner,
+                                   const dns::DnskeyRdata& key,
+                                   std::uint8_t digest_type);
+
+/// Verify that `ds` matches `key` at `owner` (tag, algorithm and digest).
+[[nodiscard]] bool ds_matches(const dns::Name& owner, const dns::DsRdata& ds,
+                              const dns::DnskeyRdata& key);
+
+/// A signing key: the DNSKEY record plus the simulated private material
+/// (identical to the public key bytes in this simulator — see
+/// crypto/simsig.hpp for why that is sound here).
+struct SigningKey {
+  dns::DnskeyRdata dnskey;
+  crypto::Bytes private_material;
+
+  [[nodiscard]] std::uint16_t tag() const { return key_tag(dnskey); }
+};
+
+/// Deterministically derive a KSK (flags 257) for a zone.
+[[nodiscard]] SigningKey make_ksk(const dns::Name& zone,
+                                  std::uint8_t algorithm);
+
+/// Deterministically derive a ZSK (flags 256) for a zone.
+[[nodiscard]] SigningKey make_zsk(const dns::Name& zone,
+                                  std::uint8_t algorithm);
+
+/// Variant generator for standby keys, corrupted-key tests, etc.
+[[nodiscard]] SigningKey make_key(const dns::Name& zone, std::string_view role,
+                                  std::uint16_t flags, std::uint8_t algorithm);
+
+}  // namespace ede::dnssec

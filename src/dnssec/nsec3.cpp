@@ -1,0 +1,53 @@
+#include "dnssec/nsec3.hpp"
+
+#include "crypto/encoding.hpp"
+#include "crypto/sha1.hpp"
+
+namespace ede::dnssec {
+
+crypto::Bytes nsec3_hash(const dns::Name& name, crypto::BytesView salt,
+                         std::uint16_t iterations) {
+  crypto::Sha1 h;
+  h.update(name.canonical_wire());
+  h.update(salt);
+  auto digest = h.finish();
+  for (std::uint16_t i = 0; i < iterations; ++i) {
+    crypto::Sha1 inner;
+    inner.update({digest.data(), digest.size()});
+    inner.update(salt);
+    digest = inner.finish();
+  }
+  return {digest.begin(), digest.end()};
+}
+
+dns::Name nsec3_owner(const dns::Name& name, const dns::Name& zone,
+                      crypto::BytesView salt, std::uint16_t iterations) {
+  const auto hash = nsec3_hash(name, salt, iterations);
+  return zone.prefixed(crypto::to_base32hex(hash)).take();
+}
+
+bool nsec3_covers(crypto::BytesView owner_hash, crypto::BytesView next_hash,
+                  crypto::BytesView hash) {
+  const auto less = [](crypto::BytesView a, crypto::BytesView b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  };
+  if (less(owner_hash, next_hash)) {
+    return less(owner_hash, hash) && less(hash, next_hash);
+  }
+  // Wrap-around: the last NSEC3 record covers everything after its owner
+  // and everything before the smallest hash in the zone.
+  return less(owner_hash, hash) || less(hash, next_hash);
+}
+
+bool nsec_covers(const dns::Name& owner, const dns::Name& next,
+                 const dns::Name& name) {
+  const auto lt = [](const dns::Name& a, const dns::Name& b) {
+    return a.canonical_compare(b) == std::strong_ordering::less;
+  };
+  if (lt(owner, next)) return lt(owner, name) && lt(name, next);
+  // Last record: next points back at the apex.
+  return lt(owner, name) || lt(name, next);
+}
+
+}  // namespace ede::dnssec

@@ -1,0 +1,39 @@
+// NSEC3 hashing and owner-name construction (RFC 5155).
+#pragma once
+
+#include "dnscore/name.hpp"
+#include "dnscore/rdata.hpp"
+
+namespace ede::dnssec {
+
+/// RFC 9276 guidance: iteration counts above 0 SHOULD NOT be used; most
+/// resolvers cap at a few hundred before treating the zone as insecure.
+constexpr std::uint16_t kRecommendedMaxIterations = 150;
+constexpr std::uint16_t kHardMaxIterations = 2500;
+
+/// The iterated SHA-1 hash of RFC 5155 §5:
+///   IH(0) = H(owner-canonical-wire || salt)
+///   IH(k) = H(IH(k-1) || salt)
+[[nodiscard]] crypto::Bytes nsec3_hash(const dns::Name& name,
+                                       crypto::BytesView salt,
+                                       std::uint16_t iterations);
+
+/// The hashed owner name: base32hex(hash).zone.
+[[nodiscard]] dns::Name nsec3_owner(const dns::Name& name,
+                                    const dns::Name& zone,
+                                    crypto::BytesView salt,
+                                    std::uint16_t iterations);
+
+/// True if `hash` falls strictly between `owner_hash` and `next_hash` on
+/// the NSEC3 ring (handles the wrap-around at the last record).
+[[nodiscard]] bool nsec3_covers(crypto::BytesView owner_hash,
+                                crypto::BytesView next_hash,
+                                crypto::BytesView hash);
+
+/// Plain-NSEC coverage (RFC 4034 §4): true if `name` sorts strictly
+/// between `owner` and `next` in canonical order, handling the last
+/// record's wrap-around to the apex.
+[[nodiscard]] bool nsec_covers(const dns::Name& owner, const dns::Name& next,
+                               const dns::Name& name);
+
+}  // namespace ede::dnssec

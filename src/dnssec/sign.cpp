@@ -1,0 +1,75 @@
+#include "dnssec/sign.hpp"
+
+#include "crypto/simsig.hpp"
+#include "dnscore/wire.hpp"
+
+namespace ede::dnssec {
+
+crypto::Bytes signing_data(const dns::RrsigRdata& rrsig,
+                           const dns::RRset& rrset) {
+  dns::WireWriter w;
+  w.write_u16(static_cast<std::uint16_t>(rrsig.type_covered));
+  w.write_u8(rrsig.algorithm);
+  w.write_u8(rrsig.labels);
+  w.write_u32(rrsig.original_ttl);
+  w.write_u32(rrsig.expiration);
+  w.write_u32(rrsig.inception);
+  w.write_u16(rrsig.key_tag);
+  w.write_bytes(rrsig.signer_name.canonical_wire());
+  w.write_bytes(canonical_rrset(rrset, rrsig.original_ttl));
+  return std::move(w).take();
+}
+
+dns::RrsigRdata sign_rrset(const dns::RRset& rrset, const SigningKey& key,
+                           const dns::Name& signer_zone,
+                           SignatureWindow window) {
+  dns::RrsigRdata rrsig;
+  rrsig.type_covered = rrset.type;
+  rrsig.algorithm = key.dnskey.algorithm;
+  // RFC 4034 §3.1.3: the labels field excludes a leading "*" label, which
+  // is how validators recognize wildcard-expanded answers.
+  const bool is_wildcard =
+      !rrset.name.is_root() && rrset.name.labels().front() == "*";
+  rrsig.labels = static_cast<std::uint8_t>(rrset.name.label_count() -
+                                           (is_wildcard ? 1 : 0));
+  rrsig.original_ttl = rrset.ttl;
+  rrsig.inception = window.inception;
+  rrsig.expiration = window.expiration;
+  rrsig.key_tag = key.tag();
+  rrsig.signer_name = signer_zone;
+
+  const auto data = signing_data(rrsig, rrset);
+  const auto info = algorithm_info(key.dnskey.algorithm);
+  rrsig.signature = crypto::simsig_sign(key.private_material,
+                                        key.dnskey.algorithm, data,
+                                        info.signature_size);
+  return rrsig;
+}
+
+bool verify_rrset(const dns::RRset& rrset, const dns::RrsigRdata& rrsig,
+                  const dns::DnskeyRdata& key) {
+  // Wildcard expansion (RFC 4035 §5.3.4): when the RRSIG's labels field is
+  // smaller than the owner's label count, the signature was made over the
+  // wildcard owner "*.<the labels rightmost labels>", not the expanded
+  // name — reconstruct it before checking.
+  const dns::RRset* effective = &rrset;
+  dns::RRset reconstructed;
+  if (rrsig.labels < rrset.name.label_count()) {
+    const auto& labels = rrset.name.labels();
+    std::vector<std::string> wildcard_labels = {"*"};
+    wildcard_labels.insert(
+        wildcard_labels.end(),
+        labels.end() - static_cast<std::ptrdiff_t>(rrsig.labels),
+        labels.end());
+    auto owner = dns::Name::from_labels(std::move(wildcard_labels));
+    if (!owner.ok()) return false;
+    reconstructed = rrset;
+    reconstructed.name = std::move(owner).take();
+    effective = &reconstructed;
+  }
+  const auto data = signing_data(rrsig, *effective);
+  return crypto::simsig_verify(key.public_key, rrsig.algorithm, data,
+                               rrsig.signature);
+}
+
+}  // namespace ede::dnssec

@@ -1,0 +1,32 @@
+// RRset signing (RFC 4034 §3): construct and verify RRSIG records over the
+// canonical RRset form, using the simulated signature scheme.
+#pragma once
+
+#include "dnscore/rr.hpp"
+#include "dnssec/keys.hpp"
+
+namespace ede::dnssec {
+
+struct SignatureWindow {
+  std::uint32_t inception = 0;
+  std::uint32_t expiration = 0;
+};
+
+/// The byte stream a signature covers: RRSIG RDATA (minus the signature
+/// field) followed by the canonical RRset (RFC 4034 §3.1.8.1).
+[[nodiscard]] crypto::Bytes signing_data(const dns::RrsigRdata& rrsig,
+                                         const dns::RRset& rrset);
+
+/// Sign `rrset` with `key` on behalf of `signer_zone`.
+[[nodiscard]] dns::RrsigRdata sign_rrset(const dns::RRset& rrset,
+                                         const SigningKey& key,
+                                         const dns::Name& signer_zone,
+                                         SignatureWindow window);
+
+/// Cryptographic check only — temporal and key-matching checks live in the
+/// validator where they produce distinct findings.
+[[nodiscard]] bool verify_rrset(const dns::RRset& rrset,
+                                const dns::RrsigRdata& rrsig,
+                                const dns::DnskeyRdata& key);
+
+}  // namespace ede::dnssec

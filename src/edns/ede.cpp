@@ -1,0 +1,95 @@
+#include "edns/ede.hpp"
+
+#include <algorithm>
+
+namespace ede::edns {
+
+const std::vector<EdeRegistryEntry>& ede_registry() {
+  static const std::vector<EdeRegistryEntry> registry = {
+      {EdeCode::Other, "Other", "RFC 8914"},
+      {EdeCode::UnsupportedDnskeyAlgorithm, "Unsupported DNSKEY Algorithm",
+       "RFC 8914"},
+      {EdeCode::UnsupportedDsDigestType, "Unsupported DS Digest Type",
+       "RFC 8914"},
+      {EdeCode::StaleAnswer, "Stale Answer", "RFC 8914"},
+      {EdeCode::ForgedAnswer, "Forged Answer", "RFC 8914"},
+      {EdeCode::DnssecIndeterminate, "DNSSEC Indeterminate", "RFC 8914"},
+      {EdeCode::DnssecBogus, "DNSSEC Bogus", "RFC 8914"},
+      {EdeCode::SignatureExpired, "Signature Expired", "RFC 8914"},
+      {EdeCode::SignatureNotYetValid, "Signature Not Yet Valid", "RFC 8914"},
+      {EdeCode::DnskeyMissing, "DNSKEY Missing", "RFC 8914"},
+      {EdeCode::RrsigsMissing, "RRSIGs Missing", "RFC 8914"},
+      {EdeCode::NoZoneKeyBitSet, "No Zone Key Bit Set", "RFC 8914"},
+      {EdeCode::NsecMissing, "NSEC Missing", "RFC 8914"},
+      {EdeCode::CachedError, "Cached Error", "RFC 8914"},
+      {EdeCode::NotReady, "Not Ready", "RFC 8914"},
+      {EdeCode::Blocked, "Blocked", "RFC 8914"},
+      {EdeCode::Censored, "Censored", "RFC 8914"},
+      {EdeCode::Filtered, "Filtered", "RFC 8914"},
+      {EdeCode::Prohibited, "Prohibited", "RFC 8914"},
+      {EdeCode::StaleNxdomainAnswer, "Stale NXDOMAIN Answer", "RFC 8914"},
+      {EdeCode::NotAuthoritative, "Not Authoritative", "RFC 8914"},
+      {EdeCode::NotSupported, "Not Supported", "RFC 8914"},
+      {EdeCode::NoReachableAuthority, "No Reachable Authority", "RFC 8914"},
+      {EdeCode::NetworkError, "Network Error", "RFC 8914"},
+      {EdeCode::InvalidData, "Invalid Data", "RFC 8914"},
+      {EdeCode::SignatureExpiredBeforeValid, "Signature Expired before Valid",
+       "IANA 2022"},
+      {EdeCode::TooEarly, "Too Early", "RFC 9250"},
+      {EdeCode::UnsupportedNsec3IterValue, "Unsupported NSEC3 Iter. Value",
+       "RFC 9276"},
+      {EdeCode::UnableToConformToPolicy, "Unable to conform to policy",
+       "IANA 2022"},
+      {EdeCode::Synthesized, "Synthesized", "IANA 2023"},
+  };
+  return registry;
+}
+
+std::string to_string(EdeCode code) {
+  const auto& reg = ede_registry();
+  const auto it = std::find_if(reg.begin(), reg.end(), [&](const auto& e) {
+    return e.code == code;
+  });
+  if (it != reg.end()) return std::string(it->name);
+  return "EDE" + std::to_string(static_cast<std::uint16_t>(code));
+}
+
+bool is_registered(EdeCode code) {
+  const auto& reg = ede_registry();
+  return std::any_of(reg.begin(), reg.end(),
+                     [&](const auto& e) { return e.code == code; });
+}
+
+dns::EdnsOption ExtendedError::to_option() const {
+  dns::EdnsOption opt;
+  opt.code = kEdeOptionCode;
+  opt.data.reserve(2 + extra_text.size());
+  const auto value = static_cast<std::uint16_t>(code);
+  opt.data.push_back(static_cast<std::uint8_t>(value >> 8));
+  opt.data.push_back(static_cast<std::uint8_t>(value));
+  opt.data.insert(opt.data.end(), extra_text.begin(), extra_text.end());
+  return opt;
+}
+
+dns::Result<ExtendedError> ExtendedError::from_option(
+    const dns::EdnsOption& option) {
+  if (option.code != kEdeOptionCode)
+    return dns::err("not an EDE option (code " +
+                    std::to_string(option.code) + ")");
+  if (option.data.size() < 2) return dns::err("EDE option shorter than 2 bytes");
+  ExtendedError out;
+  out.code = static_cast<EdeCode>(
+      (std::uint16_t{option.data[0]} << 8) | option.data[1]);
+  out.extra_text.assign(option.data.begin() + 2, option.data.end());
+  return out;
+}
+
+std::string ExtendedError::to_string() const {
+  std::string out = "EDE " +
+                    std::to_string(static_cast<std::uint16_t>(code)) + " (" +
+                    ede::edns::to_string(code) + ")";
+  if (!extra_text.empty()) out += ": " + extra_text;
+  return out;
+}
+
+}  // namespace ede::edns

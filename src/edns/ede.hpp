@@ -1,0 +1,85 @@
+// RFC 8914 Extended DNS Errors.
+//
+// EDE travels as EDNS(0) option 15: a 16-bit INFO-CODE followed by an
+// optional UTF-8 EXTRA-TEXT field. Multiple EDE options may appear in one
+// response. This header also carries the full IANA registry as of the
+// paper's snapshot (Table 1: codes 0–29).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+#include "dnscore/rdata.hpp"
+
+namespace ede::edns {
+
+constexpr std::uint16_t kEdeOptionCode = 15;
+
+/// IANA "Extended DNS Error Codes" registry (RFC 8914 + later additions).
+enum class EdeCode : std::uint16_t {
+  Other = 0,
+  UnsupportedDnskeyAlgorithm = 1,
+  UnsupportedDsDigestType = 2,
+  StaleAnswer = 3,
+  ForgedAnswer = 4,
+  DnssecIndeterminate = 5,
+  DnssecBogus = 6,
+  SignatureExpired = 7,
+  SignatureNotYetValid = 8,
+  DnskeyMissing = 9,
+  RrsigsMissing = 10,
+  NoZoneKeyBitSet = 11,
+  NsecMissing = 12,
+  CachedError = 13,
+  NotReady = 14,
+  Blocked = 15,
+  Censored = 16,
+  Filtered = 17,
+  Prohibited = 18,
+  StaleNxdomainAnswer = 19,
+  NotAuthoritative = 20,
+  NotSupported = 21,
+  NoReachableAuthority = 22,
+  NetworkError = 23,
+  InvalidData = 24,
+  SignatureExpiredBeforeValid = 25,
+  TooEarly = 26,
+  UnsupportedNsec3IterValue = 27,
+  UnableToConformToPolicy = 28,
+  Synthesized = 29,
+};
+
+struct EdeRegistryEntry {
+  EdeCode code;
+  std::string_view name;        // IANA "Purpose" string
+  std::string_view defined_in;  // RFC 8914 or the later document
+};
+
+/// All registered codes, in numeric order (reproduces Table 1).
+[[nodiscard]] const std::vector<EdeRegistryEntry>& ede_registry();
+
+/// Human-readable purpose string, "EDE<N>" for unregistered values.
+[[nodiscard]] std::string to_string(EdeCode code);
+
+/// True if the code is in the IANA registry snapshot.
+[[nodiscard]] bool is_registered(EdeCode code);
+
+/// One extended error: INFO-CODE plus optional EXTRA-TEXT.
+struct ExtendedError {
+  EdeCode code = EdeCode::Other;
+  std::string extra_text;
+
+  [[nodiscard]] dns::EdnsOption to_option() const;
+  [[nodiscard]] static dns::Result<ExtendedError> from_option(
+      const dns::EdnsOption& option);
+
+  /// "EDE 9 (DNSKEY Missing): <extra-text>" rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const ExtendedError&) const = default;
+};
+
+}  // namespace ede::edns

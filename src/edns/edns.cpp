@@ -1,0 +1,71 @@
+#include "edns/edns.hpp"
+
+namespace ede::edns {
+
+std::vector<ExtendedError> Edns::extended_errors() const {
+  std::vector<ExtendedError> out;
+  for (const auto& opt : options) {
+    if (opt.code != kEdeOptionCode) continue;
+    auto parsed = ExtendedError::from_option(opt);
+    if (parsed) out.push_back(std::move(parsed).take());
+  }
+  return out;
+}
+
+void Edns::add(const ExtendedError& error) {
+  options.push_back(error.to_option());
+}
+
+dns::ResourceRecord to_opt_record(const Edns& edns) {
+  dns::ResourceRecord rr;
+  rr.name = dns::Name{};  // OPT owner is always the root
+  rr.type = dns::RRType::OPT;
+  rr.klass = static_cast<dns::RRClass>(edns.udp_payload_size);
+  rr.ttl = (std::uint32_t{edns.version} << 16) |
+           (edns.dnssec_ok ? 0x8000u : 0u);
+  rr.rdata = dns::OptRdata{edns.options};
+  return rr;
+}
+
+dns::Result<Edns> from_opt_record(const dns::ResourceRecord& rr) {
+  if (rr.type != dns::RRType::OPT) return dns::err("not an OPT record");
+  const auto* opt = std::get_if<dns::OptRdata>(&rr.rdata);
+  if (opt == nullptr) return dns::err("OPT record with non-OPT rdata");
+  Edns out;
+  out.udp_payload_size = static_cast<std::uint16_t>(rr.klass);
+  out.version = static_cast<std::uint8_t>((rr.ttl >> 16) & 0xff);
+  out.dnssec_ok = (rr.ttl & 0x8000u) != 0;
+  out.options = opt->options;
+  return out;
+}
+
+std::optional<Edns> get_edns(const dns::Message& msg) {
+  const auto* rr = msg.find_opt();
+  if (rr == nullptr) return std::nullopt;
+  auto parsed = from_opt_record(*rr);
+  if (!parsed) return std::nullopt;
+  return std::move(parsed).take();
+}
+
+void set_edns(dns::Message& msg, const Edns& edns) {
+  auto* existing = msg.find_opt();
+  if (existing != nullptr) {
+    *existing = to_opt_record(edns);
+  } else {
+    msg.additional.push_back(to_opt_record(edns));
+  }
+}
+
+void add_extended_error(dns::Message& msg, const ExtendedError& error) {
+  Edns edns = get_edns(msg).value_or(Edns{});
+  edns.add(error);
+  set_edns(msg, edns);
+}
+
+std::vector<ExtendedError> get_extended_errors(const dns::Message& msg) {
+  const auto edns = get_edns(msg);
+  if (!edns) return {};
+  return edns->extended_errors();
+}
+
+}  // namespace ede::edns

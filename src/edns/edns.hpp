@@ -1,0 +1,51 @@
+// EDNS(0) (RFC 6891): structured view over the OPT pseudo-record.
+//
+// The OPT record abuses fixed header fields: CLASS carries the sender's
+// maximum UDP payload size and TTL packs extended-RCODE / version / DO.
+// This module converts between that packed form and a typed Edns struct,
+// and provides the EDE-specific attach/extract helpers the resolver and
+// the scanners use.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dnscore/message.hpp"
+#include "edns/ede.hpp"
+
+namespace ede::edns {
+
+struct Edns {
+  std::uint16_t udp_payload_size = 1232;
+  std::uint8_t version = 0;
+  bool dnssec_ok = false;  // the DO bit
+  std::vector<dns::EdnsOption> options;
+
+  /// All EDE options, decoded (malformed ones are skipped).
+  [[nodiscard]] std::vector<ExtendedError> extended_errors() const;
+
+  void add(const ExtendedError& error);
+};
+
+/// Build the OPT pseudo-record for this EDNS state. Extended-RCODE bits are
+/// spliced in at message serialization time (Message keeps header.rcode as
+/// the single source of truth), so the TTL here carries only version + DO.
+[[nodiscard]] dns::ResourceRecord to_opt_record(const Edns& edns);
+
+/// Parse an OPT record back into an Edns view.
+[[nodiscard]] dns::Result<Edns> from_opt_record(const dns::ResourceRecord& rr);
+
+/// The message's EDNS state, if an OPT record is present and well-formed.
+[[nodiscard]] std::optional<Edns> get_edns(const dns::Message& msg);
+
+/// Replace (or add) the message's OPT record.
+void set_edns(dns::Message& msg, const Edns& edns);
+
+/// Append an EDE option to the message, creating EDNS state if needed.
+void add_extended_error(dns::Message& msg, const ExtendedError& error);
+
+/// All EDE options found in the message, in wire order.
+[[nodiscard]] std::vector<ExtendedError> get_extended_errors(
+    const dns::Message& msg);
+
+}  // namespace ede::edns

@@ -1,0 +1,98 @@
+#include "edns/report_channel.hpp"
+
+#include <charconv>
+
+#include "edns/edns.hpp"
+
+namespace ede::edns {
+
+dns::EdnsOption make_report_channel_option(const dns::Name& agent_domain) {
+  dns::EdnsOption option;
+  option.code = kReportChannelOptionCode;
+  option.data = agent_domain.wire();
+  return option;
+}
+
+std::optional<dns::Name> parse_report_channel_option(
+    const dns::EdnsOption& option) {
+  if (option.code != kReportChannelOptionCode) return std::nullopt;
+  dns::WireReader reader(option.data);
+  auto name = reader.read_name();
+  if (!name.ok() || !reader.at_end()) return std::nullopt;
+  return std::move(name).take();
+}
+
+std::optional<dns::Name> get_report_channel(const dns::Message& msg) {
+  const auto edns = get_edns(msg);
+  if (!edns) return std::nullopt;
+  for (const auto& option : edns->options) {
+    if (option.code != kReportChannelOptionCode) continue;
+    if (auto agent = parse_report_channel_option(option)) return agent;
+  }
+  return std::nullopt;
+}
+
+void set_report_channel(dns::Message& msg, const dns::Name& agent_domain) {
+  Edns edns = get_edns(msg).value_or(Edns{});
+  edns.options.push_back(make_report_channel_option(agent_domain));
+  set_edns(msg, edns);
+}
+
+std::optional<dns::Name> make_report_qname(const dns::Name& qname,
+                                           dns::RRType qtype, EdeCode code,
+                                           const dns::Name& agent_domain) {
+  std::vector<std::string> labels;
+  labels.reserve(qname.label_count() + 4 + agent_domain.label_count());
+  labels.emplace_back("_er");
+  labels.push_back(std::to_string(static_cast<std::uint16_t>(qtype)));
+  for (const auto& label : qname.labels()) labels.push_back(label);
+  labels.push_back(std::to_string(static_cast<std::uint16_t>(code)));
+  labels.emplace_back("_er");
+  for (const auto& label : agent_domain.labels()) labels.push_back(label);
+
+  auto name = dns::Name::from_labels(std::move(labels));
+  if (!name.ok()) return std::nullopt;  // would exceed 255 octets
+  return std::move(name).take();
+}
+
+namespace {
+
+std::optional<std::uint16_t> parse_u16(const std::string& label) {
+  std::uint16_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(label.data(), label.data() + label.size(), value);
+  if (ec != std::errc{} || ptr != label.data() + label.size())
+    return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<ErrorReport> parse_report_qname(const dns::Name& report_qname,
+                                              const dns::Name& agent_domain) {
+  if (!report_qname.is_subdomain_of(agent_domain)) return std::nullopt;
+  const auto& labels = report_qname.labels();
+  const std::size_t payload =
+      labels.size() - agent_domain.label_count();  // labels before the agent
+  // Minimum: _er, qtype, <one qname label>, code, _er.
+  if (payload < 5) return std::nullopt;
+  if (labels.front() != "_er" || labels[payload - 1] != "_er")
+    return std::nullopt;
+
+  const auto qtype = parse_u16(labels[1]);
+  const auto code = parse_u16(labels[payload - 2]);
+  if (!qtype || !code) return std::nullopt;
+
+  auto inner = dns::Name::from_labels(
+      {labels.begin() + 2,
+       labels.begin() + static_cast<std::ptrdiff_t>(payload - 2)});
+  if (!inner.ok()) return std::nullopt;
+
+  ErrorReport report;
+  report.qname = std::move(inner).take();
+  report.qtype = static_cast<dns::RRType>(*qtype);
+  report.code = static_cast<EdeCode>(*code);
+  return report;
+}
+
+}  // namespace ede::edns

@@ -1,0 +1,58 @@
+// DNS Error Reporting (RFC 9567, cited by the paper as
+// draft-ietf-dnsop-dns-error-reporting): an authoritative server offers a
+// *reporting agent* domain through EDNS option 18 (Report-Channel); a
+// resolver that later fails to validate data from that zone reports the
+// failure by resolving
+//
+//   _er.<QTYPE>.<QNAME>.<INFO-CODE>._er.<agent domain>   TXT
+//
+// which lands the failure details in the agent's query log. This is the
+// paper's "EDE provides the basis for other ongoing work at the IETF"
+// (§2) made concrete.
+#pragma once
+
+#include <optional>
+
+#include "dnscore/message.hpp"
+#include "edns/ede.hpp"
+
+namespace ede::edns {
+
+constexpr std::uint16_t kReportChannelOptionCode = 18;
+
+/// Build the Report-Channel option carrying the agent domain
+/// (uncompressed wire-format name, per RFC 9567 §5).
+[[nodiscard]] dns::EdnsOption make_report_channel_option(
+    const dns::Name& agent_domain);
+
+/// Extract the agent domain from an option (if well-formed).
+[[nodiscard]] std::optional<dns::Name> parse_report_channel_option(
+    const dns::EdnsOption& option);
+
+/// The agent domain advertised in a message's OPT record, if any.
+[[nodiscard]] std::optional<dns::Name> get_report_channel(
+    const dns::Message& msg);
+
+/// Advertise an agent domain on a response (creates EDNS state if needed).
+void set_report_channel(dns::Message& msg, const dns::Name& agent_domain);
+
+/// The report query name:
+///   _er.<qtype>.<qname labels>.<info-code>._er.<agent domain>
+/// Returns nullopt when the assembled name would exceed 255 octets
+/// (RFC 9567 §6.1.1 tells the reporter to skip such reports).
+[[nodiscard]] std::optional<dns::Name> make_report_qname(
+    const dns::Name& qname, dns::RRType qtype, EdeCode code,
+    const dns::Name& agent_domain);
+
+/// Parse a report query name back into its parts (agent side).
+struct ErrorReport {
+  dns::Name qname;
+  dns::RRType qtype = dns::RRType::A;
+  EdeCode code = EdeCode::Other;
+
+  bool operator==(const ErrorReport&) const = default;
+};
+[[nodiscard]] std::optional<ErrorReport> parse_report_qname(
+    const dns::Name& report_qname, const dns::Name& agent_domain);
+
+}  // namespace ede::edns

@@ -1,0 +1,91 @@
+#include "resolver/cache.hpp"
+
+namespace ede::resolver {
+
+void Cache::put_positive(PositiveEntry entry) {
+  if (!options_.enabled) return;
+  if (positive_.size() >= options_.max_entries) positive_.clear();
+  CacheKey key{entry.rrset.name, entry.rrset.type};
+  positive_[std::move(key)] = std::move(entry);
+}
+
+void Cache::put_negative(const dns::Name& name, dns::RRType type,
+                         NegativeEntry entry) {
+  if (!options_.enabled) return;
+  if (negative_.size() >= options_.max_entries) negative_.clear();
+  negative_[CacheKey{name, type}] = entry;
+}
+
+void Cache::put_servfail(const dns::Name& name, dns::RRType type,
+                         ServfailEntry entry) {
+  if (!options_.enabled) return;
+  if (servfail_.size() >= options_.max_entries) servfail_.clear();
+  servfail_[CacheKey{name, type}] = std::move(entry);
+}
+
+const PositiveEntry* Cache::get_positive(const dns::Name& name,
+                                         dns::RRType type,
+                                         sim::SimTime now) const {
+  if (!options_.enabled) return nullptr;
+  const auto it = positive_.find(CacheKey{name, type});
+  if (it == positive_.end() || it->second.expires < now) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second;
+}
+
+const PositiveEntry* Cache::get_stale_positive(const dns::Name& name,
+                                               dns::RRType type,
+                                               sim::SimTime now) const {
+  if (!options_.enabled) return nullptr;
+  const auto it = positive_.find(CacheKey{name, type});
+  if (it == positive_.end()) return nullptr;
+  if (it->second.expires >= now) return &it->second;  // still fresh
+  if (now - it->second.expires > options_.stale_window) return nullptr;
+  ++stats_.stale_hits;
+  return &it->second;
+}
+
+const NegativeEntry* Cache::get_negative(const dns::Name& name,
+                                         dns::RRType type,
+                                         sim::SimTime now) const {
+  if (!options_.enabled) return nullptr;
+  const auto it = negative_.find(CacheKey{name, type});
+  if (it == negative_.end() || it->second.expires < now) return nullptr;
+  return &it->second;
+}
+
+const NegativeEntry* Cache::get_stale_negative(const dns::Name& name,
+                                               dns::RRType type,
+                                               sim::SimTime now) const {
+  if (!options_.enabled) return nullptr;
+  const auto it = negative_.find(CacheKey{name, type});
+  if (it == negative_.end()) return nullptr;
+  if (it->second.expires >= now) return &it->second;
+  if (now - it->second.expires > options_.stale_window) return nullptr;
+  ++stats_.stale_hits;
+  return &it->second;
+}
+
+const ServfailEntry* Cache::get_servfail(const dns::Name& name,
+                                         dns::RRType type,
+                                         sim::SimTime now) const {
+  if (!options_.enabled) return nullptr;
+  const auto it = servfail_.find(CacheKey{name, type});
+  if (it == servfail_.end() || it->second.expires < now) return nullptr;
+  return &it->second;
+}
+
+void Cache::clear() {
+  positive_.clear();
+  negative_.clear();
+  servfail_.clear();
+}
+
+std::size_t Cache::size() const {
+  return positive_.size() + negative_.size() + servfail_.size();
+}
+
+}  // namespace ede::resolver

@@ -1,0 +1,107 @@
+// Resolver cache: positive RRset cache, negative cache and a SERVFAIL
+// ("cached error") cache, with optional stale-answer retention
+// (RFC 8767). The stale and cached-error paths are what produce EDE codes
+// 3, 19 and 13 in the paper's wild scan.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dnscore/rr.hpp"
+#include "dnssec/findings.hpp"
+#include "simnet/clock.hpp"
+
+namespace ede::resolver {
+
+struct CacheKey {
+  dns::Name name;
+  dns::RRType type = dns::RRType::A;
+
+  bool operator<(const CacheKey& other) const {
+    if (const auto c = name.canonical_compare(other.name);
+        c != std::strong_ordering::equal)
+      return c == std::strong_ordering::less;
+    return type < other.type;
+  }
+};
+
+struct PositiveEntry {
+  dns::RRset rrset;
+  std::vector<dns::RrsigRdata> signatures;
+  dnssec::Security security = dnssec::Security::Indeterminate;
+  sim::SimTime expires = 0;
+};
+
+struct NegativeEntry {
+  bool nxdomain = false;
+  dnssec::Security security = dnssec::Security::Indeterminate;
+  sim::SimTime expires = 0;
+};
+
+struct ServfailEntry {
+  std::vector<dnssec::Finding> findings;
+  sim::SimTime expires = 0;
+};
+
+class Cache {
+ public:
+  struct Options {
+    bool enabled = true;
+    /// How long past expiry an entry may still be served stale.
+    sim::SimTime stale_window = 86'400 * 7;
+    /// RFC 2308 cap on SERVFAIL caching.
+    sim::SimTime servfail_ttl = 30;
+    /// Entry cap per map; reaching it clears that map (coarse eviction —
+    /// keeps bulk scans at bounded memory).
+    std::size_t max_entries = 400'000;
+  };
+
+  explicit Cache(Options options) : options_(options) {}
+  Cache() : Cache(Options{}) {}
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  void put_positive(PositiveEntry entry);
+  void put_negative(const dns::Name& name, dns::RRType type,
+                    NegativeEntry entry);
+  void put_servfail(const dns::Name& name, dns::RRType type,
+                    ServfailEntry entry);
+
+  /// Fresh lookups honour expiry; stale lookups return entries that
+  /// expired no longer than stale_window ago.
+  [[nodiscard]] const PositiveEntry* get_positive(const dns::Name& name,
+                                                  dns::RRType type,
+                                                  sim::SimTime now) const;
+  [[nodiscard]] const PositiveEntry* get_stale_positive(const dns::Name& name,
+                                                        dns::RRType type,
+                                                        sim::SimTime now) const;
+  [[nodiscard]] const NegativeEntry* get_negative(const dns::Name& name,
+                                                  dns::RRType type,
+                                                  sim::SimTime now) const;
+  [[nodiscard]] const NegativeEntry* get_stale_negative(const dns::Name& name,
+                                                        dns::RRType type,
+                                                        sim::SimTime now) const;
+  [[nodiscard]] const ServfailEntry* get_servfail(const dns::Name& name,
+                                                  dns::RRType type,
+                                                  sim::SimTime now) const;
+
+  void clear();
+  [[nodiscard]] std::size_t size() const;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stale_hits = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  Options options_;
+  std::map<CacheKey, PositiveEntry> positive_;
+  std::map<CacheKey, NegativeEntry> negative_;
+  std::map<CacheKey, ServfailEntry> servfail_;
+  mutable Stats stats_;
+};
+
+}  // namespace ede::resolver

@@ -1,0 +1,179 @@
+#include "resolver/forwarder.hpp"
+
+#include "edns/edns.hpp"
+#include "resolver/resolver.hpp"
+
+namespace ede::resolver {
+
+Forwarder::Forwarder(std::shared_ptr<sim::Network> network,
+                     sim::NodeAddress source,
+                     std::vector<sim::NodeAddress> upstreams,
+                     ForwarderOptions options)
+    : network_(std::move(network)),
+      source_(source),
+      upstreams_(std::move(upstreams)),
+      options_(options),
+      cache_(options.cache) {}
+
+dns::Message Forwarder::handle(const dns::Message& query) {
+  dns::Message response;
+  response.header.id = query.header.id;
+  response.header.qr = true;
+  response.header.ra = true;
+  response.header.rd = query.header.rd;
+  response.question = query.question;
+
+  if (query.question.empty()) {
+    response.header.rcode = dns::RCode::FORMERR;
+    return response;
+  }
+  if (!query.header.rd) {
+    response.header.rcode = dns::RCode::REFUSED;
+    return response;
+  }
+
+  const auto& q = query.question.front();
+  const auto now = network_->clock().now();
+
+  // Local cache first.
+  if (const auto* hit = cache_.get_positive(q.qname, q.qtype, now)) {
+    for (auto& rr : hit->rrset.to_records())
+      response.answer.push_back(std::move(rr));
+    for (const auto& sig : hit->signatures) {
+      response.answer.push_back({q.qname, dns::RRType::RRSIG,
+                                 dns::RRClass::IN, hit->rrset.ttl,
+                                 dns::Rdata{sig}});
+    }
+    response.header.ad = hit->security == dnssec::Security::Secure;
+    return response;
+  }
+  if (const auto* fail = cache_.get_servfail(q.qname, q.qtype, now)) {
+    response.header.rcode = dns::RCode::SERVFAIL;
+    edns::add_extended_error(
+        response, {edns::EdeCode::CachedError,
+                   "SERVFAIL served from the forwarder cache"});
+    for (const auto& finding : fail->findings) {
+      (void)finding;  // upstream codes were stored as findings-free entries
+    }
+    return response;
+  }
+
+  // Ask the upstreams.
+  for (const auto& upstream : upstreams_) {
+    dns::Message upstream_query =
+        dns::make_query(next_id_++, q.qname, q.qtype,
+                        /*recursion_desired=*/true);
+    edns::Edns e;
+    e.dnssec_ok = true;
+    edns::set_edns(upstream_query, e);
+
+    const auto sent =
+        network_->send(source_, upstream, upstream_query.serialize());
+    if (sent.status != sim::SendStatus::Delivered) continue;
+    auto parsed = dns::Message::parse(sent.response);
+    if (!parsed.ok()) continue;
+    const dns::Message upstream_response = std::move(parsed).take();
+
+    response.header.rcode = upstream_response.header.rcode;
+    response.header.ad = upstream_response.header.ad;
+    response.answer = upstream_response.answer;
+    response.authority = upstream_response.authority;
+
+    // RFC 8914 §3: a forwarder forwards the extended errors it received.
+    if (options_.forward_extended_errors) {
+      for (const auto& error :
+           edns::get_extended_errors(upstream_response)) {
+        edns::add_extended_error(response, error);
+      }
+    }
+
+    // Cache what we can.
+    if (response.header.rcode == dns::RCode::NOERROR &&
+        !response.answer.empty()) {
+      PositiveEntry entry;
+      const auto rrsets = dns::group_rrsets(response.answer);
+      for (const auto& set : rrsets) {
+        if (set.type == q.qtype && set.name == q.qname) {
+          entry.rrset = set;
+        } else if (set.type == dns::RRType::RRSIG) {
+          for (const auto& rd : set.rdatas) {
+            if (const auto* sig = std::get_if<dns::RrsigRdata>(&rd))
+              entry.signatures.push_back(*sig);
+          }
+        }
+      }
+      if (!entry.rrset.rdatas.empty()) {
+        entry.security = upstream_response.header.ad
+                             ? dnssec::Security::Secure
+                             : dnssec::Security::Insecure;
+        entry.expires = now + entry.rrset.ttl;
+        cache_.put_positive(std::move(entry));
+      }
+    } else if (response.header.rcode == dns::RCode::SERVFAIL) {
+      cache_.put_servfail(q.qname, q.qtype,
+                          {{}, now + cache_.options().servfail_ttl});
+    }
+    return response;
+  }
+
+  // No upstream reachable: stale service or an honest failure report.
+  if (options_.serve_stale) {
+    if (const auto* stale = cache_.get_stale_positive(q.qname, q.qtype, now)) {
+      for (auto& rr : stale->rrset.to_records())
+        response.answer.push_back(std::move(rr));
+      edns::add_extended_error(
+          response, {edns::EdeCode::StaleAnswer,
+                     "upstream unreachable; answer served past TTL"});
+      return response;
+    }
+  }
+  response.header.rcode = dns::RCode::SERVFAIL;
+  edns::add_extended_error(response,
+                           {edns::EdeCode::NoReachableAuthority,
+                            "no upstream resolver reachable"});
+  return response;
+}
+
+sim::Endpoint Forwarder::endpoint() {
+  return [this](crypto::BytesView wire,
+                const sim::PacketContext&) -> std::optional<crypto::Bytes> {
+    auto query = dns::Message::parse(wire);
+    if (!query.ok()) return std::nullopt;
+    return handle(query.value()).serialize();
+  };
+}
+
+sim::Endpoint make_resolver_endpoint(
+    std::shared_ptr<RecursiveResolver> resolver) {
+  return [resolver](crypto::BytesView wire, const sim::PacketContext&)
+             -> std::optional<crypto::Bytes> {
+    auto parsed = dns::Message::parse(wire);
+    if (!parsed.ok()) return std::nullopt;
+    const dns::Message& query = parsed.value();
+
+    if (query.question.empty()) {
+      dns::Message formerr;
+      formerr.header.id = query.header.id;
+      formerr.header.qr = true;
+      formerr.header.rcode = dns::RCode::FORMERR;
+      return formerr.serialize();
+    }
+    if (!query.header.rd) {
+      dns::Message refused;
+      refused.header.id = query.header.id;
+      refused.header.qr = true;
+      refused.question = query.question;
+      refused.header.rcode = dns::RCode::REFUSED;
+      return refused.serialize();
+    }
+
+    const auto& q = query.question.front();
+    auto outcome = resolver->resolve(q.qname, q.qtype);
+    outcome.response.header.id = query.header.id;
+    outcome.response.header.rd = true;
+    outcome.response.question = query.question;
+    return outcome.response.serialize();
+  };
+}
+
+}  // namespace ede::resolver

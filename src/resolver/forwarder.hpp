@@ -1,0 +1,52 @@
+// A DNS forwarder (the third system role RFC 8914 names alongside
+// recursive resolvers and authoritative servers): answers client queries
+// by asking an upstream recursive resolver, *forwards* the upstream's
+// Extended DNS Errors downstream, and contributes its own cache-layer
+// codes (Stale Answer / Cached Error) when it answers from local state.
+#pragma once
+
+#include <memory>
+
+#include "resolver/resolver.hpp"
+
+namespace ede::resolver {
+
+struct ForwarderOptions {
+  Cache::Options cache;
+  bool serve_stale = true;
+  /// Strip upstream EDE instead of forwarding (some middleboxes do; used
+  /// by tests to show what troubleshooting loses without forwarding).
+  bool forward_extended_errors = true;
+};
+
+class Forwarder {
+ public:
+  Forwarder(std::shared_ptr<sim::Network> network, sim::NodeAddress source,
+            std::vector<sim::NodeAddress> upstreams,
+            ForwarderOptions options = {});
+
+  /// Answer one client query (RD expected), consulting the cache first and
+  /// the upstreams second.
+  [[nodiscard]] dns::Message handle(const dns::Message& query);
+
+  /// Wire-level entry point for Network::attach.
+  [[nodiscard]] sim::Endpoint endpoint();
+
+  [[nodiscard]] Cache& cache() { return cache_; }
+
+ private:
+  std::shared_ptr<sim::Network> network_;
+  sim::NodeAddress source_;
+  std::vector<sim::NodeAddress> upstreams_;
+  ForwarderOptions options_;
+  Cache cache_;
+  std::uint16_t next_id_ = 1;
+};
+
+/// Expose a recursive resolver as a network endpoint so forwarders (and
+/// stub clients) can sit in front of it. The endpoint answers queries with
+/// the RD bit; everything else gets REFUSED.
+[[nodiscard]] sim::Endpoint make_resolver_endpoint(
+    std::shared_ptr<RecursiveResolver> resolver);
+
+}  // namespace ede::resolver

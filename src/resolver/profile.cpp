@@ -1,0 +1,424 @@
+#include "resolver/profile.hpp"
+
+namespace ede::resolver {
+
+using dnssec::Defect;
+using edns::EdeCode;
+
+std::optional<edns::ExtendedError> ResolverProfile::ede_for(
+    const dnssec::Finding& finding) const {
+  const auto it = mapping.find(finding.defect);
+  if (it == mapping.end()) return std::nullopt;
+  edns::ExtendedError error;
+  error.code = it->second;
+  const auto fixed = fixed_extra_text.find(finding.defect);
+  if (fixed != fixed_extra_text.end()) {
+    error.extra_text = fixed->second;
+  } else if (emit_extra_text) {
+    error.extra_text = finding.detail;
+  }
+  return error;
+}
+
+ResolverProfile profile_bind() {
+  // BIND 9.19.9 had implemented only the response-policy and serve-stale
+  // codes (3, 4, 15-18, 19); none of the DNSSEC or connectivity codes were
+  // wired up yet, so every Table 4 cell for BIND is "None".
+  ResolverProfile p;
+  p.vendor = Vendor::Bind;
+  p.name = "BIND 9.19.9";
+  p.source = sim::NodeAddress::of("198.51.200.1");
+  p.mapping = {
+      {Defect::StaleAnswerServed, EdeCode::StaleAnswer},
+      {Defect::StaleNxdomainServed, EdeCode::StaleNxdomainAnswer},
+      {Defect::QueryBlocked, EdeCode::Blocked},
+      {Defect::QueryCensored, EdeCode::Censored},
+      {Defect::QueryFiltered, EdeCode::Filtered},
+      {Defect::QueryProhibited, EdeCode::Prohibited},
+  };
+  return p;
+}
+
+ResolverProfile profile_unbound() {
+  // Unbound 1.16.2 implements the full DNSSEC code set with a key-centric
+  // slant: once the DNSKEY RRset cannot be trusted it reports DNSKEY
+  // Missing (9) for most key-chain defects, reserving 7/10 for the cases
+  // where the signature material itself is the obvious culprit.
+  ResolverProfile p;
+  p.vendor = Vendor::Unbound;
+  p.name = "Unbound 1.16.2";
+  p.source = sim::NodeAddress::of("198.51.200.2");
+  p.emit_extra_text = true;
+  p.mapping = {
+      // DS stage
+      {Defect::NoMatchingDnskeyForDs, EdeCode::DnskeyMissing},
+      {Defect::KskNoZoneKeyBit, EdeCode::DnskeyMissing},
+      {Defect::DsDigestMismatch, EdeCode::DnskeyMissing},
+      // DNSKEY trust stage
+      {Defect::DnskeyRrsigMissing, EdeCode::RrsigsMissing},
+      {Defect::DnskeyNotSignedByKsk, EdeCode::RrsigsMissing},
+      {Defect::DnskeyKskSigInvalid, EdeCode::DnskeyMissing},
+      {Defect::DnskeyRrsigInvalid, EdeCode::DnskeyMissing},
+      {Defect::DnskeyRrsigExpired, EdeCode::SignatureExpired},
+      {Defect::DnskeyRrsigNotYetValid, EdeCode::DnskeyMissing},
+      {Defect::DnskeyRrsigExpiredBeforeValid, EdeCode::DnskeyMissing},
+      {Defect::NoZoneKeysAtAll, EdeCode::DnskeyMissing},
+      // Answer stage
+      {Defect::AnswerRrsigMissing, EdeCode::RrsigsMissing},
+      {Defect::AnswerRrsigExpired, EdeCode::DnssecBogus},
+      {Defect::AnswerRrsigNotYetValid, EdeCode::DnssecBogus},
+      {Defect::AnswerRrsigExpiredBeforeValid, EdeCode::DnssecBogus},
+      {Defect::AnswerRrsigInvalid, EdeCode::DnskeyMissing},
+      {Defect::AnswerSigKeyMissing, EdeCode::DnskeyMissing},
+      {Defect::ZskNoZoneKeyBit, EdeCode::DnskeyMissing},
+      {Defect::ZskAlgorithmMismatch, EdeCode::DnskeyMissing},
+      {Defect::ZskUnassignedAlgorithm, EdeCode::DnskeyMissing},
+      {Defect::ZskReservedAlgorithm, EdeCode::DnskeyMissing},
+      // Denial stage
+      {Defect::DenialNsec3RecordsMissing, EdeCode::NsecMissing},
+      {Defect::DenialNsec3NoMatchingHash, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3BadNextOwner, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3SigInvalid, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3SigMissing, EdeCode::NsecMissing},
+      {Defect::DenialParamMissing, EdeCode::RrsigsMissing},
+      {Defect::DenialSaltMismatch, EdeCode::NsecMissing},
+      {Defect::DenialAllMissing, EdeCode::RrsigsMissing},
+      {Defect::InsecureReferralProofFailed, EdeCode::NsecMissing},
+      // Cache
+      {Defect::StaleAnswerServed, EdeCode::StaleAnswer},
+      {Defect::StaleNxdomainServed, EdeCode::StaleNxdomainAnswer},
+      {Defect::CachedServfail, EdeCode::CachedError},
+  };
+  return p;
+}
+
+ResolverProfile profile_powerdns() {
+  // PowerDNS Recursor 4.8.2 (with extended-resolution-errors enabled) is
+  // signature-centric — precise 7/8/10 — but had not implemented the
+  // NSEC3-proof diagnostics, hence "None" on most of testbed group 4.
+  ResolverProfile p;
+  p.vendor = Vendor::PowerDns;
+  p.name = "PowerDNS Recursor 4.8.2";
+  p.source = sim::NodeAddress::of("198.51.200.3");
+  p.emit_extra_text = true;
+  p.mapping = {
+      {Defect::NoMatchingDnskeyForDs, EdeCode::DnskeyMissing},
+      {Defect::KskNoZoneKeyBit, EdeCode::DnskeyMissing},
+      {Defect::DsDigestMismatch, EdeCode::DnskeyMissing},
+      {Defect::DnskeyRrsigMissing, EdeCode::RrsigsMissing},
+      {Defect::DnskeyNotSignedByKsk, EdeCode::DnskeyMissing},
+      {Defect::DnskeyKskSigInvalid, EdeCode::DnssecBogus},
+      {Defect::DnskeyRrsigInvalid, EdeCode::DnssecBogus},
+      {Defect::DnskeyRrsigExpired, EdeCode::SignatureExpired},
+      {Defect::DnskeyRrsigNotYetValid, EdeCode::SignatureNotYetValid},
+      {Defect::DnskeyRrsigExpiredBeforeValid, EdeCode::SignatureExpired},
+      {Defect::NoZoneKeysAtAll, EdeCode::RrsigsMissing},
+      {Defect::AnswerRrsigMissing, EdeCode::RrsigsMissing},
+      {Defect::AnswerRrsigExpired, EdeCode::SignatureExpired},
+      {Defect::AnswerRrsigNotYetValid, EdeCode::SignatureNotYetValid},
+      {Defect::AnswerRrsigExpiredBeforeValid, EdeCode::SignatureExpired},
+      {Defect::AnswerRrsigInvalid, EdeCode::DnssecBogus},
+      {Defect::AnswerSigKeyMissing, EdeCode::DnssecBogus},
+      {Defect::ZskNoZoneKeyBit, EdeCode::DnssecBogus},
+      {Defect::ZskAlgorithmMismatch, EdeCode::DnssecBogus},
+      {Defect::ZskUnassignedAlgorithm, EdeCode::DnssecBogus},
+      {Defect::ZskReservedAlgorithm, EdeCode::DnssecBogus},
+      {Defect::DenialParamMissing, EdeCode::RrsigsMissing},
+      {Defect::DenialAllMissing, EdeCode::RrsigsMissing},
+      {Defect::StaleAnswerServed, EdeCode::StaleAnswer},
+      {Defect::CachedServfail, EdeCode::CachedError},
+      // Spamhaus's DNS Firewall for PowerDNS Recursor signals blocking
+      // reasons with EDE (paper §2).
+      {Defect::QueryBlocked, EdeCode::Blocked},
+      {Defect::QueryCensored, EdeCode::Censored},
+      {Defect::QueryFiltered, EdeCode::Filtered},
+  };
+  return p;
+}
+
+ResolverProfile profile_knot() {
+  // Knot Resolver 5.6.0 reports key-chain defects with the generic DNSSEC
+  // Bogus (6) and uses Other (0) with a fixed "LSLC: unsupported
+  // digest/key" text for algorithms it does not implement. It stays silent
+  // on answer-level temporal defects (Table 4 rows 10/12/16).
+  ResolverProfile p;
+  p.vendor = Vendor::Knot;
+  p.name = "Knot Resolver 5.6.0";
+  p.source = sim::NodeAddress::of("198.51.200.4");
+  p.mapping = {
+      {Defect::NoMatchingDnskeyForDs, EdeCode::DnssecBogus},
+      {Defect::KskNoZoneKeyBit, EdeCode::DnssecBogus},
+      {Defect::DsDigestMismatch, EdeCode::DnssecBogus},
+      {Defect::DsUnassignedKeyAlgorithm, EdeCode::Other},
+      {Defect::DsReservedKeyAlgorithm, EdeCode::Other},
+      {Defect::DsUnknownDigestType, EdeCode::Other},
+      {Defect::ZoneAlgorithmUnsupported, EdeCode::Other},
+      {Defect::DnskeyRrsigMissing, EdeCode::RrsigsMissing},
+      {Defect::DnskeyNotSignedByKsk, EdeCode::DnssecBogus},
+      {Defect::DnskeyKskSigInvalid, EdeCode::DnssecBogus},
+      {Defect::DnskeyRrsigInvalid, EdeCode::DnssecBogus},
+      {Defect::DnskeyRrsigExpired, EdeCode::SignatureExpired},
+      {Defect::DnskeyRrsigNotYetValid, EdeCode::SignatureNotYetValid},
+      {Defect::DnskeyRrsigExpiredBeforeValid, EdeCode::SignatureExpired},
+      {Defect::NoZoneKeysAtAll, EdeCode::RrsigsMissing},
+      {Defect::AnswerRrsigMissing, EdeCode::RrsigsMissing},
+      {Defect::AnswerRrsigInvalid, EdeCode::DnssecBogus},
+      {Defect::AnswerSigKeyMissing, EdeCode::DnssecBogus},
+      {Defect::ZskNoZoneKeyBit, EdeCode::DnssecBogus},
+      {Defect::ZskAlgorithmMismatch, EdeCode::DnssecBogus},
+      {Defect::ZskUnassignedAlgorithm, EdeCode::DnssecBogus},
+      {Defect::ZskReservedAlgorithm, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3RecordsMissing, EdeCode::NsecMissing},
+      {Defect::DenialNsec3NoMatchingHash, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3BadNextOwner, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3SigInvalid, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3SigMissing, EdeCode::RrsigsMissing},
+      {Defect::DenialParamMissing, EdeCode::RrsigsMissing},
+      {Defect::DenialSaltMismatch, EdeCode::NsecMissing},
+      {Defect::DenialAllMissing, EdeCode::RrsigsMissing},
+      {Defect::InsecureReferralProofFailed, EdeCode::NsecMissing},
+      {Defect::StaleAnswerServed, EdeCode::StaleAnswer},
+  };
+  p.fixed_extra_text = {
+      {Defect::ZoneAlgorithmUnsupported, "LSLC: unsupported digest/key"},
+      {Defect::DsUnassignedKeyAlgorithm, "LSLC: unsupported digest/key"},
+      {Defect::DsReservedKeyAlgorithm, "LSLC: unsupported digest/key"},
+      {Defect::DsUnknownDigestType, "LSLC: unsupported digest/key"},
+  };
+  return p;
+}
+
+ResolverProfile profile_cloudflare() {
+  // Cloudflare DNS: the most specific implementation in the paper — the
+  // only tested system emitting the connectivity codes (22/23), the
+  // unsupported-algorithm codes (1/2) and Invalid Data (24), and the only
+  // one that does not support Ed448 (so ed448 zones yield EDE 1).
+  ResolverProfile p;
+  p.vendor = Vendor::Cloudflare;
+  p.name = "Cloudflare DNS";
+  p.source = sim::NodeAddress::of("1.1.1.1");
+  p.emit_extra_text = true;
+  p.validator.supported_algorithms = {5, 7, 8, 10, 13, 14, 15};  // no Ed448
+  p.mapping = {
+      {Defect::NoMatchingDnskeyForDs, EdeCode::DnskeyMissing},
+      {Defect::KskNoZoneKeyBit, EdeCode::DnskeyMissing},
+      {Defect::DsDigestMismatch, EdeCode::DnssecBogus},
+      {Defect::DsUnassignedKeyAlgorithm, EdeCode::DnskeyMissing},
+      {Defect::DsReservedKeyAlgorithm, EdeCode::UnsupportedDnskeyAlgorithm},
+      {Defect::DsUnknownDigestType, EdeCode::UnsupportedDsDigestType},
+      {Defect::DsUnsupportedDigestType, EdeCode::UnsupportedDsDigestType},
+      {Defect::ZoneAlgorithmUnsupported,
+       EdeCode::UnsupportedDnskeyAlgorithm},
+      {Defect::DnskeyRrsigMissing, EdeCode::RrsigsMissing},
+      {Defect::DnskeyNotSignedByKsk, EdeCode::RrsigsMissing},
+      {Defect::DnskeyKskSigInvalid, EdeCode::DnssecBogus},
+      {Defect::DnskeyRrsigInvalid, EdeCode::DnssecBogus},
+      {Defect::DnskeyRrsigExpired, EdeCode::SignatureExpired},
+      {Defect::DnskeyRrsigNotYetValid, EdeCode::SignatureNotYetValid},
+      {Defect::DnskeyRrsigExpiredBeforeValid, EdeCode::RrsigsMissing},
+      {Defect::NoZoneKeysAtAll, EdeCode::DnskeyMissing},
+      {Defect::StandbyKeyNotSigned, EdeCode::RrsigsMissing},
+      {Defect::AnswerRrsigMissing, EdeCode::RrsigsMissing},
+      {Defect::AnswerRrsigExpired, EdeCode::SignatureExpired},
+      {Defect::AnswerRrsigNotYetValid, EdeCode::SignatureNotYetValid},
+      {Defect::AnswerRrsigExpiredBeforeValid, EdeCode::SignatureExpired},
+      {Defect::AnswerRrsigInvalid, EdeCode::DnssecBogus},
+      {Defect::AnswerSigKeyMissing, EdeCode::DnssecBogus},
+      {Defect::ZskNoZoneKeyBit, EdeCode::DnssecBogus},
+      {Defect::ZskAlgorithmMismatch, EdeCode::DnssecBogus},
+      {Defect::ZskUnassignedAlgorithm, EdeCode::DnssecBogus},
+      {Defect::ZskReservedAlgorithm, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3RecordsMissing, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3NoMatchingHash, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3BadNextOwner, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3SigInvalid, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3SigMissing, EdeCode::DnssecBogus},
+      {Defect::DenialParamMissing, EdeCode::RrsigsMissing},
+      {Defect::DenialSaltMismatch, EdeCode::DnssecBogus},
+      {Defect::DenialAllMissing, EdeCode::RrsigsMissing},
+      {Defect::InsecureReferralProofFailed, EdeCode::NsecMissing},
+      // Transport / connectivity (unique to Cloudflare in Table 4)
+      {Defect::AllServersUnreachable, EdeCode::NoReachableAuthority},
+      {Defect::ServerRefused, EdeCode::NetworkError},
+      {Defect::ServerServfail, EdeCode::NetworkError},
+      {Defect::ServerTimeout, EdeCode::NetworkError},
+      {Defect::DnskeyFetchFailed, EdeCode::DnskeyMissing},
+      {Defect::MismatchedQuestion, EdeCode::InvalidData},
+      {Defect::IterationLimitExceeded, EdeCode::Other},
+      // Cache
+      {Defect::StaleAnswerServed, EdeCode::StaleAnswer},
+      {Defect::StaleNxdomainServed, EdeCode::StaleNxdomainAnswer},
+      {Defect::CachedServfail, EdeCode::CachedError},
+  };
+  p.fixed_extra_text = {
+      {Defect::IterationLimitExceeded, "iteration limit exceeded"},
+  };
+  return p;
+}
+
+ResolverProfile profile_quad9() {
+  // Quad9: DNSSEC-validating with a partially wired EDE surface — strong
+  // on key-chain defects (9), silent on several NSEC3 cases, and no
+  // connectivity codes.
+  ResolverProfile p;
+  p.vendor = Vendor::Quad9;
+  p.name = "Quad9";
+  p.source = sim::NodeAddress::of("9.9.9.9");
+  p.mapping = {
+      {Defect::NoMatchingDnskeyForDs, EdeCode::DnskeyMissing},
+      {Defect::KskNoZoneKeyBit, EdeCode::DnskeyMissing},
+      {Defect::DsDigestMismatch, EdeCode::DnskeyMissing},
+      {Defect::DnskeyRrsigMissing, EdeCode::DnskeyMissing},
+      {Defect::DnskeyNotSignedByKsk, EdeCode::DnskeyMissing},
+      {Defect::DnskeyKskSigInvalid, EdeCode::DnssecBogus},
+      {Defect::DnskeyRrsigInvalid, EdeCode::DnskeyMissing},
+      {Defect::DnskeyRrsigExpired, EdeCode::SignatureExpired},
+      {Defect::DnskeyRrsigNotYetValid, EdeCode::DnskeyMissing},
+      {Defect::DnskeyRrsigExpiredBeforeValid, EdeCode::DnskeyMissing},
+      {Defect::NoZoneKeysAtAll, EdeCode::RrsigsMissing},
+      {Defect::AnswerRrsigMissing, EdeCode::RrsigsMissing},
+      {Defect::AnswerRrsigExpired, EdeCode::DnssecBogus},
+      {Defect::AnswerRrsigNotYetValid, EdeCode::SignatureNotYetValid},
+      {Defect::AnswerRrsigExpiredBeforeValid, EdeCode::SignatureExpired},
+      {Defect::AnswerRrsigInvalid, EdeCode::DnssecBogus},
+      {Defect::AnswerSigKeyMissing, EdeCode::DnskeyMissing},
+      {Defect::ZskNoZoneKeyBit, EdeCode::DnskeyMissing},
+      {Defect::ZskAlgorithmMismatch, EdeCode::DnssecBogus},
+      {Defect::ZskUnassignedAlgorithm, EdeCode::DnskeyMissing},
+      {Defect::ZskReservedAlgorithm, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3NoMatchingHash, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3BadNextOwner, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3SigMissing, EdeCode::DnskeyMissing},
+      {Defect::DenialParamMissing, EdeCode::DnskeyMissing},
+      {Defect::DenialSaltMismatch, EdeCode::DnskeyMissing},
+      {Defect::DenialAllMissing, EdeCode::RrsigsMissing},
+  };
+  return p;
+}
+
+ResolverProfile profile_opendns() {
+  // OpenDNS: collapses almost every DNSSEC defect to the generic Bogus (6)
+  // or NSEC Missing (12), and — uniquely, and flagged by the paper as
+  // unexpected — maps refused/filtered authorities to Prohibited (18).
+  ResolverProfile p;
+  p.vendor = Vendor::OpenDns;
+  p.name = "OpenDNS";
+  p.source = sim::NodeAddress::of("208.67.222.222");
+  p.mapping = {
+      {Defect::NoMatchingDnskeyForDs, EdeCode::DnssecBogus},
+      {Defect::KskNoZoneKeyBit, EdeCode::DnssecBogus},
+      {Defect::DsDigestMismatch, EdeCode::DnssecBogus},
+      {Defect::DsUnassignedKeyAlgorithm, EdeCode::DnssecBogus},
+      {Defect::DsReservedKeyAlgorithm, EdeCode::DnssecBogus},
+      {Defect::DnskeyRrsigMissing, EdeCode::DnssecBogus},
+      {Defect::DnskeyNotSignedByKsk, EdeCode::DnssecBogus},
+      {Defect::DnskeyKskSigInvalid, EdeCode::DnssecBogus},
+      {Defect::DnskeyRrsigInvalid, EdeCode::DnssecBogus},
+      {Defect::DnskeyRrsigExpired, EdeCode::DnssecBogus},
+      {Defect::DnskeyRrsigNotYetValid, EdeCode::DnssecBogus},
+      {Defect::DnskeyRrsigExpiredBeforeValid, EdeCode::DnssecBogus},
+      {Defect::NoZoneKeysAtAll, EdeCode::DnssecBogus},
+      {Defect::AnswerRrsigExpired, EdeCode::SignatureExpired},
+      {Defect::AnswerRrsigNotYetValid, EdeCode::SignatureNotYetValid},
+      {Defect::AnswerRrsigExpiredBeforeValid, EdeCode::SignatureExpired},
+      {Defect::AnswerRrsigInvalid, EdeCode::DnssecBogus},
+      {Defect::AnswerSigKeyMissing, EdeCode::DnssecBogus},
+      {Defect::ZskNoZoneKeyBit, EdeCode::DnssecBogus},
+      {Defect::ZskAlgorithmMismatch, EdeCode::DnssecBogus},
+      {Defect::ZskUnassignedAlgorithm, EdeCode::DnssecBogus},
+      {Defect::ZskReservedAlgorithm, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3RecordsMissing, EdeCode::NsecMissing},
+      {Defect::DenialNsec3NoMatchingHash, EdeCode::NsecMissing},
+      {Defect::DenialNsec3BadNextOwner, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3SigInvalid, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3SigMissing, EdeCode::NsecMissing},
+      {Defect::DenialParamMissing, EdeCode::DnssecBogus},
+      {Defect::DenialSaltMismatch, EdeCode::NsecMissing},
+      {Defect::DenialAllMissing, EdeCode::DnssecBogus},
+      {Defect::InsecureReferralProofFailed, EdeCode::NsecMissing},
+      {Defect::ServerRefused, EdeCode::Prohibited},
+  };
+  return p;
+}
+
+ResolverProfile profile_reference() {
+  ResolverProfile p;
+  p.vendor = Vendor::Cloudflare;  // closest observed system; name differs
+  p.name = "Reference (ideal RFC 8914)";
+  p.source = sim::NodeAddress::of("198.51.200.9");
+  p.emit_extra_text = true;
+  p.mapping = {
+      // DS stage — the most specific registered code per defect.
+      {Defect::NoMatchingDnskeyForDs, EdeCode::DnskeyMissing},
+      {Defect::KskNoZoneKeyBit, EdeCode::NoZoneKeyBitSet},
+      {Defect::DsDigestMismatch, EdeCode::DnssecBogus},
+      {Defect::DsUnassignedKeyAlgorithm, EdeCode::UnsupportedDnskeyAlgorithm},
+      {Defect::DsReservedKeyAlgorithm, EdeCode::UnsupportedDnskeyAlgorithm},
+      {Defect::DsUnknownDigestType, EdeCode::UnsupportedDsDigestType},
+      {Defect::DsUnsupportedDigestType, EdeCode::UnsupportedDsDigestType},
+      {Defect::ZoneAlgorithmUnsupported, EdeCode::UnsupportedDnskeyAlgorithm},
+      // DNSKEY trust stage.
+      {Defect::DnskeyRrsigMissing, EdeCode::RrsigsMissing},
+      {Defect::DnskeyNotSignedByKsk, EdeCode::RrsigsMissing},
+      {Defect::DnskeyKskSigInvalid, EdeCode::DnssecBogus},
+      {Defect::DnskeyRrsigInvalid, EdeCode::DnssecBogus},
+      {Defect::DnskeyRrsigExpired, EdeCode::SignatureExpired},
+      {Defect::DnskeyRrsigNotYetValid, EdeCode::SignatureNotYetValid},
+      {Defect::DnskeyRrsigExpiredBeforeValid,
+       EdeCode::SignatureExpiredBeforeValid},
+      {Defect::NoZoneKeysAtAll, EdeCode::NoZoneKeyBitSet},
+      {Defect::StandbyKeyNotSigned, EdeCode::RrsigsMissing},
+      // Answer stage.
+      {Defect::AnswerRrsigMissing, EdeCode::RrsigsMissing},
+      {Defect::AnswerRrsigExpired, EdeCode::SignatureExpired},
+      {Defect::AnswerRrsigNotYetValid, EdeCode::SignatureNotYetValid},
+      {Defect::AnswerRrsigExpiredBeforeValid,
+       EdeCode::SignatureExpiredBeforeValid},
+      {Defect::AnswerRrsigInvalid, EdeCode::DnssecBogus},
+      {Defect::AnswerSigKeyMissing, EdeCode::DnskeyMissing},
+      {Defect::ZskNoZoneKeyBit, EdeCode::NoZoneKeyBitSet},
+      {Defect::ZskAlgorithmMismatch, EdeCode::DnskeyMissing},
+      {Defect::ZskUnassignedAlgorithm, EdeCode::UnsupportedDnskeyAlgorithm},
+      {Defect::ZskReservedAlgorithm, EdeCode::UnsupportedDnskeyAlgorithm},
+      // Denial stage.
+      {Defect::DenialNsec3RecordsMissing, EdeCode::NsecMissing},
+      {Defect::DenialNsec3NoMatchingHash, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3BadNextOwner, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3SigInvalid, EdeCode::DnssecBogus},
+      {Defect::DenialNsec3SigMissing, EdeCode::RrsigsMissing},
+      {Defect::DenialParamMissing, EdeCode::RrsigsMissing},
+      {Defect::DenialSaltMismatch, EdeCode::DnssecBogus},
+      {Defect::DenialAllMissing, EdeCode::RrsigsMissing},
+      {Defect::InsecureReferralProofFailed, EdeCode::NsecMissing},
+      {Defect::Nsec3IterationsTooHigh, EdeCode::UnsupportedNsec3IterValue},
+      // Transport.
+      {Defect::AllServersUnreachable, EdeCode::NoReachableAuthority},
+      {Defect::ServerRefused, EdeCode::NetworkError},
+      {Defect::ServerServfail, EdeCode::NetworkError},
+      {Defect::ServerTimeout, EdeCode::NetworkError},
+      {Defect::ServerNotAuth, EdeCode::NotAuthoritative},
+      {Defect::DnskeyFetchFailed, EdeCode::DnskeyMissing},
+      {Defect::MismatchedQuestion, EdeCode::InvalidData},
+      {Defect::IterationLimitExceeded, EdeCode::Other},
+      // Cache.
+      {Defect::StaleAnswerServed, EdeCode::StaleAnswer},
+      {Defect::StaleNxdomainServed, EdeCode::StaleNxdomainAnswer},
+      {Defect::CachedServfail, EdeCode::CachedError},
+      // Policy.
+      {Defect::QueryBlocked, EdeCode::Blocked},
+      {Defect::QueryCensored, EdeCode::Censored},
+      {Defect::QueryFiltered, EdeCode::Filtered},
+      {Defect::QueryProhibited, EdeCode::Prohibited},
+      // Aggressive NSEC caching (RFC 8198).
+      {Defect::AnswerSynthesized, EdeCode::Synthesized},
+  };
+  return p;
+}
+
+std::vector<ResolverProfile> all_profiles() {
+  return {profile_bind(),  profile_unbound(), profile_powerdns(),
+          profile_knot(),  profile_cloudflare(), profile_quad9(),
+          profile_opendns()};
+}
+
+}  // namespace ede::resolver

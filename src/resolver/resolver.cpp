@@ -1,0 +1,757 @@
+#include "resolver/resolver.hpp"
+
+#include <algorithm>
+
+#include "crypto/encoding.hpp"
+#include "dnssec/nsec3.hpp"
+#include "edns/edns.hpp"
+#include "edns/report_channel.hpp"
+
+namespace ede::resolver {
+
+using dnssec::Defect;
+using dnssec::Finding;
+using dnssec::Security;
+using dnssec::Stage;
+
+namespace {
+
+constexpr std::uint32_t kDefaultNegativeTtl = 300;
+
+void add_finding(std::vector<Finding>& findings, Stage stage, Defect defect,
+                 std::string detail = {}) {
+  Finding f{stage, defect, std::move(detail)};
+  if (std::find(findings.begin(), findings.end(), f) == findings.end())
+    findings.push_back(std::move(f));
+}
+
+/// The NS owner in the authority section when the response is a referral
+/// below `zone` towards `qname`.
+std::optional<dns::Name> referral_child(const dns::Message& response,
+                                        const dns::Name& zone,
+                                        const dns::Name& qname) {
+  if (response.header.rcode != dns::RCode::NOERROR) return std::nullopt;
+  if (!response.answer.empty()) return std::nullopt;
+  if (response.header.aa) return std::nullopt;
+  for (const auto& rr : response.authority) {
+    if (rr.type != dns::RRType::NS) continue;
+    if (!rr.name.is_subdomain_of(zone)) continue;
+    if (rr.name == zone) continue;
+    if (!qname.is_subdomain_of(rr.name)) continue;
+    return rr.name;
+  }
+  return std::nullopt;
+}
+
+std::vector<dns::Name> ns_targets(const dns::Message& response,
+                                  const dns::Name& child) {
+  std::vector<dns::Name> out;
+  for (const auto& rr : response.authority) {
+    if (rr.type != dns::RRType::NS || !(rr.name == child)) continue;
+    if (const auto* ns = std::get_if<dns::NsRdata>(&rr.rdata))
+      out.push_back(ns->nsdname);
+  }
+  return out;
+}
+
+std::vector<sim::NodeAddress> glue_addresses(
+    const dns::Message& response, const std::vector<dns::Name>& targets) {
+  std::vector<sim::NodeAddress> out;
+  for (const auto& target : targets) {
+    for (const auto& rr : response.additional) {
+      if (!(rr.name == target)) continue;
+      if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
+        out.emplace_back(a->address);
+      } else if (const auto* aaaa = std::get_if<dns::AaaaRdata>(&rr.rdata)) {
+        out.emplace_back(aaaa->address);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<dns::RrsigRdata> collect_sigs(
+    const std::vector<dns::ResourceRecord>& section) {
+  std::vector<dns::RrsigRdata> out;
+  for (const auto& rr : section) {
+    if (const auto* sig = std::get_if<dns::RrsigRdata>(&rr.rdata))
+      out.push_back(*sig);
+  }
+  return out;
+}
+
+std::vector<dns::DnskeyRdata> collect_keys(const dns::RRset* rrset) {
+  std::vector<dns::DnskeyRdata> out;
+  if (rrset == nullptr) return out;
+  for (const auto& rd : rrset->rdatas) {
+    if (const auto* key = std::get_if<dns::DnskeyRdata>(&rd))
+      out.push_back(*key);
+  }
+  return out;
+}
+
+/// Negative-caching TTL from the SOA minimum (RFC 2308).
+std::uint32_t negative_ttl(const dns::Message& response) {
+  for (const auto& rr : response.authority) {
+    if (const auto* soa = std::get_if<dns::SoaRdata>(&rr.rdata))
+      return std::min(soa->minimum, rr.ttl);
+  }
+  return kDefaultNegativeTtl;
+}
+
+}  // namespace
+
+RecursiveResolver::RecursiveResolver(std::shared_ptr<sim::Network> network,
+                                     ResolverProfile profile,
+                                     std::vector<sim::NodeAddress> root_servers,
+                                     dns::DnskeyRdata trust_anchor,
+                                     ResolverOptions options)
+    : network_(std::move(network)),
+      profile_(std::move(profile)),
+      root_servers_(std::move(root_servers)),
+      trust_anchor_(std::move(trust_anchor)),
+      options_(options),
+      cache_(options.cache) {}
+
+void RecursiveResolver::flush() {
+  cache_.clear();
+  zone_cache_.clear();
+  denial_cache_.clear();
+  reports_sent_.clear();
+  root_keys_.reset();
+  root_trust_ok_ = false;
+}
+
+RecursiveResolver::QueryResult RecursiveResolver::query_servers(
+    const std::vector<sim::NodeAddress>& servers, const dns::Name& qname,
+    dns::RRType qtype) {
+  QueryResult result;
+  const std::string query_desc =
+      qname.to_string() + " " + dns::to_string(qtype);
+
+  std::optional<dns::Message> first_response;
+  for (const auto& server : servers) {
+    std::optional<dns::Message> received;
+    std::uint16_t payload_size = 1232;
+    // Up to three attempts per server: one retransmission after a timeout
+    // (all real resolvers retry) plus one TC-triggered "TCP" retry.
+    for (int attempt = 0; attempt < 3 && !received.has_value(); ++attempt) {
+      dns::Message query = dns::make_query(next_id_++, qname, qtype,
+                                           /*recursion_desired=*/false);
+      edns::Edns edns;
+      edns.dnssec_ok = true;
+      edns.udp_payload_size = payload_size;
+      edns::set_edns(query, edns);
+
+      ++result.queries;
+      const auto sent =
+          network_->send(profile_.source, server, query.serialize());
+      if (sent.status == sim::SendStatus::Unreachable) {
+        // Special-purpose or otherwise unroutable address: nothing was
+        // ever going to arrive. No per-server finding — the aggregate
+        // AllServersUnreachable is added by the caller on total failure.
+        break;
+      }
+      if (sent.status == sim::SendStatus::Timeout) {
+        add_finding(result.findings, Stage::Transport, Defect::ServerTimeout,
+                    server.to_string() + ":53 timed out for " + query_desc);
+        if (attempt == 0) continue;  // one retransmission
+        break;
+      }
+
+      auto parsed = dns::Message::parse(sent.response);
+      if (!parsed) {
+        add_finding(result.findings, Stage::Transport, Defect::ServerTimeout,
+                    server.to_string() +
+                        ":53 sent an unparsable response for " + query_desc);
+        break;
+      }
+      if (parsed.value().header.id != query.header.id) break;
+      if (parsed.value().header.tc && attempt == 0) {
+        // Truncated: retry "over TCP", modelled as a maximum-size EDNS
+        // advertisement on the lossless simulated transport.
+        payload_size = 0xffff;
+        continue;
+      }
+      received = std::move(parsed).take();
+    }
+    if (!received.has_value()) continue;
+    dns::Message response = std::move(*received);
+    if (response.question.size() != 1 ||
+        !(response.question.front().qname == qname) ||
+        response.question.front().qtype != qtype) {
+      add_finding(result.findings, Stage::Transport, Defect::MismatchedQuestion,
+                  "Mismatched question from the authoritative server " +
+                      server.to_string());
+      continue;
+    }
+
+    switch (response.header.rcode) {
+      case dns::RCode::REFUSED:
+        add_finding(result.findings, Stage::Transport, Defect::ServerRefused,
+                    server.to_string() + ":53 rcode=REFUSED for " +
+                        query_desc);
+        continue;
+      case dns::RCode::SERVFAIL:
+        add_finding(result.findings, Stage::Transport, Defect::ServerServfail,
+                    server.to_string() + ":53 rcode=SERVFAIL for " +
+                        query_desc);
+        continue;
+      case dns::RCode::NOTAUTH:
+        add_finding(result.findings, Stage::Transport, Defect::ServerNotAuth,
+                    server.to_string() + ":53 rcode=NOTAUTH for " +
+                        query_desc);
+        continue;
+      default:
+        break;
+    }
+
+    // EDNS-unaware authority: we sent an OPT, none came back (the paper's
+    // §4.2.6 notes such servers behind its Invalid Data category). The
+    // response is still usable — but without EDNS there are no RRSIGs, so
+    // signed zones will fail validation downstream, as in reality.
+    if (response.find_opt() == nullptr) {
+      add_finding(result.findings, Stage::Transport, Defect::NoOptInResponse,
+                  server.to_string() + ":53 ignored EDNS for " + query_desc);
+    }
+
+    // Remember an advertised RFC 9567 reporting agent.
+    if (auto agent = edns::get_report_channel(response)) {
+      result.report_agent = std::move(agent);
+    }
+
+    if (!options_.exhaustive_ns_probing) {
+      result.response = std::move(response);
+      return result;
+    }
+    if (!first_response) first_response = std::move(response);
+  }
+  result.response = std::move(first_response);
+  return result;
+}
+
+bool RecursiveResolver::ensure_root_trust(
+    std::vector<Finding>& findings) {
+  if (root_keys_.has_value()) return root_trust_ok_;
+
+  auto qr = query_servers(root_servers_, dns::Name{}, dns::RRType::DNSKEY);
+  for (auto& f : qr.findings) findings.push_back(std::move(f));
+  if (!qr.response) {
+    add_finding(findings, Stage::Transport, Defect::AllServersUnreachable,
+                "no root server reachable");
+    root_keys_.emplace();
+    root_trust_ok_ = false;
+    return false;
+  }
+
+  const auto rrsets = dns::group_rrsets(qr.response->answer);
+  const dns::RRset* dnskey_rrset = nullptr;
+  for (const auto& set : rrsets) {
+    if (set.type == dns::RRType::DNSKEY) dnskey_rrset = &set;
+  }
+  const auto sigs = collect_sigs(qr.response->answer);
+  const auto trust = dnssec::validate_zone_keys_with_anchor(
+      dns::Name{}, trust_anchor_, dnskey_rrset, sigs,
+      network_->clock().now(), profile_.validator);
+  for (const auto& f : trust.findings) findings.push_back(f);
+  root_keys_ = collect_keys(dnskey_rrset);
+  root_trust_ok_ = trust.security == Security::Secure;
+  return root_trust_ok_;
+}
+
+std::vector<sim::NodeAddress> RecursiveResolver::resolve_ns_addresses(
+    const std::vector<dns::Name>& ns_names, int depth,
+    std::vector<Finding>& findings, int& upstream_queries) {
+  std::vector<sim::NodeAddress> out;
+  if (depth >= options_.max_ns_resolution_depth) return out;
+  for (const auto& ns : ns_names) {
+    auto sub = resolve_internal(ns, dns::RRType::A, depth + 1);
+    upstream_queries += sub.upstream_queries;
+    // Only transport problems of the nameserver resolution are relevant to
+    // the original query's diagnosis (the paper's "unreachable DNS
+    // provider" cases).
+    for (const auto& f : sub.findings) {
+      if (f.stage == Stage::Transport) {
+        if (std::find(findings.begin(), findings.end(), f) == findings.end())
+          findings.push_back(f);
+      }
+    }
+    for (const auto& rr : sub.response.answer) {
+      if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata))
+        out.emplace_back(a->address);
+    }
+  }
+  return out;
+}
+
+Outcome RecursiveResolver::resolve(const dns::Name& qname, dns::RRType qtype) {
+  Outcome outcome = resolve_internal(qname, qtype, 0);
+  annotate(outcome);
+
+  // RFC 9567 DNS Error Reporting: fire-and-forget a report query for the
+  // first emitted error when the failing zone's authority offered an
+  // agent. The report travels as a plain resolution (so it benefits from
+  // and is rate-limited by the cache); report resolutions themselves never
+  // generate further reports.
+  if (options_.enable_error_reporting && outcome.report_agent.has_value() &&
+      !outcome.errors.empty()) {
+    const auto report_qname =
+        edns::make_report_qname(qname, qtype, outcome.errors.front().code,
+                                *outcome.report_agent);
+    if (report_qname.has_value()) {
+      const std::string key = report_qname->to_string();
+      if (reports_sent_.insert(key).second) {
+        auto report = resolve_internal(*report_qname, dns::RRType::TXT, 1);
+        outcome.upstream_queries += report.upstream_queries;
+        outcome.report_sent = *report_qname;
+      }
+    }
+  }
+  return outcome;
+}
+
+Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
+                                            dns::RRType qtype, int depth) {
+  Outcome outcome;
+  outcome.response = dns::make_query(next_id_++, qname, qtype);
+  outcome.response.header.qr = true;
+  outcome.response.header.ra = true;
+  const sim::SimTime now = network_->clock().now();
+
+  const auto finish = [&](dns::RCode rcode, Security security) -> Outcome {
+    outcome.rcode = rcode;
+    outcome.security = security;
+    outcome.response.header.rcode = rcode;
+    outcome.response.header.ad = (security == Security::Secure);
+    return std::move(outcome);
+  };
+
+  // --- local response policy (RPZ-style, EDE 15/16/17) -----------------
+  for (const auto& rule : options_.policy) {
+    if (!qname.is_subdomain_of(rule.suffix)) continue;
+    const Defect defect = rule.action == PolicyAction::Block
+                              ? Defect::QueryBlocked
+                          : rule.action == PolicyAction::Censor
+                              ? Defect::QueryCensored
+                              : Defect::QueryFiltered;
+    add_finding(outcome.findings, Stage::Policy, defect,
+                rule.reason.empty() ? "blocked by local policy"
+                                    : rule.reason);
+    return finish(dns::RCode::NXDOMAIN, Security::Indeterminate);
+  }
+
+  // --- cache lookups ---------------------------------------------------
+  if (const auto* sf = cache_.get_servfail(qname, qtype, now)) {
+    for (const auto& f : sf->findings) outcome.findings.push_back(f);
+    add_finding(outcome.findings, Stage::Cache, Defect::CachedServfail,
+                "SERVFAIL served from cache for " + qname.to_string());
+    return finish(dns::RCode::SERVFAIL, Security::Indeterminate);
+  }
+  if (const auto* pos = cache_.get_positive(qname, qtype, now)) {
+    for (auto& rr : pos->rrset.to_records())
+      outcome.response.answer.push_back(std::move(rr));
+    for (const auto& sig : pos->signatures) {
+      outcome.response.answer.push_back({qname, dns::RRType::RRSIG,
+                                         dns::RRClass::IN, pos->rrset.ttl,
+                                         dns::Rdata{sig}});
+    }
+    return finish(dns::RCode::NOERROR, pos->security);
+  }
+  if (const auto* neg = cache_.get_negative(qname, qtype, now)) {
+    return finish(neg->nxdomain ? dns::RCode::NXDOMAIN : dns::RCode::NOERROR,
+                  neg->security);
+  }
+  if (options_.aggressive_nsec_caching) {
+    for (const auto& [zone, ranges] : denial_cache_) {
+      if (!qname.is_subdomain_of(zone)) continue;
+      for (const auto& range : ranges) {
+        if (range.expires < now) continue;
+        const auto hash = dnssec::nsec3_hash(
+            qname, crypto::BytesView{range.salt}, range.iterations);
+        if (dnssec::nsec3_covers(range.owner_hash, range.next_hash, hash)) {
+          add_finding(outcome.findings, Stage::Cache,
+                      Defect::AnswerSynthesized,
+                      "NXDOMAIN synthesized from a cached NSEC3 range in " +
+                          zone.to_string());
+          return finish(dns::RCode::NXDOMAIN, Security::Secure);
+        }
+      }
+    }
+  }
+
+  // --- total-failure path (shared by several exits) ---------------------
+  const auto fail_with_stale = [&]() -> Outcome {
+    add_finding(outcome.findings, Stage::Transport,
+                Defect::AllServersUnreachable,
+                "no authoritative server produced an answer for " +
+                    qname.to_string());
+    if (options_.serve_stale) {
+      if (const auto* stale = cache_.get_stale_positive(qname, qtype, now)) {
+        add_finding(outcome.findings, Stage::Cache, Defect::StaleAnswerServed,
+                    "answer served from cache past TTL expiry");
+        for (auto& rr : stale->rrset.to_records())
+          outcome.response.answer.push_back(std::move(rr));
+        return finish(dns::RCode::NOERROR, stale->security);
+      }
+      if (const auto* stale = cache_.get_stale_negative(qname, qtype, now)) {
+        if (stale->nxdomain) {
+          add_finding(outcome.findings, Stage::Cache,
+                      Defect::StaleNxdomainServed,
+                      "NXDOMAIN served from cache past TTL expiry");
+          return finish(dns::RCode::NXDOMAIN, stale->security);
+        }
+      }
+    }
+    cache_.put_servfail(qname, qtype,
+                        {outcome.findings,
+                         now + cache_.options().servfail_ttl});
+    return finish(dns::RCode::SERVFAIL, Security::Indeterminate);
+  };
+
+  const auto fail_bogus = [&]() -> Outcome {
+    cache_.put_servfail(qname, qtype,
+                        {outcome.findings,
+                         now + cache_.options().servfail_ttl});
+    return finish(dns::RCode::SERVFAIL, Security::Bogus);
+  };
+
+  // --- establish the root context ---------------------------------------
+  const bool root_secure = ensure_root_trust(outcome.findings);
+  if (!root_secure) {
+    // With a configured trust anchor, an unvalidatable root is fatal:
+    // either the root servers were unreachable or their keys were bogus.
+    if (root_keys_->empty()) return fail_with_stale();
+    return fail_bogus();
+  }
+
+  dns::Name current_zone;  // "."
+  std::vector<sim::NodeAddress> servers = root_servers_;
+  std::vector<dns::DnskeyRdata> zone_keys = *root_keys_;
+  bool secure = root_secure;
+
+  // Seed the descent from the deepest cached zone context (infrastructure
+  // caching): the healthy upper levels are only walked once per TTL.
+  const auto seed_context = [&](const dns::Name& name) {
+    if (!cache_.options().enabled) return;
+    dns::Name probe = name;
+    while (true) {
+      const auto it = zone_cache_.find(probe);
+      if (it != zone_cache_.end() && it->second.expires >= now) {
+        current_zone = probe;
+        servers = it->second.servers;
+        zone_keys = it->second.keys;
+        secure = it->second.secure;
+        return;
+      }
+      if (probe.is_root()) return;
+      probe = probe.parent();
+    }
+  };
+
+  dns::Name target = qname;
+  seed_context(target);
+  int cname_hops = 0;
+  // QNAME minimization state: how many labels of `target` the next query
+  // may reveal (RFC 9156: one more than the zone we are asking).
+  std::size_t min_labels = current_zone.label_count() + 1;
+
+  const auto minimized_suffix = [](const dns::Name& name,
+                                   std::size_t labels) {
+    if (labels >= name.label_count()) return name;
+    const auto& all = name.labels();
+    return dns::Name::from_labels(
+               {all.end() - static_cast<std::ptrdiff_t>(labels), all.end()})
+        .take();
+  };
+
+  for (int hop = 0; hop < options_.max_referrals; ++hop) {
+    dns::Name query_name = target;
+    dns::RRType query_type = qtype;
+    if (options_.qname_minimization) {
+      query_name = minimized_suffix(target, min_labels);
+      if (!(query_name == target)) query_type = dns::RRType::NS;
+    }
+
+    auto qr = query_servers(servers, query_name, query_type);
+    outcome.upstream_queries += qr.queries;
+    outcome.trace.push_back({current_zone, query_name, query_type, ""});
+    auto& step = outcome.trace.back();
+    if (qr.report_agent.has_value()) outcome.report_agent = qr.report_agent;
+    for (auto& f : qr.findings) {
+      if (std::find(outcome.findings.begin(), outcome.findings.end(), f) ==
+          outcome.findings.end())
+        outcome.findings.push_back(std::move(f));
+    }
+    if (!qr.response) {
+      step.note = "no usable response from any server";
+      return fail_with_stale();
+    }
+    dns::Message response = std::move(*qr.response);
+
+    // ----- minimized intermediate answers --------------------------------
+    if (options_.qname_minimization && !(query_name == target) &&
+        referral_child(response, current_zone, query_name) == std::nullopt) {
+      if (response.header.rcode == dns::RCode::NXDOMAIN) {
+        // An ancestor of the target does not exist, so the target cannot
+        // either (RFC 8020); validate the proof against the ancestor name.
+        Security security = Security::Insecure;
+        if (secure) {
+          const auto denial = dnssec::validate_negative_response(
+              query_name, query_type, current_zone,
+              dns::group_rrsets(response.authority), zone_keys, now,
+              profile_.validator);
+          for (const auto& f : denial.findings)
+            outcome.findings.push_back(f);
+          if (denial.security == Security::Bogus) return fail_bogus();
+          security = denial.security;
+        }
+        cache_.put_negative(query_name, query_type,
+                            {true, security, now + negative_ttl(response)});
+        outcome.response.authority = response.authority;
+        return finish(dns::RCode::NXDOMAIN, security);
+      }
+      // NOERROR (empty non-terminal or an in-zone node): reveal one more
+      // label and continue against the same zone.
+      ++min_labels;
+      continue;
+    }
+
+    // ----- referral ----------------------------------------------------
+    if (const auto child =
+            referral_child(response, current_zone, query_name)) {
+      const auto authority_sets = dns::group_rrsets(response.authority);
+      const auto authority_sigs = collect_sigs(response.authority);
+
+      const dns::RRset* ds_rrset = nullptr;
+      for (const auto& set : authority_sets) {
+        if (set.type == dns::RRType::DS && set.name == *child)
+          ds_rrset = &set;
+      }
+
+      bool child_secure = false;
+      std::vector<dns::DsRdata> ds_set;
+      if (secure) {
+        if (ds_rrset != nullptr) {
+          const auto ds_check = dnssec::validate_answer_rrset(
+              *ds_rrset, authority_sigs, current_zone, zone_keys, now,
+              profile_.validator);
+          if (ds_check.security != Security::Secure) {
+            for (const auto& f : ds_check.findings)
+              outcome.findings.push_back(f);
+            return fail_bogus();
+          }
+          for (const auto& rd : ds_rrset->rdatas) {
+            if (const auto* ds = std::get_if<dns::DsRdata>(&rd))
+              ds_set.push_back(*ds);
+          }
+          child_secure = true;  // provisional, pending DNSKEY validation
+        } else {
+          const auto absence = dnssec::validate_ds_absence(
+              *child, current_zone, authority_sets, zone_keys, now,
+              profile_.validator);
+          if (absence.security == Security::Bogus) {
+            for (const auto& f : absence.findings)
+              outcome.findings.push_back(f);
+            return fail_bogus();
+          }
+          child_secure = false;  // proven insecure delegation
+        }
+      }
+
+      // Server addresses: glue first, full resolution as fallback.
+      const auto targets = ns_targets(response, *child);
+      auto child_servers = glue_addresses(response, targets);
+      if (child_servers.empty()) {
+        child_servers = resolve_ns_addresses(targets, depth, outcome.findings,
+                                             outcome.upstream_queries);
+      }
+      if (child_servers.empty()) return fail_with_stale();
+
+      std::vector<dns::DnskeyRdata> child_keys;
+      if (child_secure) {
+        auto key_qr = query_servers(child_servers, *child,
+                                    dns::RRType::DNSKEY);
+        outcome.upstream_queries += key_qr.queries;
+        if (key_qr.report_agent.has_value())
+          outcome.report_agent = key_qr.report_agent;
+        for (auto& f : key_qr.findings) {
+          if (std::find(outcome.findings.begin(), outcome.findings.end(),
+                        f) == outcome.findings.end())
+            outcome.findings.push_back(std::move(f));
+        }
+        if (!key_qr.response) {
+          add_finding(outcome.findings, Stage::DnskeyTrust,
+                      Defect::DnskeyFetchFailed,
+                      "could not obtain the DNSKEY RRset for " +
+                          child->to_string());
+          return fail_with_stale();
+        }
+        const auto key_sets = dns::group_rrsets(key_qr.response->answer);
+        const dns::RRset* dnskey_rrset = nullptr;
+        for (const auto& set : key_sets) {
+          if (set.type == dns::RRType::DNSKEY && set.name == *child)
+            dnskey_rrset = &set;
+        }
+        const auto key_sigs = collect_sigs(key_qr.response->answer);
+        const auto trust = dnssec::validate_zone_keys(
+            *child, ds_set, dnskey_rrset, key_sigs, now, profile_.validator);
+        for (const auto& f : trust.findings) outcome.findings.push_back(f);
+        if (trust.security == Security::Bogus) return fail_bogus();
+        child_secure = trust.security == Security::Secure;
+        child_keys = collect_keys(dnskey_rrset);
+      }
+
+      step.note = "referral to " + child->to_string();
+      current_zone = *child;
+      min_labels = current_zone.label_count() + 1;
+      servers = std::move(child_servers);
+      zone_keys = std::move(child_keys);
+      secure = child_secure;
+      if (cache_.options().enabled) {
+        zone_cache_[current_zone] =
+            ZoneContext{servers, zone_keys, secure, now + 3600};
+      }
+      continue;
+    }
+
+    // ----- negative answer ----------------------------------------------
+    const bool nodata = response.header.rcode == dns::RCode::NOERROR &&
+                        response.answer.empty();
+    if (response.header.rcode == dns::RCode::NXDOMAIN || nodata) {
+      step.note = nodata ? "NODATA" : "NXDOMAIN";
+      Security security = Security::Insecure;
+      if (secure) {
+        const auto denial = dnssec::validate_negative_response(
+            target, qtype, current_zone,
+            dns::group_rrsets(response.authority), zone_keys, now,
+            profile_.validator);
+        for (const auto& f : denial.findings) outcome.findings.push_back(f);
+        if (denial.security == Security::Bogus) return fail_bogus();
+        security = denial.security;
+      }
+      const bool nxdomain = response.header.rcode == dns::RCode::NXDOMAIN;
+      cache_.put_negative(target, qtype,
+                          {nxdomain, security, now + negative_ttl(response)});
+      if (options_.aggressive_nsec_caching && nxdomain &&
+          security == Security::Secure && cache_.options().enabled) {
+        auto& ranges = denial_cache_[current_zone];
+        for (const auto& rr : response.authority) {
+          const auto* n3 = std::get_if<dns::Nsec3Rdata>(&rr.rdata);
+          if (n3 == nullptr || rr.name.is_root()) continue;
+          const auto owner_hash =
+              crypto::from_base32hex(rr.name.labels().front());
+          if (!owner_hash) continue;
+          if (ranges.size() > 10'000) ranges.clear();  // bound memory
+          ranges.push_back({*owner_hash, n3->next_hashed_owner, n3->salt,
+                            n3->iterations, now + negative_ttl(response)});
+        }
+      }
+      outcome.response.authority = response.authority;
+      return finish(response.header.rcode, security);
+    }
+
+    // ----- answer ---------------------------------------------------------
+    const auto answer_sets = dns::group_rrsets(response.answer);
+    const auto answer_sigs = collect_sigs(response.answer);
+
+    const dns::RRset* rrset = nullptr;
+    const dns::RRset* cname = nullptr;
+    for (const auto& set : answer_sets) {
+      if (!(set.name == target)) continue;
+      if (set.type == qtype) rrset = &set;
+      if (set.type == dns::RRType::CNAME) cname = &set;
+    }
+
+    if (rrset == nullptr && cname != nullptr && qtype != dns::RRType::CNAME) {
+      step.note = "CNAME";
+      if (++cname_hops > options_.max_cname_chain) {
+        add_finding(outcome.findings, Stage::Transport,
+                    Defect::IterationLimitExceeded,
+                    "iteration limit exceeded");
+        cache_.put_servfail(qname, qtype,
+                            {outcome.findings,
+                             now + cache_.options().servfail_ttl});
+        return finish(dns::RCode::SERVFAIL, Security::Indeterminate);
+      }
+      Security security = Security::Insecure;
+      if (secure) {
+        const auto check = dnssec::validate_answer_rrset(
+            *cname, answer_sigs, current_zone, zone_keys, now,
+            profile_.validator);
+        for (const auto& f : check.findings) outcome.findings.push_back(f);
+        if (check.security == Security::Bogus) return fail_bogus();
+        security = check.security;
+      }
+      (void)security;
+      for (auto& rr : cname->to_records())
+        outcome.response.answer.push_back(std::move(rr));
+      // Restart from the root (or the deepest cached context) for the
+      // canonical name.
+      target = std::get<dns::CnameRdata>(cname->rdatas.front()).target;
+      current_zone = dns::Name{};
+      servers = root_servers_;
+      zone_keys = *root_keys_;
+      secure = root_secure;
+      seed_context(target);
+      min_labels = current_zone.label_count() + 1;
+      continue;
+    }
+
+    if (rrset == nullptr) {
+      // The server answered something unrelated: treat as lame.
+      add_finding(outcome.findings, Stage::Transport, Defect::ServerNotAuth,
+                  "authority returned an unusable answer for " +
+                      target.to_string());
+      return fail_with_stale();
+    }
+
+    step.note = "answer";
+    Security security = Security::Insecure;
+    if (secure) {
+      const auto check = dnssec::validate_answer_rrset(
+          *rrset, answer_sigs, current_zone, zone_keys, now,
+          profile_.validator);
+      for (const auto& f : check.findings) outcome.findings.push_back(f);
+      if (check.security == Security::Bogus) return fail_bogus();
+      security = check.security;
+    }
+
+    std::vector<dns::RrsigRdata> rrset_sigs;
+    for (const auto& sig : answer_sigs) {
+      if (sig.type_covered == qtype) rrset_sigs.push_back(sig);
+    }
+    cache_.put_positive(
+        {*rrset, rrset_sigs, security, now + rrset->ttl});
+
+    for (auto& rr : rrset->to_records())
+      outcome.response.answer.push_back(std::move(rr));
+    for (const auto& sig : rrset_sigs) {
+      outcome.response.answer.push_back({rrset->name, dns::RRType::RRSIG,
+                                         dns::RRClass::IN, rrset->ttl,
+                                         dns::Rdata{sig}});
+    }
+    return finish(dns::RCode::NOERROR, security);
+  }
+
+  add_finding(outcome.findings, Stage::Transport,
+              Defect::IterationLimitExceeded, "iteration limit exceeded");
+  cache_.put_servfail(
+      qname, qtype,
+      {outcome.findings, now + cache_.options().servfail_ttl});
+  return finish(dns::RCode::SERVFAIL, Security::Indeterminate);
+}
+
+void RecursiveResolver::annotate(Outcome& outcome) const {
+  for (const auto& finding : outcome.findings) {
+    const auto error = profile_.ede_for(finding);
+    if (!error) continue;
+    const bool duplicate = std::any_of(
+        outcome.errors.begin(), outcome.errors.end(),
+        [&](const edns::ExtendedError& e) { return e.code == error->code; });
+    if (duplicate) continue;
+    outcome.errors.push_back(*error);
+    edns::add_extended_error(outcome.response, *error);
+  }
+}
+
+}  // namespace ede::resolver

@@ -1,0 +1,78 @@
+#include "scan/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "edns/ede.hpp"
+
+namespace ede::scan {
+
+std::string section42_csv(const ScanResult& result,
+                          const Population& population) {
+  std::ostringstream out;
+  out << "code,name,measured,scaled_up\n";
+  for (const auto& [code, stats] : result.per_code) {
+    out << code << ",\""
+        << edns::to_string(static_cast<edns::EdeCode>(code)) << "\","
+        << stats.domains << ","
+        << static_cast<long long>(static_cast<double>(stats.domains) /
+                                  population.config.scale())
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string figure1_csv(const ScanResult& result,
+                        const Population& population) {
+  std::vector<double> gtld, cctld;
+  for (std::size_t i = 0; i < population.tlds.size(); ++i) {
+    const auto& outcome = result.per_tld[i];
+    if (outcome.scanned == 0) continue;
+    const double ratio = 100.0 * static_cast<double>(outcome.with_ede) /
+                         static_cast<double>(outcome.scanned);
+    (population.tlds[i].is_cc ? cctld : gtld).push_back(ratio);
+  }
+  std::ostringstream out;
+  out << "group,ratio_percent,cdf\n";
+  for (const auto& [x, y] : make_cdf(std::move(gtld))) {
+    out << "gtld," << x << "," << y << "\n";
+  }
+  for (const auto& [x, y] : make_cdf(std::move(cctld))) {
+    out << "cctld," << x << "," << y << "\n";
+  }
+  return out.str();
+}
+
+std::string figure2_csv(const ScanResult& result) {
+  std::vector<double> ranks;
+  std::size_t noerror = 0;
+  for (const auto& hit : result.tranco_hits) {
+    ranks.push_back(static_cast<double>(hit.rank));
+    noerror += hit.noerror ? 1 : 0;
+  }
+  const double noerror_share =
+      result.tranco_hits.empty()
+          ? 0.0
+          : static_cast<double>(noerror) /
+                static_cast<double>(result.tranco_hits.size());
+  std::ostringstream out;
+  out << "rank,cdf,noerror_share\n";
+  for (const auto& [x, y] : make_cdf(std::move(ranks))) {
+    out << static_cast<long long>(x) << "," << y << "," << noerror_share
+        << "\n";
+  }
+  return out.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace ede::scan

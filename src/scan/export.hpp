@@ -1,0 +1,26 @@
+// CSV export of the scan aggregates so the paper's figures can be re-drawn
+// with any plotting tool (gnuplot/matplotlib) from the bench outputs.
+#pragma once
+
+#include <string>
+
+#include "scan/scanner.hpp"
+
+namespace ede::scan {
+
+/// §4.2 per-code counts: code,name,measured,scaled_up,paper.
+[[nodiscard]] std::string section42_csv(const ScanResult& result,
+                                        const Population& population);
+
+/// Figure 1 series: group,ratio_percent,cdf  (group in {gtld, cctld}).
+[[nodiscard]] std::string figure1_csv(const ScanResult& result,
+                                      const Population& population);
+
+/// Figure 2 series: rank,cdf,noerror_share.
+[[nodiscard]] std::string figure2_csv(const ScanResult& result);
+
+/// Write `content` to `path`; returns false (and leaves a note on stderr)
+/// on I/O failure — benches keep going either way.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace ede::scan

@@ -1,0 +1,231 @@
+#include "scan/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "edns/ede.hpp"
+
+namespace ede::scan {
+
+namespace {
+
+/// Paper §4.2: domains per INFO-CODE in the 303 M-domain scan.
+const std::map<std::uint16_t, double>& paper_code_counts() {
+  static const std::map<std::uint16_t, double> counts = {
+      {22, 13'965'865}, {23, 11'647'551}, {10, 2'746'604}, {9, 296'643},
+      {6, 82'465},      {24, 12'268},     {1, 8'751},      {7, 2'877},
+      {12, 1'980},      {2, 62},          {3, 32},         {8, 29},
+      {13, 8},          {0, 7},
+  };
+  return counts;
+}
+
+std::string human(double value) {
+  char buf[32];
+  if (value >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", value / 1e6);
+  } else if (value >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", value / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string render_section42(const ScanResult& result,
+                             const Population& population) {
+  std::ostringstream out;
+  const double scale = population.config.scale();
+  out << "== Section 4.2 — Extended DNS Errors in the wild ==\n";
+  out << "scanned domains      : " << result.total_domains << " (paper: 303M, scale 1:"
+      << static_cast<long>(std::llround(1.0 / scale)) << ")\n";
+  out << "domains with EDE     : " << result.domains_with_ede << " ("
+      << 100.0 * result.domains_with_ede /
+             std::max<std::size_t>(result.total_domains, 1)
+      << "% ; paper: 17.7M = 5.8%)\n";
+  out << "lame delegations 22/23: " << result.lame_union
+      << " unique (paper: 14.8M)\n";
+  out << "NOERROR with EDE     : " << result.noerror_with_ede << "\n\n";
+
+  // Sort codes by measured count, descending — the paper's presentation.
+  std::vector<std::pair<std::uint16_t, const CodeStats*>> ordered;
+  for (const auto& [code, stats] : result.per_code)
+    ordered.emplace_back(code, &stats);
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    return a.second->domains > b.second->domains;
+  });
+
+  out << "rank  code  name                              measured   scaled-up   paper\n";
+  int rank = 0;
+  for (const auto& [code, stats] : ordered) {
+    ++rank;
+    const auto paper = paper_code_counts().find(code);
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-5d %-5u %-33s %-10zu %-11s %s\n",
+                  rank, code,
+                  edns::to_string(static_cast<edns::EdeCode>(code)).c_str(),
+                  stats->domains,
+                  human(static_cast<double>(stats->domains) /
+                        population.config.scale())
+                      .c_str(),
+                  paper == paper_code_counts().end()
+                      ? "-"
+                      : human(paper->second).c_str());
+    out << line;
+    for (const auto& text : stats->sample_extra_text) {
+      out << "            e.g. \"" << text << "\"\n";
+    }
+  }
+  return out.str();
+}
+
+std::string ascii_cdf(const std::vector<std::pair<double, double>>& a,
+                      std::string_view a_name,
+                      const std::vector<std::pair<double, double>>& b,
+                      std::string_view b_name, double x_max,
+                      std::string_view x_label) {
+  constexpr int kWidth = 60;
+  constexpr int kHeight = 12;
+  std::ostringstream out;
+  std::vector<std::string> grid(kHeight, std::string(kWidth, ' '));
+
+  const auto value_at = [](const std::vector<std::pair<double, double>>& cdf,
+                           double x) {
+    double y = 0.0;
+    for (const auto& [vx, vy] : cdf) {
+      if (vx <= x) y = vy;
+      else break;
+    }
+    return y;
+  };
+
+  for (int col = 0; col < kWidth; ++col) {
+    const double x = x_max * (col + 1) / kWidth;
+    const auto plot = [&](const std::vector<std::pair<double, double>>& cdf,
+                          char mark) {
+      if (cdf.empty()) return;
+      const double y = value_at(cdf, x);
+      int row = kHeight - 1 -
+                static_cast<int>(std::round(y * (kHeight - 1)));
+      row = std::clamp(row, 0, kHeight - 1);
+      if (grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(
+              col)] == ' ') {
+        grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+            mark;
+      } else {
+        grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+            '#';  // overlap
+      }
+    };
+    plot(a, '*');
+    plot(b, 'o');
+  }
+
+  out << "  1.0 +" << std::string(kWidth, '-') << "\n";
+  for (int row = 0; row < kHeight; ++row) {
+    out << "      |" << grid[static_cast<std::size_t>(row)] << "\n";
+  }
+  out << "  0.0 +" << std::string(kWidth, '-') << "> " << x_label << " (0.."
+      << x_max << ")\n";
+  out << "       legend: '*' " << a_name;
+  if (!b.empty()) out << "   'o' " << b_name << "   '#' both";
+  out << "\n";
+  return out.str();
+}
+
+std::string render_figure1(const ScanResult& result,
+                           const Population& population) {
+  std::ostringstream out;
+  out << "== Figure 1 — ratio of domains that trigger EDE codes per TLD ==\n";
+
+  std::vector<double> gtld_ratios, cctld_ratios;
+  std::size_t g_zero = 0, c_zero = 0, g_all = 0, c_all = 0;
+  for (std::size_t i = 0; i < population.tlds.size(); ++i) {
+    const auto& outcome = result.per_tld[i];
+    if (outcome.scanned == 0) continue;
+    const double ratio = 100.0 * static_cast<double>(outcome.with_ede) /
+                         static_cast<double>(outcome.scanned);
+    if (population.tlds[i].is_cc) {
+      cctld_ratios.push_back(ratio);
+      c_zero += outcome.with_ede == 0 ? 1 : 0;
+      c_all += outcome.with_ede == outcome.scanned ? 1 : 0;
+    } else {
+      gtld_ratios.push_back(ratio);
+      g_zero += outcome.with_ede == 0 ? 1 : 0;
+      g_all += outcome.with_ede == outcome.scanned ? 1 : 0;
+    }
+  }
+  const double g_n = std::max<double>(1.0, static_cast<double>(gtld_ratios.size()));
+  const double c_n = std::max<double>(1.0, static_cast<double>(cctld_ratios.size()));
+  out << "gTLDs with zero misconfigured domains : " << g_zero << "/"
+      << gtld_ratios.size() << " (" << 100.0 * g_zero / g_n
+      << "% ; paper: ~38%)\n";
+  out << "ccTLDs with zero misconfigured domains: " << c_zero << "/"
+      << cctld_ratios.size() << " (" << 100.0 * c_zero / c_n
+      << "% ; paper: ~4%)\n";
+  out << "fully misconfigured TLDs              : " << g_all << " gTLDs + "
+      << c_all << " ccTLDs (paper: 11 gTLDs + 2 ccTLDs)\n\n";
+
+  const auto g_cdf = make_cdf(gtld_ratios);
+  const auto c_cdf = make_cdf(cctld_ratios);
+  out << "series (ratio% -> CDF), gTLDs:\n";
+  for (std::size_t i = 0; i < g_cdf.size(); i += std::max<std::size_t>(1, g_cdf.size() / 12)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  %6.2f%%  %.3f\n", g_cdf[i].first,
+                  g_cdf[i].second);
+    out << buf;
+  }
+  out << "series (ratio% -> CDF), ccTLDs:\n";
+  for (std::size_t i = 0; i < c_cdf.size(); i += std::max<std::size_t>(1, c_cdf.size() / 12)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  %6.2f%%  %.3f\n", c_cdf[i].first,
+                  c_cdf[i].second);
+    out << buf;
+  }
+  out << "\n" << ascii_cdf(g_cdf, "gTLDs", c_cdf, "ccTLDs", 100.0,
+                           "ratio of domains (%)");
+  return out.str();
+}
+
+std::string render_figure2(const ScanResult& result,
+                           const Population& population) {
+  std::ostringstream out;
+  out << "== Figure 2 — EDE-triggering domains across the Tranco top 1M ==\n";
+  const double boost = population.config.tranco_boost;
+  out << "ranked EDE-triggering domains : " << result.tranco_hits.size()
+      << " (boost x" << boost << " -> unboosted ~"
+      << static_cast<double>(result.tranco_hits.size()) / boost
+      << "; paper: 22.1k of 1M)\n";
+  std::size_t noerror = 0;
+  for (const auto& hit : result.tranco_hits) noerror += hit.noerror ? 1 : 0;
+  out << "of which resolved NOERROR     : " << noerror << " ("
+      << (result.tranco_hits.empty()
+              ? 0.0
+              : 100.0 * static_cast<double>(noerror) /
+                    static_cast<double>(result.tranco_hits.size()))
+      << "% ; paper: 12.2k/22.1k = 55%)\n\n";
+
+  std::vector<double> ranks;
+  ranks.reserve(result.tranco_hits.size());
+  for (const auto& hit : result.tranco_hits)
+    ranks.push_back(static_cast<double>(hit.rank));
+  const auto cdf = make_cdf(ranks);
+  out << "series (rank -> CDF):\n";
+  for (std::size_t i = 0; i < cdf.size();
+       i += std::max<std::size_t>(1, cdf.size() / 12)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  %8.0f  %.3f\n", cdf[i].first,
+                  cdf[i].second);
+    out << buf;
+  }
+  out << "\n" << ascii_cdf(cdf, "EDE-triggering domains", {}, "", 1'000'000,
+                           "Tranco rank");
+  out << "(a straight diagonal = evenly distributed across the ranking, as "
+         "the paper observes)\n";
+  return out.str();
+}
+
+}  // namespace ede::scan

@@ -1,0 +1,69 @@
+#include "scan/scanner.hpp"
+
+#include <algorithm>
+
+namespace ede::scan {
+
+ScanResult Scanner::run(resolver::RecursiveResolver& resolver,
+                        const Population& population) const {
+  ScanResult result;
+  result.per_tld.resize(population.tlds.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < population.domains.size();
+       i += options_.stride) {
+    const auto& domain = population.domains[i];
+    const auto outcome =
+        resolver.resolve(dns::Name::of(domain.fqdn), dns::RRType::A);
+
+    ++result.total_domains;
+    result.upstream_queries +=
+        static_cast<std::uint64_t>(outcome.upstream_queries);
+    result.per_tld[domain.tld].scanned += 1;
+
+    if (outcome.rcode == dns::RCode::SERVFAIL) ++result.servfail_domains;
+    if (outcome.errors.empty()) continue;
+
+    ++result.domains_with_ede;
+    result.per_tld[domain.tld].with_ede += 1;
+    if (outcome.rcode == dns::RCode::NOERROR) ++result.noerror_with_ede;
+
+    bool lame = false;
+    for (const auto& error : outcome.errors) {
+      const auto code = static_cast<std::uint16_t>(error.code);
+      auto& stats = result.per_code[code];
+      stats.domains += 1;
+      if (!error.extra_text.empty() &&
+          stats.sample_extra_text.size() < options_.max_extra_text_samples) {
+        stats.sample_extra_text.push_back(error.extra_text);
+      }
+      result.codes_by_category[domain.category][code] += 1;
+      if (code == 22 || code == 23) lame = true;
+    }
+    if (lame) ++result.lame_union;
+
+    if (domain.tranco_rank != 0) {
+      result.tranco_hits.push_back(
+          {domain.tranco_rank, outcome.rcode == dns::RCode::NOERROR});
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+std::vector<std::pair<double, double>> make_cdf(std::vector<double> values) {
+  std::vector<std::pair<double, double>> cdf;
+  if (values.empty()) return cdf;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Collapse runs of equal values into their final (highest) CDF point.
+    if (i + 1 < values.size() && values[i + 1] == values[i]) continue;
+    cdf.emplace_back(values[i], static_cast<double>(i + 1) / n);
+  }
+  return cdf;
+}
+
+}  // namespace ede::scan

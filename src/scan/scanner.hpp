@@ -1,0 +1,72 @@
+// Bulk scanner (the zdns stand-in): issues one A query per registered
+// domain through a recursive resolver, collects RCODE + EDE codes, and
+// aggregates everything the paper's §4 reports — per-code domain counts,
+// per-TLD concentration (Figure 1) and the Tranco-rank spread (Figure 2).
+#pragma once
+
+#include <chrono>
+#include <map>
+
+#include "resolver/resolver.hpp"
+#include "scan/world.hpp"
+
+namespace ede::scan {
+
+struct CodeStats {
+  std::size_t domains = 0;
+  std::vector<std::string> sample_extra_text;  // up to a handful
+};
+
+struct TldOutcome {
+  std::size_t scanned = 0;
+  std::size_t with_ede = 0;
+};
+
+struct RankedDomain {
+  std::uint32_t rank = 0;
+  bool noerror = false;
+};
+
+struct ScanResult {
+  std::size_t total_domains = 0;
+  std::size_t domains_with_ede = 0;
+  std::size_t noerror_with_ede = 0;
+  std::size_t servfail_domains = 0;
+  std::size_t lame_union = 0;  // domains triggering EDE 22 and/or 23
+  std::map<std::uint16_t, CodeStats> per_code;
+  std::vector<TldOutcome> per_tld;        // parallel to population.tlds
+  std::vector<RankedDomain> tranco_hits;  // EDE-triggering ranked domains
+  std::map<Category, std::map<std::uint16_t, std::size_t>>
+      codes_by_category;  // diagnostic cross-tab
+  std::uint64_t upstream_queries = 0;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double queries_per_second() const {
+    return wall_seconds > 0 ? static_cast<double>(total_domains) / wall_seconds
+                            : 0.0;
+  }
+};
+
+class Scanner {
+ public:
+  struct Options {
+    std::size_t max_extra_text_samples = 3;
+    /// Scan only every Nth domain (quick smoke runs); 1 = everything.
+    std::size_t stride = 1;
+  };
+
+  explicit Scanner(Options options) : options_(options) {}
+  Scanner() : Scanner(Options{}) {}
+
+  [[nodiscard]] ScanResult run(resolver::RecursiveResolver& resolver,
+                               const Population& population) const;
+
+ private:
+  Options options_;
+};
+
+/// A CDF over values in [0,1] (or ranks), as (x, fraction<=x) points.
+[[nodiscard]] std::vector<std::pair<double, double>> make_cdf(
+    std::vector<double> values);
+
+}  // namespace ede::scan

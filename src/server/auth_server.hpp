@@ -1,0 +1,78 @@
+// Authoritative nameserver (RFC 1034 §4.3.2 lookup) running on the
+// simulated network. Serves one or more zones, produces referrals with
+// glue and DS material, NSEC3-backed negative answers, and models the
+// server-side behaviours the paper's testbed and wild scan rely on:
+// query ACLs, EDNS-unaware peers, fixed-RCODE (REFUSED/SERVFAIL/NOTAUTH)
+// responders and question-mangling middleboxes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dnscore/message.hpp"
+#include "simnet/network.hpp"
+#include "zone/zone.hpp"
+
+namespace ede::server {
+
+enum class QueryAcl {
+  AllowAll,
+  DenyAll,         // the testbed's allow-query-none
+  LocalhostOnly,   // the testbed's allow-query-localhost
+};
+
+struct ServerConfig {
+  QueryAcl acl = QueryAcl::AllowAll;
+  /// When set, every query is answered with this RCODE and no records —
+  /// the wild scan's REFUSED/SERVFAIL/NOTAUTH authorities.
+  std::optional<dns::RCode> fixed_rcode;
+  /// EDNS-unaware: no OPT record is echoed in responses.
+  bool edns_aware = true;
+  /// Pathological middlebox behaviour: the echoed question section names a
+  /// different owner than was asked (the paper's Invalid Data category).
+  bool mangle_question = false;
+  /// Maximum UDP payload this server advertises.
+  std::uint16_t udp_payload_size = 1232;
+  /// RFC 9567 Report-Channel: advertise this reporting-agent domain in
+  /// every EDNS response so resolvers can report resolution failures.
+  std::optional<dns::Name> report_agent;
+};
+
+class AuthServer {
+ public:
+  explicit AuthServer(ServerConfig config = {}) : config_(config) {}
+
+  /// Zones are shared: the testbed builds one Zone object per zone and
+  /// hands it to every server that hosts it.
+  void add_zone(std::shared_ptr<const zone::Zone> zone);
+
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+  [[nodiscard]] ServerConfig& config() { return config_; }
+
+  /// Handle a parsed query (exposed for direct unit testing).
+  [[nodiscard]] dns::Message handle(const dns::Message& query,
+                                    const sim::PacketContext& ctx) const;
+
+  /// Wire-level entry point for Network::attach.
+  [[nodiscard]] sim::Endpoint endpoint() const;
+
+ private:
+  [[nodiscard]] const zone::Zone* zone_for(const dns::Name& qname) const;
+
+  void answer_from_zone(const zone::Zone& zone, const dns::Name& qname,
+                        dns::RRType qtype, bool dnssec_ok,
+                        dns::Message& response) const;
+
+  void add_referral(const zone::Zone& zone, const dns::Name& cut,
+                    bool dnssec_ok, dns::Message& response) const;
+
+  void add_negative(const zone::Zone& zone, const dns::Name& qname,
+                    bool nxdomain, bool dnssec_ok,
+                    dns::Message& response) const;
+
+  ServerConfig config_;
+  std::vector<std::shared_ptr<const zone::Zone>> zones_;
+};
+
+}  // namespace ede::server

@@ -1,0 +1,47 @@
+#include "server/report_agent.hpp"
+
+#include "edns/edns.hpp"
+
+namespace ede::server {
+
+dns::Message ReportAgent::handle(const dns::Message& query) {
+  dns::Message response;
+  response.header.id = query.header.id;
+  response.header.qr = true;
+  response.header.aa = true;
+  response.question = query.question;
+
+  if (query.question.empty()) {
+    response.header.rcode = dns::RCode::FORMERR;
+    return response;
+  }
+  const auto& q = query.question.front();
+  if (!q.qname.is_subdomain_of(agent_domain_)) {
+    response.header.rcode = dns::RCode::REFUSED;
+    return response;
+  }
+
+  if (auto report = edns::parse_report_qname(q.qname, agent_domain_)) {
+    reports_.push_back(std::move(*report));
+  }
+
+  // RFC 9567 §6.2: the agent answers positively so the reporter caches the
+  // response and rate-limits itself via its own cache.
+  response.answer.push_back({q.qname, dns::RRType::TXT, dns::RRClass::IN, 60,
+                             dns::TxtRdata{{"report received"}}});
+  if (edns::get_edns(query).has_value()) {
+    edns::set_edns(response, edns::Edns{});
+  }
+  return response;
+}
+
+sim::Endpoint ReportAgent::endpoint() {
+  return [this](crypto::BytesView wire,
+                const sim::PacketContext&) -> std::optional<crypto::Bytes> {
+    auto query = dns::Message::parse(wire);
+    if (!query) return std::nullopt;
+    return handle(query.value()).serialize();
+  };
+}
+
+}  // namespace ede::server

@@ -1,0 +1,39 @@
+// The reporting-agent side of DNS Error Reporting (RFC 9567): an
+// authoritative endpoint for the agent domain that answers every report
+// query positively and records the decoded reports — the moral equivalent
+// of the agent operator's query log.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "edns/report_channel.hpp"
+#include "simnet/network.hpp"
+
+namespace ede::server {
+
+class ReportAgent {
+ public:
+  explicit ReportAgent(dns::Name agent_domain)
+      : agent_domain_(std::move(agent_domain)) {}
+
+  [[nodiscard]] const dns::Name& agent_domain() const { return agent_domain_; }
+
+  /// Reports received so far, in arrival order.
+  [[nodiscard]] const std::vector<edns::ErrorReport>& reports() const {
+    return reports_;
+  }
+  void clear() { reports_.clear(); }
+
+  /// Handle one query: record the report (if the qname decodes as one) and
+  /// answer with a confirmation TXT record.
+  [[nodiscard]] dns::Message handle(const dns::Message& query);
+
+  [[nodiscard]] sim::Endpoint endpoint();
+
+ private:
+  dns::Name agent_domain_;
+  std::vector<edns::ErrorReport> reports_;
+};
+
+}  // namespace ede::server

@@ -1,0 +1,24 @@
+#include "simnet/address.hpp"
+
+#include <stdexcept>
+
+namespace ede::sim {
+
+NodeAddress NodeAddress::of(std::string_view text) {
+  if (const auto v4 = dns::Ipv4Address::parse(text)) return NodeAddress{*v4};
+  if (const auto v6 = dns::Ipv6Address::parse(text)) return NodeAddress{*v6};
+  throw std::invalid_argument("NodeAddress::of: unparsable address '" +
+                              std::string(text) + "'");
+}
+
+dns::AddressScope NodeAddress::scope() const {
+  if (const auto* a = v4()) return dns::classify(*a);
+  return dns::classify(*v6());
+}
+
+std::string NodeAddress::to_string() const {
+  if (const auto* a = v4()) return a->to_string();
+  return v6()->to_string();
+}
+
+}  // namespace ede::sim

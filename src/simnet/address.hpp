@@ -1,0 +1,59 @@
+// Node addresses on the simulated network: an IPv4 or IPv6 address
+// (port is implicitly 53 everywhere in this simulator).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "dnscore/ip.hpp"
+
+namespace ede::sim {
+
+class NodeAddress {
+ public:
+  NodeAddress() = default;
+  explicit NodeAddress(dns::Ipv4Address v4) : addr_(v4) {}
+  explicit NodeAddress(dns::Ipv6Address v6) : addr_(v6) {}
+
+  /// Parse either address family; throws std::invalid_argument on failure
+  /// (used for literals in tables and tests).
+  [[nodiscard]] static NodeAddress of(std::string_view text);
+
+  [[nodiscard]] bool is_v4() const {
+    return std::holds_alternative<dns::Ipv4Address>(addr_);
+  }
+  [[nodiscard]] const dns::Ipv4Address* v4() const {
+    return std::get_if<dns::Ipv4Address>(&addr_);
+  }
+  [[nodiscard]] const dns::Ipv6Address* v6() const {
+    return std::get_if<dns::Ipv6Address>(&addr_);
+  }
+
+  [[nodiscard]] dns::AddressScope scope() const;
+  [[nodiscard]] bool is_routable() const {
+    return dns::is_routable(scope());
+  }
+  [[nodiscard]] bool is_loopback() const {
+    return scope() == dns::AddressScope::Loopback;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const NodeAddress&) const = default;
+  auto operator<=>(const NodeAddress&) const = default;
+
+ private:
+  std::variant<dns::Ipv4Address, dns::Ipv6Address> addr_;
+};
+
+struct NodeAddressHash {
+  std::size_t operator()(const NodeAddress& a) const {
+    if (const auto* v4 = a.v4()) return std::hash<std::uint32_t>{}(v4->value());
+    std::size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const auto b : a.v6()->octets()) h = h * 131 + b;
+    return h;
+  }
+};
+
+}  // namespace ede::sim

@@ -1,0 +1,27 @@
+// Simulated time. All signature inception/expiration arithmetic and cache
+// TTLs run against this clock so experiments are deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace ede::sim {
+
+/// Seconds since the simulated epoch. The testbed signs its zones around
+/// kDefaultNow; mutators move windows relative to it.
+using SimTime = std::uint32_t;
+
+constexpr SimTime kDefaultNow = 1'700'000'000;  // an arbitrary fixed origin
+
+class Clock {
+ public:
+  explicit Clock(SimTime now = kDefaultNow) : now_(now) {}
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  void advance(SimTime seconds) { now_ += seconds; }
+  void set(SimTime now) { now_ = now; }
+
+ private:
+  SimTime now_;
+};
+
+}  // namespace ede::sim

@@ -1,0 +1,64 @@
+#include "simnet/network.hpp"
+
+namespace ede::sim {
+
+void Network::attach(const NodeAddress& address, Endpoint endpoint) {
+  endpoints_[address] = std::move(endpoint);
+}
+
+void Network::detach(const NodeAddress& address) {
+  endpoints_.erase(address);
+}
+
+bool Network::attached(const NodeAddress& address) const {
+  return endpoints_.count(address) != 0;
+}
+
+void Network::inject_fault(const NodeAddress& address, Fault fault) {
+  if (fault == Fault::None) {
+    faults_.erase(address);
+  } else {
+    faults_[address] = fault;
+  }
+}
+
+SendResult Network::send(const NodeAddress& source,
+                         const NodeAddress& destination,
+                         crypto::BytesView query) {
+  ++stats_.packets_sent;
+
+  if (!destination.is_routable()) {
+    ++stats_.packets_unreachable;
+    return {SendStatus::Unreachable, {}};
+  }
+
+  const auto fault_it = faults_.find(destination);
+  if (fault_it != faults_.end()) {
+    if (fault_it->second == Fault::Timeout) {
+      ++stats_.packets_timeout;
+      return {SendStatus::Timeout, {}};
+    }
+    if (fault_it->second == Fault::Intermittent) {
+      if (++intermittent_counters_[destination] % 2 == 1) {
+        ++stats_.packets_timeout;
+        return {SendStatus::Timeout, {}};
+      }
+    }
+  }
+
+  const auto it = endpoints_.find(destination);
+  if (it == endpoints_.end()) {
+    ++stats_.packets_timeout;
+    return {SendStatus::Timeout, {}};
+  }
+
+  auto response = it->second(query, PacketContext{source});
+  if (!response) {
+    ++stats_.packets_timeout;
+    return {SendStatus::Timeout, {}};
+  }
+  ++stats_.packets_delivered;
+  return {SendStatus::Delivered, std::move(*response)};
+}
+
+}  // namespace ede::sim

@@ -1,0 +1,87 @@
+// The 63 testbed subdomains of extended-dns-errors.com (paper Tables 2/3),
+// each described by a declarative spec: how the child zone is built, what
+// is mutated after signing, what the parent publishes, and what query
+// exercises the defect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/auth_server.hpp"
+
+namespace ede::testbed {
+
+/// Post-signing zone mutations (one per testbed misconfiguration family).
+enum class Mutation {
+  None,
+  RrsigExpireAll,       // all RRSIGs expired
+  RrsigExpireA,         // only the RRSIG over the apex A RRset expired
+  RrsigNotYetAll,
+  RrsigNotYetA,
+  RrsigRemoveAll,
+  RrsigRemoveA,
+  RrsigExpBeforeAll,    // expiration precedes inception, everywhere
+  RrsigExpBeforeA,
+  Nsec3Remove,          // drop the NSEC3 chain
+  Nsec3BadHash,         // re-own NSEC3s under wrong hashes (re-signed)
+  Nsec3BadNext,         // corrupt next-hashed-owner fields (re-signed)
+  Nsec3BadRrsig,        // corrupt the signatures over NSEC3 RRsets
+  Nsec3RrsigRemove,     // drop the signatures over NSEC3 RRsets
+  Nsec3ParamRemove,     // drop NSEC3PARAM (server can't build denial)
+  Nsec3ParamBadSalt,    // NSEC3 record salts disagree with NSEC3PARAM
+  Nsec3RemoveBoth,      // drop NSEC3PARAM and the NSEC3 chain
+  ZskRemove,            // drop the ZSK DNSKEY (answers reference a ghost key)
+  ZskCorrupt,           // tag-preserving corruption of the ZSK key material
+  KskRemove,            // drop the KSK DNSKEY (DS matches nothing)
+  KskRrsigRemove,       // drop only the KSK's signature over DNSKEY
+  KskRrsigCorrupt,      // corrupt only the KSK's signature over DNSKEY
+  KskCorrupt,           // corrupt the KSK key material (DS tag mismatch)
+  DnskeyRrsigRemove,    // drop every signature over the DNSKEY RRset
+  DnskeyRrsigCorrupt,   // corrupt every signature over the DNSKEY RRset
+  ZskClearZoneBit,      // clear the Zone Key bit on the ZSK (tag-preserving)
+  KskClearZoneBit,      // clear the Zone Key bit on the KSK (tag-preserving)
+  BothClearZoneBit,
+  ZskWrongAlgoField,    // DNSKEY algorithm field disagrees with its RRSIGs
+  StandbyKskUnsigned,   // add a stand-by KSK with no covering RRSIG
+                        // (not in the paper's testbed; used by the scan)
+};
+
+/// How the parent publishes (or mangles) the delegation's DS record.
+enum class DsMode {
+  Normal,
+  None,               // correctly signed child, no DS at the parent
+  BadTag,
+  BadKeyAlgoField,    // DS algorithm field differs from the KSK's
+  UnassignedKeyAlgo,  // algorithm 100
+  ReservedKeyAlgo,    // algorithm 200
+  UnassignedDigest,   // digest type 100
+  BogusDigestValue,
+};
+
+struct CaseSpec {
+  std::string label;   // the subdomain, e.g. "rrsig-exp-all"
+  int group;           // Table 2 group number (1..8)
+  std::string description;  // Table 3 text
+
+  bool signed_zone = true;
+  std::uint8_t algorithm = 8;       // RSASHA256 unless the case says otherwise
+  std::uint16_t nsec3_iterations = 0;
+  Mutation mutation = Mutation::None;
+  DsMode ds_mode = DsMode::Normal;
+  /// Override the nameserver glue (the group 6/7 special addresses).
+  /// Empty string = allocate a healthy routable address.
+  std::string glue_address;
+  bool glue_is_aaaa = false;
+  server::QueryAcl acl = server::QueryAcl::AllowAll;
+  /// Group 4 cases are only observable on negative answers.
+  bool query_nonexistent = false;
+};
+
+/// Table 2 group names, indexed 1..8.
+[[nodiscard]] std::string group_name(int group);
+
+/// All 63 specs in the paper's order.
+[[nodiscard]] const std::vector<CaseSpec>& all_cases();
+
+}  // namespace ede::testbed

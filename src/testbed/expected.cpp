@@ -1,0 +1,97 @@
+#include "testbed/expected.hpp"
+
+namespace ede::testbed {
+
+namespace {
+
+using Codes = std::vector<std::uint16_t>;
+
+ExpectedRow row(std::string label, Codes bind, Codes unbound, Codes powerdns,
+                Codes knot, Codes cloudflare, Codes quad9, Codes opendns) {
+  return {std::move(label),
+          {std::move(bind), std::move(unbound), std::move(powerdns),
+           std::move(knot), std::move(cloudflare), std::move(quad9),
+           std::move(opendns)}};
+}
+
+}  // namespace
+
+const std::vector<ExpectedRow>& expected_table4() {
+  static const std::vector<ExpectedRow> table = [] {
+    std::vector<ExpectedRow> t;
+    const Codes none{};
+    t.push_back(row("valid", none, none, none, none, none, none, none));
+    t.push_back(row("no-ds", none, none, none, none, none, none, none));
+    t.push_back(row("ds-bad-tag", none, {9}, {9}, {6}, {9}, {9}, {6}));
+    t.push_back(row("ds-bad-key-algo", none, {9}, {9}, {6}, {9}, {9}, {6}));
+    t.push_back(
+        row("ds-unassigned-key-algo", none, none, none, {0}, {9}, none, {6}));
+    t.push_back(
+        row("ds-reserved-key-algo", none, none, none, {0}, {1}, none, {6}));
+    t.push_back(row("ds-unassigned-digest-algo", none, none, none, {0}, {2},
+                    none, none));
+    t.push_back(
+        row("ds-bogus-digest-value", none, {9}, {9}, {6}, {6}, {9}, {6}));
+    t.push_back(row("rrsig-exp-all", none, {7}, {7}, {7}, {7}, {7}, {6}));
+    t.push_back(row("rrsig-exp-a", none, {6}, {7}, none, {7}, {6}, {7}));
+    t.push_back(row("rrsig-not-yet-all", none, {9}, {8}, {8}, {8}, {9}, {6}));
+    t.push_back(row("rrsig-not-yet-a", none, {6}, {8}, none, {8}, {8}, {8}));
+    t.push_back(row("rrsig-no-all", none, {10}, {10}, {10}, {10}, {9}, {6}));
+    t.push_back(row("rrsig-no-a", none, {10}, {10}, {10}, {10}, {10}, none));
+    t.push_back(
+        row("rrsig-exp-before-all", none, {9}, {7}, {7}, {10}, {9}, {6}));
+    t.push_back(
+        row("rrsig-exp-before-a", none, {6}, {7}, none, {7}, {7}, {7}));
+    t.push_back(row("nsec3-missing", none, {12}, none, {12}, {6}, none, {12}));
+    t.push_back(row("bad-nsec3-hash", none, {6}, none, {6}, {6}, {6}, {12}));
+    t.push_back(row("bad-nsec3-next", none, {6}, none, {6}, {6}, {6}, {6}));
+    t.push_back(row("bad-nsec3-rrsig", none, {6}, none, {6}, {6}, none, {6}));
+    t.push_back(
+        row("nsec3-rrsig-missing", none, {12}, none, {10}, {6}, {9}, {12}));
+    t.push_back(
+        row("nsec3param-missing", none, {10}, {10}, {10}, {10}, {9}, {6}));
+    t.push_back(
+        row("bad-nsec3param-salt", none, {12}, none, {12}, {6}, {9}, {12}));
+    t.push_back(
+        row("no-nsec3param-nsec3", none, {10}, {10}, {10}, {10}, {10}, {6}));
+    t.push_back(row("nsec3-iter-200", none, none, none, none, none, none,
+                    none));
+    t.push_back(row("no-zsk", none, {9}, {6}, {6}, {6}, {9}, {6}));
+    t.push_back(row("bad-zsk", none, {9}, {6}, {6}, {6}, {6}, {6}));
+    t.push_back(row("no-ksk", none, {9}, {9}, {6}, {9}, {9}, {6}));
+    t.push_back(row("no-rrsig-ksk", none, {10}, {9}, {6}, {10}, {9}, {6}));
+    t.push_back(row("bad-rrsig-ksk", none, {9}, {6}, {6}, {6}, {6}, {6}));
+    t.push_back(row("bad-ksk", none, {9}, {9}, {6}, {9}, {9}, {6}));
+    t.push_back(row("no-rrsig-dnskey", none, {10}, {10}, {10}, {10}, {9},
+                    {6}));
+    t.push_back(row("bad-rrsig-dnskey", none, {9}, {6}, {6}, {6}, {9}, {6}));
+    t.push_back(row("no-dnskey-256", none, {9}, {6}, {6}, {6}, {9}, {6}));
+    t.push_back(row("no-dnskey-257", none, {9}, {9}, {6}, {9}, {9}, {6}));
+    t.push_back(
+        row("no-dnskey-256-257", none, {9}, {10}, {10}, {9}, {10}, {6}));
+    t.push_back(row("bad-zsk-algo", none, {9}, {6}, {6}, {6}, {6}, {6}));
+    t.push_back(
+        row("unassigned-zsk-algo", none, {9}, {6}, {6}, {6}, {9}, {6}));
+    t.push_back(row("reserved-zsk-algo", none, {9}, {6}, {6}, {6}, {6}, {6}));
+    for (const char* label :
+         {"v6-mapped", "v6-multicast", "v6-unspecified", "v4-hex",
+          "v6-unique-local", "v6-doc", "v6-link-local", "v6-localhost",
+          "v6-mapped-dep", "v6-nat64", "v4-private-10", "v4-doc",
+          "v4-private-172", "v4-loopback", "v4-private-192", "v4-reserved",
+          "v4-this-host", "v4-link-local"}) {
+      t.push_back(row(label, none, none, none, none, {22}, none, none));
+    }
+    t.push_back(row("unsigned", none, none, none, none, none, none, none));
+    t.push_back(row("ed448", none, none, none, none, {1}, none, none));
+    t.push_back(row("rsamd5", none, none, none, {0}, {1}, none, none));
+    t.push_back(row("dsa", none, none, none, {0}, {1}, none, none));
+    t.push_back(row("allow-query-none", none, none, none, none, {9, 22, 23},
+                    none, {18}));
+    t.push_back(row("allow-query-localhost", none, none, none, none,
+                    {9, 22, 23}, none, {18}));
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace ede::testbed

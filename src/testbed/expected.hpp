@@ -1,0 +1,27 @@
+// The paper's published Table 4 — the EDE codes each of the seven tested
+// systems returned per testbed subdomain — embedded as ground truth so the
+// bench and tests can measure how faithfully the emulated profiles
+// reproduce it. Columns follow the paper's order:
+// BIND 9.19.9, Unbound 1.16.2, PowerDNS 4.8.2, Knot 5.6.0, Cloudflare DNS,
+// Quad9, OpenDNS.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ede::testbed {
+
+constexpr int kProfileCount = 7;
+
+struct ExpectedRow {
+  std::string label;
+  /// Per-system sorted INFO-CODE list; empty = "None" in the paper.
+  std::array<std::vector<std::uint16_t>, kProfileCount> codes;
+};
+
+/// All 63 rows, in all_cases() order.
+[[nodiscard]] const std::vector<ExpectedRow>& expected_table4();
+
+}  // namespace ede::testbed

@@ -1,0 +1,406 @@
+#include "testbed/mutations.hpp"
+
+#include <algorithm>
+
+#include "crypto/encoding.hpp"
+#include "crypto/sha1.hpp"
+#include "dnssec/nsec3.hpp"
+
+namespace ede::testbed {
+
+namespace {
+
+using dns::DnskeyRdata;
+using dns::Nsec3Rdata;
+using dns::RRType;
+using dns::RrsigRdata;
+
+/// Apply `fn` to every RRSIG rdata in the zone (optionally filtered by the
+/// covered type).
+void for_each_rrsig(zone::Zone& zone, std::optional<RRType> covered,
+                    const std::function<void(RrsigRdata&)>& fn) {
+  for (const auto& name : zone.names()) {
+    auto* sigs = zone.find_mutable(name, RRType::RRSIG);
+    if (sigs == nullptr) continue;
+    for (auto& rd : sigs->rdatas) {
+      auto* sig = std::get_if<RrsigRdata>(&rd);
+      if (sig == nullptr) continue;
+      if (covered.has_value() && sig->type_covered != *covered) continue;
+      fn(*sig);
+    }
+  }
+}
+
+void set_times_all(zone::Zone& zone, std::uint32_t inception,
+                   std::uint32_t expiration) {
+  for_each_rrsig(zone, std::nullopt, [&](RrsigRdata& sig) {
+    sig.inception = inception;
+    sig.expiration = expiration;
+  });
+}
+
+void set_times_apex_a(zone::Zone& zone, std::uint32_t inception,
+                      std::uint32_t expiration) {
+  auto* sigs = zone.find_mutable(zone.origin(), RRType::RRSIG);
+  if (sigs == nullptr) return;
+  for (auto& rd : sigs->rdatas) {
+    auto* sig = std::get_if<RrsigRdata>(&rd);
+    if (sig == nullptr || sig->type_covered != RRType::A) continue;
+    sig->inception = inception;
+    sig->expiration = expiration;
+  }
+}
+
+void corrupt_signature(RrsigRdata& sig) {
+  if (!sig.signature.empty()) sig.signature.back() ^= 0xff;
+}
+
+DnskeyRdata* find_key(dns::RRset* rrset, std::uint16_t flags) {
+  if (rrset == nullptr) return nullptr;
+  for (auto& rd : rrset->rdatas) {
+    auto* key = std::get_if<DnskeyRdata>(&rd);
+    if (key != nullptr && key->flags == flags) return key;
+  }
+  return nullptr;
+}
+
+/// Swap two same-parity public-key bytes: corrupts the key material while
+/// keeping the RFC 4034 Appendix B key tag unchanged. The public key
+/// starts at rdata offset 4, so pk[0], pk[2], ... sit at even offsets.
+void corrupt_key_tag_preserving(DnskeyRdata& key) {
+  auto& pk = key.public_key;
+  for (std::size_t i = 0; i + 2 < pk.size(); i += 2) {
+    if (pk[i] != pk[i + 2]) {
+      std::swap(pk[i], pk[i + 2]);
+      return;
+    }
+  }
+  // Pathological all-equal key material: corrupt outright (tag may move,
+  // but this cannot happen with the hash-derived keys the testbed uses).
+  if (!pk.empty()) pk[0] ^= 0xff;
+}
+
+/// Clear the Zone Key bit, compensating the tag: the flags high byte sits
+/// at even rdata offset 0 and drops by exactly 1, so incrementing one
+/// even-offset public-key byte (< 0xff) restores the sum.
+void clear_zone_bit_tag_preserving(DnskeyRdata& key) {
+  key.flags = static_cast<std::uint16_t>(key.flags &
+                                         ~DnskeyRdata::kZoneKeyFlag);
+  auto& pk = key.public_key;
+  for (std::size_t i = 0; i < pk.size(); i += 2) {
+    if (pk[i] < 0xff) {
+      ++pk[i];
+      return;
+    }
+  }
+}
+
+/// Change the algorithm field (odd rdata offset 3) to 13, compensating
+/// the +5 delta on an odd-offset public-key byte (offsets 5, 7, ...).
+void wrong_algo_tag_preserving(DnskeyRdata& key) {
+  const std::uint8_t old_algo = key.algorithm;
+  key.algorithm = 13;
+  const int delta = 13 - static_cast<int>(old_algo);
+  auto& pk = key.public_key;
+  for (std::size_t i = 1; i < pk.size(); i += 2) {
+    const int value = static_cast<int>(pk[i]) - delta;
+    if (value >= 0 && value <= 0xff) {
+      pk[i] = static_cast<std::uint8_t>(value);
+      return;
+    }
+  }
+}
+
+void remove_dnskey_sigs(zone::Zone& zone) {
+  zone.remove_signatures_covering(RRType::DNSKEY);
+}
+
+void resign_dnskey(zone::Zone& zone, const dnssec::SigningKey& signer,
+                   const zone::SigningPolicy& policy) {
+  const auto* rrset = zone.find(zone.origin(), RRType::DNSKEY);
+  if (rrset == nullptr) return;
+  zone.add(zone.origin(), RRType::RRSIG,
+           dns::Rdata{dnssec::sign_rrset(*rrset, signer, zone.origin(),
+                                         policy.window)},
+           rrset->ttl);
+}
+
+std::vector<dns::Name> nsec3_owner_names(const zone::Zone& zone) {
+  std::vector<dns::Name> owners;
+  for (const auto& name : zone.names()) {
+    if (zone.find(name, RRType::NSEC3) != nullptr) owners.push_back(name);
+  }
+  return owners;
+}
+
+void resign_nsec3_rrsets(zone::Zone& zone, const dnssec::SigningKey& zsk,
+                         const zone::SigningPolicy& policy) {
+  for (const auto& owner : nsec3_owner_names(zone)) {
+    const auto* rrset = zone.find(owner, RRType::NSEC3);
+    zone.add(owner, RRType::RRSIG,
+             dns::Rdata{dnssec::sign_rrset(*rrset, zsk, zone.origin(),
+                                           policy.window)},
+             rrset->ttl);
+  }
+}
+
+void remove_nsec3_records(zone::Zone& zone) {
+  for (const auto& owner : nsec3_owner_names(zone)) {
+    zone.remove(owner, RRType::NSEC3);
+  }
+  zone.remove_signatures_covering(RRType::NSEC3);
+}
+
+void remove_key(zone::Zone& zone, std::uint16_t flags) {
+  auto* rrset = zone.find_mutable(zone.origin(), RRType::DNSKEY);
+  if (rrset == nullptr) return;
+  auto& rdatas = rrset->rdatas;
+  rdatas.erase(std::remove_if(rdatas.begin(), rdatas.end(),
+                              [&](const dns::Rdata& rd) {
+                                const auto* key =
+                                    std::get_if<DnskeyRdata>(&rd);
+                                return key != nullptr && key->flags == flags;
+                              }),
+               rdatas.end());
+}
+
+void remove_dnskey_sig_by_tag(zone::Zone& zone, std::uint16_t tag) {
+  auto* sigs = zone.find_mutable(zone.origin(), RRType::RRSIG);
+  if (sigs == nullptr) return;
+  auto& rdatas = sigs->rdatas;
+  rdatas.erase(std::remove_if(rdatas.begin(), rdatas.end(),
+                              [&](const dns::Rdata& rd) {
+                                const auto* sig =
+                                    std::get_if<RrsigRdata>(&rd);
+                                return sig != nullptr &&
+                                       sig->type_covered == RRType::DNSKEY &&
+                                       sig->key_tag == tag;
+                              }),
+               rdatas.end());
+}
+
+}  // namespace
+
+void apply_mutation(zone::Zone& zone, const zone::ZoneKeys& keys,
+                    const zone::SigningPolicy& policy, Mutation mutation) {
+  const std::uint32_t now = policy.window.inception + 86'400;
+  const std::uint32_t long_ago = now - 90 * 86'400;
+  const std::uint32_t far_future = now + 90 * 86'400;
+
+  switch (mutation) {
+    case Mutation::None:
+      return;
+
+    case Mutation::RrsigExpireAll:
+      set_times_all(zone, long_ago, now - 86'400);
+      return;
+    case Mutation::RrsigExpireA:
+      set_times_apex_a(zone, long_ago, now - 86'400);
+      return;
+    case Mutation::RrsigNotYetAll:
+      set_times_all(zone, now + 86'400, far_future);
+      return;
+    case Mutation::RrsigNotYetA:
+      set_times_apex_a(zone, now + 86'400, far_future);
+      return;
+    case Mutation::RrsigRemoveAll:
+      zone.remove_all_signatures();
+      return;
+    case Mutation::RrsigRemoveA:
+      zone.remove_signatures_covering(RRType::A);
+      return;
+    case Mutation::RrsigExpBeforeAll:
+      set_times_all(zone, now + 86'400, now - 86'400);
+      return;
+    case Mutation::RrsigExpBeforeA:
+      set_times_apex_a(zone, now + 86'400, now - 86'400);
+      return;
+
+    case Mutation::Nsec3Remove:
+      remove_nsec3_records(zone);
+      return;
+
+    case Mutation::Nsec3BadHash: {
+      // Re-own every NSEC3 under a wrong hash, then re-sign so that only
+      // the hash relationship is broken.
+      struct Moved {
+        dns::Name new_owner;
+        dns::RRset rrset;
+      };
+      std::vector<Moved> moved;
+      for (const auto& owner : nsec3_owner_names(zone)) {
+        const auto* rrset = zone.find(owner, RRType::NSEC3);
+        crypto::Sha1 h;
+        h.update(crypto::as_bytes(owner.labels().front()));
+        h.update(crypto::as_bytes("broken"));
+        const auto digest = h.finish();
+        const auto new_owner =
+            zone.origin()
+                .prefixed(crypto::to_base32hex({digest.data(), digest.size()}))
+                .take();
+        moved.push_back({new_owner, *rrset});
+      }
+      remove_nsec3_records(zone);
+      for (auto& m : moved) {
+        m.rrset.name = m.new_owner;
+        for (const auto& rd : m.rrset.rdatas)
+          zone.add(m.new_owner, RRType::NSEC3, rd, m.rrset.ttl);
+      }
+      resign_nsec3_rrsets(zone, keys.zsk, policy);
+      return;
+    }
+
+    case Mutation::Nsec3BadNext: {
+      for (const auto& owner : nsec3_owner_names(zone)) {
+        auto* rrset = zone.find_mutable(owner, RRType::NSEC3);
+        const auto owner_hash = crypto::from_base32hex(owner.labels().front());
+        for (auto& rd : rrset->rdatas) {
+          auto* n3 = std::get_if<Nsec3Rdata>(&rd);
+          if (n3 == nullptr) continue;
+          // Point "next" right behind the owner so the record covers an
+          // empty slice of the hash ring.
+          crypto::Bytes next = owner_hash.value_or(n3->next_hashed_owner);
+          if (!next.empty()) ++next.back();
+          n3->next_hashed_owner = std::move(next);
+        }
+      }
+      zone.remove_signatures_covering(RRType::NSEC3);
+      resign_nsec3_rrsets(zone, keys.zsk, policy);
+      return;
+    }
+
+    case Mutation::Nsec3BadRrsig:
+      for_each_rrsig(zone, RRType::NSEC3, corrupt_signature);
+      return;
+    case Mutation::Nsec3RrsigRemove:
+      zone.remove_signatures_covering(RRType::NSEC3);
+      return;
+    case Mutation::Nsec3ParamRemove:
+      zone.remove(zone.origin(), RRType::NSEC3PARAM);
+      zone.remove_signatures_covering(RRType::NSEC3PARAM);
+      return;
+
+    case Mutation::Nsec3ParamBadSalt: {
+      for (const auto& owner : nsec3_owner_names(zone)) {
+        auto* rrset = zone.find_mutable(owner, RRType::NSEC3);
+        for (auto& rd : rrset->rdatas) {
+          if (auto* n3 = std::get_if<Nsec3Rdata>(&rd))
+            n3->salt = {0xde, 0xad};
+        }
+      }
+      zone.remove_signatures_covering(RRType::NSEC3);
+      resign_nsec3_rrsets(zone, keys.zsk, policy);
+      return;
+    }
+
+    case Mutation::Nsec3RemoveBoth:
+      remove_nsec3_records(zone);
+      zone.remove(zone.origin(), RRType::NSEC3PARAM);
+      zone.remove_signatures_covering(RRType::NSEC3PARAM);
+      return;
+
+    case Mutation::ZskRemove:
+      remove_key(zone, DnskeyRdata::kZskFlags);
+      remove_dnskey_sigs(zone);
+      resign_dnskey(zone, keys.ksk, policy);
+      return;
+
+    case Mutation::ZskCorrupt: {
+      auto* key = find_key(zone.find_mutable(zone.origin(), RRType::DNSKEY),
+                           DnskeyRdata::kZskFlags);
+      if (key != nullptr) corrupt_key_tag_preserving(*key);
+      remove_dnskey_sigs(zone);
+      resign_dnskey(zone, keys.ksk, policy);
+      return;
+    }
+
+    case Mutation::KskRemove:
+      remove_key(zone, DnskeyRdata::kKskFlags);
+      remove_dnskey_sigs(zone);
+      resign_dnskey(zone, keys.zsk, policy);
+      return;
+
+    case Mutation::KskRrsigRemove:
+      remove_dnskey_sig_by_tag(zone, keys.ksk.tag());
+      return;
+
+    case Mutation::KskRrsigCorrupt: {
+      auto* sigs = zone.find_mutable(zone.origin(), RRType::RRSIG);
+      if (sigs == nullptr) return;
+      for (auto& rd : sigs->rdatas) {
+        auto* sig = std::get_if<RrsigRdata>(&rd);
+        if (sig != nullptr && sig->type_covered == RRType::DNSKEY &&
+            sig->key_tag == keys.ksk.tag()) {
+          corrupt_signature(*sig);
+        }
+      }
+      return;
+    }
+
+    case Mutation::KskCorrupt: {
+      auto* key = find_key(zone.find_mutable(zone.origin(), RRType::DNSKEY),
+                           DnskeyRdata::kKskFlags);
+      if (key != nullptr && !key->public_key.empty())
+        key->public_key.front() ^= 0xff;  // tag changes: DS matches nothing
+      return;
+    }
+
+    case Mutation::DnskeyRrsigRemove:
+      remove_dnskey_sigs(zone);
+      return;
+    case Mutation::DnskeyRrsigCorrupt:
+      for_each_rrsig(zone, RRType::DNSKEY, corrupt_signature);
+      return;
+
+    case Mutation::ZskClearZoneBit: {
+      auto* key = find_key(zone.find_mutable(zone.origin(), RRType::DNSKEY),
+                           DnskeyRdata::kZskFlags);
+      if (key != nullptr) clear_zone_bit_tag_preserving(*key);
+      remove_dnskey_sigs(zone);
+      resign_dnskey(zone, keys.ksk, policy);
+      return;
+    }
+
+    case Mutation::KskClearZoneBit: {
+      auto* key = find_key(zone.find_mutable(zone.origin(), RRType::DNSKEY),
+                           DnskeyRdata::kKskFlags);
+      if (key != nullptr) clear_zone_bit_tag_preserving(*key);
+      remove_dnskey_sigs(zone);
+      resign_dnskey(zone, keys.ksk, policy);
+      return;
+    }
+
+    case Mutation::BothClearZoneBit: {
+      auto* rrset = zone.find_mutable(zone.origin(), RRType::DNSKEY);
+      if (auto* zsk = find_key(rrset, DnskeyRdata::kZskFlags))
+        clear_zone_bit_tag_preserving(*zsk);
+      if (auto* ksk = find_key(rrset, DnskeyRdata::kKskFlags))
+        clear_zone_bit_tag_preserving(*ksk);
+      remove_dnskey_sigs(zone);
+      resign_dnskey(zone, keys.ksk, policy);
+      return;
+    }
+
+    case Mutation::ZskWrongAlgoField: {
+      auto* key = find_key(zone.find_mutable(zone.origin(), RRType::DNSKEY),
+                           DnskeyRdata::kZskFlags);
+      if (key != nullptr) wrong_algo_tag_preserving(*key);
+      remove_dnskey_sigs(zone);
+      resign_dnskey(zone, keys.ksk, policy);
+      return;
+    }
+
+    case Mutation::StandbyKskUnsigned: {
+      const auto standby =
+          dnssec::make_key(zone.origin(), "standby-ksk",
+                           DnskeyRdata::kKskFlags, keys.ksk.dnskey.algorithm);
+      zone.add(zone.origin(), RRType::DNSKEY, dns::Rdata{standby.dnskey});
+      remove_dnskey_sigs(zone);
+      resign_dnskey(zone, keys.ksk, policy);
+      if (policy.sign_dnskey_with_zsk) resign_dnskey(zone, keys.zsk, policy);
+      return;
+    }
+  }
+}
+
+}  // namespace ede::testbed

@@ -1,0 +1,20 @@
+// Post-signing zone mutations implementing the testbed misconfigurations.
+//
+// Each mutation is surgical: it breaks exactly the property its test case
+// names and repairs everything else (usually by re-signing the touched
+// RRsets), so that the validator's diagnosis isolates a single defect the
+// way the paper's hand-built zones do. Several mutations are
+// tag-preserving — the DNSKEY key tag is a byte-sum, so swapping two
+// same-parity bytes corrupts the key without changing its tag, which is
+// what separates "key material is wrong" from "key is missing".
+#pragma once
+
+#include "testbed/cases.hpp"
+#include "zone/signer.hpp"
+
+namespace ede::testbed {
+
+void apply_mutation(zone::Zone& zone, const zone::ZoneKeys& keys,
+                    const zone::SigningPolicy& policy, Mutation mutation);
+
+}  // namespace ede::testbed

@@ -1,0 +1,61 @@
+// The complete testbed: a simulated DNS hierarchy rooted at a signed root
+// zone, a signed com zone, the signed extended-dns-errors.com zone, and
+// its 63 (mis)configured delegations — each hosted by its own
+// authoritative server on the simulated network.
+#pragma once
+
+#include <memory>
+
+#include "resolver/resolver.hpp"
+#include "server/auth_server.hpp"
+#include "testbed/cases.hpp"
+#include "testbed/mutations.hpp"
+
+namespace ede::testbed {
+
+class Testbed {
+ public:
+  /// Build every zone, sign, mutate, and attach all servers to `network`.
+  explicit Testbed(std::shared_ptr<sim::Network> network);
+
+  [[nodiscard]] const std::vector<CaseSpec>& cases() const {
+    return all_cases();
+  }
+
+  /// The name a scanner should query to exercise this case (the subdomain
+  /// apex, or a nonexistent child for the NSEC3 group).
+  [[nodiscard]] dns::Name query_name(const CaseSpec& spec) const;
+
+  /// Absolute origin of a case's child zone.
+  [[nodiscard]] dns::Name child_origin(const CaseSpec& spec) const;
+
+  [[nodiscard]] const std::vector<sim::NodeAddress>& root_servers() const {
+    return root_servers_;
+  }
+  [[nodiscard]] const dns::DnskeyRdata& trust_anchor() const {
+    return trust_anchor_;
+  }
+  [[nodiscard]] const dns::Name& base_domain() const { return base_domain_; }
+
+  /// Build a resolver wired to this testbed for the given vendor profile.
+  [[nodiscard]] resolver::RecursiveResolver make_resolver(
+      resolver::ResolverProfile profile,
+      resolver::ResolverOptions options = {}) const;
+
+  /// Direct zone access for white-box tests.
+  [[nodiscard]] std::shared_ptr<const zone::Zone> child_zone(
+      std::string_view label) const;
+
+ private:
+  void build_hierarchy();
+
+  std::shared_ptr<sim::Network> network_;
+  dns::Name base_domain_;
+  std::vector<sim::NodeAddress> root_servers_;
+  dns::DnskeyRdata trust_anchor_;
+  std::vector<std::shared_ptr<server::AuthServer>> servers_;
+  std::map<std::string, std::shared_ptr<const zone::Zone>, std::less<>>
+      child_zones_;
+};
+
+}  // namespace ede::testbed

@@ -1,0 +1,49 @@
+// Offline DNSSEC zone signing: key placement, NSEC3 chain construction and
+// RRSIG generation — the simulated equivalent of dnssec-signzone.
+#pragma once
+
+#include "dnssec/keys.hpp"
+#include "dnssec/sign.hpp"
+#include "simnet/clock.hpp"
+#include "zone/zone.hpp"
+
+namespace ede::zone {
+
+struct ZoneKeys {
+  dnssec::SigningKey ksk;
+  dnssec::SigningKey zsk;
+};
+
+[[nodiscard]] ZoneKeys make_zone_keys(const dns::Name& origin,
+                                      std::uint8_t algorithm = 8);
+
+/// Which authenticated-denial mechanism the signer installs.
+enum class DenialMode {
+  Nsec3,  // hashed denial (RFC 5155) — the testbed's configuration
+  Nsec,   // flat denial (RFC 4034 §4)
+  None,   // no denial records (for surgically built test zones)
+};
+
+struct SigningPolicy {
+  DenialMode denial = DenialMode::Nsec3;
+  std::uint16_t nsec3_iterations = 0;  // RFC 9276 recommends 0
+  crypto::Bytes nsec3_salt = {0xab, 0xcd};
+  dnssec::SignatureWindow window = {sim::kDefaultNow - 86'400,
+                                    sim::kDefaultNow + 30 * 86'400};
+  /// Sign the DNSKEY RRset with the ZSK in addition to the KSK (the
+  /// testbed's no-rrsig-ksk case needs the ZSK signature to survive).
+  bool sign_dnskey_with_zsk = true;
+};
+
+/// Sign `zone` in place: installs the DNSKEY RRset, the NSEC3PARAM/NSEC3
+/// chain and RRSIGs over every authoritative RRset. Glue and parent-side
+/// NS records at delegation cuts stay unsigned, DS RRsets are signed
+/// (RFC 4035 §2.2).
+void sign_zone(Zone& zone, const ZoneKeys& keys, const SigningPolicy& policy);
+
+/// The DS RRset the parent should publish for this zone.
+[[nodiscard]] std::vector<dns::DsRdata> ds_records(
+    const dns::Name& origin, const ZoneKeys& keys,
+    std::uint8_t digest_type = 2);
+
+}  // namespace ede::zone

@@ -1,0 +1,628 @@
+#include "zone/textio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "crypto/encoding.hpp"
+
+namespace ede::zone {
+
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+struct LogicalLine {
+  std::size_t line_number = 0;
+  std::vector<std::string> tokens;
+  bool owner_inherited = false;  // line started with whitespace
+};
+
+/// Split the file into logical lines: strip comments, honour quoted
+/// strings, and join lines inside parentheses.
+dns::Result<std::vector<LogicalLine>> tokenize(std::string_view text) {
+  std::vector<LogicalLine> lines;
+  LogicalLine current;
+  std::string token;
+  bool in_quotes = false;
+  bool token_was_quoted = false;
+  int paren_depth = 0;
+  std::size_t line_number = 1;
+  bool at_line_start = true;
+  bool line_open = false;
+
+  const auto flush_token = [&]() {
+    if (!token.empty() || token_was_quoted) {
+      current.tokens.push_back(std::move(token));
+      token.clear();
+      token_was_quoted = false;
+    }
+  };
+  const auto flush_line = [&]() -> std::optional<dns::Error> {
+    flush_token();
+    if (in_quotes)
+      return dns::err("line " + std::to_string(line_number) +
+                      ": unterminated quoted string");
+    if (!current.tokens.empty()) lines.push_back(std::move(current));
+    current = {};
+    line_open = false;
+    return std::nullopt;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        in_quotes = false;
+      } else if (c == '\\' && i + 1 < text.size()) {
+        token.push_back(text[++i]);
+      } else if (c == '\n') {
+        return dns::err("line " + std::to_string(line_number) +
+                        ": newline inside quoted string");
+      } else {
+        token.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        token_was_quoted = true;
+        if (!line_open) {
+          current.line_number = line_number;
+          current.owner_inherited = at_line_start && false;
+          line_open = true;
+        }
+        break;
+      case ';':  // comment to end of line
+        while (i < text.size() && text[i] != '\n') ++i;
+        --i;
+        break;
+      case '(':
+        ++paren_depth;
+        flush_token();
+        break;
+      case ')':
+        if (paren_depth == 0)
+          return dns::err("line " + std::to_string(line_number) +
+                          ": unbalanced ')'");
+        --paren_depth;
+        flush_token();
+        break;
+      case '\n':
+        ++line_number;
+        if (paren_depth == 0) {
+          if (auto e = flush_line()) return *e;
+          at_line_start = true;
+          continue;
+        }
+        flush_token();
+        break;
+      case ' ':
+      case '\t':
+      case '\r':
+        if (at_line_start && !line_open) {
+          // Leading whitespace: the owner is inherited from the previous
+          // record.
+          current.line_number = line_number;
+          current.owner_inherited = true;
+          line_open = true;
+        }
+        flush_token();
+        break;
+      default:
+        if (!line_open) {
+          current.line_number = line_number;
+          current.owner_inherited = false;
+          line_open = true;
+        }
+        token.push_back(c);
+        break;
+    }
+    at_line_start = false;
+    if (c == '\n') at_line_start = true;
+  }
+  if (paren_depth != 0) return dns::err("unbalanced '(' at end of file");
+  if (auto e = flush_line()) return *e;
+  return lines;
+}
+
+std::optional<RRType> parse_type(const std::string& token) {
+  static const std::map<std::string, RRType> types = {
+      {"A", RRType::A},         {"NS", RRType::NS},
+      {"CNAME", RRType::CNAME}, {"SOA", RRType::SOA},
+      {"PTR", RRType::PTR},     {"MX", RRType::MX},
+      {"TXT", RRType::TXT},     {"AAAA", RRType::AAAA},
+      {"SRV", RRType::SRV},     {"DS", RRType::DS},
+      {"RRSIG", RRType::RRSIG}, {"NSEC", RRType::NSEC},
+      {"DNSKEY", RRType::DNSKEY}, {"NSEC3", RRType::NSEC3},
+      {"NSEC3PARAM", RRType::NSEC3PARAM}, {"CAA", RRType::CAA},
+  };
+  std::string upper = token;
+  for (char& c : upper) c = static_cast<char>(std::toupper(
+      static_cast<unsigned char>(c)));
+  const auto it = types.find(upper);
+  if (it != types.end()) return it->second;
+  if (upper.rfind("TYPE", 0) == 0) {
+    std::uint16_t value = 0;
+    const auto* begin = upper.data() + 4;
+    const auto* end = upper.data() + upper.size();
+    if (std::from_chars(begin, end, value).ptr == end)
+      return static_cast<RRType>(value);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> parse_u32(const std::string& token) {
+  std::uint32_t value = 0;
+  const auto* begin = token.data();
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+/// A token cursor over one logical line's rdata fields.
+class Fields {
+ public:
+  Fields(const std::vector<std::string>& tokens, std::size_t start,
+         std::size_t line)
+      : tokens_(tokens), pos_(start), line_(line) {}
+
+  [[nodiscard]] bool empty() const { return pos_ >= tokens_.size(); }
+  [[nodiscard]] std::size_t remaining() const {
+    return tokens_.size() - pos_;
+  }
+
+  dns::Result<std::string> next(const char* what) {
+    if (empty())
+      return dns::err("line " + std::to_string(line_) + ": missing " +
+                      std::string(what));
+    return tokens_[pos_++];
+  }
+
+  dns::Result<std::uint32_t> next_u32(const char* what) {
+    auto token = next(what);
+    if (!token.ok()) return token.error();
+    const auto value = parse_u32(token.value());
+    if (!value)
+      return dns::err("line " + std::to_string(line_) + ": bad " +
+                      std::string(what) + " '" + token.value() + "'");
+    return *value;
+  }
+
+  dns::Result<std::uint8_t> next_u8(const char* what) {
+    auto value = next_u32(what);
+    if (!value.ok()) return value.error();
+    if (value.value() > 0xff)
+      return dns::err("line " + std::to_string(line_) + ": " +
+                      std::string(what) + " out of range");
+    return static_cast<std::uint8_t>(value.value());
+  }
+
+  dns::Result<std::uint16_t> next_u16(const char* what) {
+    auto value = next_u32(what);
+    if (!value.ok()) return value.error();
+    if (value.value() > 0xffff)
+      return dns::err("line " + std::to_string(line_) + ": " +
+                      std::string(what) + " out of range");
+    return static_cast<std::uint16_t>(value.value());
+  }
+
+  dns::Result<Name> next_name(const char* what, const Name& origin) {
+    auto token = next(what);
+    if (!token.ok()) return token.error();
+    const std::string& text = token.value();
+    if (text == "@") return origin;
+    auto name = Name::parse(text);
+    if (!name.ok())
+      return dns::err("line " + std::to_string(line_) + ": bad " +
+                      std::string(what) + ": " + name.error().message);
+    if (!text.empty() && text.back() == '.') return std::move(name).take();
+    // Relative: append the origin.
+    std::vector<std::string> labels = name.value().labels();
+    for (const auto& label : origin.labels()) labels.push_back(label);
+    auto absolute = Name::from_labels(std::move(labels));
+    if (!absolute.ok())
+      return dns::err("line " + std::to_string(line_) + ": " +
+                      absolute.error().message);
+    return std::move(absolute).take();
+  }
+
+  /// Concatenate all remaining tokens and base64-decode.
+  dns::Result<crypto::Bytes> rest_base64(const char* what) {
+    std::string joined;
+    while (!empty()) joined += tokens_[pos_++];
+    auto decoded = crypto::from_base64(joined);
+    if (!decoded)
+      return dns::err("line " + std::to_string(line_) + ": bad base64 in " +
+                      std::string(what));
+    return std::move(*decoded);
+  }
+
+  dns::Result<crypto::Bytes> next_hex(const char* what) {
+    auto token = next(what);
+    if (!token.ok()) return token.error();
+    if (token.value() == "-") return crypto::Bytes{};
+    auto decoded = crypto::from_hex(token.value());
+    if (!decoded)
+      return dns::err("line " + std::to_string(line_) + ": bad hex in " +
+                      std::string(what));
+    return std::move(*decoded);
+  }
+
+  dns::Result<dns::TypeBitmap> rest_type_bitmap() {
+    dns::TypeBitmap bitmap;
+    while (!empty()) {
+      auto token = next("type");
+      const auto type = parse_type(token.value());
+      if (!type)
+        return dns::err("line " + std::to_string(line_) +
+                        ": unknown type in bitmap: " + token.value());
+      bitmap.add(*type);
+    }
+    return bitmap;
+  }
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  const std::vector<std::string>& tokens_;
+  std::size_t pos_;
+  std::size_t line_;
+};
+
+dns::Result<dns::Rdata> parse_rdata(RRType type, Fields& f,
+                                    const Name& origin) {
+  switch (type) {
+    case RRType::A: {
+      auto token = f.next("address");
+      if (!token.ok()) return token.error();
+      const auto addr = dns::Ipv4Address::parse(token.value());
+      if (!addr)
+        return dns::err("line " + std::to_string(f.line()) +
+                        ": bad IPv4 address");
+      return dns::Rdata{dns::ARdata{*addr}};
+    }
+    case RRType::AAAA: {
+      auto token = f.next("address");
+      if (!token.ok()) return token.error();
+      const auto addr = dns::Ipv6Address::parse(token.value());
+      if (!addr)
+        return dns::err("line " + std::to_string(f.line()) +
+                        ": bad IPv6 address");
+      return dns::Rdata{dns::AaaaRdata{*addr}};
+    }
+    case RRType::NS: {
+      auto name = f.next_name("nsdname", origin);
+      if (!name.ok()) return name.error();
+      return dns::Rdata{dns::NsRdata{std::move(name).take()}};
+    }
+    case RRType::CNAME: {
+      auto name = f.next_name("target", origin);
+      if (!name.ok()) return name.error();
+      return dns::Rdata{dns::CnameRdata{std::move(name).take()}};
+    }
+    case RRType::PTR: {
+      auto name = f.next_name("target", origin);
+      if (!name.ok()) return name.error();
+      return dns::Rdata{dns::PtrRdata{std::move(name).take()}};
+    }
+    case RRType::SOA: {
+      dns::SoaRdata soa;
+      auto mname = f.next_name("mname", origin);
+      if (!mname.ok()) return mname.error();
+      soa.mname = std::move(mname).take();
+      auto rname = f.next_name("rname", origin);
+      if (!rname.ok()) return rname.error();
+      soa.rname = std::move(rname).take();
+      for (auto* field : {&soa.serial, &soa.refresh, &soa.retry, &soa.expire,
+                          &soa.minimum}) {
+        auto value = f.next_u32("SOA field");
+        if (!value.ok()) return value.error();
+        *field = value.value();
+      }
+      return dns::Rdata{std::move(soa)};
+    }
+    case RRType::MX: {
+      auto pref = f.next_u16("preference");
+      if (!pref.ok()) return pref.error();
+      auto name = f.next_name("exchange", origin);
+      if (!name.ok()) return name.error();
+      return dns::Rdata{dns::MxRdata{pref.value(), std::move(name).take()}};
+    }
+    case RRType::TXT: {
+      dns::TxtRdata txt;
+      while (!f.empty()) {
+        auto token = f.next("string");
+        if (!token.ok()) return token.error();
+        txt.strings.push_back(std::move(token).take());
+      }
+      if (txt.strings.empty())
+        return dns::err("line " + std::to_string(f.line()) +
+                        ": TXT needs at least one string");
+      return dns::Rdata{std::move(txt)};
+    }
+    case RRType::SRV: {
+      dns::SrvRdata srv;
+      for (auto* field : {&srv.priority, &srv.weight, &srv.port}) {
+        auto value = f.next_u16("SRV field");
+        if (!value.ok()) return value.error();
+        *field = value.value();
+      }
+      auto name = f.next_name("target", origin);
+      if (!name.ok()) return name.error();
+      srv.target = std::move(name).take();
+      return dns::Rdata{std::move(srv)};
+    }
+    case RRType::DS: {
+      dns::DsRdata ds;
+      auto tag = f.next_u16("key tag");
+      if (!tag.ok()) return tag.error();
+      ds.key_tag = tag.value();
+      auto algo = f.next_u8("algorithm");
+      if (!algo.ok()) return algo.error();
+      ds.algorithm = algo.value();
+      auto dt = f.next_u8("digest type");
+      if (!dt.ok()) return dt.error();
+      ds.digest_type = dt.value();
+      std::string joined;
+      while (!f.empty()) joined += f.next("digest").value();
+      auto digest = crypto::from_hex(joined);
+      if (!digest)
+        return dns::err("line " + std::to_string(f.line()) +
+                        ": bad DS digest hex");
+      ds.digest = std::move(*digest);
+      return dns::Rdata{std::move(ds)};
+    }
+    case RRType::DNSKEY: {
+      dns::DnskeyRdata key;
+      auto flags = f.next_u16("flags");
+      if (!flags.ok()) return flags.error();
+      key.flags = flags.value();
+      auto proto = f.next_u8("protocol");
+      if (!proto.ok()) return proto.error();
+      key.protocol = proto.value();
+      auto algo = f.next_u8("algorithm");
+      if (!algo.ok()) return algo.error();
+      key.algorithm = algo.value();
+      auto pk = f.rest_base64("public key");
+      if (!pk.ok()) return pk.error();
+      key.public_key = std::move(pk).take();
+      return dns::Rdata{std::move(key)};
+    }
+    case RRType::RRSIG: {
+      dns::RrsigRdata sig;
+      auto covered = f.next("type covered");
+      if (!covered.ok()) return covered.error();
+      const auto ct = parse_type(covered.value());
+      if (!ct)
+        return dns::err("line " + std::to_string(f.line()) +
+                        ": unknown covered type");
+      sig.type_covered = *ct;
+      auto algo = f.next_u8("algorithm");
+      if (!algo.ok()) return algo.error();
+      sig.algorithm = algo.value();
+      auto labels = f.next_u8("labels");
+      if (!labels.ok()) return labels.error();
+      sig.labels = labels.value();
+      for (auto* field : {&sig.original_ttl, &sig.expiration,
+                          &sig.inception}) {
+        auto value = f.next_u32("RRSIG time");
+        if (!value.ok()) return value.error();
+        *field = value.value();
+      }
+      auto tag = f.next_u16("key tag");
+      if (!tag.ok()) return tag.error();
+      sig.key_tag = tag.value();
+      auto signer = f.next_name("signer", origin);
+      if (!signer.ok()) return signer.error();
+      sig.signer_name = std::move(signer).take();
+      auto bytes = f.rest_base64("signature");
+      if (!bytes.ok()) return bytes.error();
+      sig.signature = std::move(bytes).take();
+      return dns::Rdata{std::move(sig)};
+    }
+    case RRType::NSEC: {
+      auto next = f.next_name("next domain", origin);
+      if (!next.ok()) return next.error();
+      auto bitmap = f.rest_type_bitmap();
+      if (!bitmap.ok()) return bitmap.error();
+      return dns::Rdata{
+          dns::NsecRdata{std::move(next).take(), std::move(bitmap).take()}};
+    }
+    case RRType::NSEC3: {
+      dns::Nsec3Rdata n3;
+      auto ha = f.next_u8("hash algorithm");
+      if (!ha.ok()) return ha.error();
+      n3.hash_algorithm = ha.value();
+      auto flags = f.next_u8("flags");
+      if (!flags.ok()) return flags.error();
+      n3.flags = flags.value();
+      auto iter = f.next_u16("iterations");
+      if (!iter.ok()) return iter.error();
+      n3.iterations = iter.value();
+      auto salt = f.next_hex("salt");
+      if (!salt.ok()) return salt.error();
+      n3.salt = std::move(salt).take();
+      auto next = f.next("next hashed owner");
+      if (!next.ok()) return next.error();
+      auto hash = crypto::from_base32hex(next.value());
+      if (!hash)
+        return dns::err("line " + std::to_string(f.line()) +
+                        ": bad base32hex next hashed owner");
+      n3.next_hashed_owner = std::move(*hash);
+      auto bitmap = f.rest_type_bitmap();
+      if (!bitmap.ok()) return bitmap.error();
+      n3.types = std::move(bitmap).take();
+      return dns::Rdata{std::move(n3)};
+    }
+    case RRType::NSEC3PARAM: {
+      dns::Nsec3ParamRdata p;
+      auto ha = f.next_u8("hash algorithm");
+      if (!ha.ok()) return ha.error();
+      p.hash_algorithm = ha.value();
+      auto flags = f.next_u8("flags");
+      if (!flags.ok()) return flags.error();
+      p.flags = flags.value();
+      auto iter = f.next_u16("iterations");
+      if (!iter.ok()) return iter.error();
+      p.iterations = iter.value();
+      auto salt = f.next_hex("salt");
+      if (!salt.ok()) return salt.error();
+      p.salt = std::move(salt).take();
+      return dns::Rdata{std::move(p)};
+    }
+    default: {
+      // RFC 3597: "\# <len> <hex...>"
+      auto marker = f.next("rdata");
+      if (!marker.ok()) return marker.error();
+      if (marker.value() != "\\#")
+        return dns::err("line " + std::to_string(f.line()) +
+                        ": unsupported type needs RFC 3597 \\# syntax");
+      auto len = f.next_u16("rdata length");
+      if (!len.ok()) return len.error();
+      std::string joined;
+      while (!f.empty()) joined += f.next("hex").value();
+      auto data = crypto::from_hex(joined);
+      if (!data || data->size() != len.value())
+        return dns::err("line " + std::to_string(f.line()) +
+                        ": RFC 3597 length mismatch");
+      return dns::Rdata{dns::UnknownRdata{static_cast<std::uint16_t>(type),
+                                          std::move(*data)}};
+    }
+  }
+}
+
+}  // namespace
+
+dns::Result<Zone> parse_zone_text(std::string_view text,
+                                  const ParseOptions& options) {
+  auto lines = tokenize(text);
+  if (!lines.ok()) return lines.error();
+
+  Name origin = options.origin;
+  std::uint32_t default_ttl = options.default_ttl;
+
+  // The Zone is created lazily at the first record so that leading
+  // $ORIGIN/$TTL directives take effect first.
+  std::optional<Zone> zone;
+  std::optional<Name> last_owner;
+
+  for (const auto& line : lines.value()) {
+    const auto& tokens = line.tokens;
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "$ORIGIN") {
+      if (tokens.size() != 2)
+        return dns::err("line " + std::to_string(line.line_number) +
+                        ": $ORIGIN needs one argument");
+      auto name = Name::parse(tokens[1]);
+      if (!name.ok())
+        return dns::err("line " + std::to_string(line.line_number) + ": " +
+                        name.error().message);
+      origin = std::move(name).take();
+      continue;
+    }
+    if (tokens[0] == "$TTL") {
+      if (tokens.size() != 2)
+        return dns::err("line " + std::to_string(line.line_number) +
+                        ": $TTL needs one argument");
+      const auto value = parse_u32(tokens[1]);
+      if (!value)
+        return dns::err("line " + std::to_string(line.line_number) +
+                        ": bad $TTL");
+      default_ttl = *value;
+      continue;
+    }
+    if (tokens[0][0] == '$')
+      return dns::err("line " + std::to_string(line.line_number) +
+                      ": unknown directive " + tokens[0]);
+
+    if (!zone.has_value()) zone.emplace(origin, default_ttl);
+
+    Fields f(tokens, 0, line.line_number);
+    Name owner;
+    if (line.owner_inherited) {
+      if (!last_owner.has_value())
+        return dns::err("line " + std::to_string(line.line_number) +
+                        ": no previous owner to inherit");
+      owner = *last_owner;
+    } else {
+      auto name = f.next_name("owner", origin);
+      if (!name.ok()) return name.error();
+      owner = std::move(name).take();
+    }
+    last_owner = owner;
+
+    // Optional TTL and class, in either order.
+    std::uint32_t ttl = default_ttl;
+    std::optional<RRType> type;
+    for (int i = 0; i < 3 && !type.has_value(); ++i) {
+      auto token = f.next("type");
+      if (!token.ok()) return token.error();
+      if (token.value() == "IN" || token.value() == "in") continue;
+      if (const auto value = parse_u32(token.value())) {
+        ttl = *value;
+        continue;
+      }
+      type = parse_type(token.value());
+      if (!type.has_value())
+        return dns::err("line " + std::to_string(line.line_number) +
+                        ": unknown record type '" + token.value() + "'");
+    }
+    if (!type.has_value())
+      return dns::err("line " + std::to_string(line.line_number) +
+                      ": no record type found");
+
+    auto rdata = parse_rdata(*type, f, origin);
+    if (!rdata.ok()) return rdata.error();
+    if (!f.empty())
+      return dns::err("line " + std::to_string(line.line_number) +
+                      ": trailing fields after rdata");
+    zone->add(owner, *type, std::move(rdata).take(), ttl);
+  }
+
+  if (!zone.has_value()) zone.emplace(origin, default_ttl);
+  return std::move(*zone);
+}
+
+std::string to_zone_text(const Zone& zone) {
+  std::ostringstream out;
+  out << "$ORIGIN " << zone.origin().to_string() << "\n";
+  out << "$TTL " << zone.default_ttl() << "\n";
+
+  const auto relative = [&](const Name& name) -> std::string {
+    if (name == zone.origin()) return "@";
+    if (name.is_subdomain_of(zone.origin())) {
+      std::string text = name.to_string();
+      const std::string suffix = zone.origin().to_string();
+      // Strip ".<origin>." — both end with '.', origin may be ".".
+      if (suffix == ".") return text;
+      const std::size_t cut = text.size() - suffix.size() - 1;
+      return text.substr(0, cut);
+    }
+    return name.to_string();
+  };
+
+  for (const auto& name : zone.names()) {
+    for (const auto* rrset : zone.at(name)) {
+      for (const auto& rd : rrset->rdatas) {
+        out << relative(name) << " " << rrset->ttl << " IN "
+            << dns::to_string(rrset->type) << " ";
+        if (const auto* unknown = std::get_if<dns::UnknownRdata>(&rd)) {
+          out << "\\# " << unknown->data.size() << " "
+              << crypto::to_hex(unknown->data);
+        } else {
+          out << dns::rdata_to_string(rd);
+        }
+        out << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ede::zone

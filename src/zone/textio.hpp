@@ -1,0 +1,36 @@
+// Master-file (zone file) I/O, RFC 1035 §5: parse the standard text
+// presentation into a Zone and print a Zone back out. Supports $ORIGIN and
+// $TTL directives, '@', relative names, parenthesised multi-line records,
+// comments, quoted character-strings, and the DNSSEC presentation formats
+// (base64 keys/signatures, hex digests/salts, base32hex NSEC3 owners).
+//
+// The paper publishes its testbed as zone files plus setup instructions;
+// this module makes the repository's testbed exportable in (and
+// re-importable from) the same form.
+#pragma once
+
+#include <string>
+
+#include "dnscore/result.hpp"
+#include "zone/zone.hpp"
+
+namespace ede::zone {
+
+struct ParseOptions {
+  /// Initial $ORIGIN; a $ORIGIN directive in the file overrides it.
+  dns::Name origin;
+  /// Initial default TTL; a $TTL directive overrides it.
+  std::uint32_t default_ttl = 3600;
+};
+
+/// Parse master-file text into a Zone rooted at the (possibly overridden)
+/// origin. Unknown record types written as RFC 3597 "\# len hex" are kept
+/// as opaque rdata. Errors carry the line number.
+[[nodiscard]] dns::Result<Zone> parse_zone_text(std::string_view text,
+                                                const ParseOptions& options);
+
+/// Print a zone in master-file form: $ORIGIN/$TTL header, records in
+/// canonical owner order, owner names relative to the origin.
+[[nodiscard]] std::string to_zone_text(const Zone& zone);
+
+}  // namespace ede::zone

@@ -1,0 +1,173 @@
+#include "zone/zone.hpp"
+
+#include <algorithm>
+
+namespace ede::zone {
+
+void Zone::add(const dns::ResourceRecord& rr) {
+  auto& node = nodes_[rr.name];
+  auto it = node.find(rr.type);
+  if (it == node.end()) {
+    node.emplace(rr.type,
+                 dns::RRset{rr.name, rr.type, rr.klass, rr.ttl, {rr.rdata}});
+  } else {
+    it->second.rdatas.push_back(rr.rdata);
+    it->second.ttl = std::min(it->second.ttl, rr.ttl);
+  }
+}
+
+void Zone::add(const dns::Name& name, dns::RRType type, dns::Rdata rdata) {
+  add(name, type, std::move(rdata), default_ttl_);
+}
+
+void Zone::add(const dns::Name& name, dns::RRType type, dns::Rdata rdata,
+               std::uint32_t ttl) {
+  add(dns::ResourceRecord{name, type, dns::RRClass::IN, ttl,
+                          std::move(rdata)});
+}
+
+bool Zone::remove(const dns::Name& name, dns::RRType type) {
+  const auto node = nodes_.find(name);
+  if (node == nodes_.end()) return false;
+  const bool removed = node->second.erase(type) > 0;
+  if (node->second.empty()) nodes_.erase(node);
+  return removed;
+}
+
+std::size_t Zone::remove_signatures_covering(dns::RRType covered) {
+  std::size_t removed = 0;
+  for (auto node = nodes_.begin(); node != nodes_.end();) {
+    auto sig_set = node->second.find(dns::RRType::RRSIG);
+    if (sig_set != node->second.end()) {
+      auto& rdatas = sig_set->second.rdatas;
+      const auto new_end = std::remove_if(
+          rdatas.begin(), rdatas.end(), [&](const dns::Rdata& rd) {
+            const auto* sig = std::get_if<dns::RrsigRdata>(&rd);
+            return sig != nullptr && sig->type_covered == covered;
+          });
+      removed += static_cast<std::size_t>(rdatas.end() - new_end);
+      rdatas.erase(new_end, rdatas.end());
+      if (rdatas.empty()) node->second.erase(sig_set);
+    }
+    if (node->second.empty()) {
+      node = nodes_.erase(node);
+    } else {
+      ++node;
+    }
+  }
+  return removed;
+}
+
+std::size_t Zone::remove_all_signatures() {
+  std::size_t removed = 0;
+  for (auto node = nodes_.begin(); node != nodes_.end();) {
+    auto sig_set = node->second.find(dns::RRType::RRSIG);
+    if (sig_set != node->second.end()) {
+      removed += sig_set->second.rdatas.size();
+      node->second.erase(sig_set);
+    }
+    if (node->second.empty()) {
+      node = nodes_.erase(node);
+    } else {
+      ++node;
+    }
+  }
+  return removed;
+}
+
+const dns::RRset* Zone::find(const dns::Name& name, dns::RRType type) const {
+  const auto node = nodes_.find(name);
+  if (node == nodes_.end()) return nullptr;
+  const auto it = node->second.find(type);
+  return it == node->second.end() ? nullptr : &it->second;
+}
+
+dns::RRset* Zone::find_mutable(const dns::Name& name, dns::RRType type) {
+  const auto node = nodes_.find(name);
+  if (node == nodes_.end()) return nullptr;
+  const auto it = node->second.find(type);
+  return it == node->second.end() ? nullptr : &it->second;
+}
+
+std::vector<const dns::RRset*> Zone::at(const dns::Name& name) const {
+  std::vector<const dns::RRset*> out;
+  const auto node = nodes_.find(name);
+  if (node == nodes_.end()) return out;
+  out.reserve(node->second.size());
+  for (const auto& [type, set] : node->second) out.push_back(&set);
+  return out;
+}
+
+std::vector<dns::RrsigRdata> Zone::signatures(const dns::Name& name,
+                                              dns::RRType covered) const {
+  std::vector<dns::RrsigRdata> out;
+  const auto* sigs = find(name, dns::RRType::RRSIG);
+  if (sigs == nullptr) return out;
+  for (const auto& rd : sigs->rdatas) {
+    const auto* sig = std::get_if<dns::RrsigRdata>(&rd);
+    if (sig != nullptr && sig->type_covered == covered) out.push_back(*sig);
+  }
+  return out;
+}
+
+bool Zone::name_exists(const dns::Name& name) const {
+  if (nodes_.count(name) != 0) return true;
+  // Empty non-terminals exist too.
+  for (const auto& [owner, types] : nodes_) {
+    (void)types;
+    if (owner.is_subdomain_of(name) && !(owner == name)) return true;
+  }
+  return false;
+}
+
+std::optional<dns::Name> Zone::delegation_for(const dns::Name& name) const {
+  // Walk from just below the origin towards `name`, looking for NS cuts.
+  if (!name.is_subdomain_of(origin_) || name == origin_) return std::nullopt;
+  dns::Name cut = name;
+  std::vector<dns::Name> chain;
+  while (!(cut == origin_)) {
+    chain.push_back(cut);
+    cut = cut.parent();
+  }
+  // chain holds name ... down to the label just below origin; check from
+  // the top (closest to origin) downwards.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (find(*it, dns::RRType::NS) != nullptr) return *it;
+  }
+  return std::nullopt;
+}
+
+std::vector<dns::Name> Zone::names() const {
+  std::vector<dns::Name> out;
+  out.reserve(nodes_.size());
+  for (const auto& [name, types] : nodes_) {
+    (void)types;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<dns::Name> Zone::authoritative_names() const {
+  std::vector<dns::Name> out;
+  for (const auto& [name, types] : nodes_) {
+    (void)types;
+    const auto cut = delegation_for(name);
+    if (cut && !(name == *cut)) continue;  // occluded below a delegation
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::size_t Zone::record_count() const {
+  std::size_t count = 0;
+  for (const auto& [name, types] : nodes_) {
+    (void)name;
+    for (const auto& [type, set] : types) {
+      (void)type;
+      count += set.rdatas.size();
+    }
+  }
+  return count;
+}
+
+}  // namespace ede::zone

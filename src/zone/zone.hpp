@@ -1,0 +1,81 @@
+// Authoritative zone contents: RRsets indexed by owner name (canonical
+// order) and type, plus the lookup primitives an authoritative server
+// needs (closest delegation, existence checks, NSEC3 chain neighbours).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dnscore/rr.hpp"
+
+namespace ede::zone {
+
+struct CanonicalLess {
+  bool operator()(const dns::Name& a, const dns::Name& b) const {
+    return a.canonical_compare(b) == std::strong_ordering::less;
+  }
+};
+
+class Zone {
+ public:
+  explicit Zone(dns::Name origin, std::uint32_t default_ttl = 3600)
+      : origin_(std::move(origin)), default_ttl_(default_ttl) {}
+
+  [[nodiscard]] const dns::Name& origin() const { return origin_; }
+  [[nodiscard]] std::uint32_t default_ttl() const { return default_ttl_; }
+
+  /// Add one record (merged into the owner/type RRset).
+  void add(const dns::ResourceRecord& rr);
+  void add(const dns::Name& name, dns::RRType type, dns::Rdata rdata);
+  void add(const dns::Name& name, dns::RRType type, dns::Rdata rdata,
+           std::uint32_t ttl);
+
+  /// Remove an entire RRset. Returns true if something was removed.
+  bool remove(const dns::Name& name, dns::RRType type);
+
+  /// Remove every RRSIG in the zone whose type_covered == `covered`
+  /// (testbed mutators: rrsig-no-a, nsec3-rrsig-missing, ...).
+  std::size_t remove_signatures_covering(dns::RRType covered);
+
+  /// Remove all RRSIG records everywhere.
+  std::size_t remove_all_signatures();
+
+  [[nodiscard]] const dns::RRset* find(const dns::Name& name,
+                                       dns::RRType type) const;
+  [[nodiscard]] dns::RRset* find_mutable(const dns::Name& name,
+                                         dns::RRType type);
+
+  /// All RRsets at a name (empty vector if the name does not exist).
+  [[nodiscard]] std::vector<const dns::RRset*> at(const dns::Name& name) const;
+
+  /// RRSIG rdatas at `name` whose type_covered equals `covered`.
+  [[nodiscard]] std::vector<dns::RrsigRdata> signatures(
+      const dns::Name& name, dns::RRType covered) const;
+
+  [[nodiscard]] bool name_exists(const dns::Name& name) const;
+
+  /// True if `name` (below the origin) sits at or under a delegation cut,
+  /// returning the cut name if so.
+  [[nodiscard]] std::optional<dns::Name> delegation_for(
+      const dns::Name& name) const;
+
+  /// Owner names in canonical order.
+  [[nodiscard]] std::vector<dns::Name> names() const;
+
+  /// In-bailiwick authoritative names (excludes names occluded below
+  /// delegation cuts), for NSEC3 chain construction.
+  [[nodiscard]] std::vector<dns::Name> authoritative_names() const;
+
+  /// Total record count (for inventory printing).
+  [[nodiscard]] std::size_t record_count() const;
+
+ private:
+  using TypeMap = std::map<dns::RRType, dns::RRset>;
+
+  dns::Name origin_;
+  std::uint32_t default_ttl_;
+  std::map<dns::Name, TypeMap, CanonicalLess> nodes_;
+};
+
+}  // namespace ede::zone

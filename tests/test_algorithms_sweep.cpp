@@ -1,0 +1,139 @@
+// Parameterized sweeps over the DNSSEC algorithm registry: sign/verify
+// round-trips, DS digest types, key tags and full zone signing must hold
+// for every modeled algorithm number, not just the default RSASHA256.
+#include <gtest/gtest.h>
+
+#include "dnssec/sign.hpp"
+#include "dnssec/validate.hpp"
+#include "zone/signer.hpp"
+
+namespace {
+
+using namespace ede;
+using namespace ede::dnssec;
+using dns::Name;
+using dns::RRset;
+using dns::RRType;
+
+class AlgorithmSweep : public ::testing::TestWithParam<std::uint8_t> {};
+
+TEST_P(AlgorithmSweep, SignVerifyRoundTrip) {
+  const std::uint8_t algorithm = GetParam();
+  const Name zone = Name::of("algo.example");
+  const auto zsk = make_zsk(zone, algorithm);
+  const RRset rrset{zone, RRType::A, dns::RRClass::IN, 300,
+                    {dns::Rdata{dns::ARdata{dns::Ipv4Address{0x01020304u}}}}};
+  const auto sig = sign_rrset(rrset, zsk, zone, {1000, 2000});
+  EXPECT_EQ(sig.algorithm, algorithm);
+  EXPECT_EQ(sig.signature.size(), algorithm_info(algorithm).signature_size);
+  EXPECT_TRUE(verify_rrset(rrset, sig, zsk.dnskey));
+
+  // Signatures never verify across algorithm numbers, even with identical
+  // key material (the testbed's ds-bad-key-algo case depends on this).
+  auto cross = sig;
+  cross.algorithm = algorithm == 8 ? 13 : 8;
+  EXPECT_FALSE(verify_rrset(rrset, cross, zsk.dnskey));
+}
+
+TEST_P(AlgorithmSweep, KeyTagsDifferAcrossAlgorithms) {
+  const std::uint8_t algorithm = GetParam();
+  const Name zone = Name::of("algo.example");
+  const auto a = make_ksk(zone, algorithm);
+  const auto b = make_ksk(zone, algorithm == 8 ? 13 : 8);
+  EXPECT_NE(a.tag(), b.tag());
+}
+
+TEST_P(AlgorithmSweep, WholeZoneSignsAndValidates) {
+  const std::uint8_t algorithm = GetParam();
+  const Name origin = Name::of("sweep.example");
+  zone::Zone z(origin);
+  dns::SoaRdata soa;
+  soa.mname = origin;
+  soa.rname = origin;
+  z.add(origin, RRType::SOA, soa);
+  z.add(origin, RRType::A, dns::ARdata{dns::Ipv4Address{0x5db8d801u}});
+  zone::ZoneKeys keys;
+  keys.ksk = make_ksk(origin, algorithm);
+  keys.zsk = make_zsk(origin, algorithm);
+  zone::sign_zone(z, keys, {});
+
+  // Trust the zone via its DS and validate the apex A RRset, with a
+  // validator configured to support this algorithm.
+  ValidatorConfig config;
+  config.supported_algorithms.insert(algorithm);
+  const auto* dnskey = z.find(origin, RRType::DNSKEY);
+  ASSERT_NE(dnskey, nullptr);
+  const auto trust = validate_zone_keys(
+      origin, {make_ds(origin, keys.ksk.dnskey, 2)}, dnskey,
+      z.signatures(origin, RRType::DNSKEY), sim::kDefaultNow, config);
+  ASSERT_EQ(trust.security, Security::Secure) << unsigned{algorithm};
+
+  const auto* a = z.find(origin, RRType::A);
+  const auto check = validate_answer_rrset(
+      *a, z.signatures(origin, RRType::A), origin, trust.zone_keys,
+      sim::kDefaultNow, config);
+  EXPECT_EQ(check.security, Security::Secure) << unsigned{algorithm};
+}
+
+INSTANTIATE_TEST_SUITE_P(RegisteredAlgorithms, AlgorithmSweep,
+                         ::testing::Values(1, 3, 5, 7, 8, 10, 12, 13, 14, 15,
+                                           16),
+                         [](const ::testing::TestParamInfo<std::uint8_t>& i) {
+                           std::string name = algorithm_name(i.param);
+                           for (char& c : name) {
+                             if (c == '-' || c == '/') c = '_';
+                           }
+                           return name;
+                         });
+
+class DigestSweep : public ::testing::TestWithParam<std::uint8_t> {};
+
+TEST_P(DigestSweep, DsRoundTripsForEveryKnownDigest) {
+  const std::uint8_t digest_type = GetParam();
+  const Name zone = Name::of("digest.example");
+  const auto ksk = make_ksk(zone, 8);
+  const auto ds = make_ds(zone, ksk.dnskey, digest_type);
+  EXPECT_EQ(ds.digest.size(), digest_size(digest_type).value());
+  EXPECT_TRUE(ds_matches(zone, ds, ksk.dnskey));
+  auto corrupted = ds;
+  corrupted.digest.back() ^= 0x01;
+  EXPECT_FALSE(ds_matches(zone, corrupted, ksk.dnskey));
+}
+
+INSTANTIATE_TEST_SUITE_P(KnownDigests, DigestSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+class IterationSweep : public ::testing::TestWithParam<std::uint16_t> {};
+
+TEST_P(IterationSweep, Nsec3HashDiffersPerIterationCount) {
+  const auto iterations = GetParam();
+  const crypto::Bytes salt = {0xab, 0xcd};
+  const auto hash = nsec3_hash(Name::of("iter.example"), salt, iterations);
+  EXPECT_EQ(hash.size(), 20u);
+  if (iterations > 0) {
+    EXPECT_NE(hash, nsec3_hash(Name::of("iter.example"), salt,
+                               static_cast<std::uint16_t>(iterations - 1)));
+  }
+}
+
+TEST_P(IterationSweep, ZoneSignsWithTheConfiguredIterations) {
+  const auto iterations = GetParam();
+  const Name origin = Name::of("iters.example");
+  zone::Zone z(origin);
+  dns::SoaRdata soa;
+  soa.mname = origin;
+  soa.rname = origin;
+  z.add(origin, RRType::SOA, soa);
+  zone::SigningPolicy policy;
+  policy.nsec3_iterations = iterations;
+  zone::sign_zone(z, zone::make_zone_keys(origin), policy);
+  const auto* param = z.find(origin, RRType::NSEC3PARAM);
+  ASSERT_NE(param, nullptr);
+  EXPECT_EQ(std::get<dns::Nsec3ParamRdata>(param->rdatas.front()).iterations,
+            iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(IterationCounts, IterationSweep,
+                         ::testing::Values(0, 1, 10, 150, 200));
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Resolver-cache unit tests: freshness, staleness windows, the SERVFAIL
+// cache, eviction caps and statistics.
+#include <gtest/gtest.h>
+
+#include "resolver/cache.hpp"
+
+namespace {
+
+using namespace ede::resolver;
+using ede::dns::Name;
+using ede::dns::RRType;
+
+PositiveEntry entry_for(const char* name, ede::sim::SimTime expires) {
+  PositiveEntry entry;
+  entry.rrset = ede::dns::RRset{
+      Name::of(name), RRType::A, ede::dns::RRClass::IN, 300,
+      {ede::dns::Rdata{
+          ede::dns::ARdata{*ede::dns::Ipv4Address::parse("192.0.2.1")}}}};
+  entry.security = ede::dnssec::Security::Secure;
+  entry.expires = expires;
+  return entry;
+}
+
+TEST(Cache, FreshPositiveHit) {
+  Cache cache;
+  cache.put_positive(entry_for("a.test", 1000));
+  EXPECT_NE(cache.get_positive(Name::of("a.test"), RRType::A, 999), nullptr);
+  EXPECT_NE(cache.get_positive(Name::of("a.test"), RRType::A, 1000), nullptr);
+  EXPECT_EQ(cache.get_positive(Name::of("a.test"), RRType::A, 1001), nullptr);
+}
+
+TEST(Cache, LookupIsCaseInsensitive) {
+  Cache cache;
+  cache.put_positive(entry_for("A.Test", 1000));
+  EXPECT_NE(cache.get_positive(Name::of("a.TEST"), RRType::A, 500), nullptr);
+}
+
+TEST(Cache, TypeIsPartOfTheKey) {
+  Cache cache;
+  cache.put_positive(entry_for("a.test", 1000));
+  EXPECT_EQ(cache.get_positive(Name::of("a.test"), RRType::AAAA, 500),
+            nullptr);
+}
+
+TEST(Cache, StaleLookupHonoursTheWindow) {
+  Cache::Options options;
+  options.stale_window = 100;
+  Cache cache(options);
+  cache.put_positive(entry_for("a.test", 1000));
+  // Fresh entries are returned too.
+  EXPECT_NE(cache.get_stale_positive(Name::of("a.test"), RRType::A, 900),
+            nullptr);
+  // Expired but within the window.
+  EXPECT_NE(cache.get_stale_positive(Name::of("a.test"), RRType::A, 1050),
+            nullptr);
+  // Beyond the window.
+  EXPECT_EQ(cache.get_stale_positive(Name::of("a.test"), RRType::A, 1101),
+            nullptr);
+}
+
+TEST(Cache, NegativeEntries) {
+  Cache cache;
+  cache.put_negative(Name::of("n.test"), RRType::A, {true,
+                     ede::dnssec::Security::Secure, 500});
+  const auto* hit = cache.get_negative(Name::of("n.test"), RRType::A, 400);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->nxdomain);
+  EXPECT_EQ(cache.get_negative(Name::of("n.test"), RRType::A, 501), nullptr);
+  // Stale negative.
+  EXPECT_NE(cache.get_stale_negative(Name::of("n.test"), RRType::A, 600),
+            nullptr);
+}
+
+TEST(Cache, ServfailEntriesCarryFindings) {
+  Cache cache;
+  ServfailEntry entry;
+  entry.findings.push_back({ede::dnssec::Stage::Transport,
+                            ede::dnssec::Defect::ServerRefused, "x"});
+  entry.expires = 100;
+  cache.put_servfail(Name::of("s.test"), RRType::A, entry);
+  const auto* hit = cache.get_servfail(Name::of("s.test"), RRType::A, 50);
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->findings.size(), 1u);
+  EXPECT_EQ(hit->findings.front().defect,
+            ede::dnssec::Defect::ServerRefused);
+  EXPECT_EQ(cache.get_servfail(Name::of("s.test"), RRType::A, 101), nullptr);
+}
+
+TEST(Cache, DisabledCacheStoresNothing) {
+  Cache::Options options;
+  options.enabled = false;
+  Cache cache(options);
+  cache.put_positive(entry_for("a.test", 1000));
+  EXPECT_EQ(cache.get_positive(Name::of("a.test"), RRType::A, 10), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Cache, EvictionCapBoundsMemory) {
+  Cache::Options options;
+  options.max_entries = 10;
+  Cache cache(options);
+  for (int i = 0; i < 25; ++i) {
+    cache.put_positive(
+        entry_for(("d" + std::to_string(i) + ".test").c_str(), 1000));
+  }
+  EXPECT_LE(cache.size(), options.max_entries);
+}
+
+TEST(Cache, ClearEmptiesEverything) {
+  Cache cache;
+  cache.put_positive(entry_for("a.test", 1000));
+  cache.put_negative(Name::of("b.test"), RRType::A, {});
+  cache.put_servfail(Name::of("c.test"), RRType::A, {});
+  EXPECT_EQ(cache.size(), 3u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Cache, StatsTrackHitsAndMisses) {
+  Cache cache;
+  cache.put_positive(entry_for("a.test", 1000));
+  (void)cache.get_positive(Name::of("a.test"), RRType::A, 10);
+  (void)cache.get_positive(Name::of("b.test"), RRType::A, 10);
+  (void)cache.get_stale_positive(Name::of("a.test"), RRType::A, 1500);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().stale_hits, 1u);
+}
+
+}  // namespace

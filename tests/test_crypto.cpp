@@ -1,0 +1,202 @@
+// Crypto substrate tests: FIPS 180-4 vectors for SHA-1/SHA-256/SHA-384,
+// RFC 4231 HMAC vectors, RFC 4648 encodings, and streaming/one-shot
+// equivalence properties.
+#include <gtest/gtest.h>
+
+#include "crypto/encoding.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha2.hpp"
+
+namespace {
+
+using namespace ede::crypto;
+
+template <typename Digest>
+std::string hex(const Digest& digest) {
+  return to_hex({digest.data(), digest.size()});
+}
+
+TEST(Sha1, EmptyInput) {
+  EXPECT_EQ(hex(Sha1::hash({})), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(hex(Sha1::hash(as_bytes("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(hex(Sha1::hash(as_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionA) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(as_bytes(chunk));
+  EXPECT_EQ(hex(h.finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(hex(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex(Sha256::hash(as_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex(Sha256::hash(as_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha384, Abc) {
+  EXPECT_EQ(hex(Sha384::hash(as_bytes("abc"))),
+            "cb00753f45a35e8bb5a03d699ac65007272c32ab0eded1631a8b605a43ff5bed"
+            "8086072ba1e7cc2358baeca134c825a7");
+}
+
+TEST(Sha384, EmptyInput) {
+  EXPECT_EQ(hex(Sha384::hash({})),
+            "38b060a751ac96384cd9327eb1b1e36a21fdb71114be07434c0cc7bf63f6e1da"
+            "274edebfe76f65fbd51ad2f14898b95b");
+}
+
+// Streaming updates must agree with one-shot hashing regardless of how the
+// input is chunked.
+class StreamingEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StreamingEquivalence, Sha256ChunkedMatchesOneShot) {
+  const std::size_t chunk_size = GetParam();
+  Xoshiro256 rng(1234);
+  Bytes data(4096);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+
+  Sha256 h;
+  for (std::size_t offset = 0; offset < data.size(); offset += chunk_size) {
+    const std::size_t take = std::min(chunk_size, data.size() - offset);
+    h.update({data.data() + offset, take});
+  }
+  EXPECT_EQ(h.finish(), Sha256::hash(data));
+}
+
+TEST_P(StreamingEquivalence, Sha1ChunkedMatchesOneShot) {
+  const std::size_t chunk_size = GetParam();
+  Xoshiro256 rng(99);
+  Bytes data(2048);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+
+  Sha1 h;
+  for (std::size_t offset = 0; offset < data.size(); offset += chunk_size) {
+    const std::size_t take = std::min(chunk_size, data.size() - offset);
+    h.update({data.data() + offset, take});
+  }
+  EXPECT_EQ(h.finish(), Sha1::hash(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, StreamingEquivalence,
+                         ::testing::Values(1, 3, 7, 63, 64, 65, 127, 128,
+                                           1000));
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto mac = Hmac<Sha256>::mac(key, as_bytes("Hi There"));
+  EXPECT_EQ(hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const auto mac = Hmac<Sha256>::mac(
+      as_bytes("Jefe"), as_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  const auto mac = Hmac<Sha256>::mac(
+      key, as_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Encoding, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xcd, 0xef, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abcdefff");
+  EXPECT_EQ(from_hex("0001abcdefff").value(), data);
+  EXPECT_EQ(from_hex("0001ABCDEFFF").value(), data);
+}
+
+TEST(Encoding, HexRejectsOddLengthAndGarbage) {
+  EXPECT_FALSE(from_hex("abc").has_value());
+  EXPECT_FALSE(from_hex("zz").has_value());
+}
+
+TEST(Encoding, Base64Rfc4648Vectors) {
+  EXPECT_EQ(to_base64(as_bytes("")), "");
+  EXPECT_EQ(to_base64(as_bytes("f")), "Zg==");
+  EXPECT_EQ(to_base64(as_bytes("fo")), "Zm8=");
+  EXPECT_EQ(to_base64(as_bytes("foo")), "Zm9v");
+  EXPECT_EQ(to_base64(as_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(to_base64(as_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(to_base64(as_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Encoding, Base64Decode) {
+  EXPECT_EQ(from_base64("Zm9vYmFy").value(), to_bytes("foobar"));
+  EXPECT_EQ(from_base64("Zg==").value(), to_bytes("f"));
+  EXPECT_FALSE(from_base64("Zg=").has_value());   // bad length
+  EXPECT_FALSE(from_base64("Z===").has_value());  // over-padded
+  EXPECT_FALSE(from_base64("Zg==Zg==").has_value());  // data after padding
+}
+
+TEST(Encoding, Base32HexRfc4648Vectors) {
+  // RFC 4648 §10, lowercase and unpadded (the NSEC3 convention).
+  EXPECT_EQ(to_base32hex(as_bytes("")), "");
+  EXPECT_EQ(to_base32hex(as_bytes("f")), "co");
+  EXPECT_EQ(to_base32hex(as_bytes("fo")), "cpng");
+  EXPECT_EQ(to_base32hex(as_bytes("foo")), "cpnmu");
+  EXPECT_EQ(to_base32hex(as_bytes("foob")), "cpnmuog");
+  EXPECT_EQ(to_base32hex(as_bytes("fooba")), "cpnmuoj1");
+  EXPECT_EQ(to_base32hex(as_bytes("foobar")), "cpnmuoj1e8");
+}
+
+TEST(Encoding, Base32HexRoundTrip) {
+  Xoshiro256 rng(7);
+  for (int size = 0; size < 64; ++size) {
+    Bytes data(static_cast<std::size_t>(size));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    const auto decoded = from_base32hex(to_base32hex(data));
+    ASSERT_TRUE(decoded.has_value()) << "size " << size;
+    EXPECT_EQ(*decoded, data) << "size " << size;
+  }
+}
+
+TEST(Encoding, Base32HexRejectsNonZeroPaddingBits) {
+  // "c1" decodes to one byte plus a non-zero trailing bit -> invalid.
+  EXPECT_FALSE(from_base32hex("c1").has_value());
+  EXPECT_FALSE(from_base32hex("!!").has_value());
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,244 @@
+// DNSSEC primitive tests: key tags, DS construction/matching, NSEC3
+// hashing (including the RFC 5155 Appendix A vector), signing/verifying,
+// temporal classification and the algorithm registry.
+#include <gtest/gtest.h>
+
+#include "crypto/encoding.hpp"
+#include "dnssec/algorithm.hpp"
+#include "dnssec/keys.hpp"
+#include "dnssec/nsec3.hpp"
+#include "dnssec/sign.hpp"
+#include "dnssec/validate.hpp"
+
+namespace {
+
+using namespace ede::dnssec;
+using ede::dns::DnskeyRdata;
+using ede::dns::Name;
+using ede::dns::RRset;
+using ede::dns::RRType;
+
+TEST(Algorithms, RegistryStatuses) {
+  EXPECT_EQ(algorithm_info(1).status, AlgorithmStatus::Deprecated);   // RSAMD5
+  EXPECT_EQ(algorithm_info(3).status, AlgorithmStatus::Deprecated);   // DSA
+  EXPECT_EQ(algorithm_info(8).status, AlgorithmStatus::Active);
+  EXPECT_EQ(algorithm_info(13).status, AlgorithmStatus::Active);
+  EXPECT_EQ(algorithm_info(15).status, AlgorithmStatus::Active);
+  EXPECT_EQ(algorithm_info(16).status, AlgorithmStatus::Active);      // Ed448
+  EXPECT_EQ(algorithm_info(12).status, AlgorithmStatus::Optional);    // GOST
+  EXPECT_EQ(algorithm_info(100).status, AlgorithmStatus::Unassigned);
+  EXPECT_EQ(algorithm_info(200).status, AlgorithmStatus::Reserved);
+  EXPECT_EQ(algorithm_name(8), "RSASHA256");
+}
+
+TEST(Algorithms, DefaultSupportedSetExcludesDeprecated) {
+  const auto& supported = default_supported_algorithms();
+  EXPECT_EQ(supported.count(1), 0u);
+  EXPECT_EQ(supported.count(3), 0u);
+  EXPECT_EQ(supported.count(8), 1u);
+  EXPECT_EQ(supported.count(16), 1u);
+}
+
+TEST(Algorithms, DigestTypes) {
+  EXPECT_TRUE(is_known_digest_type(1));
+  EXPECT_TRUE(is_known_digest_type(4));
+  EXPECT_FALSE(is_known_digest_type(0));
+  EXPECT_FALSE(is_known_digest_type(100));
+  EXPECT_EQ(digest_size(2).value(), 32u);
+  EXPECT_EQ(digest_size(4).value(), 48u);
+  EXPECT_FALSE(digest_size(100).has_value());
+}
+
+TEST(KeyTag, DeterministicAndOrderSensitive) {
+  const auto key = make_ksk(Name::of("example.com"), 8);
+  const auto tag1 = key_tag(key.dnskey);
+  const auto tag2 = key_tag(key.dnskey);
+  EXPECT_EQ(tag1, tag2);
+
+  DnskeyRdata altered = key.dnskey;
+  altered.public_key[0] ^= 0xff;
+  EXPECT_NE(key_tag(altered), tag1);
+}
+
+TEST(KeyTag, FlagsAffectTheTag) {
+  auto key = make_ksk(Name::of("example.com"), 8).dnskey;
+  const auto tag = key_tag(key);
+  key.flags = DnskeyRdata::kZskFlags;
+  EXPECT_NE(key_tag(key), tag);
+}
+
+TEST(Keys, KskAndZskDiffer) {
+  const Name zone = Name::of("example.com");
+  const auto ksk = make_ksk(zone, 8);
+  const auto zsk = make_zsk(zone, 8);
+  EXPECT_EQ(ksk.dnskey.flags, 257);
+  EXPECT_EQ(zsk.dnskey.flags, 256);
+  EXPECT_TRUE(ksk.dnskey.is_sep());
+  EXPECT_FALSE(zsk.dnskey.is_sep());
+  EXPECT_NE(ksk.dnskey.public_key, zsk.dnskey.public_key);
+  EXPECT_NE(ksk.tag(), zsk.tag());
+}
+
+TEST(Keys, DerivationIsDeterministicPerZone) {
+  const auto a = make_ksk(Name::of("example.com"), 8);
+  const auto b = make_ksk(Name::of("example.com"), 8);
+  const auto c = make_ksk(Name::of("other.com"), 8);
+  EXPECT_EQ(a.dnskey, b.dnskey);
+  EXPECT_NE(a.dnskey.public_key, c.dnskey.public_key);
+}
+
+TEST(Ds, MatchesItsOwnKey) {
+  const Name zone = Name::of("example.com");
+  const auto ksk = make_ksk(zone, 8);
+  for (const std::uint8_t digest_type : {1, 2, 4}) {
+    const auto ds = make_ds(zone, ksk.dnskey, digest_type);
+    EXPECT_EQ(ds.key_tag, ksk.tag());
+    EXPECT_EQ(ds.algorithm, 8);
+    EXPECT_EQ(ds.digest.size(), digest_size(digest_type).value());
+    EXPECT_TRUE(ds_matches(zone, ds, ksk.dnskey)) << unsigned{digest_type};
+  }
+}
+
+TEST(Ds, OwnerNameIsPartOfTheDigest) {
+  const auto ksk = make_ksk(Name::of("example.com"), 8);
+  const auto ds = make_ds(Name::of("example.com"), ksk.dnskey, 2);
+  EXPECT_FALSE(ds_matches(Name::of("other.com"), ds, ksk.dnskey));
+}
+
+TEST(Ds, MismatchDetection) {
+  const Name zone = Name::of("example.com");
+  const auto ksk = make_ksk(zone, 8);
+  auto ds = make_ds(zone, ksk.dnskey, 2);
+  ds.digest[0] ^= 0xff;
+  EXPECT_FALSE(ds_matches(zone, ds, ksk.dnskey));
+}
+
+TEST(Nsec3, Rfc5155AppendixAVector) {
+  // H(example) with salt aabbccdd, 12 iterations
+  //   = 0p9mhaveqvm6t7vbl5lop2u3t2rp3tom (RFC 5155 Appendix A).
+  const auto salt = ede::crypto::from_hex("aabbccdd").value();
+  const auto hash = nsec3_hash(Name::of("example"), salt, 12);
+  EXPECT_EQ(ede::crypto::to_base32hex(hash),
+            "0p9mhaveqvm6t7vbl5lop2u3t2rp3tom");
+}
+
+TEST(Nsec3, HashIsCaseInsensitive) {
+  const auto salt = ede::crypto::from_hex("aabbccdd").value();
+  EXPECT_EQ(nsec3_hash(Name::of("Example"), salt, 12),
+            nsec3_hash(Name::of("example"), salt, 12));
+}
+
+TEST(Nsec3, IterationsChangeTheHash) {
+  const ede::crypto::Bytes salt = {0xab};
+  EXPECT_NE(nsec3_hash(Name::of("a.test"), salt, 0),
+            nsec3_hash(Name::of("a.test"), salt, 1));
+}
+
+TEST(Nsec3, OwnerNameIsBase32UnderZone) {
+  const auto owner = nsec3_owner(Name::of("www.example.com"),
+                                 Name::of("example.com"), {}, 0);
+  EXPECT_TRUE(owner.is_subdomain_of(Name::of("example.com")));
+  EXPECT_EQ(owner.label_count(), 3u);
+  EXPECT_EQ(owner.labels().front().size(), 32u);  // 20 bytes in base32
+}
+
+TEST(Nsec3, CoverSemantics) {
+  const ede::crypto::Bytes low(20, 0x10);
+  const ede::crypto::Bytes mid(20, 0x50);
+  const ede::crypto::Bytes high(20, 0x90);
+  EXPECT_TRUE(nsec3_covers(low, high, mid));
+  EXPECT_FALSE(nsec3_covers(low, mid, high));
+  EXPECT_FALSE(nsec3_covers(low, high, low));   // owner itself not covered
+  EXPECT_FALSE(nsec3_covers(low, high, high));  // next not covered
+}
+
+TEST(Nsec3, CoverWrapsAroundTheRing) {
+  const ede::crypto::Bytes low(20, 0x10);
+  const ede::crypto::Bytes high(20, 0x90);
+  const ede::crypto::Bytes higher(20, 0xf0);
+  // Last record: owner=high, next=low; covers everything > high and < low.
+  EXPECT_TRUE(nsec3_covers(high, low, higher));
+  EXPECT_TRUE(nsec3_covers(high, low, ede::crypto::Bytes(20, 0x01)));
+  EXPECT_FALSE(nsec3_covers(high, low, ede::crypto::Bytes(20, 0x50)));
+}
+
+RRset sample_rrset(const Name& owner) {
+  return RRset{owner, RRType::A, ede::dns::RRClass::IN, 3600,
+               {ede::dns::ARdata{*ede::dns::Ipv4Address::parse("192.0.2.1")},
+                ede::dns::ARdata{*ede::dns::Ipv4Address::parse("192.0.2.2")}}};
+}
+
+TEST(Signing, SignAndVerifyRoundTrip) {
+  const Name zone = Name::of("example.com");
+  const auto zsk = make_zsk(zone, 8);
+  const auto rrset = sample_rrset(zone);
+  const auto sig = sign_rrset(rrset, zsk, zone, {1000, 2000});
+
+  EXPECT_EQ(sig.type_covered, RRType::A);
+  EXPECT_EQ(sig.algorithm, 8);
+  EXPECT_EQ(sig.labels, 2);
+  EXPECT_EQ(sig.key_tag, zsk.tag());
+  EXPECT_EQ(sig.signature.size(), algorithm_info(8).signature_size);
+  EXPECT_TRUE(verify_rrset(rrset, sig, zsk.dnskey));
+}
+
+TEST(Signing, VerificationFailsUnderWrongKey) {
+  const Name zone = Name::of("example.com");
+  const auto zsk = make_zsk(zone, 8);
+  const auto other = make_zsk(Name::of("other.com"), 8);
+  const auto rrset = sample_rrset(zone);
+  const auto sig = sign_rrset(rrset, zsk, zone, {1000, 2000});
+  EXPECT_FALSE(verify_rrset(rrset, sig, other.dnskey));
+}
+
+TEST(Signing, VerificationFailsOnModifiedRrset) {
+  const Name zone = Name::of("example.com");
+  const auto zsk = make_zsk(zone, 8);
+  auto rrset = sample_rrset(zone);
+  const auto sig = sign_rrset(rrset, zsk, zone, {1000, 2000});
+  rrset.rdatas.pop_back();
+  EXPECT_FALSE(verify_rrset(rrset, sig, zsk.dnskey));
+}
+
+TEST(Signing, VerificationFailsOnModifiedTimes) {
+  const Name zone = Name::of("example.com");
+  const auto zsk = make_zsk(zone, 8);
+  const auto rrset = sample_rrset(zone);
+  auto sig = sign_rrset(rrset, zsk, zone, {1000, 2000});
+  sig.expiration += 1;  // times are covered by the signature
+  EXPECT_FALSE(verify_rrset(rrset, sig, zsk.dnskey));
+}
+
+TEST(Signing, RdataOrderDoesNotMatter) {
+  // Canonical RRset form sorts rdata, so permuted RRsets verify equal.
+  const Name zone = Name::of("example.com");
+  const auto zsk = make_zsk(zone, 8);
+  auto rrset = sample_rrset(zone);
+  const auto sig = sign_rrset(rrset, zsk, zone, {1000, 2000});
+  std::swap(rrset.rdatas[0], rrset.rdatas[1]);
+  EXPECT_TRUE(verify_rrset(rrset, sig, zsk.dnskey));
+}
+
+TEST(Signing, OwnerCaseDoesNotMatter) {
+  const Name zone = Name::of("example.com");
+  const auto zsk = make_zsk(zone, 8);
+  auto rrset = sample_rrset(Name::of("ExAmPlE.CoM"));
+  const auto sig = sign_rrset(rrset, zsk, zone, {1000, 2000});
+  rrset.name = Name::of("example.com");
+  EXPECT_TRUE(verify_rrset(rrset, sig, zsk.dnskey));
+}
+
+TEST(Temporal, Classification) {
+  ede::dns::RrsigRdata sig;
+  sig.inception = 1000;
+  sig.expiration = 2000;
+  EXPECT_EQ(classify_temporal(sig, 1500), SigTemporal::Valid);
+  EXPECT_EQ(classify_temporal(sig, 1000), SigTemporal::Valid);
+  EXPECT_EQ(classify_temporal(sig, 2000), SigTemporal::Valid);
+  EXPECT_EQ(classify_temporal(sig, 999), SigTemporal::NotYetValid);
+  EXPECT_EQ(classify_temporal(sig, 2001), SigTemporal::Expired);
+  sig.inception = 3000;
+  EXPECT_EQ(classify_temporal(sig, 1500), SigTemporal::ExpiredBeforeValid);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// EDNS(0) and RFC 8914 tests: the OPT packed-field conversions, EDE option
+// encoding, and the IANA registry snapshot the paper's Table 1 lists.
+#include <gtest/gtest.h>
+
+#include "edns/edns.hpp"
+
+namespace {
+
+using namespace ede::edns;
+using ede::dns::Message;
+using ede::dns::Name;
+using ede::dns::RRType;
+
+TEST(EdeRegistry, HoldsAllThirtyCodes) {
+  // Table 1: codes 0..29, contiguous at the paper's snapshot.
+  const auto& registry = ede_registry();
+  ASSERT_EQ(registry.size(), 30u);
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    EXPECT_EQ(static_cast<std::uint16_t>(registry[i].code), i);
+  }
+}
+
+TEST(EdeRegistry, NamesMatchTable1) {
+  EXPECT_EQ(to_string(EdeCode::Other), "Other");
+  EXPECT_EQ(to_string(EdeCode::UnsupportedDnskeyAlgorithm),
+            "Unsupported DNSKEY Algorithm");
+  EXPECT_EQ(to_string(EdeCode::DnssecBogus), "DNSSEC Bogus");
+  EXPECT_EQ(to_string(EdeCode::DnskeyMissing), "DNSKEY Missing");
+  EXPECT_EQ(to_string(EdeCode::RrsigsMissing), "RRSIGs Missing");
+  EXPECT_EQ(to_string(EdeCode::NoReachableAuthority),
+            "No Reachable Authority");
+  EXPECT_EQ(to_string(EdeCode::NetworkError), "Network Error");
+  EXPECT_EQ(to_string(EdeCode::SignatureExpiredBeforeValid),
+            "Signature Expired before Valid");
+  EXPECT_EQ(to_string(EdeCode::Synthesized), "Synthesized");
+}
+
+TEST(EdeRegistry, UnregisteredCodesPrintNumerically) {
+  EXPECT_EQ(to_string(static_cast<EdeCode>(999)), "EDE999");
+  EXPECT_FALSE(is_registered(static_cast<EdeCode>(999)));
+  EXPECT_TRUE(is_registered(EdeCode::StaleAnswer));
+}
+
+TEST(ExtendedError, OptionRoundTrip) {
+  const ExtendedError original{EdeCode::NetworkError,
+                               "1.2.3.4:53 rcode=REFUSED for a.com A"};
+  const auto option = original.to_option();
+  EXPECT_EQ(option.code, kEdeOptionCode);
+  const auto decoded = ExtendedError::from_option(option);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), original);
+}
+
+TEST(ExtendedError, EmptyExtraTextIsTwoBytes) {
+  const ExtendedError error{EdeCode::DnssecBogus, ""};
+  EXPECT_EQ(error.to_option().data.size(), 2u);
+}
+
+TEST(ExtendedError, RejectsShortOption) {
+  ede::dns::EdnsOption option{kEdeOptionCode, {0x00}};
+  EXPECT_FALSE(ExtendedError::from_option(option).ok());
+}
+
+TEST(ExtendedError, RejectsWrongOptionCode) {
+  ede::dns::EdnsOption option{10, {0x00, 0x06}};
+  EXPECT_FALSE(ExtendedError::from_option(option).ok());
+}
+
+TEST(ExtendedError, ToStringIncludesCodeAndName) {
+  const ExtendedError error{EdeCode::StaleAnswer, "ttl expired"};
+  EXPECT_EQ(error.to_string(), "EDE 3 (Stale Answer): ttl expired");
+}
+
+TEST(Edns, OptRecordPackedFieldsRoundTrip) {
+  Edns edns;
+  edns.udp_payload_size = 4096;
+  edns.version = 0;
+  edns.dnssec_ok = true;
+  edns.options.push_back(ExtendedError{EdeCode::Filtered, ""}.to_option());
+
+  const auto rr = to_opt_record(edns);
+  EXPECT_EQ(rr.type, RRType::OPT);
+  EXPECT_TRUE(rr.name.is_root());
+  const auto decoded = from_opt_record(rr);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().udp_payload_size, 4096);
+  EXPECT_TRUE(decoded.value().dnssec_ok);
+  ASSERT_EQ(decoded.value().options.size(), 1u);
+}
+
+TEST(Edns, DnssecOkBitIsBit15OfTtl) {
+  Edns edns;
+  edns.dnssec_ok = true;
+  EXPECT_EQ(to_opt_record(edns).ttl & 0x8000u, 0x8000u);
+  edns.dnssec_ok = false;
+  EXPECT_EQ(to_opt_record(edns).ttl & 0x8000u, 0u);
+}
+
+TEST(Edns, MessageLevelHelpers) {
+  Message msg = ede::dns::make_query(9, Name::of("q.test"), RRType::A);
+  EXPECT_FALSE(get_edns(msg).has_value());
+  EXPECT_TRUE(get_extended_errors(msg).empty());
+
+  add_extended_error(msg, {EdeCode::DnssecBogus, "chain broken"});
+  add_extended_error(msg, {EdeCode::NoReachableAuthority, ""});
+
+  const auto errors = get_extended_errors(msg);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0].code, EdeCode::DnssecBogus);
+  EXPECT_EQ(errors[0].extra_text, "chain broken");
+  EXPECT_EQ(errors[1].code, EdeCode::NoReachableAuthority);
+
+  // And it all survives the wire.
+  msg.header.qr = true;
+  const auto parsed = Message::parse(msg.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(get_extended_errors(parsed.value()), errors);
+}
+
+TEST(Edns, MultipleEdeOptionsInOneOpt) {
+  Edns edns;
+  edns.add({EdeCode::DnskeyMissing, "a"});
+  edns.add({EdeCode::NetworkError, "b"});
+  edns.add({EdeCode::NoReachableAuthority, "c"});
+  const auto errors = edns.extended_errors();
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_EQ(errors[2].extra_text, "c");
+}
+
+TEST(Edns, MalformedEdeOptionsAreSkipped) {
+  Edns edns;
+  edns.options.push_back({kEdeOptionCode, {0x01}});  // too short
+  edns.add({EdeCode::Censored, ""});
+  EXPECT_EQ(edns.extended_errors().size(), 1u);
+}
+
+TEST(Edns, SetEdnsReplacesExisting) {
+  Message msg = ede::dns::make_query(9, Name::of("q.test"), RRType::A);
+  set_edns(msg, Edns{});
+  Edns bigger;
+  bigger.udp_payload_size = 8192;
+  set_edns(msg, bigger);
+  ASSERT_EQ(msg.additional.size(), 1u);
+  EXPECT_EQ(get_edns(msg)->udp_payload_size, 8192);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(EdnsDisplay, OptRdataRendersEdeInline) {
+  ede::edns::Edns edns;
+  edns.add({ede::edns::EdeCode::NetworkError, "srv:53 rcode=REFUSED"});
+  edns.add({ede::edns::EdeCode::NoReachableAuthority, ""});
+  const auto rr = ede::edns::to_opt_record(edns);
+  const auto text = ede::dns::rdata_to_string(rr.rdata);
+  EXPECT_NE(text.find("EDE=23"), std::string::npos) << text;
+  EXPECT_NE(text.find("EDE=22"), std::string::npos) << text;
+  EXPECT_NE(text.find("srv:53 rcode=REFUSED"), std::string::npos) << text;
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// DNS Error Reporting (RFC 9567) end-to-end tests: option encoding, report
+// QNAME construction/parsing, and the full loop — an authority advertises
+// an agent, validation fails, the resolver reports, the agent logs it.
+#include <gtest/gtest.h>
+
+#include "edns/report_channel.hpp"
+#include "server/report_agent.hpp"
+#include "testbed/mutations.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace ede;
+using edns::EdeCode;
+
+TEST(ReportChannel, OptionRoundTrip) {
+  const auto agent = dns::Name::of("agent.example.net");
+  const auto option = edns::make_report_channel_option(agent);
+  EXPECT_EQ(option.code, edns::kReportChannelOptionCode);
+  const auto parsed = edns::parse_report_channel_option(option);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, agent);
+}
+
+TEST(ReportChannel, RejectsGarbageOption) {
+  dns::EdnsOption option{edns::kReportChannelOptionCode, {0xff, 0xff}};
+  EXPECT_FALSE(edns::parse_report_channel_option(option).has_value());
+  dns::EdnsOption wrong_code{10, dns::Name::of("a.b").wire()};
+  EXPECT_FALSE(edns::parse_report_channel_option(wrong_code).has_value());
+}
+
+TEST(ReportChannel, MessageLevelAccessors) {
+  dns::Message msg = dns::make_query(1, dns::Name::of("q.test"), dns::RRType::A);
+  EXPECT_FALSE(edns::get_report_channel(msg).has_value());
+  edns::set_report_channel(msg, dns::Name::of("agent.example"));
+  const auto agent = edns::get_report_channel(msg);
+  ASSERT_TRUE(agent.has_value());
+  EXPECT_EQ(*agent, dns::Name::of("agent.example"));
+}
+
+TEST(ReportQname, ConstructionMatchesRfc9567) {
+  const auto qname = edns::make_report_qname(
+      dns::Name::of("broken.example.com"), dns::RRType::A,
+      EdeCode::SignatureExpired, dns::Name::of("agent.example.net"));
+  ASSERT_TRUE(qname.has_value());
+  EXPECT_EQ(qname->to_string(),
+            "_er.1.broken.example.com.7._er.agent.example.net.");
+}
+
+TEST(ReportQname, RoundTripThroughParsing) {
+  const auto agent = dns::Name::of("a.report.example");
+  for (const auto code : {EdeCode::DnssecBogus, EdeCode::NetworkError,
+                          EdeCode::Other}) {
+    const auto qname = edns::make_report_qname(
+        dns::Name::of("www.some-domain.org"), dns::RRType::AAAA, code, agent);
+    ASSERT_TRUE(qname.has_value());
+    const auto report = edns::parse_report_qname(*qname, agent);
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->qname, dns::Name::of("www.some-domain.org"));
+    EXPECT_EQ(report->qtype, dns::RRType::AAAA);
+    EXPECT_EQ(report->code, code);
+  }
+}
+
+TEST(ReportQname, OversizedReportIsSkipped) {
+  const std::string big(63, 'x');
+  const auto long_name =
+      dns::Name::of(big + "." + big + "." + big + ".com");
+  const auto qname = edns::make_report_qname(
+      long_name, dns::RRType::A, EdeCode::DnssecBogus,
+      dns::Name::of(big + ".report.example"));
+  EXPECT_FALSE(qname.has_value());
+}
+
+TEST(ReportQname, ParserRejectsNonReports) {
+  const auto agent = dns::Name::of("agent.example");
+  EXPECT_FALSE(edns::parse_report_qname(dns::Name::of("www.agent.example"),
+                                        agent)
+                   .has_value());
+  EXPECT_FALSE(edns::parse_report_qname(
+                   dns::Name::of("_er.notanumber.a.7._er.agent.example"),
+                   agent)
+                   .has_value());
+  EXPECT_FALSE(edns::parse_report_qname(dns::Name::of("other.domain"), agent)
+                   .has_value());
+}
+
+TEST(ReportAgent, RecordsAndConfirms) {
+  server::ReportAgent agent(dns::Name::of("agent.example"));
+  const auto qname = edns::make_report_qname(
+      dns::Name::of("x.test"), dns::RRType::A, EdeCode::DnskeyMissing,
+      agent.agent_domain());
+  const auto response =
+      agent.handle(dns::make_query(9, *qname, dns::RRType::TXT));
+  EXPECT_EQ(response.header.rcode, dns::RCode::NOERROR);
+  EXPECT_TRUE(response.header.aa);
+  ASSERT_EQ(agent.reports().size(), 1u);
+  EXPECT_EQ(agent.reports().front().qname, dns::Name::of("x.test"));
+  EXPECT_EQ(agent.reports().front().code, EdeCode::DnskeyMissing);
+}
+
+// --- the full loop over a small simulated hierarchy ----------------------
+
+class ErrorReportingLoop : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_shared<sim::Clock>();
+    network_ = std::make_shared<sim::Network>(clock_);
+
+    const dns::Name root_name;
+    const dns::Name broken = dns::Name::of("broken.test");
+    const dns::Name agent_domain = dns::Name::of("agent.test");
+
+    // The broken child: signed, then all signatures expired; its server
+    // advertises the reporting agent.
+    auto child = std::make_shared<zone::Zone>(broken);
+    dns::SoaRdata soa;
+    soa.mname = broken;
+    soa.rname = broken;
+    soa.minimum = 300;
+    child->add(broken, dns::RRType::SOA, soa);
+    child->add(broken, dns::RRType::NS,
+               dns::NsRdata{dns::Name::of("ns1.broken.test")});
+    child->add(dns::Name::of("ns1.broken.test"), dns::RRType::A,
+               dns::ARdata{*dns::Ipv4Address::parse("93.184.220.1")});
+    child->add(broken, dns::RRType::A,
+               dns::ARdata{*dns::Ipv4Address::parse("93.184.220.9")});
+    const auto child_keys = zone::make_zone_keys(broken);
+    zone::SigningPolicy policy;
+    zone::sign_zone(*child, child_keys, policy);
+    testbed::apply_mutation(*child, child_keys, policy,
+                            testbed::Mutation::RrsigExpireAll);
+
+    server::ServerConfig child_config;
+    child_config.report_agent = agent_domain;
+    child_server_ = std::make_shared<server::AuthServer>(child_config);
+    child_server_->add_zone(child);
+    network_->attach(sim::NodeAddress::of("93.184.220.1"),
+                     child_server_->endpoint());
+
+    // The reporting agent.
+    agent_ = std::make_shared<server::ReportAgent>(agent_domain);
+    network_->attach(sim::NodeAddress::of("93.184.220.2"),
+                     agent_->endpoint());
+
+    // A signed root delegating to both.
+    auto root_zone = std::make_shared<zone::Zone>(root_name);
+    dns::SoaRdata root_soa;
+    root_soa.mname = dns::Name::of("a.root-servers.net");
+    root_soa.rname = root_name;
+    root_zone->add(root_name, dns::RRType::SOA, root_soa);
+    root_zone->add(root_name, dns::RRType::NS,
+                   dns::NsRdata{dns::Name::of("a.root-servers.net")});
+    root_zone->add(dns::Name::of("a.root-servers.net"), dns::RRType::A,
+                   dns::ARdata{*dns::Ipv4Address::parse("198.41.0.4")});
+    root_zone->add(broken, dns::RRType::NS,
+                   dns::NsRdata{dns::Name::of("ns1.broken.test")});
+    root_zone->add(dns::Name::of("ns1.broken.test"), dns::RRType::A,
+                   dns::ARdata{*dns::Ipv4Address::parse("93.184.220.1")});
+    for (const auto& ds : zone::ds_records(broken, child_keys)) {
+      root_zone->add(broken, dns::RRType::DS, ds);
+    }
+    root_zone->add(agent_domain, dns::RRType::NS,
+                   dns::NsRdata{dns::Name::of("ns1.agent.test")});
+    root_zone->add(dns::Name::of("ns1.agent.test"), dns::RRType::A,
+                   dns::ARdata{*dns::Ipv4Address::parse("93.184.220.2")});
+    const auto root_keys = zone::make_zone_keys(root_name);
+    trust_anchor_ = root_keys.ksk.dnskey;
+    zone::sign_zone(*root_zone, root_keys, {});
+    root_server_ = std::make_shared<server::AuthServer>();
+    root_server_->add_zone(root_zone);
+    network_->attach(sim::NodeAddress::of("198.41.0.4"),
+                     root_server_->endpoint());
+  }
+
+  resolver::RecursiveResolver make(bool reporting) {
+    resolver::ResolverOptions options;
+    options.enable_error_reporting = reporting;
+    return resolver::RecursiveResolver(
+        network_, resolver::profile_cloudflare(),
+        {sim::NodeAddress::of("198.41.0.4")}, trust_anchor_, options);
+  }
+
+  std::shared_ptr<sim::Clock> clock_;
+  std::shared_ptr<sim::Network> network_;
+  std::shared_ptr<server::AuthServer> child_server_;
+  std::shared_ptr<server::AuthServer> root_server_;
+  std::shared_ptr<server::ReportAgent> agent_;
+  dns::DnskeyRdata trust_anchor_;
+};
+
+TEST_F(ErrorReportingLoop, FailureIsReportedToTheAgent) {
+  auto resolver = make(/*reporting=*/true);
+  const auto outcome =
+      resolver.resolve(dns::Name::of("broken.test"), dns::RRType::A);
+
+  EXPECT_EQ(outcome.rcode, dns::RCode::SERVFAIL);
+  ASSERT_FALSE(outcome.errors.empty());
+  EXPECT_EQ(outcome.errors.front().code, EdeCode::SignatureExpired);
+  ASSERT_TRUE(outcome.report_agent.has_value());
+  EXPECT_EQ(*outcome.report_agent, dns::Name::of("agent.test"));
+  ASSERT_TRUE(outcome.report_sent.has_value());
+
+  ASSERT_EQ(agent_->reports().size(), 1u);
+  const auto& report = agent_->reports().front();
+  EXPECT_EQ(report.qname, dns::Name::of("broken.test"));
+  EXPECT_EQ(report.qtype, dns::RRType::A);
+  EXPECT_EQ(report.code, EdeCode::SignatureExpired);
+}
+
+TEST_F(ErrorReportingLoop, ReportsAreDeduplicated) {
+  auto resolver = make(/*reporting=*/true);
+  (void)resolver.resolve(dns::Name::of("broken.test"), dns::RRType::A);
+  (void)resolver.resolve(dns::Name::of("broken.test"), dns::RRType::A);
+  (void)resolver.resolve(dns::Name::of("broken.test"), dns::RRType::A);
+  EXPECT_EQ(agent_->reports().size(), 1u);
+}
+
+TEST_F(ErrorReportingLoop, DisabledByDefault) {
+  auto resolver = make(/*reporting=*/false);
+  const auto outcome =
+      resolver.resolve(dns::Name::of("broken.test"), dns::RRType::A);
+  EXPECT_FALSE(outcome.report_sent.has_value());
+  EXPECT_TRUE(agent_->reports().empty());
+}
+
+TEST_F(ErrorReportingLoop, NoReportOnSuccess) {
+  // The agent domain itself resolves fine and must not self-report.
+  auto resolver = make(/*reporting=*/true);
+  const auto outcome = resolver.resolve(
+      dns::Name::of("anything.agent.test"), dns::RRType::TXT);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR);
+  EXPECT_TRUE(agent_->reports().empty());
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Forwarder tests: the full stub → forwarder → recursive → authoritative
+// chain over the simulated network, EDE forwarding (and stripping), the
+// forwarder's own cache-layer codes, and the resolver-as-endpoint shim.
+#include <gtest/gtest.h>
+
+#include "edns/edns.hpp"
+#include "resolver/forwarder.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace ede;
+using resolver::Forwarder;
+using resolver::ForwarderOptions;
+
+class ForwarderChain : public ::testing::Test {
+ protected:
+  ForwarderChain()
+      : clock_(std::make_shared<sim::Clock>()),
+        network_(std::make_shared<sim::Network>(clock_)),
+        testbed_(network_) {
+    // A recursive resolver living at 198.51.200.53.
+    recursive_ = std::make_shared<resolver::RecursiveResolver>(
+        testbed_.make_resolver(resolver::profile_cloudflare()));
+    network_->attach(sim::NodeAddress::of("198.51.200.53"),
+                     resolver::make_resolver_endpoint(recursive_));
+  }
+
+  Forwarder make_forwarder(ForwarderOptions options = {}) {
+    return Forwarder(network_, sim::NodeAddress::of("198.51.200.99"),
+                     {sim::NodeAddress::of("198.51.200.53")}, options);
+  }
+
+  static dns::Message client_query(std::string_view name) {
+    return dns::make_query(77, dns::Name::of(name), dns::RRType::A,
+                           /*recursion_desired=*/true);
+  }
+
+  std::shared_ptr<sim::Clock> clock_;
+  std::shared_ptr<sim::Network> network_;
+  testbed::Testbed testbed_;
+  std::shared_ptr<resolver::RecursiveResolver> recursive_;
+};
+
+TEST_F(ForwarderChain, ForwardsPositiveAnswers) {
+  auto forwarder = make_forwarder();
+  const auto response =
+      forwarder.handle(client_query("valid.extended-dns-errors.com"));
+  EXPECT_EQ(response.header.rcode, dns::RCode::NOERROR);
+  EXPECT_EQ(response.header.id, 77);
+  EXPECT_TRUE(response.header.ad);  // upstream validated
+  EXPECT_FALSE(response.answer.empty());
+}
+
+TEST_F(ForwarderChain, ForwardsExtendedErrorsFromUpstream) {
+  auto forwarder = make_forwarder();
+  const auto response =
+      forwarder.handle(client_query("ds-bad-tag.extended-dns-errors.com"));
+  EXPECT_EQ(response.header.rcode, dns::RCode::SERVFAIL);
+  const auto errors = edns::get_extended_errors(response);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors.front().code, edns::EdeCode::DnskeyMissing);
+}
+
+TEST_F(ForwarderChain, StrippingModeLosesTheDiagnosis) {
+  ForwarderOptions options;
+  options.forward_extended_errors = false;
+  auto forwarder = make_forwarder(options);
+  const auto response =
+      forwarder.handle(client_query("ds-bad-tag.extended-dns-errors.com"));
+  EXPECT_EQ(response.header.rcode, dns::RCode::SERVFAIL);
+  EXPECT_TRUE(edns::get_extended_errors(response).empty());
+}
+
+TEST_F(ForwarderChain, AnswersFromCacheSecondTime) {
+  auto forwarder = make_forwarder();
+  (void)forwarder.handle(client_query("valid.extended-dns-errors.com"));
+  const auto sent = network_->stats().packets_sent;
+  const auto response =
+      forwarder.handle(client_query("valid.extended-dns-errors.com"));
+  EXPECT_EQ(network_->stats().packets_sent, sent);  // no upstream traffic
+  EXPECT_EQ(response.header.rcode, dns::RCode::NOERROR);
+  EXPECT_FALSE(response.answer.empty());
+}
+
+TEST_F(ForwarderChain, CachedServfailGetsCode13) {
+  auto forwarder = make_forwarder();
+  (void)forwarder.handle(client_query("bad-zsk.extended-dns-errors.com"));
+  const auto response =
+      forwarder.handle(client_query("bad-zsk.extended-dns-errors.com"));
+  EXPECT_EQ(response.header.rcode, dns::RCode::SERVFAIL);
+  const auto errors = edns::get_extended_errors(response);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_EQ(errors.front().code, edns::EdeCode::CachedError);
+}
+
+TEST_F(ForwarderChain, StaleServiceWhenUpstreamDies) {
+  auto forwarder = make_forwarder();
+  (void)forwarder.handle(client_query("valid.extended-dns-errors.com"));
+  network_->detach(sim::NodeAddress::of("198.51.200.53"));
+  clock_->advance(3 * 3600);
+  const auto response =
+      forwarder.handle(client_query("valid.extended-dns-errors.com"));
+  EXPECT_EQ(response.header.rcode, dns::RCode::NOERROR);
+  const auto errors = edns::get_extended_errors(response);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors.front().code, edns::EdeCode::StaleAnswer);
+}
+
+TEST_F(ForwarderChain, HonestFailureWithoutStaleState) {
+  auto forwarder = make_forwarder();
+  network_->detach(sim::NodeAddress::of("198.51.200.53"));
+  const auto response =
+      forwarder.handle(client_query("valid.extended-dns-errors.com"));
+  EXPECT_EQ(response.header.rcode, dns::RCode::SERVFAIL);
+  const auto errors = edns::get_extended_errors(response);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors.front().code, edns::EdeCode::NoReachableAuthority);
+}
+
+TEST_F(ForwarderChain, RefusesIterativeQueries) {
+  auto forwarder = make_forwarder();
+  auto query = dns::make_query(1, dns::Name::of("x.test"), dns::RRType::A,
+                               /*recursion_desired=*/false);
+  EXPECT_EQ(forwarder.handle(query).header.rcode, dns::RCode::REFUSED);
+}
+
+TEST_F(ForwarderChain, WholeChainOverTheWire) {
+  // stub -> forwarder endpoint -> resolver endpoint -> authorities,
+  // every hop in wire format.
+  auto forwarder = std::make_shared<Forwarder>(
+      network_, sim::NodeAddress::of("198.51.200.99"),
+      std::vector<sim::NodeAddress>{sim::NodeAddress::of("198.51.200.53")},
+      ForwarderOptions{});
+  network_->attach(sim::NodeAddress::of("198.51.200.100"),
+                   forwarder->endpoint());
+
+  const auto query =
+      client_query("allow-query-none.extended-dns-errors.com");
+  const auto result =
+      network_->send(sim::NodeAddress::of("198.51.201.1"),
+                     sim::NodeAddress::of("198.51.200.100"),
+                     query.serialize());
+  ASSERT_EQ(result.status, sim::SendStatus::Delivered);
+  const auto response = dns::Message::parse(result.response);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().header.rcode, dns::RCode::SERVFAIL);
+  std::vector<std::uint16_t> codes;
+  for (const auto& e : edns::get_extended_errors(response.value()))
+    codes.push_back(static_cast<std::uint16_t>(e.code));
+  std::sort(codes.begin(), codes.end());
+  EXPECT_EQ(codes, (std::vector<std::uint16_t>{9, 22, 23}));
+}
+
+TEST_F(ForwarderChain, ResolverEndpointRefusesWithoutRd) {
+  auto query = dns::make_query(5, dns::Name::of("x.test"), dns::RRType::A,
+                               /*recursion_desired=*/false);
+  const auto result = network_->send(sim::NodeAddress::of("198.51.201.1"),
+                                     sim::NodeAddress::of("198.51.200.53"),
+                                     query.serialize());
+  ASSERT_EQ(result.status, sim::SendStatus::Delivered);
+  const auto response = dns::Message::parse(result.response);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().header.rcode, dns::RCode::REFUSED);
+}
+
+}  // namespace

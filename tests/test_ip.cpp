@@ -1,0 +1,156 @@
+// IP address parsing/formatting and IANA special-purpose classification —
+// the substrate behind testbed groups 6/7 (invalid glue) and the simulated
+// network's reachability model.
+#include <gtest/gtest.h>
+
+#include "dnscore/ip.hpp"
+
+namespace {
+
+using namespace ede::dns;
+
+TEST(Ipv4, ParseAndFormat) {
+  const auto addr = Ipv4Address::parse("192.0.2.1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->to_string(), "192.0.2.1");
+  EXPECT_EQ(addr->octets()[0], 192);
+  EXPECT_EQ(addr->value(), 0xc0000201u);
+}
+
+TEST(Ipv4, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.x").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv6, ParseCanonicalForms) {
+  EXPECT_EQ(Ipv6Address::parse("::")->to_string(), "::");
+  EXPECT_EQ(Ipv6Address::parse("::1")->to_string(), "::1");
+  EXPECT_EQ(Ipv6Address::parse("2001:db8::1")->to_string(), "2001:db8::1");
+  EXPECT_EQ(Ipv6Address::parse("2001:DB8::1")->to_string(), "2001:db8::1");
+  EXPECT_EQ(Ipv6Address::parse("fe80::")->to_string(), "fe80::");
+  EXPECT_EQ(
+      Ipv6Address::parse("2001:db8:0:0:1:0:0:1")->to_string(),
+      "2001:db8::1:0:0:1");  // longest zero run compressed (RFC 5952)
+  EXPECT_EQ(Ipv6Address::parse("1:2:3:4:5:6:7:8")->to_string(),
+            "1:2:3:4:5:6:7:8");
+}
+
+TEST(Ipv6, ParseEmbeddedIpv4) {
+  const auto mapped = Ipv6Address::parse("::ffff:192.0.2.1");
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_EQ(mapped->octets()[10], 0xff);
+  EXPECT_EQ(mapped->octets()[12], 192);
+}
+
+TEST(Ipv6, RejectsMalformed) {
+  EXPECT_FALSE(Ipv6Address::parse("").has_value());
+  EXPECT_FALSE(Ipv6Address::parse(":::").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("1::2::3").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7:8:9").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("12345::").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("g::1").has_value());
+}
+
+TEST(Ipv6, RoundTripThroughText) {
+  for (const char* text :
+       {"::", "::1", "2001:db8::8:800:200c:417a", "ff01::101",
+        "fe80::204:61ff:fe9d:f156", "64:ff9b::c000:201"}) {
+    const auto parsed = Ipv6Address::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    const auto reparsed = Ipv6Address::parse(parsed->to_string());
+    ASSERT_TRUE(reparsed.has_value()) << parsed->to_string();
+    EXPECT_EQ(*parsed, *reparsed) << text;
+  }
+}
+
+struct ScopeCase {
+  const char* address;
+  AddressScope scope;
+};
+
+class V4Classification : public ::testing::TestWithParam<ScopeCase> {};
+
+TEST_P(V4Classification, MatchesIanaRegistry) {
+  const auto addr = Ipv4Address::parse(GetParam().address);
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(classify(*addr), GetParam().scope) << GetParam().address;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecialPurpose, V4Classification,
+    ::testing::Values(
+        ScopeCase{"0.0.0.0", AddressScope::ThisHost},
+        ScopeCase{"0.255.255.255", AddressScope::ThisHost},
+        ScopeCase{"10.0.0.1", AddressScope::Private},
+        ScopeCase{"100.64.0.1", AddressScope::Private},
+        ScopeCase{"127.0.0.1", AddressScope::Loopback},
+        ScopeCase{"169.254.0.1", AddressScope::LinkLocal},
+        ScopeCase{"172.16.0.1", AddressScope::Private},
+        ScopeCase{"172.32.0.1", AddressScope::GlobalUnicast},
+        ScopeCase{"192.0.0.1", AddressScope::Reserved},
+        ScopeCase{"192.0.2.1", AddressScope::Documentation},
+        ScopeCase{"192.168.255.255", AddressScope::Private},
+        ScopeCase{"198.18.0.1", AddressScope::Reserved},
+        ScopeCase{"198.51.100.7", AddressScope::Documentation},
+        ScopeCase{"203.0.113.9", AddressScope::Documentation},
+        ScopeCase{"224.0.0.1", AddressScope::Multicast},
+        ScopeCase{"240.0.0.1", AddressScope::Reserved},
+        ScopeCase{"8.8.8.8", AddressScope::GlobalUnicast},
+        ScopeCase{"198.41.0.4", AddressScope::GlobalUnicast}));
+
+class V6Classification : public ::testing::TestWithParam<ScopeCase> {};
+
+TEST_P(V6Classification, MatchesIanaRegistry) {
+  const auto addr = Ipv6Address::parse(GetParam().address);
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(classify(*addr), GetParam().scope) << GetParam().address;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecialPurpose, V6Classification,
+    ::testing::Values(
+        ScopeCase{"::", AddressScope::ThisHost},
+        ScopeCase{"::1", AddressScope::Loopback},
+        ScopeCase{"::ffff:192.0.2.1", AddressScope::Mapped},
+        ScopeCase{"::192.0.2.1", AddressScope::Mapped},
+        ScopeCase{"64:ff9b::c000:201", AddressScope::Nat64},
+        ScopeCase{"100::1", AddressScope::Reserved},
+        ScopeCase{"2001:db8::1", AddressScope::Documentation},
+        ScopeCase{"fc00::1", AddressScope::Private},
+        ScopeCase{"fd12:3456::1", AddressScope::Private},
+        ScopeCase{"fe80::1", AddressScope::LinkLocal},
+        ScopeCase{"ff02::1", AddressScope::Multicast},
+        ScopeCase{"2606:4700::1111", AddressScope::GlobalUnicast}));
+
+TEST(Scope, OnlyGlobalUnicastIsRoutable) {
+  EXPECT_TRUE(is_routable(AddressScope::GlobalUnicast));
+  for (const auto scope :
+       {AddressScope::Private, AddressScope::Loopback, AddressScope::LinkLocal,
+        AddressScope::ThisHost, AddressScope::Documentation,
+        AddressScope::Reserved, AddressScope::Multicast, AddressScope::Mapped,
+        AddressScope::Nat64}) {
+    EXPECT_FALSE(is_routable(scope)) << to_string(scope);
+  }
+}
+
+TEST(Prefix, V4PrefixMatching) {
+  const auto addr = *Ipv4Address::parse("10.1.2.3");
+  EXPECT_TRUE(addr.in_prefix(*Ipv4Address::parse("10.0.0.0"), 8));
+  EXPECT_FALSE(addr.in_prefix(*Ipv4Address::parse("11.0.0.0"), 8));
+  EXPECT_TRUE(addr.in_prefix(*Ipv4Address::parse("0.0.0.0"), 0));
+  EXPECT_TRUE(addr.in_prefix(addr, 32));
+}
+
+TEST(Prefix, V6PrefixMatching) {
+  const auto addr = *Ipv6Address::parse("2001:db8:abcd::1");
+  EXPECT_TRUE(addr.in_prefix(*Ipv6Address::parse("2001:db8::"), 32));
+  EXPECT_FALSE(addr.in_prefix(*Ipv6Address::parse("2001:db9::"), 32));
+  EXPECT_TRUE(addr.in_prefix(*Ipv6Address::parse("2000::"), 3));
+}
+
+}  // namespace

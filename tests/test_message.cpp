@@ -1,0 +1,140 @@
+// Message-level tests: header flags, full serialize/parse round-trips,
+// EDNS extended-RCODE plumbing and malformed-message rejection.
+#include <gtest/gtest.h>
+
+#include "dnscore/message.hpp"
+#include "edns/edns.hpp"
+
+namespace {
+
+using namespace ede::dns;
+
+Message sample_response() {
+  Message msg = make_query(0x1234, Name::of("example.com"), RRType::A);
+  msg.header.qr = true;
+  msg.header.aa = true;
+  msg.header.ra = true;
+  msg.answer.push_back({Name::of("example.com"), RRType::A, RRClass::IN, 3600,
+                        ARdata{*Ipv4Address::parse("192.0.2.1")}});
+  msg.answer.push_back({Name::of("example.com"), RRType::A, RRClass::IN, 3600,
+                        ARdata{*Ipv4Address::parse("192.0.2.2")}});
+  msg.authority.push_back({Name::of("example.com"), RRType::NS, RRClass::IN,
+                           86400, NsRdata{Name::of("ns1.example.com")}});
+  msg.additional.push_back({Name::of("ns1.example.com"), RRType::A,
+                            RRClass::IN, 3600,
+                            ARdata{*Ipv4Address::parse("192.0.2.53")}});
+  return msg;
+}
+
+TEST(Message, QueryRoundTrip) {
+  const Message query = make_query(42, Name::of("www.example.com"), RRType::AAAA);
+  const auto parsed = Message::parse(query.serialize());
+  ASSERT_TRUE(parsed.ok());
+  const auto& msg = parsed.value();
+  EXPECT_EQ(msg.header.id, 42);
+  EXPECT_FALSE(msg.header.qr);
+  EXPECT_TRUE(msg.header.rd);
+  ASSERT_EQ(msg.question.size(), 1u);
+  EXPECT_EQ(msg.question.front().qname, Name::of("www.example.com"));
+  EXPECT_EQ(msg.question.front().qtype, RRType::AAAA);
+  EXPECT_EQ(msg.question.front().qclass, RRClass::IN);
+}
+
+TEST(Message, FullResponseRoundTrip) {
+  const Message original = sample_response();
+  const auto parsed = Message::parse(original.serialize());
+  ASSERT_TRUE(parsed.ok());
+  const auto& msg = parsed.value();
+  EXPECT_TRUE(msg.header.qr);
+  EXPECT_TRUE(msg.header.aa);
+  EXPECT_TRUE(msg.header.ra);
+  ASSERT_EQ(msg.answer.size(), 2u);
+  ASSERT_EQ(msg.authority.size(), 1u);
+  ASSERT_EQ(msg.additional.size(), 1u);
+  EXPECT_EQ(msg.answer[0], original.answer[0]);
+  EXPECT_EQ(msg.authority[0], original.authority[0]);
+  EXPECT_EQ(msg.additional[0], original.additional[0]);
+}
+
+TEST(Message, CompressionShrinksRepeatedNames) {
+  const Message msg = sample_response();
+  const auto wire = msg.serialize();
+  // Uncompressed, "example.com" appears 4+ times (13 bytes each). With
+  // compression the message must be well under that.
+  std::size_t uncompressed = 12;  // header
+  uncompressed += 13 + 4;                       // question
+  uncompressed += 3 * (13 + 10) + 4 + 4 + 13 + 4;  // very rough floor
+  EXPECT_LT(wire.size(), uncompressed);
+  // And it still parses back to the same content.
+  EXPECT_TRUE(Message::parse(wire).ok());
+}
+
+TEST(Message, AllFlagBitsSurvive) {
+  Message msg = make_query(7, Name::of("x.test"), RRType::TXT);
+  msg.header.qr = true;
+  msg.header.aa = true;
+  msg.header.tc = true;
+  msg.header.rd = true;
+  msg.header.ra = true;
+  msg.header.ad = true;
+  msg.header.cd = true;
+  msg.header.opcode = Opcode::NOTIFY;
+  msg.header.rcode = RCode::REFUSED;
+  const auto parsed = Message::parse(msg.serialize());
+  ASSERT_TRUE(parsed.ok());
+  const auto& h = parsed.value().header;
+  EXPECT_TRUE(h.qr && h.aa && h.tc && h.rd && h.ra && h.ad && h.cd);
+  EXPECT_EQ(h.opcode, Opcode::NOTIFY);
+  EXPECT_EQ(h.rcode, RCode::REFUSED);
+}
+
+TEST(Message, ExtendedRcodeNeedsOpt) {
+  Message msg = make_query(1, Name::of("a.test"), RRType::A);
+  msg.header.rcode = RCode::BADVERS;  // 16: does not fit the 4-bit field
+  EXPECT_THROW((void)msg.serialize(), std::logic_error);
+}
+
+TEST(Message, ExtendedRcodeRoundTripsThroughOpt) {
+  Message msg = make_query(1, Name::of("a.test"), RRType::A);
+  msg.header.qr = true;
+  ede::edns::set_edns(msg, ede::edns::Edns{});
+  msg.header.rcode = RCode::BADCOOKIE;  // 23
+  const auto parsed = Message::parse(msg.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().header.rcode, RCode::BADCOOKIE);
+}
+
+TEST(Message, RejectsTrailingBytes) {
+  auto wire = make_query(1, Name::of("a.test"), RRType::A).serialize();
+  wire.push_back(0x00);
+  EXPECT_FALSE(Message::parse(wire).ok());
+}
+
+TEST(Message, RejectsTruncatedHeader) {
+  const ede::crypto::Bytes wire = {0x00, 0x01, 0x00};
+  EXPECT_FALSE(Message::parse(wire).ok());
+}
+
+TEST(Message, RejectsCountsBeyondData) {
+  auto wire = make_query(1, Name::of("a.test"), RRType::A).serialize();
+  wire[5] = 9;  // claim 9 questions
+  EXPECT_FALSE(Message::parse(wire).ok());
+}
+
+TEST(Message, FindOptLocatesThePseudoRecord) {
+  Message msg = make_query(1, Name::of("a.test"), RRType::A);
+  EXPECT_EQ(msg.find_opt(), nullptr);
+  ede::edns::set_edns(msg, ede::edns::Edns{});
+  ASSERT_NE(msg.find_opt(), nullptr);
+  EXPECT_EQ(msg.find_opt()->type, RRType::OPT);
+}
+
+TEST(Message, ToStringMentionsSections) {
+  const auto text = sample_response().to_string();
+  EXPECT_NE(text.find("QUESTION SECTION"), std::string::npos);
+  EXPECT_NE(text.find("ANSWER SECTION"), std::string::npos);
+  EXPECT_NE(text.find("AUTHORITY SECTION"), std::string::npos);
+  EXPECT_NE(text.find("192.0.2.1"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Domain-name tests: parsing, escapes, size limits, canonical ordering
+// (RFC 4034 §6.1) and case-insensitive semantics (RFC 4343).
+#include <gtest/gtest.h>
+
+#include "dnscore/name.hpp"
+
+namespace {
+
+using ede::dns::Name;
+
+TEST(Name, RootParsesAndPrints) {
+  const Name root = Name::of(".");
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.label_count(), 0u);
+  EXPECT_EQ(root.to_string(), ".");
+  EXPECT_EQ(root.wire_length(), 1u);
+}
+
+TEST(Name, SimpleNameRoundTrips) {
+  const Name name = Name::of("www.example.com");
+  EXPECT_EQ(name.label_count(), 3u);
+  EXPECT_EQ(name.to_string(), "www.example.com.");
+  EXPECT_EQ(name.wire_length(), 1 + 4 + 8 + 4);  // labels + lengths + root
+}
+
+TEST(Name, TrailingDotIsOptional) {
+  EXPECT_EQ(Name::of("example.com"), Name::of("example.com."));
+}
+
+TEST(Name, ComparisonIsCaseInsensitive) {
+  EXPECT_EQ(Name::of("WWW.Example.COM"), Name::of("www.example.com"));
+  EXPECT_EQ(Name::of("WWW.Example.COM").hash(),
+            Name::of("www.example.com").hash());
+}
+
+TEST(Name, CasePreservedInPresentation) {
+  EXPECT_EQ(Name::of("WwW.ExAmPle.com").to_string(), "WwW.ExAmPle.com.");
+}
+
+TEST(Name, RejectsEmptyAndBadLabels) {
+  EXPECT_FALSE(Name::parse("").ok());
+  EXPECT_FALSE(Name::parse("a..b").ok());
+  EXPECT_FALSE(Name::parse(".leading").ok());
+}
+
+TEST(Name, RejectsOversizedLabel) {
+  const std::string label64(64, 'a');
+  EXPECT_FALSE(Name::parse(label64 + ".com").ok());
+  const std::string label63(63, 'a');
+  EXPECT_TRUE(Name::parse(label63 + ".com").ok());
+}
+
+TEST(Name, RejectsOversizedName) {
+  // Four 63-byte labels => 4*64 + 1 = 257 > 255.
+  const std::string label(63, 'a');
+  const std::string too_long = label + "." + label + "." + label + "." + label;
+  EXPECT_FALSE(Name::parse(too_long).ok());
+}
+
+TEST(Name, DecimalEscapes) {
+  const Name name = Name::of("a\\046b.example");  // "a.b" as one label
+  EXPECT_EQ(name.label_count(), 2u);
+  EXPECT_EQ(name.labels().front(), "a.b");
+  EXPECT_EQ(name.to_string(), "a\\.b.example.");
+}
+
+TEST(Name, CharacterEscapes) {
+  const Name name = Name::of("a\\.b.c");
+  EXPECT_EQ(name.label_count(), 2u);
+  EXPECT_EQ(name.labels().front(), "a.b");
+}
+
+TEST(Name, ParentWalksTowardsRoot) {
+  Name name = Name::of("a.b.c");
+  name = name.parent();
+  EXPECT_EQ(name, Name::of("b.c"));
+  name = name.parent();
+  EXPECT_EQ(name, Name::of("c"));
+  name = name.parent();
+  EXPECT_TRUE(name.is_root());
+  EXPECT_THROW(name.parent(), std::logic_error);
+}
+
+TEST(Name, PrefixedPrepends) {
+  EXPECT_EQ(Name::of("example.com").prefixed("www").take(),
+            Name::of("www.example.com"));
+}
+
+TEST(Name, SubdomainChecks) {
+  const Name root;
+  const Name com = Name::of("com");
+  const Name example = Name::of("example.com");
+  EXPECT_TRUE(example.is_subdomain_of(root));
+  EXPECT_TRUE(example.is_subdomain_of(com));
+  EXPECT_TRUE(example.is_subdomain_of(example));
+  EXPECT_FALSE(com.is_subdomain_of(example));
+  EXPECT_FALSE(Name::of("notexample.com").is_subdomain_of(example));
+  EXPECT_TRUE(Name::of("EXAMPLE.COM").is_subdomain_of(example));
+}
+
+// RFC 4034 §6.1 gives the canonical ordering of an example zone; the same
+// relative order must fall out of canonical_compare.
+TEST(Name, CanonicalOrderMatchesRfc4034Example) {
+  const std::vector<std::string> ordered = {
+      "example",      "a.example",         "yljkjljk.a.example",
+      "Z.a.example",  "zABC.a.EXAMPLE",    "z.example",
+      "\\001.z.example", "*.z.example",    "\\200.z.example",
+  };
+  for (std::size_t i = 0; i + 1 < ordered.size(); ++i) {
+    const Name a = Name::of(ordered[i]);
+    const Name b = Name::of(ordered[i + 1]);
+    EXPECT_EQ(a.canonical_compare(b), std::strong_ordering::less)
+        << ordered[i] << " should sort before " << ordered[i + 1];
+    EXPECT_EQ(b.canonical_compare(a), std::strong_ordering::greater);
+  }
+}
+
+TEST(Name, CanonicalCompareEqualIgnoresCase) {
+  EXPECT_EQ(Name::of("ExAmPlE.CoM").canonical_compare(Name::of("example.com")),
+            std::strong_ordering::equal);
+}
+
+TEST(Name, CanonicalWireLowercases) {
+  const auto wire = Name::of("WwW.CoM").canonical_wire();
+  const ede::crypto::Bytes expected = {3, 'w', 'w', 'w', 3, 'c', 'o', 'm', 0};
+  EXPECT_EQ(wire, expected);
+}
+
+TEST(Name, WirePreservesCase) {
+  const auto wire = Name::of("Ab").wire();
+  const ede::crypto::Bytes expected = {2, 'A', 'b', 0};
+  EXPECT_EQ(wire, expected);
+}
+
+TEST(Name, NonPrintablePresentationUsesDecimalEscapes) {
+  const Name name = Name::from_labels({std::string("\x01\x02", 2)}).take();
+  EXPECT_EQ(name.to_string(), "\\001\\002.");
+}
+
+}  // namespace

@@ -1,0 +1,240 @@
+// Flat-NSEC (RFC 4034 §4) denial-of-existence tests: signing, chain
+// invariants, server proof composition, validator acceptance/rejection and
+// a full end-to-end resolution through an NSEC-signed hierarchy.
+#include <gtest/gtest.h>
+
+#include "dnssec/nsec3.hpp"
+#include "edns/edns.hpp"
+#include "resolver/resolver.hpp"
+#include "server/auth_server.hpp"
+#include "zone/signer.hpp"
+
+namespace {
+
+using namespace ede;
+using namespace ede::dnssec;
+using dns::Name;
+using dns::RRType;
+
+TEST(NsecCovers, OrderingAndWraparound) {
+  const Name apex = Name::of("z.example");
+  const Name a = Name::of("a.z.example");
+  const Name m = Name::of("m.z.example");
+  const Name z = Name::of("zz.z.example");
+  EXPECT_TRUE(nsec_covers(a, z, m));
+  EXPECT_FALSE(nsec_covers(a, m, z));
+  EXPECT_FALSE(nsec_covers(a, z, a));
+  EXPECT_FALSE(nsec_covers(a, z, z));
+  // Last record wraps to the apex: covers names after the owner.
+  EXPECT_TRUE(nsec_covers(z, apex, Name::of("zzz.z.example")));
+  // The apex sorts before everything under it: nothing below sneaks in.
+  EXPECT_FALSE(nsec_covers(z, apex, m));
+}
+
+const zone::SigningPolicy& nsec_policy() {
+  static const zone::SigningPolicy policy = [] {
+    zone::SigningPolicy p;
+    p.denial = zone::DenialMode::Nsec;
+    return p;
+  }();
+  return policy;
+}
+
+class NsecZone : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    zone_ = std::make_shared<zone::Zone>(Name::of("flat.example"));
+    dns::SoaRdata soa;
+    soa.mname = Name::of("ns1.flat.example");
+    soa.rname = Name::of("hostmaster.flat.example");
+    soa.minimum = 300;
+    zone_->add(zone_->origin(), RRType::SOA, soa);
+    zone_->add(zone_->origin(), RRType::NS,
+               dns::NsRdata{Name::of("ns1.flat.example")});
+    zone_->add(Name::of("ns1.flat.example"), RRType::A,
+               dns::ARdata{*dns::Ipv4Address::parse("93.184.221.1")});
+    zone_->add(Name::of("alpha.flat.example"), RRType::A,
+               dns::ARdata{*dns::Ipv4Address::parse("93.184.221.2")});
+    zone_->add(Name::of("omega.flat.example"), RRType::TXT,
+               dns::TxtRdata{{"last"}});
+    // An unsigned delegation for the DS-absence proof.
+    zone_->add(Name::of("child.flat.example"), RRType::NS,
+               dns::NsRdata{Name::of("ns1.child.flat.example")});
+    zone_->add(Name::of("ns1.child.flat.example"), RRType::A,
+               dns::ARdata{*dns::Ipv4Address::parse("93.184.221.3")});
+    keys_ = zone::make_zone_keys(zone_->origin());
+    zone::sign_zone(*zone_, keys_, nsec_policy());
+    server_.add_zone(zone_);
+  }
+
+  dns::Message ask(std::string_view qname, RRType qtype) {
+    dns::Message query = dns::make_query(1, Name::of(qname), qtype);
+    edns::Edns e;
+    e.dnssec_ok = true;
+    e.udp_payload_size = 0xffff;
+    edns::set_edns(query, e);
+    return server_.handle(
+        query, sim::PacketContext{sim::NodeAddress::of("192.0.2.9")});
+  }
+
+  std::vector<dns::DnskeyRdata> keys() const {
+    return {keys_.ksk.dnskey, keys_.zsk.dnskey};
+  }
+
+  std::shared_ptr<zone::Zone> zone_;
+  zone::ZoneKeys keys_;
+  server::AuthServer server_;
+};
+
+TEST_F(NsecZone, ChainIsClosedInCanonicalOrder) {
+  std::vector<Name> owners;
+  for (const auto& name : zone_->names()) {
+    if (zone_->find(name, RRType::NSEC) != nullptr) owners.push_back(name);
+  }
+  ASSERT_GE(owners.size(), 4u);
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    const auto* rrset = zone_->find(owners[i], RRType::NSEC);
+    const auto& nsec = std::get<dns::NsecRdata>(rrset->rdatas.front());
+    EXPECT_EQ(nsec.next_domain, owners[(i + 1) % owners.size()])
+        << owners[i].to_string();
+  }
+}
+
+TEST_F(NsecZone, NsecRecordsAreSignedIncludingAtTheCut) {
+  for (const auto& name : zone_->names()) {
+    if (zone_->find(name, RRType::NSEC) == nullptr) continue;
+    EXPECT_FALSE(zone_->signatures(name, RRType::NSEC).empty())
+        << name.to_string();
+  }
+}
+
+TEST_F(NsecZone, NxdomainProofValidates) {
+  const auto response = ask("missing.flat.example", RRType::A);
+  EXPECT_EQ(response.header.rcode, dns::RCode::NXDOMAIN);
+  const auto result = validate_negative_response(
+      Name::of("missing.flat.example"), RRType::A, zone_->origin(),
+      dns::group_rrsets(response.authority), keys(), sim::kDefaultNow, {});
+  EXPECT_EQ(result.security, Security::Secure) << [&] {
+    std::string s;
+    for (const auto& f : result.findings) s += to_string(f) + "; ";
+    return s;
+  }();
+}
+
+TEST_F(NsecZone, NodataProofValidates) {
+  const auto response = ask("alpha.flat.example", RRType::TXT);
+  EXPECT_EQ(response.header.rcode, dns::RCode::NOERROR);
+  EXPECT_TRUE(response.answer.empty());
+  const auto result = validate_negative_response(
+      Name::of("alpha.flat.example"), RRType::TXT, zone_->origin(),
+      dns::group_rrsets(response.authority), keys(), sim::kDefaultNow, {});
+  EXPECT_EQ(result.security, Security::Secure);
+}
+
+TEST_F(NsecZone, NodataProofRejectsLyingBitmap) {
+  // Claim TXT does exist at alpha: the validator must refuse the proof.
+  const auto response = ask("alpha.flat.example", RRType::TXT);
+  auto authority = dns::group_rrsets(response.authority);
+  for (auto& set : authority) {
+    if (set.type != RRType::NSEC) continue;
+    for (auto& rd : set.rdatas) {
+      std::get<dns::NsecRdata>(rd).types.add(RRType::TXT);
+    }
+  }
+  const auto result = validate_negative_response(
+      Name::of("alpha.flat.example"), RRType::TXT, zone_->origin(),
+      authority, keys(), sim::kDefaultNow, {});
+  EXPECT_EQ(result.security, Security::Bogus);
+}
+
+TEST_F(NsecZone, UnsignedNsecIsRejected) {
+  const auto response = ask("missing.flat.example", RRType::A);
+  auto authority = dns::group_rrsets(response.authority);
+  // Strip every RRSIG.
+  authority.erase(std::remove_if(authority.begin(), authority.end(),
+                                 [](const dns::RRset& set) {
+                                   return set.type == RRType::RRSIG;
+                                 }),
+                  authority.end());
+  const auto result = validate_negative_response(
+      Name::of("missing.flat.example"), RRType::A, zone_->origin(),
+      authority, keys(), sim::kDefaultNow, {});
+  EXPECT_EQ(result.security, Security::Bogus);
+}
+
+TEST_F(NsecZone, DsAbsenceProofAtTheCut) {
+  const auto response = ask("www.child.flat.example", RRType::A);
+  // A referral with the cut's NSEC proving no DS.
+  const auto result = validate_ds_absence(
+      Name::of("child.flat.example"), zone_->origin(),
+      dns::group_rrsets(response.authority), keys(), sim::kDefaultNow, {});
+  EXPECT_EQ(result.security, Security::Insecure);
+}
+
+TEST(NsecEndToEnd, FullResolutionThroughAnNsecSignedHierarchy) {
+  auto clock = std::make_shared<sim::Clock>();
+  auto network = std::make_shared<sim::Network>(clock);
+
+  // Root (NSEC-signed) delegating to an NSEC-signed child.
+  const Name root_name;
+  const Name child_name = Name::of("nsec.test");
+  auto child = std::make_shared<zone::Zone>(child_name);
+  dns::SoaRdata soa;
+  soa.mname = child_name;
+  soa.rname = child_name;
+  soa.minimum = 300;
+  child->add(child_name, RRType::SOA, soa);
+  child->add(child_name, RRType::NS,
+             dns::NsRdata{Name::of("ns1.nsec.test")});
+  child->add(Name::of("ns1.nsec.test"), RRType::A,
+             dns::ARdata{*dns::Ipv4Address::parse("93.184.222.1")});
+  child->add(child_name, RRType::A,
+             dns::ARdata{*dns::Ipv4Address::parse("93.184.222.9")});
+  const auto child_keys = zone::make_zone_keys(child_name);
+  zone::sign_zone(*child, child_keys, nsec_policy());
+  auto child_server = std::make_shared<server::AuthServer>();
+  child_server->add_zone(child);
+  network->attach(sim::NodeAddress::of("93.184.222.1"),
+                  child_server->endpoint());
+
+  auto root = std::make_shared<zone::Zone>(root_name);
+  dns::SoaRdata root_soa;
+  root_soa.mname = Name::of("a.root-servers.net");
+  root_soa.rname = root_name;
+  root->add(root_name, RRType::SOA, root_soa);
+  root->add(root_name, RRType::NS,
+            dns::NsRdata{Name::of("a.root-servers.net")});
+  root->add(Name::of("a.root-servers.net"), RRType::A,
+            dns::ARdata{*dns::Ipv4Address::parse("198.41.0.4")});
+  root->add(child_name, RRType::NS, dns::NsRdata{Name::of("ns1.nsec.test")});
+  root->add(Name::of("ns1.nsec.test"), RRType::A,
+            dns::ARdata{*dns::Ipv4Address::parse("93.184.222.1")});
+  for (const auto& ds : zone::ds_records(child_name, child_keys)) {
+    root->add(child_name, RRType::DS, ds);
+  }
+  const auto root_keys = zone::make_zone_keys(root_name);
+  zone::sign_zone(*root, root_keys, nsec_policy());
+  auto root_server = std::make_shared<server::AuthServer>();
+  root_server->add_zone(root);
+  network->attach(sim::NodeAddress::of("198.41.0.4"),
+                  root_server->endpoint());
+
+  resolver::RecursiveResolver resolver(
+      network, resolver::profile_cloudflare(),
+      {sim::NodeAddress::of("198.41.0.4")}, root_keys.ksk.dnskey, {});
+
+  // Positive, secure.
+  const auto positive = resolver.resolve(child_name, RRType::A);
+  EXPECT_EQ(positive.rcode, dns::RCode::NOERROR);
+  EXPECT_EQ(positive.security, Security::Secure);
+  EXPECT_TRUE(positive.errors.empty());
+
+  // NXDOMAIN with a validated flat-NSEC proof.
+  const auto negative =
+      resolver.resolve(Name::of("missing.nsec.test"), RRType::A);
+  EXPECT_EQ(negative.rcode, dns::RCode::NXDOMAIN);
+  EXPECT_EQ(negative.security, Security::Secure);
+  EXPECT_TRUE(negative.errors.empty());
+}
+
+}  // namespace

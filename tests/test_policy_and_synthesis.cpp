@@ -1,0 +1,143 @@
+// Tests for the resolver's response-policy layer (EDE 15/16/17 — the
+// codes the paper's testbed excludes as "resolver configuration") and for
+// RFC 8198 aggressive NSEC caching (EDE 29 Synthesized).
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace ede;
+using resolver::PolicyAction;
+using resolver::PolicyRule;
+using resolver::ResolverOptions;
+
+class PolicyAndSynthesis : public ::testing::Test {
+ protected:
+  PolicyAndSynthesis()
+      : network_(std::make_shared<sim::Network>(
+            std::make_shared<sim::Clock>())),
+        testbed_(network_) {}
+
+  std::shared_ptr<sim::Network> network_;
+  testbed::Testbed testbed_;
+};
+
+TEST_F(PolicyAndSynthesis, BlockedQueryGetsEde15) {
+  ResolverOptions options;
+  options.policy.push_back({dns::Name::of("valid.extended-dns-errors.com"),
+                            PolicyAction::Block, "on the local blocklist"});
+  auto resolver =
+      testbed_.make_resolver(resolver::profile_powerdns(), options);
+  const auto outcome = resolver.resolve(
+      dns::Name::of("valid.extended-dns-errors.com"), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NXDOMAIN);
+  EXPECT_EQ(outcome.upstream_queries, 0);  // never left the resolver
+  ASSERT_EQ(outcome.errors.size(), 1u);
+  EXPECT_EQ(outcome.errors.front().code, edns::EdeCode::Blocked);
+  EXPECT_EQ(outcome.errors.front().extra_text, "on the local blocklist");
+}
+
+TEST_F(PolicyAndSynthesis, PolicyAppliesToSubdomains) {
+  ResolverOptions options;
+  options.policy.push_back({dns::Name::of("extended-dns-errors.com"),
+                            PolicyAction::Censor, ""});
+  auto resolver = testbed_.make_resolver(resolver::profile_bind(), options);
+  const auto outcome = resolver.resolve(
+      dns::Name::of("deep.under.valid.extended-dns-errors.com"),
+      dns::RRType::A);
+  ASSERT_EQ(outcome.errors.size(), 1u);
+  EXPECT_EQ(outcome.errors.front().code, edns::EdeCode::Censored);
+}
+
+TEST_F(PolicyAndSynthesis, FilterActionMapsToEde17) {
+  ResolverOptions options;
+  options.policy.push_back({dns::Name::of("valid.extended-dns-errors.com"),
+                            PolicyAction::Filter, "family shield"});
+  auto resolver = testbed_.make_resolver(resolver::profile_bind(), options);
+  const auto outcome = resolver.resolve(
+      dns::Name::of("valid.extended-dns-errors.com"), dns::RRType::A);
+  ASSERT_EQ(outcome.errors.size(), 1u);
+  EXPECT_EQ(outcome.errors.front().code, edns::EdeCode::Filtered);
+}
+
+TEST_F(PolicyAndSynthesis, VendorsWithoutRpzSupportStaySilent) {
+  // Quad9's profile has no policy-code mappings: blocked answer, no EDE.
+  ResolverOptions options;
+  options.policy.push_back({dns::Name::of("valid.extended-dns-errors.com"),
+                            PolicyAction::Block, ""});
+  auto resolver = testbed_.make_resolver(resolver::profile_quad9(), options);
+  const auto outcome = resolver.resolve(
+      dns::Name::of("valid.extended-dns-errors.com"), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NXDOMAIN);
+  EXPECT_TRUE(outcome.errors.empty());
+}
+
+TEST_F(PolicyAndSynthesis, UnrelatedNamesAreUnaffectedByPolicy) {
+  ResolverOptions options;
+  options.policy.push_back({dns::Name::of("blocked.example"),
+                            PolicyAction::Block, ""});
+  auto resolver =
+      testbed_.make_resolver(resolver::profile_cloudflare(), options);
+  const auto outcome = resolver.resolve(
+      dns::Name::of("valid.extended-dns-errors.com"), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR);
+  EXPECT_TRUE(outcome.errors.empty());
+}
+
+TEST_F(PolicyAndSynthesis, AggressiveCachingSynthesizesNxdomain) {
+  ResolverOptions options;
+  options.aggressive_nsec_caching = true;
+  auto resolver =
+      testbed_.make_resolver(resolver::profile_reference(), options);
+
+  // First NXDOMAIN populates the validated range cache.
+  const auto first = resolver.resolve(
+      dns::Name::of("aaa-missing.valid.extended-dns-errors.com"),
+      dns::RRType::A);
+  ASSERT_EQ(first.rcode, dns::RCode::NXDOMAIN);
+  ASSERT_EQ(first.security, dnssec::Security::Secure);
+
+  // A *different* nonexistent name covered by the same NSEC3 range must be
+  // answered locally: zero upstream queries and EDE 29.
+  const auto sent_before = network_->stats().packets_sent;
+  const auto second = resolver.resolve(
+      dns::Name::of("zzz-missing.valid.extended-dns-errors.com"),
+      dns::RRType::A);
+  EXPECT_EQ(second.rcode, dns::RCode::NXDOMAIN);
+  EXPECT_EQ(second.security, dnssec::Security::Secure);
+  EXPECT_EQ(network_->stats().packets_sent, sent_before);
+  ASSERT_EQ(second.errors.size(), 1u);
+  EXPECT_EQ(second.errors.front().code, edns::EdeCode::Synthesized);
+}
+
+TEST_F(PolicyAndSynthesis, SynthesisIsOffByDefault) {
+  auto resolver = testbed_.make_resolver(resolver::profile_reference());
+  (void)resolver.resolve(
+      dns::Name::of("aaa-missing.valid.extended-dns-errors.com"),
+      dns::RRType::A);
+  const auto sent_before = network_->stats().packets_sent;
+  const auto second = resolver.resolve(
+      dns::Name::of("zzz-missing.valid.extended-dns-errors.com"),
+      dns::RRType::A);
+  EXPECT_GT(network_->stats().packets_sent, sent_before);
+  EXPECT_TRUE(second.errors.empty());
+}
+
+TEST_F(PolicyAndSynthesis, SynthesisNeverShadowsExistingNames) {
+  ResolverOptions options;
+  options.aggressive_nsec_caching = true;
+  auto resolver =
+      testbed_.make_resolver(resolver::profile_reference(), options);
+  (void)resolver.resolve(
+      dns::Name::of("aaa-missing.valid.extended-dns-errors.com"),
+      dns::RRType::A);
+  // The apex itself exists: its hash matches an NSEC3 owner, which covers
+  // nothing, so it must still resolve positively.
+  const auto outcome = resolver.resolve(
+      dns::Name::of("valid.extended-dns-errors.com"), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR);
+  EXPECT_TRUE(outcome.errors.empty());
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Vendor-profile tests: mapping coverage, per-vendor quirks the paper
+// documents, and the validator-configuration differences.
+#include <gtest/gtest.h>
+
+#include "resolver/profile.hpp"
+
+namespace {
+
+using namespace ede::resolver;
+using ede::dnssec::Defect;
+using ede::dnssec::Finding;
+using ede::dnssec::Stage;
+using ede::edns::EdeCode;
+
+Finding finding(Defect defect, std::string detail = "detail") {
+  return {Stage::Answer, defect, std::move(detail)};
+}
+
+TEST(Profiles, AllSevenInTable4Order) {
+  const auto profiles = all_profiles();
+  ASSERT_EQ(profiles.size(), 7u);
+  EXPECT_EQ(profiles[0].vendor, Vendor::Bind);
+  EXPECT_EQ(profiles[1].vendor, Vendor::Unbound);
+  EXPECT_EQ(profiles[2].vendor, Vendor::PowerDns);
+  EXPECT_EQ(profiles[3].vendor, Vendor::Knot);
+  EXPECT_EQ(profiles[4].vendor, Vendor::Cloudflare);
+  EXPECT_EQ(profiles[5].vendor, Vendor::Quad9);
+  EXPECT_EQ(profiles[6].vendor, Vendor::OpenDns);
+}
+
+TEST(Profiles, BindEmitsNoDnssecCodes) {
+  const auto bind = profile_bind();
+  EXPECT_FALSE(bind.ede_for(finding(Defect::NoMatchingDnskeyForDs)));
+  EXPECT_FALSE(bind.ede_for(finding(Defect::AnswerRrsigMissing)));
+  EXPECT_FALSE(bind.ede_for(finding(Defect::ServerRefused)));
+  // But the serve-stale codes it had shipped are wired.
+  EXPECT_EQ(bind.ede_for(finding(Defect::StaleAnswerServed))->code,
+            EdeCode::StaleAnswer);
+}
+
+TEST(Profiles, OnlyCloudflareEmitsConnectivityCodes) {
+  for (const auto& profile : all_profiles()) {
+    const auto unreachable =
+        profile.ede_for(finding(Defect::AllServersUnreachable));
+    if (profile.vendor == Vendor::Cloudflare) {
+      ASSERT_TRUE(unreachable.has_value());
+      EXPECT_EQ(unreachable->code, EdeCode::NoReachableAuthority);
+    } else {
+      EXPECT_FALSE(unreachable.has_value()) << profile.name;
+    }
+  }
+}
+
+TEST(Profiles, OpenDnsMapsRefusedToProhibited) {
+  EXPECT_EQ(profile_opendns().ede_for(finding(Defect::ServerRefused))->code,
+            EdeCode::Prohibited);
+  EXPECT_EQ(profile_cloudflare().ede_for(finding(Defect::ServerRefused))->code,
+            EdeCode::NetworkError);
+}
+
+TEST(Profiles, SpecificityDifferencesOnKeyDefects) {
+  const auto f = finding(Defect::NoMatchingDnskeyForDs);
+  EXPECT_EQ(profile_unbound().ede_for(f)->code, EdeCode::DnskeyMissing);
+  EXPECT_EQ(profile_knot().ede_for(f)->code, EdeCode::DnssecBogus);
+  EXPECT_EQ(profile_opendns().ede_for(f)->code, EdeCode::DnssecBogus);
+}
+
+TEST(Profiles, CloudflareExcludesEd448) {
+  EXPECT_EQ(profile_cloudflare().validator.supported_algorithms.count(16), 0u);
+  for (const auto& profile : all_profiles()) {
+    if (profile.vendor == Vendor::Cloudflare) continue;
+    EXPECT_EQ(profile.validator.supported_algorithms.count(16), 1u)
+        << profile.name;
+  }
+}
+
+TEST(Profiles, NobodySupportsDeprecatedAlgorithms) {
+  for (const auto& profile : all_profiles()) {
+    EXPECT_EQ(profile.validator.supported_algorithms.count(1), 0u);
+    EXPECT_EQ(profile.validator.supported_algorithms.count(3), 0u);
+  }
+}
+
+TEST(Profiles, ExtraTextPolicies) {
+  // Cloudflare forwards the finding detail.
+  const auto cf =
+      profile_cloudflare().ede_for(finding(Defect::ServerRefused, "1.2.3.4"));
+  ASSERT_TRUE(cf.has_value());
+  EXPECT_EQ(cf->extra_text, "1.2.3.4");
+  // Knot uses its fixed LSLC text regardless of the detail.
+  const auto knot = profile_knot().ede_for(
+      {Stage::DsLookup, Defect::ZoneAlgorithmUnsupported, "whatever"});
+  ASSERT_TRUE(knot.has_value());
+  EXPECT_EQ(knot->extra_text, "LSLC: unsupported digest/key");
+  // Quad9 emits bare codes.
+  const auto q9 = profile_quad9().ede_for(
+      finding(Defect::NoMatchingDnskeyForDs, "something"));
+  ASSERT_TRUE(q9.has_value());
+  EXPECT_TRUE(q9->extra_text.empty());
+}
+
+TEST(Profiles, ReferenceMappingCoversEveryDiagnosableDefect) {
+  // The idealized profile must map every defect the testbed or the wild
+  // scan can produce — that is what makes the what-if experiment a ceiling.
+  const auto reference = profile_reference();
+  using D = Defect;
+  for (const auto defect :
+       {D::NoMatchingDnskeyForDs, D::KskNoZoneKeyBit, D::DsDigestMismatch,
+        D::DsUnassignedKeyAlgorithm, D::DsReservedKeyAlgorithm,
+        D::DsUnknownDigestType, D::DsUnsupportedDigestType,
+        D::ZoneAlgorithmUnsupported, D::DnskeyRrsigMissing,
+        D::DnskeyNotSignedByKsk, D::DnskeyKskSigInvalid, D::DnskeyRrsigInvalid,
+        D::DnskeyRrsigExpired, D::DnskeyRrsigNotYetValid,
+        D::DnskeyRrsigExpiredBeforeValid, D::NoZoneKeysAtAll,
+        D::StandbyKeyNotSigned, D::AnswerRrsigMissing, D::AnswerRrsigExpired,
+        D::AnswerRrsigNotYetValid, D::AnswerRrsigExpiredBeforeValid,
+        D::AnswerRrsigInvalid, D::AnswerSigKeyMissing, D::ZskNoZoneKeyBit,
+        D::ZskAlgorithmMismatch, D::ZskUnassignedAlgorithm,
+        D::ZskReservedAlgorithm, D::DenialNsec3RecordsMissing,
+        D::DenialNsec3NoMatchingHash, D::DenialNsec3BadNextOwner,
+        D::DenialNsec3SigInvalid, D::DenialNsec3SigMissing,
+        D::DenialParamMissing, D::DenialSaltMismatch, D::DenialAllMissing,
+        D::InsecureReferralProofFailed, D::Nsec3IterationsTooHigh,
+        D::AllServersUnreachable, D::ServerRefused, D::ServerServfail,
+        D::ServerTimeout, D::ServerNotAuth, D::DnskeyFetchFailed,
+        D::MismatchedQuestion, D::IterationLimitExceeded,
+        D::StaleAnswerServed, D::StaleNxdomainServed, D::CachedServfail,
+        D::QueryBlocked, D::QueryProhibited}) {
+    EXPECT_TRUE(reference.ede_for(finding(defect)).has_value())
+        << ede::dnssec::to_string(defect);
+  }
+}
+
+TEST(Profiles, ReferenceUsesTheCodesNobodyImplementedIn2023) {
+  const auto reference = profile_reference();
+  EXPECT_EQ(reference.ede_for(finding(Defect::DnskeyRrsigExpiredBeforeValid))
+                ->code,
+            EdeCode::SignatureExpiredBeforeValid);  // EDE 25
+  EXPECT_EQ(reference.ede_for(finding(Defect::ZskNoZoneKeyBit))->code,
+            EdeCode::NoZoneKeyBitSet);  // EDE 11
+  EXPECT_EQ(reference.ede_for(finding(Defect::Nsec3IterationsTooHigh))->code,
+            EdeCode::UnsupportedNsec3IterValue);  // EDE 27
+  // Every mapped code is a registered one.
+  for (const auto& [defect, code] : reference.mapping) {
+    (void)defect;
+    EXPECT_TRUE(ede::edns::is_registered(code));
+  }
+}
+
+TEST(Profiles, SourceAddressesAreDistinctAndRoutable) {
+  std::set<std::string> seen;
+  for (const auto& profile : all_profiles()) {
+    EXPECT_TRUE(seen.insert(profile.source.to_string()).second);
+  }
+  // The famous anycast addresses are spot-checked.
+  EXPECT_EQ(profile_cloudflare().source.to_string(), "1.1.1.1");
+  EXPECT_EQ(profile_quad9().source.to_string(), "9.9.9.9");
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// QNAME minimization (RFC 7816 / RFC 9156) tests: privacy property (upper
+// zones never see the full name), correctness on positive/negative
+// answers, and the headline invariant — the entire Table 4 matrix is
+// unchanged by the option.
+#include <gtest/gtest.h>
+
+#include "testbed/expected.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace ede;
+using resolver::ResolverOptions;
+
+class QnameMinimization : public ::testing::Test {
+ protected:
+  QnameMinimization()
+      : network_(std::make_shared<sim::Network>(
+            std::make_shared<sim::Clock>())),
+        testbed_(network_) {}
+
+  std::shared_ptr<sim::Network> network_;
+  testbed::Testbed testbed_;
+};
+
+std::vector<std::uint16_t> sorted_codes(const resolver::Outcome& o) {
+  std::vector<std::uint16_t> codes;
+  for (const auto& error : o.errors)
+    codes.push_back(static_cast<std::uint16_t>(error.code));
+  std::sort(codes.begin(), codes.end());
+  codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+  return codes;
+}
+
+TEST_F(QnameMinimization, PositiveResolutionStillWorks) {
+  ResolverOptions options;
+  options.qname_minimization = true;
+  auto resolver =
+      testbed_.make_resolver(resolver::profile_cloudflare(), options);
+  const auto outcome = resolver.resolve(
+      dns::Name::of("valid.extended-dns-errors.com"), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR);
+  EXPECT_EQ(outcome.security, dnssec::Security::Secure);
+  EXPECT_TRUE(outcome.errors.empty());
+}
+
+TEST_F(QnameMinimization, NegativeResolutionStillWorks) {
+  ResolverOptions options;
+  options.qname_minimization = true;
+  auto resolver =
+      testbed_.make_resolver(resolver::profile_cloudflare(), options);
+  const auto outcome = resolver.resolve(
+      dns::Name::of("nope.valid.extended-dns-errors.com"), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NXDOMAIN);
+  EXPECT_EQ(outcome.security, dnssec::Security::Secure);
+}
+
+TEST_F(QnameMinimization, EarlyNxdomainFromAnAncestor) {
+  ResolverOptions options;
+  options.qname_minimization = true;
+  auto resolver =
+      testbed_.make_resolver(resolver::profile_cloudflare(), options);
+  // "a.b.missing.extended-dns-errors.com": the "missing" label already
+  // does not exist, so minimization discovers NXDOMAIN one level early.
+  const auto outcome = resolver.resolve(
+      dns::Name::of("a.b.missing.extended-dns-errors.com"), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NXDOMAIN);
+  EXPECT_EQ(outcome.security, dnssec::Security::Secure);
+}
+
+TEST_F(QnameMinimization, UpperZonesNeverSeeTheFullName) {
+  // Tee the root server: record every query that reaches it.
+  std::vector<dns::Name> seen;
+  const auto root_addr = testbed_.root_servers().front();
+  // Rebuild a recording shim in front of the existing endpoint by
+  // resending through a fresh network tee: attach a wrapper that parses,
+  // records, and delegates to a second testbed's root... simplest honest
+  // tee: a second Testbed instance on a second Network is identical by
+  // construction, so forward into it.
+  auto inner_network = std::make_shared<sim::Network>(
+      std::make_shared<sim::Clock>());
+  auto inner_testbed = std::make_shared<testbed::Testbed>(inner_network);
+  network_->attach(
+      root_addr,
+      [inner_network, root_addr, &seen](
+          crypto::BytesView wire,
+          const sim::PacketContext& ctx) -> std::optional<crypto::Bytes> {
+        if (auto query = dns::Message::parse(wire); query.ok()) {
+          if (!query.value().question.empty())
+            seen.push_back(query.value().question.front().qname);
+        }
+        const auto result = inner_network->send(ctx.source, root_addr, wire);
+        if (result.status != sim::SendStatus::Delivered) return std::nullopt;
+        return result.response;
+      });
+
+  ResolverOptions options;
+  options.qname_minimization = true;
+  auto resolver =
+      testbed_.make_resolver(resolver::profile_cloudflare(), options);
+  const auto full_name = dns::Name::of("valid.extended-dns-errors.com");
+  const auto outcome = resolver.resolve(full_name, dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR);
+
+  ASSERT_FALSE(seen.empty());
+  for (const auto& qname : seen) {
+    EXPECT_FALSE(qname == full_name)
+        << "the root saw the full query name: " << qname.to_string();
+    EXPECT_LE(qname.label_count(), 1u);  // "." DNSKEY or "com" NS only
+  }
+}
+
+TEST_F(QnameMinimization, Table4MatrixIsInvariant) {
+  // The paper's matrix must not depend on this privacy mechanism: the
+  // findings are about zone state, not about how the resolver walked down.
+  ResolverOptions options;
+  options.qname_minimization = true;
+  const auto& expected = testbed::expected_table4();
+  const auto profiles = resolver::all_profiles();
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    auto resolver = testbed_.make_resolver(profiles[p], options);
+    for (std::size_t i = 0; i < testbed_.cases().size(); ++i) {
+      resolver.flush();
+      const auto outcome = resolver.resolve(
+          testbed_.query_name(testbed_.cases()[i]), dns::RRType::A);
+      EXPECT_EQ(sorted_codes(outcome), expected[i].codes[p])
+          << testbed_.cases()[i].label << " via " << profiles[p].name
+          << " with qname minimization";
+    }
+  }
+}
+
+TEST_F(QnameMinimization, CacheStillServesMinimizedResults) {
+  ResolverOptions options;
+  options.qname_minimization = true;
+  auto resolver =
+      testbed_.make_resolver(resolver::profile_cloudflare(), options);
+  (void)resolver.resolve(dns::Name::of("valid.extended-dns-errors.com"),
+                         dns::RRType::A);
+  const auto sent = network_->stats().packets_sent;
+  const auto outcome = resolver.resolve(
+      dns::Name::of("valid.extended-dns-errors.com"), dns::RRType::A);
+  EXPECT_EQ(network_->stats().packets_sent, sent);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR);
+}
+
+}  // namespace
+
+namespace {
+
+TEST_F(QnameMinimization, TraceShowsTheMinimizedWalk) {
+  resolver::ResolverOptions options;
+  options.qname_minimization = true;
+  auto resolver =
+      testbed_.make_resolver(resolver::profile_cloudflare(), options);
+  const auto outcome = resolver.resolve(
+      dns::Name::of("valid.extended-dns-errors.com"), dns::RRType::A);
+  ASSERT_GE(outcome.trace.size(), 3u);
+  // The first step queries the root for just the TLD.
+  EXPECT_TRUE(outcome.trace.front().zone.is_root());
+  EXPECT_EQ(outcome.trace.front().qname, dns::Name::of("com"));
+  EXPECT_EQ(outcome.trace.front().qtype, dns::RRType::NS);
+  // The last step is the full-name answer.
+  EXPECT_EQ(outcome.trace.back().qname,
+            dns::Name::of("valid.extended-dns-errors.com"));
+  EXPECT_EQ(outcome.trace.back().note, "answer");
+}
+
+TEST_F(QnameMinimization, TraceWithoutMinimizationAsksFullNames) {
+  auto resolver = testbed_.make_resolver(resolver::profile_cloudflare());
+  const auto outcome = resolver.resolve(
+      dns::Name::of("valid.extended-dns-errors.com"), dns::RRType::A);
+  ASSERT_FALSE(outcome.trace.empty());
+  for (const auto& step : outcome.trace) {
+    EXPECT_EQ(step.qname, dns::Name::of("valid.extended-dns-errors.com"));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// RDATA tests: encode/decode round-trips for every modeled type
+// (parameterized), the NSEC/NSEC3 type bitmap, RFC 3597 unknown types and
+// malformed-rdata rejection.
+#include <gtest/gtest.h>
+
+#include "crypto/encoding.hpp"
+#include "dnscore/rdata.hpp"
+
+namespace {
+
+using namespace ede::dns;
+using ede::crypto::Bytes;
+
+Rdata roundtrip(const Rdata& rdata) {
+  WireWriter w;
+  encode_rdata(w, rdata, /*compress=*/false);
+  WireReader r(w.data());
+  auto decoded = decode_rdata(r, rdata_type(rdata), w.size());
+  EXPECT_TRUE(decoded.ok()) << (decoded.ok() ? "" : decoded.error().message);
+  return std::move(decoded).take();
+}
+
+class RdataRoundTrip : public ::testing::TestWithParam<Rdata> {};
+
+TEST_P(RdataRoundTrip, EncodeDecodeIsIdentity) {
+  const Rdata& original = GetParam();
+  EXPECT_EQ(roundtrip(original), original);
+}
+
+TEST_P(RdataRoundTrip, PresentationFormatIsNonEmptyOrA) {
+  // Every modeled type has a printable presentation.
+  EXPECT_FALSE(rdata_to_string(GetParam()).empty());
+}
+
+Rdata sample_soa() {
+  SoaRdata soa;
+  soa.mname = Name::of("ns1.example.com");
+  soa.rname = Name::of("hostmaster.example.com");
+  soa.serial = 2023051500;
+  soa.refresh = 7200;
+  soa.retry = 3600;
+  soa.expire = 1209600;
+  soa.minimum = 300;
+  return soa;
+}
+
+Rdata sample_rrsig() {
+  RrsigRdata sig;
+  sig.type_covered = RRType::A;
+  sig.algorithm = 8;
+  sig.labels = 2;
+  sig.original_ttl = 3600;
+  sig.expiration = 1700600000;
+  sig.inception = 1700000000;
+  sig.key_tag = 34567;
+  sig.signer_name = Name::of("example.com");
+  sig.signature = {1, 2, 3, 4, 5, 6, 7, 8};
+  return sig;
+}
+
+Rdata sample_nsec3() {
+  Nsec3Rdata n3;
+  n3.hash_algorithm = 1;
+  n3.flags = 1;
+  n3.iterations = 12;
+  n3.salt = {0xaa, 0xbb, 0xcc, 0xdd};
+  n3.next_hashed_owner = Bytes(20, 0x42);
+  n3.types = TypeBitmap{{RRType::A, RRType::RRSIG}};
+  return n3;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, RdataRoundTrip,
+    ::testing::Values(
+        Rdata{ARdata{*Ipv4Address::parse("192.0.2.1")}},
+        Rdata{AaaaRdata{*Ipv6Address::parse("2001:db8::1")}},
+        Rdata{NsRdata{Name::of("ns1.example.com")}},
+        Rdata{CnameRdata{Name::of("target.example.net")}},
+        Rdata{PtrRdata{Name::of("host.example.org")}},
+        sample_soa(),
+        Rdata{MxRdata{10, Name::of("mail.example.com")}},
+        Rdata{TxtRdata{{"hello", "world"}}},
+        Rdata{TxtRdata{{std::string(255, 'x')}}},
+        Rdata{SrvRdata{1, 2, 443, Name::of("svc.example.com")}},
+        Rdata{DsRdata{12345, 8, 2, Bytes(32, 0xab)}},
+        Rdata{DnskeyRdata{257, 3, 8, Bytes(32, 0xcd)}},
+        sample_rrsig(),
+        Rdata{NsecRdata{Name::of("next.example.com"),
+                        TypeBitmap{{RRType::A, RRType::NS, RRType::SOA}}}},
+        sample_nsec3(),
+        Rdata{Nsec3ParamRdata{1, 0, 0, {0xab, 0xcd}}},
+        Rdata{Nsec3ParamRdata{1, 0, 200, {}}},
+        Rdata{OptRdata{{{15, {0x00, 0x09}}, {10, {1, 2, 3, 4}}}}},
+        Rdata{UnknownRdata{999, {0xde, 0xad, 0xbe, 0xef}}}));
+
+TEST(TypeBitmap, ContainsAndTypes) {
+  TypeBitmap bitmap({RRType::A, RRType::MX, RRType::AAAA});
+  EXPECT_TRUE(bitmap.contains(RRType::A));
+  EXPECT_TRUE(bitmap.contains(RRType::MX));
+  EXPECT_FALSE(bitmap.contains(RRType::NS));
+  bitmap.remove(RRType::MX);
+  EXPECT_FALSE(bitmap.contains(RRType::MX));
+  EXPECT_EQ(bitmap.types().size(), 2u);
+}
+
+TEST(TypeBitmap, HighTypesUseSecondWindow) {
+  // CAA = 257 lives in window block 1.
+  TypeBitmap bitmap({RRType::A, RRType::CAA});
+  WireWriter w;
+  bitmap.encode(w);
+  // Window 0 (A=1: one octet) + window 1 (257 & 0xff = 1: one octet).
+  const Bytes expected = {0, 1, 0x40, 1, 1, 0x40};
+  EXPECT_EQ(w.data(), expected);
+  const auto decoded = TypeBitmap::decode(w.data());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), bitmap);
+}
+
+TEST(TypeBitmap, RejectsDescendingWindows) {
+  const Bytes bad = {1, 1, 0x40, 0, 1, 0x40};
+  EXPECT_FALSE(TypeBitmap::decode(bad).ok());
+}
+
+TEST(TypeBitmap, RejectsOversizedWindow) {
+  const Bytes bad = {0, 33};
+  EXPECT_FALSE(TypeBitmap::decode(bad).ok());
+}
+
+TEST(TypeBitmap, EmptyBitmapEncodesToNothing) {
+  TypeBitmap bitmap;
+  WireWriter w;
+  bitmap.encode(w);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(DecodeRdata, RejectsLengthMismatch) {
+  // An A record with 5 bytes of rdata.
+  const Bytes data = {1, 2, 3, 4, 5};
+  WireReader r(data);
+  EXPECT_FALSE(decode_rdata(r, RRType::A, 5).ok());
+}
+
+TEST(DecodeRdata, RejectsTruncatedSoa) {
+  const Bytes data = {0};  // just a root mname, nothing else
+  WireReader r(data);
+  EXPECT_FALSE(decode_rdata(r, RRType::SOA, 1).ok());
+}
+
+TEST(DecodeRdata, OptionOverrunRejected) {
+  // OPT option claims 10 bytes but only 2 remain.
+  const Bytes data = {0x00, 0x0f, 0x00, 0x0a, 0xab, 0xcd};
+  WireReader r(data);
+  EXPECT_FALSE(decode_rdata(r, RRType::OPT, data.size()).ok());
+}
+
+TEST(DecodeRdata, UnknownTypePreservesBytes) {
+  const Bytes data = {9, 9, 9};
+  WireReader r(data);
+  const auto decoded = decode_rdata(r, static_cast<RRType>(4242), 3);
+  ASSERT_TRUE(decoded.ok());
+  const auto& unknown = std::get<UnknownRdata>(decoded.value());
+  EXPECT_EQ(unknown.type, 4242);
+  EXPECT_EQ(unknown.data, data);
+}
+
+TEST(RdataType, MatchesVariantAlternative) {
+  EXPECT_EQ(rdata_type(Rdata{ARdata{}}), RRType::A);
+  EXPECT_EQ(rdata_type(Rdata{OptRdata{}}), RRType::OPT);
+  EXPECT_EQ(rdata_type(Rdata{UnknownRdata{777, {}}}),
+            static_cast<RRType>(777));
+}
+
+TEST(Presentation, DsUsesHexDigest) {
+  const DsRdata ds{1234, 8, 2, {0xab, 0xcd}};
+  EXPECT_EQ(rdata_to_string(Rdata{ds}), "1234 8 2 abcd");
+}
+
+TEST(Presentation, Nsec3UsesBase32AndDashForEmptySalt) {
+  Nsec3Rdata n3;
+  n3.iterations = 0;
+  n3.next_hashed_owner = ede::crypto::to_bytes("foobar");
+  const auto text = rdata_to_string(Rdata{n3});
+  EXPECT_NE(text.find("cpnmuoj1e8"), std::string::npos);
+  EXPECT_NE(text.find(" - "), std::string::npos);
+}
+
+}  // namespace

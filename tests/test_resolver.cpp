@@ -1,0 +1,275 @@
+// Recursive-resolver behaviour tests on top of the testbed: caching
+// (positive, negative, stale, cached-error), the delegation cache, CNAME
+// chasing, iteration limits and wire-level annotation.
+#include <gtest/gtest.h>
+
+#include "edns/edns.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace ede;
+using resolver::RecursiveResolver;
+using resolver::ResolverOptions;
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  ResolverTest()
+      : clock_(std::make_shared<sim::Clock>()),
+        network_(std::make_shared<sim::Network>(clock_)),
+        testbed_(network_) {}
+
+  RecursiveResolver make(ResolverOptions options = {}) {
+    return testbed_.make_resolver(resolver::profile_cloudflare(), options);
+  }
+
+  dns::Name valid_name() const {
+    return dns::Name::of("valid.extended-dns-errors.com");
+  }
+
+  std::shared_ptr<sim::Clock> clock_;
+  std::shared_ptr<sim::Network> network_;
+  testbed::Testbed testbed_;
+};
+
+TEST_F(ResolverTest, ResolvesTheControlDomainSecurely) {
+  auto resolver = make();
+  const auto outcome = resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR);
+  EXPECT_EQ(outcome.security, dnssec::Security::Secure);
+  EXPECT_TRUE(outcome.errors.empty());
+  ASSERT_FALSE(outcome.response.answer.empty());
+  EXPECT_EQ(outcome.response.answer.front().type, dns::RRType::A);
+  // The answer carries its RRSIG.
+  bool has_sig = false;
+  for (const auto& rr : outcome.response.answer)
+    has_sig |= rr.type == dns::RRType::RRSIG;
+  EXPECT_TRUE(has_sig);
+}
+
+TEST_F(ResolverTest, SecondResolutionIsServedFromCache) {
+  auto resolver = make();
+  (void)resolver.resolve(valid_name(), dns::RRType::A);
+  const auto sent_before = network_->stats().packets_sent;
+  const auto outcome = resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_EQ(network_->stats().packets_sent, sent_before);  // zero upstream
+  EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR);
+  EXPECT_EQ(outcome.security, dnssec::Security::Secure);
+}
+
+TEST_F(ResolverTest, DelegationCacheSkipsTheUpperHierarchy) {
+  auto resolver = make();
+  const auto first = resolver.resolve(valid_name(), dns::RRType::A);
+  const auto second = resolver.resolve(
+      dns::Name::of("unsigned.extended-dns-errors.com"), dns::RRType::A);
+  // The second resolution reuses root/com/extended-dns-errors.com contexts.
+  EXPECT_LT(second.upstream_queries, first.upstream_queries);
+}
+
+TEST_F(ResolverTest, CacheDisabledGoesUpstreamEveryTime) {
+  ResolverOptions options;
+  options.cache.enabled = false;
+  auto resolver = make(options);
+  (void)resolver.resolve(valid_name(), dns::RRType::A);
+  const auto sent_before = network_->stats().packets_sent;
+  (void)resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_GT(network_->stats().packets_sent, sent_before);
+}
+
+TEST_F(ResolverTest, NegativeAnswersAreCached) {
+  auto resolver = make();
+  const auto name = dns::Name::of("nope.valid.extended-dns-errors.com");
+  const auto first = resolver.resolve(name, dns::RRType::A);
+  EXPECT_EQ(first.rcode, dns::RCode::NXDOMAIN);
+  const auto sent_before = network_->stats().packets_sent;
+  const auto second = resolver.resolve(name, dns::RRType::A);
+  EXPECT_EQ(second.rcode, dns::RCode::NXDOMAIN);
+  EXPECT_EQ(network_->stats().packets_sent, sent_before);
+}
+
+TEST_F(ResolverTest, ServfailIsCachedWithItsFindings) {
+  auto resolver = make();
+  const auto name = dns::Name::of("rrsig-exp-all.extended-dns-errors.com");
+  const auto first = resolver.resolve(name, dns::RRType::A);
+  EXPECT_EQ(first.rcode, dns::RCode::SERVFAIL);
+
+  const auto second = resolver.resolve(name, dns::RRType::A);
+  EXPECT_EQ(second.rcode, dns::RCode::SERVFAIL);
+  // Served from the error cache: EDE 13 plus the original diagnosis.
+  bool cached_error = false, original = false;
+  for (const auto& error : second.errors) {
+    cached_error |= error.code == edns::EdeCode::CachedError;
+    original |= error.code == edns::EdeCode::SignatureExpired;
+  }
+  EXPECT_TRUE(cached_error);
+  EXPECT_TRUE(original);
+}
+
+TEST_F(ResolverTest, StaleAnswerServedWhenAuthoritiesDie) {
+  auto resolver = make();
+  (void)resolver.resolve(valid_name(), dns::RRType::A);
+
+  // Kill the child's nameserver and let the TTL lapse.
+  const auto& spec = testbed_.cases().front();
+  ASSERT_EQ(spec.label, "valid");
+  network_->detach(sim::NodeAddress::of("93.184.218.1"));
+  clock_->advance(3600 * 3);  // past the 3600 s TTLs, within stale window
+
+  const auto outcome = resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR);
+  bool stale = false, unreachable = false;
+  for (const auto& error : outcome.errors) {
+    stale |= error.code == edns::EdeCode::StaleAnswer;
+    unreachable |= error.code == edns::EdeCode::NoReachableAuthority;
+  }
+  EXPECT_TRUE(stale);
+  EXPECT_TRUE(unreachable);
+}
+
+TEST_F(ResolverTest, NoStaleServiceWhenDisabled) {
+  ResolverOptions options;
+  options.serve_stale = false;
+  auto resolver = make(options);
+  (void)resolver.resolve(valid_name(), dns::RRType::A);
+  network_->detach(sim::NodeAddress::of("93.184.218.1"));
+  clock_->advance(3600 * 3);
+  const auto outcome = resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::SERVFAIL);
+}
+
+TEST_F(ResolverTest, EdeSurvivesTheWireRoundTrip) {
+  auto resolver = make();
+  const auto outcome = resolver.resolve(
+      dns::Name::of("ds-bad-tag.extended-dns-errors.com"), dns::RRType::A);
+  ASSERT_FALSE(outcome.errors.empty());
+  const auto wire = outcome.response.serialize();
+  const auto parsed = dns::Message::parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  const auto errors = edns::get_extended_errors(parsed.value());
+  ASSERT_EQ(errors.size(), outcome.errors.size());
+  EXPECT_EQ(errors.front().code, edns::EdeCode::DnskeyMissing);
+}
+
+TEST_F(ResolverTest, FlushDropsAllCachedState) {
+  auto resolver = make();
+  (void)resolver.resolve(valid_name(), dns::RRType::A);
+  resolver.flush();
+  const auto sent_before = network_->stats().packets_sent;
+  (void)resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_GT(network_->stats().packets_sent, sent_before);
+}
+
+TEST_F(ResolverTest, UpstreamQueriesAreCounted) {
+  auto resolver = make();
+  const auto outcome = resolver.resolve(valid_name(), dns::RRType::A);
+  // root DNSKEY + 3 referral levels + DNSKEY fetches + final answer.
+  EXPECT_GE(outcome.upstream_queries, 5);
+  EXPECT_LE(outcome.upstream_queries, 12);
+}
+
+TEST_F(ResolverTest, AnswersCarryTheAdBitOnlyWhenSecure) {
+  auto resolver = make();
+  const auto secure = resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_TRUE(secure.response.header.ad);
+  const auto insecure = resolver.resolve(
+      dns::Name::of("unsigned.extended-dns-errors.com"), dns::RRType::A);
+  EXPECT_FALSE(insecure.response.header.ad);
+  EXPECT_EQ(insecure.security, dnssec::Security::Insecure);
+}
+
+TEST_F(ResolverTest, ExhaustiveProbingStillResolves) {
+  ResolverOptions options;
+  options.exhaustive_ns_probing = true;
+  auto resolver = make(options);
+  const auto outcome = resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR);
+  EXPECT_EQ(outcome.security, dnssec::Security::Secure);
+}
+
+}  // namespace
+
+namespace {
+
+using namespace ede;
+
+TEST(ResolverTransport, RetransmissionDefeatsIntermittentLoss) {
+  auto clock = std::make_shared<sim::Clock>();
+  auto network = std::make_shared<sim::Network>(clock);
+  testbed::Testbed testbed(network);
+
+  // Drop every other packet to every server the control domain needs.
+  for (const char* addr : {"198.41.0.4", "192.5.6.30", "93.184.216.1",
+                           "93.184.218.1"}) {
+    network->inject_fault(sim::NodeAddress::of(addr),
+                          sim::Fault::Intermittent);
+  }
+  auto resolver = testbed.make_resolver(resolver::profile_cloudflare());
+  const auto outcome = resolver.resolve(
+      dns::Name::of("valid.extended-dns-errors.com"), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR);
+  EXPECT_EQ(outcome.security, dnssec::Security::Secure);
+  // The losses were observed (timeout findings) but overcome.
+  bool saw_timeout = false;
+  for (const auto& f : outcome.findings)
+    saw_timeout |= f.defect == dnssec::Defect::ServerTimeout;
+  EXPECT_TRUE(saw_timeout);
+}
+
+TEST(ResolverTransport, EdnsUnawareAuthorityIsFlagged) {
+  auto clock = std::make_shared<sim::Clock>();
+  auto network = std::make_shared<sim::Network>(clock);
+
+  // An unsigned hierarchy whose leaf server ignores EDNS entirely.
+  auto child = std::make_shared<zone::Zone>(dns::Name::of("legacy.test"));
+  dns::SoaRdata soa;
+  soa.mname = dns::Name::of("ns1.legacy.test");
+  soa.rname = dns::Name::of("legacy.test");
+  child->add(child->origin(), dns::RRType::SOA, soa);
+  child->add(child->origin(), dns::RRType::NS,
+             dns::NsRdata{dns::Name::of("ns1.legacy.test")});
+  child->add(dns::Name::of("ns1.legacy.test"), dns::RRType::A,
+             dns::ARdata{*dns::Ipv4Address::parse("93.184.225.1")});
+  child->add(child->origin(), dns::RRType::A,
+             dns::ARdata{*dns::Ipv4Address::parse("93.184.225.9")});
+  server::ServerConfig config;
+  config.edns_aware = false;
+  auto child_server = std::make_shared<server::AuthServer>(config);
+  child_server->add_zone(child);
+  network->attach(sim::NodeAddress::of("93.184.225.1"),
+                  child_server->endpoint());
+
+  auto root = std::make_shared<zone::Zone>(dns::Name{});
+  dns::SoaRdata root_soa;
+  root_soa.mname = dns::Name::of("a.root-servers.net");
+  root_soa.rname = dns::Name{};
+  root->add(dns::Name{}, dns::RRType::SOA, root_soa);
+  root->add(dns::Name{}, dns::RRType::NS,
+            dns::NsRdata{dns::Name::of("a.root-servers.net")});
+  root->add(dns::Name::of("a.root-servers.net"), dns::RRType::A,
+            dns::ARdata{*dns::Ipv4Address::parse("198.41.0.4")});
+  root->add(dns::Name::of("legacy.test"), dns::RRType::NS,
+            dns::NsRdata{dns::Name::of("ns1.legacy.test")});
+  root->add(dns::Name::of("ns1.legacy.test"), dns::RRType::A,
+            dns::ARdata{*dns::Ipv4Address::parse("93.184.225.1")});
+  const auto root_keys = zone::make_zone_keys(dns::Name{});
+  zone::sign_zone(*root, root_keys, {});
+  auto root_server = std::make_shared<server::AuthServer>();
+  root_server->add_zone(root);
+  network->attach(sim::NodeAddress::of("198.41.0.4"),
+                  root_server->endpoint());
+
+  resolver::RecursiveResolver resolver(
+      network, resolver::profile_cloudflare(),
+      {sim::NodeAddress::of("198.41.0.4")}, root_keys.ksk.dnskey, {});
+  const auto outcome =
+      resolver.resolve(dns::Name::of("legacy.test"), dns::RRType::A);
+  // Unsigned delegation: resolution succeeds despite the legacy server.
+  EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR);
+  bool flagged = false;
+  for (const auto& f : outcome.findings) {
+    flagged |= f.defect == dnssec::Defect::NoOptInResponse;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+}  // namespace

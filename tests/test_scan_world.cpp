@@ -1,0 +1,174 @@
+// White-box ScanWorld tests: per-category child-zone construction, the
+// on-demand synthesis determinism, provider pools and the CSV exporters.
+#include <gtest/gtest.h>
+
+#include "scan/export.hpp"
+#include "scan/scanner.hpp"
+
+namespace {
+
+using namespace ede;
+using namespace ede::scan;
+using dns::Name;
+using dns::RRType;
+
+class ScanWorldFixture : public ::testing::Test {
+ protected:
+  ScanWorldFixture()
+      : population_(generate_population([] {
+          PopulationConfig config;
+          config.total_domains = 3000;
+          config.seed = 21;
+          return config;
+        }())),
+        network_(std::make_shared<sim::Network>(
+            std::make_shared<sim::Clock>())),
+        world_(network_, population_) {}
+
+  const DomainSpec* first_of(Category category) const {
+    for (const auto& domain : population_.domains) {
+      if (domain.category == category) return &domain;
+    }
+    return nullptr;
+  }
+
+  Population population_;
+  std::shared_ptr<sim::Network> network_;
+  ScanWorld world_;
+};
+
+TEST_F(ScanWorldFixture, ChildZoneSynthesisIsDeterministic) {
+  const auto* domain = first_of(Category::Healthy);
+  ASSERT_NE(domain, nullptr);
+  const auto a = world_.build_child_zone(*domain);
+  const auto b = world_.build_child_zone(*domain);
+  EXPECT_EQ(a->record_count(), b->record_count());
+  EXPECT_EQ(a->origin(), b->origin());
+  // Signatures are bit-identical because keys derive from the zone name.
+  const auto sa = a->signatures(a->origin(), RRType::A);
+  const auto sb = b->signatures(b->origin(), RRType::A);
+  ASSERT_FALSE(sa.empty());
+  EXPECT_EQ(sa.front().signature, sb.front().signature);
+}
+
+TEST_F(ScanWorldFixture, HealthyZonesAreFullySigned) {
+  const auto* domain = first_of(Category::Healthy);
+  ASSERT_NE(domain, nullptr);
+  const auto zone = world_.build_child_zone(*domain);
+  EXPECT_NE(zone->find(zone->origin(), RRType::DNSKEY), nullptr);
+  EXPECT_FALSE(zone->signatures(zone->origin(), RRType::A).empty());
+  EXPECT_NE(zone->find(zone->origin(), RRType::NSEC3PARAM), nullptr);
+}
+
+TEST_F(ScanWorldFixture, LameZonesAreUnsignedAndPointAtDeadPools) {
+  for (const auto category : {Category::LameRefused, Category::LameTimeout,
+                              Category::LameUnroutable}) {
+    const auto* domain = first_of(category);
+    ASSERT_NE(domain, nullptr) << to_string(category);
+    const auto zone = world_.build_child_zone(*domain);
+    EXPECT_EQ(zone->find(zone->origin(), RRType::DNSKEY), nullptr)
+        << to_string(category);
+    const auto plan = plan_for(category);
+    const auto address = world_.provider_address(plan.pool, domain->provider);
+    if (category == Category::LameUnroutable) {
+      EXPECT_FALSE(address.is_routable());
+    } else {
+      EXPECT_TRUE(address.is_routable());
+    }
+  }
+}
+
+TEST_F(ScanWorldFixture, StandbyZoneCarriesThreeKeys) {
+  const auto* domain = first_of(Category::StandbyKsk);
+  ASSERT_NE(domain, nullptr);
+  const auto zone = world_.build_child_zone(*domain);
+  const auto* dnskey = zone->find(zone->origin(), RRType::DNSKEY);
+  ASSERT_NE(dnskey, nullptr);
+  EXPECT_EQ(dnskey->rdatas.size(), 3u);
+}
+
+TEST_F(ScanWorldFixture, CnameLoopZoneLoops) {
+  const auto* domain = first_of(Category::CnameLoop);
+  ASSERT_NE(domain, nullptr);
+  const auto zone = world_.build_child_zone(*domain);
+  const auto* apex_cname = zone->find(zone->origin(), RRType::CNAME);
+  ASSERT_NE(apex_cname, nullptr);
+  // Follow the chain three hops: it must never leave the zone.
+  Name cursor = zone->origin();
+  for (int hop = 0; hop < 3; ++hop) {
+    const auto* link = zone->find(cursor, RRType::CNAME);
+    ASSERT_NE(link, nullptr) << cursor.to_string();
+    cursor = std::get<dns::CnameRdata>(link->rdatas.front()).target;
+    EXPECT_TRUE(cursor.is_subdomain_of(zone->origin()));
+  }
+}
+
+TEST_F(ScanWorldFixture, PartialFailZoneHasTwoNameservers) {
+  const auto* domain = first_of(Category::PartialFail);
+  ASSERT_NE(domain, nullptr);
+  const auto zone = world_.build_child_zone(*domain);
+  const auto* ns = zone->find(zone->origin(), RRType::NS);
+  ASSERT_NE(ns, nullptr);
+  EXPECT_EQ(ns->rdatas.size(), 2u);
+}
+
+TEST_F(ScanWorldFixture, LookupFindsExactlyRegisteredNames) {
+  const auto& any = population_.domains.front();
+  EXPECT_EQ(world_.lookup(Name::of(any.fqdn)), &any);
+  EXPECT_EQ(world_.lookup(Name::of("not-registered.example")), nullptr);
+}
+
+TEST_F(ScanWorldFixture, ProviderPoolsAreBoundedAndDisjoint) {
+  std::map<int, std::set<std::string>> by_pool;
+  for (const auto pool :
+       {ServingPlan::Pool::Healthy, ServingPlan::Pool::Refused,
+        ServingPlan::Pool::Timeout, ServingPlan::Pool::Unroutable,
+        ServingPlan::Pool::Mangle, ServingPlan::Pool::NotAuth}) {
+    for (std::uint32_t slot = 0; slot < 300; slot += 7) {
+      by_pool[static_cast<int>(pool)].insert(
+          world_.provider_address(pool, slot).to_string());
+    }
+  }
+  // Pools are non-empty, bounded, and pairwise disjoint.
+  for (auto a = by_pool.begin(); a != by_pool.end(); ++a) {
+    EXPECT_FALSE(a->second.empty());
+    EXPECT_LE(a->second.size(), 256u);
+    for (auto b = std::next(a); b != by_pool.end(); ++b) {
+      for (const auto& address : a->second) {
+        EXPECT_EQ(b->second.count(address), 0u)
+            << address << " shared between pools " << a->first << " and "
+            << b->first;
+      }
+    }
+  }
+}
+
+TEST_F(ScanWorldFixture, CsvExportsAreWellFormed) {
+  auto resolver = world_.make_resolver(resolver::profile_cloudflare());
+  world_.prewarm(resolver);
+  Scanner::Options options;
+  options.stride = 5;  // fast partial scan is enough for shape checks
+  const auto result = Scanner(options).run(resolver, population_);
+
+  const auto s42 = section42_csv(result, population_);
+  EXPECT_EQ(s42.rfind("code,name,measured,scaled_up", 0), 0u);
+  EXPECT_GT(std::count(s42.begin(), s42.end(), '\n'), 3);
+
+  const auto f1 = figure1_csv(result, population_);
+  EXPECT_EQ(f1.rfind("group,ratio_percent,cdf", 0), 0u);
+  EXPECT_NE(f1.find("gtld,"), std::string::npos);
+  EXPECT_NE(f1.find("cctld,"), std::string::npos);
+
+  const auto f2 = figure2_csv(result);
+  EXPECT_EQ(f2.rfind("rank,cdf,noerror_share", 0), 0u);
+}
+
+TEST_F(ScanWorldFixture, ScannerStrideScansEveryNth) {
+  auto resolver = world_.make_resolver(resolver::profile_cloudflare());
+  Scanner::Options options;
+  options.stride = 10;
+  const auto result = Scanner(options).run(resolver, population_);
+  EXPECT_EQ(result.total_domains, (population_.domains.size() + 9) / 10);
+}
+
+}  // namespace

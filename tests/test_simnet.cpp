@@ -1,0 +1,146 @@
+// Simulated-network tests: routing, the special-purpose reachability
+// model, fault injection and statistics.
+#include <gtest/gtest.h>
+
+#include "simnet/network.hpp"
+
+namespace {
+
+using namespace ede::sim;
+using ede::crypto::Bytes;
+using ede::crypto::BytesView;
+
+Endpoint echo_endpoint() {
+  return [](BytesView data, const PacketContext&) {
+    return std::optional<Bytes>(Bytes(data.begin(), data.end()));
+  };
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<Clock> clock_ = std::make_shared<Clock>();
+  Network net_{clock_};
+  NodeAddress src_ = NodeAddress::of("192.0.2.100");
+  Bytes payload_ = {1, 2, 3};
+};
+
+TEST_F(NetworkTest, DeliversToAttachedEndpoint) {
+  const auto dst = NodeAddress::of("93.184.216.34");
+  net_.attach(dst, echo_endpoint());
+  const auto result = net_.send(src_, dst, payload_);
+  EXPECT_EQ(result.status, SendStatus::Delivered);
+  EXPECT_EQ(result.response, payload_);
+}
+
+TEST_F(NetworkTest, UnattachedRoutableAddressTimesOut) {
+  const auto result =
+      net_.send(src_, NodeAddress::of("93.184.216.35"), payload_);
+  EXPECT_EQ(result.status, SendStatus::Timeout);
+}
+
+TEST_F(NetworkTest, SpecialPurposeAddressesAreUnreachable) {
+  for (const char* addr : {"10.0.0.1", "192.168.1.1", "127.0.0.1",
+                           "192.0.2.1", "169.254.0.1", "0.0.0.0",
+                           "240.0.0.1", "224.0.0.1"}) {
+    const auto dst = NodeAddress::of(addr);
+    // Even an attached endpoint is unreachable if the address is special.
+    net_.attach(dst, echo_endpoint());
+    EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Unreachable)
+        << addr;
+  }
+  for (const char* addr :
+       {"::1", "fe80::1", "2001:db8::1", "ff02::1", "::ffff:192.0.2.1",
+        "64:ff9b::1", "fd00::1", "::"}) {
+    EXPECT_EQ(net_.send(src_, NodeAddress::of(addr), payload_).status,
+              SendStatus::Unreachable)
+        << addr;
+  }
+}
+
+TEST_F(NetworkTest, GlobalV6IsRoutable) {
+  const auto dst = NodeAddress::of("2606:4700::1111");
+  net_.attach(dst, echo_endpoint());
+  EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Delivered);
+}
+
+TEST_F(NetworkTest, EndpointSeesSourceAddress) {
+  const auto dst = NodeAddress::of("93.184.216.34");
+  NodeAddress seen;
+  net_.attach(dst, [&](BytesView, const PacketContext& ctx) {
+    seen = ctx.source;
+    return std::optional<Bytes>(Bytes{});
+  });
+  (void)net_.send(src_, dst, payload_);
+  EXPECT_EQ(seen, src_);
+}
+
+TEST_F(NetworkTest, SilentDropBecomesTimeout) {
+  const auto dst = NodeAddress::of("93.184.216.34");
+  net_.attach(dst, [](BytesView, const PacketContext&) {
+    return std::optional<Bytes>{};
+  });
+  EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Timeout);
+}
+
+TEST_F(NetworkTest, TimeoutFaultSwallowsPackets) {
+  const auto dst = NodeAddress::of("93.184.216.34");
+  net_.attach(dst, echo_endpoint());
+  net_.inject_fault(dst, Fault::Timeout);
+  EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Timeout);
+  net_.inject_fault(dst, Fault::None);
+  EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Delivered);
+}
+
+TEST_F(NetworkTest, IntermittentFaultDropsEveryOtherPacket) {
+  const auto dst = NodeAddress::of("93.184.216.34");
+  net_.attach(dst, echo_endpoint());
+  net_.inject_fault(dst, Fault::Intermittent);
+  EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Timeout);
+  EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Delivered);
+  EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Timeout);
+}
+
+TEST_F(NetworkTest, DetachRemovesEndpoint) {
+  const auto dst = NodeAddress::of("93.184.216.34");
+  net_.attach(dst, echo_endpoint());
+  EXPECT_TRUE(net_.attached(dst));
+  net_.detach(dst);
+  EXPECT_FALSE(net_.attached(dst));
+  EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Timeout);
+}
+
+TEST_F(NetworkTest, StatsCountOutcomes) {
+  const auto dst = NodeAddress::of("93.184.216.34");
+  net_.attach(dst, echo_endpoint());
+  (void)net_.send(src_, dst, payload_);
+  (void)net_.send(src_, NodeAddress::of("10.0.0.1"), payload_);
+  (void)net_.send(src_, NodeAddress::of("93.184.216.99"), payload_);
+  const auto& stats = net_.stats();
+  EXPECT_EQ(stats.packets_sent, 3u);
+  EXPECT_EQ(stats.packets_delivered, 1u);
+  EXPECT_EQ(stats.packets_unreachable, 1u);
+  EXPECT_EQ(stats.packets_timeout, 1u);
+}
+
+TEST(ClockTest, AdvanceAndSet) {
+  Clock clock(1000);
+  EXPECT_EQ(clock.now(), 1000u);
+  clock.advance(500);
+  EXPECT_EQ(clock.now(), 1500u);
+  clock.set(42);
+  EXPECT_EQ(clock.now(), 42u);
+}
+
+TEST(NodeAddressTest, ParseBothFamilies) {
+  EXPECT_TRUE(NodeAddress::of("1.2.3.4").is_v4());
+  EXPECT_FALSE(NodeAddress::of("2001:db8::1").is_v4());
+  EXPECT_THROW((void)NodeAddress::of("not-an-address"), std::invalid_argument);
+}
+
+TEST(NodeAddressTest, LoopbackDetection) {
+  EXPECT_TRUE(NodeAddress::of("127.0.0.1").is_loopback());
+  EXPECT_TRUE(NodeAddress::of("::1").is_loopback());
+  EXPECT_FALSE(NodeAddress::of("8.8.8.8").is_loopback());
+}
+
+}  // namespace

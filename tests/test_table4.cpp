@@ -1,0 +1,190 @@
+// THE integration test: the full testbed resolved through all seven
+// vendor profiles must reproduce the paper's Table 4 cell-for-cell, plus
+// the §3.3 aggregate claims. One parameterized test per testbed subdomain.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testbed/expected.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using ede::resolver::RecursiveResolver;
+using ede::testbed::Testbed;
+
+/// Shared fixture state: building the testbed once keeps the suite fast.
+struct World {
+  World()
+      : network(std::make_shared<ede::sim::Network>(
+            std::make_shared<ede::sim::Clock>())),
+        testbed(network) {
+    for (const auto& profile : ede::resolver::all_profiles()) {
+      resolvers.push_back(testbed.make_resolver(profile));
+    }
+  }
+
+  std::shared_ptr<ede::sim::Network> network;
+  Testbed testbed;
+  std::vector<RecursiveResolver> resolvers;
+};
+
+World& world() {
+  static World instance;
+  return instance;
+}
+
+std::vector<std::uint16_t> sorted_codes(const ede::resolver::Outcome& o) {
+  std::vector<std::uint16_t> codes;
+  for (const auto& error : o.errors)
+    codes.push_back(static_cast<std::uint16_t>(error.code));
+  std::sort(codes.begin(), codes.end());
+  codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+  return codes;
+}
+
+class Table4Row : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Table4Row, MatchesThePublishedMatrix) {
+  auto& w = world();
+  const std::size_t row = GetParam();
+  const auto& spec = w.testbed.cases()[row];
+  const auto& expected = ede::testbed::expected_table4()[row];
+  ASSERT_EQ(expected.label, spec.label) << "row tables out of sync";
+
+  const auto qname = w.testbed.query_name(spec);
+  for (std::size_t p = 0; p < w.resolvers.size(); ++p) {
+    // Flush per query so row order cannot influence results through caches.
+    w.resolvers[p].flush();
+    const auto outcome = w.resolvers[p].resolve(qname, ede::dns::RRType::A);
+    EXPECT_EQ(sorted_codes(outcome), expected.codes[p])
+        << spec.label << " via " << w.resolvers[p].profile().name;
+  }
+}
+
+std::string row_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  std::string label = ede::testbed::expected_table4()[info.param].label;
+  for (char& c : label) {
+    if (c == '-') c = '_';
+  }
+  return std::to_string(info.param + 1) + "_" + label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixtyThree, Table4Row, ::testing::Range<std::size_t>(0, 63),
+                         row_name);
+
+TEST(Table4Aggregates, PaperHeadlineNumbers) {
+  auto& w = world();
+  int consistent = 0;
+  std::set<std::uint16_t> unique_codes;
+  std::vector<int> specificity(w.resolvers.size(), 0);
+
+  for (const auto& spec : w.testbed.cases()) {
+    const auto qname = w.testbed.query_name(spec);
+    std::vector<std::vector<std::uint16_t>> rows;
+    for (auto& resolver : w.resolvers) {
+      resolver.flush();
+      rows.push_back(sorted_codes(resolver.resolve(qname, ede::dns::RRType::A)));
+    }
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      for (const auto code : rows[p]) unique_codes.insert(code);
+      if (!rows[p].empty()) specificity[p] += 1;
+    }
+    if (std::all_of(rows.begin(), rows.end(),
+                    [&](const auto& r) { return r == rows[0]; })) {
+      ++consistent;
+    }
+  }
+
+  // §3.3: "Only 4 test cases out of 63 triggered the same results across
+  // all the seven tested systems" — 94 % disagreement.
+  EXPECT_EQ(consistent, 4);
+  // §3.3: "Our test cases triggered 12 unique INFO-CODEs."
+  EXPECT_EQ(unique_codes.size(), 12u);
+  // §3.3: "The Cloudflare implementation provides the richest feedback."
+  const auto most = static_cast<std::size_t>(std::distance(
+      specificity.begin(),
+      std::max_element(specificity.begin(), specificity.end())));
+  EXPECT_EQ(w.resolvers[most].profile().vendor,
+            ede::resolver::Vendor::Cloudflare);
+  // BIND returned no EDE for any testbed case.
+  EXPECT_EQ(specificity[0], 0);
+}
+
+TEST(Table4Aggregates, ConsistentCasesAreTheExpectedFour) {
+  auto& w = world();
+  std::vector<std::string> consistent;
+  for (const auto& spec : w.testbed.cases()) {
+    const auto qname = w.testbed.query_name(spec);
+    std::vector<std::vector<std::uint16_t>> rows;
+    for (auto& resolver : w.resolvers) {
+      resolver.flush();
+      rows.push_back(sorted_codes(resolver.resolve(qname, ede::dns::RRType::A)));
+    }
+    if (std::all_of(rows.begin(), rows.end(),
+                    [&](const auto& r) { return r == rows[0]; })) {
+      consistent.push_back(spec.label);
+    }
+  }
+  // §3.3 names them: no-ds, nsec3-iter-200, unsigned, valid.
+  EXPECT_EQ(consistent, (std::vector<std::string>{
+                            "valid", "no-ds", "nsec3-iter-200", "unsigned"}));
+}
+
+TEST(Table4Rcodes, BogusCasesServfailAndInsecureCasesResolve) {
+  auto& w = world();
+  auto cloudflare = w.testbed.make_resolver(ede::resolver::profile_cloudflare());
+
+  // The control case resolves securely (AD bit).
+  auto valid = cloudflare.resolve(
+      w.testbed.query_name(w.testbed.cases()[0]), ede::dns::RRType::A);
+  EXPECT_EQ(valid.rcode, ede::dns::RCode::NOERROR);
+  EXPECT_EQ(valid.security, ede::dnssec::Security::Secure);
+  EXPECT_TRUE(valid.response.header.ad);
+
+  // A bogus case SERVFAILs.
+  const auto& bogus_spec = w.testbed.cases()[8];  // rrsig-exp-all
+  ASSERT_EQ(bogus_spec.label, "rrsig-exp-all");
+  auto bogus = cloudflare.resolve(w.testbed.query_name(bogus_spec),
+                                  ede::dns::RRType::A);
+  EXPECT_EQ(bogus.rcode, ede::dns::RCode::SERVFAIL);
+  EXPECT_EQ(bogus.security, ede::dnssec::Security::Bogus);
+
+  // An unsupported-algorithm case is treated insecure: NOERROR, no AD.
+  auto insecure = cloudflare.resolve(
+      ede::dns::Name::of("ed448.extended-dns-errors.com"),
+      ede::dns::RRType::A);
+  EXPECT_EQ(insecure.rcode, ede::dns::RCode::NOERROR);
+  EXPECT_EQ(insecure.security, ede::dnssec::Security::Insecure);
+  EXPECT_FALSE(insecure.response.header.ad);
+}
+
+TEST(Table4ExtraText, CloudflareNetworkErrorNamesTheServer) {
+  auto& w = world();
+  auto cloudflare = w.testbed.make_resolver(ede::resolver::profile_cloudflare());
+  const auto outcome = cloudflare.resolve(
+      ede::dns::Name::of("allow-query-none.extended-dns-errors.com"),
+      ede::dns::RRType::A);
+  bool found = false;
+  for (const auto& error : outcome.errors) {
+    if (error.code == ede::edns::EdeCode::NetworkError) {
+      EXPECT_NE(error.extra_text.find("rcode=REFUSED"), std::string::npos);
+      EXPECT_NE(error.extra_text.find(":53"), std::string::npos);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Table4ExtraText, KnotUsesItsFixedUnsupportedText) {
+  auto& w = world();
+  auto knot = w.testbed.make_resolver(ede::resolver::profile_knot());
+  const auto outcome = knot.resolve(
+      ede::dns::Name::of("rsamd5.extended-dns-errors.com"),
+      ede::dns::RRType::A);
+  ASSERT_EQ(outcome.errors.size(), 1u);
+  EXPECT_EQ(outcome.errors.front().code, ede::edns::EdeCode::Other);
+  EXPECT_EQ(outcome.errors.front().extra_text, "LSLC: unsupported digest/key");
+}
+
+}  // namespace

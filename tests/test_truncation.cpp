@@ -1,0 +1,127 @@
+// UDP truncation tests: the server's TC-bit behaviour and the resolver's
+// TCP-fallback retry (modelled as a maximum-size EDNS advertisement).
+#include <gtest/gtest.h>
+
+#include "edns/edns.hpp"
+#include "resolver/resolver.hpp"
+#include "server/auth_server.hpp"
+#include "zone/signer.hpp"
+
+namespace {
+
+using namespace ede;
+using dns::Name;
+using dns::RRType;
+
+/// A zone whose TXT answer (with signatures) far exceeds 512 bytes.
+std::shared_ptr<zone::Zone> big_zone(const zone::ZoneKeys& keys) {
+  auto zone = std::make_shared<zone::Zone>(Name::of("big.test"));
+  dns::SoaRdata soa;
+  soa.mname = Name::of("ns1.big.test");
+  soa.rname = Name::of("hostmaster.big.test");
+  soa.minimum = 300;
+  zone->add(zone->origin(), RRType::SOA, soa);
+  zone->add(zone->origin(), RRType::NS, dns::NsRdata{Name::of("ns1.big.test")});
+  zone->add(Name::of("ns1.big.test"), RRType::A,
+            dns::ARdata{*dns::Ipv4Address::parse("93.184.223.1")});
+  dns::TxtRdata txt;
+  for (int i = 0; i < 8; ++i) txt.strings.push_back(std::string(200, 'x'));
+  zone->add(zone->origin(), RRType::TXT, txt);
+  zone->add(zone->origin(), RRType::A,
+            dns::ARdata{*dns::Ipv4Address::parse("93.184.223.9")});
+  zone::sign_zone(*const_cast<zone::Zone*>(zone.get()), keys, {});
+  return zone;
+}
+
+class Truncation : public ::testing::Test {
+ protected:
+  Truncation() : keys_(zone::make_zone_keys(Name::of("big.test"))) {
+    server_.add_zone(big_zone(keys_));
+  }
+
+  dns::Message ask(std::uint16_t payload_size) {
+    dns::Message query = dns::make_query(1, Name::of("big.test"), RRType::TXT);
+    edns::Edns e;
+    e.dnssec_ok = true;
+    e.udp_payload_size = payload_size;
+    edns::set_edns(query, e);
+    return server_.handle(
+        query, sim::PacketContext{sim::NodeAddress::of("192.0.2.9")});
+  }
+
+  zone::ZoneKeys keys_;
+  server::AuthServer server_;
+};
+
+TEST_F(Truncation, SmallAdvertisementGetsTcBit) {
+  const auto response = ask(512);
+  EXPECT_TRUE(response.header.tc);
+  EXPECT_TRUE(response.answer.empty());
+  EXPECT_LE(response.serialize().size(), 512u);
+  // The OPT record survives so the client knows EDNS worked.
+  EXPECT_NE(response.find_opt(), nullptr);
+}
+
+TEST_F(Truncation, LargeAdvertisementGetsTheFullAnswer) {
+  const auto response = ask(0xffff);
+  EXPECT_FALSE(response.header.tc);
+  EXPECT_FALSE(response.answer.empty());
+  EXPECT_GT(response.serialize().size(), 512u);
+}
+
+TEST_F(Truncation, NonEdnsQueryIsLimitedTo512) {
+  dns::Message query = dns::make_query(1, Name::of("big.test"), RRType::TXT);
+  const auto response = server_.handle(
+      query, sim::PacketContext{sim::NodeAddress::of("192.0.2.9")});
+  EXPECT_TRUE(response.header.tc);
+}
+
+TEST(TruncationResolver, RetriesAndGetsTheAnswer) {
+  auto clock = std::make_shared<sim::Clock>();
+  auto network = std::make_shared<sim::Network>(clock);
+
+  const auto child_keys = zone::make_zone_keys(Name::of("big.test"));
+  server::ServerConfig config;
+  config.udp_payload_size = 512;  // a stingy authority
+  auto child_server = std::make_shared<server::AuthServer>(config);
+  child_server->add_zone(big_zone(child_keys));
+  network->attach(sim::NodeAddress::of("93.184.223.1"),
+                  child_server->endpoint());
+
+  auto root = std::make_shared<zone::Zone>(Name{});
+  dns::SoaRdata soa;
+  soa.mname = Name::of("a.root-servers.net");
+  soa.rname = Name{};
+  root->add(Name{}, RRType::SOA, soa);
+  root->add(Name{}, RRType::NS, dns::NsRdata{Name::of("a.root-servers.net")});
+  root->add(Name::of("a.root-servers.net"), RRType::A,
+            dns::ARdata{*dns::Ipv4Address::parse("198.41.0.4")});
+  root->add(Name::of("big.test"), RRType::NS,
+            dns::NsRdata{Name::of("ns1.big.test")});
+  root->add(Name::of("ns1.big.test"), RRType::A,
+            dns::ARdata{*dns::Ipv4Address::parse("93.184.223.1")});
+  for (const auto& ds : zone::ds_records(Name::of("big.test"), child_keys)) {
+    root->add(Name::of("big.test"), RRType::DS, ds);
+  }
+  const auto root_keys = zone::make_zone_keys(Name{});
+  zone::sign_zone(*root, root_keys, {});
+  auto root_server = std::make_shared<server::AuthServer>();
+  root_server->add_zone(root);
+  network->attach(sim::NodeAddress::of("198.41.0.4"),
+                  root_server->endpoint());
+
+  resolver::RecursiveResolver resolver(
+      network, resolver::profile_cloudflare(),
+      {sim::NodeAddress::of("198.41.0.4")}, root_keys.ksk.dnskey, {});
+
+  // The big TXT answer truncates at 512 and must arrive via the retry.
+  const auto outcome = resolver.resolve(Name::of("big.test"), RRType::TXT);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR);
+  EXPECT_EQ(outcome.security, dnssec::Security::Secure);
+  bool has_txt = false;
+  for (const auto& rr : outcome.response.answer)
+    has_txt |= rr.type == RRType::TXT;
+  EXPECT_TRUE(has_txt);
+}
+
+}  // namespace

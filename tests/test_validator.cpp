@@ -1,0 +1,328 @@
+// Direct validator unit tests with hand-built inputs — exercising the
+// trust-anchor path, DS-set classification, signature selection and
+// denial-of-existence logic without a resolver or network in the way.
+#include <gtest/gtest.h>
+
+#include "dnssec/validate.hpp"
+#include "edns/edns.hpp"
+#include "server/auth_server.hpp"
+#include "zone/signer.hpp"
+
+namespace {
+
+using namespace ede;
+using namespace ede::dnssec;
+using dns::Name;
+using dns::RRset;
+using dns::RRType;
+
+constexpr std::uint32_t kNow = sim::kDefaultNow;
+
+struct SignedZoneFixture {
+  Name origin = Name::of("unit.example");
+  zone::ZoneKeys keys = zone::make_zone_keys(origin);
+  SignatureWindow window{kNow - 1000, kNow + 1000};
+
+  RRset dnskey_rrset() const {
+    return RRset{origin,
+                 RRType::DNSKEY,
+                 dns::RRClass::IN,
+                 3600,
+                 {dns::Rdata{keys.ksk.dnskey}, dns::Rdata{keys.zsk.dnskey}}};
+  }
+  std::vector<dns::RrsigRdata> dnskey_sigs() const {
+    return {sign_rrset(dnskey_rrset(), keys.ksk, origin, window),
+            sign_rrset(dnskey_rrset(), keys.zsk, origin, window)};
+  }
+  std::vector<dns::DsRdata> ds() const {
+    return {make_ds(origin, keys.ksk.dnskey, 2)};
+  }
+  std::vector<dns::DnskeyRdata> all_keys() const {
+    return {keys.ksk.dnskey, keys.zsk.dnskey};
+  }
+  RRset a_rrset() const {
+    return RRset{origin, RRType::A, dns::RRClass::IN, 300,
+                 {dns::Rdata{dns::ARdata{*dns::Ipv4Address::parse("192.0.2.1")}}}};
+  }
+};
+
+TEST(ValidateZoneKeys, HappyPath) {
+  SignedZoneFixture f;
+  const auto rrset = f.dnskey_rrset();
+  const auto result = validate_zone_keys(f.origin, f.ds(), &rrset,
+                                         f.dnskey_sigs(), kNow, {});
+  EXPECT_EQ(result.security, Security::Secure);
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(result.zone_keys.size(), 2u);
+}
+
+TEST(ValidateZoneKeys, EmptyDsSetIsInsecure) {
+  SignedZoneFixture f;
+  const auto rrset = f.dnskey_rrset();
+  const auto result =
+      validate_zone_keys(f.origin, {}, &rrset, f.dnskey_sigs(), kNow, {});
+  EXPECT_EQ(result.security, Security::Insecure);
+  EXPECT_TRUE(result.zone_keys.empty());
+}
+
+TEST(ValidateZoneKeys, MissingDnskeyRrsetIsBogus) {
+  SignedZoneFixture f;
+  const auto result =
+      validate_zone_keys(f.origin, f.ds(), nullptr, {}, kNow, {});
+  EXPECT_EQ(result.security, Security::Bogus);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings.front().defect, Defect::DnskeyFetchFailed);
+}
+
+TEST(ValidateZoneKeys, OneGoodDsAmongBrokenOnesSuffices) {
+  SignedZoneFixture f;
+  auto ds_set = f.ds();
+  dns::DsRdata broken = ds_set.front();
+  broken.key_tag += 1;
+  ds_set.insert(ds_set.begin(), broken);  // broken first, good second
+  const auto rrset = f.dnskey_rrset();
+  const auto result = validate_zone_keys(f.origin, ds_set, &rrset,
+                                         f.dnskey_sigs(), kNow, {});
+  // Trust is established; the mismatching DS is still reported.
+  EXPECT_EQ(result.security, Security::Secure);
+  ASSERT_FALSE(result.findings.empty());
+  EXPECT_EQ(result.findings.front().defect, Defect::NoMatchingDnskeyForDs);
+}
+
+TEST(ValidateZoneKeys, UnsupportedAlgorithmDsOnlyIsInsecure) {
+  SignedZoneFixture f;
+  auto ds_set = f.ds();
+  ds_set.front().algorithm = 1;  // RSAMD5: deprecated, unsupported
+  const auto rrset = f.dnskey_rrset();
+  const auto result = validate_zone_keys(f.origin, ds_set, &rrset,
+                                         f.dnskey_sigs(), kNow, {});
+  EXPECT_EQ(result.security, Security::Insecure);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings.front().defect, Defect::ZoneAlgorithmUnsupported);
+}
+
+TEST(ValidateZoneKeys, TrustAnchorPath) {
+  SignedZoneFixture f;
+  const auto rrset = f.dnskey_rrset();
+  const auto good = validate_zone_keys_with_anchor(
+      f.origin, f.keys.ksk.dnskey, &rrset, f.dnskey_sigs(), kNow, {});
+  EXPECT_EQ(good.security, Security::Secure);
+
+  const auto other = zone::make_zone_keys(Name::of("other.example"));
+  const auto bad = validate_zone_keys_with_anchor(
+      f.origin, other.ksk.dnskey, &rrset, f.dnskey_sigs(), kNow, {});
+  EXPECT_EQ(bad.security, Security::Bogus);
+}
+
+TEST(ValidateZoneKeys, SigByZskOnlyIsNotTrust) {
+  SignedZoneFixture f;
+  const auto rrset = f.dnskey_rrset();
+  const std::vector<dns::RrsigRdata> zsk_only = {
+      sign_rrset(rrset, f.keys.zsk, f.origin, f.window)};
+  const auto result =
+      validate_zone_keys(f.origin, f.ds(), &rrset, zsk_only, kNow, {});
+  EXPECT_EQ(result.security, Security::Bogus);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings.front().defect, Defect::DnskeyNotSignedByKsk);
+}
+
+TEST(ValidateAnswer, HappyPath) {
+  SignedZoneFixture f;
+  const auto rrset = f.a_rrset();
+  const std::vector<dns::RrsigRdata> sigs = {
+      sign_rrset(rrset, f.keys.zsk, f.origin, f.window)};
+  const auto result =
+      validate_answer_rrset(rrset, sigs, f.origin, f.all_keys(), kNow, {});
+  EXPECT_EQ(result.security, Security::Secure);
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(ValidateAnswer, OneValidSignatureAmongBrokenOnesWins) {
+  SignedZoneFixture f;
+  const auto rrset = f.a_rrset();
+  auto broken = sign_rrset(rrset, f.keys.zsk, f.origin, f.window);
+  broken.signature.back() ^= 0xff;
+  const auto good = sign_rrset(rrset, f.keys.zsk, f.origin, f.window);
+  const auto result = validate_answer_rrset(rrset, {broken, good}, f.origin,
+                                            f.all_keys(), kNow, {});
+  EXPECT_EQ(result.security, Security::Secure);
+  EXPECT_TRUE(result.findings.empty());  // the failure is forgiven
+}
+
+TEST(ValidateAnswer, SignerNameMustMatchTheZone) {
+  SignedZoneFixture f;
+  const auto rrset = f.a_rrset();
+  const std::vector<dns::RrsigRdata> sigs = {
+      sign_rrset(rrset, f.keys.zsk, Name::of("evil.example"), f.window)};
+  const auto result =
+      validate_answer_rrset(rrset, sigs, f.origin, f.all_keys(), kNow, {});
+  EXPECT_EQ(result.security, Security::Bogus);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings.front().defect, Defect::AnswerRrsigMissing);
+}
+
+TEST(ValidateAnswer, WrongTypeCoveredIsMissing) {
+  SignedZoneFixture f;
+  const auto rrset = f.a_rrset();
+  auto sig = sign_rrset(rrset, f.keys.zsk, f.origin, f.window);
+  sig.type_covered = RRType::TXT;
+  const auto result =
+      validate_answer_rrset(rrset, {sig}, f.origin, f.all_keys(), kNow, {});
+  EXPECT_EQ(result.security, Security::Bogus);
+  EXPECT_EQ(result.findings.front().defect, Defect::AnswerRrsigMissing);
+}
+
+TEST(ValidateAnswer, TemporalDefectsBeforeCrypto) {
+  SignedZoneFixture f;
+  const auto rrset = f.a_rrset();
+  auto sig = sign_rrset(rrset, f.keys.zsk, f.origin, f.window);
+  sig.expiration = kNow - 10;     // expired *and* crypto-broken (times are
+  sig.signature.back() ^= 0xff;   // covered) — expired must win
+  const auto result =
+      validate_answer_rrset(rrset, {sig}, f.origin, f.all_keys(), kNow, {});
+  EXPECT_EQ(result.security, Security::Bogus);
+  EXPECT_EQ(result.findings.front().defect, Defect::AnswerRrsigExpired);
+}
+
+// --- negative responses --------------------------------------------------
+
+class DenialFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    zone_ = std::make_unique<zone::Zone>(origin_);
+    dns::SoaRdata soa;
+    soa.mname = origin_;
+    soa.rname = origin_;
+    soa.minimum = 300;
+    zone_->add(origin_, RRType::SOA, soa);
+    zone_->add(origin_, RRType::NS, dns::NsRdata{Name::of("ns1.unit.example")});
+    zone_->add(Name::of("ns1.unit.example"), RRType::A,
+               dns::ARdata{*dns::Ipv4Address::parse("93.184.216.7")});
+    zone_->add(Name::of("www.unit.example"), RRType::A,
+               dns::ARdata{*dns::Ipv4Address::parse("93.184.216.8")});
+    zone::sign_zone(*zone_, keys_, {});
+  }
+
+  /// A faithful negative-response authority section assembled from the
+  /// signed zone, like the server would for qname.
+  std::vector<dns::RRset> authority_for(const Name& qname) {
+    server::ServerConfig config;
+    server::AuthServer server(config);
+    // Reuse the real server logic by asking it directly.
+    auto shared = std::make_shared<zone::Zone>(*zone_);
+    server.add_zone(shared);
+    dns::Message query = dns::make_query(1, qname, RRType::A);
+    ede::edns::Edns e;
+    e.dnssec_ok = true;
+    e.udp_payload_size = 0xffff;
+    ede::edns::set_edns(query, e);
+    const auto response = server.handle(
+        query, sim::PacketContext{sim::NodeAddress::of("192.0.2.9")});
+    return dns::group_rrsets(response.authority);
+  }
+
+  std::vector<dns::DnskeyRdata> keys() const {
+    return {keys_.ksk.dnskey, keys_.zsk.dnskey};
+  }
+
+  Name origin_ = Name::of("unit.example");
+  zone::ZoneKeys keys_ = zone::make_zone_keys(origin_);
+  std::unique_ptr<zone::Zone> zone_;
+};
+
+TEST_F(DenialFixture, ValidNxdomainProofIsSecure) {
+  const auto authority = authority_for(Name::of("nope.unit.example"));
+  const auto result = validate_negative_response(
+      Name::of("nope.unit.example"), RRType::A, origin_, authority, keys(),
+      kNow, {});
+  EXPECT_EQ(result.security, Security::Secure) << [&] {
+    std::string s;
+    for (const auto& f : result.findings) s += to_string(f) + "; ";
+    return s;
+  }();
+}
+
+TEST_F(DenialFixture, DeepNxdomainProofIsSecure) {
+  const auto qname = Name::of("a.b.c.nope.unit.example");
+  const auto result = validate_negative_response(
+      qname, RRType::A, origin_, authority_for(qname), keys(), kNow, {});
+  EXPECT_EQ(result.security, Security::Secure);
+}
+
+TEST_F(DenialFixture, EmptyAuthorityIsAllMissing) {
+  const auto result = validate_negative_response(
+      Name::of("nope.unit.example"), RRType::A, origin_, {}, keys(), kNow,
+      {});
+  EXPECT_EQ(result.security, Security::Bogus);
+  EXPECT_EQ(result.findings.front().defect, Defect::DenialAllMissing);
+}
+
+TEST_F(DenialFixture, IterationLimitMakesInsecure) {
+  const auto authority = authority_for(Name::of("nope.unit.example"));
+  ValidatorConfig config;
+  config.nsec3_iteration_limit = 0;
+  // Zone signed with 0 iterations — set the limit below by re-signing with
+  // more iterations instead: rebuild with iterations=5.
+  zone::Zone high_iter(origin_);
+  dns::SoaRdata soa;
+  soa.mname = origin_;
+  soa.rname = origin_;
+  high_iter.add(origin_, RRType::SOA, soa);
+  zone::SigningPolicy policy;
+  policy.nsec3_iterations = 5;
+  zone::sign_zone(high_iter, keys_, policy);
+  server::AuthServer server;
+  server.add_zone(std::make_shared<zone::Zone>(high_iter));
+  dns::Message query = dns::make_query(1, Name::of("x.unit.example"), RRType::A);
+  ede::edns::Edns e;
+  e.dnssec_ok = true;
+  e.udp_payload_size = 0xffff;
+  ede::edns::set_edns(query, e);
+  const auto response = server.handle(
+      query, sim::PacketContext{sim::NodeAddress::of("192.0.2.9")});
+  config.nsec3_iteration_limit = 2;
+  const auto result = validate_negative_response(
+      Name::of("x.unit.example"), RRType::A, origin_,
+      dns::group_rrsets(response.authority), keys(), kNow, config);
+  EXPECT_EQ(result.security, Security::Insecure);
+  EXPECT_EQ(result.findings.front().defect, Defect::Nsec3IterationsTooHigh);
+}
+
+TEST_F(DenialFixture, DsAbsenceProofFromRealReferral) {
+  // Add an unsigned delegation, re-sign, and check the referral proof.
+  zone::Zone delegating(origin_);
+  dns::SoaRdata soa;
+  soa.mname = origin_;
+  soa.rname = origin_;
+  delegating.add(origin_, RRType::SOA, soa);
+  delegating.add(Name::of("child.unit.example"), RRType::NS,
+                 dns::NsRdata{Name::of("ns1.child.unit.example")});
+  delegating.add(Name::of("ns1.child.unit.example"), RRType::A,
+                 dns::ARdata{*dns::Ipv4Address::parse("93.184.216.9")});
+  zone::sign_zone(delegating, keys_, {});
+
+  server::AuthServer server;
+  server.add_zone(std::make_shared<zone::Zone>(delegating));
+  dns::Message query =
+      dns::make_query(1, Name::of("www.child.unit.example"), RRType::A);
+  ede::edns::Edns e;
+  e.dnssec_ok = true;
+  e.udp_payload_size = 0xffff;
+  ede::edns::set_edns(query, e);
+  const auto response = server.handle(
+      query, sim::PacketContext{sim::NodeAddress::of("192.0.2.9")});
+
+  const auto result = validate_ds_absence(
+      Name::of("child.unit.example"), origin_,
+      dns::group_rrsets(response.authority), keys(), kNow, {});
+  EXPECT_EQ(result.security, Security::Insecure);  // proven unsigned
+
+  // Without the proof, the same check fails closed.
+  const auto failed = validate_ds_absence(Name::of("child.unit.example"),
+                                          origin_, {}, keys(), kNow, {});
+  EXPECT_EQ(failed.security, Security::Bogus);
+  EXPECT_EQ(failed.findings.front().defect,
+            Defect::InsecureReferralProofFailed);
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Wildcard tests: RFC 1034 §4.3.3 synthesis by the server and RFC 4035
+// §5.3.4 wildcard-expansion validation (the RRSIG labels-field mechanics),
+// end to end through a signed hierarchy.
+#include <gtest/gtest.h>
+
+#include "edns/edns.hpp"
+#include "resolver/resolver.hpp"
+#include "server/auth_server.hpp"
+#include "zone/signer.hpp"
+
+namespace {
+
+using namespace ede;
+using dns::Name;
+using dns::RRType;
+
+class WildcardZone : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    zone_ = std::make_shared<zone::Zone>(Name::of("wild.test"));
+    dns::SoaRdata soa;
+    soa.mname = Name::of("ns1.wild.test");
+    soa.rname = Name::of("hostmaster.wild.test");
+    soa.minimum = 300;
+    zone_->add(zone_->origin(), RRType::SOA, soa);
+    zone_->add(zone_->origin(), RRType::NS,
+               dns::NsRdata{Name::of("ns1.wild.test")});
+    zone_->add(Name::of("ns1.wild.test"), RRType::A,
+               dns::ARdata{*dns::Ipv4Address::parse("93.184.224.1")});
+    zone_->add(Name::of("*.wild.test"), RRType::A,
+               dns::ARdata{*dns::Ipv4Address::parse("93.184.224.100")});
+    zone_->add(Name::of("concrete.wild.test"), RRType::A,
+               dns::ARdata{*dns::Ipv4Address::parse("93.184.224.2")});
+    keys_ = zone::make_zone_keys(zone_->origin());
+    zone::sign_zone(*zone_, keys_, {});
+    server_.add_zone(zone_);
+  }
+
+  dns::Message ask(std::string_view qname, RRType qtype = RRType::A) {
+    dns::Message query = dns::make_query(1, Name::of(qname), qtype);
+    edns::Edns e;
+    e.dnssec_ok = true;
+    e.udp_payload_size = 0xffff;
+    edns::set_edns(query, e);
+    return server_.handle(
+        query, sim::PacketContext{sim::NodeAddress::of("192.0.2.9")});
+  }
+
+  std::shared_ptr<zone::Zone> zone_;
+  zone::ZoneKeys keys_;
+  server::AuthServer server_;
+};
+
+TEST_F(WildcardZone, SignerExcludesTheStarFromTheLabelsField) {
+  const auto sigs = zone_->signatures(Name::of("*.wild.test"), RRType::A);
+  ASSERT_EQ(sigs.size(), 1u);
+  EXPECT_EQ(sigs.front().labels, 2);  // "wild" + "test", not the "*"
+  // A concrete name keeps the full count.
+  const auto concrete =
+      zone_->signatures(Name::of("concrete.wild.test"), RRType::A);
+  ASSERT_EQ(concrete.size(), 1u);
+  EXPECT_EQ(concrete.front().labels, 3);
+}
+
+TEST_F(WildcardZone, ServerSynthesizesWildcardAnswers) {
+  const auto response = ask("anything.wild.test");
+  EXPECT_EQ(response.header.rcode, dns::RCode::NOERROR);
+  ASSERT_FALSE(response.answer.empty());
+  EXPECT_EQ(response.answer.front().name, Name::of("anything.wild.test"));
+  const auto& a = std::get<dns::ARdata>(response.answer.front().rdata);
+  EXPECT_EQ(a.address.to_string(), "93.184.224.100");
+}
+
+TEST_F(WildcardZone, ConcreteNamesBeatTheWildcard) {
+  const auto response = ask("concrete.wild.test");
+  const auto& a = std::get<dns::ARdata>(response.answer.front().rdata);
+  EXPECT_EQ(a.address.to_string(), "93.184.224.2");
+}
+
+TEST_F(WildcardZone, WildcardDoesNotAnswerOtherTypes) {
+  const auto response = ask("anything.wild.test", RRType::TXT);
+  EXPECT_TRUE(response.answer.empty());  // NODATA, no TXT at the wildcard
+}
+
+TEST_F(WildcardZone, ExpandedAnswerValidates) {
+  const auto response = ask("deep.label.wild.test");
+  ASSERT_FALSE(response.answer.empty());
+  const auto rrsets = dns::group_rrsets(response.answer);
+  const dns::RRset* answer = nullptr;
+  std::vector<dns::RrsigRdata> sigs;
+  for (const auto& set : rrsets) {
+    if (set.type == RRType::A) answer = &set;
+    if (set.type == RRType::RRSIG) {
+      for (const auto& rd : set.rdatas)
+        sigs.push_back(std::get<dns::RrsigRdata>(rd));
+    }
+  }
+  ASSERT_NE(answer, nullptr);
+  const auto result = dnssec::validate_answer_rrset(
+      *answer, sigs, zone_->origin(), {keys_.ksk.dnskey, keys_.zsk.dnskey},
+      sim::kDefaultNow, {});
+  EXPECT_EQ(result.security, dnssec::Security::Secure);
+}
+
+TEST_F(WildcardZone, TamperedExpansionFailsValidation) {
+  const auto response = ask("victim.wild.test");
+  auto rrsets = dns::group_rrsets(response.answer);
+  dns::RRset* answer = nullptr;
+  std::vector<dns::RrsigRdata> sigs;
+  for (auto& set : rrsets) {
+    if (set.type == RRType::A) answer = &set;
+    if (set.type == RRType::RRSIG) {
+      for (const auto& rd : set.rdatas)
+        sigs.push_back(std::get<dns::RrsigRdata>(rd));
+    }
+  }
+  ASSERT_NE(answer, nullptr);
+  // An attacker swaps the synthesized address.
+  answer->rdatas.front() = dns::ARdata{*dns::Ipv4Address::parse("6.6.6.6")};
+  const auto result = dnssec::validate_answer_rrset(
+      *answer, sigs, zone_->origin(), {keys_.ksk.dnskey, keys_.zsk.dnskey},
+      sim::kDefaultNow, {});
+  EXPECT_EQ(result.security, dnssec::Security::Bogus);
+}
+
+TEST(WildcardEndToEnd, ResolvesSecurelyThroughTheHierarchy) {
+  auto clock = std::make_shared<sim::Clock>();
+  auto network = std::make_shared<sim::Network>(clock);
+
+  auto child = std::make_shared<zone::Zone>(Name::of("wild.test"));
+  dns::SoaRdata soa;
+  soa.mname = Name::of("ns1.wild.test");
+  soa.rname = Name::of("hostmaster.wild.test");
+  soa.minimum = 300;
+  child->add(child->origin(), RRType::SOA, soa);
+  child->add(child->origin(), RRType::NS,
+             dns::NsRdata{Name::of("ns1.wild.test")});
+  child->add(Name::of("ns1.wild.test"), RRType::A,
+             dns::ARdata{*dns::Ipv4Address::parse("93.184.224.1")});
+  child->add(Name::of("*.wild.test"), RRType::A,
+             dns::ARdata{*dns::Ipv4Address::parse("93.184.224.100")});
+  const auto child_keys = zone::make_zone_keys(child->origin());
+  zone::sign_zone(*child, child_keys, {});
+  auto child_server = std::make_shared<server::AuthServer>();
+  child_server->add_zone(child);
+  network->attach(sim::NodeAddress::of("93.184.224.1"),
+                  child_server->endpoint());
+
+  auto root = std::make_shared<zone::Zone>(Name{});
+  dns::SoaRdata root_soa;
+  root_soa.mname = Name::of("a.root-servers.net");
+  root_soa.rname = Name{};
+  root->add(Name{}, RRType::SOA, root_soa);
+  root->add(Name{}, RRType::NS, dns::NsRdata{Name::of("a.root-servers.net")});
+  root->add(Name::of("a.root-servers.net"), RRType::A,
+            dns::ARdata{*dns::Ipv4Address::parse("198.41.0.4")});
+  root->add(Name::of("wild.test"), RRType::NS,
+            dns::NsRdata{Name::of("ns1.wild.test")});
+  root->add(Name::of("ns1.wild.test"), RRType::A,
+            dns::ARdata{*dns::Ipv4Address::parse("93.184.224.1")});
+  for (const auto& ds : zone::ds_records(Name::of("wild.test"), child_keys)) {
+    root->add(Name::of("wild.test"), RRType::DS, ds);
+  }
+  const auto root_keys = zone::make_zone_keys(Name{});
+  zone::sign_zone(*root, root_keys, {});
+  auto root_server = std::make_shared<server::AuthServer>();
+  root_server->add_zone(root);
+  network->attach(sim::NodeAddress::of("198.41.0.4"),
+                  root_server->endpoint());
+
+  resolver::RecursiveResolver resolver(
+      network, resolver::profile_cloudflare(),
+      {sim::NodeAddress::of("198.41.0.4")}, root_keys.ksk.dnskey, {});
+
+  const auto outcome =
+      resolver.resolve(Name::of("any.thing.wild.test"), RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR);
+  EXPECT_EQ(outcome.security, dnssec::Security::Secure);
+  EXPECT_TRUE(outcome.errors.empty());
+  ASSERT_FALSE(outcome.response.answer.empty());
+  EXPECT_EQ(outcome.response.answer.front().name,
+            Name::of("any.thing.wild.test"));
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Wire reader/writer tests: bounds checking, name compression (both
+// directions), and the malformed-pointer defences.
+#include <gtest/gtest.h>
+
+#include "dnscore/wire.hpp"
+
+namespace {
+
+using namespace ede::dns;
+using ede::crypto::Bytes;
+
+TEST(WireReader, ScalarsBigEndian) {
+  const Bytes data = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07};
+  WireReader r(data);
+  EXPECT_EQ(r.read_u8().value(), 0x01);
+  EXPECT_EQ(r.read_u16().value(), 0x0203);
+  EXPECT_EQ(r.read_u32().value(), 0x04050607u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(WireReader, TruncationIsAnErrorNotACrash) {
+  const Bytes data = {0x01};
+  WireReader r(data);
+  EXPECT_FALSE(r.read_u32().ok());
+  EXPECT_FALSE(r.read_u16().ok());
+  EXPECT_TRUE(r.read_u8().ok());
+  EXPECT_FALSE(r.read_u8().ok());
+}
+
+TEST(WireReader, ReadBytesBounds) {
+  const Bytes data = {1, 2, 3};
+  WireReader r(data);
+  EXPECT_FALSE(r.read_bytes(4).ok());
+  EXPECT_EQ(r.read_bytes(3).value(), (Bytes{1, 2, 3}));
+}
+
+TEST(WireName, UncompressedRoundTrip) {
+  WireWriter w;
+  w.write_name(Name::of("www.example.com"));
+  WireReader r(w.data());
+  EXPECT_EQ(r.read_name().value(), Name::of("www.example.com"));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(WireName, CompressionReusesSuffixes) {
+  WireWriter w;
+  w.write_name(Name::of("www.example.com"));
+  const std::size_t first = w.size();
+  w.write_name(Name::of("mail.example.com"));
+  const std::size_t second = w.size() - first;
+  // "mail" label (5 bytes) + 2-byte pointer.
+  EXPECT_EQ(second, 7u);
+
+  WireReader r(w.data());
+  EXPECT_EQ(r.read_name().value(), Name::of("www.example.com"));
+  EXPECT_EQ(r.read_name().value(), Name::of("mail.example.com"));
+}
+
+TEST(WireName, FullNameCompressesToOnePointer) {
+  WireWriter w;
+  w.write_name(Name::of("example.com"));
+  const std::size_t first = w.size();
+  w.write_name(Name::of("example.com"));
+  EXPECT_EQ(w.size() - first, 2u);
+}
+
+TEST(WireName, CompressionIsCaseInsensitive) {
+  WireWriter w;
+  w.write_name(Name::of("EXAMPLE.com"));
+  const std::size_t first = w.size();
+  w.write_name(Name::of("example.COM"));
+  EXPECT_EQ(w.size() - first, 2u);
+  WireReader r(w.data());
+  (void)r.read_name();
+  EXPECT_EQ(r.read_name().value(), Name::of("example.com"));
+}
+
+TEST(WireName, RootEncodesAsSingleZero) {
+  WireWriter w;
+  w.write_name(Name{});
+  EXPECT_EQ(w.data(), Bytes{0});
+}
+
+TEST(WireName, RejectsForwardPointer) {
+  // A pointer that points at or after itself must be rejected.
+  const Bytes data = {0xc0, 0x00};
+  WireReader r(data);
+  EXPECT_FALSE(r.read_name().ok());
+}
+
+TEST(WireName, RejectsPointerLoop) {
+  // Two pointers pointing at each other.
+  const Bytes data = {0xc0, 0x02, 0xc0, 0x00};
+  WireReader r(data);
+  ASSERT_TRUE(r.seek(2).ok());
+  EXPECT_FALSE(r.read_name().ok());
+}
+
+TEST(WireName, RejectsTruncatedLabel) {
+  const Bytes data = {5, 'a', 'b'};
+  WireReader r(data);
+  EXPECT_FALSE(r.read_name().ok());
+}
+
+TEST(WireName, RejectsReservedLabelType) {
+  const Bytes data = {0x80, 'a'};
+  WireReader r(data);
+  EXPECT_FALSE(r.read_name().ok());
+}
+
+TEST(WireName, PointerTargetParsesAsSuffix) {
+  // Manually construct: "foo" + pointer to "example.com" at offset 0.
+  WireWriter w;
+  w.write_name(Name::of("example.com"));
+  const std::size_t name_at = w.size();
+  w.write_u8(3);
+  w.write_bytes(ede::crypto::as_bytes("foo"));
+  w.write_u16(0xc000);  // pointer to offset 0
+
+  WireReader r(w.data());
+  ASSERT_TRUE(r.seek(name_at).ok());
+  EXPECT_EQ(r.read_name().value(), Name::of("foo.example.com"));
+  EXPECT_TRUE(r.at_end());  // cursor lands after the pointer
+}
+
+TEST(WireWriter, PatchU16) {
+  WireWriter w;
+  w.write_u16(0);
+  w.write_u32(0xdeadbeef);
+  w.patch_u16(0, 0x1234);
+  WireReader r(w.data());
+  EXPECT_EQ(r.read_u16().value(), 0x1234);
+  EXPECT_EQ(r.read_u32().value(), 0xdeadbeefu);
+}
+
+TEST(WireName, NoCompressionPointerBeyond14Bits) {
+  // Fill the buffer past 0x3fff, then write the same name twice: the
+  // second copy must not be compressed against an unreachable offset.
+  WireWriter w;
+  const Bytes filler(0x4000, 0xaa);
+  w.write_bytes(filler);
+  w.write_name(Name::of("big.example"));
+  const std::size_t first = w.size();
+  w.write_name(Name::of("big.example"));
+  EXPECT_EQ(w.size() - first, Name::of("big.example").wire_length());
+}
+
+}  // namespace
