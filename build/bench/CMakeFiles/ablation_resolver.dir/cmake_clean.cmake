@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resolver.dir/ablation_resolver.cpp.o"
+  "CMakeFiles/ablation_resolver.dir/ablation_resolver.cpp.o.d"
+  "ablation_resolver"
+  "ablation_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

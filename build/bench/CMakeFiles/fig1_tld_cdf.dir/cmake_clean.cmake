@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_tld_cdf.dir/fig1_tld_cdf.cpp.o"
+  "CMakeFiles/fig1_tld_cdf.dir/fig1_tld_cdf.cpp.o.d"
+  "fig1_tld_cdf"
+  "fig1_tld_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_tld_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

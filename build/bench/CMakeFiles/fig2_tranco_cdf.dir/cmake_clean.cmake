@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_tranco_cdf.dir/fig2_tranco_cdf.cpp.o"
+  "CMakeFiles/fig2_tranco_cdf.dir/fig2_tranco_cdf.cpp.o.d"
+  "fig2_tranco_cdf"
+  "fig2_tranco_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_tranco_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

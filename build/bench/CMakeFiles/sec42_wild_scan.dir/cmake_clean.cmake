@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec42_wild_scan.dir/sec42_wild_scan.cpp.o"
+  "CMakeFiles/sec42_wild_scan.dir/sec42_wild_scan.cpp.o.d"
+  "sec42_wild_scan"
+  "sec42_wild_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_wild_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

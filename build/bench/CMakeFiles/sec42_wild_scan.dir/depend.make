@@ -1,0 +1,2 @@
+# Empty dependencies file for sec42_wild_scan.
+# This may be replaced when dependencies are built.

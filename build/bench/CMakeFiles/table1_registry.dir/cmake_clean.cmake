@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_registry.dir/table1_registry.cpp.o"
+  "CMakeFiles/table1_registry.dir/table1_registry.cpp.o.d"
+  "table1_registry"
+  "table1_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_matrix.dir/table4_matrix.cpp.o"
+  "CMakeFiles/table4_matrix.dir/table4_matrix.cpp.o.d"
+  "table4_matrix"
+  "table4_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

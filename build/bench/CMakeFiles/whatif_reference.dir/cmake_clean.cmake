@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_reference.dir/whatif_reference.cpp.o"
+  "CMakeFiles/whatif_reference.dir/whatif_reference.cpp.o.d"
+  "whatif_reference"
+  "whatif_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

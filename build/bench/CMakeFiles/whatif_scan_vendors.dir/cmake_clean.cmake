@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_scan_vendors.dir/whatif_scan_vendors.cpp.o"
+  "CMakeFiles/whatif_scan_vendors.dir/whatif_scan_vendors.cpp.o.d"
+  "whatif_scan_vendors"
+  "whatif_scan_vendors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_scan_vendors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

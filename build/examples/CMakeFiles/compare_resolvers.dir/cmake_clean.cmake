@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_resolvers.dir/compare_resolvers.cpp.o"
+  "CMakeFiles/compare_resolvers.dir/compare_resolvers.cpp.o.d"
+  "compare_resolvers"
+  "compare_resolvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_resolvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

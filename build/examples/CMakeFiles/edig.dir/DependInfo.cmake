@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/edig.cpp" "examples/CMakeFiles/edig.dir/edig.cpp.o" "gcc" "examples/CMakeFiles/edig.dir/edig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/ede_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/ede_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/ede_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ede_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/edns/CMakeFiles/ede_edns.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/ede_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnssec/CMakeFiles/ede_dnssec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnscore/CMakeFiles/ede_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ede_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

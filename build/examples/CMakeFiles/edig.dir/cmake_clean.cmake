@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edig.dir/edig.cpp.o"
+  "CMakeFiles/edig.dir/edig.cpp.o.d"
+  "edig"
+  "edig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for edig.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_reporting.dir/error_reporting.cpp.o"
+  "CMakeFiles/error_reporting.dir/error_reporting.cpp.o.d"
+  "error_reporting"
+  "error_reporting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

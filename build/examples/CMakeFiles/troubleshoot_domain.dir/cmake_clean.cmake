@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troubleshoot_domain.dir/troubleshoot_domain.cpp.o"
+  "CMakeFiles/troubleshoot_domain.dir/troubleshoot_domain.cpp.o.d"
+  "troubleshoot_domain"
+  "troubleshoot_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troubleshoot_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild_scan_survey.dir/wild_scan_survey.cpp.o"
+  "CMakeFiles/wild_scan_survey.dir/wild_scan_survey.cpp.o.d"
+  "wild_scan_survey"
+  "wild_scan_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild_scan_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

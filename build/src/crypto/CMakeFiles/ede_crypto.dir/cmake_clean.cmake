@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ede_crypto.dir/encoding.cpp.o"
+  "CMakeFiles/ede_crypto.dir/encoding.cpp.o.d"
+  "CMakeFiles/ede_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/ede_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/ede_crypto.dir/sha2.cpp.o"
+  "CMakeFiles/ede_crypto.dir/sha2.cpp.o.d"
+  "CMakeFiles/ede_crypto.dir/simsig.cpp.o"
+  "CMakeFiles/ede_crypto.dir/simsig.cpp.o.d"
+  "libede_crypto.a"
+  "libede_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ede_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ede_dnscore.dir/ip.cpp.o"
+  "CMakeFiles/ede_dnscore.dir/ip.cpp.o.d"
+  "CMakeFiles/ede_dnscore.dir/message.cpp.o"
+  "CMakeFiles/ede_dnscore.dir/message.cpp.o.d"
+  "CMakeFiles/ede_dnscore.dir/name.cpp.o"
+  "CMakeFiles/ede_dnscore.dir/name.cpp.o.d"
+  "CMakeFiles/ede_dnscore.dir/rdata.cpp.o"
+  "CMakeFiles/ede_dnscore.dir/rdata.cpp.o.d"
+  "CMakeFiles/ede_dnscore.dir/rr.cpp.o"
+  "CMakeFiles/ede_dnscore.dir/rr.cpp.o.d"
+  "CMakeFiles/ede_dnscore.dir/types.cpp.o"
+  "CMakeFiles/ede_dnscore.dir/types.cpp.o.d"
+  "CMakeFiles/ede_dnscore.dir/wire.cpp.o"
+  "CMakeFiles/ede_dnscore.dir/wire.cpp.o.d"
+  "libede_dnscore.a"
+  "libede_dnscore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ede_dnscore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

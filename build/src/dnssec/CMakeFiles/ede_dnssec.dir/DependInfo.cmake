@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnssec/algorithm.cpp" "src/dnssec/CMakeFiles/ede_dnssec.dir/algorithm.cpp.o" "gcc" "src/dnssec/CMakeFiles/ede_dnssec.dir/algorithm.cpp.o.d"
+  "/root/repo/src/dnssec/findings.cpp" "src/dnssec/CMakeFiles/ede_dnssec.dir/findings.cpp.o" "gcc" "src/dnssec/CMakeFiles/ede_dnssec.dir/findings.cpp.o.d"
+  "/root/repo/src/dnssec/keys.cpp" "src/dnssec/CMakeFiles/ede_dnssec.dir/keys.cpp.o" "gcc" "src/dnssec/CMakeFiles/ede_dnssec.dir/keys.cpp.o.d"
+  "/root/repo/src/dnssec/nsec3.cpp" "src/dnssec/CMakeFiles/ede_dnssec.dir/nsec3.cpp.o" "gcc" "src/dnssec/CMakeFiles/ede_dnssec.dir/nsec3.cpp.o.d"
+  "/root/repo/src/dnssec/sign.cpp" "src/dnssec/CMakeFiles/ede_dnssec.dir/sign.cpp.o" "gcc" "src/dnssec/CMakeFiles/ede_dnssec.dir/sign.cpp.o.d"
+  "/root/repo/src/dnssec/validate.cpp" "src/dnssec/CMakeFiles/ede_dnssec.dir/validate.cpp.o" "gcc" "src/dnssec/CMakeFiles/ede_dnssec.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnscore/CMakeFiles/ede_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ede_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ede_dnssec.dir/algorithm.cpp.o"
+  "CMakeFiles/ede_dnssec.dir/algorithm.cpp.o.d"
+  "CMakeFiles/ede_dnssec.dir/findings.cpp.o"
+  "CMakeFiles/ede_dnssec.dir/findings.cpp.o.d"
+  "CMakeFiles/ede_dnssec.dir/keys.cpp.o"
+  "CMakeFiles/ede_dnssec.dir/keys.cpp.o.d"
+  "CMakeFiles/ede_dnssec.dir/nsec3.cpp.o"
+  "CMakeFiles/ede_dnssec.dir/nsec3.cpp.o.d"
+  "CMakeFiles/ede_dnssec.dir/sign.cpp.o"
+  "CMakeFiles/ede_dnssec.dir/sign.cpp.o.d"
+  "CMakeFiles/ede_dnssec.dir/validate.cpp.o"
+  "CMakeFiles/ede_dnssec.dir/validate.cpp.o.d"
+  "libede_dnssec.a"
+  "libede_dnssec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ede_dnssec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

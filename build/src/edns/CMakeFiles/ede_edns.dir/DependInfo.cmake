@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edns/ede.cpp" "src/edns/CMakeFiles/ede_edns.dir/ede.cpp.o" "gcc" "src/edns/CMakeFiles/ede_edns.dir/ede.cpp.o.d"
+  "/root/repo/src/edns/edns.cpp" "src/edns/CMakeFiles/ede_edns.dir/edns.cpp.o" "gcc" "src/edns/CMakeFiles/ede_edns.dir/edns.cpp.o.d"
+  "/root/repo/src/edns/report_channel.cpp" "src/edns/CMakeFiles/ede_edns.dir/report_channel.cpp.o" "gcc" "src/edns/CMakeFiles/ede_edns.dir/report_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnscore/CMakeFiles/ede_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ede_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ede_edns.dir/ede.cpp.o"
+  "CMakeFiles/ede_edns.dir/ede.cpp.o.d"
+  "CMakeFiles/ede_edns.dir/edns.cpp.o"
+  "CMakeFiles/ede_edns.dir/edns.cpp.o.d"
+  "CMakeFiles/ede_edns.dir/report_channel.cpp.o"
+  "CMakeFiles/ede_edns.dir/report_channel.cpp.o.d"
+  "libede_edns.a"
+  "libede_edns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ede_edns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

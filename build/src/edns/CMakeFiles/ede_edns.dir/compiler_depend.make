@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ede_edns.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resolver/cache.cpp" "src/resolver/CMakeFiles/ede_resolver.dir/cache.cpp.o" "gcc" "src/resolver/CMakeFiles/ede_resolver.dir/cache.cpp.o.d"
+  "/root/repo/src/resolver/forwarder.cpp" "src/resolver/CMakeFiles/ede_resolver.dir/forwarder.cpp.o" "gcc" "src/resolver/CMakeFiles/ede_resolver.dir/forwarder.cpp.o.d"
+  "/root/repo/src/resolver/profile.cpp" "src/resolver/CMakeFiles/ede_resolver.dir/profile.cpp.o" "gcc" "src/resolver/CMakeFiles/ede_resolver.dir/profile.cpp.o.d"
+  "/root/repo/src/resolver/resolver.cpp" "src/resolver/CMakeFiles/ede_resolver.dir/resolver.cpp.o" "gcc" "src/resolver/CMakeFiles/ede_resolver.dir/resolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnssec/CMakeFiles/ede_dnssec.dir/DependInfo.cmake"
+  "/root/repo/build/src/edns/CMakeFiles/ede_edns.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ede_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnscore/CMakeFiles/ede_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ede_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

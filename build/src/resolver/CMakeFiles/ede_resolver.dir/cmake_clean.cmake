@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ede_resolver.dir/cache.cpp.o"
+  "CMakeFiles/ede_resolver.dir/cache.cpp.o.d"
+  "CMakeFiles/ede_resolver.dir/forwarder.cpp.o"
+  "CMakeFiles/ede_resolver.dir/forwarder.cpp.o.d"
+  "CMakeFiles/ede_resolver.dir/profile.cpp.o"
+  "CMakeFiles/ede_resolver.dir/profile.cpp.o.d"
+  "CMakeFiles/ede_resolver.dir/resolver.cpp.o"
+  "CMakeFiles/ede_resolver.dir/resolver.cpp.o.d"
+  "libede_resolver.a"
+  "libede_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ede_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

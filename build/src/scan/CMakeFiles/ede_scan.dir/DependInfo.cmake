@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/category.cpp" "src/scan/CMakeFiles/ede_scan.dir/category.cpp.o" "gcc" "src/scan/CMakeFiles/ede_scan.dir/category.cpp.o.d"
+  "/root/repo/src/scan/export.cpp" "src/scan/CMakeFiles/ede_scan.dir/export.cpp.o" "gcc" "src/scan/CMakeFiles/ede_scan.dir/export.cpp.o.d"
+  "/root/repo/src/scan/population.cpp" "src/scan/CMakeFiles/ede_scan.dir/population.cpp.o" "gcc" "src/scan/CMakeFiles/ede_scan.dir/population.cpp.o.d"
+  "/root/repo/src/scan/report.cpp" "src/scan/CMakeFiles/ede_scan.dir/report.cpp.o" "gcc" "src/scan/CMakeFiles/ede_scan.dir/report.cpp.o.d"
+  "/root/repo/src/scan/scanner.cpp" "src/scan/CMakeFiles/ede_scan.dir/scanner.cpp.o" "gcc" "src/scan/CMakeFiles/ede_scan.dir/scanner.cpp.o.d"
+  "/root/repo/src/scan/world.cpp" "src/scan/CMakeFiles/ede_scan.dir/world.cpp.o" "gcc" "src/scan/CMakeFiles/ede_scan.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/ede_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/ede_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/ede_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/edns/CMakeFiles/ede_edns.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ede_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/ede_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnssec/CMakeFiles/ede_dnssec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnscore/CMakeFiles/ede_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ede_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

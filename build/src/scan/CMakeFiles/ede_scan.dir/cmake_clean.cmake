@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ede_scan.dir/category.cpp.o"
+  "CMakeFiles/ede_scan.dir/category.cpp.o.d"
+  "CMakeFiles/ede_scan.dir/export.cpp.o"
+  "CMakeFiles/ede_scan.dir/export.cpp.o.d"
+  "CMakeFiles/ede_scan.dir/population.cpp.o"
+  "CMakeFiles/ede_scan.dir/population.cpp.o.d"
+  "CMakeFiles/ede_scan.dir/report.cpp.o"
+  "CMakeFiles/ede_scan.dir/report.cpp.o.d"
+  "CMakeFiles/ede_scan.dir/scanner.cpp.o"
+  "CMakeFiles/ede_scan.dir/scanner.cpp.o.d"
+  "CMakeFiles/ede_scan.dir/world.cpp.o"
+  "CMakeFiles/ede_scan.dir/world.cpp.o.d"
+  "libede_scan.a"
+  "libede_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ede_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libede_scan.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ede_server.dir/auth_server.cpp.o"
+  "CMakeFiles/ede_server.dir/auth_server.cpp.o.d"
+  "CMakeFiles/ede_server.dir/report_agent.cpp.o"
+  "CMakeFiles/ede_server.dir/report_agent.cpp.o.d"
+  "libede_server.a"
+  "libede_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ede_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ede_simnet.dir/address.cpp.o"
+  "CMakeFiles/ede_simnet.dir/address.cpp.o.d"
+  "CMakeFiles/ede_simnet.dir/network.cpp.o"
+  "CMakeFiles/ede_simnet.dir/network.cpp.o.d"
+  "libede_simnet.a"
+  "libede_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ede_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

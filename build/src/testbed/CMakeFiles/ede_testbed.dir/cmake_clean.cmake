@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ede_testbed.dir/cases.cpp.o"
+  "CMakeFiles/ede_testbed.dir/cases.cpp.o.d"
+  "CMakeFiles/ede_testbed.dir/expected.cpp.o"
+  "CMakeFiles/ede_testbed.dir/expected.cpp.o.d"
+  "CMakeFiles/ede_testbed.dir/mutations.cpp.o"
+  "CMakeFiles/ede_testbed.dir/mutations.cpp.o.d"
+  "CMakeFiles/ede_testbed.dir/testbed.cpp.o"
+  "CMakeFiles/ede_testbed.dir/testbed.cpp.o.d"
+  "libede_testbed.a"
+  "libede_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ede_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

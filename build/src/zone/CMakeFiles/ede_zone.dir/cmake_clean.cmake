@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ede_zone.dir/signer.cpp.o"
+  "CMakeFiles/ede_zone.dir/signer.cpp.o.d"
+  "CMakeFiles/ede_zone.dir/textio.cpp.o"
+  "CMakeFiles/ede_zone.dir/textio.cpp.o.d"
+  "CMakeFiles/ede_zone.dir/zone.cpp.o"
+  "CMakeFiles/ede_zone.dir/zone.cpp.o.d"
+  "libede_zone.a"
+  "libede_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ede_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ede_zone.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithms_sweep.dir/test_algorithms_sweep.cpp.o"
+  "CMakeFiles/test_algorithms_sweep.dir/test_algorithms_sweep.cpp.o.d"
+  "test_algorithms_sweep"
+  "test_algorithms_sweep.pdb"
+  "test_algorithms_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithms_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_reporting.dir/test_error_reporting.cpp.o"
+  "CMakeFiles/test_error_reporting.dir/test_error_reporting.cpp.o.d"
+  "test_error_reporting"
+  "test_error_reporting.pdb"
+  "test_error_reporting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

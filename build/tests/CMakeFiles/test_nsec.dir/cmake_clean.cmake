@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nsec.dir/test_nsec.cpp.o"
+  "CMakeFiles/test_nsec.dir/test_nsec.cpp.o.d"
+  "test_nsec"
+  "test_nsec.pdb"
+  "test_nsec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_and_synthesis.dir/test_policy_and_synthesis.cpp.o"
+  "CMakeFiles/test_policy_and_synthesis.dir/test_policy_and_synthesis.cpp.o.d"
+  "test_policy_and_synthesis"
+  "test_policy_and_synthesis.pdb"
+  "test_policy_and_synthesis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_and_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qname_minimization.dir/test_qname_minimization.cpp.o"
+  "CMakeFiles/test_qname_minimization.dir/test_qname_minimization.cpp.o.d"
+  "test_qname_minimization"
+  "test_qname_minimization.pdb"
+  "test_qname_minimization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qname_minimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_qname_minimization.
+# This may be replaced when dependencies are built.

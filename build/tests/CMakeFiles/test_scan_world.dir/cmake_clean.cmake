@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scan_world.dir/test_scan_world.cpp.o"
+  "CMakeFiles/test_scan_world.dir/test_scan_world.cpp.o.d"
+  "test_scan_world"
+  "test_scan_world.pdb"
+  "test_scan_world[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scan_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table4.dir/test_table4.cpp.o"
+  "CMakeFiles/test_table4.dir/test_table4.cpp.o.d"
+  "test_table4"
+  "test_table4.pdb"
+  "test_table4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
