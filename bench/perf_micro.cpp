@@ -174,6 +174,87 @@ void BM_ScanThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_ScanThroughput)->Unit(benchmark::kMillisecond);
 
+// --- infra cache -----------------------------------------------------------
+// The hot path of server selection: every candidate consults
+// expected_rtt_ms + held_down before a packet is spent, and every exchange
+// reports back. Baselines live in bench/perf_baseline_infra.json.
+
+sim::NodeAddress pool_address(int i) {
+  return sim::NodeAddress::of(std::to_string(185 + i / 62'500) + ".30." +
+                              std::to_string((i / 250) % 250) + "." +
+                              std::to_string(1 + i % 250));
+}
+
+void BM_InfraCacheReport(benchmark::State& state) {
+  resolver::InfraCache cache;
+  std::vector<sim::NodeAddress> addrs;
+  for (int i = 0; i < state.range(0); ++i) {
+    addrs.push_back(pool_address(i));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& addr = addrs[i++ % addrs.size()];
+    // 1:3 failure:success mix, roughly the wild scan's lame ratio ceiling.
+    if (i % 4 == 0) {
+      cache.report_failure(addr, resolver::InfraCache::FailureKind::Timeout,
+                           1'000'000);
+    } else {
+      cache.report_success(addr, 20 + i % 7);
+    }
+    benchmark::DoNotOptimize(cache.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InfraCacheReport)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_InfraCacheSelect(benchmark::State& state) {
+  resolver::InfraCache cache;
+  std::vector<sim::NodeAddress> addrs;
+  for (int i = 0; i < state.range(0); ++i) {
+    addrs.push_back(pool_address(i));
+    cache.report_success(addrs.back(), 20 + i % 40);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& addr = addrs[i++ % addrs.size()];
+    benchmark::DoNotOptimize(cache.expected_rtt_ms(addr));
+    benchmark::DoNotOptimize(cache.held_down(addr, 1'000'000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * state.iterations()));
+}
+BENCHMARK(BM_InfraCacheSelect)->Arg(16)->Arg(1024)->Arg(65536);
+
+// The macro-level claim behind the cache: resolving through a testbed
+// whose authority keeps timing out costs measurably fewer packets once
+// the dead server earns its hold-down. items == packets saved per run.
+void BM_InfraCacheHolddownResolution(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  auto clock = std::make_shared<sim::Clock>();
+  auto network = std::make_shared<sim::Network>(clock);
+  testbed::Testbed bed(network);
+  const auto dead = bed.server_address("valid").value();
+  network->inject_fault(dead, sim::Fault::timeout());
+  resolver::ResolverOptions options;
+  options.infra.enabled = enabled;
+  options.serve_stale = false;
+  auto resolver = bed.make_resolver(resolver::profile_cloudflare(), options);
+  const auto qname = dns::Name::of("valid.extended-dns-errors.com");
+
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    // Distinct qtypes defeat the servfail cache so every iteration walks
+    // to the (dead) authority; the infra cache is what cuts the probes.
+    const auto before = network->stats().packets_sent;
+    benchmark::DoNotOptimize(resolver.resolve(qname, dns::RRType::TXT));
+    benchmark::DoNotOptimize(resolver.resolve(qname, dns::RRType::MX));
+    resolver.cache().clear();
+    packets += network->stats().packets_sent - before;
+  }
+  state.counters["packets/iter"] = benchmark::Counter(
+      static_cast<double>(packets), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_InfraCacheHolddownResolution)->Arg(0)->Arg(1);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -46,5 +46,13 @@ int main(int argc, char** argv) {
   std::printf("dead nameservers      : %zu distinct addresses (paper: 293k "
               "unique NS; scaled ~293)\n",
               world.dead_provider_count());
+  const auto& infra = resolver.infra().stats();
+  std::printf("infra cache           : %llu held down, %llu probes avoided, "
+              "%zu entries (retry: %u ms initial, x%.1f backoff, %d/server)\n",
+              static_cast<unsigned long long>(infra.holddowns_started),
+              static_cast<unsigned long long>(infra.holddown_skips),
+              resolver.infra().size(), resolver.retry_policy().initial_timeout_ms,
+              resolver.retry_policy().backoff_factor,
+              resolver.retry_policy().attempts_per_server);
   return 0;
 }

@@ -58,21 +58,43 @@ dns::Message Forwarder::handle(const dns::Message& query) {
     return response;
   }
 
-  // Ask the upstreams.
+  // Ask the upstreams, retransmitting on the policy's backoff schedule —
+  // this is what rides out probabilistic loss on the upstream path.
+  std::optional<dns::Message> upstream_answer;
   for (const auto& upstream : upstreams_) {
-    dns::Message upstream_query =
-        dns::make_query(next_id_++, q.qname, q.qtype,
-                        /*recursion_desired=*/true);
-    edns::Edns e;
-    e.dnssec_ok = true;
-    edns::set_edns(upstream_query, e);
+    std::uint32_t timeout_ms = options_.retry.initial_timeout_ms;
+    for (int attempt = 0;
+         attempt < options_.retry.attempts_per_server &&
+         !upstream_answer.has_value();
+         ++attempt) {
+      dns::Message upstream_query =
+          dns::make_query(next_id_++, q.qname, q.qtype,
+                          /*recursion_desired=*/true);
+      edns::Edns e;
+      e.dnssec_ok = true;
+      edns::set_edns(upstream_query, e);
 
-    const auto sent =
-        network_->send(source_, upstream, upstream_query.serialize());
-    if (sent.status != sim::SendStatus::Delivered) continue;
-    auto parsed = dns::Message::parse(sent.response);
-    if (!parsed.ok()) continue;
-    const dns::Message upstream_response = std::move(parsed).take();
+      const auto sent =
+          network_->send(source_, upstream, upstream_query.serialize(),
+                         /*retransmission=*/attempt > 0);
+      if (sent.status == sim::SendStatus::Unreachable) break;
+      if (sent.status == sim::SendStatus::Timeout) {
+        network_->wait_ms(timeout_ms);
+        timeout_ms = options_.retry.next_timeout(timeout_ms);
+        continue;
+      }
+      auto parsed = dns::Message::parse(sent.response);
+      if (!parsed.ok()) {
+        network_->wait_ms(timeout_ms);
+        timeout_ms = options_.retry.next_timeout(timeout_ms);
+        continue;
+      }
+      upstream_answer = std::move(parsed).take();
+    }
+    if (upstream_answer.has_value()) break;
+  }
+  if (upstream_answer.has_value()) {
+    const dns::Message upstream_response = std::move(*upstream_answer);
 
     response.header.rcode = upstream_response.header.rcode;
     response.header.ad = upstream_response.header.ad;

@@ -17,6 +17,9 @@ struct ForwarderOptions {
   /// Strip upstream EDE instead of forwarding (some middleboxes do; used
   /// by tests to show what troubleshooting loses without forwarding).
   bool forward_extended_errors = true;
+  /// Per-upstream retry/backoff (stub resolvers retransmit too; this is
+  /// what rides out probabilistic loss on the path to the upstream).
+  RetryPolicy retry;
 };
 
 class Forwarder {

@@ -1,0 +1,73 @@
+#include "resolver/infra_cache.hpp"
+
+#include <algorithm>
+
+namespace ede::resolver {
+
+InfraCache::Entry& InfraCache::entry_for(const sim::NodeAddress& address) {
+  if (entries_.size() >= options_.max_entries &&
+      entries_.find(address) == entries_.end()) {
+    entries_.clear();  // coarse eviction, same policy as the answer cache
+  }
+  return entries_[address];
+}
+
+void InfraCache::report_success(const sim::NodeAddress& address,
+                                std::uint32_t rtt_ms) {
+  if (!options_.enabled) return;
+  ++stats_.successes;
+  Entry& entry = entry_for(address);
+  if (entry.successes == 0 && entry.failures == 0) {
+    entry.srtt_ms = static_cast<double>(rtt_ms);
+  } else {
+    entry.srtt_ms = (1.0 - options_.srtt_alpha) * entry.srtt_ms +
+                    options_.srtt_alpha * static_cast<double>(rtt_ms);
+  }
+  ++entry.successes;
+  entry.consecutive_timeouts = 0;
+  entry.hold_until_ms = 0;
+  entry.last_failure = FailureKind::None;
+}
+
+void InfraCache::report_failure(const sim::NodeAddress& address,
+                                FailureKind kind, sim::SimTimeMs now_ms) {
+  if (!options_.enabled || kind == FailureKind::None) return;
+  ++stats_.failures;
+  Entry& entry = entry_for(address);
+  ++entry.failures;
+  entry.last_failure = kind;
+  // Exponential RTT backoff so a flaky server sorts behind healthy ones
+  // even before it earns a hold-down.
+  entry.srtt_ms = entry.srtt_ms <= 0.0
+                      ? options_.unknown_rtt_ms
+                      : std::min(entry.srtt_ms * 2.0,
+                                 options_.max_backoff_rtt_ms);
+  ++entry.consecutive_timeouts;
+  if (entry.consecutive_timeouts >= options_.holddown_after &&
+      entry.hold_until_ms <= now_ms) {
+    entry.hold_until_ms = now_ms + options_.holddown_ms;
+    ++stats_.holddowns_started;
+  }
+}
+
+const InfraCache::Entry* InfraCache::find(
+    const sim::NodeAddress& address) const {
+  const auto it = entries_.find(address);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool InfraCache::held_down(const sim::NodeAddress& address,
+                           sim::SimTimeMs now_ms) const {
+  if (!options_.enabled) return false;
+  const auto* entry = find(address);
+  return entry != nullptr && entry->hold_until_ms > now_ms;
+}
+
+double InfraCache::expected_rtt_ms(const sim::NodeAddress& address) const {
+  const auto* entry = find(address);
+  return entry == nullptr ? 0.0 : entry->srtt_ms;
+}
+
+void InfraCache::clear() { entries_.clear(); }
+
+}  // namespace ede::resolver

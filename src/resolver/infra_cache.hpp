@@ -1,0 +1,100 @@
+// Infrastructure cache: the resolver's memory of nameserver *addresses*
+// (what Unbound calls the infra-cache and BIND keeps in its ADB). Tracks a
+// smoothed RTT per address (EWMA), counts consecutive timeouts, and holds
+// known-dead servers down for a calibrated window so repeated lame
+// delegations stop burning retransmissions — the paper's wild scan spends
+// most of its failure traffic on exactly these servers.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "simnet/address.hpp"
+#include "simnet/clock.hpp"
+
+namespace ede::resolver {
+
+class InfraCache {
+ public:
+  struct Options {
+    bool enabled = true;
+    /// EWMA weight of the newest sample: srtt = (1-a)*srtt + a*rtt
+    /// (BIND smooths with ~0.3; Unbound keeps an RTT band per host).
+    double srtt_alpha = 0.3;
+    /// Consecutive timeouts before an address is held down (Unbound
+    /// probes a host a few times before marking it down).
+    int holddown_after = 3;
+    /// How long a held-down address is skipped without probing
+    /// (Unbound's infra-host TTL is 15 minutes).
+    std::uint32_t holddown_ms = 900'000;
+    /// Ceiling for the failure backoff applied to srtt (Unbound caps its
+    /// RTO backoff at 120 s).
+    double max_backoff_rtt_ms = 120'000.0;
+    /// Assumed RTT of a server that just failed with no history
+    /// (Unbound's UNKNOWN_SERVER_NICENESS, 376 ms).
+    double unknown_rtt_ms = 376.0;
+    /// Coarse eviction cap, like the answer cache's.
+    std::size_t max_entries = 65'536;
+  };
+
+  /// Why the address most recently failed — decides how a held-down skip
+  /// is diagnosed (timeouts keep surfacing as ServerTimeout findings so
+  /// EDE classification is identical with and without the cache).
+  enum class FailureKind { None, Timeout, Unreachable };
+
+  struct Entry {
+    double srtt_ms = 0.0;
+    int consecutive_timeouts = 0;
+    sim::SimTimeMs hold_until_ms = 0;
+    FailureKind last_failure = FailureKind::None;
+    std::uint64_t successes = 0;
+    std::uint64_t failures = 0;
+  };
+
+  struct Stats {
+    std::uint64_t holddowns_started = 0;
+    std::uint64_t holddown_skips = 0;  // candidate probes avoided
+    std::uint64_t successes = 0;
+    std::uint64_t failures = 0;
+  };
+
+  explicit InfraCache(Options options) : options_(options) {}
+  InfraCache() : InfraCache(Options{}) {}
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// A reply (any rcode) arrived after `rtt_ms`: fold it into the EWMA
+  /// and clear the failure streak.
+  void report_success(const sim::NodeAddress& address, std::uint32_t rtt_ms);
+
+  /// The address timed out or was unroutable at `now_ms`. Timeouts count
+  /// toward the hold-down streak; both back the smoothed RTT off so the
+  /// address sorts behind responsive ones.
+  void report_failure(const sim::NodeAddress& address, FailureKind kind,
+                      sim::SimTimeMs now_ms);
+
+  [[nodiscard]] const Entry* find(const sim::NodeAddress& address) const;
+  [[nodiscard]] bool held_down(const sim::NodeAddress& address,
+                               sim::SimTimeMs now_ms) const;
+
+  /// Ranking key for server selection. Unknown servers rank at 0 — the
+  /// BIND-style optimistic default that makes the resolver try new
+  /// servers ahead of ones with a measured (or backed-off) RTT, and keeps
+  /// configured NS order stable until real measurements disagree.
+  [[nodiscard]] double expected_rtt_ms(const sim::NodeAddress& address) const;
+
+  void note_skip() { ++stats_.holddown_skips; }
+
+  void clear();
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  Entry& entry_for(const sim::NodeAddress& address);
+
+  Options options_;
+  std::unordered_map<sim::NodeAddress, Entry, sim::NodeAddressHash> entries_;
+  Stats stats_;
+};
+
+}  // namespace ede::resolver

@@ -36,6 +36,9 @@ ResolverProfile profile_bind() {
       {Defect::QueryFiltered, EdeCode::Filtered},
       {Defect::QueryProhibited, EdeCode::Prohibited},
   };
+  // BIND starts a fetch near 800 ms and caps its per-query backoff at 10 s.
+  p.retry.initial_timeout_ms = 800;
+  p.retry.max_timeout_ms = 10'000;
   return p;
 }
 
@@ -89,6 +92,10 @@ ResolverProfile profile_unbound() {
       {Defect::StaleNxdomainServed, EdeCode::StaleNxdomainAnswer},
       {Defect::CachedServfail, EdeCode::CachedError},
   };
+  // Unbound assumes 376 ms for an unmeasured server
+  // (UNKNOWN_SERVER_NICENESS) and backs its RTO off toward 12 s.
+  p.retry.initial_timeout_ms = 376;
+  p.retry.max_timeout_ms = 12'000;
   return p;
 }
 
@@ -133,6 +140,11 @@ ResolverProfile profile_powerdns() {
       {Defect::QueryCensored, EdeCode::Censored},
       {Defect::QueryFiltered, EdeCode::Filtered},
   };
+  // PowerDNS Recursor waits a flat 1.5 s per attempt (no exponential
+  // backoff between retransmissions).
+  p.retry.initial_timeout_ms = 1'500;
+  p.retry.max_timeout_ms = 1'500;
+  p.retry.backoff_factor = 1.0;
   return p;
 }
 
@@ -185,6 +197,10 @@ ResolverProfile profile_knot() {
       {Defect::DsReservedKeyAlgorithm, "LSLC: unsupported digest/key"},
       {Defect::DsUnknownDigestType, "LSLC: unsupported digest/key"},
   };
+  // Knot Resolver's per-query timeout grows from ~1 s toward its 6 s
+  // overall answer deadline.
+  p.retry.initial_timeout_ms = 1'000;
+  p.retry.max_timeout_ms = 6'000;
   return p;
 }
 

@@ -22,6 +22,7 @@
 #include "dnssec/findings.hpp"
 #include "dnssec/validate.hpp"
 #include "edns/ede.hpp"
+#include "resolver/retry.hpp"
 #include "simnet/address.hpp"
 
 namespace ede::resolver {
@@ -47,6 +48,9 @@ struct ResolverProfile {
   bool emit_extra_text = false;
   /// Knot's "LSLC: unsupported digest/key" style fixed texts per defect.
   std::map<dnssec::Defect, std::string> fixed_extra_text;
+  /// Calibrated transport retry/backoff defaults (see retry.hpp); a
+  /// ResolverOptions::retry override wins over this.
+  RetryPolicy retry;
 
   /// The EDE (if any) this profile emits for a finding.
   [[nodiscard]] std::optional<edns::ExtendedError> ede_for(

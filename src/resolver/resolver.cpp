@@ -1,6 +1,7 @@
 #include "resolver/resolver.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "crypto/encoding.hpp"
 #include "dnssec/nsec3.hpp"
@@ -111,13 +112,19 @@ RecursiveResolver::RecursiveResolver(std::shared_ptr<sim::Network> network,
       root_servers_(std::move(root_servers)),
       trust_anchor_(std::move(trust_anchor)),
       options_(options),
-      cache_(options.cache) {}
+      cache_(options.cache),
+      retry_(options.retry.value_or(profile_.retry)),
+      infra_(options.infra) {
+  budget_.attempts_left = retry_.max_total_attempts;
+  budget_.deadline_ms = std::numeric_limits<sim::SimTimeMs>::max();
+}
 
 void RecursiveResolver::flush() {
   cache_.clear();
   zone_cache_.clear();
   denial_cache_.clear();
   reports_sent_.clear();
+  infra_.clear();
   root_keys_.reset();
   root_trust_ok_ = false;
 }
@@ -129,13 +136,56 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers(
   const std::string query_desc =
       qname.to_string() + " " + dns::to_string(qtype);
 
+  // Prefer servers with the lowest smoothed RTT — but only when the
+  // latency model is producing real measurements. On the instantaneous
+  // transport every reply measures 0 ms, so sorting would merely demote
+  // servers with a backed-off (failure-inflated) SRTT and silently skip
+  // the dead-server probes whose ServerTimeout findings the diagnosis
+  // (and the paper's Table 4) depends on. stable_sort keeps configured
+  // NS order among ties, so unknown servers (SRTT 0) stay put.
+  std::vector<sim::NodeAddress> candidates = servers;
+  if (infra_.options().enabled && network_->latency().enabled) {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](const sim::NodeAddress& a, const sim::NodeAddress& b) {
+                       return infra_.expected_rtt_ms(a) <
+                              infra_.expected_rtt_ms(b);
+                     });
+  }
+
   std::optional<dns::Message> first_response;
-  for (const auto& server : servers) {
+  for (const auto& server : candidates) {
+    if (infra_.held_down(server, network_->clock().now_ms())) {
+      infra_.note_skip();
+      const auto* entry = infra_.find(server);
+      if (entry != nullptr &&
+          entry->last_failure == InfraCache::FailureKind::Timeout) {
+        // Skipping must not change the diagnosis: a held-down lame server
+        // still surfaces exactly the ServerTimeout finding a probe would
+        // have produced — only the retransmissions are saved.
+        add_finding(result.findings, Stage::Transport, Defect::ServerTimeout,
+                    server.to_string() + ":53 timed out for " + query_desc +
+                        " (held down)");
+      }
+      continue;
+    }
+
     std::optional<dns::Message> received;
     std::uint16_t payload_size = 1232;
-    // Up to three attempts per server: one retransmission after a timeout
-    // (all real resolvers retry) plus one TC-triggered "TCP" retry.
-    for (int attempt = 0; attempt < 3 && !received.has_value(); ++attempt) {
+    std::uint32_t timeout_ms = retry_.initial_timeout_ms;
+    bool sent_once = false;
+    // Policy-driven attempts per server: each timed-out attempt waits out
+    // the current retransmission timer, then backs the timer off
+    // exponentially (capped). A TC-triggered "TCP" retry does not consume
+    // an attempt, mirroring the old three-attempt loop's special case.
+    for (int attempt = 0;
+         attempt < retry_.attempts_per_server && !received.has_value();) {
+      if (budget_.attempts_left <= 0 ||
+          network_->clock().now_ms() >= budget_.deadline_ms) {
+        // Per-resolution budget exhausted: stop probing entirely and let
+        // the caller degrade (serve-stale / SERVFAIL) on what we have.
+        result.response = std::move(first_response);
+        return result;
+      }
       dns::Message query = dns::make_query(next_id_++, qname, qtype,
                                            /*recursion_desired=*/false);
       edns::Edns edns;
@@ -144,33 +194,59 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers(
       edns::set_edns(query, edns);
 
       ++result.queries;
+      --budget_.attempts_left;
       const auto sent =
-          network_->send(profile_.source, server, query.serialize());
+          network_->send(profile_.source, server, query.serialize(),
+                         /*retransmission=*/sent_once);
+      sent_once = true;
       if (sent.status == sim::SendStatus::Unreachable) {
         // Special-purpose or otherwise unroutable address: nothing was
         // ever going to arrive. No per-server finding — the aggregate
         // AllServersUnreachable is added by the caller on total failure.
+        infra_.report_failure(server, InfraCache::FailureKind::Unreachable,
+                              network_->clock().now_ms());
         break;
       }
       if (sent.status == sim::SendStatus::Timeout) {
+        network_->wait_ms(timeout_ms);  // retransmission timer runs out
+        infra_.report_failure(server, InfraCache::FailureKind::Timeout,
+                              network_->clock().now_ms());
         add_finding(result.findings, Stage::Transport, Defect::ServerTimeout,
                     server.to_string() + ":53 timed out for " + query_desc);
-        if (attempt == 0) continue;  // one retransmission
-        break;
+        timeout_ms = retry_.next_timeout(timeout_ms);
+        ++attempt;
+        continue;
       }
+
+      // A reply of any kind refreshes the server's SRTT and clears its
+      // failure streak.
+      infra_.report_success(server, sent.rtt_ms);
 
       auto parsed = dns::Message::parse(sent.response);
       if (!parsed) {
+        // A mangled datagram is indistinguishable from silence to a real
+        // resolver: the reply is discarded and the retransmission timer
+        // expires, so it is retried on the same backoff schedule.
         add_finding(result.findings, Stage::Transport, Defect::ServerTimeout,
                     server.to_string() +
                         ":53 sent an unparsable response for " + query_desc);
-        break;
+        network_->wait_ms(timeout_ms);
+        timeout_ms = retry_.next_timeout(timeout_ms);
+        ++attempt;
+        continue;
       }
-      if (parsed.value().header.id != query.header.id) break;
-      if (parsed.value().header.tc && attempt == 0) {
+      if (parsed.value().header.id != query.header.id) {
+        // Spoofed/corrupted ID: discard and retry, like a dropped reply.
+        network_->wait_ms(timeout_ms);
+        timeout_ms = retry_.next_timeout(timeout_ms);
+        ++attempt;
+        continue;
+      }
+      if (parsed.value().header.tc && payload_size != 0xffff) {
         // Truncated: retry "over TCP", modelled as a maximum-size EDNS
         // advertisement on the lossless simulated transport.
         payload_size = 0xffff;
+        sent_once = false;  // a fresh exchange, not a retransmission
         continue;
       }
       received = std::move(parsed).take();
@@ -285,6 +361,13 @@ std::vector<sim::NodeAddress> RecursiveResolver::resolve_ns_addresses(
 }
 
 Outcome RecursiveResolver::resolve(const dns::Name& qname, dns::RRType qtype) {
+  // Arm the per-resolution retry/time budget. The wall deadline only bites
+  // when the latency model advances the clock; otherwise waits are free
+  // and the attempt counter is the effective bound.
+  budget_.attempts_left = retry_.max_total_attempts;
+  budget_.deadline_ms = retry_.total_budget_ms == 0
+                            ? std::numeric_limits<sim::SimTimeMs>::max()
+                            : network_->clock().now_ms() + retry_.total_budget_ms;
   Outcome outcome = resolve_internal(qname, qtype, 0);
   annotate(outcome);
 

@@ -9,12 +9,15 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <set>
 
 #include "dnscore/message.hpp"
 #include "dnssec/validate.hpp"
 #include "resolver/cache.hpp"
+#include "resolver/infra_cache.hpp"
 #include "resolver/profile.hpp"
+#include "resolver/retry.hpp"
 #include "simnet/network.hpp"
 
 namespace ede::resolver {
@@ -57,6 +60,11 @@ struct ResolverOptions {
   /// NSEC3 ranges synthesize NXDOMAIN locally, flagged with the
   /// Synthesized finding (EDE 29 under the reference profile).
   bool aggressive_nsec_caching = false;
+  /// Override the vendor profile's calibrated retry/backoff policy.
+  std::optional<RetryPolicy> retry;
+  /// Infrastructure cache (per-nameserver SRTT, hold-down of known-dead
+  /// servers). `infra.enabled = false` restores probe-every-time.
+  InfraCache::Options infra;
 };
 
 /// One step of the iterative resolution, for dig +trace-style display.
@@ -98,6 +106,10 @@ class RecursiveResolver {
   [[nodiscard]] Outcome resolve(const dns::Name& qname, dns::RRType qtype);
 
   [[nodiscard]] Cache& cache() { return cache_; }
+  [[nodiscard]] InfraCache& infra() { return infra_; }
+  [[nodiscard]] const InfraCache& infra() const { return infra_; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
+  [[nodiscard]] const sim::Network& network() const { return *network_; }
   [[nodiscard]] const ResolverProfile& profile() const { return profile_; }
   [[nodiscard]] const ResolverOptions& options() const { return options_; }
 
@@ -133,6 +145,15 @@ class RecursiveResolver {
   dns::DnskeyRdata trust_anchor_;
   ResolverOptions options_;
   Cache cache_;
+  RetryPolicy retry_;
+  InfraCache infra_;
+
+  /// Per-resolution retry/time budget (reset by each top-level resolve()).
+  struct Budget {
+    int attempts_left = 0;
+    sim::SimTimeMs deadline_ms = 0;
+  };
+  Budget budget_;
 
   std::optional<std::vector<dns::DnskeyRdata>> root_keys_;
   bool root_trust_ok_ = false;

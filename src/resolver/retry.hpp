@@ -1,0 +1,41 @@
+// Transport retry/backoff policy.
+//
+// Replaces the old fixed "three attempts per server" loop with the shape
+// every production resolver uses for lame delegations: a configurable
+// initial timeout, exponential backoff with a cap, and per-resolution
+// retry/time budgets so one dead delegation cannot stall a scan. Vendor
+// profiles carry calibrated defaults (BIND starts near 800 ms, Unbound
+// assumes 376 ms for unknown servers, PowerDNS waits a flat 1.5 s).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ede::resolver {
+
+struct RetryPolicy {
+  /// Wait this long for the first reply from a server.
+  std::uint32_t initial_timeout_ms = 400;
+  /// Backoff cap: no single wait exceeds this.
+  std::uint32_t max_timeout_ms = 6'000;
+  /// Multiplier applied to the timeout after each failed attempt.
+  double backoff_factor = 2.0;
+  /// Queries sent to one server for one (qname, qtype) before moving on
+  /// (2 = the classic "one retransmission", matching the seed behaviour).
+  int attempts_per_server = 2;
+  /// Hard per-resolution budget on upstream queries, shared across every
+  /// delegation level and nameserver-address sub-resolution.
+  int max_total_attempts = 128;
+  /// Per-resolution wall budget on the simulated clock. Only bites when
+  /// the network's latency model is enabled (otherwise waits are free).
+  std::uint32_t total_budget_ms = 60'000;
+
+  [[nodiscard]] std::uint32_t next_timeout(std::uint32_t current_ms) const {
+    const auto scaled =
+        static_cast<std::uint32_t>(static_cast<double>(current_ms) *
+                                   backoff_factor);
+    return std::min(std::max(scaled, current_ms + 1), max_timeout_ms);
+  }
+};
+
+}  // namespace ede::resolver

@@ -9,6 +9,8 @@ ScanResult Scanner::run(resolver::RecursiveResolver& resolver,
   ScanResult result;
   result.per_tld.resize(population.tlds.size());
 
+  const auto net_before = resolver.network().stats();
+  const auto infra_before = resolver.infra().stats();
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < population.domains.size();
        i += options_.stride) {
@@ -50,6 +52,23 @@ ScanResult Scanner::run(resolver::RecursiveResolver& resolver,
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds =
       std::chrono::duration<double>(end - start).count();
+
+  const auto& net_after = resolver.network().stats();
+  const auto& infra_after = resolver.infra().stats();
+  result.transport.packets_sent =
+      net_after.packets_sent - net_before.packets_sent;
+  result.transport.retransmits = net_after.retransmits - net_before.retransmits;
+  result.transport.timeouts =
+      net_after.packets_timeout - net_before.packets_timeout;
+  result.transport.unreachable =
+      net_after.packets_unreachable - net_before.packets_unreachable;
+  result.transport.corrupted = net_after.corrupted - net_before.corrupted;
+  result.transport.rate_limited =
+      net_after.rate_limited - net_before.rate_limited;
+  result.transport.holddown_skips =
+      infra_after.holddown_skips - infra_before.holddown_skips;
+  result.transport.holddowns_started =
+      infra_after.holddowns_started - infra_before.holddowns_started;
   return result;
 }
 

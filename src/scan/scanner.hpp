@@ -27,6 +27,19 @@ struct RankedDomain {
   bool noerror = false;
 };
 
+/// What the adversarial transport saw during the scan (deltas over the
+/// network's counters, so scans sharing a Network don't double-count).
+struct TransportStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t unreachable = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t holddown_skips = 0;  // probes the infra cache avoided
+  std::uint64_t holddowns_started = 0;
+};
+
 struct ScanResult {
   std::size_t total_domains = 0;
   std::size_t domains_with_ede = 0;
@@ -39,6 +52,7 @@ struct ScanResult {
   std::map<Category, std::map<std::uint16_t, std::size_t>>
       codes_by_category;  // diagnostic cross-tab
   std::uint64_t upstream_queries = 0;
+  TransportStats transport;
   double wall_seconds = 0.0;
 
   [[nodiscard]] double queries_per_second() const {

@@ -1,5 +1,9 @@
 // Simulated time. All signature inception/expiration arithmetic and cache
 // TTLs run against this clock so experiments are deterministic.
+//
+// The clock keeps millisecond precision internally so the transport layer
+// can model round-trip times and retry timeouts, while the DNS-facing
+// surface (TTLs, signature windows) keeps reading whole seconds.
 #pragma once
 
 #include <cstdint>
@@ -10,18 +14,27 @@ namespace ede::sim {
 /// kDefaultNow; mutators move windows relative to it.
 using SimTime = std::uint32_t;
 
+/// Milliseconds since the simulated epoch (transport-layer resolution).
+using SimTimeMs = std::uint64_t;
+
 constexpr SimTime kDefaultNow = 1'700'000'000;  // an arbitrary fixed origin
 
 class Clock {
  public:
-  explicit Clock(SimTime now = kDefaultNow) : now_(now) {}
+  explicit Clock(SimTime now = kDefaultNow)
+      : now_ms_(SimTimeMs{now} * 1000) {}
 
-  [[nodiscard]] SimTime now() const { return now_; }
-  void advance(SimTime seconds) { now_ += seconds; }
-  void set(SimTime now) { now_ = now; }
+  [[nodiscard]] SimTime now() const {
+    return static_cast<SimTime>(now_ms_ / 1000);
+  }
+  [[nodiscard]] SimTimeMs now_ms() const { return now_ms_; }
+
+  void advance(SimTime seconds) { now_ms_ += SimTimeMs{seconds} * 1000; }
+  void advance_ms(SimTimeMs milliseconds) { now_ms_ += milliseconds; }
+  void set(SimTime now) { now_ms_ = SimTimeMs{now} * 1000; }
 
  private:
-  SimTime now_;
+  SimTimeMs now_ms_;
 };
 
 }  // namespace ede::sim

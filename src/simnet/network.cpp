@@ -1,6 +1,20 @@
 #include "simnet/network.hpp"
 
+#include <algorithm>
+
 namespace ede::sim {
+
+namespace {
+
+/// Cap on the optional send trace so a long scan cannot grow it unbounded.
+constexpr std::size_t kMaxSendLog = 65'536;
+
+/// DNS header offsets used when a rate limiter synthesizes REFUSED.
+constexpr std::size_t kHeaderSize = 12;
+constexpr std::uint8_t kQrBit = 0x80;
+constexpr std::uint8_t kRcodeRefused = 5;
+
+}  // namespace
 
 void Network::attach(const NodeAddress& address, Endpoint endpoint) {
   endpoints_[address] = std::move(endpoint);
@@ -15,50 +29,131 @@ bool Network::attached(const NodeAddress& address) const {
 }
 
 void Network::inject_fault(const NodeAddress& address, Fault fault) {
-  if (fault == Fault::None) {
+  // Any (re)injection starts the fault from a clean slate: a stale parity
+  // counter from an earlier Intermittent fault must not leak into a new
+  // one, and a fresh rate limiter starts with an empty window.
+  intermittent_counters_.erase(address);
+  rate_windows_.erase(address);
+  if (fault.kind == Fault::Kind::None) {
     faults_.erase(address);
   } else {
     faults_[address] = fault;
   }
 }
 
+void Network::set_latency(const LatencyModel& model) {
+  latency_ = model;
+  rng_ = crypto::Xoshiro256(model.seed);
+}
+
+void Network::set_link_rtt(const NodeAddress& address,
+                           std::uint32_t base_rtt_ms) {
+  link_rtts_[address] = base_rtt_ms;
+}
+
+std::uint32_t Network::link_rtt(const NodeAddress& destination) {
+  if (!latency_.enabled) return 0;
+  std::uint32_t base = latency_.base_rtt_ms;
+  if (const auto it = link_rtts_.find(destination); it != link_rtts_.end()) {
+    base = it->second;
+  }
+  if (latency_.jitter_ms > 0) {
+    base += static_cast<std::uint32_t>(rng_.below(latency_.jitter_ms + 1));
+  }
+  return base;
+}
+
 SendResult Network::send(const NodeAddress& source,
                          const NodeAddress& destination,
-                         crypto::BytesView query) {
+                         crypto::BytesView query, bool retransmission) {
   ++stats_.packets_sent;
+  if (retransmission) ++stats_.retransmits;
+  if (record_sends_ && send_log_.size() < kMaxSendLog) {
+    send_log_.push_back({clock_->now_ms(), destination, retransmission});
+  }
+
+  // The cost of one round trip on this link, charged to the shared clock
+  // whenever the sender hears back (replies, ICMP unreachable, REFUSED).
+  // Silent drops charge nothing here: the sender's own retry timeout is
+  // what elapses, via wait_ms().
+  const std::uint32_t rtt = link_rtt(destination);
+  const auto reply = [&](SendStatus status, crypto::Bytes bytes) {
+    if (latency_.enabled) clock_->advance_ms(rtt);
+    return SendResult{status, std::move(bytes), rtt};
+  };
+  const auto drop = [&]() {
+    ++stats_.packets_timeout;
+    return SendResult{SendStatus::Timeout, {}, 0};
+  };
 
   if (!destination.is_routable()) {
     ++stats_.packets_unreachable;
-    return {SendStatus::Unreachable, {}};
+    return reply(SendStatus::Unreachable, {});
   }
 
+  bool corrupt_response = false;
   const auto fault_it = faults_.find(destination);
-  if (fault_it != faults_.end()) {
-    if (fault_it->second == Fault::Timeout) {
-      ++stats_.packets_timeout;
-      return {SendStatus::Timeout, {}};
-    }
-    if (fault_it->second == Fault::Intermittent) {
-      if (++intermittent_counters_[destination] % 2 == 1) {
-        ++stats_.packets_timeout;
-        return {SendStatus::Timeout, {}};
+  if (fault_it != faults_.end() &&
+      fault_it->second.active(clock_->now())) {
+    const Fault& fault = fault_it->second;
+    switch (fault.kind) {
+      case Fault::Kind::Timeout:
+        return drop();
+      case Fault::Kind::Intermittent:
+        if (++intermittent_counters_[destination] % 2 == 1) return drop();
+        break;
+      case Fault::Kind::Loss:
+        if (rng_.uniform() < fault.probability) return drop();
+        break;
+      case Fault::Kind::Corrupt:
+        corrupt_response = rng_.uniform() < fault.probability;
+        break;
+      case Fault::Kind::RateLimit: {
+        auto& window = rate_windows_[destination];
+        const SimTime second = clock_->now();
+        if (window.second != second) {
+          window.second = second;
+          window.count = 0;
+        }
+        if (++window.count > fault.max_qps) {
+          // Answer REFUSED without consulting the endpoint: echo the query
+          // with QR set and RCODE=REFUSED (what RRL-style limiters do
+          // when they do not simply drop).
+          if (query.size() < kHeaderSize) return drop();
+          crypto::Bytes refused(query.begin(), query.end());
+          refused[2] |= kQrBit;
+          refused[3] = static_cast<std::uint8_t>((refused[3] & 0xf0) |
+                                                 kRcodeRefused);
+          ++stats_.rate_limited;
+          ++stats_.packets_delivered;
+          return reply(SendStatus::Delivered, std::move(refused));
+        }
+        break;
       }
+      case Fault::Kind::None:
+        break;
     }
   }
 
   const auto it = endpoints_.find(destination);
-  if (it == endpoints_.end()) {
-    ++stats_.packets_timeout;
-    return {SendStatus::Timeout, {}};
-  }
+  if (it == endpoints_.end()) return drop();
 
   auto response = it->second(query, PacketContext{source});
-  if (!response) {
-    ++stats_.packets_timeout;
-    return {SendStatus::Timeout, {}};
+  if (!response) return drop();
+
+  if (corrupt_response && !response->empty()) {
+    // Flip one to three bytes so the receiver's parser path is exercised
+    // with almost-valid wire data.
+    const std::size_t flips = 1 + rng_.below(3);
+    for (std::size_t i = 0; i < flips; ++i) {
+      const std::size_t pos = rng_.below(response->size());
+      (*response)[pos] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+    }
+    ++stats_.corrupted;
   }
+
   ++stats_.packets_delivered;
-  return {SendStatus::Delivered, std::move(*response)};
+  return reply(SendStatus::Delivered, std::move(*response));
 }
 
 }  // namespace ede::sim

@@ -8,14 +8,24 @@
 // 2001:db8::/32 is exactly as dead here as on the real Internet, which is
 // what makes the paper's groups 6/7 testbed cases and the wild scan's lame
 // delegations reproduce.
+//
+// The transport can additionally be made adversarial: a seeded latency
+// model (per-link base RTT + jitter) that advances the shared Clock, and
+// per-address fault injection covering hard timeouts, parity loss,
+// probabilistic loss, response corruption, rate limiting and scripted
+// outage windows (fail_between) so servers can die and recover on the
+// simulated timeline.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "crypto/bytes.hpp"
+#include "crypto/rng.hpp"
 #include "simnet/address.hpp"
 #include "simnet/clock.hpp"
 
@@ -41,19 +51,76 @@ enum class SendStatus {
 struct SendResult {
   SendStatus status = SendStatus::Timeout;
   crypto::Bytes response;
+  /// Simulated round-trip time of this exchange. Zero when the latency
+  /// model is disabled; on Timeout the caller decides how long it waited
+  /// (see Network::wait_ms) so nothing is charged here.
+  std::uint32_t rtt_ms = 0;
 };
 
+constexpr SimTime kFaultForever = std::numeric_limits<SimTime>::max();
+
 /// Per-address fault injection for failure testing and the wild scan.
-enum class Fault {
-  None,
-  Timeout,       // swallow every packet
-  Intermittent,  // drop every other packet
+/// Construct via the factories, optionally scoped to a simulated-time
+/// window with between()/fail_between so faults can start and clear on the
+/// timeline:
+///
+///   net.inject_fault(addr, Fault::loss(0.3));
+///   net.fail_between(addr, t0, t1);   // dead inside [t0, t1), fine after
+struct Fault {
+  enum class Kind : std::uint8_t {
+    None,
+    Timeout,       // swallow every packet
+    Intermittent,  // drop every other packet (deterministic parity)
+    Loss,          // drop each packet independently with probability p
+    Corrupt,       // deliver, but flip response bytes with probability p
+    RateLimit,     // answer REFUSED beyond max_qps queries per sim-second
+  };
+
+  Kind kind = Kind::None;
+  double probability = 1.0;    // Loss / Corrupt
+  std::uint32_t max_qps = 0;   // RateLimit
+  SimTime active_from = 0;     // fault applies inside [active_from,
+  SimTime active_until = kFaultForever;  //                active_until)
+
+  static Fault none() { return {}; }
+  static Fault timeout() { return {Kind::Timeout}; }
+  static Fault intermittent() { return {Kind::Intermittent}; }
+  static Fault loss(double p) { return {Kind::Loss, p}; }
+  static Fault corrupt(double p = 1.0) { return {Kind::Corrupt, p}; }
+  static Fault rate_limit(std::uint32_t qps) {
+    Fault f{Kind::RateLimit};
+    f.max_qps = qps;
+    return f;
+  }
+
+  /// The same fault, active only inside [t0, t1).
+  [[nodiscard]] Fault between(SimTime t0, SimTime t1) const {
+    Fault f = *this;
+    f.active_from = t0;
+    f.active_until = t1;
+    return f;
+  }
+
+  [[nodiscard]] bool active(SimTime now) const {
+    return kind != Kind::None && now >= active_from && now < active_until;
+  }
+};
+
+/// Seeded per-link latency. Disabled by default: the bulk-scan experiments
+/// depend on an instantaneous transport (prewarmed cache entries with
+/// 30-second TTLs would expire mid-scan otherwise). Chaos tests and
+/// latency-sensitive benchmarks switch it on explicitly.
+struct LatencyModel {
+  bool enabled = false;
+  std::uint32_t base_rtt_ms = 20;  // default per-link round trip
+  std::uint32_t jitter_ms = 8;     // uniform extra in [0, jitter_ms]
+  std::uint64_t seed = 0x1ede;     // drives jitter, loss and corruption
 };
 
 class Network {
  public:
   explicit Network(std::shared_ptr<Clock> clock)
-      : clock_(std::move(clock)) {}
+      : clock_(std::move(clock)), rng_(LatencyModel{}.seed) {}
 
   /// Attach a node. Later registrations at the same address replace
   /// earlier ones (used by failure-injection tests).
@@ -62,11 +129,32 @@ class Network {
   [[nodiscard]] bool attached(const NodeAddress& address) const;
 
   void inject_fault(const NodeAddress& address, Fault fault);
+  /// Scripted outage: the address swallows every packet inside [t0, t1)
+  /// and behaves normally outside the window.
+  void fail_between(const NodeAddress& address, SimTime t0, SimTime t1) {
+    inject_fault(address, Fault::timeout().between(t0, t1));
+  }
 
-  /// Send query bytes from `source` to `destination`.
+  /// Install (or disable) the latency model. Reseeds the transport RNG so
+  /// experiments are reproducible from the model's seed.
+  void set_latency(const LatencyModel& model);
+  [[nodiscard]] const LatencyModel& latency() const { return latency_; }
+  /// Per-link base-RTT override (e.g. an overseas authority).
+  void set_link_rtt(const NodeAddress& address, std::uint32_t base_rtt_ms);
+
+  /// A sender waiting out a retry timeout. Advances the clock only when
+  /// the latency model is enabled, so the instantaneous-transport
+  /// experiments keep their timeline.
+  void wait_ms(std::uint32_t milliseconds) {
+    if (latency_.enabled) clock_->advance_ms(milliseconds);
+  }
+
+  /// Send query bytes from `source` to `destination`. `retransmission`
+  /// marks a retry of an earlier query (statistics only).
   [[nodiscard]] SendResult send(const NodeAddress& source,
                                 const NodeAddress& destination,
-                                crypto::BytesView query);
+                                crypto::BytesView query,
+                                bool retransmission = false);
 
   [[nodiscard]] Clock& clock() { return *clock_; }
   [[nodiscard]] const Clock& clock() const { return *clock_; }
@@ -77,17 +165,48 @@ class Network {
     std::uint64_t packets_delivered = 0;
     std::uint64_t packets_unreachable = 0;
     std::uint64_t packets_timeout = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t corrupted = 0;     // responses mangled by Fault::corrupt
+    std::uint64_t rate_limited = 0;  // queries answered REFUSED by a limiter
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Optional per-send trace (timestamp + destination), for asserting
+  /// retry/backoff spacing in tests. Bounded; disabled by default.
+  struct SendRecord {
+    SimTimeMs at_ms = 0;
+    NodeAddress destination;
+    bool retransmission = false;
+  };
+  void record_sends(bool on) {
+    record_sends_ = on;
+    send_log_.clear();
+  }
+  [[nodiscard]] const std::vector<SendRecord>& send_log() const {
+    return send_log_;
+  }
+
  private:
+  [[nodiscard]] std::uint32_t link_rtt(const NodeAddress& destination);
+
   std::shared_ptr<Clock> clock_;
   std::unordered_map<NodeAddress, Endpoint, NodeAddressHash> endpoints_;
   std::unordered_map<NodeAddress, Fault, NodeAddressHash> faults_;
   std::unordered_map<NodeAddress, std::uint64_t, NodeAddressHash>
       intermittent_counters_;
+  /// RateLimit bookkeeping: queries seen at this address in `second`.
+  struct RateWindow {
+    SimTime second = 0;
+    std::uint32_t count = 0;
+  };
+  std::unordered_map<NodeAddress, RateWindow, NodeAddressHash> rate_windows_;
+  std::unordered_map<NodeAddress, std::uint32_t, NodeAddressHash> link_rtts_;
+  LatencyModel latency_;
+  crypto::Xoshiro256 rng_;
   Stats stats_;
+  bool record_sends_ = false;
+  std::vector<SendRecord> send_log_;
 };
 
 }  // namespace ede::sim

@@ -161,6 +161,7 @@ void Testbed::build_hierarchy() {
       servers_.push_back(std::move(server));
     }
     child_zones_.emplace(spec.label, std::move(child_zone));
+    child_addresses_.emplace(spec.label, child_addr);
   }
 
   zone::sign_zone(*base_zone, base_keys, {});
@@ -225,6 +226,13 @@ std::shared_ptr<const zone::Zone> Testbed::child_zone(
     std::string_view label) const {
   const auto it = child_zones_.find(label);
   return it == child_zones_.end() ? nullptr : it->second;
+}
+
+std::optional<sim::NodeAddress> Testbed::server_address(
+    std::string_view label) const {
+  const auto it = child_addresses_.find(label);
+  return it == child_addresses_.end() ? std::nullopt
+                                      : std::optional(it->second);
 }
 
 }  // namespace ede::testbed

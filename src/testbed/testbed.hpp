@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "resolver/resolver.hpp"
 #include "server/auth_server.hpp"
@@ -46,6 +47,11 @@ class Testbed {
   [[nodiscard]] std::shared_ptr<const zone::Zone> child_zone(
       std::string_view label) const;
 
+  /// Network address of a case's authoritative server (its glue), for
+  /// fault injection in chaos tests.
+  [[nodiscard]] std::optional<sim::NodeAddress> server_address(
+      std::string_view label) const;
+
  private:
   void build_hierarchy();
 
@@ -56,6 +62,7 @@ class Testbed {
   std::vector<std::shared_ptr<server::AuthServer>> servers_;
   std::map<std::string, std::shared_ptr<const zone::Zone>, std::less<>>
       child_zones_;
+  std::map<std::string, sim::NodeAddress, std::less<>> child_addresses_;
 };
 
 }  // namespace ede::testbed

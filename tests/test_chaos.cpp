@@ -1,0 +1,269 @@
+// Chaos tests: the adversarial transport driving the resolver's adaptive
+// retry machinery end to end. A scripted fault window kills the control
+// domain's authority mid-scenario and the EDE diagnosis must progress
+// exactly the way the paper's lame-delegation story predicts: connectivity
+// codes (22/23) while the server is down, Stale Answer (3) while the infra
+// cache holds the dead server down without spending packets on it, and a
+// clean validated NOERROR after recovery. Everything runs under the seeded
+// latency model, so the whole storyline is deterministic and the
+// inter-attempt spacing of the exponential backoff is assertable.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "edns/edns.hpp"
+#include "resolver/forwarder.hpp"
+#include "scan/report.hpp"
+#include "scan/scanner.hpp"
+#include "scan/world.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace ede;
+using resolver::RecursiveResolver;
+using resolver::ResolverOptions;
+using resolver::RetryPolicy;
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  ChaosTest()
+      : clock_(std::make_shared<sim::Clock>()),
+        network_(std::make_shared<sim::Network>(clock_)),
+        testbed_(network_) {
+    child_addr_ = testbed_.server_address("valid").value();
+  }
+
+  RecursiveResolver make(ResolverOptions options = {}) {
+    return testbed_.make_resolver(resolver::profile_cloudflare(), options);
+  }
+
+  static dns::Name valid_name() {
+    return dns::Name::of("valid.extended-dns-errors.com");
+  }
+
+  static bool has_code(const resolver::Outcome& outcome, edns::EdeCode code) {
+    for (const auto& error : outcome.errors)
+      if (error.code == code) return true;
+    return false;
+  }
+
+  std::vector<sim::Network::SendRecord> sends_to_child() const {
+    std::vector<sim::Network::SendRecord> out;
+    for (const auto& record : network_->send_log())
+      if (record.destination == child_addr_) out.push_back(record);
+    return out;
+  }
+
+  std::shared_ptr<sim::Clock> clock_;
+  std::shared_ptr<sim::Network> network_;
+  testbed::Testbed testbed_;
+  sim::NodeAddress child_addr_;
+};
+
+// The headline scenario from the issue: healthy -> scripted outage ->
+// hold-down -> recovery, with the EDE progression 22/23 -> 3 -> none.
+TEST_F(ChaosTest, ScriptedOutageWalksTheEdeProgression) {
+  network_->set_latency({.enabled = true, .base_rtt_ms = 20, .jitter_ms = 8,
+                         .seed = 0xc4a05});
+
+  ResolverOptions options;
+  RetryPolicy retry;
+  retry.initial_timeout_ms = 400;
+  retry.backoff_factor = 2.0;
+  retry.attempts_per_server = 4;  // enough probes to watch the backoff grow
+  options.retry = retry;
+  auto resolver = make(options);
+
+  // Act 1 — healthy: a validated answer lands in the cache.
+  const auto healthy = resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_EQ(healthy.rcode, dns::RCode::NOERROR);
+  EXPECT_EQ(healthy.security, dnssec::Security::Secure);
+  EXPECT_TRUE(healthy.errors.empty());
+
+  // Act 2 — the authority dies for a scripted window 4000 s from now
+  // (past the 3600 s TTLs, so resolution must go upstream into it).
+  const auto t0 = clock_->now();
+  network_->fail_between(child_addr_, t0 + 4000, t0 + 8000);
+  clock_->set(t0 + 4000);
+  network_->record_sends(true);
+
+  // An uncached qtype forces the resolver upstream into the outage: every
+  // probe times out and the connectivity codes surface.
+  const auto down = resolver.resolve(valid_name(), dns::RRType::TXT);
+  EXPECT_EQ(down.rcode, dns::RCode::SERVFAIL);
+  EXPECT_TRUE(has_code(down, edns::EdeCode::NoReachableAuthority));  // 22
+  EXPECT_TRUE(has_code(down, edns::EdeCode::NetworkError));          // 23
+
+  // The retransmission schedule to the dead server backs off
+  // exponentially: consecutive gaps strictly increase, each doubling.
+  const auto probes = sends_to_child();
+  ASSERT_GE(probes.size(), 4u);
+  EXPECT_FALSE(probes[0].retransmission);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_TRUE(probes[i].retransmission);
+    EXPECT_GT(probes[i].at_ms, probes[i - 1].at_ms);
+  }
+  const auto gap1 = probes[1].at_ms - probes[0].at_ms;
+  const auto gap2 = probes[2].at_ms - probes[1].at_ms;
+  const auto gap3 = probes[3].at_ms - probes[2].at_ms;
+  EXPECT_EQ(gap1, 400u);
+  EXPECT_EQ(gap2, 2 * gap1);
+  EXPECT_EQ(gap3, 2 * gap2);
+  EXPECT_GE(network_->stats().retransmits, 3u);
+
+  // Four consecutive timeouts passed the hold-down threshold.
+  EXPECT_GE(resolver.infra().stats().holddowns_started, 1u);
+
+  // Act 3 — hold-down: the A record is served stale (EDE 3) and not one
+  // packet is spent probing the held-down authority.
+  network_->record_sends(true);  // resets the log
+  const auto stale = resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_EQ(stale.rcode, dns::RCode::NOERROR);
+  EXPECT_TRUE(has_code(stale, edns::EdeCode::StaleAnswer));    // 3
+  EXPECT_TRUE(has_code(stale, edns::EdeCode::NetworkError));   // 23 preserved
+  EXPECT_TRUE(sends_to_child().empty());
+  EXPECT_GE(resolver.infra().stats().holddown_skips, 1u);
+
+  // Act 4 — recovery: past the fault window and the hold-down, the next
+  // resolution walks the hierarchy again and validates cleanly.
+  clock_->set(t0 + 9000);
+  const auto recovered = resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_EQ(recovered.rcode, dns::RCode::NOERROR);
+  EXPECT_EQ(recovered.security, dnssec::Security::Secure);
+  EXPECT_TRUE(recovered.errors.empty());
+}
+
+// The same scenario replayed on a fresh stack with the same seed produces
+// a bit-identical transcript: rcodes, EDE codes and probe timestamps.
+TEST(ChaosDeterminism, FixedSeedReplaysTheSameStoryline) {
+  const auto run = [] {
+    auto clock = std::make_shared<sim::Clock>();
+    auto network = std::make_shared<sim::Network>(clock);
+    testbed::Testbed testbed(network);
+    const auto child = testbed.server_address("valid").value();
+    network->set_latency({.enabled = true, .base_rtt_ms = 20, .jitter_ms = 8,
+                          .seed = 0xc4a05});
+    ResolverOptions options;
+    RetryPolicy retry;
+    retry.attempts_per_server = 4;
+    options.retry = retry;
+    auto resolver =
+        testbed.make_resolver(resolver::profile_cloudflare(), options);
+
+    std::ostringstream transcript;
+    const auto log = [&](const resolver::Outcome& outcome) {
+      transcript << static_cast<int>(outcome.rcode) << ':';
+      for (const auto& error : outcome.errors)
+        transcript << static_cast<std::uint16_t>(error.code) << ',';
+      transcript << ';';
+    };
+
+    network->record_sends(true);
+    log(resolver.resolve(dns::Name::of("valid.extended-dns-errors.com"),
+                         dns::RRType::A));
+    const auto t0 = clock->now();
+    network->fail_between(child, t0 + 4000, t0 + 8000);
+    clock->set(t0 + 4000);
+    log(resolver.resolve(dns::Name::of("valid.extended-dns-errors.com"),
+                         dns::RRType::TXT));
+    log(resolver.resolve(dns::Name::of("valid.extended-dns-errors.com"),
+                         dns::RRType::A));
+    clock->set(t0 + 9000);
+    log(resolver.resolve(dns::Name::of("valid.extended-dns-errors.com"),
+                         dns::RRType::A));
+    for (const auto& record : network->send_log()) {
+      transcript << record.at_ms << '@' << record.destination.to_string()
+                 << (record.retransmission ? "R" : "") << ' ';
+    }
+    return transcript.str();
+  };
+
+  const auto first = run();
+  const auto second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+// The acceptance bar for the infrastructure cache: on a population where
+// the same dead provider addresses serve many lame delegations, enabling
+// it measurably cuts packets while the per-code EDE classification stays
+// byte-for-byte identical.
+TEST(ChaosScan, InfraCacheSavesPacketsWithoutChangingTheDiagnosis) {
+  // Large enough that the 15-slot Timeout pool and 64-slot Unroutable
+  // pool are each hit several times per address — the repeated-lame
+  // traffic the infra cache exists to absorb.
+  scan::PopulationConfig config;
+  config.total_domains = 10'000;
+  config.seed = 7;
+  const auto population = scan::generate_population(config);
+
+  const auto run = [&](bool infra_enabled) {
+    auto clock = std::make_shared<sim::Clock>();
+    auto network = std::make_shared<sim::Network>(clock);
+    scan::ScanWorld world(network, population);
+    ResolverOptions options;
+    options.infra.enabled = infra_enabled;
+    auto resolver =
+        world.make_resolver(resolver::profile_cloudflare(), options);
+    world.prewarm(resolver);
+    return scan::Scanner().run(resolver, population);
+  };
+
+  const auto with_infra = run(true);
+  const auto without_infra = run(false);
+
+  // Identical classification, domain for domain.
+  ASSERT_EQ(with_infra.per_code.size(), without_infra.per_code.size());
+  for (const auto& [code, stats] : with_infra.per_code) {
+    const auto it = without_infra.per_code.find(code);
+    ASSERT_NE(it, without_infra.per_code.end()) << "code " << code;
+    EXPECT_EQ(stats.domains, it->second.domains) << "code " << code;
+  }
+  EXPECT_EQ(with_infra.codes_by_category, without_infra.codes_by_category);
+  EXPECT_EQ(with_infra.domains_with_ede, without_infra.domains_with_ede);
+  EXPECT_EQ(with_infra.servfail_domains, without_infra.servfail_domains);
+  EXPECT_EQ(with_infra.lame_union, without_infra.lame_union);
+
+  // Measurably cheaper: held-down dead servers stop eating retransmissions.
+  EXPECT_GT(with_infra.transport.holddown_skips, 0u);
+  EXPECT_EQ(without_infra.transport.holddown_skips, 0u);
+  EXPECT_LT(with_infra.transport.packets_sent,
+            without_infra.transport.packets_sent);
+  EXPECT_LT(with_infra.transport.retransmits,
+            without_infra.transport.retransmits);
+}
+
+// A forwarder in front of a recursive endpoint rides out probabilistic
+// loss on the upstream path by retransmitting on its backoff schedule.
+TEST(ChaosForwarder, RetransmissionDefeatsProbabilisticLoss) {
+  auto clock = std::make_shared<sim::Clock>();
+  auto network = std::make_shared<sim::Network>(clock);
+  testbed::Testbed testbed(network);
+
+  const auto upstream_addr = sim::NodeAddress::of("198.51.200.53");
+  auto recursive = std::make_shared<RecursiveResolver>(
+      testbed.make_resolver(resolver::profile_cloudflare()));
+  network->attach(upstream_addr, resolver::make_resolver_endpoint(recursive));
+
+  // Half the datagrams toward the upstream vanish (seeded, deterministic).
+  network->inject_fault(upstream_addr, sim::Fault::loss(0.5));
+
+  resolver::ForwarderOptions options;
+  options.retry.attempts_per_server = 8;
+  resolver::Forwarder forwarder(network, sim::NodeAddress::of("198.51.200.99"),
+                                {upstream_addr}, options);
+
+  const auto query =
+      dns::make_query(77, dns::Name::of("valid.extended-dns-errors.com"),
+                      dns::RRType::A, /*recursion_desired=*/true);
+  const auto response = forwarder.handle(query);
+  EXPECT_EQ(response.header.rcode, dns::RCode::NOERROR);
+  EXPECT_FALSE(response.answer.empty());
+
+  // network -> endpoint -> recursive -> network is an ownership cycle;
+  // detach the endpoint so LeakSanitizer sees everything reclaimed.
+  network->detach(upstream_addr);
+}
+
+}  // namespace

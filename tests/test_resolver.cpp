@@ -201,7 +201,7 @@ TEST(ResolverTransport, RetransmissionDefeatsIntermittentLoss) {
   for (const char* addr : {"198.41.0.4", "192.5.6.30", "93.184.216.1",
                            "93.184.218.1"}) {
     network->inject_fault(sim::NodeAddress::of(addr),
-                          sim::Fault::Intermittent);
+                          sim::Fault::intermittent());
   }
   auto resolver = testbed.make_resolver(resolver::profile_cloudflare());
   const auto outcome = resolver.resolve(

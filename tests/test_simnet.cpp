@@ -85,16 +85,16 @@ TEST_F(NetworkTest, SilentDropBecomesTimeout) {
 TEST_F(NetworkTest, TimeoutFaultSwallowsPackets) {
   const auto dst = NodeAddress::of("93.184.216.34");
   net_.attach(dst, echo_endpoint());
-  net_.inject_fault(dst, Fault::Timeout);
+  net_.inject_fault(dst, Fault::timeout());
   EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Timeout);
-  net_.inject_fault(dst, Fault::None);
+  net_.inject_fault(dst, Fault::none());
   EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Delivered);
 }
 
 TEST_F(NetworkTest, IntermittentFaultDropsEveryOtherPacket) {
   const auto dst = NodeAddress::of("93.184.216.34");
   net_.attach(dst, echo_endpoint());
-  net_.inject_fault(dst, Fault::Intermittent);
+  net_.inject_fault(dst, Fault::intermittent());
   EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Timeout);
   EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Delivered);
   EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Timeout);
@@ -122,6 +122,152 @@ TEST_F(NetworkTest, StatsCountOutcomes) {
   EXPECT_EQ(stats.packets_timeout, 1u);
 }
 
+TEST_F(NetworkTest, ReinjectedIntermittentFaultStartsFresh) {
+  // Regression: clearing a fault used to leave the parity counter behind,
+  // so a later Intermittent fault resumed at the old parity.
+  const auto dst = NodeAddress::of("93.184.216.34");
+  net_.attach(dst, echo_endpoint());
+  net_.inject_fault(dst, Fault::intermittent());
+  EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Timeout);
+  net_.inject_fault(dst, Fault::none());
+  EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Delivered);
+  net_.inject_fault(dst, Fault::intermittent());
+  // A fresh Intermittent fault drops its first packet again.
+  EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Timeout);
+}
+
+TEST_F(NetworkTest, LossFaultExtremesAreDeterministic) {
+  const auto dst = NodeAddress::of("93.184.216.34");
+  net_.attach(dst, echo_endpoint());
+  net_.inject_fault(dst, Fault::loss(1.0));
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Timeout);
+  net_.inject_fault(dst, Fault::loss(0.0));
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Delivered);
+}
+
+TEST_F(NetworkTest, LossFaultDropsRoughlyTheConfiguredFraction) {
+  const auto dst = NodeAddress::of("93.184.216.34");
+  net_.attach(dst, echo_endpoint());
+  net_.inject_fault(dst, Fault::loss(0.5));
+  int dropped = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (net_.send(src_, dst, payload_).status == SendStatus::Timeout)
+      ++dropped;
+  }
+  EXPECT_GT(dropped, 120);
+  EXPECT_LT(dropped, 280);
+}
+
+TEST_F(NetworkTest, CorruptFaultMangledTheResponse) {
+  const auto dst = NodeAddress::of("93.184.216.34");
+  net_.attach(dst, echo_endpoint());
+  net_.inject_fault(dst, Fault::corrupt(1.0));
+  const auto result = net_.send(src_, dst, payload_);
+  EXPECT_EQ(result.status, SendStatus::Delivered);
+  EXPECT_NE(result.response, payload_);
+  EXPECT_EQ(result.response.size(), payload_.size());
+  EXPECT_GE(net_.stats().corrupted, 1u);
+}
+
+TEST_F(NetworkTest, RateLimitRefusesBeyondTheBudget) {
+  const auto dst = NodeAddress::of("93.184.216.34");
+  net_.attach(dst, echo_endpoint());
+  net_.inject_fault(dst, Fault::rate_limit(2));
+  // A DNS-header-sized payload so the limiter can synthesize REFUSED.
+  const Bytes query = {0xab, 0xcd, 0x01, 0x00, 0, 1, 0, 0, 0, 0, 0, 0};
+  EXPECT_EQ(net_.send(src_, dst, query).status, SendStatus::Delivered);
+  EXPECT_EQ(net_.send(src_, dst, query).status, SendStatus::Delivered);
+  const auto limited = net_.send(src_, dst, query);
+  ASSERT_EQ(limited.status, SendStatus::Delivered);
+  EXPECT_TRUE(limited.response[2] & 0x80);        // QR set
+  EXPECT_EQ(limited.response[3] & 0x0f, 5);       // RCODE=REFUSED
+  EXPECT_EQ(net_.stats().rate_limited, 1u);
+  // The next simulated second starts a fresh window.
+  clock_->advance(1);
+  const auto fresh = net_.send(src_, dst, query);
+  EXPECT_EQ(fresh.response[3] & 0x0f, 0);
+  EXPECT_EQ(net_.stats().rate_limited, 1u);
+}
+
+TEST_F(NetworkTest, ScriptedFaultWindowDiesAndRecovers) {
+  const auto dst = NodeAddress::of("93.184.216.34");
+  net_.attach(dst, echo_endpoint());
+  const SimTime t0 = clock_->now() + 10;
+  net_.fail_between(dst, t0, t0 + 10);
+  EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Delivered);
+  clock_->advance(10);  // inside the outage window
+  EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Timeout);
+  clock_->advance(10);  // the server has recovered
+  EXPECT_EQ(net_.send(src_, dst, payload_).status, SendStatus::Delivered);
+}
+
+TEST_F(NetworkTest, LatencyModelAdvancesTheClock) {
+  const auto dst = NodeAddress::of("93.184.216.34");
+  net_.attach(dst, echo_endpoint());
+  LatencyModel model;
+  model.enabled = true;
+  model.base_rtt_ms = 30;
+  model.jitter_ms = 0;
+  net_.set_latency(model);
+  const auto before = clock_->now_ms();
+  const auto result = net_.send(src_, dst, payload_);
+  EXPECT_EQ(result.rtt_ms, 30u);
+  EXPECT_EQ(clock_->now_ms(), before + 30);
+  net_.wait_ms(400);
+  EXPECT_EQ(clock_->now_ms(), before + 430);
+}
+
+TEST_F(NetworkTest, LatencyDisabledKeepsTheClockStill) {
+  const auto dst = NodeAddress::of("93.184.216.34");
+  net_.attach(dst, echo_endpoint());
+  const auto before = clock_->now_ms();
+  (void)net_.send(src_, dst, payload_);
+  net_.wait_ms(400);
+  EXPECT_EQ(clock_->now_ms(), before);
+}
+
+TEST_F(NetworkTest, PerLinkRttOverrideAndJitterStayDeterministic) {
+  const auto near = NodeAddress::of("93.184.216.34");
+  const auto far = NodeAddress::of("93.184.216.35");
+  net_.attach(near, echo_endpoint());
+  net_.attach(far, echo_endpoint());
+  LatencyModel model;
+  model.enabled = true;
+  model.base_rtt_ms = 10;
+  model.jitter_ms = 5;
+  model.seed = 42;
+  net_.set_latency(model);
+  net_.set_link_rtt(far, 150);
+  std::vector<std::uint32_t> rtts;
+  for (int i = 0; i < 4; ++i) rtts.push_back(net_.send(src_, near, payload_).rtt_ms);
+  for (const auto rtt : rtts) {
+    EXPECT_GE(rtt, 10u);
+    EXPECT_LE(rtt, 15u);
+  }
+  EXPECT_GE(net_.send(src_, far, payload_).rtt_ms, 150u);
+  // Reseeding reproduces the exact jitter sequence.
+  net_.set_latency(model);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(net_.send(src_, near, payload_).rtt_ms, rtts[static_cast<std::size_t>(i)]);
+}
+
+TEST_F(NetworkTest, SendLogRecordsTimestampsAndRetransmissions) {
+  const auto dst = NodeAddress::of("93.184.216.34");
+  net_.attach(dst, echo_endpoint());
+  net_.record_sends(true);
+  (void)net_.send(src_, dst, payload_);
+  clock_->advance(2);
+  (void)net_.send(src_, dst, payload_, /*retransmission=*/true);
+  const auto& log = net_.send_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_LT(log[0].at_ms, log[1].at_ms);
+  EXPECT_FALSE(log[0].retransmission);
+  EXPECT_TRUE(log[1].retransmission);
+  EXPECT_EQ(net_.stats().retransmits, 1u);
+}
+
 TEST(ClockTest, AdvanceAndSet) {
   Clock clock(1000);
   EXPECT_EQ(clock.now(), 1000u);
@@ -129,6 +275,16 @@ TEST(ClockTest, AdvanceAndSet) {
   EXPECT_EQ(clock.now(), 1500u);
   clock.set(42);
   EXPECT_EQ(clock.now(), 42u);
+}
+
+TEST(ClockTest, MillisecondPrecision) {
+  Clock clock(1000);
+  EXPECT_EQ(clock.now_ms(), 1'000'000u);
+  clock.advance_ms(1500);
+  EXPECT_EQ(clock.now(), 1001u);
+  EXPECT_EQ(clock.now_ms(), 1'001'500u);
+  clock.set(2000);
+  EXPECT_EQ(clock.now_ms(), 2'000'000u);
 }
 
 TEST(NodeAddressTest, ParseBothFamilies) {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification flow:
+#   1. configure + build the normal tree, run the whole ctest suite
+#   2. configure + build a second tree with EDE_SANITIZE=ON
+#      (-fsanitize=address,undefined) and run the robustness + chaos
+#      suites under it — the adversarial-transport code paths are the
+#      ones most likely to hide lifetime/UB bugs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "=== [1/2] normal build + full test suite ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure
+
+echo "=== [2/2] ASan+UBSan build: robustness + chaos suites ==="
+cmake -B build-asan -S . -DEDE_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$JOBS" --target test_robustness test_chaos
+ctest --test-dir build-asan --output-on-failure -R 'Robust|Chaos'
+
+echo "verify: OK"
