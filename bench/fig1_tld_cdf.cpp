@@ -3,9 +3,10 @@
 // shape: ~38 % of gTLDs and ~4 % of ccTLDs at ratio 0, a small set of
 // fully-misconfigured TLDs at 100 %, ccTLDs generally worse than gTLDs.
 //
-// Usage: fig1_tld_cdf [total_domains] [seed]
+// Usage: fig1_tld_cdf [total_domains] [seed] [--shards N]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "scan/export.hpp"
 #include "scan/report.hpp"
@@ -13,22 +14,33 @@
 int main(int argc, char** argv) {
   ede::scan::PopulationConfig config;
   config.total_domains = 150'000;
-  if (argc > 1) config.total_domains = std::strtoull(argv[1], nullptr, 10);
-  if (argc > 2) config.seed = std::strtoull(argv[2], nullptr, 10);
+  std::size_t shards = 0;  // 0 = hardware_concurrency
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtoull(argv[++i], nullptr, 10);
+    } else if (positional == 0) {
+      config.total_domains = std::strtoull(argv[i], nullptr, 10);
+      ++positional;
+    } else if (positional == 1) {
+      config.seed = std::strtoull(argv[i], nullptr, 10);
+      ++positional;
+    }
+  }
 
   const auto population = ede::scan::generate_population(config);
-  auto clock = std::make_shared<ede::sim::Clock>();
-  auto network = std::make_shared<ede::sim::Network>(clock);
-  ede::scan::ScanWorld world(network, population);
-  auto resolver = world.make_resolver(ede::resolver::profile_cloudflare());
-  world.prewarm(resolver);
+  ede::scan::ParallelScanOptions options;
+  options.shards = shards;
 
   std::printf("scanning %zu domains across %zu TLDs...\n\n",
               population.domains.size(), population.tlds.size());
-  const auto result = ede::scan::Scanner{}.run(resolver, population);
-  std::fputs(ede::scan::render_figure1(result, population).c_str(), stdout);
+  const auto scan = ede::scan::run_parallel_scan(
+      population, ede::resolver::profile_cloudflare(), options);
+  std::fputs(ede::scan::render_figure1(scan.merged, population).c_str(),
+             stdout);
+  std::printf("\n%s", ede::scan::render_shard_summary(scan).c_str());
   if (ede::scan::write_file("fig1_tld_cdf.csv",
-                            ede::scan::figure1_csv(result, population))) {
+                            ede::scan::figure1_csv(scan.merged, population))) {
     std::printf("\nseries written to fig1_tld_cdf.csv\n");
   }
   return 0;

@@ -3,56 +3,80 @@
 // per-INFO-CODE domain counts (with scaled-up equivalents next to the
 // paper's published numbers).
 //
-// Usage: sec42_wild_scan [total_domains] [seed]
-// Default 303'000 domains = 1/1000 of the paper's 303 M.
+// Usage: sec42_wild_scan [total_domains] [seed] [--shards N]
+// Default 303'000 domains = 1/1000 of the paper's 303 M, sharded across
+// one worker per hardware thread (each with its own simulated network and
+// resolver stack; see src/scan/parallel.hpp).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "scan/export.hpp"
 #include "scan/report.hpp"
 
+namespace {
+
+/// Shared bench argv shape: positional [total_domains] [seed] plus an
+/// optional --shards N anywhere.
+void parse_scan_args(int argc, char** argv, ede::scan::PopulationConfig& config,
+                     std::size_t& shards) {
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtoull(argv[++i], nullptr, 10);
+    } else if (positional == 0) {
+      config.total_domains = std::strtoull(argv[i], nullptr, 10);
+      ++positional;
+    } else if (positional == 1) {
+      config.seed = std::strtoull(argv[i], nullptr, 10);
+      ++positional;
+    }
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   ede::scan::PopulationConfig config;
-  if (argc > 1) config.total_domains = std::strtoull(argv[1], nullptr, 10);
-  if (argc > 2) config.seed = std::strtoull(argv[2], nullptr, 10);
+  std::size_t shards = 0;  // 0 = hardware_concurrency
+  parse_scan_args(argc, argv, config, shards);
 
   std::printf("generating population of %zu domains (seed %llu)...\n",
               config.total_domains,
               static_cast<unsigned long long>(config.seed));
   const auto population = ede::scan::generate_population(config);
 
-  auto clock = std::make_shared<ede::sim::Clock>();
-  auto network = std::make_shared<ede::sim::Network>(clock);
-  ede::scan::ScanWorld world(network, population);
-
-  auto resolver = world.make_resolver(ede::resolver::profile_cloudflare());
-  world.prewarm(resolver);
-
-  std::printf("scanning %zu domains through %s...\n",
-              population.domains.size(), resolver.profile().name.c_str());
-  ede::scan::Scanner scanner;
-  const auto result = scanner.run(resolver, population);
+  ede::scan::ParallelScanOptions options;
+  options.shards = shards;
+  const auto profile = ede::resolver::profile_cloudflare();
+  std::printf("scanning %zu domains through %s across %zu shard(s)...\n",
+              population.domains.size(), profile.name.c_str(),
+              ede::scan::plan_shards(population.domains.size(), shards,
+                                     options.base_seed)
+                  .size());
+  const auto scan = ede::scan::run_parallel_scan(population, profile, options);
+  const auto& result = scan.merged;
 
   std::fputs(ede::scan::render_section42(result, population).c_str(), stdout);
   if (ede::scan::write_file("sec42_codes.csv",
                             ede::scan::section42_csv(result, population))) {
     std::printf("\nper-code counts written to sec42_codes.csv\n");
   }
-  std::printf("\nscan rate            : %.0f domains/s (%llu upstream queries"
-              ", %.1f s)\n",
-              result.queries_per_second(),
+  std::printf("\n%s", ede::scan::render_shard_summary(scan).c_str());
+  std::printf("\nscan rate            : %.0f domains/s end-to-end (%llu "
+              "upstream queries, %.1f s)\n",
+              scan.merged_qps(),
               static_cast<unsigned long long>(result.upstream_queries),
-              result.wall_seconds);
+              scan.wall_seconds);
   std::printf("dead nameservers      : %zu distinct addresses (paper: 293k "
               "unique NS; scaled ~293)\n",
-              world.dead_provider_count());
-  const auto& infra = resolver.infra().stats();
-  std::printf("infra cache           : %llu held down, %llu probes avoided, "
-              "%zu entries (retry: %u ms initial, x%.1f backoff, %d/server)\n",
-              static_cast<unsigned long long>(infra.holddowns_started),
-              static_cast<unsigned long long>(infra.holddown_skips),
-              resolver.infra().size(), resolver.retry_policy().initial_timeout_ms,
-              resolver.retry_policy().backoff_factor,
-              resolver.retry_policy().attempts_per_server);
+              ede::scan::dead_provider_count(population));
+  std::printf("infra cache           : %llu held down, %llu probes avoided "
+              "(retry: %u ms initial, x%.1f backoff, %d/server)\n",
+              static_cast<unsigned long long>(
+                  result.transport.holddowns_started),
+              static_cast<unsigned long long>(result.transport.holddown_skips),
+              profile.retry.initial_timeout_ms, profile.retry.backoff_factor,
+              profile.retry.attempts_per_server);
   return 0;
 }

@@ -52,8 +52,10 @@ class Cache {
     sim::SimTime stale_window = 86'400 * 7;
     /// RFC 2308 cap on SERVFAIL caching.
     sim::SimTime servfail_ttl = 30;
-    /// Entry cap per map; reaching it clears that map (coarse eviction —
-    /// keeps bulk scans at bounded memory).
+    /// Entry cap per map. An insert at the cap first sweeps entries that
+    /// are beyond any usefulness (expired longer than the stale window
+    /// ago), then evicts oldest-expiring entries in a small batch — live
+    /// entries are never dropped wholesale.
     std::size_t max_entries = 400'000;
   };
 
@@ -62,11 +64,14 @@ class Cache {
 
   [[nodiscard]] const Options& options() const { return options_; }
 
-  void put_positive(PositiveEntry entry);
+  /// Inserts take the current simulated time so eviction can tell dead
+  /// entries from live ones; `now == 0` (no clock) skips the expiry sweep
+  /// and falls back to oldest-expiring eviction alone.
+  void put_positive(PositiveEntry entry, sim::SimTime now = 0);
   void put_negative(const dns::Name& name, dns::RRType type,
-                    NegativeEntry entry);
+                    NegativeEntry entry, sim::SimTime now = 0);
   void put_servfail(const dns::Name& name, dns::RRType type,
-                    ServfailEntry entry);
+                    ServfailEntry entry, sim::SimTime now = 0);
 
   /// Fresh lookups honour expiry; stale lookups return entries that
   /// expired no longer than stale_window ago.
@@ -89,14 +94,22 @@ class Cache {
   void clear();
   [[nodiscard]] std::size_t size() const;
 
+  /// Every lookup path counts uniformly: a fresh or stale serve is a hit
+  /// (stale serves additionally count stale_hits), anything that returns
+  /// nullptr is a miss — across the positive, negative and SERVFAIL maps.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t stale_hits = 0;
+    std::uint64_t evicted_expired = 0;   // swept past the stale horizon
+    std::uint64_t evicted_capacity = 0;  // live but oldest-expiring at cap
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
+  template <typename Map>
+  void make_room(Map& map, sim::SimTime now, sim::SimTime retention);
+
   Options options_;
   std::map<CacheKey, PositiveEntry> positive_;
   std::map<CacheKey, NegativeEntry> negative_;

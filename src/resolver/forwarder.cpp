@@ -129,11 +129,11 @@ dns::Message Forwarder::handle(const dns::Message& query) {
                              ? dnssec::Security::Secure
                              : dnssec::Security::Insecure;
         entry.expires = now + entry.rrset.ttl;
-        cache_.put_positive(std::move(entry));
+        cache_.put_positive(std::move(entry), now);
       }
     } else if (response.header.rcode == dns::RCode::SERVFAIL) {
       cache_.put_servfail(q.qname, q.qtype,
-                          {{}, now + cache_.options().servfail_ttl});
+                          {{}, now + cache_.options().servfail_ttl}, now);
     }
     return response;
   }

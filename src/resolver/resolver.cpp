@@ -487,14 +487,16 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
     }
     cache_.put_servfail(qname, qtype,
                         {outcome.findings,
-                         now + cache_.options().servfail_ttl});
+                         now + cache_.options().servfail_ttl},
+                        now);
     return finish(dns::RCode::SERVFAIL, Security::Indeterminate);
   };
 
   const auto fail_bogus = [&]() -> Outcome {
     cache_.put_servfail(qname, qtype,
                         {outcome.findings,
-                         now + cache_.options().servfail_ttl});
+                         now + cache_.options().servfail_ttl},
+                        now);
     return finish(dns::RCode::SERVFAIL, Security::Bogus);
   };
 
@@ -589,7 +591,8 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
           security = denial.security;
         }
         cache_.put_negative(query_name, query_type,
-                            {true, security, now + negative_ttl(response)});
+                            {true, security, now + negative_ttl(response)},
+                            now);
         outcome.response.authority = response.authority;
         return finish(dns::RCode::NXDOMAIN, security);
       }
@@ -714,7 +717,8 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
       }
       const bool nxdomain = response.header.rcode == dns::RCode::NXDOMAIN;
       cache_.put_negative(target, qtype,
-                          {nxdomain, security, now + negative_ttl(response)});
+                          {nxdomain, security, now + negative_ttl(response)},
+                          now);
       if (options_.aggressive_nsec_caching && nxdomain &&
           security == Security::Secure && cache_.options().enabled) {
         auto& ranges = denial_cache_[current_zone];
@@ -753,7 +757,8 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
                     "iteration limit exceeded");
         cache_.put_servfail(qname, qtype,
                             {outcome.findings,
-                             now + cache_.options().servfail_ttl});
+                             now + cache_.options().servfail_ttl},
+                            now);
         return finish(dns::RCode::SERVFAIL, Security::Indeterminate);
       }
       Security security = Security::Insecure;
@@ -803,8 +808,8 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
     for (const auto& sig : answer_sigs) {
       if (sig.type_covered == qtype) rrset_sigs.push_back(sig);
     }
-    cache_.put_positive(
-        {*rrset, rrset_sigs, security, now + rrset->ttl});
+    cache_.put_positive({*rrset, rrset_sigs, security, now + rrset->ttl},
+                        now);
 
     for (auto& rr : rrset->to_records())
       outcome.response.answer.push_back(std::move(rr));
@@ -820,7 +825,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
               Defect::IterationLimitExceeded, "iteration limit exceeded");
   cache_.put_servfail(
       qname, qtype,
-      {outcome.findings, now + cache_.options().servfail_ttl});
+      {outcome.findings, now + cache_.options().servfail_ttl}, now);
   return finish(dns::RCode::SERVFAIL, Security::Indeterminate);
 }
 

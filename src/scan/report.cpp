@@ -91,6 +91,46 @@ std::string render_section42(const ScanResult& result,
     out << "infra cache: " << t.holddowns_started << " servers held down, "
         << t.holddown_skips << " probes avoided\n";
   }
+  const auto& rc = result.record_cache;
+  out << "record cache: " << rc.hits << " hits, " << rc.misses
+      << " misses, " << rc.stale_hits << " stale answers served";
+  if (rc.evicted_expired != 0 || rc.evicted_capacity != 0) {
+    out << ", evicted " << rc.evicted_expired << " expired + "
+        << rc.evicted_capacity << " at capacity";
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::string render_shard_summary(const ParallelScanResult& result) {
+  std::ostringstream out;
+  out << "== Sharded scan — per-worker throughput ==\n";
+  out << "shard  first      domains    wall s    sim s     domains/s\n";
+  double scan_seconds_total = 0.0;
+  for (const auto& shard : result.shards) {
+    char line[120];
+    std::snprintf(line, sizeof(line),
+                  "%-6zu %-10zu %-10zu %-9.2f %-9.2f %.0f\n", shard.shard_id,
+                  shard.first_domain, shard.result.total_domains,
+                  shard.result.wall_seconds, shard.result.sim_seconds,
+                  shard.result.queries_per_second());
+    out << line;
+    scan_seconds_total += shard.result.wall_seconds;
+  }
+  // Occupancy = sum of worker spans / elapsed. It approaches N whenever
+  // all workers stay busy; true speedup needs a 1-shard run to compare
+  // against (see bench/perf_baseline_scan.json).
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "merged: %zu domains over %zu shard(s) in %.2f s end-to-end "
+                "-> %.0f domains/s (sum of worker spans %.2f s, "
+                "occupancy x%.2f)\n",
+                result.merged.total_domains, result.shards.size(),
+                result.wall_seconds, result.merged_qps(), scan_seconds_total,
+                result.wall_seconds > 0
+                    ? scan_seconds_total / result.wall_seconds
+                    : 0.0);
+  out << line;
   return out.str();
 }
 

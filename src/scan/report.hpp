@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "scan/parallel.hpp"
 #include "scan/scanner.hpp"
 
 namespace ede::scan {
@@ -22,6 +23,12 @@ namespace ede::scan {
 /// Figure 2: CDF of EDE-triggering domains across Tranco ranks.
 [[nodiscard]] std::string render_figure2(const ScanResult& result,
                                          const Population& population);
+
+/// Sharded-scan throughput: one row per worker (domains, wall/sim time,
+/// rate) plus the merged end-to-end rate and the parallel speedup over
+/// the sequential-equivalent cost (the sum of per-shard scan times).
+[[nodiscard]] std::string render_shard_summary(
+    const ParallelScanResult& result);
 
 /// ASCII sketch of one or two CDF series on a shared axis.
 [[nodiscard]] std::string ascii_cdf(

@@ -4,16 +4,74 @@
 
 namespace ede::scan {
 
+void ScanResult::merge(const ScanResult& other) {
+  total_domains += other.total_domains;
+  domains_with_ede += other.domains_with_ede;
+  noerror_with_ede += other.noerror_with_ede;
+  servfail_domains += other.servfail_domains;
+  lame_union += other.lame_union;
+
+  for (const auto& [code, stats] : other.per_code) {
+    auto& mine = per_code[code];
+    mine.domains += stats.domains;
+    for (const auto& text : stats.sample_extra_text) {
+      if (mine.sample_extra_text.size() >= sample_cap) break;
+      mine.sample_extra_text.push_back(text);
+    }
+  }
+
+  if (per_tld.size() < other.per_tld.size())
+    per_tld.resize(other.per_tld.size());
+  for (std::size_t i = 0; i < other.per_tld.size(); ++i) {
+    per_tld[i].scanned += other.per_tld[i].scanned;
+    per_tld[i].with_ede += other.per_tld[i].with_ede;
+  }
+
+  tranco_hits.insert(tranco_hits.end(), other.tranco_hits.begin(),
+                     other.tranco_hits.end());
+
+  for (const auto& [category, codes] : other.codes_by_category) {
+    auto& mine = codes_by_category[category];
+    for (const auto& [code, count] : codes) mine[code] += count;
+  }
+
+  upstream_queries += other.upstream_queries;
+  transport.packets_sent += other.transport.packets_sent;
+  transport.retransmits += other.transport.retransmits;
+  transport.timeouts += other.transport.timeouts;
+  transport.unreachable += other.transport.unreachable;
+  transport.corrupted += other.transport.corrupted;
+  transport.rate_limited += other.transport.rate_limited;
+  transport.holddown_skips += other.transport.holddown_skips;
+  transport.holddowns_started += other.transport.holddowns_started;
+  record_cache.hits += other.record_cache.hits;
+  record_cache.misses += other.record_cache.misses;
+  record_cache.stale_hits += other.record_cache.stale_hits;
+  record_cache.evicted_expired += other.record_cache.evicted_expired;
+  record_cache.evicted_capacity += other.record_cache.evicted_capacity;
+  wall_seconds += other.wall_seconds;
+  sim_seconds += other.sim_seconds;
+}
+
 ScanResult Scanner::run(resolver::RecursiveResolver& resolver,
-                        const Population& population) const {
+                        const Population& population, std::size_t begin,
+                        std::size_t end) const {
   ScanResult result;
+  result.sample_cap = options_.max_extra_text_samples;
   result.per_tld.resize(population.tlds.size());
+  end = std::min(end, population.domains.size());
 
   const auto net_before = resolver.network().stats();
   const auto infra_before = resolver.infra().stats();
+  const auto cache_before = resolver.cache().stats();
+  const auto sim_before = resolver.network().clock().now_ms();
   const auto start = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < population.domains.size();
-       i += options_.stride) {
+
+  // First index in [begin, end) on the global stride grid.
+  std::size_t i = begin;
+  if (const auto offset = begin % options_.stride; offset != 0)
+    i = begin + (options_.stride - offset);
+  for (; i < end; i += options_.stride) {
     const auto& domain = population.domains[i];
     const auto outcome =
         resolver.resolve(dns::Name::of(domain.fqdn), dns::RRType::A);
@@ -49,12 +107,16 @@ ScanResult Scanner::run(resolver::RecursiveResolver& resolver,
           {domain.tranco_rank, outcome.rcode == dns::RCode::NOERROR});
     }
   }
-  const auto end = std::chrono::steady_clock::now();
+  const auto end_time = std::chrono::steady_clock::now();
   result.wall_seconds =
-      std::chrono::duration<double>(end - start).count();
+      std::chrono::duration<double>(end_time - start).count();
+  result.sim_seconds =
+      static_cast<double>(resolver.network().clock().now_ms() - sim_before) /
+      1000.0;
 
   const auto& net_after = resolver.network().stats();
   const auto& infra_after = resolver.infra().stats();
+  const auto& cache_after = resolver.cache().stats();
   result.transport.packets_sent =
       net_after.packets_sent - net_before.packets_sent;
   result.transport.retransmits = net_after.retransmits - net_before.retransmits;
@@ -69,6 +131,14 @@ ScanResult Scanner::run(resolver::RecursiveResolver& resolver,
       infra_after.holddown_skips - infra_before.holddown_skips;
   result.transport.holddowns_started =
       infra_after.holddowns_started - infra_before.holddowns_started;
+  result.record_cache.hits = cache_after.hits - cache_before.hits;
+  result.record_cache.misses = cache_after.misses - cache_before.misses;
+  result.record_cache.stale_hits =
+      cache_after.stale_hits - cache_before.stale_hits;
+  result.record_cache.evicted_expired =
+      cache_after.evicted_expired - cache_before.evicted_expired;
+  result.record_cache.evicted_capacity =
+      cache_after.evicted_capacity - cache_before.evicted_capacity;
   return result;
 }
 

@@ -2,6 +2,10 @@
 // domain through a recursive resolver, collects RCODE + EDE codes, and
 // aggregates everything the paper's §4 reports — per-code domain counts,
 // per-TLD concentration (Figure 1) and the Tranco-rank spread (Figure 2).
+//
+// A scan can cover the whole population or a contiguous [begin, end)
+// shard of it; ScanResult::merge recombines shard results so an N-shard
+// scan (see scan/parallel.hpp) aggregates identically to a sequential one.
 #pragma once
 
 #include <chrono>
@@ -40,6 +44,15 @@ struct TransportStats {
   std::uint64_t holddowns_started = 0;
 };
 
+/// What the record cache did during the scan (deltas, like TransportStats).
+struct RecordCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stale_hits = 0;
+  std::uint64_t evicted_expired = 0;
+  std::uint64_t evicted_capacity = 0;
+};
+
 struct ScanResult {
   std::size_t total_domains = 0;
   std::size_t domains_with_ede = 0;
@@ -53,7 +66,22 @@ struct ScanResult {
       codes_by_category;  // diagnostic cross-tab
   std::uint64_t upstream_queries = 0;
   TransportStats transport;
+  RecordCacheStats record_cache;
+  /// Host elapsed time — nondeterministic, for bench reporting only.
   double wall_seconds = 0.0;
+  /// Simulated-clock elapsed time — deterministic under the sim network
+  /// (zero with the latency model off); what reproducibility tests use.
+  double sim_seconds = 0.0;
+  /// Cap on sample_extra_text per code, carried so merge can re-apply it.
+  std::size_t sample_cap = 3;
+
+  /// Fold `other` into this result. Associative, and for contiguous
+  /// shards merged in population order the aggregate is identical to a
+  /// single sequential scan (ordered fields — extra-text samples and
+  /// tranco_hits — concatenate in shard order, which *is* scan order).
+  /// wall/sim times accumulate; real end-to-end elapsed time of a
+  /// parallel run lives in ParallelScanResult::wall_seconds.
+  void merge(const ScanResult& other);
 
   [[nodiscard]] double queries_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(total_domains) / wall_seconds
@@ -66,14 +94,26 @@ class Scanner {
   struct Options {
     std::size_t max_extra_text_samples = 3;
     /// Scan only every Nth domain (quick smoke runs); 1 = everything.
+    /// Clamped to >= 1 (a zero stride used to loop forever).
     std::size_t stride = 1;
   };
 
-  explicit Scanner(Options options) : options_(options) {}
+  explicit Scanner(Options options) : options_(options) {
+    if (options_.stride == 0) options_.stride = 1;
+  }
   Scanner() : Scanner(Options{}) {}
 
   [[nodiscard]] ScanResult run(resolver::RecursiveResolver& resolver,
-                               const Population& population) const;
+                               const Population& population) const {
+    return run(resolver, population, 0, population.domains.size());
+  }
+
+  /// Scan the contiguous shard [begin, end) of the population. The stride
+  /// grid is anchored at index 0 globally, so sharded strided scans visit
+  /// exactly the indices a sequential strided scan would.
+  [[nodiscard]] ScanResult run(resolver::RecursiveResolver& resolver,
+                               const Population& population,
+                               std::size_t begin, std::size_t end) const;
 
  private:
   Options options_;

@@ -455,11 +455,14 @@ void ScanWorld::build() {
     // Timeout and Unroutable pools are deliberately left unattached.
   }
 
-  // Count the distinct dead *responding* nameserver addresses the
-  // population references (unroutable glue is not a nameserver that
-  // responded, so it is excluded — mirroring the paper's 293 k count).
+  dead_providers_ = scan::dead_provider_count(*population_);
+}
+
+std::size_t dead_provider_count(const Population& population) {
+  // Unroutable glue is not a nameserver that responded, so it is excluded
+  // — mirroring the paper's 293 k count.
   std::set<std::pair<int, std::uint32_t>> dead;
-  for (const auto& domain : population_->domains) {
+  for (const auto& domain : population.domains) {
     const auto plan = plan_for(domain.category);
     if (plan.pool == ServingPlan::Pool::Healthy ||
         plan.pool == ServingPlan::Pool::Unroutable)
@@ -467,7 +470,7 @@ void ScanWorld::build() {
     dead.emplace(static_cast<int>(plan.pool),
                  domain.provider % pool_slots(plan.pool));
   }
-  dead_providers_ = dead.size();
+  return dead.size();
 }
 
 std::shared_ptr<zone::Zone> ScanWorld::build_child_zone(
@@ -527,9 +530,12 @@ resolver::RecursiveResolver ScanWorld::make_resolver(
                                      root_servers_, trust_anchor_, options);
 }
 
-void ScanWorld::prewarm(resolver::RecursiveResolver& resolver) const {
+void ScanWorld::prewarm(resolver::RecursiveResolver& resolver,
+                        std::size_t begin, std::size_t end) const {
   const auto now = network_->clock().now();
-  for (const auto& domain : population_->domains) {
+  end = std::min(end, population_->domains.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& domain = population_->domains[i];
     if (domain.category == Category::StaleAnswer) {
       resolver::PositiveEntry entry;
       entry.rrset = dns::RRset{
@@ -537,11 +543,11 @@ void ScanWorld::prewarm(resolver::RecursiveResolver& resolver) const {
           {dns::Rdata{dns::ARdata{*dns::Ipv4Address::parse("93.184.219.10")}}}};
       entry.security = dnssec::Security::Insecure;
       entry.expires = now - 100;  // expired, but well inside the stale window
-      resolver.cache().put_positive(std::move(entry));
+      resolver.cache().put_positive(std::move(entry), now);
     } else if (domain.category == Category::CachedError) {
       resolver.cache().put_servfail(
           dns::Name::of(domain.fqdn), dns::RRType::A,
-          {{}, now + resolver.cache().options().servfail_ttl});
+          {{}, now + resolver.cache().options().servfail_ttl}, now);
     }
   }
 }

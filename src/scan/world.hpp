@@ -34,6 +34,11 @@ struct ServingPlan {
 
 [[nodiscard]] ServingPlan plan_for(Category category);
 
+/// Number of distinct dead *responding* nameserver addresses the
+/// population references (the scaled analogue of the paper's "293 k
+/// unique nameservers"); computable without building a world.
+[[nodiscard]] std::size_t dead_provider_count(const Population& population);
+
 class ScanWorld {
  public:
   ScanWorld(std::shared_ptr<sim::Network> network, const Population& population);
@@ -51,8 +56,11 @@ class ScanWorld {
 
   /// Install the cache entries that stand in for Cloudflare's pre-scan
   /// traffic: expired answers for the stale-answer domains and cached
-  /// SERVFAILs for the cached-error domains.
-  void prewarm(resolver::RecursiveResolver& resolver) const;
+  /// SERVFAILs for the cached-error domains. An optional [begin, end)
+  /// range restricts the warm-up to one shard's slice of the population
+  /// (a shard's resolver never looks up another shard's names).
+  void prewarm(resolver::RecursiveResolver& resolver, std::size_t begin = 0,
+               std::size_t end = static_cast<std::size_t>(-1)) const;
 
   /// Address of a provider pool slot (for reporting).
   [[nodiscard]] sim::NodeAddress provider_address(ServingPlan::Pool pool,

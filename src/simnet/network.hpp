@@ -119,8 +119,17 @@ struct LatencyModel {
 
 class Network {
  public:
-  explicit Network(std::shared_ptr<Clock> clock)
-      : clock_(std::move(clock)), rng_(LatencyModel{}.seed) {}
+  /// `transport_seed` drives the transport RNG (jitter, loss, corruption)
+  /// and becomes the default LatencyModel seed. Sharded scans derive it as
+  /// base_seed ^ shard_id so every worker's transport is independently
+  /// reproducible for any shard count.
+  explicit Network(std::shared_ptr<Clock> clock,
+                   std::uint64_t transport_seed = LatencyModel{}.seed)
+      : clock_(std::move(clock)), rng_(transport_seed) {
+    latency_.seed = transport_seed;
+  }
+
+  [[nodiscard]] std::uint64_t transport_seed() const { return latency_.seed; }
 
   /// Attach a node. Later registrations at the same address replace
   /// earlier ones (used by failure-injection tests).

@@ -106,6 +106,98 @@ TEST(Cache, EvictionCapBoundsMemory) {
   EXPECT_LE(cache.size(), options.max_entries);
 }
 
+TEST(Cache, InsertAtCapacityNeverWipesTheMap) {
+  // Regression: the old eviction called .clear() on the whole map at the
+  // cap, nuking every live entry. An insert at capacity must keep all but
+  // (at most) a small oldest-expiring batch.
+  Cache::Options options;
+  options.max_entries = 64;
+  Cache cache(options);
+  for (int i = 0; i < 64; ++i) {
+    cache.put_positive(entry_for(("d" + std::to_string(i) + ".test").c_str(),
+                                 static_cast<ede::sim::SimTime>(1000 + i)),
+                       /*now=*/500);
+  }
+  cache.put_positive(entry_for("straw.test", 2000), /*now=*/500);
+
+  EXPECT_LE(cache.size(), options.max_entries);
+  // At least 15/16 of the live entries survive the capacity eviction.
+  EXPECT_GE(cache.size(), options.max_entries - options.max_entries / 16);
+  EXPECT_NE(cache.get_positive(Name::of("straw.test"), RRType::A, 600),
+            nullptr);
+  // The survivors are the *youngest*-expiring; the very last entry
+  // inserted before the straw expires latest of the original 64.
+  EXPECT_NE(cache.get_positive(Name::of("d63.test"), RRType::A, 600),
+            nullptr);
+}
+
+TEST(Cache, CapacityEvictionTakesTheOldestExpiringFirst) {
+  Cache::Options options;
+  options.max_entries = 4;
+  options.stale_window = 0;
+  Cache cache(options);
+  cache.put_positive(entry_for("a.test", 100), 50);
+  cache.put_positive(entry_for("b.test", 200), 50);
+  cache.put_positive(entry_for("c.test", 300), 50);
+  cache.put_positive(entry_for("d.test", 400), 50);
+  cache.put_positive(entry_for("e.test", 500), 50);  // at cap: evicts a.test
+
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.get_positive(Name::of("a.test"), RRType::A, 60), nullptr);
+  for (const char* name : {"b.test", "c.test", "d.test", "e.test"}) {
+    EXPECT_NE(cache.get_positive(Name::of(name), RRType::A, 60), nullptr)
+        << name;
+  }
+  EXPECT_EQ(cache.stats().evicted_capacity, 1u);
+  EXPECT_EQ(cache.stats().evicted_expired, 0u);
+}
+
+TEST(Cache, InsertAtCapacitySweepsEntriesPastTheStaleHorizon) {
+  Cache::Options options;
+  options.max_entries = 4;
+  options.stale_window = 10;
+  Cache cache(options);
+  // Three entries expired beyond expiry+stale_window, one still stale-
+  // servable, then an insert at the cap with the clock at 200.
+  cache.put_positive(entry_for("dead1.test", 100), 100);
+  cache.put_positive(entry_for("dead2.test", 120), 120);
+  cache.put_positive(entry_for("dead3.test", 140), 140);
+  cache.put_positive(entry_for("stale.test", 195), 150);
+  cache.put_positive(entry_for("fresh.test", 900), 200);
+
+  // The dead entries were swept; the stale-window entry survived.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evicted_expired, 3u);
+  EXPECT_EQ(cache.stats().evicted_capacity, 0u);
+  EXPECT_NE(cache.get_stale_positive(Name::of("stale.test"), RRType::A, 200),
+            nullptr);
+  EXPECT_NE(cache.get_positive(Name::of("fresh.test"), RRType::A, 200),
+            nullptr);
+}
+
+TEST(Cache, NegativeAndServfailMapsEvictWithoutWiping) {
+  Cache::Options options;
+  options.max_entries = 3;
+  options.stale_window = 0;
+  Cache cache(options);
+  for (int i = 0; i < 6; ++i) {
+    const auto name = Name::of(("n" + std::to_string(i) + ".test").c_str());
+    cache.put_negative(name, RRType::A,
+                       {true, ede::dnssec::Security::Insecure,
+                        static_cast<ede::sim::SimTime>(100 + i)},
+                       50);
+    cache.put_servfail(name, RRType::A,
+                       {{}, static_cast<ede::sim::SimTime>(100 + i)}, 50);
+  }
+  // Each map holds its newest-expiring entries, never zero.
+  EXPECT_NE(cache.get_negative(Name::of("n5.test"), RRType::A, 60), nullptr);
+  EXPECT_NE(cache.get_servfail(Name::of("n5.test"), RRType::A, 60), nullptr);
+  EXPECT_EQ(cache.get_negative(Name::of("n0.test"), RRType::A, 60), nullptr);
+  EXPECT_EQ(cache.get_servfail(Name::of("n0.test"), RRType::A, 60), nullptr);
+  EXPECT_LE(cache.size(), 2 * options.max_entries);
+  EXPECT_GE(cache.size(), 4u);
+}
+
 TEST(Cache, ClearEmptiesEverything) {
   Cache cache;
   cache.put_positive(entry_for("a.test", 1000));

@@ -1,0 +1,202 @@
+// Sharded parallel-scan tests: the merge invariant (an N-shard scan
+// aggregates byte-identically to the sequential scan), merge
+// associativity, shard planning, per-shard seed derivation and the
+// stride-zero regression. This suite is also what the TSan verify stage
+// runs to prove the workers share nothing mutable.
+#include <gtest/gtest.h>
+
+#include "scan/parallel.hpp"
+#include "scan/report.hpp"
+
+namespace {
+
+using namespace ede;
+using namespace ede::scan;
+
+PopulationConfig tiny_config() {
+  PopulationConfig config;
+  config.total_domains = 2500;
+  config.seed = 7;
+  return config;
+}
+
+/// Field-by-field equality of everything the paper's figures are built
+/// from. Deliberately *excludes* wall/sim times and the transport and
+/// upstream-query counters: those measure per-worker cache warm-up, which
+/// legitimately varies with the shard count.
+void expect_same_aggregates(const ScanResult& a, const ScanResult& b) {
+  EXPECT_EQ(a.total_domains, b.total_domains);
+  EXPECT_EQ(a.domains_with_ede, b.domains_with_ede);
+  EXPECT_EQ(a.noerror_with_ede, b.noerror_with_ede);
+  EXPECT_EQ(a.servfail_domains, b.servfail_domains);
+  EXPECT_EQ(a.lame_union, b.lame_union);
+
+  ASSERT_EQ(a.per_code.size(), b.per_code.size());
+  for (const auto& [code, stats] : a.per_code) {
+    ASSERT_TRUE(b.per_code.count(code)) << "code " << code;
+    EXPECT_EQ(stats.domains, b.per_code.at(code).domains) << "code " << code;
+    EXPECT_EQ(stats.sample_extra_text, b.per_code.at(code).sample_extra_text)
+        << "code " << code;
+  }
+
+  ASSERT_EQ(a.per_tld.size(), b.per_tld.size());
+  for (std::size_t i = 0; i < a.per_tld.size(); ++i) {
+    EXPECT_EQ(a.per_tld[i].scanned, b.per_tld[i].scanned) << "tld " << i;
+    EXPECT_EQ(a.per_tld[i].with_ede, b.per_tld[i].with_ede) << "tld " << i;
+  }
+
+  ASSERT_EQ(a.tranco_hits.size(), b.tranco_hits.size());
+  for (std::size_t i = 0; i < a.tranco_hits.size(); ++i) {
+    EXPECT_EQ(a.tranco_hits[i].rank, b.tranco_hits[i].rank);
+    EXPECT_EQ(a.tranco_hits[i].noerror, b.tranco_hits[i].noerror);
+  }
+
+  ASSERT_EQ(a.codes_by_category.size(), b.codes_by_category.size());
+  for (const auto& [category, codes] : a.codes_by_category) {
+    ASSERT_TRUE(b.codes_by_category.count(category));
+    EXPECT_EQ(codes, b.codes_by_category.at(category));
+  }
+}
+
+/// Scan [begin, end) with a freshly built isolated stack — what one
+/// parallel worker does, minus the thread.
+ScanResult scan_range(const Population& population, std::size_t begin,
+                      std::size_t end, std::uint64_t seed) {
+  auto network = std::make_shared<sim::Network>(
+      std::make_shared<sim::Clock>(), seed);
+  ScanWorld world(network, population);
+  auto resolver = world.make_resolver(resolver::profile_cloudflare());
+  world.prewarm(resolver, begin, end);
+  return Scanner{}.run(resolver, population, begin, end);
+}
+
+TEST(PlanShards, ContiguousCoverWithDerivedSeeds) {
+  const auto plans = plan_shards(1000, 3, 0xabcd);
+  ASSERT_EQ(plans.size(), 3u);
+  EXPECT_EQ(plans.front().begin, 0u);
+  EXPECT_EQ(plans.back().end, 1000u);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    EXPECT_EQ(plans[i].shard_id, i);
+    EXPECT_EQ(plans[i].seed, 0xabcd ^ static_cast<std::uint64_t>(i));
+    if (i > 0) {
+      EXPECT_EQ(plans[i].begin, plans[i - 1].end);
+    }
+    EXPECT_LE(plans[i].begin, plans[i].end);
+  }
+}
+
+TEST(PlanShards, ClampsToThePopulationAndFloorsAtOne) {
+  EXPECT_EQ(plan_shards(5, 64, 1).size(), 5u);
+  EXPECT_EQ(plan_shards(0, 8, 1).size(), 1u);
+  EXPECT_GE(plan_shards(100, 0, 1).size(), 1u);  // 0 = hardware default
+  EXPECT_GE(default_shard_count(), 1u);
+}
+
+TEST(ScanMerge, TwoHalvesMergeToTheSequentialScan) {
+  const auto population = generate_population(tiny_config());
+  const auto sequential =
+      scan_range(population, 0, population.domains.size(), 0x1ede);
+
+  const std::size_t mid = population.domains.size() / 2;
+  ScanResult merged = scan_range(population, 0, mid, 0x1ede);
+  merged.merge(scan_range(population, mid, population.domains.size(),
+                          0x1ede ^ 1));
+  expect_same_aggregates(merged, sequential);
+}
+
+TEST(ScanMerge, IsAssociative) {
+  const auto population = generate_population(tiny_config());
+  const std::size_t n = population.domains.size();
+  const auto a = scan_range(population, 0, n / 3, 1);
+  const auto b = scan_range(population, n / 3, 2 * n / 3, 2);
+  const auto c = scan_range(population, 2 * n / 3, n, 3);
+
+  ScanResult left = a;  // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  ScanResult bc = b;  // a + (b + c)
+  bc.merge(c);
+  ScanResult right = a;
+  right.merge(bc);
+  expect_same_aggregates(left, right);
+}
+
+TEST(ParallelScan, ShardCountDoesNotChangeTheAggregates) {
+  const auto population = generate_population(tiny_config());
+  const auto profile = resolver::profile_cloudflare();
+
+  ParallelScanOptions options;
+  options.shards = 1;
+  const auto one = run_parallel_scan(population, profile, options);
+  options.shards = 2;
+  const auto two = run_parallel_scan(population, profile, options);
+  options.shards = 8;
+  const auto eight = run_parallel_scan(population, profile, options);
+
+  ASSERT_EQ(one.shards.size(), 1u);
+  ASSERT_EQ(two.shards.size(), 2u);
+  ASSERT_EQ(eight.shards.size(), 8u);
+  expect_same_aggregates(two.merged, one.merged);
+  expect_same_aggregates(eight.merged, one.merged);
+
+  // The invariant the paper's tables hang off, stated explicitly.
+  EXPECT_EQ(eight.merged.lame_union, one.merged.lame_union);
+  EXPECT_EQ(eight.merged.total_domains, population.domains.size());
+}
+
+TEST(ParallelScan, SimClockTimingIsDeterministic) {
+  const auto population = generate_population(tiny_config());
+  const auto profile = resolver::profile_cloudflare();
+  ParallelScanOptions options;
+  options.shards = 2;
+  const auto first = run_parallel_scan(population, profile, options);
+  const auto second = run_parallel_scan(population, profile, options);
+  // Host wall time jitters run to run; the simulated clock must not.
+  for (std::size_t i = 0; i < first.shards.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first.shards[i].result.sim_seconds,
+                     second.shards[i].result.sim_seconds);
+  }
+  EXPECT_DOUBLE_EQ(first.merged.sim_seconds, second.merged.sim_seconds);
+}
+
+TEST(ParallelScan, StridedShardsMatchTheStridedSequentialScan) {
+  const auto population = generate_population(tiny_config());
+  const auto profile = resolver::profile_cloudflare();
+  ParallelScanOptions options;
+  options.scanner.stride = 3;
+  options.shards = 1;
+  const auto one = run_parallel_scan(population, profile, options);
+  options.shards = 4;
+  const auto four = run_parallel_scan(population, profile, options);
+  expect_same_aggregates(four.merged, one.merged);
+}
+
+TEST(ParallelScan, RendersAShardSummary) {
+  const auto population = generate_population(tiny_config());
+  ParallelScanOptions options;
+  options.shards = 2;
+  const auto scan =
+      run_parallel_scan(population, resolver::profile_cloudflare(), options);
+  const auto summary = render_shard_summary(scan);
+  EXPECT_NE(summary.find("per-worker throughput"), std::string::npos);
+  EXPECT_NE(summary.find("merged"), std::string::npos);
+  EXPECT_NE(summary.find("occupancy"), std::string::npos);
+}
+
+TEST(ScannerStride, ZeroStrideIsClampedAndTerminates) {
+  auto config = tiny_config();
+  config.total_domains = 300;
+  const auto population = generate_population(config);
+  auto network =
+      std::make_shared<sim::Network>(std::make_shared<sim::Clock>());
+  ScanWorld world(network, population);
+  auto resolver = world.make_resolver(resolver::profile_cloudflare());
+  world.prewarm(resolver);
+
+  Scanner::Options options;
+  options.stride = 0;  // used to spin forever in Scanner::run
+  const auto result = Scanner(options).run(resolver, population);
+  EXPECT_EQ(result.total_domains, population.domains.size());
+}
+
+}  // namespace

@@ -4,20 +4,31 @@
 #   2. configure + build a second tree with EDE_SANITIZE=ON
 #      (-fsanitize=address,undefined) and run the robustness + chaos
 #      suites under it — the adversarial-transport code paths are the
-#      ones most likely to hide lifetime/UB bugs.
+#      ones most likely to hide lifetime/UB bugs. The parallel-scan suite
+#      rides along so the sharded workers get lifetime/UB coverage too.
+#   3. configure + build a third tree with EDE_TSAN=ON (-fsanitize=thread)
+#      and run the parallel-scan suite under it — proof that the sharded
+#      scan's worker threads share nothing mutable.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/2] normal build + full test suite ==="
+echo "=== [1/3] normal build + full test suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "=== [2/2] ASan+UBSan build: robustness + chaos suites ==="
+echo "=== [2/3] ASan+UBSan build: robustness + chaos + parallel-scan ==="
 cmake -B build-asan -S . -DEDE_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "$JOBS" --target test_robustness test_chaos
-ctest --test-dir build-asan --output-on-failure -R 'Robust|Chaos'
+cmake --build build-asan -j "$JOBS" --target test_robustness test_chaos \
+  test_parallel_scan
+ctest --test-dir build-asan --output-on-failure -R 'Robust|Chaos|Parallel|ScanMerge|PlanShards|ScannerStride'
+
+echo "=== [3/3] TSan build: parallel-scan suite ==="
+cmake -B build-tsan -S . -DEDE_TSAN=ON >/dev/null
+cmake --build build-tsan -j "$JOBS" --target test_parallel_scan
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'Parallel|ScanMerge|PlanShards|ScannerStride'
 
 echo "verify: OK"
