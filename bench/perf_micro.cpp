@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "crypto/sha1.hpp"
+#include "dnscore/arena.hpp"
 #include "crypto/sha2.hpp"
 #include "dnssec/nsec3.hpp"
 #include "dnssec/sign.hpp"
@@ -49,6 +50,83 @@ void BM_MessageParse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MessageParse);
+
+// --- codec ----------------------------------------------------------------
+// The flat-Name / compression / arena hot path. Baselines live in
+// bench/perf_baseline_codec.json; tools/verify.sh prints deltas against it.
+
+void BM_NameParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto name = dns::Name::parse("a.long-ish.label.chain.example.com");
+    benchmark::DoNotOptimize(name);
+  }
+}
+BENCHMARK(BM_NameParse);
+
+void BM_NameReadWire(benchmark::State& state) {
+  // A compression-pointer-free name read: the parse side of every record.
+  dns::WireWriter w;
+  w.write_name_uncompressed(dns::Name::of("a.long-ish.label.chain.example.com"));
+  const auto wire = std::move(w).take();
+  for (auto _ : state) {
+    dns::WireReader r(wire);
+    benchmark::DoNotOptimize(r.read_name());
+  }
+}
+BENCHMARK(BM_NameReadWire);
+
+void BM_NameHashCompare(benchmark::State& state) {
+  // The cache-key path: RFC 4343 case-insensitive hash + equality.
+  const auto a = dns::Name::of("WWW.Example.COM");
+  const auto b = dns::Name::of("www.example.com");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.hash());
+    benchmark::DoNotOptimize(a.equals(b));
+  }
+}
+BENCHMARK(BM_NameHashCompare);
+
+dns::Message compression_heavy_message() {
+  // A referral-shaped response: many owner names sharing suffixes, which
+  // is exactly what the writer's compression table exists for.
+  dns::Message msg = dns::make_query(
+      7, dns::Name::of("deep.label.stack.child.example.com"), dns::RRType::A);
+  msg.header.qr = true;
+  for (int i = 0; i < 8; ++i) {
+    const auto ns =
+        dns::Name::of("ns" + std::to_string(i) + ".child.example.com");
+    msg.authority.push_back({dns::Name::of("child.example.com"),
+                             dns::RRType::NS, dns::RRClass::IN, 86400,
+                             dns::NsRdata{ns}});
+    msg.additional.push_back(
+        {ns, dns::RRType::A, dns::RRClass::IN, 3600,
+         dns::ARdata{dns::Ipv4Address{0xc0000200u + static_cast<unsigned>(i)}}});
+  }
+  return msg;
+}
+
+void BM_CompressedRoundTrip(benchmark::State& state) {
+  const auto msg = compression_heavy_message();
+  dns::MessageArena arena;
+  for (auto _ : state) {
+    const auto wire = arena.serialize(msg);
+    auto ok = arena.parse(wire);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(arena.message().additional.size());
+  }
+}
+BENCHMARK(BM_CompressedRoundTrip);
+
+void BM_ArenaSerialize(benchmark::State& state) {
+  // Same payload as BM_MessageSerialize but through the reusable arena —
+  // the delta between the two is the allocation cost the arena removes.
+  const auto msg = sample_message();
+  dns::MessageArena arena;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arena.serialize(msg));
+  }
+}
+BENCHMARK(BM_ArenaSerialize);
 
 void BM_Sha256(benchmark::State& state) {
   const crypto::Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);

@@ -60,6 +60,8 @@ void Sha1::process_block(const std::uint8_t* block) {
 }
 
 void Sha1::update(BytesView data) {
+  // An empty view may carry a null data(), which memcpy must never see.
+  if (data.empty()) return;
   total_bytes_ += data.size();
   std::size_t offset = 0;
   if (buffered_ > 0) {

@@ -1,0 +1,57 @@
+// Reusable serialize/parse scratch for the codec hot path.
+//
+// Every endpoint in the simulated network round-trips wire bytes:
+// serialize a query, parse it on the server, serialize the response,
+// parse it back. Fresh WireWriters and Messages per packet mean the same
+// buffers and section vectors are reallocated millions of times over a
+// wild scan. A MessageArena owns one writer and one scratch message that
+// keep their capacity across packets, so a warm arena serializes and
+// parses without touching the allocator (record payloads aside).
+//
+// Not thread-safe; one arena per owner (server, resolver, forwarder).
+// The view returned by serialize() and the message returned by parse()
+// are invalidated by the next call on the same arena.
+#pragma once
+
+#include "dnscore/message.hpp"
+#include "dnscore/wire.hpp"
+
+namespace ede::dns {
+
+class MessageArena {
+ public:
+  /// Serialize into the arena's writer. The returned view is valid until
+  /// the next serialize() / serialize_copy() on this arena.
+  [[nodiscard]] crypto::BytesView serialize(const Message& msg) {
+    writer_.reset();
+    msg.serialize_to(writer_);
+    return writer_.view();
+  }
+
+  /// Serialized size without surrendering the buffer (truncation checks).
+  [[nodiscard]] std::size_t serialized_size(const Message& msg) {
+    return serialize(msg).size();
+  }
+
+  /// Serialize into an exact-size owned buffer, for APIs that must return
+  /// ownership (e.g. sim::Endpoint responses).
+  [[nodiscard]] crypto::Bytes serialize_copy(const Message& msg) {
+    const auto view = serialize(msg);
+    return {view.begin(), view.end()};
+  }
+
+  /// Parse into the arena's scratch message (capacity-preserving). On
+  /// success the message is readable via message() until the next parse().
+  [[nodiscard]] Result<void> parse(crypto::BytesView wire) {
+    return Message::parse_into(wire, scratch_);
+  }
+
+  [[nodiscard]] Message& message() { return scratch_; }
+  [[nodiscard]] const Message& message() const { return scratch_; }
+
+ private:
+  WireWriter writer_;
+  Message scratch_;
+};
+
+}  // namespace ede::dns

@@ -35,6 +35,12 @@ void encode_record(WireWriter& w, const ResourceRecord& rr,
 }  // namespace
 
 crypto::Bytes Message::serialize() const {
+  WireWriter w;
+  serialize_to(w);
+  return std::move(w).take();
+}
+
+void Message::serialize_to(WireWriter& w) const {
   const auto rcode_value = static_cast<std::uint16_t>(header.rcode);
   const std::uint16_t rcode_high = static_cast<std::uint16_t>(rcode_value >> 4);
   if (rcode_high != 0 && find_opt() == nullptr) {
@@ -42,7 +48,6 @@ crypto::Bytes Message::serialize() const {
         "Message::serialize: extended RCODE requires an OPT record");
   }
 
-  WireWriter w;
   w.write_u16(header.id);
   std::uint16_t flags = 0;
   flags |= header.qr ? 0x8000 : 0;
@@ -69,12 +74,23 @@ crypto::Bytes Message::serialize() const {
   for (const auto& rr : answer) encode_record(w, rr, rcode_high);
   for (const auto& rr : authority) encode_record(w, rr, rcode_high);
   for (const auto& rr : additional) encode_record(w, rr, rcode_high);
-  return std::move(w).take();
 }
 
 Result<Message> Message::parse(crypto::BytesView wire) {
-  WireReader r(wire);
   Message msg;
+  auto parsed = parse_into(wire, msg);
+  if (!parsed) return parsed.error();
+  return msg;
+}
+
+Result<void> Message::parse_into(crypto::BytesView wire, Message& out) {
+  WireReader r(wire);
+  Message& msg = out;
+  msg.header = Header{};
+  msg.question.clear();
+  msg.answer.clear();
+  msg.authority.clear();
+  msg.additional.clear();
 
   auto id = r.read_u16();
   if (!id) return err("header: " + id.error().message);
@@ -151,7 +167,7 @@ Result<Message> Message::parse(crypto::BytesView wire) {
   if (!r.at_end()) return err("trailing bytes after message");
 
   msg.header.rcode = static_cast<RCode>(rcode_value);
-  return msg;
+  return {};
 }
 
 const ResourceRecord* Message::find_opt() const {

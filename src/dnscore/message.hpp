@@ -46,8 +46,19 @@ class Message {
   /// callers must attach EDNS first.
   [[nodiscard]] crypto::Bytes serialize() const;
 
+  /// Serialize into a caller-provided writer (which must be empty/reset).
+  /// This is the allocation-light core: a reused writer keeps its buffer
+  /// and compression-table capacity across messages (see MessageArena).
+  void serialize_to(WireWriter& w) const;
+
   /// Parse a full message; reassembles the extended RCODE from any OPT.
   [[nodiscard]] static Result<Message> parse(crypto::BytesView wire);
+
+  /// parse() into an existing message, clearing it first but keeping the
+  /// section vectors' capacity — the scratch half of MessageArena. On
+  /// error `out` is in an unspecified (but destructible) state.
+  [[nodiscard]] static Result<void> parse_into(crypto::BytesView wire,
+                                               Message& out);
 
   /// The OPT pseudo-record in the additional section, if any.
   [[nodiscard]] const ResourceRecord* find_opt() const;

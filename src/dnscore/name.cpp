@@ -2,43 +2,169 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <stdexcept>
 
 namespace ede::dns {
 
 namespace {
 
-char lower(char c) {
-  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+inline std::uint8_t lower_byte(std::uint8_t c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<std::uint8_t>(c + ('a' - 'A'))
+                                : c;
+}
+
+/// Case-insensitive compare of `n` raw buffer bytes. Length octets
+/// (values 1..63) pass through lower_byte() untouched, so whole-buffer
+/// compares remain label-structure-exact.
+int ci_memcmp(const std::uint8_t* a, const std::uint8_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t ca = lower_byte(a[i]);
+    const std::uint8_t cb = lower_byte(b[i]);
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  return 0;
 }
 
 int compare_labels_ci(std::string_view a, std::string_view b) {
   const std::size_t n = std::min(a.size(), b.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto ca = static_cast<unsigned char>(lower(a[i]));
-    const auto cb = static_cast<unsigned char>(lower(b[i]));
-    if (ca != cb) return ca < cb ? -1 : 1;
-  }
+  const int c = ci_memcmp(reinterpret_cast<const std::uint8_t*>(a.data()),
+                          reinterpret_cast<const std::uint8_t*>(b.data()), n);
+  if (c != 0) return c;
   if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
   return 0;
 }
 
 }  // namespace
 
+// --- storage management --------------------------------------------------
+
+Name::Name(Unchecked, const std::uint8_t* bytes, std::size_t size,
+           std::size_t count)
+    : size_(static_cast<std::uint8_t>(size)),
+      label_count_(static_cast<std::uint8_t>(count)) {
+  if (size > kInlineCapacity) store_.heap = new std::uint8_t[size];
+  if (size > 0) std::memcpy(mutable_data(), bytes, size);
+}
+
+Name::Name(const Name& other)
+    : size_(other.size_), label_count_(other.label_count_) {
+  if (size_ > kInlineCapacity) store_.heap = new std::uint8_t[size_];
+  if (size_ > 0) std::memcpy(mutable_data(), other.data(), size_);
+}
+
+Name::Name(Name&& other) noexcept
+    : size_(other.size_), label_count_(other.label_count_) {
+  if (size_ > kInlineCapacity) {
+    store_.heap = other.store_.heap;
+  } else if (size_ > 0) {
+    std::memcpy(store_.inline_bytes.data(), other.store_.inline_bytes.data(),
+                size_);
+  }
+  other.size_ = 0;  // moved-from collapses to root; its dtor frees nothing
+  other.label_count_ = 0;
+}
+
+Name& Name::operator=(const Name& other) {
+  if (this == &other) return *this;
+  Name copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+Name& Name::operator=(Name&& other) noexcept {
+  if (this == &other) return *this;
+  destroy();
+  size_ = other.size_;
+  label_count_ = other.label_count_;
+  if (size_ > kInlineCapacity) {
+    store_.heap = other.store_.heap;
+  } else if (size_ > 0) {
+    std::memcpy(store_.inline_bytes.data(), other.store_.inline_bytes.data(),
+                size_);
+  }
+  other.size_ = 0;
+  other.label_count_ = 0;
+  return *this;
+}
+
+// --- construction --------------------------------------------------------
+
+template <typename LabelRange>
+Result<Name> Name::build_from_labels(const LabelRange& labels) {
+  std::array<std::uint8_t, kMaxWireLength> buf;
+  std::size_t pos = 0;
+  std::size_t count = 0;
+  for (const std::string_view label : labels) {
+    if (label.empty()) return err("empty label");
+    if (label.size() > kMaxLabelLength)
+      return err("label longer than 63 octets");
+    // +1 for this label's length octet, +1 for the root octet.
+    if (pos + 1 + label.size() + 1 > kMaxWireLength)
+      return err("name longer than 255 octets");
+    buf[pos++] = static_cast<std::uint8_t>(label.size());
+    std::memcpy(buf.data() + pos, label.data(), label.size());
+    pos += label.size();
+    ++count;
+  }
+  return Name{Unchecked{}, buf.data(), pos, count};
+}
+
+Result<Name> Name::from_labels(std::span<const std::string> labels) {
+  return build_from_labels(labels);
+}
+
+Result<Name> Name::from_labels(std::span<const std::string_view> labels) {
+  return build_from_labels(labels);
+}
+
+Result<Name> Name::from_labels(
+    std::initializer_list<std::string_view> labels) {
+  return build_from_labels(labels);
+}
+
 Result<Name> Name::parse(std::string_view text) {
   if (text.empty()) return err("empty name (use \".\" for root)");
   if (text == ".") return Name{};
 
-  std::vector<std::string> labels;
-  std::string current;
+  // Stream straight into the flat wire buffer, back-patching each label's
+  // length octet when the label ends — no per-label strings.
+  std::array<std::uint8_t, kMaxWireLength> buf;
+  std::size_t pos = 0;     // bytes written
+  std::size_t count = 0;   // finished labels
+  std::size_t len_at = 0;  // offset of the open label's length octet
+  std::size_t label_len = 0;
+  bool in_label = false;
   bool saw_trailing_dot = false;
+
+  const auto end_label = [&] {
+    buf[len_at] = static_cast<std::uint8_t>(label_len);
+    ++count;
+    in_label = false;
+  };
+  // Appends one (possibly escape-decoded) byte to the open label; returns
+  // an error message on violation, nullptr on success.
+  const auto push_byte = [&](char c) -> const char* {
+    if (!in_label) {
+      // +1 for the length octet being opened, +1 for the root octet.
+      if (pos + 2 > kMaxWireLength) return "name longer than 255 octets";
+      len_at = pos++;
+      label_len = 0;
+      in_label = true;
+    }
+    if (label_len >= kMaxLabelLength) return "label longer than 63 octets";
+    if (pos + 1 + 1 > kMaxWireLength) return "name longer than 255 octets";
+    buf[pos++] = static_cast<std::uint8_t>(c);
+    ++label_len;
+    return nullptr;
+  };
+
   for (std::size_t i = 0; i < text.size(); ++i) {
     const char c = text[i];
     if (c == '.') {
-      if (current.empty())
+      if (!in_label)
         return err("empty label in name: '" + std::string(text) + "'");
-      labels.push_back(std::move(current));
-      current.clear();
+      end_label();
       saw_trailing_dot = (i + 1 == text.size());
       continue;
     }
@@ -55,20 +181,20 @@ Result<Name> Name::parse(std::string_view text) {
           value = value * 10 + (d - '0');
         }
         if (value > 255) return err("\\ddd escape out of range");
-        current.push_back(static_cast<char>(value));
+        if (const char* e = push_byte(static_cast<char>(value))) return err(e);
         i += 3;
       } else {
-        current.push_back(next);
+        if (const char* e = push_byte(next)) return err(e);
         i += 1;
       }
       continue;
     }
-    current.push_back(c);
+    if (const char* e = push_byte(c)) return err(e);
   }
-  if (!current.empty()) labels.push_back(std::move(current));
+  if (in_label) end_label();
   else if (!saw_trailing_dot) return err("empty name");
 
-  return from_labels(std::move(labels));
+  return Name{Unchecked{}, buf.data(), pos, count};
 }
 
 Name Name::of(std::string_view text) {
@@ -77,28 +203,72 @@ Name Name::of(std::string_view text) {
   return std::move(result).take();
 }
 
-Result<Name> Name::from_labels(std::vector<std::string> labels) {
-  std::size_t wire_len = 1;  // root octet
-  for (const auto& label : labels) {
-    if (label.empty()) return err("empty label");
-    if (label.size() > kMaxLabelLength)
-      return err("label longer than 63 octets");
-    wire_len += 1 + label.size();
+// --- label index ---------------------------------------------------------
+
+Name::LabelOffsets Name::label_offsets() const {
+  LabelOffsets offsets;
+  const std::uint8_t* bytes = data();
+  std::size_t pos = 0;
+  while (pos < size_) {
+    offsets.at[offsets.count++] = static_cast<std::uint8_t>(pos);
+    pos += 1 + bytes[pos];
   }
-  if (wire_len > kMaxWireLength) return err("name longer than 255 octets");
-  return Name{std::move(labels)};
+  return offsets;
 }
 
-std::size_t Name::wire_length() const {
-  std::size_t len = 1;
-  for (const auto& label : labels_) len += 1 + label.size();
-  return len;
+// --- name surgery --------------------------------------------------------
+
+Name Name::suffix(std::size_t count) const {
+  if (count >= label_count_) return *this;
+  const std::uint8_t* bytes = data();
+  std::size_t pos = 0;
+  for (std::size_t skip = label_count_ - count; skip > 0; --skip)
+    pos += 1 + bytes[pos];
+  return Name{Unchecked{}, bytes + pos, size_ - pos, count};
 }
+
+Name Name::slice(std::size_t first, std::size_t count) const {
+  const std::uint8_t* bytes = data();
+  std::size_t begin = 0;
+  for (std::size_t skip = first; skip > 0; --skip) begin += 1 + bytes[begin];
+  std::size_t end = begin;
+  for (std::size_t left = count; left > 0; --left) end += 1 + bytes[end];
+  return Name{Unchecked{}, bytes + begin, end - begin, count};
+}
+
+Name Name::parent() const {
+  if (is_root()) throw std::logic_error("Name::parent on root");
+  const std::size_t skip = std::size_t{1} + data()[0];
+  return Name{Unchecked{}, data() + skip, size_ - skip,
+              std::size_t{label_count_} - 1};
+}
+
+Result<Name> Name::prefixed(std::string_view label) const {
+  if (label.empty()) return err("empty label");
+  if (label.size() > kMaxLabelLength) return err("label longer than 63 octets");
+  const std::size_t new_size = 1 + label.size() + size_;
+  if (new_size + 1 > kMaxWireLength) return err("name longer than 255 octets");
+  std::array<std::uint8_t, kMaxWireLength> buf;
+  buf[0] = static_cast<std::uint8_t>(label.size());
+  std::memcpy(buf.data() + 1, label.data(), label.size());
+  std::memcpy(buf.data() + 1 + label.size(), data(), size_);
+  return Name{Unchecked{}, buf.data(), new_size,
+              std::size_t{label_count_} + 1};
+}
+
+Name Name::lowered() const {
+  Name out = *this;
+  std::uint8_t* bytes = out.mutable_data();
+  for (std::size_t i = 0; i < out.size_; ++i) bytes[i] = lower_byte(bytes[i]);
+  return out;
+}
+
+// --- rendering -----------------------------------------------------------
 
 std::string Name::to_string() const {
-  if (labels_.empty()) return ".";
+  if (is_root()) return ".";
   std::string out;
-  for (const auto& label : labels_) {
+  for (const std::string_view label : labels()) {
     for (const char c : label) {
       if (c == '.' || c == '\\') {
         out.push_back('\\');
@@ -122,11 +292,10 @@ std::string Name::to_string() const {
 crypto::Bytes Name::canonical_wire() const {
   crypto::Bytes out;
   out.reserve(wire_length());
-  for (const auto& label : labels_) {
-    out.push_back(static_cast<std::uint8_t>(label.size()));
-    for (const char c : label)
-      out.push_back(static_cast<std::uint8_t>(lower(c)));
-  }
+  const std::uint8_t* bytes = data();
+  // Length octets are <= 63 and pass through lower_byte() unchanged, so
+  // the whole buffer folds in one pass.
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(lower_byte(bytes[i]));
   out.push_back(0);
   return out;
 }
@@ -134,68 +303,60 @@ crypto::Bytes Name::canonical_wire() const {
 crypto::Bytes Name::wire() const {
   crypto::Bytes out;
   out.reserve(wire_length());
-  for (const auto& label : labels_) {
-    out.push_back(static_cast<std::uint8_t>(label.size()));
-    out.insert(out.end(), label.begin(), label.end());
-  }
+  out.insert(out.end(), data(), data() + size_);
   out.push_back(0);
   return out;
 }
 
-Name Name::parent() const {
-  if (is_root()) throw std::logic_error("Name::parent on root");
-  return Name{{labels_.begin() + 1, labels_.end()}};
-}
-
-Result<Name> Name::prefixed(std::string_view label) const {
-  std::vector<std::string> labels;
-  labels.reserve(labels_.size() + 1);
-  labels.emplace_back(label);
-  labels.insert(labels.end(), labels_.begin(), labels_.end());
-  return from_labels(std::move(labels));
-}
+// --- comparison ----------------------------------------------------------
 
 bool Name::is_subdomain_of(const Name& ancestor) const {
-  if (ancestor.labels_.size() > labels_.size()) return false;
-  const std::size_t skip = labels_.size() - ancestor.labels_.size();
-  for (std::size_t i = 0; i < ancestor.labels_.size(); ++i) {
-    if (compare_labels_ci(labels_[skip + i], ancestor.labels_[i]) != 0)
-      return false;
-  }
-  return true;
+  if (ancestor.label_count_ > label_count_) return false;
+  // Walk to the label boundary where the ancestor's labels would begin; a
+  // plain tail compare could be fooled by label bytes that merely look
+  // like length octets.
+  const std::uint8_t* bytes = data();
+  std::size_t pos = 0;
+  for (std::size_t skip = label_count_ - ancestor.label_count_; skip > 0;
+       --skip)
+    pos += 1 + bytes[pos];
+  if (size_ - pos != ancestor.size_) return false;
+  return ci_memcmp(bytes + pos, ancestor.data(), ancestor.size_) == 0;
 }
 
 bool Name::equals(const Name& other) const {
-  if (labels_.size() != other.labels_.size()) return false;
-  for (std::size_t i = 0; i < labels_.size(); ++i) {
-    if (compare_labels_ci(labels_[i], other.labels_[i]) != 0) return false;
-  }
-  return true;
+  return size_ == other.size_ && ci_memcmp(data(), other.data(), size_) == 0;
 }
 
 std::strong_ordering Name::canonical_compare(const Name& other) const {
-  const std::size_t n = std::min(labels_.size(), other.labels_.size());
+  const LabelOffsets mine = label_offsets();
+  const LabelOffsets theirs = other.label_offsets();
+  const std::uint8_t* a = data();
+  const std::uint8_t* b = other.data();
+  const std::size_t n = std::min<std::size_t>(mine.count, theirs.count);
   for (std::size_t i = 1; i <= n; ++i) {
-    const int c = compare_labels_ci(labels_[labels_.size() - i],
-                                    other.labels_[other.labels_.size() - i]);
+    const std::uint8_t ao = mine.at[mine.count - i];
+    const std::uint8_t bo = theirs.at[theirs.count - i];
+    const int c = compare_labels_ci(
+        {reinterpret_cast<const char*>(a) + ao + 1, std::size_t{a[ao]}},
+        {reinterpret_cast<const char*>(b) + bo + 1, std::size_t{b[bo]}});
     if (c < 0) return std::strong_ordering::less;
     if (c > 0) return std::strong_ordering::greater;
   }
-  if (labels_.size() != other.labels_.size())
-    return labels_.size() < other.labels_.size()
-               ? std::strong_ordering::less
-               : std::strong_ordering::greater;
+  if (label_count_ != other.label_count_)
+    return label_count_ < other.label_count_ ? std::strong_ordering::less
+                                             : std::strong_ordering::greater;
   return std::strong_ordering::equal;
 }
 
 std::size_t Name::hash() const {
+  // FNV-1a over the lowercased flat buffer. The length octets take the
+  // place of the old per-label 0xff separators, so ("ab","c") and
+  // ("a","bc") still hash differently.
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const auto& label : labels_) {
-    for (const char c : label) {
-      h ^= static_cast<std::uint8_t>(lower(c));
-      h *= 0x100000001b3ULL;
-    }
-    h ^= 0xff;  // label separator, so ("ab","c") != ("a","bc")
+  const std::uint8_t* bytes = data();
+  for (std::size_t i = 0; i < size_; ++i) {
+    h ^= lower_byte(bytes[i]);
     h *= 0x100000001b3ULL;
   }
   return static_cast<std::size_t>(h);

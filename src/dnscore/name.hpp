@@ -1,16 +1,26 @@
-// Domain names (RFC 1035 §3.1), stored as a label sequence.
+// Domain names (RFC 1035 §3.1), stored flat for the codec hot path.
 //
 // Invariants held by Name:
 //   - at most 127 labels, each 1..63 octets;
 //   - total wire length (labels + length octets + root octet) <= 255;
 //   - label bytes are stored verbatim (case preserved), but comparison and
 //     hashing are case-insensitive per RFC 4343.
+//
+// Representation: one contiguous byte buffer holding the name in wire
+// form without the trailing root octet — [len][label bytes]... — so the
+// per-label length octets double as the label index (no per-label heap
+// strings, no vector spine). Names up to kInlineCapacity bytes (all but
+// the most pathological real-world names) live entirely inline; longer
+// ones take a single exact-size heap block. Right-to-left algorithms
+// (canonical ordering, compression) materialize a small stack array of
+// label offsets via label_offsets().
 #pragma once
 
+#include <array>
 #include <compare>
 #include <cstdint>
-#include <functional>
-#include <optional>
+#include <initializer_list>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,9 +34,19 @@ class Name {
  public:
   static constexpr std::size_t kMaxWireLength = 255;
   static constexpr std::size_t kMaxLabelLength = 63;
+  static constexpr std::size_t kMaxLabels = 127;
+  /// Names whose label bytes (incl. length octets, excl. the root octet)
+  /// fit here are stored inline with zero heap traffic. 62 covers every
+  /// name in the testbed, including 32-octet NSEC3 owner labels.
+  static constexpr std::size_t kInlineCapacity = 62;
 
   /// The root name ".".
-  Name() = default;
+  Name() noexcept : store_{} {}
+  Name(const Name& other);
+  Name(Name&& other) noexcept;
+  Name& operator=(const Name& other);
+  Name& operator=(Name&& other) noexcept;
+  ~Name() { destroy(); }
 
   /// Parse presentation format ("www.example.com", trailing dot optional,
   /// "\ddd" and "\X" escapes supported). Returns an error for empty labels,
@@ -37,18 +57,121 @@ class Name {
   /// internal tables where failure is a programming error.
   [[nodiscard]] static Name of(std::string_view text);
 
-  /// Build from raw labels (already validated by the wire parser).
+  /// Build from raw labels (already split; wire parsers and name surgery).
   [[nodiscard]] static Result<Name> from_labels(
-      std::vector<std::string> labels);
+      std::span<const std::string> labels);
+  [[nodiscard]] static Result<Name> from_labels(
+      std::span<const std::string_view> labels);
+  [[nodiscard]] static Result<Name> from_labels(
+      std::initializer_list<std::string_view> labels);
 
-  [[nodiscard]] bool is_root() const { return labels_.empty(); }
-  [[nodiscard]] std::size_t label_count() const { return labels_.size(); }
-  [[nodiscard]] const std::vector<std::string>& labels() const {
-    return labels_;
+  [[nodiscard]] bool is_root() const { return label_count_ == 0; }
+  [[nodiscard]] std::size_t label_count() const { return label_count_; }
+
+  // --- label access ----------------------------------------------------
+
+  /// Forward iteration over labels as string_views into the flat buffer.
+  class LabelIterator {
+   public:
+    using value_type = std::string_view;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    LabelIterator() = default;
+    explicit LabelIterator(const std::uint8_t* p) : p_(p) {}
+    std::string_view operator*() const {
+      return {reinterpret_cast<const char*>(p_) + 1, std::size_t{*p_}};
+    }
+    LabelIterator& operator++() {
+      p_ += 1 + *p_;
+      return *this;
+    }
+    LabelIterator operator++(int) {
+      LabelIterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    bool operator==(const LabelIterator&) const = default;
+
+   private:
+    const std::uint8_t* p_ = nullptr;
+  };
+
+  /// Lightweight view of a name's labels (leftmost first). Indexing walks
+  /// the buffer — O(label index), bounded by 254 bytes.
+  class Labels {
+   public:
+    Labels(const std::uint8_t* data, std::size_t bytes, std::size_t count)
+        : data_(data), bytes_(bytes), count_(count) {}
+    [[nodiscard]] std::size_t size() const { return count_; }
+    [[nodiscard]] bool empty() const { return count_ == 0; }
+    [[nodiscard]] std::string_view front() const { return *begin(); }
+    [[nodiscard]] std::string_view operator[](std::size_t i) const {
+      auto it = begin();
+      while (i-- > 0) ++it;
+      return *it;
+    }
+    [[nodiscard]] LabelIterator begin() const { return LabelIterator{data_}; }
+    [[nodiscard]] LabelIterator end() const {
+      return LabelIterator{data_ + bytes_};
+    }
+
+   private:
+    const std::uint8_t* data_;
+    std::size_t bytes_;
+    std::size_t count_;
+  };
+
+  /// Views into this name's buffer — only valid while the Name lives, so
+  /// calling on a temporary is disallowed.
+  [[nodiscard]] Labels labels() const& { return {data(), size_, label_count_}; }
+  Labels labels() const&& = delete;
+
+  /// Label `i` (leftmost first). Walks the buffer; precondition i < count.
+  [[nodiscard]] std::string_view label(std::size_t i) const& {
+    return labels()[i];
   }
+  std::string_view label(std::size_t) const&& = delete;
+
+  /// Offsets of each label's length octet, materialized on the stack for
+  /// right-to-left algorithms (canonical compare, compression suffixes).
+  struct LabelOffsets {
+    std::uint8_t count = 0;
+    std::array<std::uint8_t, kMaxLabels> at{};
+  };
+  [[nodiscard]] LabelOffsets label_offsets() const;
+
+  /// Raw flat buffer: the name in wire form without the root octet.
+  [[nodiscard]] const std::uint8_t* data() const& {
+    return size_ <= kInlineCapacity ? store_.inline_bytes.data() : store_.heap;
+  }
+  const std::uint8_t* data() const&& = delete;
+  [[nodiscard]] std::size_t size_bytes() const { return size_; }
+
+  // --- name surgery (all return new Names; the buffer is immutable) ----
+
+  /// The rightmost `count` labels ("example.com".suffix(1) == "com");
+  /// count >= label_count() returns *this.
+  [[nodiscard]] Name suffix(std::size_t count) const;
+
+  /// Labels [first, first + count) of this name. Precondition: the range
+  /// is within [0, label_count()].
+  [[nodiscard]] Name slice(std::size_t first, std::size_t count) const;
+
+  /// Parent name (drops the leftmost label). Precondition: !is_root().
+  [[nodiscard]] Name parent() const;
+
+  /// Prepend a label: Name::of("example.com").prefixed("www").
+  [[nodiscard]] Result<Name> prefixed(std::string_view label) const;
+
+  /// The same name with all label bytes lowercased (RFC 4034 §6.2
+  /// canonical form).
+  [[nodiscard]] Name lowered() const;
 
   /// Wire length including per-label length octets and the root octet.
-  [[nodiscard]] std::size_t wire_length() const;
+  [[nodiscard]] std::size_t wire_length() const {
+    return std::size_t{size_} + 1;
+  }
 
   /// Presentation format with trailing dot ("example.com.", "." for root).
   [[nodiscard]] std::string to_string() const;
@@ -58,12 +181,6 @@ class Name {
 
   /// Uncompressed wire form with original case.
   [[nodiscard]] crypto::Bytes wire() const;
-
-  /// Parent name (drops the leftmost label). Precondition: !is_root().
-  [[nodiscard]] Name parent() const;
-
-  /// Prepend a label: Name::of("example.com").prefixed("www").
-  [[nodiscard]] Result<Name> prefixed(std::string_view label) const;
 
   /// True if *this is `ancestor` or a descendant of it.
   [[nodiscard]] bool is_subdomain_of(const Name& ancestor) const;
@@ -84,9 +201,27 @@ class Name {
   [[nodiscard]] std::size_t hash() const;
 
  private:
-  explicit Name(std::vector<std::string> labels) : labels_(std::move(labels)) {}
+  struct Unchecked {};  // tag: buffer already validated
+  Name(Unchecked, const std::uint8_t* bytes, std::size_t size,
+       std::size_t count);
 
-  std::vector<std::string> labels_;  // leftmost label first, root == empty
+  [[nodiscard]] std::uint8_t* mutable_data() {
+    return size_ <= kInlineCapacity ? store_.inline_bytes.data() : store_.heap;
+  }
+  void destroy() {
+    if (size_ > kInlineCapacity) delete[] store_.heap;
+  }
+
+  template <typename LabelRange>
+  [[nodiscard]] static Result<Name> build_from_labels(
+      const LabelRange& labels);
+
+  std::uint8_t size_ = 0;         // buffer bytes used (wire form, no root)
+  std::uint8_t label_count_ = 0;  // <= kMaxLabels
+  union Store {
+    std::array<std::uint8_t, kInlineCapacity> inline_bytes;
+    std::uint8_t* heap;
+  } store_;
 };
 
 struct NameHash {

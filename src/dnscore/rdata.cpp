@@ -213,14 +213,14 @@ Result<Rdata> decode_typed(WireReader& r, RRType type, std::size_t rdlen,
                            std::size_t rdata_end) {
   switch (type) {
     case RRType::A: {
-      auto bytes = r.read_bytes(4);
+      auto bytes = r.read_view(4);
       if (!bytes) return bytes.error();
       std::array<std::uint8_t, 4> o{};
       std::copy(bytes.value().begin(), bytes.value().end(), o.begin());
       return Rdata{ARdata{Ipv4Address{o}}};
     }
     case RRType::AAAA: {
-      auto bytes = r.read_bytes(16);
+      auto bytes = r.read_view(16);
       if (!bytes) return bytes.error();
       std::array<std::uint8_t, 16> o{};
       std::copy(bytes.value().begin(), bytes.value().end(), o.begin());
@@ -272,9 +272,11 @@ Result<Rdata> decode_typed(WireReader& r, RRType type, std::size_t rdlen,
       while (r.position() < rdata_end) {
         auto len = r.read_u8();
         if (!len) return len.error();
-        auto bytes = r.read_bytes(len.value());
+        auto bytes = r.read_view(len.value());
         if (!bytes) return bytes.error();
-        txt.strings.emplace_back(bytes.value().begin(), bytes.value().end());
+        txt.strings.emplace_back(
+            reinterpret_cast<const char*>(bytes.value().data()),
+            bytes.value().size());
       }
       return Rdata{std::move(txt)};
     }
@@ -358,7 +360,7 @@ Result<Rdata> decode_typed(WireReader& r, RRType type, std::size_t rdlen,
       if (!next) return next.error();
       nsec.next_domain = std::move(next).take();
       if (rdata_end < r.position()) return err("NSEC: bad rdlen");
-      auto bitmap_bytes = r.read_bytes(rdata_end - r.position());
+      auto bitmap_bytes = r.read_view(rdata_end - r.position());
       if (!bitmap_bytes) return bitmap_bytes.error();
       auto bitmap = TypeBitmap::decode(bitmap_bytes.value());
       if (!bitmap) return bitmap.error();
@@ -387,7 +389,7 @@ Result<Rdata> decode_typed(WireReader& r, RRType type, std::size_t rdlen,
       if (!hash) return hash.error();
       n3.next_hashed_owner = std::move(hash).take();
       if (rdata_end < r.position()) return err("NSEC3: bad rdlen");
-      auto bitmap_bytes = r.read_bytes(rdata_end - r.position());
+      auto bitmap_bytes = r.read_view(rdata_end - r.position());
       if (!bitmap_bytes) return bitmap_bytes.error();
       auto bitmap = TypeBitmap::decode(bitmap_bytes.value());
       if (!bitmap) return bitmap.error();

@@ -5,6 +5,7 @@
 // network and is reported through Result<T> instead.
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -44,6 +45,27 @@ class [[nodiscard]] Result {
 
  private:
   std::variant<T, Error> storage_;
+};
+
+/// Status-only results: success carries no value, so operations that only
+/// validate (e.g. WireReader::seek) report ok()/error() without a dummy
+/// payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    if (!error_) throw std::logic_error("Result<void>::error on success");
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
 };
 
 /// Build an error result with a formatted message.

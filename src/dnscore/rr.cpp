@@ -1,7 +1,6 @@
 #include "dnscore/rr.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <sstream>
 
 namespace ede::dns {
@@ -43,17 +42,7 @@ namespace {
 /// Lowercase the embedded names of legacy rdata types for canonical form.
 Rdata canonicalize_names(const Rdata& rdata) {
   Rdata out = rdata;
-  const auto lower_name = [](Name& n) {
-    std::vector<std::string> labels;
-    labels.reserve(n.labels().size());
-    for (const auto& label : n.labels()) {
-      std::string lowered = label;
-      for (char& c : lowered)
-        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-      labels.push_back(std::move(lowered));
-    }
-    n = Name::from_labels(std::move(labels)).take();
-  };
+  const auto lower_name = [](Name& n) { n = n.lowered(); };
   std::visit(
       [&](auto& r) {
         using T = std::decay_t<decltype(r)>;

@@ -1,7 +1,8 @@
 #include "dnscore/wire.hpp"
 
-#include <algorithm>
-#include <cctype>
+#include <array>
+#include <string>
+#include <string_view>
 
 namespace ede::dns {
 
@@ -35,8 +36,20 @@ Result<crypto::Bytes> WireReader::read_bytes(std::size_t count) {
   return out;
 }
 
+Result<crypto::BytesView> WireReader::read_view(std::size_t count) {
+  if (remaining() < count)
+    return err("truncated: need " + std::to_string(count) + " bytes");
+  const crypto::BytesView out = data_.subspan(pos_, count);
+  pos_ += count;
+  return out;
+}
+
 Result<Name> WireReader::read_name() {
-  std::vector<std::string> labels;
+  // Collect label views into the message buffer on the stack; the Name
+  // constructor copies them into its flat buffer with full validation.
+  // The safety cap bounds the array: one slot per loop iteration at most.
+  std::array<std::string_view, 256> labels;
+  std::size_t label_count = 0;
   std::size_t cursor = pos_;
   std::size_t after_first_pointer = 0;
   bool jumped = false;
@@ -63,21 +76,30 @@ Result<Name> WireReader::read_name() {
     ++cursor;
     if (len == 0) break;
     if (cursor + len > data_.size()) return err("name: label past end");
-    labels.emplace_back(
-        reinterpret_cast<const char*>(data_.data() + cursor), len);
+    labels[label_count++] = {
+        reinterpret_cast<const char*>(data_.data() + cursor), len};
     cursor += len;
   }
 
   pos_ = jumped ? after_first_pointer : cursor;
-  auto name = Name::from_labels(std::move(labels));
+  auto name = Name::from_labels(
+      std::span<const std::string_view>(labels.data(), label_count));
   if (!name) return err("name: " + name.error().message);
   return std::move(name).take();
 }
 
-Result<bool> WireReader::seek(std::size_t offset) {
+Result<void> WireReader::seek(std::size_t offset) {
   if (offset > data_.size()) return err("seek past end");
   pos_ = offset;
-  return true;
+  return {};
+}
+
+void WireWriter::reset() {
+  out_.clear();
+  if (table_used_ > 0) {
+    std::fill(table_.begin(), table_.end(), Slot{});
+    table_used_ = 0;
+  }
 }
 
 void WireWriter::write_u8(std::uint8_t v) { out_.push_back(v); }
@@ -98,40 +120,117 @@ void WireWriter::write_bytes(crypto::BytesView data) {
 
 namespace {
 
-std::string suffix_key(const std::vector<std::string>& labels,
-                       std::size_t from) {
-  std::string key;
-  for (std::size_t i = from; i < labels.size(); ++i) {
-    for (const char c : labels[i])
-      key.push_back(
-          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-    key.push_back('.');
-  }
-  return key;
+inline std::uint8_t lower_byte(std::uint8_t c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<std::uint8_t>(c + ('a' - 'A'))
+                                : c;
+}
+
+/// FNV-1a over one label (length octet + lowercased bytes).
+std::uint32_t label_hash_ci(const std::uint8_t* label) {
+  std::uint32_t h = 0x811c9dc5u;
+  const std::uint8_t len = label[0];
+  h = (h ^ len) * 0x01000193u;
+  for (std::size_t k = 1; k <= len; ++k)
+    h = (h ^ lower_byte(label[k])) * 0x01000193u;
+  return h;
+}
+
+/// Chain a label hash onto the hash of the suffix to its right.
+inline std::uint32_t chain_hash(std::uint32_t label_hash,
+                                std::uint32_t suffix_hash) {
+  std::uint32_t h = label_hash ^ (suffix_hash * 0x85ebca6bu + 0xc2b2ae35u);
+  h ^= h >> 15;
+  return h;
 }
 
 }  // namespace
 
+bool WireWriter::suffix_matches_at(const Name& name,
+                                   const Name::LabelOffsets& offsets,
+                                   std::size_t first, std::size_t at) const {
+  const std::uint8_t* bytes = name.data();
+  std::size_t pos = at;
+  int hops = 0;
+  for (std::size_t j = first;; ++j) {
+    // Resolve any chain of compression pointers in the written bytes.
+    while (pos < out_.size() && (out_[pos] & 0xc0) == 0xc0) {
+      if (++hops > 256 || pos + 1 >= out_.size()) return false;
+      pos = (static_cast<std::size_t>(out_[pos] & 0x3f) << 8) | out_[pos + 1];
+    }
+    if (pos >= out_.size()) return false;
+    const std::uint8_t len = out_[pos];
+    if (j == offsets.count) return len == 0;  // suffix must end at the root
+    const std::uint8_t noff = offsets.at[j];
+    if (len != bytes[noff]) return false;
+    if (pos + 1 + std::size_t{len} > out_.size()) return false;
+    for (std::size_t k = 1; k <= len; ++k) {
+      if (lower_byte(out_[pos + k]) != lower_byte(bytes[noff + k]))
+        return false;
+    }
+    pos += 1 + std::size_t{len};
+  }
+}
+
+void WireWriter::grow_table() {
+  const std::size_t new_size = table_.empty() ? 64 : table_.size() * 2;
+  std::vector<Slot> old = std::move(table_);
+  table_.assign(new_size, Slot{});
+  const std::size_t mask = new_size - 1;
+  for (const Slot& slot : old) {
+    if (slot.offset == kEmptySlot) continue;
+    std::size_t i = slot.hash & mask;
+    while (table_[i].offset != kEmptySlot) i = (i + 1) & mask;
+    table_[i] = slot;
+  }
+}
+
+void WireWriter::insert_slot(std::uint32_t hash, std::uint16_t offset) {
+  if ((table_used_ + 1) * 4 > table_.size() * 3) grow_table();
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = hash & mask;
+  while (table_[i].offset != kEmptySlot) i = (i + 1) & mask;
+  table_[i] = Slot{hash, offset};
+  ++table_used_;
+}
+
 void WireWriter::write_name(const Name& name) {
-  const auto& labels = name.labels();
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    const std::string key = suffix_key(labels, i);
-    const auto it = offsets_.find(key);
-    if (it != offsets_.end()) {
-      write_u16(static_cast<std::uint16_t>(0xc000 | it->second));
-      return;
+  const Name::LabelOffsets offsets = name.label_offsets();
+  const std::uint8_t* bytes = name.data();
+
+  // Per-suffix hashes, chained right to left so suffix i's hash covers
+  // labels [i, count).
+  std::array<std::uint32_t, Name::kMaxLabels> suffix_hash;
+  std::uint32_t h = 0x9e3779b9u;
+  for (std::size_t i = offsets.count; i-- > 0;) {
+    h = chain_hash(label_hash_ci(bytes + offsets.at[i]), h);
+    suffix_hash[i] = h;
+  }
+
+  for (std::size_t i = 0; i < offsets.count; ++i) {
+    if (!table_.empty()) {
+      const std::size_t mask = table_.size() - 1;
+      std::size_t slot = suffix_hash[i] & mask;
+      while (table_[slot].offset != kEmptySlot) {
+        if (table_[slot].hash == suffix_hash[i] &&
+            suffix_matches_at(name, offsets, i, table_[slot].offset)) {
+          write_u16(static_cast<std::uint16_t>(0xc000 | table_[slot].offset));
+          return;
+        }
+        slot = (slot + 1) & mask;
+      }
     }
     // Compression pointers can only address the first 16 KiB - 2 bits.
     if (out_.size() <= 0x3fff)
-      offsets_.emplace(key, static_cast<std::uint16_t>(out_.size()));
-    write_u8(static_cast<std::uint8_t>(labels[i].size()));
-    write_bytes(crypto::as_bytes(labels[i]));
+      insert_slot(suffix_hash[i], static_cast<std::uint16_t>(out_.size()));
+    const std::uint8_t off = offsets.at[i];
+    out_.insert(out_.end(), bytes + off, bytes + off + 1 + bytes[off]);
   }
   write_u8(0);
 }
 
 void WireWriter::write_name_uncompressed(const Name& name) {
-  write_bytes(name.wire());
+  out_.insert(out_.end(), name.data(), name.data() + name.size_bytes());
+  out_.push_back(0);
 }
 
 void WireWriter::patch_u16(std::size_t offset, std::uint16_t v) {

@@ -4,10 +4,18 @@
 // pointers (§4.1.4) can be followed safely: pointers must point strictly
 // backwards and the total label count is capped, which defeats pointer
 // loops in malformed packets.
+//
+// WireWriter compresses names allocation-free: instead of keying a hash
+// map with per-suffix strings, it keeps a flat open-addressing table of
+// (suffix hash, wire offset) pairs and verifies candidate matches by
+// walking the already-written bytes (following any compression pointers
+// they end in). Both the output buffer and the table survive reset(), so
+// a writer can be reused across messages without reallocating — the
+// MessageArena hot path depends on this.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "crypto/bytes.hpp"
 #include "dnscore/name.hpp"
@@ -28,13 +36,18 @@ class WireReader {
   Result<std::uint32_t> read_u32();
   Result<crypto::Bytes> read_bytes(std::size_t count);
 
+  /// Borrow `count` bytes from the underlying buffer without copying.
+  /// The view is only valid while the message buffer lives — use for
+  /// transient decoding (fixed-size fields, bitmap parsing), not storage.
+  Result<crypto::BytesView> read_view(std::size_t count);
+
   /// Read a possibly-compressed domain name starting at the current
   /// position. The cursor advances past the name's in-place encoding
   /// (pointers are followed without moving the cursor past them).
   Result<Name> read_name();
 
   /// Move the cursor to an absolute offset (used for bounded rdata reads).
-  Result<bool> seek(std::size_t offset);
+  Result<void> seek(std::size_t offset);
 
  private:
   crypto::BytesView data_;
@@ -44,6 +57,10 @@ class WireReader {
 class WireWriter {
  public:
   WireWriter() = default;
+
+  /// Clear written content and the compression table for reuse. Keeps the
+  /// capacity of both, so a reused writer stops allocating once warm.
+  void reset();
 
   void write_u8(std::uint8_t v);
   void write_u16(std::uint16_t v);
@@ -62,12 +79,33 @@ class WireWriter {
 
   [[nodiscard]] std::size_t size() const { return out_.size(); }
   [[nodiscard]] const crypto::Bytes& data() const& { return out_; }
+  [[nodiscard]] crypto::BytesView view() const { return out_; }
+  /// Move the buffer out. The writer must be reset() before further use
+  /// (the compression table still refers to the surrendered bytes).
   [[nodiscard]] crypto::Bytes take() && { return std::move(out_); }
 
  private:
+  /// One registered name suffix: the case-folded hash of its labels and
+  /// the wire offset of its first encoding. Offsets are <= 0x3fff (the
+  /// 14-bit pointer limit), so 0xffff marks an empty slot.
+  struct Slot {
+    std::uint32_t hash = 0;
+    std::uint16_t offset = kEmptySlot;
+  };
+  static constexpr std::uint16_t kEmptySlot = 0xffff;
+
+  /// Does the suffix of `name` starting at label `first` match the wire
+  /// encoding at `at` (following compression pointers)? Case-insensitive;
+  /// exact label structure.
+  [[nodiscard]] bool suffix_matches_at(const Name& name,
+                                       const Name::LabelOffsets& offsets,
+                                       std::size_t first, std::size_t at) const;
+  void insert_slot(std::uint32_t hash, std::uint16_t offset);
+  void grow_table();
+
   crypto::Bytes out_;
-  // Map from name suffix (canonical text) to offset of its first encoding.
-  std::unordered_map<std::string, std::uint16_t> offsets_;
+  std::vector<Slot> table_;  // open addressing, power-of-two size
+  std::size_t table_used_ = 0;
 };
 
 }  // namespace ede::dns

@@ -8,7 +8,9 @@
 namespace ede::dnssec {
 
 std::uint16_t key_tag(const dns::DnskeyRdata& key) {
-  dns::WireWriter w;
+  // Hot in zone signing (called once per RRSIG): reuse the encode buffer.
+  thread_local dns::WireWriter w;
+  w.reset();
   encode_rdata(w, dns::Rdata{key}, /*compress=*/false);
   const auto& rdata = w.data();
 

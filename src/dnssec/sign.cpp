@@ -55,13 +55,7 @@ bool verify_rrset(const dns::RRset& rrset, const dns::RrsigRdata& rrsig,
   const dns::RRset* effective = &rrset;
   dns::RRset reconstructed;
   if (rrsig.labels < rrset.name.label_count()) {
-    const auto& labels = rrset.name.labels();
-    std::vector<std::string> wildcard_labels = {"*"};
-    wildcard_labels.insert(
-        wildcard_labels.end(),
-        labels.end() - static_cast<std::ptrdiff_t>(rrsig.labels),
-        labels.end());
-    auto owner = dns::Name::from_labels(std::move(wildcard_labels));
+    auto owner = rrset.name.suffix(rrsig.labels).prefixed("*");
     if (!owner.ok()) return false;
     reconstructed = rrset;
     reconstructed.name = std::move(owner).take();

@@ -41,23 +41,29 @@ void set_report_channel(dns::Message& msg, const dns::Name& agent_domain) {
 std::optional<dns::Name> make_report_qname(const dns::Name& qname,
                                            dns::RRType qtype, EdeCode code,
                                            const dns::Name& agent_domain) {
-  std::vector<std::string> labels;
+  const std::string qtype_label =
+      std::to_string(static_cast<std::uint16_t>(qtype));
+  const std::string code_label =
+      std::to_string(static_cast<std::uint16_t>(code));
+  std::vector<std::string_view> labels;
   labels.reserve(qname.label_count() + 4 + agent_domain.label_count());
   labels.emplace_back("_er");
-  labels.push_back(std::to_string(static_cast<std::uint16_t>(qtype)));
-  for (const auto& label : qname.labels()) labels.push_back(label);
-  labels.push_back(std::to_string(static_cast<std::uint16_t>(code)));
+  labels.emplace_back(qtype_label);
+  for (const std::string_view label : qname.labels()) labels.push_back(label);
+  labels.emplace_back(code_label);
   labels.emplace_back("_er");
-  for (const auto& label : agent_domain.labels()) labels.push_back(label);
+  for (const std::string_view label : agent_domain.labels())
+    labels.push_back(label);
 
-  auto name = dns::Name::from_labels(std::move(labels));
+  auto name = dns::Name::from_labels(
+      std::span<const std::string_view>(labels));
   if (!name.ok()) return std::nullopt;  // would exceed 255 octets
   return std::move(name).take();
 }
 
 namespace {
 
-std::optional<std::uint16_t> parse_u16(const std::string& label) {
+std::optional<std::uint16_t> parse_u16(std::string_view label) {
   std::uint16_t value = 0;
   const auto [ptr, ec] =
       std::from_chars(label.data(), label.data() + label.size(), value);
@@ -71,7 +77,7 @@ std::optional<std::uint16_t> parse_u16(const std::string& label) {
 std::optional<ErrorReport> parse_report_qname(const dns::Name& report_qname,
                                               const dns::Name& agent_domain) {
   if (!report_qname.is_subdomain_of(agent_domain)) return std::nullopt;
-  const auto& labels = report_qname.labels();
+  const auto labels = report_qname.labels();
   const std::size_t payload =
       labels.size() - agent_domain.label_count();  // labels before the agent
   // Minimum: _er, qtype, <one qname label>, code, _er.
@@ -83,13 +89,8 @@ std::optional<ErrorReport> parse_report_qname(const dns::Name& report_qname,
   const auto code = parse_u16(labels[payload - 2]);
   if (!qtype || !code) return std::nullopt;
 
-  auto inner = dns::Name::from_labels(
-      {labels.begin() + 2,
-       labels.begin() + static_cast<std::ptrdiff_t>(payload - 2)});
-  if (!inner.ok()) return std::nullopt;
-
   ErrorReport report;
-  report.qname = std::move(inner).take();
+  report.qname = report_qname.slice(2, payload - 4);
   report.qtype = static_cast<dns::RRType>(*qtype);
   report.code = static_cast<EdeCode>(*code);
   return report;

@@ -75,7 +75,7 @@ dns::Message Forwarder::handle(const dns::Message& query) {
       edns::set_edns(upstream_query, e);
 
       const auto sent =
-          network_->send(source_, upstream, upstream_query.serialize(),
+          network_->send(source_, upstream, arena_.serialize(upstream_query),
                          /*retransmission=*/attempt > 0);
       if (sent.status == sim::SendStatus::Unreachable) break;
       if (sent.status == sim::SendStatus::Timeout) {
@@ -159,26 +159,28 @@ dns::Message Forwarder::handle(const dns::Message& query) {
 sim::Endpoint Forwarder::endpoint() {
   return [this](crypto::BytesView wire,
                 const sim::PacketContext&) -> std::optional<crypto::Bytes> {
-    auto query = dns::Message::parse(wire);
-    if (!query.ok()) return std::nullopt;
-    return handle(query.value()).serialize();
+    if (!arena_.parse(wire)) return std::nullopt;
+    return arena_.serialize_copy(handle(arena_.message()));
   };
 }
 
 sim::Endpoint make_resolver_endpoint(
     std::shared_ptr<RecursiveResolver> resolver) {
-  return [resolver](crypto::BytesView wire, const sim::PacketContext&)
-             -> std::optional<crypto::Bytes> {
-    auto parsed = dns::Message::parse(wire);
-    if (!parsed.ok()) return std::nullopt;
-    const dns::Message& query = parsed.value();
+  // The arena rides in the closure: the resolver serializes its own
+  // upstream queries through a separate arena, so the scratch query here
+  // stays intact across resolve().
+  return [resolver, arena = std::make_shared<dns::MessageArena>()](
+             crypto::BytesView wire,
+             const sim::PacketContext&) -> std::optional<crypto::Bytes> {
+    if (!arena->parse(wire)) return std::nullopt;
+    const dns::Message& query = arena->message();
 
     if (query.question.empty()) {
       dns::Message formerr;
       formerr.header.id = query.header.id;
       formerr.header.qr = true;
       formerr.header.rcode = dns::RCode::FORMERR;
-      return formerr.serialize();
+      return arena->serialize_copy(formerr);
     }
     if (!query.header.rd) {
       dns::Message refused;
@@ -186,7 +188,7 @@ sim::Endpoint make_resolver_endpoint(
       refused.header.qr = true;
       refused.question = query.question;
       refused.header.rcode = dns::RCode::REFUSED;
-      return refused.serialize();
+      return arena->serialize_copy(refused);
     }
 
     const auto& q = query.question.front();
@@ -194,7 +196,7 @@ sim::Endpoint make_resolver_endpoint(
     outcome.response.header.id = query.header.id;
     outcome.response.header.rd = true;
     outcome.response.question = query.question;
-    return outcome.response.serialize();
+    return arena->serialize_copy(outcome.response);
   };
 }
 

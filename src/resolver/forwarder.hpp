@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "dnscore/arena.hpp"
 #include "resolver/resolver.hpp"
 
 namespace ede::resolver {
@@ -44,6 +45,10 @@ class Forwarder {
   ForwarderOptions options_;
   Cache cache_;
   std::uint16_t next_id_ = 1;
+  /// Reused serialize/parse scratch for the endpoint and upstream sends.
+  /// Safe to share: the scratch Message holds the client query while
+  /// handle() runs, and serialization uses a separate writer buffer.
+  dns::MessageArena arena_;
 };
 
 /// Expose a recursive resolver as a network endpoint so forwarders (and

@@ -196,7 +196,7 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers(
       ++result.queries;
       --budget_.attempts_left;
       const auto sent =
-          network_->send(profile_.source, server, query.serialize(),
+          network_->send(profile_.source, server, arena_.serialize(query),
                          /*retransmission=*/sent_once);
       sent_once = true;
       if (sent.status == sim::SendStatus::Unreachable) {
@@ -542,11 +542,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
 
   const auto minimized_suffix = [](const dns::Name& name,
                                    std::size_t labels) {
-    if (labels >= name.label_count()) return name;
-    const auto& all = name.labels();
-    return dns::Name::from_labels(
-               {all.end() - static_cast<std::ptrdiff_t>(labels), all.end()})
-        .take();
+    return name.suffix(labels);
   };
 
   for (int hop = 0; hop < options_.max_referrals; ++hop) {

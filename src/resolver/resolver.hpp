@@ -12,6 +12,7 @@
 #include <optional>
 #include <set>
 
+#include "dnscore/arena.hpp"
 #include "dnscore/message.hpp"
 #include "dnssec/validate.hpp"
 #include "resolver/cache.hpp"
@@ -158,6 +159,12 @@ class RecursiveResolver {
   std::optional<std::vector<dns::DnskeyRdata>> root_keys_;
   bool root_trust_ok_ = false;
   std::uint16_t next_id_ = 1;
+
+  /// Reused query-serialization scratch. The view handed to
+  /// Network::send is consumed synchronously, so one arena per resolver
+  /// is enough; responses are still parsed into fresh Messages because
+  /// they outlive the exchange (they are moved into Outcome/cache).
+  dns::MessageArena arena_;
 
   /// Delegation/trust cache: validated zone contexts so repeated
   /// resolutions skip the healthy upper levels of the hierarchy (what real

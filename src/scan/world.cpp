@@ -4,6 +4,7 @@
 #include <set>
 
 #include "crypto/encoding.hpp"
+#include "dnscore/arena.hpp"
 #include "dnssec/nsec3.hpp"
 #include "dnssec/sign.hpp"
 #include "edns/edns.hpp"
@@ -159,9 +160,8 @@ class TldAuthority {
 
   [[nodiscard]] std::optional<crypto::Bytes> handle(
       crypto::BytesView wire, const sim::PacketContext& ctx) const {
-    auto parsed = dns::Message::parse(wire);
-    if (!parsed) return std::nullopt;
-    const dns::Message& query = parsed.value();
+    if (!arena_.parse(wire)) return std::nullopt;
+    const dns::Message& query = arena_.message();
     if (query.question.empty()) return std::nullopt;
     const auto& q = query.question.front();
 
@@ -169,18 +169,13 @@ class TldAuthority {
     const DomainSpec* domain = nullptr;
     if (q.qname.is_subdomain_of(apex_) && !(q.qname == apex_) &&
         q.qname.label_count() > apex_.label_count()) {
-      const auto& labels = q.qname.labels();
-      std::vector<std::string> tail(
-          labels.end() -
-              static_cast<std::ptrdiff_t>(apex_.label_count() + 1),
-          labels.end());
-      const auto name = dns::Name::from_labels(std::move(tail));
-      if (name.ok()) domain = world_->lookup(name.value());
+      const auto name = q.qname.suffix(apex_.label_count() + 1);
+      domain = world_->lookup(name);
     }
     if (domain == nullptr) {
-      return apex_server_.handle(query, ctx).serialize();
+      return arena_.serialize_copy(apex_server_.handle(query, ctx));
     }
-    return referral(query, *domain).serialize();
+    return arena_.serialize_copy(referral(query, *domain));
   }
 
  private:
@@ -194,6 +189,9 @@ class TldAuthority {
   zone::SigningPolicy policy_;
   std::shared_ptr<const zone::Zone> apex_zone_;
   server::AuthServer apex_server_;
+  /// Reused parse/serialize scratch; the apex server keeps its own arena,
+  /// so the query held here survives the nested handle() call.
+  mutable dns::MessageArena arena_;
 };
 
 dns::Message TldAuthority::referral(const dns::Message& query,
@@ -306,9 +304,8 @@ class ProviderServer {
 
   [[nodiscard]] std::optional<crypto::Bytes> handle(
       crypto::BytesView wire, const sim::PacketContext& ctx) {
-    auto parsed = dns::Message::parse(wire);
-    if (!parsed) return std::nullopt;
-    const dns::Message& query = parsed.value();
+    if (!arena_.parse(wire)) return std::nullopt;
+    const dns::Message& query = arena_.message();
     if (query.question.empty()) return std::nullopt;
 
     // Find the registered domain owning qname (longest suffix in the index).
@@ -325,7 +322,7 @@ class ProviderServer {
       refused.header.qr = true;
       refused.question = query.question;
       refused.header.rcode = dns::RCode::REFUSED;
-      return refused.serialize();
+      return arena_.serialize_copy(refused);
     }
 
     auto it = cache_.find(domain->fqdn);
@@ -335,12 +332,15 @@ class ProviderServer {
       server->add_zone(world_->build_child_zone(*domain));
       it = cache_.emplace(domain->fqdn, std::move(server)).first;
     }
-    return it->second->handle(query, ctx).serialize();
+    return arena_.serialize_copy(it->second->handle(query, ctx));
   }
 
  private:
   const ScanWorld* world_;
   std::unordered_map<std::string, std::shared_ptr<server::AuthServer>> cache_;
+  /// Reused parse/serialize scratch (the cached child servers each carry
+  /// their own arena, so the query scratch is not clobbered mid-handle).
+  dns::MessageArena arena_;
 };
 
 }  // namespace

@@ -152,7 +152,7 @@ dns::Message AuthServer::handle(const dns::Message& query,
         : tcp_like        ? std::uint16_t{0xffff}
                           : std::min(edns->udp_payload_size,
                                      config_.udp_payload_size);
-    if (response.serialize().size() > limit) {
+    if (arena_.serialized_size(response) > limit) {
       response.header.tc = true;
       response.answer.clear();
       response.authority.clear();
@@ -422,9 +422,8 @@ void AuthServer::add_negative(const zone::Zone& zone, const dns::Name& qname,
 sim::Endpoint AuthServer::endpoint() const {
   return [this](crypto::BytesView wire,
                 const sim::PacketContext& ctx) -> std::optional<crypto::Bytes> {
-    auto query = dns::Message::parse(wire);
-    if (!query) return std::nullopt;  // unparsable packets vanish
-    return handle(query.value(), ctx).serialize();
+    if (!arena_.parse(wire)) return std::nullopt;  // unparsable packets vanish
+    return arena_.serialize_copy(handle(arena_.message(), ctx));
   };
 }
 

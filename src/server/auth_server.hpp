@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "dnscore/arena.hpp"
 #include "dnscore/message.hpp"
 #include "simnet/network.hpp"
 #include "zone/zone.hpp"
@@ -73,6 +74,11 @@ class AuthServer {
 
   ServerConfig config_;
   std::vector<std::shared_ptr<const zone::Zone>> zones_;
+  /// Reused serialize/parse scratch for the wire entry point and the
+  /// truncation size check. A server handles one packet at a time (the
+  /// simulated network is single-threaded per world), so one arena
+  /// suffices; mutable because handling is logically const.
+  mutable dns::MessageArena arena_;
 };
 
 }  // namespace ede::server

@@ -66,6 +66,15 @@ std::uint32_t Network::link_rtt(const NodeAddress& destination) {
 SendResult Network::send(const NodeAddress& source,
                          const NodeAddress& destination,
                          crypto::BytesView query, bool retransmission) {
+  if (!tap_) return send_impl(source, destination, query, retransmission);
+  SendResult result = send_impl(source, destination, query, retransmission);
+  tap_(query, result);
+  return result;
+}
+
+SendResult Network::send_impl(const NodeAddress& source,
+                              const NodeAddress& destination,
+                              crypto::BytesView query, bool retransmission) {
   ++stats_.packets_sent;
   if (retransmission) ++stats_.retransmits;
   if (record_sends_ && send_log_.size() < kMaxSendLog) {

@@ -165,6 +165,13 @@ class Network {
                                 crypto::BytesView query,
                                 bool retransmission = false);
 
+  /// Optional wire tap observing every exchange after fault processing:
+  /// exactly the bytes the sender put on the wire and what came back.
+  /// Golden-bytes tests use this to fingerprint the codec's output.
+  using PacketTap =
+      std::function<void(crypto::BytesView query, const SendResult& result)>;
+  void set_tap(PacketTap tap) { tap_ = std::move(tap); }
+
   [[nodiscard]] Clock& clock() { return *clock_; }
   [[nodiscard]] const Clock& clock() const { return *clock_; }
 
@@ -198,6 +205,10 @@ class Network {
 
  private:
   [[nodiscard]] std::uint32_t link_rtt(const NodeAddress& destination);
+  [[nodiscard]] SendResult send_impl(const NodeAddress& source,
+                                     const NodeAddress& destination,
+                                     crypto::BytesView query,
+                                     bool retransmission);
 
   std::shared_ptr<Clock> clock_;
   std::unordered_map<NodeAddress, Endpoint, NodeAddressHash> endpoints_;
@@ -216,6 +227,7 @@ class Network {
   Stats stats_;
   bool record_sends_ = false;
   std::vector<SendRecord> send_log_;
+  PacketTap tap_;
 };
 
 }  // namespace ede::sim

@@ -222,9 +222,14 @@ class Fields {
                       std::string(what) + ": " + name.error().message);
     if (!text.empty() && text.back() == '.') return std::move(name).take();
     // Relative: append the origin.
-    std::vector<std::string> labels = name.value().labels();
-    for (const auto& label : origin.labels()) labels.push_back(label);
-    auto absolute = Name::from_labels(std::move(labels));
+    std::vector<std::string_view> labels;
+    labels.reserve(name.value().label_count() + origin.label_count());
+    for (const std::string_view label : name.value().labels())
+      labels.push_back(label);
+    for (const std::string_view label : origin.labels())
+      labels.push_back(label);
+    auto absolute =
+        Name::from_labels(std::span<const std::string_view>(labels));
     if (!absolute.ok())
       return dns::err("line " + std::to_string(line_) + ": " +
                       absolute.error().message);

@@ -2,6 +2,11 @@
 // (RFC 4034 §6.1) and case-insensitive semantics (RFC 4343).
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "dnscore/name.hpp"
 
 namespace {
@@ -135,6 +140,132 @@ TEST(Name, WirePreservesCase) {
 TEST(Name, NonPrintablePresentationUsesDecimalEscapes) {
   const Name name = Name::from_labels({std::string("\x01\x02", 2)}).take();
   EXPECT_EQ(name.to_string(), "\\001\\002.");
+}
+
+// --- property-style round trips for the flat representation ---------------
+
+// Deterministic xorshift so a failing iteration reproduces exactly.
+std::uint32_t next_rand(std::uint32_t& s) {
+  s ^= s << 13;
+  s ^= s >> 17;
+  s ^= s << 5;
+  return s;
+}
+
+TEST(NameProperty, PresentationRoundTripIsByteExact) {
+  // Random labels over the full octet range (dots, backslashes, NULs,
+  // high bytes): parse(to_string()) must reproduce the identical label
+  // bytes, not merely an RFC 4343-equal name.
+  std::uint32_t s = 0x2458fd1u;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<std::string> labels(1 + next_rand(s) % 5);
+    for (auto& label : labels) {
+      label.resize(1 + next_rand(s) % 16);
+      for (auto& c : label) c = static_cast<char>(next_rand(s) & 0xff);
+    }
+    const auto built = Name::from_labels(std::span<const std::string>(labels));
+    ASSERT_TRUE(built.ok()) << "iter " << iter;
+    const Name& name = built.value();
+
+    const auto reparsed = Name::parse(name.to_string());
+    ASSERT_TRUE(reparsed.ok()) << name.to_string();
+    ASSERT_EQ(reparsed.value().size_bytes(), name.size_bytes());
+    EXPECT_EQ(std::memcmp(reparsed.value().data(), name.data(),
+                          name.size_bytes()),
+              0)
+        << "presentation round trip changed label bytes: "
+        << name.to_string();
+
+    // The label view must walk back the exact labels that built the name.
+    std::size_t i = 0;
+    for (const auto label : name.labels()) {
+      EXPECT_EQ(label, labels[i++]);
+    }
+    EXPECT_EQ(i, labels.size());
+  }
+}
+
+TEST(NameProperty, CaseFlipsPreserveEqualityHashAndOrder) {
+  std::uint32_t s = 0x7c83a91u;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string text;
+    const int nlabels = 1 + next_rand(s) % 4;
+    for (int l = 0; l < nlabels; ++l) {
+      if (l > 0) text += '.';
+      const int len = 1 + next_rand(s) % 10;
+      for (int j = 0; j < len; ++j)
+        text += static_cast<char>('a' + next_rand(s) % 26);
+    }
+    const Name lower = Name::of(text);
+    std::string flipped_text = text;
+    for (auto& c : flipped_text) {
+      if (c >= 'a' && c <= 'z' && (next_rand(s) & 1))
+        c = static_cast<char>(c - 'a' + 'A');
+    }
+    const Name flipped = Name::of(flipped_text);
+
+    EXPECT_TRUE(lower.equals(flipped)) << text << " vs " << flipped_text;
+    EXPECT_EQ(lower.hash(), flipped.hash()) << text << " vs " << flipped_text;
+    EXPECT_EQ(lower.canonical_compare(flipped), std::strong_ordering::equal);
+    // lowered() must be a fixpoint equal to both.
+    EXPECT_EQ(flipped.lowered().to_string(), lower.lowered().to_string());
+  }
+}
+
+TEST(NameProperty, MaxLabelsAndMaxOctetsAreExact) {
+  // 127 single-octet labels occupy 2 * 127 = 254 octets + the root octet:
+  // exactly the RFC 1035 255-octet ceiling. One more label must fail.
+  const std::vector<std::string> at_limit(127, "a");
+  const auto ok = Name::from_labels(std::span<const std::string>(at_limit));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().label_count(), 127u);
+  EXPECT_EQ(ok.value().wire_length(), Name::kMaxWireLength);
+  EXPECT_EQ(ok.value().label_offsets().count, 127u);
+
+  const std::vector<std::string> over(128, "a");
+  EXPECT_FALSE(Name::from_labels(std::span<const std::string>(over)).ok());
+
+  // 3 * 63 + 61 = 250 label octets + 4 length octets + root = 255: ok.
+  const std::string l63(63, 'x');
+  const auto fat = Name::parse(l63 + "." + l63 + "." + l63 + "." +
+                               std::string(61, 'x'));
+  ASSERT_TRUE(fat.ok());
+  EXPECT_EQ(fat.value().wire_length(), Name::kMaxWireLength);
+  EXPECT_FALSE(
+      Name::parse(l63 + "." + l63 + "." + l63 + "." + std::string(62, 'x'))
+          .ok());
+}
+
+TEST(NameProperty, InlineToHeapBoundaryBehavesIdentically) {
+  // kInlineCapacity bytes is the last inline name; one more octet moves
+  // storage to the heap. Copy/move/compare must not care.
+  const std::string inline_label(Name::kInlineCapacity - 1, 'q');  // size 62
+  const std::string heap_label(Name::kInlineCapacity, 'q');        // size 63
+  for (const auto& label : {inline_label, heap_label}) {
+    const auto built = Name::from_labels({std::string_view(label)});
+    ASSERT_TRUE(built.ok());
+    const Name& name = built.value();
+    const Name copy = name;              // copy ctor
+    Name moved_from = name;
+    const Name moved = std::move(moved_from);  // move ctor
+    EXPECT_TRUE(copy.equals(name));
+    EXPECT_TRUE(moved.equals(name));
+    EXPECT_EQ(copy.to_string(), name.to_string());
+    EXPECT_EQ(copy.hash(), name.hash());
+    Name assigned;
+    assigned = copy;                     // copy assign across storage kinds
+    EXPECT_TRUE(assigned.equals(name));
+  }
+}
+
+TEST(NameProperty, EscapeFormsParseToSameName) {
+  // \X and \ddd spellings of the same octet are the same name.
+  EXPECT_EQ(Name::of("a\\.b.c"), Name::of("a\\046b.c"));
+  EXPECT_EQ(Name::of("\\\\.com"), Name::of("\\092.com"));
+  // A backslash-digit sequence must be a full \ddd triple.
+  EXPECT_FALSE(Name::parse("\\1a.example").ok());
+  EXPECT_FALSE(Name::parse("ab\\30").ok());
+  EXPECT_FALSE(Name::parse("\\300.example").ok());  // 300 > 255
 }
 
 }  // namespace

@@ -133,6 +133,74 @@ TEST(WireWriter, PatchU16) {
   EXPECT_EQ(r.read_u32().value(), 0xdeadbeefu);
 }
 
+TEST(WireName, RejectsTruncatedPointer) {
+  // A lone 0xc0 with no low byte.
+  const Bytes data = {3, 'f', 'o', 'o', 0xc0};
+  WireReader r(data);
+  EXPECT_FALSE(r.read_name().ok());
+}
+
+TEST(WireName, RejectsSelfPointer) {
+  const Bytes data = {0, 0xc0, 0x01};
+  WireReader r(data);
+  ASSERT_TRUE(r.seek(1).ok());
+  EXPECT_FALSE(r.read_name().ok());
+}
+
+TEST(WireName, RejectsNameOver255OctetsAssembledFromLabels) {
+  // Four 63-octet labels are valid individually but assemble to a name
+  // over the RFC 1035 255-octet ceiling; the reader must reject it.
+  Bytes data;
+  for (int i = 0; i < 4; ++i) {
+    data.push_back(63);
+    data.insert(data.end(), 63, static_cast<std::uint8_t>('a'));
+  }
+  data.push_back(0);
+  WireReader r(data);
+  EXPECT_FALSE(r.read_name().ok());
+}
+
+TEST(WireName, RejectsPointerIntoLabelInterior) {
+  // "example.com" starts at 0; a pointer into the middle of the first
+  // label reinterprets 'x' (0x78) as a length octet and runs off the end.
+  WireWriter w;
+  w.write_name(Name::of("example.com"));
+  const std::size_t at = w.size();
+  w.write_u16(0xc000 | 2);  // into "example"
+  WireReader r(w.data());
+  ASSERT_TRUE(r.seek(at).ok());
+  EXPECT_FALSE(r.read_name().ok());
+}
+
+TEST(WireName, CompressionTableGrowthKeepsPointersExact) {
+  // Enough distinct names to force the writer's open-addressing table
+  // through several growth cycles; every repeated name must still
+  // compress to a single pointer at its original offset.
+  WireWriter w;
+  std::vector<Name> names;
+  std::vector<std::size_t> offsets;
+  for (int i = 0; i < 150; ++i) {
+    names.push_back(
+        Name::of("host" + std::to_string(i) + ".pool.example.com"));
+    offsets.push_back(w.size());
+    w.write_name(names.back());
+  }
+  const std::size_t second_block = w.size();
+  for (int i = 0; i < 150; ++i) {
+    const std::size_t before = w.size();
+    w.write_name(names[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(w.size() - before, 2u) << "name " << i << " not a pointer";
+  }
+  // Decode the second block: every pointer must resolve to its name.
+  WireReader r(w.data());
+  ASSERT_TRUE(r.seek(second_block).ok());
+  for (int i = 0; i < 150; ++i) {
+    const auto back = r.read_name();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), names[static_cast<std::size_t>(i)]);
+  }
+}
+
 TEST(WireName, NoCompressionPointerBeyond14Bits) {
   // Fill the buffer past 0x3fff, then write the same name twice: the
   // second copy must not be compressed against an unreachable offset.

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf_micro run against the committed codec baseline.
+
+Usage: perf_smoke.py <fresh.json> [baseline.json]
+
+Prints a per-benchmark delta table (cpu_time, fresh vs baseline) and exits
+0 unconditionally: this is a smoke check for gross regressions a human
+reads in the verify log, not a flaky CI gate — single-core containers
+under load jitter far more than a useful hard threshold would allow.
+Benchmarks present on only one side are listed, not treated as errors.
+"""
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        b["name"]: b
+        for b in doc.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    fresh_path = sys.argv[1]
+    base_path = sys.argv[2] if len(sys.argv) > 2 else "bench/perf_baseline_codec.json"
+    fresh = load(fresh_path)
+    base = load(base_path)
+
+    print(f"perf smoke: {fresh_path} vs {base_path}")
+    print(f"{'benchmark':<28} {'baseline':>12} {'fresh':>12} {'delta':>8}")
+    for name in sorted(base):
+        b = base[name]
+        unit = b.get("time_unit", "ns")
+        if name not in fresh:
+            print(f"{name:<28} {b['cpu_time']:>10.1f}{unit} {'missing':>12}")
+            continue
+        f = fresh[name]
+        delta = (f["cpu_time"] - b["cpu_time"]) / b["cpu_time"] * 100.0
+        print(
+            f"{name:<28} {b['cpu_time']:>10.1f}{unit} "
+            f"{f['cpu_time']:>10.1f}{unit} {delta:>+7.1f}%"
+        )
+    for name in sorted(set(fresh) - set(base)):
+        print(f"{name:<28} {'(not in baseline)':>12}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

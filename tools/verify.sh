@@ -5,30 +5,48 @@
 #      (-fsanitize=address,undefined) and run the robustness + chaos
 #      suites under it — the adversarial-transport code paths are the
 #      ones most likely to hide lifetime/UB bugs. The parallel-scan suite
-#      rides along so the sharded workers get lifetime/UB coverage too.
+#      rides along so the sharded workers get lifetime/UB coverage too,
+#      and so do the codec suites (name/wire/rdata/message/codec-golden):
+#      the flat Name storage, the writer's open-addressing compression
+#      table, and the reused arenas are exactly the kind of raw-buffer
+#      code where ASan/UBSan earn their keep.
 #   3. configure + build a third tree with EDE_TSAN=ON (-fsanitize=thread)
 #      and run the parallel-scan suite under it — proof that the sharded
 #      scan's worker threads share nothing mutable.
+#   4. perf smoke: run perf_micro from the optimized stage-1 tree and
+#      print per-benchmark deltas against the committed codec baseline
+#      (bench/perf_baseline_codec.json). Informational, never fails the
+#      run — container jitter makes a hard threshold flakier than useful.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/3] normal build + full test suite ==="
+echo "=== [1/4] normal build + full test suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "=== [2/3] ASan+UBSan build: robustness + chaos + parallel-scan ==="
+echo "=== [2/4] ASan+UBSan build: codec + robustness + chaos + parallel-scan ==="
 cmake -B build-asan -S . -DEDE_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS" --target test_robustness test_chaos \
-  test_parallel_scan
-ctest --test-dir build-asan --output-on-failure -R 'Robust|Chaos|Parallel|ScanMerge|PlanShards|ScannerStride'
+  test_parallel_scan test_name test_wire test_rdata test_message \
+  test_codec_golden
+ctest --test-dir build-asan --output-on-failure -R 'Robust|Chaos|Parallel|ScanMerge|PlanShards|ScannerStride|Name|Wire|Rdata|DecodeRdata|Presentation|TypeBitmap|Message|CodecGolden'
 
-echo "=== [3/3] TSan build: parallel-scan suite ==="
+echo "=== [3/4] TSan build: parallel-scan suite ==="
 cmake -B build-tsan -S . -DEDE_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_parallel_scan
 ctest --test-dir build-tsan --output-on-failure \
   -R 'Parallel|ScanMerge|PlanShards|ScannerStride'
+
+echo "=== [4/4] perf smoke: perf_micro vs committed codec baseline ==="
+# The stage-1 tree defaults to RelWithDebInfo, so its bench targets pass
+# the release-only guard in bench/CMakeLists.txt.
+cmake --build build -j "$JOBS" --target perf_micro
+./build/bench/perf_micro \
+  --benchmark_filter='BM_Name|BM_Compressed|BM_Arena|BM_MessageSerialize|BM_MessageParse|BM_CachedResolution' \
+  --benchmark_format=json >build/perf_smoke.json
+python3 tools/perf_smoke.py build/perf_smoke.json bench/perf_baseline_codec.json
 
 echo "verify: OK"
