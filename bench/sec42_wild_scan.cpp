@@ -3,27 +3,33 @@
 // per-INFO-CODE domain counts (with scaled-up equivalents next to the
 // paper's published numbers).
 //
-// Usage: sec42_wild_scan [total_domains] [seed] [--shards N]
+// Usage: sec42_wild_scan [total_domains] [seed] [--shards N] [--json FILE]
 // Default 303'000 domains = 1/1000 of the paper's 303 M, sharded across
 // one worker per hardware thread (each with its own simulated network and
-// resolver stack; see src/scan/parallel.hpp).
+// resolver stack; see src/scan/parallel.hpp). --json writes a
+// perf_baseline_scan.json-shaped measurement document that
+// tools/perf_smoke.py --scan gates against the committed baseline.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
+#include <string>
 
 #include "scan/export.hpp"
 #include "scan/report.hpp"
 
 namespace {
 
-/// Shared bench argv shape: positional [total_domains] [seed] plus an
-/// optional --shards N anywhere.
+/// Shared bench argv shape: positional [total_domains] [seed] plus
+/// optional --shards N / --json FILE anywhere.
 void parse_scan_args(int argc, char** argv, ede::scan::PopulationConfig& config,
-                     std::size_t& shards) {
+                     std::size_t& shards, std::string& json_path) {
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (positional == 0) {
       config.total_domains = std::strtoull(argv[i], nullptr, 10);
       ++positional;
@@ -34,12 +40,33 @@ void parse_scan_args(int argc, char** argv, ede::scan::PopulationConfig& config,
   }
 }
 
+std::string measurement_json(const ede::scan::ParallelScanResult& scan,
+                             std::size_t total_domains, std::size_t shards) {
+  const auto& h = scan.merged.hardening;
+  std::ostringstream out;
+  out << "{\n  \"benchmarks\": [\n    {\n"
+      << "      \"name\": \"sec42_wild_scan/" << total_domains
+      << "/shards:" << shards << "\",\n"
+      << "      \"total_domains\": " << total_domains << ",\n"
+      << "      \"shards\": " << shards << ",\n"
+      << "      \"wall_seconds_end_to_end\": " << scan.wall_seconds << ",\n"
+      << "      \"domains_per_second\": "
+      << static_cast<std::uint64_t>(scan.merged_qps()) << ",\n"
+      << "      \"hardening\": {\"rejected_qid_mismatch\": "
+      << h.rejected_qid_mismatch
+      << ", \"rejected_oversize\": " << h.rejected_oversize
+      << ", \"scrubbed_records\": " << h.scrubbed_records << "}\n"
+      << "    }\n  ]\n}\n";
+  return out.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ede::scan::PopulationConfig config;
   std::size_t shards = 0;  // 0 = hardware_concurrency
-  parse_scan_args(argc, argv, config, shards);
+  std::string json_path;
+  parse_scan_args(argc, argv, config, shards, json_path);
 
   std::printf("generating population of %zu domains (seed %llu)...\n",
               config.total_domains,
@@ -78,5 +105,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.transport.holddown_skips),
               profile.retry.initial_timeout_ms, profile.retry.backoff_factor,
               profile.retry.attempts_per_server);
+  if (!json_path.empty()) {
+    const auto effective_shards =
+        ede::scan::plan_shards(population.domains.size(), shards,
+                               options.base_seed)
+            .size();
+    if (ede::scan::write_file(
+            json_path, measurement_json(scan, population.domains.size(),
+                                        effective_shards))) {
+      std::printf("measurement written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

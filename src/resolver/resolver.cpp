@@ -7,6 +7,7 @@
 #include "dnssec/nsec3.hpp"
 #include "edns/edns.hpp"
 #include "edns/report_channel.hpp"
+#include "resolver/scrub.hpp"
 
 namespace ede::resolver {
 
@@ -122,6 +123,7 @@ RecursiveResolver::RecursiveResolver(std::shared_ptr<sim::Network> network,
 void RecursiveResolver::flush() {
   cache_.clear();
   zone_cache_.clear();
+  coalesced_.clear();
   denial_cache_.clear();
   reports_sent_.clear();
   infra_.clear();
@@ -130,8 +132,33 @@ void RecursiveResolver::flush() {
 }
 
 RecursiveResolver::QueryResult RecursiveResolver::query_servers(
-    const std::vector<sim::NodeAddress>& servers, const dns::Name& qname,
-    dns::RRType qtype) {
+    const dns::Name& zone, const std::vector<sim::NodeAddress>& servers,
+    const dns::Name& qname, dns::RRType qtype) {
+  // In-flight coalescing: within one top-level resolution, replay a probe
+  // that already failed instead of burning another round of retransmits
+  // against the same dying servers (what BIND's recursive-clients dedup
+  // and Unbound's query mesh do for concurrent clients). Only failures are
+  // memoized — successful responses are already deduplicated by the record
+  // and zone caches, and replaying them here would mask CNAME loops.
+  if (options_.coalesce_queries && !coalesced_.empty()) {
+    const auto it = coalesced_.find(CoalesceKey{zone, qname, qtype});
+    if (it != coalesced_.end()) {
+      ++hardening_.coalesced_queries;
+      QueryResult replay = it->second;
+      replay.queries = 0;
+      return replay;
+    }
+  }
+  QueryResult result = query_servers_uncoalesced(zone, servers, qname, qtype);
+  if (options_.coalesce_queries && !result.response.has_value()) {
+    coalesced_.emplace(CoalesceKey{zone, qname, qtype}, result);
+  }
+  return result;
+}
+
+RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
+    const dns::Name& zone, const std::vector<sim::NodeAddress>& servers,
+    const dns::Name& qname, dns::RRType qtype) {
   QueryResult result;
   const std::string query_desc =
       qname.to_string() + " " + dns::to_string(qtype);
@@ -181,8 +208,11 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers(
          attempt < retry_.attempts_per_server && !received.has_value();) {
       if (budget_.attempts_left <= 0 ||
           network_->clock().now_ms() >= budget_.deadline_ms) {
-        // Per-resolution budget exhausted: stop probing entirely and let
-        // the caller degrade (serve-stale / SERVFAIL) on what we have.
+        // Watchdog: the per-resolution budget is exhausted, so stop
+        // probing entirely and let the caller degrade into a clean
+        // serve-stale / SERVFAIL (+ EDE 22/23) on what we have. The trace
+        // and findings collected so far are preserved by the caller.
+        ++hardening_.watchdog_trips;
         result.response = std::move(first_response);
         return result;
       }
@@ -222,6 +252,30 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers(
       // failure streak.
       infra_.report_success(server, sent.rtt_ms);
 
+      // ---- response-acceptance gate ---------------------------------
+      // Everything below up to `received = ...` decides whether this
+      // datagram is the answer to the question we have in flight. The
+      // source address already matches structurally (the simulated
+      // transport only delivers the destination endpoint's reply on this
+      // exchange); QID, QR and question-section matching — BIND and
+      // Unbound's first line of defense against off-path spoofing — are
+      // enforced here, and mismatches are counted, discarded and retried
+      // on the normal backoff schedule, never crashed on.
+      const auto discard_and_retry = [&]() {
+        network_->wait_ms(timeout_ms);
+        timeout_ms = retry_.next_timeout(timeout_ms);
+        ++attempt;
+      };
+      if (sent.response.size() > payload_size) {
+        // Larger than we advertised: a real UDP stack would have dropped
+        // or fragmented this datagram away; treat it as never delivered.
+        ++hardening_.rejected_oversize;
+        add_finding(result.findings, Stage::Transport, Defect::ServerTimeout,
+                    server.to_string() +
+                        ":53 sent an oversized response for " + query_desc);
+        discard_and_retry();
+        continue;
+      }
       auto parsed = dns::Message::parse(sent.response);
       if (!parsed) {
         // A mangled datagram is indistinguishable from silence to a real
@@ -230,16 +284,15 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers(
         add_finding(result.findings, Stage::Transport, Defect::ServerTimeout,
                     server.to_string() +
                         ":53 sent an unparsable response for " + query_desc);
-        network_->wait_ms(timeout_ms);
-        timeout_ms = retry_.next_timeout(timeout_ms);
-        ++attempt;
+        discard_and_retry();
         continue;
       }
-      if (parsed.value().header.id != query.header.id) {
-        // Spoofed/corrupted ID: discard and retry, like a dropped reply.
-        network_->wait_ms(timeout_ms);
-        timeout_ms = retry_.next_timeout(timeout_ms);
-        ++attempt;
+      if (!parsed.value().header.qr ||
+          parsed.value().header.id != query.header.id) {
+        // Not a response to our transaction (spoofed/corrupted ID or a
+        // reflected query): discard and retry, like a dropped reply.
+        ++hardening_.rejected_qid_mismatch;
+        discard_and_retry();
         continue;
       }
       if (parsed.value().header.tc && payload_size != 0xffff) {
@@ -249,17 +302,31 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers(
         sent_once = false;  // a fresh exchange, not a retransmission
         continue;
       }
+      if (parsed.value().question.size() != 1 ||
+          !(parsed.value().question.front().qname == qname) ||
+          parsed.value().question.front().qtype != qtype) {
+        // Right transaction ID, wrong question: either a lucky off-path
+        // forgery or a server echoing garbage. Refuse it and retry — the
+        // finding survives so the diagnosis still shows the mismatch.
+        ++hardening_.rejected_question_mismatch;
+        add_finding(result.findings, Stage::Transport,
+                    Defect::MismatchedQuestion,
+                    "Mismatched question from the authoritative server " +
+                        server.to_string());
+        discard_and_retry();
+        continue;
+      }
       received = std::move(parsed).take();
     }
     if (!received.has_value()) continue;
     dns::Message response = std::move(*received);
-    if (response.question.size() != 1 ||
-        !(response.question.front().qname == qname) ||
-        response.question.front().qtype != qtype) {
-      add_finding(result.findings, Stage::Transport, Defect::MismatchedQuestion,
-                  "Mismatched question from the authoritative server " +
-                      server.to_string());
-      continue;
+
+    // Bailiwick scrubbing: drop records this zone's servers have no
+    // authority to assert, before anything downstream can interpret or
+    // cache them. On the clean path every record is in bailiwick and this
+    // is a no-op (asserted by the scan-throughput perf gate).
+    if (options_.scrub_responses) {
+      hardening_.scrubbed_records += scrub_out_of_bailiwick(response, zone);
     }
 
     switch (response.header.rcode) {
@@ -310,7 +377,8 @@ bool RecursiveResolver::ensure_root_trust(
     std::vector<Finding>& findings) {
   if (root_keys_.has_value()) return root_trust_ok_;
 
-  auto qr = query_servers(root_servers_, dns::Name{}, dns::RRType::DNSKEY);
+  auto qr = query_servers(dns::Name{}, root_servers_, dns::Name{},
+                          dns::RRType::DNSKEY);
   for (auto& f : qr.findings) findings.push_back(std::move(f));
   if (!qr.response) {
     add_finding(findings, Stage::Transport, Defect::AllServersUnreachable,
@@ -368,6 +436,10 @@ Outcome RecursiveResolver::resolve(const dns::Name& qname, dns::RRType qtype) {
   budget_.deadline_ms = retry_.total_budget_ms == 0
                             ? std::numeric_limits<sim::SimTimeMs>::max()
                             : network_->clock().now_ms() + retry_.total_budget_ms;
+  // The coalescing memo is scoped to one top-level resolution: it models
+  // in-flight deduplication, not a cache, so it must never outlive the
+  // resolution that populated it (a server dead now may be back later).
+  coalesced_.clear();
   Outcome outcome = resolve_internal(qname, qtype, 0);
   annotate(outcome);
 
@@ -425,6 +497,30 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
 
   // --- cache lookups ---------------------------------------------------
   if (const auto* sf = cache_.get_servfail(qname, qtype, now)) {
+    ++hardening_.servfail_cache_hits;
+    // A live cached SERVFAIL is a hold-down, not a verdict: with
+    // serve-stale on, an expired-but-usable answer still beats repeating
+    // the cached failure (RFC 8767 §5 — stale data is preferable to an
+    // error), so the client sees EDE 3/19 with the original outage
+    // diagnosis attached rather than EDE 13.
+    if (options_.serve_stale) {
+      if (const auto* stale = cache_.get_stale_positive(qname, qtype, now)) {
+        for (const auto& f : sf->findings) outcome.findings.push_back(f);
+        add_finding(outcome.findings, Stage::Cache, Defect::StaleAnswerServed,
+                    "answer served from cache past TTL expiry");
+        for (auto& rr : stale->rrset.to_records())
+          outcome.response.answer.push_back(std::move(rr));
+        return finish(dns::RCode::NOERROR, stale->security);
+      }
+      if (const auto* stale = cache_.get_stale_negative(qname, qtype, now);
+          stale != nullptr && stale->nxdomain) {
+        for (const auto& f : sf->findings) outcome.findings.push_back(f);
+        add_finding(outcome.findings, Stage::Cache,
+                    Defect::StaleNxdomainServed,
+                    "NXDOMAIN served from cache past TTL expiry");
+        return finish(dns::RCode::NXDOMAIN, stale->security);
+      }
+    }
     for (const auto& f : sf->findings) outcome.findings.push_back(f);
     add_finding(outcome.findings, Stage::Cache, Defect::CachedServfail,
                 "SERVFAIL served from cache for " + qname.to_string());
@@ -553,7 +649,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
       if (!(query_name == target)) query_type = dns::RRType::NS;
     }
 
-    auto qr = query_servers(servers, query_name, query_type);
+    auto qr = query_servers(current_zone, servers, query_name, query_type);
     outcome.upstream_queries += qr.queries;
     outcome.trace.push_back({current_zone, query_name, query_type, ""});
     auto& step = outcome.trace.back();
@@ -651,7 +747,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
 
       std::vector<dns::DnskeyRdata> child_keys;
       if (child_secure) {
-        auto key_qr = query_servers(child_servers, *child,
+        auto key_qr = query_servers(*child, child_servers, *child,
                                     dns::RRType::DNSKEY);
         outcome.upstream_queries += key_qr.queries;
         if (key_qr.report_agent.has_value())

@@ -66,6 +66,38 @@ struct ResolverOptions {
   /// Infrastructure cache (per-nameserver SRTT, hold-down of known-dead
   /// servers). `infra.enabled = false` restores probe-every-time.
   InfraCache::Options infra;
+  /// Bailiwick scrubbing (Unbound-scrubber style): drop records owned
+  /// outside the zone the queried servers speak for before the response is
+  /// interpreted or cached. Off only for ablation studies.
+  bool scrub_responses = true;
+  /// In-flight query coalescing: within one top-level resolution, a
+  /// (zone, qname, qtype) probe that already failed is answered from the
+  /// memoized failure instead of stampeding the same dying servers again
+  /// (duplicate successes are already absorbed by the record/zone caches).
+  bool coalesce_queries = true;
+};
+
+/// Counters for the Byzantine-hardening pipeline: the response-acceptance
+/// gate, the bailiwick scrubber, SERVFAIL-cache serves and in-flight
+/// coalescing. All monotonically increasing over a resolver's lifetime;
+/// the scan engine snapshots deltas per domain and merges them across
+/// shards.
+struct HardeningStats {
+  /// Replies dropped because the transaction ID did not match (or the QR
+  /// bit was missing) — off-path spoof attempts and corrupted IDs.
+  std::uint64_t rejected_qid_mismatch = 0;
+  /// Replies dropped because the question section did not echo ours.
+  std::uint64_t rejected_question_mismatch = 0;
+  /// Replies dropped for exceeding the advertised EDNS payload size.
+  std::uint64_t rejected_oversize = 0;
+  /// Records removed by the bailiwick scrubber across all sections.
+  std::uint64_t scrubbed_records = 0;
+  /// Probes answered from the in-flight coalescing memo.
+  std::uint64_t coalesced_queries = 0;
+  /// Resolutions short-circuited by a live cached SERVFAIL (RFC 2308).
+  std::uint64_t servfail_cache_hits = 0;
+  /// Probe batches cut short by the per-resolution watchdog budget.
+  std::uint64_t watchdog_trips = 0;
 };
 
 /// One step of the iterative resolution, for dig +trace-style display.
@@ -113,6 +145,9 @@ class RecursiveResolver {
   [[nodiscard]] const sim::Network& network() const { return *network_; }
   [[nodiscard]] const ResolverProfile& profile() const { return profile_; }
   [[nodiscard]] const ResolverOptions& options() const { return options_; }
+  [[nodiscard]] const HardeningStats& hardening_stats() const {
+    return hardening_;
+  }
 
   /// Drop cached state (including the memoized root trust evaluation).
   void flush();
@@ -125,8 +160,15 @@ class RecursiveResolver {
     std::optional<dns::Name> report_agent;  // RFC 9567 Report-Channel
   };
 
-  QueryResult query_servers(const std::vector<sim::NodeAddress>& servers,
+  /// Probe `servers` (authoritative for `zone`) for qname/qtype. `zone` is
+  /// the bailiwick the scrubber enforces on whatever comes back, and part
+  /// of the coalescing key.
+  QueryResult query_servers(const dns::Name& zone,
+                            const std::vector<sim::NodeAddress>& servers,
                             const dns::Name& qname, dns::RRType qtype);
+  QueryResult query_servers_uncoalesced(
+      const dns::Name& zone, const std::vector<sim::NodeAddress>& servers,
+      const dns::Name& qname, dns::RRType qtype);
 
   Outcome resolve_internal(const dns::Name& qname, dns::RRType qtype,
                            int depth);
@@ -159,6 +201,7 @@ class RecursiveResolver {
   std::optional<std::vector<dns::DnskeyRdata>> root_keys_;
   bool root_trust_ok_ = false;
   std::uint16_t next_id_ = 1;
+  HardeningStats hardening_;
 
   /// Reused query-serialization scratch. The view handed to
   /// Network::send is consumed synchronously, so one arena per resolver
@@ -181,6 +224,27 @@ class RecursiveResolver {
     }
   };
   std::map<dns::Name, ZoneContext, NameCanonicalLess> zone_cache_;
+
+  /// In-flight coalescing memo, scoped to one top-level resolve(): failed
+  /// (zone, qname, qtype) probes recorded so CNAME chains and nameserver
+  /// sub-resolutions replay the failure (findings included, zero packets)
+  /// instead of re-stampeding the same dying servers.
+  struct CoalesceKey {
+    dns::Name zone;
+    dns::Name qname;
+    dns::RRType qtype = dns::RRType::A;
+
+    bool operator<(const CoalesceKey& other) const {
+      if (const auto c = zone.canonical_compare(other.zone);
+          c != std::strong_ordering::equal)
+        return c == std::strong_ordering::less;
+      if (const auto c = qname.canonical_compare(other.qname);
+          c != std::strong_ordering::equal)
+        return c == std::strong_ordering::less;
+      return qtype < other.qtype;
+    }
+  };
+  std::map<CoalesceKey, QueryResult> coalesced_;
 
   /// RFC 9567 rate limiting: report QNAMEs already sent this cache
   /// lifetime.

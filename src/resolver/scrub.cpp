@@ -1,0 +1,34 @@
+#include "resolver/scrub.hpp"
+
+#include <algorithm>
+
+namespace ede::resolver {
+
+namespace {
+
+std::size_t scrub_section(std::vector<dns::ResourceRecord>& section,
+                          const dns::Name& zone, bool keep_opt) {
+  const auto out_of_bailiwick = [&](const dns::ResourceRecord& rr) {
+    if (keep_opt && rr.type == dns::RRType::OPT) return false;
+    return !rr.name.is_subdomain_of(zone);
+  };
+  const auto it =
+      std::remove_if(section.begin(), section.end(), out_of_bailiwick);
+  const auto removed = static_cast<std::size_t>(section.end() - it);
+  section.erase(it, section.end());
+  return removed;
+}
+
+}  // namespace
+
+std::size_t scrub_out_of_bailiwick(dns::Message& response,
+                                   const dns::Name& zone) {
+  if (zone.is_root()) return 0;
+  std::size_t removed = 0;
+  removed += scrub_section(response.answer, zone, /*keep_opt=*/false);
+  removed += scrub_section(response.authority, zone, /*keep_opt=*/false);
+  removed += scrub_section(response.additional, zone, /*keep_opt=*/true);
+  return removed;
+}
+
+}  // namespace ede::resolver

@@ -1,0 +1,24 @@
+// Bailiwick scrubbing (the defense Unbound calls its "scrubber"): before a
+// response is interpreted or cached, every record whose owner falls outside
+// the zone the queried servers are authoritative for is removed. A server
+// for example.com may speak for example.com and below; an A record for
+// victim.invalid riding in its additional section is a cache-poisoning
+// attempt (or at best junk) and must never influence resolution.
+#pragma once
+
+#include <cstddef>
+
+#include "dnscore/message.hpp"
+
+namespace ede::resolver {
+
+/// Remove out-of-bailiwick records from all three record sections of
+/// `response`: a record survives only if its owner is `zone` or a
+/// subdomain of it. The OPT pseudo-record in the additional section is
+/// exempt (its owner is the root by construction). With `zone` the root,
+/// everything is in bailiwick and the message is untouched. Returns the
+/// number of records removed.
+std::size_t scrub_out_of_bailiwick(dns::Message& response,
+                                   const dns::Name& zone);
+
+}  // namespace ede::resolver

@@ -91,6 +91,20 @@ std::string render_section42(const ScanResult& result,
     out << "infra cache: " << t.holddowns_started << " servers held down, "
         << t.holddown_skips << " probes avoided\n";
   }
+  const auto& h = result.hardening;
+  out << "hardening: " << h.servfail_cache_hits << " cached SERVFAILs, "
+      << h.coalesced_queries << " coalesced probes";
+  if (h.rejected_qid_mismatch != 0 || h.rejected_question_mismatch != 0 ||
+      h.rejected_oversize != 0) {
+    out << ", rejected " << h.rejected_qid_mismatch << " bad-QID + "
+        << h.rejected_question_mismatch << " bad-question + "
+        << h.rejected_oversize << " oversized";
+  }
+  if (h.scrubbed_records != 0)
+    out << ", scrubbed " << h.scrubbed_records << " records";
+  if (h.watchdog_trips != 0)
+    out << ", " << h.watchdog_trips << " watchdog trips";
+  out << "\n";
   const auto& rc = result.record_cache;
   out << "record cache: " << rc.hits << " hits, " << rc.misses
       << " misses, " << rc.stale_hits << " stale answers served";

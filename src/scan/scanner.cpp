@@ -44,6 +44,14 @@ void ScanResult::merge(const ScanResult& other) {
   transport.rate_limited += other.transport.rate_limited;
   transport.holddown_skips += other.transport.holddown_skips;
   transport.holddowns_started += other.transport.holddowns_started;
+  hardening.rejected_qid_mismatch += other.hardening.rejected_qid_mismatch;
+  hardening.rejected_question_mismatch +=
+      other.hardening.rejected_question_mismatch;
+  hardening.rejected_oversize += other.hardening.rejected_oversize;
+  hardening.scrubbed_records += other.hardening.scrubbed_records;
+  hardening.coalesced_queries += other.hardening.coalesced_queries;
+  hardening.servfail_cache_hits += other.hardening.servfail_cache_hits;
+  hardening.watchdog_trips += other.hardening.watchdog_trips;
   record_cache.hits += other.record_cache.hits;
   record_cache.misses += other.record_cache.misses;
   record_cache.stale_hits += other.record_cache.stale_hits;
@@ -64,6 +72,7 @@ ScanResult Scanner::run(resolver::RecursiveResolver& resolver,
   const auto net_before = resolver.network().stats();
   const auto infra_before = resolver.infra().stats();
   const auto cache_before = resolver.cache().stats();
+  const auto hardening_before = resolver.hardening_stats();
   const auto sim_before = resolver.network().clock().now_ms();
   const auto start = std::chrono::steady_clock::now();
 
@@ -131,6 +140,24 @@ ScanResult Scanner::run(resolver::RecursiveResolver& resolver,
       infra_after.holddown_skips - infra_before.holddown_skips;
   result.transport.holddowns_started =
       infra_after.holddowns_started - infra_before.holddowns_started;
+  const auto& hardening_after = resolver.hardening_stats();
+  result.hardening.rejected_qid_mismatch =
+      hardening_after.rejected_qid_mismatch -
+      hardening_before.rejected_qid_mismatch;
+  result.hardening.rejected_question_mismatch =
+      hardening_after.rejected_question_mismatch -
+      hardening_before.rejected_question_mismatch;
+  result.hardening.rejected_oversize =
+      hardening_after.rejected_oversize - hardening_before.rejected_oversize;
+  result.hardening.scrubbed_records =
+      hardening_after.scrubbed_records - hardening_before.scrubbed_records;
+  result.hardening.coalesced_queries =
+      hardening_after.coalesced_queries - hardening_before.coalesced_queries;
+  result.hardening.servfail_cache_hits =
+      hardening_after.servfail_cache_hits -
+      hardening_before.servfail_cache_hits;
+  result.hardening.watchdog_trips =
+      hardening_after.watchdog_trips - hardening_before.watchdog_trips;
   result.record_cache.hits = cache_after.hits - cache_before.hits;
   result.record_cache.misses = cache_after.misses - cache_before.misses;
   result.record_cache.stale_hits =

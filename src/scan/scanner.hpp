@@ -67,6 +67,12 @@ struct ScanResult {
   std::uint64_t upstream_queries = 0;
   TransportStats transport;
   RecordCacheStats record_cache;
+  /// What the Byzantine-hardening pipeline did during the scan (deltas
+  /// over the resolver's counters, like TransportStats). On the fault-free
+  /// scan world the gate/scrub counters stay zero — asserted by tests and
+  /// the perf smoke gate — while coalescing/SERVFAIL-cache counters are
+  /// per-domain deterministic and therefore shard-count-invariant.
+  resolver::HardeningStats hardening;
   /// Host elapsed time — nondeterministic, for bench reporting only.
   double wall_seconds = 0.0;
   /// Simulated-clock elapsed time — deterministic under the sim network

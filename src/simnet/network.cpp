@@ -41,6 +41,15 @@ void Network::inject_fault(const NodeAddress& address, Fault fault) {
   }
 }
 
+void Network::set_mutator(const NodeAddress& address,
+                          ResponseMutator mutator) {
+  if (mutator) {
+    mutators_[address] = std::move(mutator);
+  } else {
+    mutators_.erase(address);
+  }
+}
+
 void Network::set_latency(const LatencyModel& model) {
   latency_ = model;
   rng_ = crypto::Xoshiro256(model.seed);
@@ -85,7 +94,7 @@ SendResult Network::send_impl(const NodeAddress& source,
   // whenever the sender hears back (replies, ICMP unreachable, REFUSED).
   // Silent drops charge nothing here: the sender's own retry timeout is
   // what elapses, via wait_ms().
-  const std::uint32_t rtt = link_rtt(destination);
+  std::uint32_t rtt = link_rtt(destination);
   const auto reply = [&](SendStatus status, crypto::Bytes bytes) {
     if (latency_.enabled) clock_->advance_ms(rtt);
     return SendResult{status, std::move(bytes), rtt};
@@ -149,6 +158,20 @@ SendResult Network::send_impl(const NodeAddress& source,
 
   auto response = it->second(query, PacketContext{source});
   if (!response) return drop();
+
+  // Byzantine hook: an installed mutator speaks for the far end, so it
+  // runs on the endpoint's bytes before path-level corruption below. A
+  // swallowed reply (nullopt) looks like any other silent drop; extra
+  // serialization delay (slow-drip answers) is charged with the link RTT.
+  if (const auto mut = mutators_.find(destination); mut != mutators_.end()) {
+    MutateContext ctx;
+    ctx.now = clock_->now();
+    auto rewritten = mut->second(query, std::move(*response), ctx);
+    if (ctx.mutated) ++stats_.mutated;
+    rtt += ctx.extra_delay_ms;
+    if (!rewritten) return drop();
+    response = std::move(rewritten);
+  }
 
   if (corrupt_response && !response->empty()) {
     // Flip one to three bytes so the receiver's parser path is exercised

@@ -42,6 +42,27 @@ using Endpoint =
     std::function<std::optional<crypto::Bytes>(crypto::BytesView,
                                                const PacketContext&)>;
 
+/// Per-exchange context handed to a ResponseMutator.
+struct MutateContext {
+  SimTime now = 0;  // simulated seconds when the response leaves the server
+  /// Out-parameters the mutator may set. `extra_delay_ms` charges extra
+  /// serialization time on delivery (slow-drip answers); it only advances
+  /// the clock when the latency model is enabled, like link RTTs.
+  /// `mutated` marks the exchange as actually tampered with (a mutator may
+  /// decide to pass a response through untouched) for Network::Stats.
+  std::uint32_t extra_delay_ms = 0;
+  bool mutated = false;
+};
+
+/// An on-path adversary (or a Byzantine server implementation) rewriting
+/// the response for one exchange. Receives the original query bytes and
+/// owns the response bytes the endpoint produced; returns the bytes to put
+/// on the wire instead, or std::nullopt to swallow the reply entirely.
+/// Installed per address via Network::set_mutator; see simnet/byzantine.hpp
+/// for a library of hostile behaviors.
+using ResponseMutator = std::function<std::optional<crypto::Bytes>(
+    crypto::BytesView query, crypto::Bytes response, MutateContext& ctx)>;
+
 enum class SendStatus {
   Delivered,    // response bytes present
   Unreachable,  // destination address is not globally routable
@@ -138,6 +159,13 @@ class Network {
   [[nodiscard]] bool attached(const NodeAddress& address) const;
 
   void inject_fault(const NodeAddress& address, Fault fault);
+
+  /// Install a response mutator at an address. Applied to every response
+  /// the endpoint there produces, after fault processing decides the packet
+  /// survives but before Fault::corrupt's transport-level bit flips (the
+  /// mutator models the far end, corruption models the path). A default-
+  /// constructed mutator clears the hook.
+  void set_mutator(const NodeAddress& address, ResponseMutator mutator);
   /// Scripted outage: the address swallows every packet inside [t0, t1)
   /// and behaves normally outside the window.
   void fail_between(const NodeAddress& address, SimTime t0, SimTime t1) {
@@ -184,6 +212,7 @@ class Network {
     std::uint64_t retransmits = 0;
     std::uint64_t corrupted = 0;     // responses mangled by Fault::corrupt
     std::uint64_t rate_limited = 0;  // queries answered REFUSED by a limiter
+    std::uint64_t mutated = 0;       // responses tampered with by a mutator
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -213,6 +242,7 @@ class Network {
   std::shared_ptr<Clock> clock_;
   std::unordered_map<NodeAddress, Endpoint, NodeAddressHash> endpoints_;
   std::unordered_map<NodeAddress, Fault, NodeAddressHash> faults_;
+  std::unordered_map<NodeAddress, ResponseMutator, NodeAddressHash> mutators_;
   std::unordered_map<NodeAddress, std::uint64_t, NodeAddressHash>
       intermittent_counters_;
   /// RateLimit bookkeeping: queries seen at this address in `second`.

@@ -16,6 +16,7 @@
 #include "scan/report.hpp"
 #include "scan/scanner.hpp"
 #include "scan/world.hpp"
+#include "simnet/byzantine.hpp"
 #include "testbed/testbed.hpp"
 
 namespace {
@@ -232,6 +233,304 @@ TEST(ChaosScan, InfraCacheSavesPacketsWithoutChangingTheDiagnosis) {
             without_infra.transport.packets_sent);
   EXPECT_LT(with_infra.transport.retransmits,
             without_infra.transport.retransmits);
+}
+
+// The SERVFAIL cache (RFC 2308) and the infra-cache hold-down both sit in
+// front of serve-stale; neither may shadow it. With the authority held
+// down AND a live cached SERVFAIL for the very (name, type) being asked,
+// the resolver must still prefer the expired answer (RFC 8767: stale data
+// beats an error), replay the outage diagnosis (22/23) alongside EDE 3,
+// and spend zero packets — exactly the interplay PR 1's progression test
+// pins for the hold-down alone.
+TEST_F(ChaosTest, CachedServfailUnderHolddownStillServesStale) {
+  network_->set_latency({.enabled = true, .base_rtt_ms = 20, .jitter_ms = 8,
+                         .seed = 0xc4a05});
+  ResolverOptions options;
+  RetryPolicy retry;
+  retry.attempts_per_server = 4;  // enough consecutive timeouts to hold down
+  options.retry = retry;
+  auto resolver = make(options);
+
+  // Healthy pass: positive A entry and a negative (NXDOMAIN) entry land.
+  const auto missing = dns::Name::of("nope.valid.extended-dns-errors.com");
+  ASSERT_EQ(resolver.resolve(valid_name(), dns::RRType::A).rcode,
+            dns::RCode::NOERROR);
+  ASSERT_EQ(resolver.resolve(missing, dns::RRType::A).rcode,
+            dns::RCode::NXDOMAIN);
+
+  // Outage past the 3600 s TTLs; the TXT probe walks into it, diagnoses
+  // 22/23 and trips the hold-down.
+  const auto t0 = clock_->now();
+  network_->fail_between(child_addr_, t0 + 4000, t0 + 8000);
+  clock_->set(t0 + 4000);
+  const auto down = resolver.resolve(valid_name(), dns::RRType::TXT);
+  ASSERT_EQ(down.rcode, dns::RCode::SERVFAIL);
+  ASSERT_TRUE(has_code(down, edns::EdeCode::NoReachableAuthority));
+  ASSERT_GE(resolver.infra().stats().holddowns_started, 1u);
+
+  // Plant live cached SERVFAILs carrying the outage diagnosis for both
+  // names, alongside their now-stale cache entries and the held-down
+  // server.
+  const auto now = clock_->now();
+  resolver.cache().put_servfail(valid_name(), dns::RRType::A,
+                                {down.findings, now + 30}, now);
+  resolver.cache().put_servfail(missing, dns::RRType::A,
+                                {down.findings, now + 30}, now);
+
+  const auto hits_before = resolver.hardening_stats().servfail_cache_hits;
+  network_->record_sends(true);
+  const auto stale = resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_EQ(stale.rcode, dns::RCode::NOERROR);
+  EXPECT_FALSE(stale.response.answer.empty());
+  EXPECT_TRUE(has_code(stale, edns::EdeCode::StaleAnswer));           // 3
+  EXPECT_TRUE(has_code(stale, edns::EdeCode::NetworkError));          // 23
+  EXPECT_FALSE(has_code(stale, edns::EdeCode::CachedError));          // not 13
+
+  const auto stale_nx = resolver.resolve(missing, dns::RRType::A);
+  EXPECT_EQ(stale_nx.rcode, dns::RCode::NXDOMAIN);
+  EXPECT_TRUE(has_code(stale_nx, edns::EdeCode::StaleNxdomainAnswer));  // 19
+  EXPECT_FALSE(has_code(stale_nx, edns::EdeCode::CachedError));
+
+  // Both resolutions were SERVFAIL-cache hits and spent zero packets on
+  // the held-down authority.
+  EXPECT_EQ(resolver.hardening_stats().servfail_cache_hits, hits_before + 2);
+  EXPECT_TRUE(sends_to_child().empty());
+
+  // With serve-stale off the same state degrades to the cached error
+  // (EDE 13 shape): SERVFAIL, diagnosis replayed, still zero packets.
+  ResolverOptions no_stale;
+  no_stale.serve_stale = false;
+  no_stale.retry = retry;
+  auto strict = make(no_stale);
+  strict.cache().put_servfail(valid_name(), dns::RRType::A,
+                              {down.findings, now + 30}, now);
+  const auto cached_error = strict.resolve(valid_name(), dns::RRType::A);
+  EXPECT_EQ(cached_error.rcode, dns::RCode::SERVFAIL);
+  EXPECT_EQ(strict.hardening_stats().servfail_cache_hits, 1u);
+}
+
+// An authority that answers every exchange with a mangled transaction ID
+// is indistinguishable from a dead one: every reply is silently discarded
+// by the acceptance gate (no findings leak from unaccepted datagrams), the
+// retries run dry and the diagnosis is the connectivity pair 22/23.
+TEST_F(ChaosTest, WrongQidFloodIsRejectedAndDiagnosedAsUnreachable) {
+  auto stats = std::make_shared<sim::ByzantineStats>();
+  network_->set_mutator(
+      child_addr_, sim::make_byzantine_mutator(
+                       {sim::ByzantineBehavior::wrong_qid()}, 0xbad, stats));
+  auto resolver = make();
+
+  const auto outcome = resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::SERVFAIL);
+  EXPECT_TRUE(has_code(outcome, edns::EdeCode::NoReachableAuthority));
+  EXPECT_GT(resolver.hardening_stats().rejected_qid_mismatch, 0u);
+  EXPECT_GT(stats->mutations_applied, 0u);
+  EXPECT_EQ(stats->by_kind[static_cast<std::size_t>(sim::ByzantineKind::WrongQid)],
+            stats->mutations_applied);
+}
+
+// A flaky forger that mangles only half the exchanges loses to the retry
+// schedule: the gate discards the bad replies, a clean one eventually
+// lands and the resolution still validates.
+TEST_F(ChaosTest, IntermittentQidManglingIsSurvivedByRetry) {
+  auto stats = std::make_shared<sim::ByzantineStats>();
+  network_->set_mutator(
+      child_addr_,
+      sim::make_byzantine_mutator({sim::ByzantineBehavior::wrong_qid(0.5)},
+                                  0xa11ce, stats));
+  ResolverOptions options;
+  RetryPolicy retry;
+  retry.attempts_per_server = 8;
+  options.retry = retry;
+  auto resolver = make(options);
+
+  // Several uncached qtypes, each forcing fresh exchanges with the flaky
+  // forger; every one must come back clean.
+  for (const auto qtype : {dns::RRType::A, dns::RRType::TXT,
+                           dns::RRType::AAAA, dns::RRType::MX}) {
+    const auto outcome = resolver.resolve(valid_name(), qtype);
+    EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR)
+        << dns::to_string(qtype);
+  }
+  EXPECT_GT(resolver.hardening_stats().rejected_qid_mismatch, 0u);
+  EXPECT_GT(stats->mutations_applied, 0u);
+}
+
+// An on-path attacker who knows the QID and echoes the question survives
+// the acceptance gate; the forged (unsigned, poison-carrying) answer must
+// then die in the scrubber + validator, and the poison name must appear in
+// neither the client response nor the cache.
+TEST_F(ChaosTest, OnPathSpoofNeverPoisonsCacheOrClient) {
+  network_->set_mutator(
+      child_addr_,
+      sim::make_byzantine_mutator(
+          {sim::ByzantineBehavior::spoof(1.0, /*qid_known=*/true)}, 0x0ff));
+  auto resolver = make();
+
+  const auto outcome = resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::SERVFAIL);
+  EXPECT_GT(resolver.hardening_stats().scrubbed_records, 0u);
+
+  const auto owned = [](const std::vector<dns::ResourceRecord>& rrs) {
+    for (const auto& rr : rrs)
+      if (rr.name == sim::poison_marker()) return true;
+    return false;
+  };
+  EXPECT_FALSE(owned(outcome.response.answer));
+  EXPECT_FALSE(owned(outcome.response.authority));
+  EXPECT_FALSE(owned(outcome.response.additional));
+  EXPECT_EQ(resolver.cache().get_positive(sim::poison_marker(),
+                                          dns::RRType::A, clock_->now()),
+            nullptr);
+  EXPECT_EQ(resolver.cache().get_stale_positive(sim::poison_marker(),
+                                                dns::RRType::A,
+                                                clock_->now()),
+            nullptr);
+}
+
+// Unbound-scrubber behavior: out-of-bailiwick records stuffed around an
+// otherwise-honest answer are dropped without harming the answer itself —
+// the resolution stays NOERROR/Secure and the poison is counted, not
+// cached.
+TEST_F(ChaosTest, BailiwickStuffingIsScrubbedWithoutHarmingTheAnswer) {
+  auto stats = std::make_shared<sim::ByzantineStats>();
+  network_->set_mutator(child_addr_,
+                        sim::make_byzantine_mutator(
+                            {sim::ByzantineBehavior::bailiwick_stuff()},
+                            0x57aff, stats));
+  auto resolver = make();
+
+  const auto outcome = resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::NOERROR);
+  EXPECT_EQ(outcome.security, dnssec::Security::Secure);
+  EXPECT_GT(resolver.hardening_stats().scrubbed_records, 0u);
+  EXPECT_GT(
+      stats->by_kind[static_cast<std::size_t>(sim::ByzantineKind::BailiwickStuff)],
+      0u);
+  EXPECT_EQ(resolver.cache().get_positive(sim::poison_marker(),
+                                          dns::RRType::A, clock_->now()),
+            nullptr);
+  EXPECT_EQ(resolver.cache().get_positive(sim::poison_marker(),
+                                          dns::RRType::NS, clock_->now()),
+            nullptr);
+}
+
+// Compression-pointer traps (self-loops and 300-hop backwards chains) must
+// be rejected by the wire reader as unparsable — the resolver retries,
+// runs dry and reports connectivity trouble instead of spinning or
+// crashing.
+TEST_F(ChaosTest, PointerTrapsAreRejectedWithoutHangingTheParser) {
+  network_->set_mutator(
+      child_addr_,
+      sim::make_byzantine_mutator({sim::ByzantineBehavior::pointer_loop()},
+                                  0x100));
+  auto resolver = make();
+  const auto outcome = resolver.resolve(valid_name(), dns::RRType::A);
+  EXPECT_EQ(outcome.rcode, dns::RCode::SERVFAIL);
+  EXPECT_TRUE(has_code(outcome, edns::EdeCode::NoReachableAuthority));
+}
+
+// In-flight query coalescing: a delegation listing the same glueless
+// nameserver name twice (a real-world copy-paste zone bug) makes the
+// resolver chase the identical (zone, qname, qtype) probe twice within
+// one resolution. With the probe's zone dead, the second chase must be
+// answered from the coalescing memo — same findings, fewer packets.
+TEST(ChaosCoalescing, DuplicateGluelessNsIsCoalescedOnFailure) {
+  const auto build = [](bool coalesce) {
+    auto clock = std::make_shared<sim::Clock>();
+    auto network = std::make_shared<sim::Network>(clock);
+
+    auto root = std::make_shared<zone::Zone>(dns::Name{});
+    dns::SoaRdata soa;
+    soa.mname = dns::Name::of("a.root-servers.net");
+    root->add(dns::Name{}, dns::RRType::SOA, soa);
+    root->add(dns::Name{}, dns::RRType::NS,
+              dns::NsRdata{dns::Name::of("a.root-servers.net")});
+    root->add(dns::Name::of("a.root-servers.net"), dns::RRType::A,
+              dns::ARdata{*dns::Ipv4Address::parse("198.41.0.4")});
+    // dead.test: delegated to an address nothing is attached to.
+    root->add(dns::Name::of("dead.test"), dns::RRType::NS,
+              dns::NsRdata{dns::Name::of("ns.dead.test")});
+    root->add(dns::Name::of("ns.dead.test"), dns::RRType::A,
+              dns::ARdata{*dns::Ipv4Address::parse("203.0.113.66")});
+    // broken.test: the same glueless nameserver name, listed twice.
+    root->add(dns::Name::of("broken.test"), dns::RRType::NS,
+              dns::NsRdata{dns::Name::of("gone.dead.test")});
+    root->add(dns::Name::of("broken.test"), dns::RRType::NS,
+              dns::NsRdata{dns::Name::of("gone.dead.test")});
+    const auto root_keys = zone::make_zone_keys(dns::Name{});
+    zone::sign_zone(*root, root_keys, {});
+    auto root_server = std::make_shared<server::AuthServer>();
+    root_server->add_zone(root);
+    network->attach(sim::NodeAddress::of("198.41.0.4"),
+                    root_server->endpoint());
+
+    ResolverOptions options;
+    options.cache.enabled = false;  // so no cache layer masks the memo
+    options.coalesce_queries = coalesce;
+    RetryPolicy retry;
+    retry.attempts_per_server = 2;
+    options.retry = retry;
+    resolver::RecursiveResolver resolver(
+        network, resolver::profile_cloudflare(),
+        {sim::NodeAddress::of("198.41.0.4")}, root_keys.ksk.dnskey, options);
+    const auto outcome =
+        resolver.resolve(dns::Name::of("broken.test"), dns::RRType::A);
+    return std::tuple{outcome, resolver.hardening_stats(),
+                      network->stats().packets_sent};
+  };
+
+  const auto [with, with_stats, with_packets] = build(true);
+  const auto [without, without_stats, without_packets] = build(false);
+
+  EXPECT_EQ(with.rcode, dns::RCode::SERVFAIL);
+  EXPECT_EQ(without.rcode, dns::RCode::SERVFAIL);
+  EXPECT_GE(with_stats.coalesced_queries, 1u);
+  EXPECT_EQ(without_stats.coalesced_queries, 0u);
+  EXPECT_LT(with_packets, without_packets);
+
+  // Classification-neutral: same rcode and the same EDE codes in order.
+  ASSERT_EQ(with.errors.size(), without.errors.size());
+  for (std::size_t i = 0; i < with.errors.size(); ++i)
+    EXPECT_EQ(with.errors[i].code, without.errors[i].code);
+}
+
+// A fully scripted Byzantine scenario replays bit-identically for a fixed
+// seed — the property the chaos-campaign runner's reproducible report
+// stands on.
+TEST(ChaosByzantine, FixedSeedReplaysTheSameHostileStoryline) {
+  const auto run = [] {
+    auto clock = std::make_shared<sim::Clock>();
+    auto network = std::make_shared<sim::Network>(clock);
+    testbed::Testbed testbed(network);
+    const auto child = testbed.server_address("valid").value();
+    network->set_latency({.enabled = true, .base_rtt_ms = 20, .jitter_ms = 8,
+                          .seed = 0xc4a05});
+    auto stats = std::make_shared<sim::ByzantineStats>();
+    network->set_mutator(
+        child, sim::make_byzantine_mutator(
+                   {sim::ByzantineBehavior::fuzz(0.5, 4),
+                    sim::ByzantineBehavior::truncation_garbage(0.5)},
+                   0xd1ce, stats));
+    auto resolver = testbed.make_resolver(resolver::profile_cloudflare());
+
+    std::ostringstream transcript;
+    for (int i = 0; i < 3; ++i) {
+      const auto outcome = resolver.resolve(
+          dns::Name::of("valid.extended-dns-errors.com"), dns::RRType::A);
+      transcript << static_cast<int>(outcome.rcode) << ':';
+      for (const auto& error : outcome.errors)
+        transcript << static_cast<std::uint16_t>(error.code) << ',';
+      transcript << ';';
+    }
+    const auto& h = resolver.hardening_stats();
+    transcript << h.rejected_qid_mismatch << '/' << h.rejected_question_mismatch
+               << '/' << h.scrubbed_records << '/' << stats->mutations_applied;
+    return transcript.str();
+  };
+  const auto first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_FALSE(first.empty());
 }
 
 // A forwarder in front of a recursive endpoint rides out probabilistic

@@ -56,6 +56,18 @@ void expect_same_aggregates(const ScanResult& a, const ScanResult& b) {
     ASSERT_TRUE(b.codes_by_category.count(category));
     EXPECT_EQ(codes, b.codes_by_category.at(category));
   }
+
+  // The hardening pipeline's deterministic counters are per-domain facts
+  // (the scan world's misbehaviors are scripted per server, not random),
+  // so like the classification they must be shard-count-invariant. Only
+  // transport-timing-dependent counters (QID/oversize rejections under a
+  // corrupting fault) are excluded, mirroring the transport stats above.
+  EXPECT_EQ(a.hardening.rejected_question_mismatch,
+            b.hardening.rejected_question_mismatch);
+  EXPECT_EQ(a.hardening.scrubbed_records, b.hardening.scrubbed_records);
+  EXPECT_EQ(a.hardening.coalesced_queries, b.hardening.coalesced_queries);
+  EXPECT_EQ(a.hardening.servfail_cache_hits, b.hardening.servfail_cache_hits);
+  EXPECT_EQ(a.hardening.watchdog_trips, b.hardening.watchdog_trips);
 }
 
 /// Scan [begin, end) with a freshly built isolated stack — what one
@@ -142,6 +154,47 @@ TEST(ParallelScan, ShardCountDoesNotChangeTheAggregates) {
   // The invariant the paper's tables hang off, stated explicitly.
   EXPECT_EQ(eight.merged.lame_union, one.merged.lame_union);
   EXPECT_EQ(eight.merged.total_domains, population.domains.size());
+}
+
+// The merged hardening counters are exactly the sum over the shards, and
+// the scan world actually exercises the response-acceptance gate: its
+// Mangle pool answers with a rewritten question, so the question-mismatch
+// counter must be hot — these assertions are not vacuous.
+TEST(ParallelScan, HardeningCountersSumAcrossShards) {
+  const auto population = generate_population(tiny_config());
+  ParallelScanOptions options;
+  options.shards = 4;
+  const auto scan =
+      run_parallel_scan(population, resolver::profile_cloudflare(), options);
+  ASSERT_EQ(scan.shards.size(), 4u);
+
+  resolver::HardeningStats sum;
+  for (const auto& shard : scan.shards) {
+    const auto& h = shard.result.hardening;
+    sum.rejected_qid_mismatch += h.rejected_qid_mismatch;
+    sum.rejected_question_mismatch += h.rejected_question_mismatch;
+    sum.rejected_oversize += h.rejected_oversize;
+    sum.scrubbed_records += h.scrubbed_records;
+    sum.coalesced_queries += h.coalesced_queries;
+    sum.servfail_cache_hits += h.servfail_cache_hits;
+    sum.watchdog_trips += h.watchdog_trips;
+  }
+  const auto& merged = scan.merged.hardening;
+  EXPECT_EQ(merged.rejected_qid_mismatch, sum.rejected_qid_mismatch);
+  EXPECT_EQ(merged.rejected_question_mismatch,
+            sum.rejected_question_mismatch);
+  EXPECT_EQ(merged.rejected_oversize, sum.rejected_oversize);
+  EXPECT_EQ(merged.scrubbed_records, sum.scrubbed_records);
+  EXPECT_EQ(merged.coalesced_queries, sum.coalesced_queries);
+  EXPECT_EQ(merged.servfail_cache_hits, sum.servfail_cache_hits);
+  EXPECT_EQ(merged.watchdog_trips, sum.watchdog_trips);
+
+  // The gate sees real hostile traffic (mangled questions) on this world;
+  // the spoof-shaped rejections stay zero on its fault-free transport.
+  EXPECT_GT(merged.rejected_question_mismatch, 0u);
+  EXPECT_GT(merged.servfail_cache_hits, 0u);
+  EXPECT_EQ(merged.rejected_qid_mismatch, 0u);
+  EXPECT_EQ(merged.rejected_oversize, 0u);
 }
 
 TEST(ParallelScan, SimClockTimingIsDeterministic) {

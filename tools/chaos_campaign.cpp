@@ -1,0 +1,379 @@
+// Deterministic chaos campaign: the full 63-case testbed x all seven
+// vendor resolver profiles x N seeded Byzantine schedules, with
+// machine-verified invariants.
+//
+// Every case's authoritative server gets a hostile ResponseMutator drawn
+// from the Byzantine zoo (simnet/byzantine.hpp) — which behavior, its
+// firing probability and its activity window all derive deterministically
+// from the campaign seed — and every resolution is then checked against
+// the properties the hardening pipeline guarantees:
+//
+//   1. no crash/UB (the campaign completing under ASan+UBSan is the check)
+//   2. bounded upstream queries per resolution (the retry budget holds)
+//   3. a valid RCODE (NOERROR/NXDOMAIN/SERVFAIL) and only registered EDE
+//      codes on every outcome
+//   4. no out-of-bailiwick record is ever cached or served: the poison
+//      marker name the mutators stuff into responses must appear in no
+//      client response and no cache entry
+//
+// The JSON report is byte-reproducible for a fixed seed (no wall-clock
+// anywhere near it); tools/verify.sh runs a small campaign under
+// sanitizers and diffs two runs.
+//
+// Usage: chaos_campaign [--seeds N] [--base-seed S] [--out FILE]
+//        [--no-latency]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "edns/ede.hpp"
+#include "resolver/profile.hpp"
+#include "resolver/resolver.hpp"
+#include "simnet/byzantine.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace ede;
+
+struct CampaignOptions {
+  std::size_t seeds = 20;
+  std::uint64_t base_seed = 0xb12a17;
+  std::string out_path;  // empty = stdout
+  bool latency = true;
+};
+
+struct Violation {
+  std::string where;  // "seed=3 profile=BIND case=rrsig-exp-all"
+  std::string what;
+};
+
+/// Aggregates for one (profile, seed) pass over all 63 cases.
+struct PassResult {
+  std::map<std::string, std::size_t> rcodes;       // "NOERROR" -> count
+  std::map<std::uint16_t, std::size_t> ede_codes;  // 22 -> count
+  std::uint64_t upstream_queries = 0;
+  std::uint64_t max_upstream_queries = 0;
+  resolver::HardeningStats hardening;
+  sim::ByzantineStats byzantine;
+};
+
+bool owned_by_marker(const std::vector<dns::ResourceRecord>& section) {
+  for (const auto& rr : section) {
+    if (rr.name == sim::poison_marker()) return true;
+  }
+  return false;
+}
+
+/// Deterministic Byzantine schedule for one case. All draws come from the
+/// per-profile schedule RNG, so every profile within a seed faces the
+/// identical storyline (windows are relative to the profile's start time,
+/// because the simulated clock is shared across a seed's profile passes).
+std::vector<sim::ByzantineBehavior> draw_schedule(crypto::Xoshiro256& rng,
+                                                  sim::SimTime pass_start) {
+  static constexpr double kProbabilities[] = {1.0, 0.6, 0.3};
+  const auto kind = static_cast<sim::ByzantineKind>(1 + rng.below(9));
+  const double p = kProbabilities[rng.below(3)];
+  sim::ByzantineBehavior behavior;
+  switch (kind) {
+    case sim::ByzantineKind::WrongQid:
+      behavior = sim::ByzantineBehavior::wrong_qid(p);
+      break;
+    case sim::ByzantineKind::WrongQuestion:
+      behavior = sim::ByzantineBehavior::wrong_question(p);
+      break;
+    case sim::ByzantineKind::Spoof:
+      behavior = sim::ByzantineBehavior::spoof(p, rng.below(2) == 0);
+      break;
+    case sim::ByzantineKind::BailiwickStuff:
+      behavior = sim::ByzantineBehavior::bailiwick_stuff(p);
+      break;
+    case sim::ByzantineKind::PointerLoop:
+      behavior = sim::ByzantineBehavior::pointer_loop(p);
+      break;
+    case sim::ByzantineKind::TruncationGarbage:
+      behavior = sim::ByzantineBehavior::truncation_garbage(p);
+      break;
+    case sim::ByzantineKind::Oversize:
+      behavior = sim::ByzantineBehavior::oversize(p, 2048 + rng.below(8192));
+      break;
+    case sim::ByzantineKind::Fuzz:
+      behavior = sim::ByzantineBehavior::fuzz(p, 1 + rng.below(16));
+      break;
+    case sim::ByzantineKind::SlowDrip:
+    default:
+      behavior = sim::ByzantineBehavior::slow_drip(p, 500 + rng.below(4000));
+      break;
+  }
+  // A quarter of the servers recover (or only fall over) partway through
+  // the pass, so retry schedules cross behavior boundaries.
+  if (rng.below(4) == 0) {
+    const sim::SimTime t0 = pass_start + rng.below(60);
+    behavior = behavior.between(t0, t0 + 30 + rng.below(120));
+  }
+  return {behavior};
+}
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  for (const char c : in) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+int run_campaign(const CampaignOptions& options) {
+  const auto& cases = testbed::all_cases();
+  const auto profiles = resolver::all_profiles();
+  std::vector<Violation> violations;
+  std::size_t resolutions = 0;
+  std::uint64_t max_upstream_observed = 0;
+
+  // profile name -> seed -> pass aggregate (map keeps report order stable).
+  std::map<std::string, std::map<std::size_t, PassResult>> passes;
+
+  for (std::size_t seed = 0; seed < options.seeds; ++seed) {
+    const std::uint64_t campaign_seed =
+        crypto::SplitMix64(options.base_seed + seed).next();
+    auto clock = std::make_shared<sim::Clock>();
+    auto network = std::make_shared<sim::Network>(clock, campaign_seed);
+    if (options.latency) {
+      network->set_latency({.enabled = true, .base_rtt_ms = 20,
+                            .jitter_ms = 8, .seed = campaign_seed});
+    }
+    testbed::Testbed testbed(network);
+
+    for (const auto& profile : profiles) {
+      PassResult pass;
+      auto byz_stats = std::make_shared<sim::ByzantineStats>();
+      const sim::SimTime pass_start = clock->now();
+
+      // Same schedule RNG seed for every profile: each vendor faces the
+      // identical hostile zoo, exactly like the paper's shared testbed.
+      crypto::Xoshiro256 schedule_rng(campaign_seed ^ 0x5eedf00d);
+      std::size_t mutated_servers = 0;
+      for (const auto& spec : cases) {
+        const auto behaviors = draw_schedule(schedule_rng, pass_start);
+        const auto address = testbed.server_address(spec.label);
+        if (!address.has_value()) continue;  // unroutable-glue cases
+        // Mutator RNG per (case, profile) pass, derived from the schedule
+        // RNG stream so reinstalling for the next profile resets it.
+        network->set_mutator(
+            *address, sim::make_byzantine_mutator(behaviors, schedule_rng(),
+                                                  byz_stats));
+        ++mutated_servers;
+      }
+
+      auto resolver = testbed.make_resolver(profile);
+      const auto attempts_bound = static_cast<std::uint64_t>(
+          resolver.retry_policy().max_total_attempts);
+      for (const auto& spec : cases) {
+        const auto qname = testbed.query_name(spec);
+        const auto outcome = resolver.resolve(qname, dns::RRType::A);
+        ++resolutions;
+        std::ostringstream where;
+        where << "seed=" << seed << " profile=" << profile.name
+              << " case=" << spec.label;
+
+        // Invariant 2: the watchdog budget bounds upstream work.
+        const auto upstream =
+            static_cast<std::uint64_t>(outcome.upstream_queries);
+        pass.upstream_queries += upstream;
+        pass.max_upstream_queries =
+            std::max(pass.max_upstream_queries, upstream);
+        max_upstream_observed = std::max(max_upstream_observed, upstream);
+        if (upstream > attempts_bound) {
+          violations.push_back({where.str(),
+                                "upstream queries " + std::to_string(upstream) +
+                                    " exceed the retry budget " +
+                                    std::to_string(attempts_bound)});
+        }
+
+        // Invariant 3: a clean RCODE and only registered EDE codes.
+        if (outcome.rcode != dns::RCode::NOERROR &&
+            outcome.rcode != dns::RCode::NXDOMAIN &&
+            outcome.rcode != dns::RCode::SERVFAIL) {
+          violations.push_back(
+              {where.str(), "unexpected RCODE " + dns::to_string(outcome.rcode)});
+        }
+        pass.rcodes[dns::to_string(outcome.rcode)] += 1;
+        for (const auto& error : outcome.errors) {
+          pass.ede_codes[static_cast<std::uint16_t>(error.code)] += 1;
+          if (!edns::is_registered(error.code)) {
+            violations.push_back(
+                {where.str(),
+                 "unregistered EDE code " +
+                     std::to_string(static_cast<std::uint16_t>(error.code))});
+          }
+        }
+
+        // Invariant 4a: no poisoned record is ever served to a client.
+        if (owned_by_marker(outcome.response.answer) ||
+            owned_by_marker(outcome.response.authority) ||
+            owned_by_marker(outcome.response.additional)) {
+          violations.push_back(
+              {where.str(), "poison marker served in a client response"});
+        }
+      }
+
+      // Invariant 4b: no poisoned record survived into the record cache.
+      const auto now = clock->now();
+      for (const auto type : {dns::RRType::A, dns::RRType::NS,
+                              dns::RRType::AAAA}) {
+        if (resolver.cache().get_positive(sim::poison_marker(), type, now) !=
+                nullptr ||
+            resolver.cache().get_stale_positive(sim::poison_marker(), type,
+                                                now) != nullptr) {
+          std::ostringstream where;
+          where << "seed=" << seed << " profile=" << profile.name;
+          violations.push_back(
+              {where.str(), "poison marker cached as " + dns::to_string(type)});
+        }
+      }
+
+      pass.hardening = resolver.hardening_stats();
+      pass.byzantine = *byz_stats;
+      passes[profile.name][seed] = std::move(pass);
+      (void)mutated_servers;
+
+      // Leave no mutators behind for the next profile's pass (it installs
+      // its own fresh set above, but cases without an address must stay
+      // clean).
+      for (const auto& spec : cases) {
+        if (const auto address = testbed.server_address(spec.label)) {
+          network->set_mutator(*address, nullptr);
+        }
+      }
+    }
+  }
+
+  // ---- JSON report (deterministic: sorted maps, no wall-clock) ---------
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"config\": {\"cases\": " << cases.size()
+       << ", \"profiles\": " << profiles.size()
+       << ", \"seeds\": " << options.seeds
+       << ", \"base_seed\": " << options.base_seed
+       << ", \"latency\": " << (options.latency ? "true" : "false") << "},\n";
+  json << "  \"invariants\": {\"resolutions\": " << resolutions
+       << ", \"violations\": " << violations.size()
+       << ", \"max_upstream_queries\": " << max_upstream_observed << "},\n";
+  json << "  \"profiles\": [\n";
+  bool first_profile = true;
+  for (const auto& [name, seeds] : passes) {
+    if (!first_profile) json << ",\n";
+    first_profile = false;
+    json << "    {\"name\": \"" << json_escape(name) << "\", \"seeds\": [\n";
+    bool first_seed = true;
+    for (const auto& [seed, pass] : seeds) {
+      if (!first_seed) json << ",\n";
+      first_seed = false;
+      json << "      {\"seed\": " << seed << ", \"rcodes\": {";
+      bool first = true;
+      for (const auto& [rcode, count] : pass.rcodes) {
+        if (!first) json << ", ";
+        first = false;
+        json << "\"" << json_escape(rcode) << "\": " << count;
+      }
+      json << "}, \"ede\": {";
+      first = true;
+      for (const auto& [code, count] : pass.ede_codes) {
+        if (!first) json << ", ";
+        first = false;
+        json << "\"" << code << "\": " << count;
+      }
+      json << "}, \"upstream\": " << pass.upstream_queries
+           << ", \"max_upstream\": " << pass.max_upstream_queries;
+      const auto& h = pass.hardening;
+      json << ", \"hardening\": {\"rejected_qid\": " << h.rejected_qid_mismatch
+           << ", \"rejected_question\": " << h.rejected_question_mismatch
+           << ", \"rejected_oversize\": " << h.rejected_oversize
+           << ", \"scrubbed\": " << h.scrubbed_records
+           << ", \"coalesced\": " << h.coalesced_queries
+           << ", \"servfail_hits\": " << h.servfail_cache_hits
+           << ", \"watchdog_trips\": " << h.watchdog_trips << "}";
+      const auto& b = pass.byzantine;
+      json << ", \"byzantine\": {\"exchanges\": " << b.exchanges_seen
+           << ", \"mutations\": " << b.mutations_applied << ", \"by_kind\": {";
+      first = true;
+      for (std::size_t k = 1; k < sim::kByzantineKindCount; ++k) {
+        if (b.by_kind[k] == 0) continue;
+        if (!first) json << ", ";
+        first = false;
+        json << "\"" << sim::to_string(static_cast<sim::ByzantineKind>(k))
+             << "\": " << b.by_kind[k];
+      }
+      json << "}}}";
+    }
+    json << "\n    ]}";
+  }
+  json << "\n  ],\n";
+  json << "  \"violation_details\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i != 0) json << ", ";
+    json << "{\"where\": \"" << json_escape(violations[i].where)
+         << "\", \"what\": \"" << json_escape(violations[i].what) << "\"}";
+  }
+  json << "]\n}\n";
+
+  if (options.out_path.empty()) {
+    std::cout << json.str();
+  } else {
+    std::ofstream out(options.out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "chaos_campaign: cannot write " << options.out_path
+                << "\n";
+      return 2;
+    }
+    out << json.str();
+  }
+
+  std::cerr << "chaos_campaign: " << resolutions << " resolutions ("
+            << cases.size() << " cases x " << profiles.size()
+            << " profiles x " << options.seeds << " seeds), "
+            << violations.size() << " invariant violations\n";
+  for (const auto& v : violations) {
+    std::cerr << "  VIOLATION [" << v.where << "] " << v.what << "\n";
+  }
+  return violations.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seeds" && i + 1 < argc) {
+      options.seeds = static_cast<std::size_t>(std::strtoull(argv[++i],
+                                                             nullptr, 10));
+    } else if (arg == "--base-seed" && i + 1 < argc) {
+      options.base_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--out" && i + 1 < argc) {
+      options.out_path = argv[++i];
+    } else if (arg == "--no-latency") {
+      options.latency = false;
+    } else {
+      std::cerr << "usage: chaos_campaign [--seeds N] [--base-seed S] "
+                   "[--out FILE] [--no-latency]\n";
+      return 2;
+    }
+  }
+  return run_campaign(options);
+}

@@ -1,13 +1,28 @@
 #!/usr/bin/env python3
-"""Compare a fresh perf_micro run against the committed codec baseline.
+"""Compare a fresh perf run against a committed baseline.
 
 Usage: perf_smoke.py <fresh.json> [baseline.json]
+       perf_smoke.py --scan <fresh.json>... [--baseline FILE]
+                     [--max-regress PCT]
 
-Prints a per-benchmark delta table (cpu_time, fresh vs baseline) and exits
-0 unconditionally: this is a smoke check for gross regressions a human
-reads in the verify log, not a flaky CI gate — single-core containers
-under load jitter far more than a useful hard threshold would allow.
-Benchmarks present on only one side are listed, not treated as errors.
+Default (codec) mode prints a per-benchmark delta table (cpu_time, fresh
+vs baseline) and exits 0 unconditionally: it is a smoke check for gross
+regressions a human reads in the verify log, not a flaky CI gate —
+single-core containers under load jitter far more than a useful hard
+threshold would allow. Benchmarks present on only one side are listed,
+not treated as errors.
+
+--scan mode is a hard gate on wild-scan throughput: it compares
+domains_per_second from sec42_wild_scan --json measurements against
+bench/perf_baseline_scan.json and FAILS (exit 1) if any benchmark present
+in both regressed more than --max-regress percent (default 5 — the
+acceptance bound on what the Byzantine-hardening pipeline may cost the
+fault-free scan path). Throughput is wall-clock based and container
+contention is strictly one-sided (it only ever slows a run down), so the
+gate uses min-time methodology: pass SEVERAL measurement files from
+back-to-back runs and the best per-benchmark throughput is what gets
+gated. The committed baseline is recorded the same way (best of
+repeated runs), so the comparison is max-vs-max.
 """
 import json
 import sys
@@ -23,10 +38,72 @@ def load(path):
     }
 
 
+def scan_gate(argv):
+    max_regress = 5.0
+    base_path = "bench/perf_baseline_scan.json"
+    fresh_paths = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--max-regress" and i + 1 < len(argv):
+            max_regress = float(argv[i + 1])
+            i += 2
+        elif argv[i] == "--baseline" and i + 1 < len(argv):
+            base_path = argv[i + 1]
+            i += 2
+        else:
+            fresh_paths.append(argv[i])
+            i += 1
+    if not fresh_paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    # Best-of-N across the measurement files: per benchmark, keep the run
+    # with the highest throughput (wall-clock noise only ever subtracts).
+    fresh = {}
+    for path in fresh_paths:
+        for name, b in load(path).items():
+            if (name not in fresh
+                    or b["domains_per_second"]
+                    > fresh[name]["domains_per_second"]):
+                fresh[name] = b
+    base = load(base_path)
+
+    print(f"scan perf gate: best of {len(fresh_paths)} run(s) vs {base_path} "
+          f"(max regression {max_regress:.1f}%)")
+    print(f"{'benchmark':<36} {'baseline':>10} {'fresh':>10} {'delta':>8}")
+    failures = []
+    compared = 0
+    for name in sorted(base):
+        if name not in fresh:
+            continue
+        compared += 1
+        b = base[name]["domains_per_second"]
+        f = fresh[name]["domains_per_second"]
+        delta = (f - b) / b * 100.0
+        verdict = ""
+        if delta < -max_regress:
+            failures.append(name)
+            verdict = "  REGRESSED"
+        print(f"{name:<36} {b:>8.0f}/s {f:>8.0f}/s {delta:>+7.1f}%{verdict}")
+    if compared == 0:
+        print("scan perf gate: no overlapping benchmarks — nothing gated",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"scan perf gate FAILED: {', '.join(failures)} regressed "
+              f"more than {max_regress:.1f}%", file=sys.stderr)
+        return 1
+    print(f"scan perf gate passed ({compared} benchmark(s) within "
+          f"{max_regress:.1f}%)")
+    return 0
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
+    if sys.argv[1] == "--scan":
+        return scan_gate(sys.argv[2:])
     fresh_path = sys.argv[1]
     base_path = sys.argv[2] if len(sys.argv) > 2 else "bench/perf_baseline_codec.json"
     fresh = load(fresh_path)

@@ -13,40 +13,69 @@
 #   3. configure + build a third tree with EDE_TSAN=ON (-fsanitize=thread)
 #      and run the parallel-scan suite under it — proof that the sharded
 #      scan's worker threads share nothing mutable.
-#   4. perf smoke: run perf_micro from the optimized stage-1 tree and
+#   4. chaos campaign: run tools/chaos_campaign (63 testbed cases x 7
+#      hostile profiles) from the ASan+UBSan tree with a small seed count,
+#      twice, and diff the two reports — the machine-checked invariants
+#      must hold with zero violations and the JSON must be byte-identical
+#      (the campaign is the determinism contract for the Byzantine layer).
+#   5. perf smoke: run perf_micro from the optimized stage-1 tree and
 #      print per-benchmark deltas against the committed codec baseline
 #      (bench/perf_baseline_codec.json). Informational, never fails the
 #      run — container jitter makes a hard threshold flakier than useful.
+#      Then the scan perf gate: a full sec42_wild_scan measurement vs
+#      bench/perf_baseline_scan.json, which DOES fail the run if the
+#      hardened fault-free path lost more than 5% throughput.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/4] normal build + full test suite ==="
+echo "=== [1/5] normal build + full test suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "=== [2/4] ASan+UBSan build: codec + robustness + chaos + parallel-scan ==="
+echo "=== [2/5] ASan+UBSan build: codec + robustness + chaos + malformed-corpus + parallel-scan ==="
 cmake -B build-asan -S . -DEDE_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS" --target test_robustness test_chaos \
-  test_parallel_scan test_name test_wire test_rdata test_message \
-  test_codec_golden
-ctest --test-dir build-asan --output-on-failure -R 'Robust|Chaos|Parallel|ScanMerge|PlanShards|ScannerStride|Name|Wire|Rdata|DecodeRdata|Presentation|TypeBitmap|Message|CodecGolden'
+  test_malformed_corpus test_parallel_scan test_name test_wire test_rdata \
+  test_message test_codec_golden
+ctest --test-dir build-asan --output-on-failure -R 'Robust|Chaos|Malformed|Parallel|ScanMerge|PlanShards|ScannerStride|Name|Wire|Rdata|DecodeRdata|Presentation|TypeBitmap|Message|CodecGolden'
 
-echo "=== [3/4] TSan build: parallel-scan suite ==="
+echo "=== [3/5] TSan build: parallel-scan suite ==="
 cmake -B build-tsan -S . -DEDE_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_parallel_scan
 ctest --test-dir build-tsan --output-on-failure \
   -R 'Parallel|ScanMerge|PlanShards|ScannerStride'
 
-echo "=== [4/4] perf smoke: perf_micro vs committed codec baseline ==="
+echo "=== [4/5] chaos campaign under ASan+UBSan: invariants + byte-reproducibility ==="
+cmake --build build-asan -j "$JOBS" --target chaos_campaign
+./build-asan/tools/chaos_campaign --seeds 3 --out build-asan/chaos_report_a.json
+./build-asan/tools/chaos_campaign --seeds 3 --out build-asan/chaos_report_b.json
+cmp build-asan/chaos_report_a.json build-asan/chaos_report_b.json \
+  || { echo "chaos campaign report is not byte-reproducible" >&2; exit 1; }
+echo "chaos campaign: zero violations, report byte-reproducible"
+
+echo "=== [5/5] perf smoke: codec deltas (informational) + scan perf gate (hard) ==="
 # The stage-1 tree defaults to RelWithDebInfo, so its bench targets pass
 # the release-only guard in bench/CMakeLists.txt.
-cmake --build build -j "$JOBS" --target perf_micro
+cmake --build build -j "$JOBS" --target perf_micro sec42_wild_scan
 ./build/bench/perf_micro \
   --benchmark_filter='BM_Name|BM_Compressed|BM_Arena|BM_MessageSerialize|BM_MessageParse|BM_CachedResolution' \
   --benchmark_format=json >build/perf_smoke.json
 python3 tools/perf_smoke.py build/perf_smoke.json bench/perf_baseline_codec.json
+# Hard gate: the Byzantine-hardening pipeline (acceptance gate, scrubber,
+# coalescing memo, SERVFAIL cache) may cost the fault-free wild-scan path
+# at most 5% throughput vs the committed pre-hardening baseline. Wall-
+# clock throughput on a shared container jitters far more than 5% run to
+# run and the noise is one-sided, so the gate is min-time style: three
+# back-to-back runs, best per-benchmark throughput is what gets gated
+# (the baseline was recorded the same way).
+for i in 1 2 3; do
+  ./build/bench/sec42_wild_scan 303000 --shards 1 --json "build/scan_fresh_$i.json"
+done
+python3 tools/perf_smoke.py --scan build/scan_fresh_1.json \
+  build/scan_fresh_2.json build/scan_fresh_3.json \
+  --baseline bench/perf_baseline_scan.json
 
 echo "verify: OK"
