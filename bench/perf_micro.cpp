@@ -277,7 +277,7 @@ void BM_InfraCacheReport(benchmark::State& state) {
       cache.report_failure(addr, resolver::InfraCache::FailureKind::Timeout,
                            1'000'000);
     } else {
-      cache.report_success(addr, 20 + i % 7);
+      cache.report_success(addr, static_cast<std::uint32_t>(20 + i % 7));
     }
     benchmark::DoNotOptimize(cache.size());
   }

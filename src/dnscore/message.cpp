@@ -1,4 +1,5 @@
 #include "dnscore/message.hpp"
+#include "dnscore/wire.hpp"
 
 #include <sstream>
 #include <stdexcept>

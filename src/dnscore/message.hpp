@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dnscore/rr.hpp"
+#include "dnscore/wire.hpp"
 
 namespace ede::dns {
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "crypto/encoding.hpp"
+#include "dnscore/wire.hpp"
 
 namespace ede::dns {
 
@@ -429,6 +430,12 @@ Result<Rdata> decode_typed(WireReader& r, RRType type, std::size_t rdlen,
       }
       return Rdata{std::move(opt)};
     }
+    // CAA and ANY have no typed decoder: CAA rdata is opaque here, and
+    // ANY never appears in a record on the wire (it is a question-only
+    // QTYPE) — both fall through to the unknown-type byte capture, as
+    // does any type value outside the enum.
+    case RRType::CAA:
+    case RRType::ANY:
     default: {
       auto data = r.read_bytes(rdlen);
       if (!data) return data.error();

@@ -1,4 +1,5 @@
 #include "dnscore/rr.hpp"
+#include "dnscore/wire.hpp"
 
 #include <algorithm>
 #include <sstream>

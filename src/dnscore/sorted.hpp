@@ -1,0 +1,47 @@
+// Sorted-emission helper: the only sanctioned way for report/CSV/JSON
+// emitters to iterate an unordered container (enforced by ede_lint rule
+// D1). Hash-table iteration order depends on bucket layout — which depends
+// on insertion history, capacity growth, and the hash seed — so a report
+// that iterates one directly is reproducible only by accident. Snapshotting
+// pointers and sorting by key makes emission order a function of the data
+// alone.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace ede::util {
+
+/// Key-sorted view of an associative container: pairs of pointers into the
+/// container, ordered by `less` over keys. The container must outlive the
+/// returned view.
+template <typename Map, typename Less = std::less<typename Map::key_type>>
+[[nodiscard]] std::vector<
+    std::pair<const typename Map::key_type*, const typename Map::mapped_type*>>
+sorted_items(const Map& map, Less less = Less{}) {
+  std::vector<std::pair<const typename Map::key_type*,
+                        const typename Map::mapped_type*>>
+      items;
+  items.reserve(map.size());
+  for (const auto& [key, value] : map) items.emplace_back(&key, &value);
+  std::sort(items.begin(), items.end(),
+            [&less](const auto& a, const auto& b) {
+              return less(*a.first, *b.first);
+            });
+  return items;
+}
+
+/// Sorted view of a set-like container (elements only).
+template <typename Set, typename Less = std::less<typename Set::key_type>>
+[[nodiscard]] std::vector<const typename Set::key_type*> sorted_keys(
+    const Set& set, Less less = Less{}) {
+  std::vector<const typename Set::key_type*> keys;
+  keys.reserve(set.size());
+  for (const auto& key : set) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [&less](const auto* a, const auto* b) { return less(*a, *b); });
+  return keys;
+}
+
+}  // namespace ede::util

@@ -447,6 +447,20 @@ DenialMaterial collect_denial(const std::vector<dns::RRset>& authority) {
             m.sigs.push_back(*sig);
         }
         break;
+      // Everything else in the authority section is not denial material.
+      case dns::RRType::A:
+      case dns::RRType::NS:
+      case dns::RRType::CNAME:
+      case dns::RRType::PTR:
+      case dns::RRType::MX:
+      case dns::RRType::TXT:
+      case dns::RRType::AAAA:
+      case dns::RRType::SRV:
+      case dns::RRType::OPT:
+      case dns::RRType::DS:
+      case dns::RRType::DNSKEY:
+      case dns::RRType::CAA:
+      case dns::RRType::ANY:
       default: break;
     }
   }

@@ -4,6 +4,41 @@
 
 namespace ede::edns {
 
+// Compile-time pin of the RFC 8914 §5.2 registry rows (codes 0–24). The
+// enum is the single in-tree source of truth for wire values; if anyone
+// renumbers an enumerator, these fire before the cross-checking lint
+// (tools/ede_lint rule E1) or any test gets a chance to run.
+namespace {
+constexpr bool ede_code_is(EdeCode code, std::uint16_t wire) {
+  return static_cast<std::uint16_t>(code) == wire;
+}
+static_assert(ede_code_is(EdeCode::Other, 0));
+static_assert(ede_code_is(EdeCode::UnsupportedDnskeyAlgorithm, 1));
+static_assert(ede_code_is(EdeCode::UnsupportedDsDigestType, 2));
+static_assert(ede_code_is(EdeCode::StaleAnswer, 3));
+static_assert(ede_code_is(EdeCode::ForgedAnswer, 4));
+static_assert(ede_code_is(EdeCode::DnssecIndeterminate, 5));
+static_assert(ede_code_is(EdeCode::DnssecBogus, 6));
+static_assert(ede_code_is(EdeCode::SignatureExpired, 7));
+static_assert(ede_code_is(EdeCode::SignatureNotYetValid, 8));
+static_assert(ede_code_is(EdeCode::DnskeyMissing, 9));
+static_assert(ede_code_is(EdeCode::RrsigsMissing, 10));
+static_assert(ede_code_is(EdeCode::NoZoneKeyBitSet, 11));
+static_assert(ede_code_is(EdeCode::NsecMissing, 12));
+static_assert(ede_code_is(EdeCode::CachedError, 13));
+static_assert(ede_code_is(EdeCode::NotReady, 14));
+static_assert(ede_code_is(EdeCode::Blocked, 15));
+static_assert(ede_code_is(EdeCode::Censored, 16));
+static_assert(ede_code_is(EdeCode::Filtered, 17));
+static_assert(ede_code_is(EdeCode::Prohibited, 18));
+static_assert(ede_code_is(EdeCode::StaleNxdomainAnswer, 19));
+static_assert(ede_code_is(EdeCode::NotAuthoritative, 20));
+static_assert(ede_code_is(EdeCode::NotSupported, 21));
+static_assert(ede_code_is(EdeCode::NoReachableAuthority, 22));
+static_assert(ede_code_is(EdeCode::NetworkError, 23));
+static_assert(ede_code_is(EdeCode::InvalidData, 24));
+}  // namespace
+
 const std::vector<EdeRegistryEntry>& ede_registry() {
   static const std::vector<EdeRegistryEntry> registry = {
       {EdeCode::Other, "Other", "RFC 8914"},

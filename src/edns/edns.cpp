@@ -1,3 +1,4 @@
+#include "edns/ede.hpp"
 #include "edns/edns.hpp"
 
 namespace ede::edns {

@@ -2,6 +2,8 @@
 
 #include <charconv>
 
+#include "dnscore/wire.hpp"
+#include "edns/ede.hpp"
 #include "edns/edns.hpp"
 
 namespace ede::edns {

@@ -1,5 +1,7 @@
 #include "resolver/forwarder.hpp"
 
+#include "dnscore/arena.hpp"
+#include "edns/ede.hpp"
 #include "edns/edns.hpp"
 #include "resolver/resolver.hpp"
 

@@ -9,6 +9,7 @@
 
 #include "dnscore/arena.hpp"
 #include "resolver/resolver.hpp"
+#include "resolver/retry.hpp"
 
 namespace ede::resolver {
 

@@ -89,11 +89,18 @@ class InfraCache {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  using EntryMap =
+      std::unordered_map<sim::NodeAddress, Entry, sim::NodeAddressHash>;
+
+  /// Full per-address view, for diagnostics/reporting. Unordered — anything
+  /// user-visible must go through ede::util::sorted_items (lint rule D1).
+  [[nodiscard]] const EntryMap& entries() const { return entries_; }
+
  private:
   Entry& entry_for(const sim::NodeAddress& address);
 
   Options options_;
-  std::unordered_map<sim::NodeAddress, Entry, sim::NodeAddressHash> entries_;
+  EntryMap entries_;
   Stats stats_;
 };
 

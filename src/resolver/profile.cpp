@@ -1,3 +1,4 @@
+#include "edns/ede.hpp"
 #include "resolver/profile.hpp"
 
 namespace ede::resolver {

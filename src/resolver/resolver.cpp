@@ -5,8 +5,10 @@
 
 #include "crypto/encoding.hpp"
 #include "dnssec/nsec3.hpp"
+#include "edns/ede.hpp"
 #include "edns/edns.hpp"
 #include "edns/report_channel.hpp"
+#include "resolver/infra_cache.hpp"
 #include "resolver/scrub.hpp"
 
 namespace ede::resolver {
@@ -345,6 +347,19 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
                     server.to_string() + ":53 rcode=NOTAUTH for " +
                         query_desc);
         continue;
+      // Every other rcode flows on: NOERROR/NXDOMAIN carry the answer or
+      // denial, and the oddball codes are diagnosed by later stages with
+      // the full message in hand rather than bounced at the transport.
+      case dns::RCode::NOERROR:
+      case dns::RCode::FORMERR:
+      case dns::RCode::NXDOMAIN:
+      case dns::RCode::NOTIMP:
+      case dns::RCode::YXDOMAIN:
+      case dns::RCode::YXRRSET:
+      case dns::RCode::NXRRSET:
+      case dns::RCode::NOTZONE:
+      case dns::RCode::BADVERS:
+      case dns::RCode::BADCOOKIE:
       default:
         break;
     }

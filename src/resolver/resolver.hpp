@@ -15,6 +15,7 @@
 #include "dnscore/arena.hpp"
 #include "dnscore/message.hpp"
 #include "dnssec/validate.hpp"
+#include "edns/ede.hpp"
 #include "resolver/cache.hpp"
 #include "resolver/infra_cache.hpp"
 #include "resolver/profile.hpp"
@@ -163,20 +164,20 @@ class RecursiveResolver {
   /// Probe `servers` (authoritative for `zone`) for qname/qtype. `zone` is
   /// the bailiwick the scrubber enforces on whatever comes back, and part
   /// of the coalescing key.
-  QueryResult query_servers(const dns::Name& zone,
-                            const std::vector<sim::NodeAddress>& servers,
-                            const dns::Name& qname, dns::RRType qtype);
-  QueryResult query_servers_uncoalesced(
+  [[nodiscard]] QueryResult query_servers(
+      const dns::Name& zone, const std::vector<sim::NodeAddress>& servers,
+      const dns::Name& qname, dns::RRType qtype);
+  [[nodiscard]] QueryResult query_servers_uncoalesced(
       const dns::Name& zone, const std::vector<sim::NodeAddress>& servers,
       const dns::Name& qname, dns::RRType qtype);
 
-  Outcome resolve_internal(const dns::Name& qname, dns::RRType qtype,
-                           int depth);
+  [[nodiscard]] Outcome resolve_internal(const dns::Name& qname,
+                                         dns::RRType qtype, int depth);
 
   /// Fetch and validate the root DNSKEY RRset once per cache lifetime.
-  bool ensure_root_trust(std::vector<dnssec::Finding>& findings);
+  [[nodiscard]] bool ensure_root_trust(std::vector<dnssec::Finding>& findings);
 
-  std::vector<sim::NodeAddress> resolve_ns_addresses(
+  [[nodiscard]] std::vector<sim::NodeAddress> resolve_ns_addresses(
       const std::vector<dns::Name>& ns_names, int depth,
       std::vector<dnssec::Finding>& findings, int& upstream_queries);
 

@@ -18,7 +18,7 @@ namespace ede::resolver {
 /// exempt (its owner is the root by construction). With `zone` the root,
 /// everything is in bailiwick and the message is untouched. Returns the
 /// number of records removed.
-std::size_t scrub_out_of_bailiwick(dns::Message& response,
-                                   const dns::Name& zone);
+[[nodiscard]] std::size_t scrub_out_of_bailiwick(dns::Message& response,
+                                                 const dns::Name& zone);
 
 }  // namespace ede::resolver

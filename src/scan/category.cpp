@@ -57,6 +57,17 @@ bool resolves_noerror(Category category) {
     case Category::UnsupportedDsDigest:
     case Category::StaleAnswer:
       return true;
+    case Category::LameTimeout:
+    case Category::LameUnroutable:
+    case Category::LameRefused:
+    case Category::Bogus:
+    case Category::SigExpired:
+    case Category::SigNotYet:
+    case Category::DnskeyMissing:
+    case Category::NsecMissing:
+    case Category::CnameLoop:
+    case Category::InvalidData:
+    case Category::CachedError:
     default:
       return false;
   }

@@ -67,8 +67,9 @@ std::vector<TldInfo> make_tlds(const PopulationConfig& config,
   std::size_t assigned = 0;
   for (std::size_t i = 0; i < tlds.size(); ++i) {
     tlds[i].planned_size = std::max<std::size_t>(
-        8, static_cast<std::size_t>(std::floor(
-               config.total_domains * weights[i] / total_weight)));
+        8, static_cast<std::size_t>(
+               std::floor(static_cast<double>(config.total_domains) *
+                          weights[i] / total_weight)));
     assigned += tlds[i].planned_size;
   }
   // Trim/pad the largest TLD so sizes sum exactly to total_domains.
@@ -98,8 +99,10 @@ std::vector<TldInfo> make_tlds(const PopulationConfig& config,
   std::sort(g_order.begin(), g_order.end(), by_size);
   std::sort(c_order.begin(), c_order.end(), by_size);
 
-  const std::size_t clean_g = static_cast<std::size_t>(0.38 * g_order.size());
-  const std::size_t clean_c = static_cast<std::size_t>(0.04 * c_order.size());
+  const std::size_t clean_g =
+      static_cast<std::size_t>(0.38 * static_cast<double>(g_order.size()));
+  const std::size_t clean_c =
+      static_cast<std::size_t>(0.04 * static_cast<double>(c_order.size()));
   for (std::size_t i = 0; i < clean_g; ++i) tlds[g_order[i]].clean = true;
   for (std::size_t i = 0; i < clean_c; ++i) tlds[c_order[i]].clean = true;
 

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "dnscore/sorted.hpp"
 #include "edns/ede.hpp"
+#include "resolver/infra_cache.hpp"
 
 namespace ede::scan {
 
@@ -43,8 +45,8 @@ std::string render_section42(const ScanResult& result,
   out << "scanned domains      : " << result.total_domains << " (paper: 303M, scale 1:"
       << static_cast<long>(std::llround(1.0 / scale)) << ")\n";
   out << "domains with EDE     : " << result.domains_with_ede << " ("
-      << 100.0 * result.domains_with_ede /
-             std::max<std::size_t>(result.total_domains, 1)
+      << 100.0 * static_cast<double>(result.domains_with_ede) /
+             static_cast<double>(std::max<std::size_t>(result.total_domains, 1))
       << "% ; paper: 17.7M = 5.8%)\n";
   out << "lame delegations 22/23: " << result.lame_union
       << " unique (paper: 14.8M)\n";
@@ -148,6 +150,30 @@ std::string render_shard_summary(const ParallelScanResult& result) {
   return out.str();
 }
 
+std::string render_infra_summary(const resolver::InfraCache& infra) {
+  using FailureKind = resolver::InfraCache::FailureKind;
+  std::ostringstream out;
+  const auto& stats = infra.stats();
+  out << "== Infrastructure cache — per-server state ==\n";
+  out << "tracked servers: " << infra.size() << " (" << stats.successes
+      << " replies, " << stats.failures << " failures, "
+      << stats.holddowns_started << " hold-downs, " << stats.holddown_skips
+      << " probes skipped)\n";
+  out << "address            srtt ms   streak  hold-until  last-failure\n";
+  for (const auto& [address, entry] : ede::util::sorted_items(infra.entries())) {
+    const char* kind = "-";
+    if (entry->last_failure == FailureKind::Timeout) kind = "timeout";
+    if (entry->last_failure == FailureKind::Unreachable) kind = "unreachable";
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-18s %-9.1f %-7d %-11llu %s\n",
+                  address->to_string().c_str(), entry->srtt_ms,
+                  entry->consecutive_timeouts,
+                  static_cast<unsigned long long>(entry->hold_until_ms), kind);
+    out << line;
+  }
+  return out.str();
+}
+
 std::string ascii_cdf(const std::vector<std::pair<double, double>>& a,
                       std::string_view a_name,
                       const std::vector<std::pair<double, double>>& b,
@@ -227,11 +253,11 @@ std::string render_figure1(const ScanResult& result,
   const double g_n = std::max<double>(1.0, static_cast<double>(gtld_ratios.size()));
   const double c_n = std::max<double>(1.0, static_cast<double>(cctld_ratios.size()));
   out << "gTLDs with zero misconfigured domains : " << g_zero << "/"
-      << gtld_ratios.size() << " (" << 100.0 * g_zero / g_n
-      << "% ; paper: ~38%)\n";
+      << gtld_ratios.size() << " ("
+      << 100.0 * static_cast<double>(g_zero) / g_n << "% ; paper: ~38%)\n";
   out << "ccTLDs with zero misconfigured domains: " << c_zero << "/"
-      << cctld_ratios.size() << " (" << 100.0 * c_zero / c_n
-      << "% ; paper: ~4%)\n";
+      << cctld_ratios.size() << " ("
+      << 100.0 * static_cast<double>(c_zero) / c_n << "% ; paper: ~4%)\n";
   out << "fully misconfigured TLDs              : " << g_all << " gTLDs + "
       << c_all << " ccTLDs (paper: 11 gTLDs + 2 ccTLDs)\n\n";
 

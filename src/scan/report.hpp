@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "resolver/infra_cache.hpp"
 #include "scan/parallel.hpp"
 #include "scan/scanner.hpp"
 
@@ -29,6 +30,13 @@ namespace ede::scan {
 /// the sequential-equivalent cost (the sum of per-shard scan times).
 [[nodiscard]] std::string render_shard_summary(
     const ParallelScanResult& result);
+
+/// Post-scan infrastructure-cache state: one row per nameserver address
+/// (srtt, failure streak, hold-down) in address order. The cache stores
+/// entries in an unordered map, so emission goes through the sorted-items
+/// helper to keep the report byte-stable across runs (lint rule D1).
+[[nodiscard]] std::string render_infra_summary(
+    const resolver::InfraCache& infra);
 
 /// ASCII sketch of one or two CDF series on a shared axis.
 [[nodiscard]] std::string ascii_cdf(

@@ -1,3 +1,4 @@
+#include "resolver/resolver.hpp"
 #include "scan/scanner.hpp"
 
 #include <algorithm>

@@ -8,6 +8,8 @@
 #include "dnssec/nsec3.hpp"
 #include "dnssec/sign.hpp"
 #include "edns/edns.hpp"
+#include "resolver/resolver.hpp"
+#include "server/auth_server.hpp"
 #include "zone/signer.hpp"
 
 namespace ede::scan {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "crypto/rng.hpp"
 #include "dnscore/message.hpp"
 #include "dnscore/rdata.hpp"
 

@@ -1,3 +1,4 @@
+#include "crypto/rng.hpp"
 #include "simnet/network.hpp"
 
 #include <algorithm>

@@ -1,3 +1,5 @@
+#include "resolver/resolver.hpp"
+#include "server/auth_server.hpp"
 #include "testbed/testbed.hpp"
 
 namespace ede::testbed {

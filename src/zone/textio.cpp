@@ -480,6 +480,12 @@ dns::Result<dns::Rdata> parse_rdata(RRType type, Fields& f,
       p.salt = std::move(salt).take();
       return dns::Rdata{std::move(p)};
     }
+    // OPT never appears in zone text (EDNS pseudo-RR), ANY is a
+    // question-only QTYPE, and CAA has no typed parser here — all three
+    // take the generic escape hatch below, like any unknown type number.
+    case RRType::OPT:
+    case RRType::CAA:
+    case RRType::ANY:
     default: {
       // RFC 3597: "\# <len> <hex...>"
       auto marker = f.next("rdata");

@@ -1,0 +1,30 @@
+// ede-lint-fixture: src/scan/bad_clock.cpp
+// Known-bad D1: every ambient-nondeterminism source the rule bans.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <functional>
+#include <random>
+
+namespace ede::scan {
+
+struct Name;
+
+unsigned draw_seed() {
+  std::random_device rd;                                   // D1: line 14
+  return rd();
+}
+
+long now_wall() {
+  const auto t = std::chrono::steady_clock::now();         // D1: line 19
+  (void)t;
+  return time(nullptr);                                    // D1: line 21
+}
+
+int jitter() { return rand() % 7; }                        // D1: line 24
+
+std::size_t order_key(const Name* name) {
+  return std::hash<const Name*>{}(name);                   // D1: line 27
+}
+
+}  // namespace ede::scan

@@ -1,0 +1,23 @@
+// ede-lint-fixture: src/scan/fixture_report.cpp
+// Known-bad D1: a report emitter iterating unordered containers directly —
+// one declared in an included project header, one declared locally.
+#include <string>
+#include <unordered_map>
+
+#include "scan/fixture_world.hpp"
+
+namespace ede::scan {
+
+std::string render(const FixtureWorld& world) {
+  std::string out;
+  for (const auto& [name, count] : world.tallies()) {      // D1: line 13
+    out += name + "=" + std::to_string(count) + "\n";
+  }
+  std::unordered_map<std::string, int> local_counts;
+  for (const auto& [name, count] : local_counts) {         // D1: line 17
+    out += name + ":" + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ede::scan

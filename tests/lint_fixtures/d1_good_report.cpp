@@ -1,0 +1,25 @@
+// ede-lint-fixture: src/scan/fixture_report_good.cpp
+// Known-good D1: the same emitter routed through util::sorted_items, plus
+// iteration over an ordered std::map, which is always legal.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "dnscore/sorted.hpp"
+#include "scan/fixture_world.hpp"
+
+namespace ede::scan {
+
+std::string render_sorted(const FixtureWorld& world) {
+  std::string out;
+  for (const auto& [name, count] : ede::util::sorted_items(world.tallies())) {
+    out += *name + "=" + std::to_string(*count) + "\n";
+  }
+  std::map<std::string, int> ordered_counts;
+  for (const auto& [name, count] : ordered_counts) {
+    out += name + ":" + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ede::scan

@@ -1,0 +1,19 @@
+// ede-lint-fixture: src/scan/fixture_world.hpp
+// Support header for the sorted-emission fixtures: declares the unordered
+// members/accessors the emitter fixtures iterate. Clean on its own.
+#include <string>
+#include <unordered_map>
+
+namespace ede::scan {
+
+class FixtureWorld {
+ public:
+  const std::unordered_map<std::string, int>& tallies() const {
+    return tallies_;
+  }
+
+ private:
+  std::unordered_map<std::string, int> tallies_;
+};
+
+}  // namespace ede::scan

@@ -1,0 +1,22 @@
+// ede-lint-fixture: src/resolver/bad_ede_literal.cpp
+// Known-bad E1: EDE INFO-CODEs spelled as integer literals instead of
+// registry enumerators.
+#include <cstdint>
+
+#include "edns/ede.hpp"
+
+namespace ede::resolver {
+
+edns::EdeCode from_paren() {
+  return edns::EdeCode(7);                                 // E1: line 11
+}
+
+edns::EdeCode from_cast() {
+  return static_cast<edns::EdeCode>(9);                    // E1: line 15
+}
+
+edns::ExtendedError lame() {
+  return edns::ExtendedError{edns::EdeCode{22}, "lame"};   // E1: line 19
+}
+
+}  // namespace ede::resolver

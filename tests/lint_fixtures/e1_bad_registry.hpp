@@ -1,0 +1,42 @@
+// ede-lint-fixture: src/edns/ede.hpp
+// Known-bad E1: a drifted registry enum. Code 4 carries the wrong name
+// (the IANA registry says ForgedAnswer), code 24 is missing entirely, and
+// 99 was never registered — all reported against the enum head below.
+#include <cstdint>
+
+namespace ede::edns {
+
+enum class EdeCode : std::uint16_t {                       // E1: line 9
+  Other = 0,
+  UnsupportedDnskeyAlgorithm = 1,
+  UnsupportedDsDigestType = 2,
+  StaleAnswer = 3,
+  ForgedAnswerTypo = 4,
+  DnssecIndeterminate = 5,
+  DnssecBogus = 6,
+  SignatureExpired = 7,
+  SignatureNotYetValid = 8,
+  DnskeyMissing = 9,
+  RrsigsMissing = 10,
+  NoZoneKeyBitSet = 11,
+  NsecMissing = 12,
+  CachedError = 13,
+  NotReady = 14,
+  Blocked = 15,
+  Censored = 16,
+  Filtered = 17,
+  Prohibited = 18,
+  StaleNxdomainAnswer = 19,
+  NotAuthoritative = 20,
+  NotSupported = 21,
+  NoReachableAuthority = 22,
+  NetworkError = 23,
+  SignatureExpiredBeforeValid = 25,
+  TooEarly = 26,
+  UnsupportedNsec3IterValue = 27,
+  UnableToConformToPolicy = 28,
+  Synthesized = 29,
+  MadeUp = 99,
+};
+
+}  // namespace ede::edns

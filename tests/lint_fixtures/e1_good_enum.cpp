@@ -1,0 +1,18 @@
+// ede-lint-fixture: src/resolver/good_ede_enum.cpp
+// Known-good E1: INFO-CODEs named through the registry enum; casting a
+// *parsed wire value* (not a literal) is also legal.
+#include <cstdint>
+
+#include "edns/ede.hpp"
+
+namespace ede::resolver {
+
+edns::ExtendedError stale() {
+  return edns::ExtendedError{edns::EdeCode::StaleAnswer, "expired 32s ago"};
+}
+
+edns::EdeCode from_wire(std::uint16_t info_code) {
+  return static_cast<edns::EdeCode>(info_code);
+}
+
+}  // namespace ede::resolver

@@ -1,0 +1,15 @@
+// ede-lint-fixture: src/scan/bad_header.hpp
+// Known-bad H1: `using namespace` at header scope, and spelling a key
+// project type without directly including its defining header.
+#include <string>
+
+using namespace std;                                       // H1: line 6
+
+namespace ede::scan {
+
+struct Probe {
+  ede::dns::WireReader* reader = nullptr;                  // H1: line 11
+  string label;
+};
+
+}  // namespace ede::scan

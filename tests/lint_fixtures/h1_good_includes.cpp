@@ -1,0 +1,16 @@
+// ede-lint-fixture: src/scan/good_includes.cpp
+// Known-good H1: spells curated project types with their defining headers
+// directly included; `using namespace` is fine in a .cpp.
+#include "dnscore/wire.hpp"
+#include "edns/ede.hpp"
+
+using namespace ede::dns;
+
+namespace ede::scan {
+
+int peek(WireReader& reader) {
+  (void)reader;
+  return static_cast<int>(edns::EdeCode::StaleAnswer);
+}
+
+}  // namespace ede::scan

@@ -1,0 +1,23 @@
+// ede-lint-fixture: src/resolver/bad_discard.cpp
+// Known-bad W1: a Result-returning read whose error path is thrown away
+// as a bare expression-statement.
+#include <cstddef>
+
+namespace ede::dns {
+template <typename T>
+class Result;
+
+struct FakeReader {
+  Result<void> seek_checked(std::size_t offset);
+};
+
+void skip_header(FakeReader& reader) {
+  reader.seek_checked(12);                                 // W1: line 15
+}
+
+bool skip_header_checked(FakeReader& reader) {
+  auto status = reader.seek_checked(12);  // bound: fine
+  return true;
+}
+
+}  // namespace ede::dns

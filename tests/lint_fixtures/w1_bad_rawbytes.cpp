@@ -1,0 +1,19 @@
+// ede-lint-fixture: src/dnscore/bad_rawbytes.cpp
+// Known-bad W1: raw byte copies and type punning over a network buffer
+// outside wire.{hpp,cpp}.
+#include <cstdint>
+#include <cstring>
+
+namespace ede::dns {
+
+std::uint16_t peek_qid(const std::uint8_t* packet) {
+  std::uint16_t qid = 0;
+  std::memcpy(&qid, packet, sizeof(qid));                  // W1: line 11
+  return qid;
+}
+
+const char* as_chars(const std::uint8_t* packet) {
+  return reinterpret_cast<const char*>(packet);            // W1: line 16
+}
+
+}  // namespace ede::dns

@@ -1,0 +1,15 @@
+// ede-lint-fixture: src/dnscore/wire.cpp
+// Known-good W1: the same operations are legal inside the wire layer —
+// this is the one place allowed to touch raw network bytes.
+#include <cstdint>
+#include <cstring>
+
+namespace ede::dns {
+
+std::uint16_t wire_peek_qid(const std::uint8_t* packet) {
+  std::uint16_t qid = 0;
+  std::memcpy(&qid, packet, sizeof(qid));
+  return qid;
+}
+
+}  // namespace ede::dns

@@ -5,9 +5,12 @@
 // Also: scan determinism (same seed, two worlds, identical aggregates).
 #include <gtest/gtest.h>
 
+#include "edns/ede.hpp"
 #include "edns/edns.hpp"
 #include "resolver/forwarder.hpp"
+#include "resolver/resolver.hpp"
 #include "scan/scanner.hpp"
+#include "scan/world.hpp"
 #include "testbed/testbed.hpp"
 
 namespace {

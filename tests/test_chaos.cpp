@@ -11,11 +11,15 @@
 
 #include <sstream>
 
+#include "edns/ede.hpp"
 #include "edns/edns.hpp"
 #include "resolver/forwarder.hpp"
+#include "resolver/resolver.hpp"
+#include "resolver/retry.hpp"
 #include "scan/report.hpp"
 #include "scan/scanner.hpp"
 #include "scan/world.hpp"
+#include "server/auth_server.hpp"
 #include "simnet/byzantine.hpp"
 #include "testbed/testbed.hpp"
 

@@ -12,6 +12,7 @@
 
 #include "crypto/encoding.hpp"
 #include "crypto/sha2.hpp"
+#include "resolver/resolver.hpp"
 #include "testbed/testbed.hpp"
 
 namespace {

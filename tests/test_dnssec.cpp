@@ -90,7 +90,8 @@ TEST(Keys, DerivationIsDeterministicPerZone) {
 TEST(Ds, MatchesItsOwnKey) {
   const Name zone = Name::of("example.com");
   const auto ksk = make_ksk(zone, 8);
-  for (const std::uint8_t digest_type : {1, 2, 4}) {
+  for (const std::uint8_t digest_type :
+       {std::uint8_t{1}, std::uint8_t{2}, std::uint8_t{4}}) {
     const auto ds = make_ds(zone, ksk.dnskey, digest_type);
     EXPECT_EQ(ds.key_tag, ksk.tag());
     EXPECT_EQ(ds.algorithm, 8);

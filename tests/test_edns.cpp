@@ -2,6 +2,7 @@
 // encoding, and the IANA registry snapshot the paper's Table 1 lists.
 #include <gtest/gtest.h>
 
+#include "edns/ede.hpp"
 #include "edns/edns.hpp"
 
 namespace {

@@ -3,7 +3,10 @@
 // an agent, validation fails, the resolver reports, the agent logs it.
 #include <gtest/gtest.h>
 
+#include "edns/ede.hpp"
 #include "edns/report_channel.hpp"
+#include "resolver/resolver.hpp"
+#include "server/auth_server.hpp"
 #include "server/report_agent.hpp"
 #include "testbed/mutations.hpp"
 #include "testbed/testbed.hpp"

@@ -3,8 +3,10 @@
 // forwarder's own cache-layer codes, and the resolver-as-endpoint shim.
 #include <gtest/gtest.h>
 
+#include "edns/ede.hpp"
 #include "edns/edns.hpp"
 #include "resolver/forwarder.hpp"
+#include "resolver/resolver.hpp"
 #include "testbed/testbed.hpp"
 
 namespace {

@@ -200,7 +200,9 @@ TEST(MalformedCorpus, MutatorsAreSeedDeterministic) {
     const auto first = run();
     const auto second = run();
     ASSERT_EQ(first.has_value(), second.has_value());
-    if (first) EXPECT_EQ(*first, *second);
+    if (first) {
+      EXPECT_EQ(*first, *second);
+    }
   }
 }
 

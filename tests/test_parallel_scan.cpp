@@ -7,6 +7,7 @@
 
 #include "scan/parallel.hpp"
 #include "scan/report.hpp"
+#include "scan/world.hpp"
 
 namespace {
 

@@ -3,6 +3,7 @@
 // RFC 8198 aggressive NSEC caching (EDE 29 Synthesized).
 #include <gtest/gtest.h>
 
+#include "edns/ede.hpp"
 #include "testbed/testbed.hpp"
 
 namespace {

@@ -2,6 +2,7 @@
 // documents, and the validator-configuration differences.
 #include <gtest/gtest.h>
 
+#include "edns/ede.hpp"
 #include "resolver/profile.hpp"
 
 namespace {

@@ -5,6 +5,7 @@
 
 #include "crypto/encoding.hpp"
 #include "dnscore/rdata.hpp"
+#include "dnscore/wire.hpp"
 
 namespace {
 

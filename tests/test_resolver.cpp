@@ -3,7 +3,10 @@
 // chasing, iteration limits and wire-level annotation.
 #include <gtest/gtest.h>
 
+#include "edns/ede.hpp"
 #include "edns/edns.hpp"
+#include "resolver/resolver.hpp"
+#include "server/auth_server.hpp"
 #include "testbed/testbed.hpp"
 
 namespace {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/rng.hpp"
+#include "edns/ede.hpp"
 #include "edns/edns.hpp"
 #include "server/auth_server.hpp"
 #include "testbed/testbed.hpp"
@@ -38,7 +39,8 @@ TEST(Robustness, SingleByteMutationsNeverCrashTheParser) {
   const Bytes original = sample_wire();
   int reparsed = 0;
   for (std::size_t i = 0; i < original.size(); ++i) {
-    for (const std::uint8_t delta : {0x01, 0x80, 0xff}) {
+    for (const std::uint8_t delta :
+         {std::uint8_t{0x01}, std::uint8_t{0x80}, std::uint8_t{0xff}}) {
       Bytes mutated = original;
       mutated[i] ^= delta;
       const auto result = dns::Message::parse(mutated);

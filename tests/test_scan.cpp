@@ -3,7 +3,12 @@
 // category), and aggregate sanity on a small scan.
 #include <gtest/gtest.h>
 
+#include "edns/ede.hpp"
+#include "resolver/infra_cache.hpp"
+#include "resolver/resolver.hpp"
 #include "scan/report.hpp"
+#include "scan/world.hpp"
+#include "simnet/address.hpp"
 
 namespace {
 
@@ -212,8 +217,8 @@ INSTANTIATE_TEST_SUITE_P(
         CategoryExpectation{Category::CachedError, {13},
                             dns::RCode::SERVFAIL},
         CategoryExpectation{Category::CnameLoop, {0}, dns::RCode::SERVFAIL}),
-    [](const ::testing::TestParamInfo<CategoryExpectation>& info) {
-      std::string name = to_string(info.param.category);
+    [](const ::testing::TestParamInfo<CategoryExpectation>& param_info) {
+      std::string name = to_string(param_info.param.category);
       for (char& c : name) {
         if (c == '-') c = '_';
       }
@@ -301,6 +306,28 @@ TEST(ScanReport, RenderersProduceTheExpectedSections) {
             std::string::npos);
   const auto f2 = render_figure2(result, population);
   EXPECT_NE(f2.find("Tranco"), std::string::npos);
+}
+
+TEST(InfraSummary, EmissionIsInsertionOrderIndependent) {
+  // The infra cache is an unordered map; the renderer must not leak its
+  // bucket order. Feed the same observations in two different orders and
+  // the reports must be byte-identical, with rows in address order.
+  const std::vector<std::string> addrs = {"198.51.100.9", "192.0.2.1",
+                                          "203.0.113.77", "192.0.2.200"};
+  resolver::InfraCache forward;
+  for (const auto& a : addrs)
+    forward.report_success(sim::NodeAddress::of(a), 25);
+  resolver::InfraCache reverse;
+  for (auto it = addrs.rbegin(); it != addrs.rend(); ++it)
+    reverse.report_success(sim::NodeAddress::of(*it), 25);
+
+  const auto report = render_infra_summary(forward);
+  EXPECT_EQ(report, render_infra_summary(reverse));
+  const auto first = report.find("192.0.2.1");
+  const auto last = report.find("203.0.113.77");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_LT(first, last);
 }
 
 TEST(MakeCdf, MonotoneAndNormalized) {

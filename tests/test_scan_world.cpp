@@ -4,6 +4,7 @@
 
 #include "scan/export.hpp"
 #include "scan/scanner.hpp"
+#include "scan/world.hpp"
 
 namespace {
 

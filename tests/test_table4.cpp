@@ -5,6 +5,8 @@
 
 #include <set>
 
+#include "edns/ede.hpp"
+#include "resolver/resolver.hpp"
 #include "testbed/expected.hpp"
 #include "testbed/testbed.hpp"
 

@@ -33,6 +33,7 @@
 #include <sstream>
 #include <string>
 
+#include "crypto/rng.hpp"
 #include "edns/ede.hpp"
 #include "resolver/profile.hpp"
 #include "resolver/resolver.hpp"
@@ -102,21 +103,29 @@ std::vector<sim::ByzantineBehavior> draw_schedule(crypto::Xoshiro256& rng,
       behavior = sim::ByzantineBehavior::truncation_garbage(p);
       break;
     case sim::ByzantineKind::Oversize:
-      behavior = sim::ByzantineBehavior::oversize(p, 2048 + rng.below(8192));
+      behavior = sim::ByzantineBehavior::oversize(
+          p, static_cast<std::uint32_t>(2048 + rng.below(8192)));
       break;
     case sim::ByzantineKind::Fuzz:
-      behavior = sim::ByzantineBehavior::fuzz(p, 1 + rng.below(16));
+      behavior = sim::ByzantineBehavior::fuzz(
+          p, static_cast<std::uint32_t>(1 + rng.below(16)));
       break;
+    // The kind draw starts at 1, so None never comes up — if it ever did,
+    // treating it as the slow-drip default keeps the pass adversarial.
+    case sim::ByzantineKind::None:
     case sim::ByzantineKind::SlowDrip:
     default:
-      behavior = sim::ByzantineBehavior::slow_drip(p, 500 + rng.below(4000));
+      behavior = sim::ByzantineBehavior::slow_drip(
+          p, static_cast<std::uint32_t>(500 + rng.below(4000)));
       break;
   }
   // A quarter of the servers recover (or only fall over) partway through
   // the pass, so retry schedules cross behavior boundaries.
   if (rng.below(4) == 0) {
-    const sim::SimTime t0 = pass_start + rng.below(60);
-    behavior = behavior.between(t0, t0 + 30 + rng.below(120));
+    const sim::SimTime t0 =
+        pass_start + static_cast<sim::SimTime>(rng.below(60));
+    behavior = behavior.between(
+        t0, t0 + static_cast<sim::SimTime>(30 + rng.below(120)));
   }
   return {behavior};
 }

@@ -1,0 +1,21 @@
+# Regression test: ede_lint's JSON diagnostics must be byte-stable across
+# two runs over the same tree (the lint itself has to satisfy its own D1
+# determinism rule). Invoked by ctest, see CMakeLists.txt next to it.
+foreach(run a b)
+  execute_process(
+    COMMAND ${LINT_EXE} --json --repo-root ${REPO_ROOT}
+            ${REPO_ROOT}/src ${REPO_ROOT}/tests ${REPO_ROOT}/tools
+    OUTPUT_FILE ${WORK_DIR}/lint_${run}.json
+    RESULT_VARIABLE status_${run})
+endforeach()
+if(NOT status_a EQUAL 0 OR NOT status_b EQUAL 0)
+  message(FATAL_ERROR "ede_lint exited nonzero (${status_a}/${status_b}) — "
+                      "new findings or I/O error; see lint_a.json")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/lint_a.json ${WORK_DIR}/lint_b.json
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "ede_lint --json output differs between two runs")
+endif()

@@ -1,0 +1,233 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace ede::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < s_.size() ? s_[pos_ + ahead] : '\0';
+  }
+  char take() {
+    const char c = s_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Consume a raw string literal; the opening R" has been taken already.
+void skip_raw_string(Cursor& c) {
+  std::string delim;
+  while (!c.done() && c.peek() != '(') delim.push_back(c.take());
+  if (c.done()) return;
+  c.take();  // '('
+  const std::string close = ")" + delim;
+  std::string tail;
+  while (!c.done()) {
+    const char ch = c.take();
+    tail.push_back(ch);
+    if (tail.size() > close.size() + 1)
+      tail.erase(tail.begin(), tail.end() - static_cast<std::ptrdiff_t>(
+                                                close.size() + 1));
+    if (tail.size() >= close.size() + 1 &&
+        tail.compare(tail.size() - close.size() - 1, close.size(), close) ==
+            0 &&
+        tail.back() == '"')
+      return;
+  }
+}
+
+/// Consume a quoted literal ('"' or '\''); the delimiter has been taken.
+void skip_quoted(Cursor& c, char delim) {
+  while (!c.done()) {
+    const char ch = c.take();
+    if (ch == '\\' && !c.done()) {
+      c.take();
+      continue;
+    }
+    if (ch == delim || ch == '\n') return;  // newline: unterminated, bail
+  }
+}
+
+/// True if the identifier is a valid raw/encoding prefix for a following
+/// string literal (R, LR, uR, UR, u8R end in raw mode).
+bool raw_prefix(const std::string& id) {
+  return id == "R" || id == "LR" || id == "uR" || id == "UR" || id == "u8R";
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& source) {
+  LexedFile out;
+  Cursor c(source);
+  bool line_start = true;  // only whitespace seen since the last newline
+
+  while (!c.done()) {
+    const char ch = c.peek();
+
+    if (ch == '\n' || ch == '\r') {
+      c.take();
+      line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch)) != 0) {
+      c.take();
+      continue;
+    }
+
+    // Comments.
+    if (ch == '/' && c.peek(1) == '/') {
+      while (!c.done() && c.peek() != '\n') c.take();
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.take();
+      c.take();
+      while (!c.done()) {
+        if (c.peek() == '*' && c.peek(1) == '/') {
+          c.take();
+          c.take();
+          break;
+        }
+        c.take();
+      }
+      continue;
+    }
+
+    // Preprocessor directive: capture #include, skip the rest of the
+    // logical line (honoring backslash continuations).
+    if (ch == '#' && line_start) {
+      const int line = c.line();
+      c.take();  // '#'
+      while (!c.done() && (c.peek() == ' ' || c.peek() == '\t')) c.take();
+      std::string directive;
+      while (!c.done() && ident_char(c.peek())) directive.push_back(c.take());
+      if (directive == "include") {
+        while (!c.done() && (c.peek() == ' ' || c.peek() == '\t')) c.take();
+        const char open = c.peek();
+        if (open == '"' || open == '<') {
+          c.take();
+          const char close = open == '<' ? '>' : '"';
+          std::string path;
+          while (!c.done() && c.peek() != close && c.peek() != '\n')
+            path.push_back(c.take());
+          if (!c.done() && c.peek() == close) c.take();
+          out.includes.push_back({path, open == '<', line});
+        }
+      }
+      // Skip to the end of the (possibly continued) directive line.
+      while (!c.done()) {
+        if (c.peek() == '\\' && (c.peek(1) == '\n' ||
+                                 (c.peek(1) == '\r' && c.peek(2) == '\n'))) {
+          c.take();  // backslash
+          if (c.peek() == '\r') c.take();
+          c.take();  // newline
+          continue;
+        }
+        if (c.peek() == '\n') break;
+        c.take();
+      }
+      continue;
+    }
+    line_start = false;
+
+    // Literals.
+    if (ch == '"') {
+      const int line = c.line();
+      c.take();
+      skip_quoted(c, '"');
+      out.tokens.push_back({Tok::String, "", line});
+      continue;
+    }
+    if (ch == '\'') {
+      const int line = c.line();
+      c.take();
+      skip_quoted(c, '\'');
+      out.tokens.push_back({Tok::String, "", line});
+      continue;
+    }
+
+    // Numbers (pp-numbers): digits, letters, '.', and ' digit separators.
+    if (std::isdigit(static_cast<unsigned char>(ch)) != 0 ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))) !=
+                          0)) {
+      const int line = c.line();
+      std::string text;
+      text.push_back(c.take());
+      while (!c.done()) {
+        const char n = c.peek();
+        if (ident_char(n) || n == '.') {
+          text.push_back(c.take());
+        } else if (n == '\'' && ident_char(c.peek(1))) {
+          c.take();  // digit separator, dropped from the token text
+        } else if ((n == '+' || n == '-') &&
+                   (text.back() == 'e' || text.back() == 'E' ||
+                    text.back() == 'p' || text.back() == 'P')) {
+          text.push_back(c.take());
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({Tok::Number, std::move(text), line});
+      continue;
+    }
+
+    // Identifiers (string-literal prefixes fold into the literal).
+    if (ident_start(ch)) {
+      const int line = c.line();
+      std::string text;
+      while (!c.done() && ident_char(c.peek())) text.push_back(c.take());
+      if (c.peek() == '"') {
+        if (raw_prefix(text)) {
+          c.take();  // '"'
+          skip_raw_string(c);
+          out.tokens.push_back({Tok::String, "", line});
+          continue;
+        }
+        if (text == "L" || text == "u" || text == "U" || text == "u8") {
+          c.take();
+          skip_quoted(c, '"');
+          out.tokens.push_back({Tok::String, "", line});
+          continue;
+        }
+      }
+      out.tokens.push_back({Tok::Ident, std::move(text), line});
+      continue;
+    }
+
+    // Punctuation: fuse "::" so qualified names are single lookups.
+    const int line = c.line();
+    if (ch == ':' && c.peek(1) == ':') {
+      c.take();
+      c.take();
+      out.tokens.push_back({Tok::Punct, "::", line});
+      continue;
+    }
+    out.tokens.push_back({Tok::Punct, std::string(1, c.take()), line});
+  }
+
+  out.tokens.push_back({Tok::End, "", c.line()});
+  return out;
+}
+
+}  // namespace ede::lint

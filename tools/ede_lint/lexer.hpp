@@ -1,0 +1,47 @@
+// Hand-rolled C++ lexer for ede_lint.
+//
+// Just enough of the language to enforce project invariants: comments,
+// string/char/raw-string literals are recognized and stripped (their
+// contents can never trigger a rule), identifiers and punctuation come out
+// as tokens, `::` is fused so qualified names are easy to match, and
+// `#include` directives are captured so the rules can walk the project's
+// include graph. Deliberately NOT a preprocessor: macro bodies are skipped
+// with the rest of their directive line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ede::lint {
+
+enum class Tok {
+  Ident,    // identifier or keyword
+  Number,   // pp-number (incl. hex and digit separators)
+  Punct,    // punctuation; "::" is a single token, all else single-char
+  String,   // string or char literal, contents stripped
+  End,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;  // empty for String
+  int line = 1;
+};
+
+struct Include {
+  std::string path;  // as spelled between the delimiters
+  bool angled = false;
+  int line = 1;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;  // terminated by a Tok::End sentinel
+  std::vector<Include> includes;
+};
+
+/// Lex a whole translation unit. Never fails: unterminated constructs are
+/// consumed to end-of-file (the linter must not crash on adversarial
+/// fixtures).
+[[nodiscard]] LexedFile lex(const std::string& source);
+
+}  // namespace ede::lint

@@ -1,0 +1,101 @@
+// ede_lint — in-tree static analysis for the EDE reproduction.
+//
+// Usage:
+//   ede_lint [--repo-root DIR] [--config FILE] [--baseline FILE]
+//            [--json] [--write-baseline FILE] PATH...
+//   ede_lint --self-test FIXTURES_DIR
+//
+// Exit status: 0 = no new findings (baselined debt is reported but does
+// not fail), 1 = new findings, 2 = usage or I/O error.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--repo-root DIR] [--config FILE] [--baseline FILE] [--json]\n"
+      << "       [--write-baseline FILE] PATH...\n"
+      << "       " << argv0 << " --self-test FIXTURES_DIR\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ede::lint::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--repo-root") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.repo_root = v;
+    } else if (arg == "--config") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.config_path = v;
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.baseline_path = v;
+    } else if (arg == "--write-baseline") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.write_baseline_path = v;
+    } else if (arg == "--self-test") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.self_test = true;
+      options.fixtures_dir = v;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      options.inputs.push_back(arg);
+    }
+  }
+
+  if (options.self_test)
+    return ede::lint::run_self_test(options.fixtures_dir, std::cout) ? 0 : 1;
+  if (options.inputs.empty()) return usage(argv[0]);
+
+  std::string error;
+  const ede::lint::LintResult result = ede::lint::run_lint(options, error);
+  if (!error.empty()) {
+    std::cerr << "ede_lint: " << error << "\n";
+    return 2;
+  }
+
+  if (!options.write_baseline_path.empty()) {
+    std::vector<ede::lint::Finding> all = result.fresh;
+    all.insert(all.end(), result.baselined.begin(), result.baselined.end());
+    std::ofstream out(options.write_baseline_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "ede_lint: cannot write " << options.write_baseline_path
+                << "\n";
+      return 2;
+    }
+    out << ede::lint::to_baseline(all);
+    std::cout << "ede_lint: wrote baseline with " << all.size()
+              << " finding(s) to " << options.write_baseline_path << "\n";
+    return 0;
+  }
+
+  if (options.json)
+    ede::lint::print_json(result, std::cout);
+  else
+    ede::lint::print_text(result, std::cout);
+  return result.fresh.empty() ? 0 : 1;
+}

@@ -1,0 +1,550 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+
+namespace ede::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Tok::Ident && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::Punct && t.text == text;
+}
+
+/// Index of the matching closer for the opener at `open`, or the end
+/// sentinel if unbalanced. `open_c`/`close_c` are single-char puncts.
+std::size_t match_forward(const Tokens& toks, std::size_t open,
+                          const char* open_c, const char* close_c) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], open_c)) ++depth;
+    else if (is_punct(toks[i], close_c)) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size() - 1;
+}
+
+bool is_keyword(const std::string& t) {
+  static const std::set<std::string> kKeywords = {
+      "if", "else", "while", "for", "do", "switch", "case", "default",
+      "return", "break", "continue", "goto", "using", "namespace", "new",
+      "delete", "throw", "try", "catch", "static_assert", "co_return",
+      "co_await", "co_yield", "public", "private", "protected", "template",
+      "typedef", "typename", "class", "struct", "enum", "union", "static",
+      "const", "constexpr", "auto", "void", "sizeof", "operator"};
+  return kKeywords.count(t) != 0;
+}
+
+/// RFC 8914 + registered additions as of the paper's snapshot (Table 1):
+/// the authoritative table the in-tree enum is checked against. Codes 0-24
+/// are RFC 8914 itself; 25-29 were registered later.
+struct RegistryRow {
+  int value;
+  const char* enumerator;
+};
+constexpr std::array<RegistryRow, 30> kEdeRegistry = {{
+    {0, "Other"},
+    {1, "UnsupportedDnskeyAlgorithm"},
+    {2, "UnsupportedDsDigestType"},
+    {3, "StaleAnswer"},
+    {4, "ForgedAnswer"},
+    {5, "DnssecIndeterminate"},
+    {6, "DnssecBogus"},
+    {7, "SignatureExpired"},
+    {8, "SignatureNotYetValid"},
+    {9, "DnskeyMissing"},
+    {10, "RrsigsMissing"},
+    {11, "NoZoneKeyBitSet"},
+    {12, "NsecMissing"},
+    {13, "CachedError"},
+    {14, "NotReady"},
+    {15, "Blocked"},
+    {16, "Censored"},
+    {17, "Filtered"},
+    {18, "Prohibited"},
+    {19, "StaleNxdomainAnswer"},
+    {20, "NotAuthoritative"},
+    {21, "NotSupported"},
+    {22, "NoReachableAuthority"},
+    {23, "NetworkError"},
+    {24, "InvalidData"},
+    {25, "SignatureExpiredBeforeValid"},
+    {26, "TooEarly"},
+    {27, "UnsupportedNsec3IterValue"},
+    {28, "UnableToConformToPolicy"},
+    {29, "Synthesized"},
+}};
+
+void emit(std::vector<Finding>& out, const Config& config, std::string rule,
+          const std::string& file, int line, std::string token,
+          std::string message) {
+  Finding f{std::move(rule), file, line, std::move(token),
+            std::move(message)};
+  if (!config.allows(f)) out.push_back(std::move(f));
+}
+
+// --- D1: determinism ----------------------------------------------------
+
+bool is_emitter_file(const std::string& rel) {
+  if (rel == "tools/chaos_campaign.cpp") return true;
+  if (!starts_with(rel, "src/")) return false;
+  const std::size_t slash = rel.find_last_of('/');
+  const std::string base = rel.substr(slash + 1);
+  return base.find("report") != std::string::npos ||
+         base.find("export") != std::string::npos;
+}
+
+void check_d1(const SourceFile& file, const ProjectIndex& index,
+              const Config& config, std::vector<Finding>& out) {
+  const Tokens& toks = file.lex.tokens;
+  const bool in_src = starts_with(file.rel, "src/");
+
+  if (in_src) {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Tok::Ident) continue;
+      if (t.text == "random_device" || t.text == "system_clock" ||
+          t.text == "steady_clock" || t.text == "high_resolution_clock") {
+        emit(out, config, "D1", file.rel, t.line, t.text,
+             "nondeterministic source '" + t.text +
+                 "' in src/ — use sim::Clock / seeded crypto::Xoshiro256 "
+                 "(or whitelist this file in ede_lint.conf)");
+        continue;
+      }
+      const bool called = i + 1 < toks.size() && is_punct(toks[i + 1], "(");
+      if (called && (t.text == "rand" || t.text == "srand" ||
+                     t.text == "gettimeofday" || t.text == "localtime" ||
+                     t.text == "gmtime")) {
+        emit(out, config, "D1", file.rel, t.line, t.text,
+             "nondeterministic call '" + t.text +
+                 "()' in src/ — use sim::Clock / seeded crypto::Xoshiro256");
+        continue;
+      }
+      if (called && t.text == "time") {
+        const bool std_qualified =
+            i >= 2 && is_punct(toks[i - 1], "::") && is_ident(toks[i - 2], "std");
+        const Token& arg = toks[i + 2];
+        const bool wallclock_arg =
+            is_ident(arg, "nullptr") || is_ident(arg, "NULL") ||
+            (arg.kind == Tok::Number && arg.text == "0");
+        if (std_qualified || wallclock_arg) {
+          emit(out, config, "D1", file.rel, t.line, t.text,
+               "wall-clock 'time()' call in src/ — use sim::Clock");
+        }
+        continue;
+      }
+      // std::hash over a pointer type: hashes the address, which changes
+      // run to run under ASLR and would leak into any emitted ordering.
+      if (t.text == "hash" && i >= 2 && is_punct(toks[i - 1], "::") &&
+          is_ident(toks[i - 2], "std") && i + 1 < toks.size() &&
+          is_punct(toks[i + 1], "<")) {
+        const std::size_t close = match_forward(toks, i + 1, "<", ">");
+        for (std::size_t j = i + 2; j < close; ++j) {
+          if (is_punct(toks[j], "*")) {
+            emit(out, config, "D1", file.rel, t.line, "hash",
+                 "std::hash over a pointer type hashes the address "
+                 "(nondeterministic under ASLR)");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Sorted-emission: report/CSV/JSON emitters may only iterate unordered
+  // containers through util::sorted_items, so output ordering can never
+  // depend on hash-table layout.
+  if (!is_emitter_file(file.rel)) return;
+  std::set<std::string> visible;
+  const auto own = index.unordered_names.find(file.rel);
+  if (own != index.unordered_names.end())
+    visible.insert(own->second.begin(), own->second.end());
+  for (const auto& inc : index.reachable_includes(file.rel)) {
+    const auto it = index.unordered_names.find(inc);
+    if (it != index.unordered_names.end())
+      visible.insert(it->second.begin(), it->second.end());
+  }
+  if (visible.empty()) return;
+
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "for") || !is_punct(toks[i + 1], "(")) continue;
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    // Locate the range-for ':' at depth 1, after any init-statement ';'.
+    std::size_t colon = 0;
+    std::size_t depth = 0;
+    std::size_t search_from = i + 1;
+    for (std::size_t j = i + 1; j <= close; ++j) {
+      if (is_punct(toks[j], "(") || is_punct(toks[j], "[")) ++depth;
+      else if (is_punct(toks[j], ")") || is_punct(toks[j], "]")) --depth;
+      else if (depth == 1 && is_punct(toks[j], ";")) search_from = j + 1;
+    }
+    depth = 0;
+    for (std::size_t j = search_from; j <= close; ++j) {
+      if (is_punct(toks[j], "(") || is_punct(toks[j], "[")) ++depth;
+      else if (is_punct(toks[j], ")") || is_punct(toks[j], "]")) {
+        if (j == close) break;
+        --depth;
+      } else if (depth == 1 && is_punct(toks[j], ":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;  // classic for, no range expression
+
+    bool wrapped = false;
+    std::string base;
+    int base_line = toks[colon].line;
+    std::size_t expr_depth = 0;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (is_punct(toks[j], "(")) ++expr_depth;
+      else if (is_punct(toks[j], ")")) --expr_depth;
+      else if (toks[j].kind == Tok::Ident) {
+        if (toks[j].text == "sorted_items" || toks[j].text == "sorted_keys") {
+          wrapped = true;
+          break;
+        }
+        if (expr_depth == 0) {
+          base = toks[j].text;
+          base_line = toks[j].line;
+        }
+      }
+    }
+    if (!wrapped && visible.count(base) != 0) {
+      emit(out, config, "D1", file.rel, base_line, base,
+           "emitter iterates unordered container '" + base +
+               "' directly — wrap it in util::sorted_items() so emission "
+               "order is independent of hash layout");
+    }
+  }
+}
+
+// --- W1: wire-safety ----------------------------------------------------
+
+void check_w1(const SourceFile& file, const ProjectIndex& index,
+              const Config& config, std::vector<Finding>& out) {
+  const Tokens& toks = file.lex.tokens;
+  const bool wire_zone = starts_with(file.rel, "src/dnscore/") ||
+                         starts_with(file.rel, "src/resolver/");
+  const bool is_wire = ends_with(file.rel, "/wire.hpp") ||
+                       ends_with(file.rel, "/wire.cpp");
+
+  if (wire_zone && !is_wire) {
+    for (const Token& t : toks) {
+      if (t.kind != Tok::Ident) continue;
+      if (t.text == "memcpy" || t.text == "memmove" || t.text == "memchr") {
+        emit(out, config, "W1", file.rel, t.line, t.text,
+             "raw '" + t.text +
+                 "' outside wire.{hpp,cpp} — network bytes go through the "
+                 "bounds-checked WireReader/WireWriter paths");
+      } else if (t.text == "reinterpret_cast") {
+        emit(out, config, "W1", file.rel, t.line, t.text,
+             "reinterpret_cast outside wire.{hpp,cpp} — type-pun network "
+             "buffers only inside the bounds-checked wire layer");
+      }
+    }
+  }
+
+  // Discarded Result: an expression-statement that is exactly a call to a
+  // Result-returning function throws the error path away.
+  if (!starts_with(file.rel, "src/")) return;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    const bool boundary = t.kind == Tok::Punct &&
+                          (t.text == ";" || t.text == "{" || t.text == "}");
+    if (!boundary && t.kind != Tok::End) continue;
+    if (t.kind == Tok::Punct && t.text == ";" && i > start) {
+      // Statement tokens are [start, i). Match: ident-chain '(' ... ')' ';'
+      std::size_t j = start;
+      if (toks[j].kind == Tok::Ident && !is_keyword(toks[j].text)) {
+        std::string callee = toks[j].text;
+        int call_line = toks[j].line;
+        ++j;
+        while (j + 1 < i && toks[j].kind == Tok::Punct &&
+               (toks[j].text == "." || toks[j].text == "->" ||
+                toks[j].text == "::") &&
+               toks[j + 1].kind == Tok::Ident) {
+          callee = toks[j + 1].text;
+          call_line = toks[j + 1].line;
+          j += 2;
+        }
+        if (j < i && is_punct(toks[j], "(") &&
+            match_forward(toks, j, "(", ")") == i - 1 &&
+            index.result_functions.count(callee) != 0) {
+          emit(out, config, "W1", file.rel, call_line, callee,
+               "discarded Result from '" + callee +
+                   "()' — check ok() or bind the value");
+        }
+      }
+    }
+    start = i + 1;
+  }
+}
+
+// --- E1: EDE registry ---------------------------------------------------
+
+void check_e1(const SourceFile& file, const Config& config,
+              std::vector<Finding>& out) {
+  const Tokens& toks = file.lex.tokens;
+
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::Ident) continue;
+
+    if (t.text == "EdeCode" &&
+        (is_punct(toks[i + 1], "(") || is_punct(toks[i + 1], "{")) &&
+        toks[i + 2].kind == Tok::Number) {
+      emit(out, config, "E1", file.rel, toks[i + 2].line, toks[i + 2].text,
+           "EDE INFO-CODE from integer literal " + toks[i + 2].text +
+               " — name the EdeCode enumerator instead");
+    }
+    if (t.text == "ExtendedError" && is_punct(toks[i + 1], "{") &&
+        toks[i + 2].kind == Tok::Number) {
+      emit(out, config, "E1", file.rel, toks[i + 2].line, toks[i + 2].text,
+           "ExtendedError built from integer literal " + toks[i + 2].text +
+               " — name the EdeCode enumerator instead");
+    }
+    if (t.text == "static_cast" && is_punct(toks[i + 1], "<")) {
+      const std::size_t close = match_forward(toks, i + 1, "<", ">");
+      bool to_ede = false;
+      for (std::size_t j = i + 2; j < close; ++j)
+        if (is_ident(toks[j], "EdeCode")) to_ede = true;
+      if (to_ede && close + 2 < toks.size() &&
+          is_punct(toks[close + 1], "(") &&
+          toks[close + 2].kind == Tok::Number) {
+        emit(out, config, "E1", file.rel, toks[close + 2].line,
+             toks[close + 2].text,
+             "static_cast<EdeCode>(" + toks[close + 2].text +
+                 ") — name the EdeCode enumerator instead of a literal");
+      }
+    }
+  }
+
+  // Registry cross-check over the defining header itself.
+  if (file.rel != "src/edns/ede.hpp") return;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!(is_ident(toks[i], "enum") && is_ident(toks[i + 1], "class") &&
+          is_ident(toks[i + 2], "EdeCode")))
+      continue;
+    const int enum_line = toks[i].line;
+    std::size_t j = i + 3;
+    while (j < toks.size() && !is_punct(toks[j], "{")) ++j;
+    const std::size_t close = match_forward(toks, j, "{", "}");
+    std::vector<std::pair<int, std::string>> seen;  // value -> enumerator
+    int next_value = 0;
+    for (std::size_t k = j + 1; k < close; ++k) {
+      if (toks[k].kind != Tok::Ident) continue;
+      const std::string name = toks[k].text;
+      int value = next_value;
+      if (k + 2 < close && is_punct(toks[k + 1], "=") &&
+          toks[k + 2].kind == Tok::Number) {
+        value = std::stoi(toks[k + 2].text);
+        k += 2;
+      }
+      seen.emplace_back(value, name);
+      next_value = value + 1;
+      while (k < close && !is_punct(toks[k], ",")) ++k;
+    }
+    for (const RegistryRow& want : kEdeRegistry) {
+      const auto it = std::find_if(
+          seen.begin(), seen.end(),
+          [&](const auto& s) { return s.first == want.value; });
+      if (it == seen.end()) {
+        emit(out, config, "E1", file.rel, enum_line, want.enumerator,
+             std::string("EdeCode registry drift: code ") +
+                 std::to_string(want.value) + " (" + want.enumerator +
+                 ") missing from the enum");
+      } else if (it->second != want.enumerator) {
+        emit(out, config, "E1", file.rel, enum_line, it->second,
+             std::string("EdeCode registry drift: code ") +
+                 std::to_string(want.value) + " is '" + it->second +
+                 "' but the IANA registry names it '" + want.enumerator +
+                 "'");
+      }
+    }
+    for (const auto& [value, name] : seen) {
+      if (std::none_of(
+              kEdeRegistry.begin(), kEdeRegistry.end(),
+              [value = value](const RegistryRow& w) { return w.value == value; })) {
+        emit(out, config, "E1", file.rel, enum_line, name,
+             "EdeCode enumerator '" + name + "' = " + std::to_string(value) +
+                 " is not in the IANA registry snapshot");
+      }
+    }
+  }
+}
+
+// --- H1: hygiene --------------------------------------------------------
+
+/// Identifiers specific enough that spelling one is proof the file depends
+/// on its defining header — which must then be included directly, not
+/// inherited through whatever another header happens to pull in.
+const std::map<std::string, std::string>& spell_map() {
+  static const std::map<std::string, std::string> kMap = {
+      {"WireReader", "src/dnscore/wire.hpp"},
+      {"WireWriter", "src/dnscore/wire.hpp"},
+      {"MessageArena", "src/dnscore/arena.hpp"},
+      {"ExtendedError", "src/edns/ede.hpp"},
+      {"EdeCode", "src/edns/ede.hpp"},
+      {"RecursiveResolver", "src/resolver/resolver.hpp"},
+      {"InfraCache", "src/resolver/infra_cache.hpp"},
+      {"RetryPolicy", "src/resolver/retry.hpp"},
+      {"Xoshiro256", "src/crypto/rng.hpp"},
+      {"ByzantineBehavior", "src/simnet/byzantine.hpp"},
+      {"AuthServer", "src/server/auth_server.hpp"},
+      {"ScanWorld", "src/scan/world.hpp"},
+      {"sorted_items", "src/dnscore/sorted.hpp"},
+  };
+  return kMap;
+}
+
+void check_h1(const SourceFile& file, const Config& config,
+              std::vector<Finding>& out) {
+  const Tokens& toks = file.lex.tokens;
+  const bool header = ends_with(file.rel, ".hpp") || ends_with(file.rel, ".h");
+
+  if (header) {
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (is_ident(toks[i], "using") && is_ident(toks[i + 1], "namespace")) {
+        emit(out, config, "H1", file.rel, toks[i].line, "using-namespace",
+             "'using namespace' in a header leaks into every includer");
+      }
+    }
+  }
+
+  // Include-what-you-spell over the curated map. One finding per
+  // identifier per file (the first spelling).
+  std::set<std::string> direct(file.project_includes.begin(),
+                               file.project_includes.end());
+  std::set<std::string> reported;
+  for (const Token& t : toks) {
+    if (t.kind != Tok::Ident) continue;
+    const auto it = spell_map().find(t.text);
+    if (it == spell_map().end()) continue;
+    const std::string& owner = it->second;
+    if (file.rel == owner) continue;
+    // The header's own implementation file includes it by construction.
+    if (ends_with(file.rel, ".cpp") &&
+        file.rel.substr(0, file.rel.size() - 4) ==
+            owner.substr(0, owner.size() - 4))
+      continue;
+    if (direct.count(owner) != 0) continue;
+    if (!reported.insert(t.text).second) continue;
+    emit(out, config, "H1", file.rel, t.line, t.text,
+         "spells '" + t.text + "' but does not directly include " + owner);
+  }
+}
+
+}  // namespace
+
+bool Config::allows(const Finding& finding) const {
+  for (const AllowEntry& entry : allow) {
+    if (entry.rule != finding.rule) continue;
+    if (entry.file != finding.file) continue;
+    if (!entry.token.empty() && entry.token != finding.token) continue;
+    return true;
+  }
+  return false;
+}
+
+bool Config::ignored(const std::string& rel) const {
+  for (const std::string& prefix : ignore_prefixes)
+    if (starts_with(rel, prefix)) return true;
+  return false;
+}
+
+std::set<std::string> ProjectIndex::reachable_includes(
+    const std::string& rel) const {
+  std::set<std::string> seen;
+  std::vector<std::string> frontier{rel};
+  while (!frontier.empty()) {
+    const std::string current = std::move(frontier.back());
+    frontier.pop_back();
+    const auto it = includes.find(current);
+    if (it == includes.end()) continue;
+    for (const std::string& next : it->second)
+      if (next != rel && seen.insert(next).second) frontier.push_back(next);
+  }
+  return seen;
+}
+
+ProjectIndex build_index(const std::vector<SourceFile>& files) {
+  ProjectIndex index;
+  for (const SourceFile& file : files) {
+    index.includes[file.rel] = file.project_includes;
+    const Tokens& toks = file.lex.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Tok::Ident) continue;
+
+      // unordered_map<...> name;   /   unordered_map<...>& name(...)
+      if (t.text == "unordered_map" || t.text == "unordered_set" ||
+          t.text == "unordered_multimap" || t.text == "unordered_multiset") {
+        std::size_t j = i + 1;
+        if (j < toks.size() && is_punct(toks[j], "<")) {
+          j = match_forward(toks, j, "<", ">") + 1;
+          while (j < toks.size() &&
+                 (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+                  is_ident(toks[j], "const")))
+            ++j;
+          if (j < toks.size() && toks[j].kind == Tok::Ident)
+            index.unordered_names[file.rel].insert(toks[j].text);
+        }
+        continue;
+      }
+
+      // Result<...> name(   — a function declared to return dns::Result.
+      if (t.text == "Result" && i + 1 < toks.size() &&
+          is_punct(toks[i + 1], "<")) {
+        std::size_t j = match_forward(toks, i + 1, "<", ">") + 1;
+        while (j < toks.size() &&
+               (is_punct(toks[j], "&") || is_punct(toks[j], "*")))
+          ++j;
+        if (j + 1 < toks.size() && toks[j].kind == Tok::Ident &&
+            !is_keyword(toks[j].text) && is_punct(toks[j + 1], "(")) {
+          index.result_functions.insert(toks[j].text);
+        }
+      }
+    }
+  }
+  return index;
+}
+
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const ProjectIndex& index,
+                               const Config& config) {
+  std::vector<Finding> findings;
+  for (const SourceFile& file : files) {
+    if (!file.analyze || config.ignored(file.rel)) continue;
+    check_d1(file, index, config, findings);
+    check_w1(file, index, config, findings);
+    check_e1(file, config, findings);
+    check_h1(file, config, findings);
+  }
+  std::sort(findings.begin(), findings.end());
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.file == b.file && a.line == b.line &&
+                                      a.rule == b.rule &&
+                                      a.message == b.message;
+                             }),
+                 findings.end());
+  return findings;
+}
+
+}  // namespace ede::lint

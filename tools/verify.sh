@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
 # Full verification flow:
 #   1. configure + build the normal tree, run the whole ctest suite
-#   2. configure + build a second tree with EDE_SANITIZE=ON
+#      (which includes the ede_lint self-test + whole-tree scan)
+#   2. static analysis: tools/ede_lint fixture self-test, then the
+#      whole-tree scan (determinism / wire-safety / EDE-registry /
+#      hygiene rules; see DESIGN.md §5e) — zero new findings required
+#   3. hardened-warnings build: a separate tree with EDE_WERROR=ON
+#      (-Wshadow -Wconversion -Wswitch-enum -Werror) must compile clean
+#   4. configure + build a second tree with EDE_SANITIZE=ON
 #      (-fsanitize=address,undefined) and run the robustness + chaos
 #      suites under it — the adversarial-transport code paths are the
 #      ones most likely to hide lifetime/UB bugs. The parallel-scan suite
@@ -10,45 +16,57 @@
 #      the flat Name storage, the writer's open-addressing compression
 #      table, and the reused arenas are exactly the kind of raw-buffer
 #      code where ASan/UBSan earn their keep.
-#   3. configure + build a third tree with EDE_TSAN=ON (-fsanitize=thread)
+#   5. configure + build a third tree with EDE_TSAN=ON (-fsanitize=thread)
 #      and run the parallel-scan suite under it — proof that the sharded
 #      scan's worker threads share nothing mutable.
-#   4. chaos campaign: run tools/chaos_campaign (63 testbed cases x 7
+#   6. chaos campaign: run tools/chaos_campaign (63 testbed cases x 7
 #      hostile profiles) from the ASan+UBSan tree with a small seed count,
 #      twice, and diff the two reports — the machine-checked invariants
 #      must hold with zero violations and the JSON must be byte-identical
 #      (the campaign is the determinism contract for the Byzantine layer).
-#   5. perf smoke: run perf_micro from the optimized stage-1 tree and
+#   7. perf smoke: run perf_micro from the optimized stage-1 tree and
 #      print per-benchmark deltas against the committed codec baseline
 #      (bench/perf_baseline_codec.json). Informational, never fails the
 #      run — container jitter makes a hard threshold flakier than useful.
 #      Then the scan perf gate: a full sec42_wild_scan measurement vs
 #      bench/perf_baseline_scan.json, which DOES fail the run if the
 #      hardened fault-free path lost more than 5% throughput.
+#   8. clang-tidy (optional): run the curated .clang-tidy check set over
+#      src/ when a clang-tidy binary is installed; skipped with a notice
+#      otherwise — the container toolchain is gcc-only by default.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/5] normal build + full test suite ==="
+echo "=== [1/8] normal build + full test suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "=== [2/5] ASan+UBSan build: codec + robustness + chaos + malformed-corpus + parallel-scan ==="
+echo "=== [2/8] static analysis: ede_lint self-test + whole-tree scan ==="
+./build/tools/ede_lint/ede_lint --self-test tests/lint_fixtures
+./build/tools/ede_lint/ede_lint --repo-root . --config tools/ede_lint.conf \
+  src tests tools
+
+echo "=== [3/8] hardened-warnings build: EDE_WERROR=ON must compile clean ==="
+cmake -B build-werror -S . -DEDE_WERROR=ON >/dev/null
+cmake --build build-werror -j "$JOBS"
+
+echo "=== [4/8] ASan+UBSan build: codec + robustness + chaos + malformed-corpus + parallel-scan ==="
 cmake -B build-asan -S . -DEDE_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS" --target test_robustness test_chaos \
   test_malformed_corpus test_parallel_scan test_name test_wire test_rdata \
   test_message test_codec_golden
 ctest --test-dir build-asan --output-on-failure -R 'Robust|Chaos|Malformed|Parallel|ScanMerge|PlanShards|ScannerStride|Name|Wire|Rdata|DecodeRdata|Presentation|TypeBitmap|Message|CodecGolden'
 
-echo "=== [3/5] TSan build: parallel-scan suite ==="
+echo "=== [5/8] TSan build: parallel-scan suite ==="
 cmake -B build-tsan -S . -DEDE_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_parallel_scan
 ctest --test-dir build-tsan --output-on-failure \
   -R 'Parallel|ScanMerge|PlanShards|ScannerStride'
 
-echo "=== [4/5] chaos campaign under ASan+UBSan: invariants + byte-reproducibility ==="
+echo "=== [6/8] chaos campaign under ASan+UBSan: invariants + byte-reproducibility ==="
 cmake --build build-asan -j "$JOBS" --target chaos_campaign
 ./build-asan/tools/chaos_campaign --seeds 3 --out build-asan/chaos_report_a.json
 ./build-asan/tools/chaos_campaign --seeds 3 --out build-asan/chaos_report_b.json
@@ -56,7 +74,7 @@ cmp build-asan/chaos_report_a.json build-asan/chaos_report_b.json \
   || { echo "chaos campaign report is not byte-reproducible" >&2; exit 1; }
 echo "chaos campaign: zero violations, report byte-reproducible"
 
-echo "=== [5/5] perf smoke: codec deltas (informational) + scan perf gate (hard) ==="
+echo "=== [7/8] perf smoke: codec deltas (informational) + scan perf gate (hard) ==="
 # The stage-1 tree defaults to RelWithDebInfo, so its bench targets pass
 # the release-only guard in bench/CMakeLists.txt.
 cmake --build build -j "$JOBS" --target perf_micro sec42_wild_scan
@@ -77,5 +95,18 @@ done
 python3 tools/perf_smoke.py --scan build/scan_fresh_1.json \
   build/scan_fresh_2.json build/scan_fresh_3.json \
   --baseline bench/perf_baseline_scan.json
+
+echo "=== [8/8] clang-tidy (optional): curated check set over src/ ==="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Tidy reuses the stage-1 compile commands; the curated check set lives
+  # in .clang-tidy at the repo root.
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  find src -name '*.cpp' -print0 |
+    xargs -0 -n 8 -P "$JOBS" clang-tidy -p build --quiet
+  echo "clang-tidy: clean"
+else
+  echo "clang-tidy: not installed in this container, skipping (install"
+  echo "clang-tidy and re-run tools/verify.sh to enable this stage)"
+fi
 
 echo "verify: OK"
