@@ -68,6 +68,8 @@ std::string to_string(Defect defect) {
     case Defect::MismatchedQuestion: return "mismatched-question";
     case Defect::NoOptInResponse: return "no-opt-in-response";
     case Defect::IterationLimitExceeded: return "iteration-limit-exceeded";
+    case Defect::TcpConnectFailed: return "tcp-connect-failed";
+    case Defect::TcpStreamFailed: return "tcp-stream-failed";
     case Defect::StaleAnswerServed: return "stale-answer-served";
     case Defect::StaleNxdomainServed: return "stale-nxdomain-served";
     case Defect::CachedServfail: return "cached-servfail";

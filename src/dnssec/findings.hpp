@@ -83,6 +83,8 @@ enum class Defect {
   MismatchedQuestion,      // answer's question section differs from query
   NoOptInResponse,         // EDNS-unaware authority (no OPT echoed)
   IterationLimitExceeded,  // resolver gave up chasing referrals
+  TcpConnectFailed,        // DoTCP fallback: connection refused / timed out
+  TcpStreamFailed,         // DoTCP fallback: stream died before a full answer
 
   // --- Cache stage ----------------------------------------------------
   StaleAnswerServed,

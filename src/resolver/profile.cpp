@@ -40,6 +40,12 @@ ResolverProfile profile_bind() {
   // BIND starts a fetch near 800 ms and caps its per-query backoff at 10 s.
   p.retry.initial_timeout_ms = 800;
   p.retry.max_timeout_ms = 10'000;
+  // DoTCP: BIND waits out the full handshake timer and does not hammer a
+  // dead stream with reconnects (the truncation studies' most patient
+  // fallback profile).
+  p.retry.tcp_connect_timeout_ms = 10'000;
+  p.retry.tcp_read_timeout_ms = 10'000;
+  p.retry.tcp_attempts = 1;
   return p;
 }
 
@@ -97,6 +103,11 @@ ResolverProfile profile_unbound() {
   // (UNKNOWN_SERVER_NICENESS) and backs its RTO off toward 12 s.
   p.retry.initial_timeout_ms = 376;
   p.retry.max_timeout_ms = 12'000;
+  // DoTCP: Unbound's stream patience mirrors its UDP optimism — short
+  // timers, one reconnect before the server is written off.
+  p.retry.tcp_connect_timeout_ms = 3'000;
+  p.retry.tcp_read_timeout_ms = 3'000;
+  p.retry.tcp_attempts = 2;
   return p;
 }
 
@@ -146,6 +157,10 @@ ResolverProfile profile_powerdns() {
   p.retry.initial_timeout_ms = 1'500;
   p.retry.max_timeout_ms = 1'500;
   p.retry.backoff_factor = 1.0;
+  // DoTCP: the same flat 1.5 s patience, once.
+  p.retry.tcp_connect_timeout_ms = 1'500;
+  p.retry.tcp_read_timeout_ms = 1'500;
+  p.retry.tcp_attempts = 1;
   return p;
 }
 
@@ -202,6 +217,11 @@ ResolverProfile profile_knot() {
   // overall answer deadline.
   p.retry.initial_timeout_ms = 1'000;
   p.retry.max_timeout_ms = 6'000;
+  // DoTCP: Knot abandons unresponsive streams fastest of the tested
+  // vendors — a one-second handshake window, two tries.
+  p.retry.tcp_connect_timeout_ms = 1'000;
+  p.retry.tcp_read_timeout_ms = 1'000;
+  p.retry.tcp_attempts = 2;
   return p;
 }
 
@@ -259,6 +279,8 @@ ResolverProfile profile_cloudflare() {
       {Defect::ServerRefused, EdeCode::NetworkError},
       {Defect::ServerServfail, EdeCode::NetworkError},
       {Defect::ServerTimeout, EdeCode::NetworkError},
+      {Defect::TcpConnectFailed, EdeCode::NetworkError},
+      {Defect::TcpStreamFailed, EdeCode::NetworkError},
       {Defect::DnskeyFetchFailed, EdeCode::DnskeyMissing},
       {Defect::MismatchedQuestion, EdeCode::InvalidData},
       {Defect::IterationLimitExceeded, EdeCode::Other},
@@ -413,6 +435,8 @@ ResolverProfile profile_reference() {
       {Defect::ServerRefused, EdeCode::NetworkError},
       {Defect::ServerServfail, EdeCode::NetworkError},
       {Defect::ServerTimeout, EdeCode::NetworkError},
+      {Defect::TcpConnectFailed, EdeCode::NetworkError},
+      {Defect::TcpStreamFailed, EdeCode::NetworkError},
       {Defect::ServerNotAuth, EdeCode::NotAuthoritative},
       {Defect::DnskeyFetchFailed, EdeCode::DnskeyMissing},
       {Defect::MismatchedQuestion, EdeCode::InvalidData},

@@ -10,6 +10,7 @@
 #include "edns/report_channel.hpp"
 #include "resolver/infra_cache.hpp"
 #include "resolver/scrub.hpp"
+#include "simnet/stream.hpp"
 
 namespace ede::resolver {
 
@@ -199,13 +200,14 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
     }
 
     std::optional<dns::Message> received;
-    std::uint16_t payload_size = 1232;
+    const std::uint16_t payload_size = options_.edns_udp_payload;
     std::uint32_t timeout_ms = retry_.initial_timeout_ms;
     bool sent_once = false;
     // Policy-driven attempts per server: each timed-out attempt waits out
     // the current retransmission timer, then backs the timer off
-    // exponentially (capped). A TC-triggered "TCP" retry does not consume
-    // an attempt, mirroring the old three-attempt loop's special case.
+    // exponentially (capped). A TC-triggered DoTCP fallback does not
+    // consume a UDP attempt (it runs on its own tcp_* budget), mirroring
+    // the old three-attempt loop's special case.
     for (int attempt = 0;
          attempt < retry_.attempts_per_server && !received.has_value();) {
       if (budget_.attempts_left <= 0 ||
@@ -297,12 +299,21 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
         discard_and_retry();
         continue;
       }
-      if (parsed.value().header.tc && payload_size != 0xffff) {
-        // Truncated: retry "over TCP", modelled as a maximum-size EDNS
-        // advertisement on the lossless simulated transport.
-        payload_size = 0xffff;
-        sent_once = false;  // a fresh exchange, not a retransmission
-        continue;
+      if (parsed.value().header.tc) {
+        // Truncated: genuine RFC 7766 DoTCP fallback. The same question
+        // goes out over the stream transport under the policy's tcp_*
+        // budget; a dead stream path (refused, stalled, closed mid-answer,
+        // garbage framing) abandons this server, and on total failure the
+        // caller degrades to SERVFAIL with the AllServersUnreachable /
+        // TcpConnectFailed / TcpStreamFailed findings the vendor profile
+        // maps to EDE 22/23.
+        ++hardening_.tc_seen;
+        if (auto streamed = query_over_stream(server, qname, qtype, result);
+            streamed.has_value()) {
+          received = std::move(streamed);
+          continue;  // accepted: the loop condition exits
+        }
+        break;  // stream path dead: move on to the next server
       }
       if (parsed.value().question.size() != 1 ||
           !(parsed.value().question.front().qname == qname) ||
@@ -386,6 +397,125 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
   }
   result.response = std::move(first_response);
   return result;
+}
+
+std::optional<dns::Message> RecursiveResolver::query_over_stream(
+    const sim::NodeAddress& server, const dns::Name& qname, dns::RRType qtype,
+    QueryResult& result) {
+  ++hardening_.tcp_fallbacks;
+  const std::string query_desc =
+      qname.to_string() + " " + dns::to_string(qtype);
+  auto& stream = network_->stream();
+
+  for (int attempt = 0; attempt < retry_.tcp_attempts; ++attempt) {
+    if (budget_.attempts_left <= 0 ||
+        network_->clock().now_ms() >= budget_.deadline_ms) {
+      ++hardening_.watchdog_trips;
+      return std::nullopt;
+    }
+
+    // A fresh connection and a fresh transaction per attempt: reusing the
+    // UDP QID across transports would hand an on-path observer of the
+    // datagram leg a free forgery key for the stream leg.
+    dns::Message query = dns::make_query(next_id_++, qname, qtype,
+                                         /*recursion_desired=*/false);
+    edns::Edns edns;
+    edns.dnssec_ok = true;
+    edns.udp_payload_size = options_.edns_udp_payload;
+    edns::set_edns(query, edns);
+
+    ++result.queries;
+    --budget_.attempts_left;
+
+    const auto conn = stream.connect(profile_.source, server);
+    if (conn.status != sim::StreamTransport::ConnectStatus::Established) {
+      ++hardening_.tcp_connect_failures;
+      const bool refused =
+          conn.status == sim::StreamTransport::ConnectStatus::Refused;
+      // An RST arrives promptly; a swallowed SYN burns the whole
+      // handshake timer first.
+      if (!refused) network_->wait_ms(retry_.tcp_connect_timeout_ms);
+      infra_.report_failure(server,
+                            refused ? InfraCache::FailureKind::Unreachable
+                                    : InfraCache::FailureKind::Timeout,
+                            network_->clock().now_ms());
+      add_finding(result.findings, Stage::Transport, Defect::TcpConnectFailed,
+                  server.to_string() + ":53/tcp " +
+                      (refused ? "refused the connection"
+                               : "connect timed out") +
+                      " for " + query_desc);
+      continue;
+    }
+
+    const auto io = stream.exchange(conn.conn_id, arena_.serialize(query));
+    stream.close(conn.conn_id);
+
+    const auto stream_failed = [&](const std::string& what) {
+      ++hardening_.tcp_stream_failures;
+      infra_.report_failure(server, InfraCache::FailureKind::Timeout,
+                            network_->clock().now_ms());
+      add_finding(result.findings, Stage::Transport, Defect::TcpStreamFailed,
+                  server.to_string() + ":53/tcp " + what + " for " +
+                      query_desc);
+    };
+
+    if (io.status == sim::StreamTransport::IoStatus::Timeout) {
+      // Accept-then-stall: the read timer runs out with zero bytes.
+      network_->wait_ms(retry_.tcp_read_timeout_ms);
+      stream_failed("stalled after accepting the query");
+      continue;
+    }
+
+    sim::FrameAssembler assembler;
+    assembler.feed(io.bytes);
+    auto popped = assembler.pop();
+    if (popped.status != sim::FrameAssembler::Status::Frame) {
+      if (popped.status == sim::FrameAssembler::Status::BadFrame) {
+        stream_failed("sent a malformed frame");
+      } else if (io.status == sim::StreamTransport::IoStatus::Closed) {
+        stream_failed("closed the stream mid-answer");
+      } else {
+        // An over-declared length prefix: the frame never completes, so
+        // the read timer runs out with a partial buffer.
+        network_->wait_ms(retry_.tcp_read_timeout_ms);
+        stream_failed("never completed the response frame");
+      }
+      continue;
+    }
+
+    auto parsed = dns::Message::parse(popped.frame);
+    if (!parsed) {
+      stream_failed("sent an unparsable response");
+      continue;
+    }
+    if (!parsed.value().header.qr ||
+        parsed.value().header.id != query.header.id) {
+      ++hardening_.rejected_qid_mismatch;
+      stream_failed("answered a different transaction");
+      continue;
+    }
+    if (parsed.value().header.tc) {
+      // TC over a stream is nonsense (RFC 7766 §8): there is no larger
+      // transport left to fall back to.
+      stream_failed("set TC over the stream");
+      continue;
+    }
+    if (parsed.value().question.size() != 1 ||
+        !(parsed.value().question.front().qname == qname) ||
+        parsed.value().question.front().qtype != qtype) {
+      ++hardening_.rejected_question_mismatch;
+      add_finding(result.findings, Stage::Transport,
+                  Defect::MismatchedQuestion,
+                  "Mismatched question from the authoritative server " +
+                      server.to_string() + " (over TCP)");
+      continue;
+    }
+
+    infra_.report_success(server, conn.rtt_ms + io.rtt_ms);
+    ++hardening_.tcp_success;
+    return std::move(parsed).take();
+  }
+  return std::nullopt;
 }
 
 bool RecursiveResolver::ensure_root_trust(

@@ -64,6 +64,11 @@ struct ResolverOptions {
   bool aggressive_nsec_caching = false;
   /// Override the vendor profile's calibrated retry/backoff policy.
   std::optional<RetryPolicy> retry;
+  /// EDNS UDP payload size advertised upstream (RFC 6891). 1232 is the
+  /// DNS-flag-day default; the EDNS buffer-size sweep cases lower it to
+  /// 512 (forcing DoTCP on any signed answer) or raise it to 4096
+  /// (risking fragmentation loss instead).
+  std::uint16_t edns_udp_payload = 1'232;
   /// Infrastructure cache (per-nameserver SRTT, hold-down of known-dead
   /// servers). `infra.enabled = false` restores probe-every-time.
   InfraCache::Options infra;
@@ -99,6 +104,18 @@ struct HardeningStats {
   std::uint64_t servfail_cache_hits = 0;
   /// Probe batches cut short by the per-resolution watchdog budget.
   std::uint64_t watchdog_trips = 0;
+  // --- DoTCP fallback (RFC 7766) -------------------------------------
+  /// TC=1 responses observed (each switches the query to the stream).
+  std::uint64_t tc_seen = 0;
+  /// Stream fallbacks started (one per TC response acted upon).
+  std::uint64_t tcp_fallbacks = 0;
+  /// Stream fallbacks that produced an accepted full answer.
+  std::uint64_t tcp_success = 0;
+  /// Stream connections refused or timed out during the handshake.
+  std::uint64_t tcp_connect_failures = 0;
+  /// Streams that died after connecting: stalls, mid-stream closes,
+  /// garbage framing, frames that never completed.
+  std::uint64_t tcp_stream_failures = 0;
 };
 
 /// One step of the iterative resolution, for dig +trace-style display.
@@ -173,6 +190,17 @@ class RecursiveResolver {
 
   [[nodiscard]] Outcome resolve_internal(const dns::Name& qname,
                                          dns::RRType qtype, int depth);
+
+  /// DoTCP fallback (RFC 7766): retry `qname`/`qtype` against `server`
+  /// over the stream transport after a TC=1 UDP response, within the
+  /// policy's tcp_* budget. Returns the accepted response, or nullopt
+  /// when the stream path is dead (connection refused, handshake timeout,
+  /// stall, mid-stream close, garbage framing) — recording
+  /// TcpConnectFailed/TcpStreamFailed findings for the profile to map to
+  /// EDE 22/23.
+  [[nodiscard]] std::optional<dns::Message> query_over_stream(
+      const sim::NodeAddress& server, const dns::Name& qname,
+      dns::RRType qtype, QueryResult& result);
 
   /// Fetch and validate the root DNSKEY RRset once per cache lifetime.
   [[nodiscard]] bool ensure_root_trust(std::vector<dnssec::Finding>& findings);

@@ -30,6 +30,20 @@ struct RetryPolicy {
   /// the network's latency model is enabled (otherwise waits are free).
   std::uint32_t total_budget_ms = 60'000;
 
+  // --- DoTCP fallback budget (RFC 7766) ------------------------------
+  // A TC=1 response switches the query to the stream transport, which
+  // gets its own patience: vendors differ sharply here (the truncation/
+  // DoTCP measurement studies show BIND waiting out a full 10 s handshake
+  // while Knot gives up after a second), so profiles calibrate these.
+  /// Wait this long for the TCP handshake to complete.
+  std::uint32_t tcp_connect_timeout_ms = 3'000;
+  /// Wait this long for the response frame once the query is written.
+  std::uint32_t tcp_read_timeout_ms = 2'000;
+  /// Fresh connections attempted per server before declaring the stream
+  /// path dead and moving on (degrading to SERVFAIL + EDE 22/23 when no
+  /// server is left).
+  int tcp_attempts = 2;
+
   [[nodiscard]] std::uint32_t next_timeout(std::uint32_t current_ms) const {
     const auto scaled =
         static_cast<std::uint32_t>(static_cast<double>(current_ms) *

@@ -106,6 +106,12 @@ std::string render_section42(const ScanResult& result,
     out << ", scrubbed " << h.scrubbed_records << " records";
   if (h.watchdog_trips != 0)
     out << ", " << h.watchdog_trips << " watchdog trips";
+  if (h.tcp_fallbacks != 0) {
+    out << ", " << h.tc_seen << " TC seen, " << h.tcp_fallbacks
+        << " DoTCP fallbacks (" << h.tcp_success << " ok, "
+        << h.tcp_connect_failures << " connect-failed, "
+        << h.tcp_stream_failures << " stream-failed)";
+  }
   out << "\n";
   const auto& rc = result.record_cache;
   out << "record cache: " << rc.hits << " hits, " << rc.misses

@@ -53,6 +53,11 @@ void ScanResult::merge(const ScanResult& other) {
   hardening.coalesced_queries += other.hardening.coalesced_queries;
   hardening.servfail_cache_hits += other.hardening.servfail_cache_hits;
   hardening.watchdog_trips += other.hardening.watchdog_trips;
+  hardening.tc_seen += other.hardening.tc_seen;
+  hardening.tcp_fallbacks += other.hardening.tcp_fallbacks;
+  hardening.tcp_success += other.hardening.tcp_success;
+  hardening.tcp_connect_failures += other.hardening.tcp_connect_failures;
+  hardening.tcp_stream_failures += other.hardening.tcp_stream_failures;
   record_cache.hits += other.record_cache.hits;
   record_cache.misses += other.record_cache.misses;
   record_cache.stale_hits += other.record_cache.stale_hits;
@@ -159,6 +164,17 @@ ScanResult Scanner::run(resolver::RecursiveResolver& resolver,
       hardening_before.servfail_cache_hits;
   result.hardening.watchdog_trips =
       hardening_after.watchdog_trips - hardening_before.watchdog_trips;
+  result.hardening.tc_seen = hardening_after.tc_seen - hardening_before.tc_seen;
+  result.hardening.tcp_fallbacks =
+      hardening_after.tcp_fallbacks - hardening_before.tcp_fallbacks;
+  result.hardening.tcp_success =
+      hardening_after.tcp_success - hardening_before.tcp_success;
+  result.hardening.tcp_connect_failures =
+      hardening_after.tcp_connect_failures -
+      hardening_before.tcp_connect_failures;
+  result.hardening.tcp_stream_failures =
+      hardening_after.tcp_stream_failures -
+      hardening_before.tcp_stream_failures;
   result.record_cache.hits = cache_after.hits - cache_before.hits;
   result.record_cache.misses = cache_after.misses - cache_before.misses;
   result.record_cache.stale_hits =

@@ -114,7 +114,8 @@ const zone::Zone* AuthServer::zone_for(const dns::Name& qname) const {
 }
 
 dns::Message AuthServer::handle(const dns::Message& query,
-                                const sim::PacketContext& ctx) const {
+                                const sim::PacketContext& ctx,
+                                bool over_stream) const {
   dns::Message response;
   response.header.id = query.header.id;
   response.header.qr = true;
@@ -140,26 +141,41 @@ dns::Message AuthServer::handle(const dns::Message& query,
       response.question.front().qname =
           dns::Name::of("mangled.invalid.example.");
     }
-    // UDP truncation (RFC 1035 §4.1.1 TC bit): if the response exceeds the
-    // client's advertised payload size (512 without EDNS), send back an
-    // empty truncated response so the client retries over TCP.
-    // A maximum-size advertisement stands in for TCP on the simulated
-    // transport; otherwise both sides' UDP limits apply.
-    const bool tcp_like =
-        edns.has_value() && edns->udp_payload_size == 0xffff;
+    // UDP truncation (RFC 1035 §4.1.1 TC bit): if the response exceeds
+    // the smaller of the client's advertised EDNS payload size (512
+    // without EDNS, and never less — RFC 6891 §6.2.3) and this server's
+    // own limit, set TC and shed records until what remains fits. Records
+    // go in referral-priority order — additional data first, then
+    // authority, then the answer itself — and section counts always agree
+    // with the records actually present, so a truncated response is a
+    // well-formed (if useless) DNS message the client can parse before
+    // retrying over TCP. A stream has no size limit (RFC 7766 §8): the
+    // two-byte length prefix frames anything the codec can serialize.
+    if (over_stream) return response;
+    const std::uint16_t advertised =
+        !edns.has_value()
+            ? std::uint16_t{512}
+            : std::max<std::uint16_t>(edns->udp_payload_size, 512);
     const std::uint16_t limit =
-        !edns.has_value() ? std::uint16_t{512}
-        : tcp_like        ? std::uint16_t{0xffff}
-                          : std::min(edns->udp_payload_size,
-                                     config_.udp_payload_size);
+        std::min(advertised, config_.udp_payload_size);
     if (arena_.serialized_size(response) > limit) {
       response.header.tc = true;
-      response.answer.clear();
-      response.authority.clear();
-      // Keep only the OPT pseudo-record in additional.
-      std::erase_if(response.additional, [](const dns::ResourceRecord& rr) {
-        return rr.type != dns::RRType::OPT;
-      });
+      const auto drop_one = [](std::vector<dns::ResourceRecord>& section) {
+        // Shed from the back, preserving the OPT pseudo-record (it must
+        // ride every EDNS response so the client knows EDNS worked).
+        for (auto it = section.rbegin(); it != section.rend(); ++it) {
+          if (it->type == dns::RRType::OPT) continue;
+          section.erase(std::next(it).base());
+          return true;
+        }
+        return false;
+      };
+      while (arena_.serialized_size(response) > limit) {
+        if (drop_one(response.additional)) continue;
+        if (drop_one(response.authority)) continue;
+        if (drop_one(response.answer)) continue;
+        break;  // only the header, question and OPT remain
+      }
     }
     return response;
   };
@@ -424,6 +440,17 @@ sim::Endpoint AuthServer::endpoint() const {
                 const sim::PacketContext& ctx) -> std::optional<crypto::Bytes> {
     if (!arena_.parse(wire)) return std::nullopt;  // unparsable packets vanish
     return arena_.serialize_copy(handle(arena_.message(), ctx));
+  };
+}
+
+sim::Endpoint AuthServer::stream_endpoint() const {
+  return [this](crypto::BytesView wire,
+                const sim::PacketContext& ctx) -> std::optional<crypto::Bytes> {
+    // Unparsable queries close the connection (the transport maps a
+    // swallowed reply to a stream close, unlike the datagram's silence).
+    if (!arena_.parse(wire)) return std::nullopt;
+    return arena_.serialize_copy(
+        handle(arena_.message(), ctx, /*over_stream=*/true));
   };
 }
 

@@ -52,11 +52,22 @@ class AuthServer {
   [[nodiscard]] ServerConfig& config() { return config_; }
 
   /// Handle a parsed query (exposed for direct unit testing).
+  /// `over_stream` disables the UDP size limit entirely: a stream carries
+  /// any message the two-byte length prefix can frame, so the TC bit is
+  /// never set there (RFC 7766 §8).
   [[nodiscard]] dns::Message handle(const dns::Message& query,
-                                    const sim::PacketContext& ctx) const;
+                                    const sim::PacketContext& ctx,
+                                    bool over_stream) const;
+  [[nodiscard]] dns::Message handle(const dns::Message& query,
+                                    const sim::PacketContext& ctx) const {
+    return handle(query, ctx, /*over_stream=*/false);
+  }
 
   /// Wire-level entry point for Network::attach.
   [[nodiscard]] sim::Endpoint endpoint() const;
+  /// Wire-level entry point for StreamTransport::listen: same lookup
+  /// logic, no truncation.
+  [[nodiscard]] sim::Endpoint stream_endpoint() const;
 
  private:
   [[nodiscard]] const zone::Zone* zone_for(const dns::Name& qname) const;

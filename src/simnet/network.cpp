@@ -3,6 +3,8 @@
 
 #include <algorithm>
 
+#include "simnet/stream.hpp"
+
 namespace ede::sim {
 
 namespace {
@@ -16,6 +18,14 @@ constexpr std::uint8_t kQrBit = 0x80;
 constexpr std::uint8_t kRcodeRefused = 5;
 
 }  // namespace
+
+// Defined out of line: StreamTransport is an incomplete type in the header.
+Network::Network(std::shared_ptr<Clock> clock, std::uint64_t transport_seed)
+    : clock_(std::move(clock)),
+      stream_(std::make_shared<StreamTransport>(clock_, transport_seed)),
+      rng_(transport_seed) {
+  latency_.seed = transport_seed;
+}
 
 void Network::attach(const NodeAddress& address, Endpoint endpoint) {
   endpoints_[address] = std::move(endpoint);
@@ -54,6 +64,7 @@ void Network::set_mutator(const NodeAddress& address,
 void Network::set_latency(const LatencyModel& model) {
   latency_ = model;
   rng_ = crypto::Xoshiro256(model.seed);
+  stream_->set_latency(model);
 }
 
 void Network::set_link_rtt(const NodeAddress& address,
@@ -111,6 +122,7 @@ SendResult Network::send_impl(const NodeAddress& source,
   }
 
   bool corrupt_response = false;
+  std::uint32_t frag_mtu = 0;
   const auto fault_it = faults_.find(destination);
   if (fault_it != faults_.end() &&
       fault_it->second.active(clock_->now())) {
@@ -149,6 +161,9 @@ SendResult Network::send_impl(const NodeAddress& source,
         }
         break;
       }
+      case Fault::Kind::FragDrop:
+        frag_mtu = fault.mtu_bytes;
+        break;
       case Fault::Kind::None:
         break;
     }
@@ -173,6 +188,11 @@ SendResult Network::send_impl(const NodeAddress& source,
     if (!rewritten) return drop();
     response = std::move(rewritten);
   }
+
+  // Path-MTU fragmentation loss: the response left the server, fragmented
+  // in flight, and the fragments never arrived. Indistinguishable from any
+  // other silent drop at the sender — which is the point.
+  if (frag_mtu != 0 && response->size() > frag_mtu) return drop();
 
   if (corrupt_response && !response->empty()) {
     // Flip one to three bytes so the receiver's parser path is exercised

@@ -95,11 +95,13 @@ struct Fault {
     Loss,          // drop each packet independently with probability p
     Corrupt,       // deliver, but flip response bytes with probability p
     RateLimit,     // answer REFUSED beyond max_qps queries per sim-second
+    FragDrop,      // drop responses larger than mtu_bytes (fragment loss)
   };
 
   Kind kind = Kind::None;
   double probability = 1.0;    // Loss / Corrupt
   std::uint32_t max_qps = 0;   // RateLimit
+  std::uint32_t mtu_bytes = 0;  // FragDrop
   SimTime active_from = 0;     // fault applies inside [active_from,
   SimTime active_until = kFaultForever;  //                active_until)
 
@@ -111,6 +113,16 @@ struct Fault {
   static Fault rate_limit(std::uint32_t qps) {
     Fault f{Kind::RateLimit};
     f.max_qps = qps;
+    return f;
+  }
+  /// Path-MTU fragmentation loss: any UDP response bigger than `mtu`
+  /// fragments in flight and the fragments never arrive — the silent
+  /// large-DNSSEC-answer blackhole the DoTCP fallback exists to survive.
+  /// Queries and small responses pass untouched; the stream transport is
+  /// unaffected (TCP segments below the MTU by construction).
+  static Fault frag_drop(std::uint32_t mtu = 1'472) {
+    Fault f{Kind::FragDrop};
+    f.mtu_bytes = mtu;
     return f;
   }
 
@@ -138,17 +150,17 @@ struct LatencyModel {
   std::uint64_t seed = 0x1ede;     // drives jitter, loss and corruption
 };
 
+class StreamTransport;
+
 class Network {
  public:
   /// `transport_seed` drives the transport RNG (jitter, loss, corruption)
   /// and becomes the default LatencyModel seed. Sharded scans derive it as
   /// base_seed ^ shard_id so every worker's transport is independently
-  /// reproducible for any shard count.
+  /// reproducible for any shard count. The companion stream transport
+  /// shares the clock and the seed (salted; see simnet/stream.cpp).
   explicit Network(std::shared_ptr<Clock> clock,
-                   std::uint64_t transport_seed = LatencyModel{}.seed)
-      : clock_(std::move(clock)), rng_(transport_seed) {
-    latency_.seed = transport_seed;
-  }
+                   std::uint64_t transport_seed = LatencyModel{}.seed);
 
   [[nodiscard]] std::uint64_t transport_seed() const { return latency_.seed; }
 
@@ -172,8 +184,16 @@ class Network {
     inject_fault(address, Fault::timeout().between(t0, t1));
   }
 
-  /// Install (or disable) the latency model. Reseeds the transport RNG so
-  /// experiments are reproducible from the model's seed.
+  /// The TCP-like stream transport sharing this network's clock and seed.
+  /// Servers listen on it via StreamTransport::listen (see
+  /// server::AuthServer::stream_endpoint), the resolver's DoTCP fallback
+  /// connects through it.
+  [[nodiscard]] StreamTransport& stream() { return *stream_; }
+  [[nodiscard]] const StreamTransport& stream() const { return *stream_; }
+
+  /// Install (or disable) the latency model. Reseeds the transport RNG
+  /// (datagram and stream sides both) so experiments are reproducible
+  /// from the model's seed.
   void set_latency(const LatencyModel& model);
   [[nodiscard]] const LatencyModel& latency() const { return latency_; }
   /// Per-link base-RTT override (e.g. an overseas authority).
@@ -240,6 +260,7 @@ class Network {
                                      bool retransmission);
 
   std::shared_ptr<Clock> clock_;
+  std::shared_ptr<StreamTransport> stream_;
   std::unordered_map<NodeAddress, Endpoint, NodeAddressHash> endpoints_;
   std::unordered_map<NodeAddress, Fault, NodeAddressHash> faults_;
   std::unordered_map<NodeAddress, ResponseMutator, NodeAddressHash> mutators_;

@@ -1,0 +1,376 @@
+#include "simnet/stream.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "crypto/rng.hpp"
+#include "dnscore/message.hpp"
+#include "dnscore/rdata.hpp"
+#include "dnscore/wire.hpp"
+#include "simnet/byzantine.hpp"
+
+namespace ede::sim {
+
+namespace {
+
+/// Salt folded into the Network's transport seed so the stream RNG draws
+/// an independent sequence: datagram jitter/loss must not perturb the
+/// stream fault schedule (and vice versa) or fixed-seed storylines stop
+/// replaying when one side adds a probe.
+constexpr std::uint64_t kStreamSeedSalt = 0x57e4'a117'ced5'eedULL;
+
+/// One TCP segment's worth of payload (Ethernet MTU minus headers).
+constexpr std::size_t kSegmentBytes = 1'460;
+
+/// Connections untouched for this long are reaped on next use, the way a
+/// busy authority sheds idle DoTCP clients.
+constexpr SimTimeMs kIdleTimeoutMs = 30'000;
+
+/// The length prefix is two bytes, so a frame can never exceed the DNS
+/// maximum message size.
+constexpr std::size_t kMaxFrame = 0xffff;
+
+/// TEST-NET-1 target for the forged-over-TCP answer, the same visibly
+/// bogus address the datagram Byzantine zoo plants (see byzantine.cpp).
+const dns::Ipv4Address kForgedAddress{std::array<std::uint8_t, 4>{
+    192, 0, 2, 66}};
+
+/// The DifferentAnswer forge: a plausible, in-bailiwick, *unsigned* answer
+/// to the question actually asked, plus a poison-marker additional record.
+/// The unsigned answer is the calibration point — a validating resolver
+/// must reject it (RRSIGs missing), and the poison record must never
+/// survive the scrubber; both are chaos-campaign invariants.
+std::optional<crypto::Bytes> forge_answer(crypto::BytesView query_wire) {
+  auto parsed = dns::Message::parse(query_wire);
+  if (!parsed.ok() || parsed.value().question.empty()) return std::nullopt;
+  const dns::Message& query = parsed.value();
+  const auto& q = query.question.front();
+
+  dns::Message forged;
+  forged.header.id = query.header.id;
+  forged.header.qr = true;
+  forged.header.aa = true;
+  forged.question = query.question;
+  if (q.qtype == dns::RRType::TXT) {
+    dns::TxtRdata txt;
+    txt.strings.push_back("forged-over-tcp");
+    forged.answer.push_back(
+        {q.qname, dns::RRType::TXT, dns::RRClass::IN, 86'400, txt});
+  } else {
+    forged.answer.push_back({q.qname, dns::RRType::A, dns::RRClass::IN,
+                             86'400, dns::ARdata{kForgedAddress}});
+  }
+  forged.additional.push_back({poison_marker(), dns::RRType::A,
+                               dns::RRClass::IN, 86'400,
+                               dns::ARdata{kForgedAddress}});
+  return forged.serialize();
+}
+
+}  // namespace
+
+const char* to_string(StreamBehaviorKind kind) {
+  switch (kind) {
+    case StreamBehaviorKind::None: return "none";
+    case StreamBehaviorKind::Refuse: return "refuse";
+    case StreamBehaviorKind::SynDrop: return "syn-drop";
+    case StreamBehaviorKind::Stall: return "stall";
+    case StreamBehaviorKind::MidClose: return "mid-close";
+    case StreamBehaviorKind::GarbageFrame: return "garbage-frame";
+    case StreamBehaviorKind::DifferentAnswer: return "different-answer";
+    case StreamBehaviorKind::SegmentLoss: return "segment-loss";
+  }
+  return "unknown";
+}
+
+crypto::Bytes frame_message(crypto::BytesView payload) {
+  const std::size_t len = std::min(payload.size(), kMaxFrame);
+  dns::WireWriter writer;
+  writer.write_u16(static_cast<std::uint16_t>(len));
+  writer.write_bytes(payload.subspan(0, len));
+  return std::move(writer).take();
+}
+
+void FrameAssembler::feed(crypto::BytesView bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+FrameAssembler::PopResult FrameAssembler::pop() {
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 2) return {Status::NeedMore, {}};
+
+  dns::WireReader reader(
+      crypto::BytesView(buffer_.data() + consumed_, avail));
+  auto length = reader.read_u16();
+  if (!length.ok()) return {Status::NeedMore, {}};
+  const std::size_t len = length.value();
+  if (len == 0) {
+    // A zero-length frame carries no DNS message; consume the prefix so a
+    // peer spraying empty frames cannot wedge the assembler.
+    consumed_ += 2;
+    return {Status::BadFrame, {}};
+  }
+  if (avail - 2 < len) {
+    // Short payload: indistinguishable from a frame still in flight (an
+    // over-declared prefix simply never completes and the reader's own
+    // patience runs out).
+    return {Status::NeedMore, {}};
+  }
+  auto frame = reader.read_bytes(len);
+  if (!frame.ok()) return {Status::NeedMore, {}};
+  consumed_ += 2 + len;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  return {Status::Frame, std::move(frame).take()};
+}
+
+void FrameAssembler::reset() {
+  buffer_.clear();
+  consumed_ = 0;
+}
+
+StreamTransport::StreamTransport(std::shared_ptr<Clock> clock,
+                                 std::uint64_t seed)
+    : clock_(std::move(clock)), rng_(seed ^ kStreamSeedSalt) {
+  latency_.seed = seed;
+}
+
+void StreamTransport::listen(const NodeAddress& address, Endpoint endpoint) {
+  listeners_[address] = std::move(endpoint);
+}
+
+void StreamTransport::ignore(const NodeAddress& address) {
+  listeners_.erase(address);
+}
+
+bool StreamTransport::listening(const NodeAddress& address) const {
+  return listeners_.count(address) != 0;
+}
+
+void StreamTransport::set_behaviors(const NodeAddress& address,
+                                    std::vector<StreamBehavior> behaviors) {
+  if (behaviors.empty()) {
+    behaviors_.erase(address);
+  } else {
+    behaviors_[address] = std::move(behaviors);
+  }
+}
+
+void StreamTransport::set_mutator(const NodeAddress& address,
+                                  ResponseMutator mutator) {
+  if (mutator) {
+    mutators_[address] = std::move(mutator);
+  } else {
+    mutators_.erase(address);
+  }
+}
+
+void StreamTransport::set_latency(const LatencyModel& model) {
+  latency_ = model;
+  rng_ = crypto::Xoshiro256(model.seed ^ kStreamSeedSalt);
+}
+
+std::uint32_t StreamTransport::link_rtt() {
+  if (!latency_.enabled) return 0;
+  std::uint32_t rtt = latency_.base_rtt_ms;
+  if (latency_.jitter_ms > 0) {
+    rtt += static_cast<std::uint32_t>(rng_.below(latency_.jitter_ms + 1));
+  }
+  return rtt;
+}
+
+StreamBehavior StreamTransport::pick_behavior(
+    const NodeAddress& address,
+    std::initializer_list<StreamBehaviorKind> kinds) {
+  const auto it = behaviors_.find(address);
+  if (it == behaviors_.end()) return {};
+  const SimTime now = clock_->now();
+  for (const auto& behavior : it->second) {
+    if (!behavior.active(now)) continue;
+    if (std::find(kinds.begin(), kinds.end(), behavior.kind) == kinds.end())
+      continue;
+    if (rng_.uniform() < behavior.probability) return behavior;
+  }
+  return {};
+}
+
+StreamTransport::ConnectResult StreamTransport::connect(
+    const NodeAddress& source, const NodeAddress& destination) {
+  ++stats_.connects_attempted;
+
+  if (!destination.is_routable()) {
+    // ICMP comes back, so the round trip is charged like the datagram side.
+    const std::uint32_t rtt = link_rtt();
+    if (latency_.enabled) clock_->advance_ms(rtt);
+    return {ConnectStatus::Unreachable, 0, rtt};
+  }
+
+  const auto behavior = pick_behavior(
+      destination, {StreamBehaviorKind::Refuse, StreamBehaviorKind::SynDrop});
+  if (behavior.kind == StreamBehaviorKind::SynDrop) {
+    // Silent drop: nothing is charged here, the caller's own connect
+    // timeout is what elapses (via Network::wait_ms).
+    ++stats_.connects_dropped;
+    return {ConnectStatus::Timeout, 0, 0};
+  }
+
+  const std::uint32_t rtt = link_rtt();
+  if (behavior.kind == StreamBehaviorKind::Refuse ||
+      listeners_.count(destination) == 0) {
+    // An RST (or port-closed RST from a UDP-only host) arrives promptly.
+    ++stats_.connects_refused;
+    if (latency_.enabled) clock_->advance_ms(rtt);
+    return {ConnectStatus::Refused, 0, rtt};
+  }
+
+  // SYN / SYN-ACK / ACK: one round trip before data can flow.
+  if (latency_.enabled) clock_->advance_ms(rtt);
+  ++stats_.connects_established;
+  const std::uint64_t conn_id = next_conn_id_++;
+  connections_[conn_id] = {source, destination, clock_->now_ms()};
+  return {ConnectStatus::Established, conn_id, rtt};
+}
+
+StreamTransport::IoResult StreamTransport::exchange(std::uint64_t conn_id,
+                                                    crypto::BytesView query) {
+  const auto conn_it = connections_.find(conn_id);
+  if (conn_it == connections_.end()) return {IoStatus::Closed, {}, 0};
+  Connection& conn = conn_it->second;
+
+  ++stats_.exchanges;
+  const SimTimeMs now_ms = clock_->now_ms();
+  if (now_ms - conn.last_active_ms > kIdleTimeoutMs) {
+    ++stats_.idle_closes;
+    connections_.erase(conn_it);
+    return {IoStatus::Closed, {}, 0};
+  }
+  conn.last_active_ms = now_ms;
+
+  const NodeAddress peer = conn.peer;
+  const auto listener = listeners_.find(peer);
+  if (listener == listeners_.end()) {
+    // The server stopped listening under us: RST on the next write.
+    connections_.erase(conn_it);
+    return {IoStatus::Closed, {}, 0};
+  }
+
+  // The query travels framed; the server de-chunks it through the same
+  // assembler the client uses on responses, so both directions of the
+  // length-prefix codec are exercised on every exchange.
+  FrameAssembler server_side;
+  server_side.feed(frame_message(query));
+  auto inbound = server_side.pop();
+  if (inbound.status != FrameAssembler::Status::Frame) {
+    connections_.erase(conn_it);
+    return {IoStatus::Closed, {}, 0};
+  }
+
+  auto response = listener->second(inbound.frame, PacketContext{conn.source});
+  std::uint32_t rtt = link_rtt();
+  if (!response) {
+    // The server dropped the query; over a stream that reads as a close.
+    if (latency_.enabled) clock_->advance_ms(rtt);
+    connections_.erase(conn_it);
+    return {IoStatus::Closed, {}, rtt};
+  }
+
+  // Byzantine hook on the unframed response bytes, exactly like the
+  // datagram path: the zoo in simnet/byzantine.hpp works unchanged here.
+  if (const auto mut = mutators_.find(peer); mut != mutators_.end()) {
+    MutateContext ctx;
+    ctx.now = clock_->now();
+    auto rewritten = mut->second(query, std::move(*response), ctx);
+    if (ctx.mutated) ++stats_.mutated;
+    rtt += ctx.extra_delay_ms;
+    if (!rewritten) {
+      if (latency_.enabled) clock_->advance_ms(rtt);
+      connections_.erase(conn_it);
+      return {IoStatus::Closed, {}, rtt};
+    }
+    response = std::move(rewritten);
+  }
+
+  const auto behavior = pick_behavior(
+      peer, {StreamBehaviorKind::Stall, StreamBehaviorKind::MidClose,
+             StreamBehaviorKind::GarbageFrame,
+             StreamBehaviorKind::DifferentAnswer,
+             StreamBehaviorKind::SegmentLoss});
+  switch (behavior.kind) {
+    case StreamBehaviorKind::Stall:
+      // Accepted, acked, then silence: the caller's read patience elapses
+      // via wait_ms, nothing is charged here.
+      ++stats_.stalls;
+      return {IoStatus::Timeout, {}, 0};
+    case StreamBehaviorKind::DifferentAnswer:
+      if (auto forged = forge_answer(query); forged.has_value()) {
+        ++stats_.forged_answers;
+        response = std::move(forged);
+      }
+      break;
+    case StreamBehaviorKind::GarbageFrame: {
+      ++stats_.garbage_frames;
+      dns::WireWriter writer;
+      if (rng_.below(2) == 0) {
+        // A zero-length frame: BadFrame at the assembler.
+        writer.write_u16(0);
+      } else {
+        // Over-declared prefix: the frame never completes, the reader's
+        // patience runs out (NeedMore forever).
+        writer.write_u16(static_cast<std::uint16_t>(
+            std::min(response->size() + 64, kMaxFrame)));
+        writer.write_bytes(*response);
+      }
+      if (latency_.enabled) clock_->advance_ms(rtt);
+      return {IoStatus::Ok, std::move(writer).take(), rtt};
+    }
+    case StreamBehaviorKind::None:
+    case StreamBehaviorKind::Refuse:
+    case StreamBehaviorKind::SynDrop:
+    case StreamBehaviorKind::MidClose:
+    case StreamBehaviorKind::SegmentLoss:
+      break;
+  }
+
+  crypto::Bytes framed = frame_message(*response);
+
+  if (behavior.kind == StreamBehaviorKind::MidClose) {
+    ++stats_.mid_closes;
+    const std::size_t keep =
+        std::min<std::size_t>(behavior.param, framed.size());
+    framed.resize(keep);
+    if (latency_.enabled) clock_->advance_ms(rtt);
+    connections_.erase(conn_it);
+    return {IoStatus::Closed, std::move(framed), rtt};
+  }
+
+  // Segment accounting: every kSegmentBytes chunk is one segment. Under
+  // SegmentLoss each lost segment is retransmitted at the cost of one
+  // extra round trip — TCP never loses data, only time.
+  const std::size_t segments = (framed.size() + kSegmentBytes - 1) /
+                               kSegmentBytes;
+  stats_.segments_sent += segments;
+  if (behavior.kind == StreamBehaviorKind::SegmentLoss) {
+    const double per_segment = static_cast<double>(behavior.param) / 100.0;
+    for (std::size_t i = 0; i < segments; ++i) {
+      if (rng_.uniform() < per_segment) {
+        ++stats_.segments_lost;
+        rtt += link_rtt();
+      }
+    }
+  }
+
+  if (latency_.enabled) clock_->advance_ms(rtt);
+  ++stats_.frames_delivered;
+  return {IoStatus::Ok, std::move(framed), rtt};
+}
+
+void StreamTransport::close(std::uint64_t conn_id) {
+  connections_.erase(conn_id);
+}
+
+bool StreamTransport::open(std::uint64_t conn_id) const {
+  return connections_.count(conn_id) != 0;
+}
+
+}  // namespace ede::sim

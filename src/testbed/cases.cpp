@@ -334,4 +334,77 @@ const std::vector<CaseSpec>& all_cases() {
   return cases;
 }
 
+const std::vector<StreamCaseSpec>& stream_cases() {
+  static const std::vector<StreamCaseSpec> cases = [] {
+    std::vector<StreamCaseSpec> c;
+    const auto add = [&c](StreamCaseSpec spec) { c.push_back(std::move(spec)); };
+
+    // Clean fallback: the baseline the failure cases contrast against.
+    add({.label = "tc-clean-fallback",
+         .description = "A 512-byte authority truncates the big TXT answer; "
+                        "the DoTCP retry delivers it intact"});
+
+    // Hostile stream behaviors, every one TC-baited from the same stingy
+    // UDP limit. All must degrade to SERVFAIL (EDE 22/23 where the vendor
+    // can express them), never a silent NOERROR.
+    add({.label = "tcp-refused",
+         .description = "TC over UDP, but every TCP connection is refused",
+         .fault = StreamFault::Refuse,
+         .expect_success = false});
+    add({.label = "tcp-stall",
+         .description = "TC over UDP; TCP accepts the query then never "
+                        "sends a byte",
+         .fault = StreamFault::Stall,
+         .expect_success = false});
+    add({.label = "tcp-midstream-close",
+         .description = "TC over UDP; TCP closes after the first bytes of "
+                        "the response frame",
+         .fault = StreamFault::MidClose,
+         .expect_success = false});
+    add({.label = "tc-then-garbage",
+         .description = "TC over UDP; the TCP response frame is garbage "
+                        "(zero-length or over-declared length prefix)",
+         .fault = StreamFault::GarbageFrame,
+         .expect_success = false});
+    add({.label = "tc-different-answer",
+         .description = "TC over UDP; TCP serves a different, unsigned "
+                        "answer (validation must reject it)",
+         .server_payload_limit = 1'232,  // only the big TXT truncates
+         .fault = StreamFault::DifferentAnswer,
+         .expect_success = false});
+
+    // Fragmentation blackhole: no TC at all — the big answer leaves the
+    // server and the fragments never arrive (the failure mode the 1232
+    // flag-day default exists to avoid).
+    add({.label = "frag-drop-dnssec",
+         .description = "A 4096-byte advertisement invites a fragmented "
+                        "answer that is dropped in flight",
+         .server_payload_limit = 4'096,
+         .fault = StreamFault::FragDrop,
+         .resolver_payload = 4'096,
+         .expect_success = false});
+
+    // EDNS buffer-size sweep (512 / 1232 / 4096) over an honest authority:
+    // small advertisements force the stream, 4096 fits over UDP.
+    add({.label = "edns-512",
+         .description = "Resolver advertises 512: every signed answer "
+                        "truncates and falls back to TCP",
+         .server_payload_limit = 4'096,
+         .resolver_payload = 512});
+    add({.label = "edns-1232",
+         .description = "Resolver advertises 1232: the big TXT answer "
+                        "still truncates and falls back to TCP",
+         .server_payload_limit = 4'096,
+         .resolver_payload = 1'232});
+    add({.label = "edns-4096",
+         .description = "Resolver advertises 4096: the big TXT answer "
+                        "fits over UDP, no fallback",
+         .server_payload_limit = 4'096,
+         .resolver_payload = 4'096});
+
+    return c;
+  }();
+  return cases;
+}
+
 }  // namespace ede::testbed

@@ -84,4 +84,37 @@ struct CaseSpec {
 /// All 63 specs in the paper's order.
 [[nodiscard]] const std::vector<CaseSpec>& all_cases();
 
+// --- the truncation / DoTCP scenario family ---------------------------
+// A separate family (not part of the 63 Table 4 cases): children whose
+// signed TXT answer is far too big for a small UDP limit, served by
+// authorities whose stream side misbehaves in the ways the DoTCP
+// measurement studies catalogue. Built only when
+// TestbedOptions::stream_family is set.
+
+/// TCP/stream fault the child's authoritative server exhibits.
+enum class StreamFault {
+  None,             // honest truncation, clean DoTCP fallback
+  Refuse,           // RST every TCP connection attempt
+  Stall,            // accept the query, then never send a byte
+  MidClose,         // close after the first few response bytes
+  GarbageFrame,     // hostile length-prefix framing
+  DifferentAnswer,  // forged unsigned answer served over the stream
+  FragDrop,         // big UDP answers fragment in flight and vanish
+};
+
+struct StreamCaseSpec {
+  std::string label;        // the subdomain, e.g. "tcp-refused"
+  std::string description;
+  /// The authority's own UDP payload cap — what forces the TC bit.
+  std::uint16_t server_payload_limit = 512;
+  StreamFault fault = StreamFault::None;
+  /// The resolver-side EDNS advertisement (the buffer-size sweep).
+  std::uint16_t resolver_payload = 1'232;
+  /// Whether resolution should deliver the signed TXT answer.
+  bool expect_success = true;
+};
+
+/// The stream scenario specs (fixed order, like all_cases()).
+[[nodiscard]] const std::vector<StreamCaseSpec>& stream_cases();
+
 }  // namespace ede::testbed

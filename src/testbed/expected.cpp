@@ -94,4 +94,63 @@ const std::vector<ExpectedRow>& expected_table4() {
   return table;
 }
 
+namespace {
+
+ExpectedStreamRow stream_row(std::string label, std::string rcode, Codes bind,
+                             Codes unbound, Codes powerdns, Codes knot,
+                             Codes cloudflare, Codes quad9, Codes opendns) {
+  return {std::move(label),
+          std::move(rcode),
+          {std::move(bind), std::move(unbound), std::move(powerdns),
+           std::move(knot), std::move(cloudflare), std::move(quad9),
+           std::move(opendns)}};
+}
+
+}  // namespace
+
+const std::vector<ExpectedStreamRow>& expected_stream() {
+  static const std::vector<ExpectedStreamRow> table = [] {
+    std::vector<ExpectedStreamRow> t;
+    const Codes none{};
+    // Clean fallback: TC over UDP, full signed answer over the stream.
+    t.push_back(stream_row("tc-clean-fallback", "NOERROR", none, none, none,
+                           none, none, none, none));
+    // Transport failures after TC: every profile degrades to SERVFAIL;
+    // only Cloudflare's public-resolver profile surfaces the transport
+    // story — EDE 23 (Network Error) for the dead stream, 22 (No
+    // Reachable Authority) once every server is exhausted, and 9 (DNSKEY
+    // Missing) because the child's DNSKEY fetch dies over the same broken
+    // stream — the exact triple it shows in Table 4's
+    // unreachable-authority rows.
+    const Codes cf_transport{9, 22, 23};
+    t.push_back(stream_row("tcp-refused", "SERVFAIL", none, none, none, none,
+                           cf_transport, none, none));
+    t.push_back(stream_row("tcp-stall", "SERVFAIL", none, none, none, none,
+                           cf_transport, none, none));
+    t.push_back(stream_row("tcp-midstream-close", "SERVFAIL", none, none,
+                           none, none, cf_transport, none, none));
+    t.push_back(stream_row("tc-then-garbage", "SERVFAIL", none, none, none,
+                           none, cf_transport, none, none));
+    // A forged unsigned answer over the stream fails DNSSEC validation:
+    // the profiles that surface "RRSIGs missing" do so here too.
+    t.push_back(stream_row("tc-different-answer", "SERVFAIL", none, {10},
+                           {10}, {10}, {10}, {10}, none));
+    // Large DNSSEC answer fragmented in flight and dropped; no TC bit is
+    // ever seen, so the failure presents as a plain unresponsive server.
+    t.push_back(stream_row("frag-drop-dnssec", "SERVFAIL", none, none, none,
+                           none, {22, 23}, none, none));
+    // EDNS buffer-size sweep against an honest 4096-byte authority: the
+    // ~2 KB answer truncates at 512 and 1232 (clean DoTCP fallback) and
+    // fits over UDP at 4096. All succeed.
+    t.push_back(stream_row("edns-512", "NOERROR", none, none, none, none,
+                           none, none, none));
+    t.push_back(stream_row("edns-1232", "NOERROR", none, none, none, none,
+                           none, none, none));
+    t.push_back(stream_row("edns-4096", "NOERROR", none, none, none, none,
+                           none, none, none));
+    return t;
+  }();
+  return table;
+}
+
 }  // namespace ede::testbed

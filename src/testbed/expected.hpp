@@ -24,4 +24,20 @@ struct ExpectedRow {
 /// All 63 rows, in all_cases() order.
 [[nodiscard]] const std::vector<ExpectedRow>& expected_table4();
 
+/// Calibrated outcomes for the truncation / DoTCP scenario family. Unlike
+/// Table 4 these are not published numbers; they are the repo's own
+/// ground truth for how the seven emulated profiles behave when the
+/// stream side of an authority misbehaves (paper §6 discussion of
+/// EDE 22/23 under network failure).
+struct ExpectedStreamRow {
+  std::string label;
+  /// "NOERROR" or "SERVFAIL" — identical across profiles by design.
+  std::string rcode;
+  /// Per-system sorted INFO-CODE list, columns as in ExpectedRow.
+  std::array<std::vector<std::uint16_t>, kProfileCount> codes;
+};
+
+/// One row per stream_cases() entry, same order.
+[[nodiscard]] const std::vector<ExpectedStreamRow>& expected_stream();
+
 }  // namespace ede::testbed

@@ -1,5 +1,6 @@
 #include "resolver/resolver.hpp"
 #include "server/auth_server.hpp"
+#include "simnet/stream.hpp"
 #include "testbed/testbed.hpp"
 
 namespace ede::testbed {
@@ -68,8 +69,10 @@ std::vector<dns::DsRdata> ds_for_mode(const dns::Name& child,
 
 }  // namespace
 
-Testbed::Testbed(std::shared_ptr<sim::Network> network)
+Testbed::Testbed(std::shared_ptr<sim::Network> network,
+                 TestbedOptions options)
     : network_(std::move(network)),
+      options_(options),
       base_domain_(name_of("extended-dns-errors.com")) {
   build_hierarchy();
 }
@@ -160,11 +163,14 @@ void Testbed::build_hierarchy() {
       auto server = std::make_shared<server::AuthServer>(config);
       server->add_zone(child_zone);
       network_->attach(child_addr, server->endpoint());
+      network_->stream().listen(child_addr, server->stream_endpoint());
       servers_.push_back(std::move(server));
     }
     child_zones_.emplace(spec.label, std::move(child_zone));
     child_addresses_.emplace(spec.label, child_addr);
   }
+
+  if (options_.stream_family) build_stream_family(*base_zone);
 
   zone::sign_zone(*base_zone, base_keys, {});
 
@@ -198,6 +204,8 @@ void Testbed::build_hierarchy() {
     auto server = std::make_shared<server::AuthServer>();
     server->add_zone(std::move(zone));
     network_->attach(sim::NodeAddress::of(addr), server->endpoint());
+    network_->stream().listen(sim::NodeAddress::of(addr),
+                              server->stream_endpoint());
     servers_.push_back(std::move(server));
   };
   attach(kRootServerAddr, root_zone);
@@ -205,6 +213,90 @@ void Testbed::build_hierarchy() {
   attach(kBaseServerAddr, base_zone);
 
   root_servers_ = {sim::NodeAddress::of(kRootServerAddr)};
+}
+
+void Testbed::build_stream_family(zone::Zone& base_zone) {
+  int index = 0;
+  for (const auto& spec : stream_cases()) {
+    ++index;
+    const dns::Name child = base_domain_.prefixed(spec.label).take();
+    const dns::Name child_ns = child.prefixed("ns1").take();
+    const std::string glue_addr = "93.184.219." + std::to_string(index);
+
+    // A correctly signed zone whose TXT answer (with its signature) runs
+    // to roughly 2 KB — far past 512 and 1232, comfortably under 4096,
+    // and larger than the classic 1472-byte Ethernet-MTU fragment limit
+    // the FragDrop case drops at.
+    auto child_zone = std::make_shared<zone::Zone>(child);
+    child_zone->add(child, dns::RRType::SOA,
+                    dns::Rdata{soa_for(child, child_ns)});
+    child_zone->add(child, dns::RRType::NS, dns::NsRdata{child_ns});
+    child_zone->add(child_ns, dns::RRType::A, a_rdata(glue_addr));
+    child_zone->add(child, dns::RRType::A, a_rdata(kChildWebAddr));
+    dns::TxtRdata txt;
+    for (int i = 0; i < 8; ++i) txt.strings.push_back(std::string(200, 'x'));
+    child_zone->add(child, dns::RRType::TXT, txt);
+
+    const auto child_keys = zone::make_zone_keys(child);
+    zone::sign_zone(*child_zone, child_keys, {});
+
+    // Parent-side records: a healthy, fully secure delegation.
+    base_zone.add(child, dns::RRType::NS, dns::NsRdata{child_ns});
+    base_zone.add(child_ns, dns::RRType::A, a_rdata(glue_addr));
+    for (const auto& ds : zone::ds_records(child, child_keys)) {
+      base_zone.add(child, dns::RRType::DS, dns::Rdata{ds});
+    }
+
+    const auto child_addr = sim::NodeAddress::of(glue_addr);
+    server::ServerConfig config;
+    config.udp_payload_size = spec.server_payload_limit;
+    auto server = std::make_shared<server::AuthServer>(config);
+    server->add_zone(child_zone);
+    network_->attach(child_addr, server->endpoint());
+    network_->stream().listen(child_addr, server->stream_endpoint());
+
+    // The case's stream-side (or path-side) misbehavior.
+    switch (spec.fault) {
+      case StreamFault::None:
+        break;
+      case StreamFault::Refuse:
+        network_->stream().set_behaviors(child_addr,
+                                         {sim::StreamBehavior::refuse()});
+        break;
+      case StreamFault::Stall:
+        network_->stream().set_behaviors(child_addr,
+                                         {sim::StreamBehavior::stall()});
+        break;
+      case StreamFault::MidClose:
+        network_->stream().set_behaviors(child_addr,
+                                         {sim::StreamBehavior::mid_close()});
+        break;
+      case StreamFault::GarbageFrame:
+        network_->stream().set_behaviors(
+            child_addr, {sim::StreamBehavior::garbage_frame()});
+        break;
+      case StreamFault::DifferentAnswer:
+        network_->stream().set_behaviors(
+            child_addr, {sim::StreamBehavior::different_answer()});
+        break;
+      case StreamFault::FragDrop:
+        network_->inject_fault(child_addr, sim::Fault::frag_drop());
+        break;
+    }
+
+    servers_.push_back(std::move(server));
+    child_zones_.emplace(spec.label, std::move(child_zone));
+    child_addresses_.emplace(spec.label, child_addr);
+  }
+}
+
+const std::vector<StreamCaseSpec>& Testbed::stream_case_specs() const {
+  static const std::vector<StreamCaseSpec> kEmpty;
+  return options_.stream_family ? stream_cases() : kEmpty;
+}
+
+dns::Name Testbed::stream_query_name(const StreamCaseSpec& spec) const {
+  return base_domain_.prefixed(spec.label).take();
 }
 
 dns::Name Testbed::child_origin(const CaseSpec& spec) const {

@@ -14,10 +14,20 @@
 
 namespace ede::testbed {
 
+struct TestbedOptions {
+  /// Also build the truncation/DoTCP scenario family (stream_cases()).
+  /// Every authoritative server listens on both transports regardless —
+  /// real authorities answer TCP port 53 — this flag only adds the ten
+  /// extra stream-scenario children. Off by default so the classic
+  /// 63-case worlds keep exactly 63 cases.
+  bool stream_family = false;
+};
+
 class Testbed {
  public:
   /// Build every zone, sign, mutate, and attach all servers to `network`.
-  explicit Testbed(std::shared_ptr<sim::Network> network);
+  explicit Testbed(std::shared_ptr<sim::Network> network,
+                   TestbedOptions options = {});
 
   [[nodiscard]] const std::vector<CaseSpec>& cases() const {
     return all_cases();
@@ -48,14 +58,24 @@ class Testbed {
       std::string_view label) const;
 
   /// Network address of a case's authoritative server (its glue), for
-  /// fault injection in chaos tests.
+  /// fault injection in chaos tests. Covers the stream family's labels
+  /// too when it was built.
   [[nodiscard]] std::optional<sim::NodeAddress> server_address(
       std::string_view label) const;
 
+  // --- the truncation / DoTCP scenario family ------------------------
+  /// Empty unless TestbedOptions::stream_family was set.
+  [[nodiscard]] const std::vector<StreamCaseSpec>& stream_case_specs() const;
+  /// The name to query for a stream case (always the child apex; the
+  /// oversized record set is the TXT RRset there).
+  [[nodiscard]] dns::Name stream_query_name(const StreamCaseSpec& spec) const;
+
  private:
   void build_hierarchy();
+  void build_stream_family(zone::Zone& base_zone);
 
   std::shared_ptr<sim::Network> network_;
+  TestbedOptions options_;
   dns::Name base_domain_;
   std::vector<sim::NodeAddress> root_servers_;
   dns::DnskeyRdata trust_anchor_;

@@ -21,8 +21,14 @@ namespace {
 // fails after an intentional wire-format change, re-record by running the
 // test and copying the digest printed in the failure message — but for a
 // pure performance refactor a mismatch means the refactor changed bytes.
+//
+// Re-recorded at PR 6: the fake TC retry (a second UDP exchange with a
+// maximum-size EDNS advertisement) became a genuine DoTCP fallback, so
+// truncated answers' second leg moved off the datagram tap and TC
+// responses are now honestly truncated. The UDP codec itself is
+// unchanged; the *transport dialogue* is what intentionally differs.
 constexpr const char* kExpectedDigest =
-    "6ff72cfcda625e5f3f7da85a55e0763b42386bde2b4a4045815edeea930e000e";
+    "54789e2ce796fe43e48306fe9108272fbd3affe8ba3ef912cf497e3c3ce152a1";
 
 TEST(CodecGolden, Table4MatrixWireBytesUnchanged) {
   auto clock = std::make_shared<ede::sim::Clock>();

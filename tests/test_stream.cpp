@@ -1,0 +1,300 @@
+// The stream transport in isolation: RFC 1035 §4.2.2 framing edge cases
+// (a length prefix split across segment boundaries, zero-length frames,
+// over-declared prefixes), the connection lifecycle (refuse, SYN drop,
+// idle timeout, mid-stream close), the hostile-behavior zoo, and the
+// fixed-seed replay guarantee chaos storylines depend on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dnscore/message.hpp"
+#include "dnscore/rdata.hpp"
+#include "simnet/byzantine.hpp"
+#include "simnet/stream.hpp"
+
+namespace {
+
+using ede::crypto::Bytes;
+using ede::crypto::BytesView;
+using ede::sim::Clock;
+using ede::sim::FrameAssembler;
+using ede::sim::NodeAddress;
+using ede::sim::StreamBehavior;
+using ede::sim::StreamTransport;
+using ConnectStatus = StreamTransport::ConnectStatus;
+using IoStatus = StreamTransport::IoStatus;
+using Status = FrameAssembler::Status;
+
+Bytes bytes_of(std::initializer_list<std::uint8_t> values) {
+  return Bytes(values.begin(), values.end());
+}
+
+// --- framing ----------------------------------------------------------
+
+TEST(Framing, PrefixThenPayload) {
+  const Bytes payload = bytes_of({0xde, 0xad, 0xbe, 0xef});
+  const Bytes framed = ede::sim::frame_message(payload);
+  ASSERT_EQ(framed.size(), 6u);
+  EXPECT_EQ(framed[0], 0x00);
+  EXPECT_EQ(framed[1], 0x04);
+  EXPECT_EQ(Bytes(framed.begin() + 2, framed.end()), payload);
+}
+
+TEST(Framing, PrefixSpanningSegmentBoundaries) {
+  // The two length bytes arrive in different segments, and so does the
+  // payload: the assembler must never misread a half-received prefix.
+  const Bytes payload = bytes_of({1, 2, 3, 4, 5});
+  const Bytes framed = ede::sim::frame_message(payload);
+
+  FrameAssembler assembler;
+  assembler.feed(BytesView(framed.data(), 1));  // first prefix byte only
+  EXPECT_EQ(assembler.pop().status, Status::NeedMore);
+  assembler.feed(BytesView(framed.data() + 1, 1));  // second prefix byte
+  EXPECT_EQ(assembler.pop().status, Status::NeedMore);
+  assembler.feed(BytesView(framed.data() + 2, 2));  // part of the payload
+  EXPECT_EQ(assembler.pop().status, Status::NeedMore);
+  assembler.feed(BytesView(framed.data() + 4, framed.size() - 4));
+
+  const auto result = assembler.pop();
+  ASSERT_EQ(result.status, Status::Frame);
+  EXPECT_EQ(result.frame, payload);
+  EXPECT_EQ(assembler.pending(), 0u);
+}
+
+TEST(Framing, ZeroLengthFrameIsBadButRecoverable) {
+  FrameAssembler assembler;
+  assembler.feed(bytes_of({0x00, 0x00}));  // zero-length frame
+  const Bytes payload = bytes_of({9, 8, 7});
+  assembler.feed(ede::sim::frame_message(payload));
+
+  EXPECT_EQ(assembler.pop().status, Status::BadFrame);
+  const auto next = assembler.pop();
+  ASSERT_EQ(next.status, Status::Frame);
+  EXPECT_EQ(next.frame, payload);
+}
+
+TEST(Framing, OverDeclaredPrefixNeverCompletes) {
+  FrameAssembler assembler;
+  // Prefix promises 100 bytes; only 3 ever arrive. Indistinguishable from
+  // a frame in flight, so the reader's patience is the only way out.
+  assembler.feed(bytes_of({0x00, 100, 1, 2, 3}));
+  EXPECT_EQ(assembler.pop().status, Status::NeedMore);
+  EXPECT_EQ(assembler.pop().status, Status::NeedMore);
+  EXPECT_EQ(assembler.pending(), 5u);
+}
+
+TEST(Framing, BackToBackFramesInOneBuffer) {
+  const Bytes first = bytes_of({1, 1});
+  const Bytes second = bytes_of({2, 2, 2});
+  FrameAssembler assembler;
+  Bytes wire = ede::sim::frame_message(first);
+  const Bytes tail = ede::sim::frame_message(second);
+  wire.insert(wire.end(), tail.begin(), tail.end());
+  assembler.feed(wire);
+
+  auto a = assembler.pop();
+  auto b = assembler.pop();
+  ASSERT_EQ(a.status, Status::Frame);
+  ASSERT_EQ(b.status, Status::Frame);
+  EXPECT_EQ(a.frame, first);
+  EXPECT_EQ(b.frame, second);
+  EXPECT_EQ(assembler.pop().status, Status::NeedMore);
+}
+
+// --- connection lifecycle ---------------------------------------------
+
+struct StreamWorld {
+  StreamWorld() : clock(std::make_shared<Clock>()), transport(clock, 42) {
+    transport.listen(server, [this](BytesView query, const auto&) {
+      last_query = Bytes(query.begin(), query.end());
+      return std::optional<Bytes>(bytes_of({0xab, 0xcd}));
+    });
+  }
+
+  ede::sim::StreamTransport::IoResult ask(StreamTransport& t,
+                                          std::uint64_t conn_id) {
+    return t.exchange(conn_id, bytes_of({0x01}));
+  }
+
+  std::shared_ptr<Clock> clock;
+  StreamTransport transport;
+  NodeAddress client = NodeAddress::of("192.0.2.1");
+  NodeAddress server = NodeAddress::of("93.184.216.1");
+  Bytes last_query;
+};
+
+TEST(StreamLifecycle, HandshakeExchangeClose) {
+  StreamWorld w;
+  const auto conn = w.transport.connect(w.client, w.server);
+  ASSERT_EQ(conn.status, ConnectStatus::Established);
+  EXPECT_TRUE(w.transport.open(conn.conn_id));
+
+  const auto io = w.ask(w.transport, conn.conn_id);
+  ASSERT_EQ(io.status, IoStatus::Ok);
+  EXPECT_EQ(w.last_query, bytes_of({0x01}));  // de-framed server side
+
+  FrameAssembler assembler;
+  assembler.feed(io.bytes);
+  const auto frame = assembler.pop();
+  ASSERT_EQ(frame.status, Status::Frame);
+  EXPECT_EQ(frame.frame, bytes_of({0xab, 0xcd}));
+
+  w.transport.close(conn.conn_id);
+  EXPECT_FALSE(w.transport.open(conn.conn_id));
+  EXPECT_EQ(w.transport.stats().frames_delivered, 1u);
+}
+
+TEST(StreamLifecycle, NobodyListeningLooksRefused) {
+  StreamWorld w;
+  const auto conn =
+      w.transport.connect(w.client, NodeAddress::of("93.184.216.77"));
+  EXPECT_EQ(conn.status, ConnectStatus::Refused);
+  EXPECT_EQ(w.transport.stats().connects_refused, 1u);
+}
+
+TEST(StreamLifecycle, RefuseBehaviorSendsRst) {
+  StreamWorld w;
+  w.transport.set_behaviors(w.server, {StreamBehavior::refuse()});
+  EXPECT_EQ(w.transport.connect(w.client, w.server).status,
+            ConnectStatus::Refused);
+}
+
+TEST(StreamLifecycle, SynDropTimesOut) {
+  StreamWorld w;
+  w.transport.set_behaviors(w.server, {StreamBehavior::syn_drop()});
+  EXPECT_EQ(w.transport.connect(w.client, w.server).status,
+            ConnectStatus::Timeout);
+  EXPECT_EQ(w.transport.stats().connects_dropped, 1u);
+}
+
+TEST(StreamLifecycle, IdleConnectionIsReaped) {
+  StreamWorld w;
+  const auto conn = w.transport.connect(w.client, w.server);
+  ASSERT_EQ(conn.status, ConnectStatus::Established);
+  w.clock->advance_ms(31'000);
+  EXPECT_EQ(w.ask(w.transport, conn.conn_id).status, IoStatus::Closed);
+  EXPECT_EQ(w.transport.stats().idle_closes, 1u);
+  EXPECT_FALSE(w.transport.open(conn.conn_id));
+}
+
+TEST(StreamLifecycle, BehaviorWindowExpires) {
+  StreamWorld w;
+  w.transport.set_behaviors(
+      w.server, {StreamBehavior::refuse().between(0, ede::sim::kDefaultNow)});
+  // The window closed before the testbed's fixed "now": connects succeed.
+  EXPECT_EQ(w.transport.connect(w.client, w.server).status,
+            ConnectStatus::Established);
+}
+
+// --- hostile exchange behaviors ---------------------------------------
+
+TEST(StreamHostility, StallReadsAsTimeout) {
+  StreamWorld w;
+  w.transport.set_behaviors(w.server, {StreamBehavior::stall()});
+  const auto conn = w.transport.connect(w.client, w.server);
+  ASSERT_EQ(conn.status, ConnectStatus::Established);
+  EXPECT_EQ(w.ask(w.transport, conn.conn_id).status, IoStatus::Timeout);
+  EXPECT_EQ(w.transport.stats().stalls, 1u);
+}
+
+TEST(StreamHostility, MidCloseDeliversAPartialFrame) {
+  StreamWorld w;
+  w.transport.set_behaviors(w.server,
+                            {StreamBehavior::mid_close(1.0, /*bytes=*/3)});
+  const auto conn = w.transport.connect(w.client, w.server);
+  ASSERT_EQ(conn.status, ConnectStatus::Established);
+  const auto io = w.ask(w.transport, conn.conn_id);
+  EXPECT_EQ(io.status, IoStatus::Closed);
+  EXPECT_EQ(io.bytes.size(), 3u);  // prefix + one payload byte, then FIN
+  EXPECT_FALSE(w.transport.open(conn.conn_id));
+
+  FrameAssembler assembler;
+  assembler.feed(io.bytes);
+  EXPECT_EQ(assembler.pop().status, Status::NeedMore);
+}
+
+TEST(StreamHostility, GarbageFrameNeverAssembles) {
+  StreamWorld w;
+  w.transport.set_behaviors(w.server, {StreamBehavior::garbage_frame()});
+  const auto conn = w.transport.connect(w.client, w.server);
+  ASSERT_EQ(conn.status, ConnectStatus::Established);
+  const auto io = w.ask(w.transport, conn.conn_id);
+  ASSERT_EQ(io.status, IoStatus::Ok);
+
+  FrameAssembler assembler;
+  assembler.feed(io.bytes);
+  const auto popped = assembler.pop();
+  EXPECT_TRUE(popped.status == Status::BadFrame ||
+              popped.status == Status::NeedMore);
+  EXPECT_EQ(w.transport.stats().garbage_frames, 1u);
+}
+
+TEST(StreamHostility, DifferentAnswerForgesUnsignedReply) {
+  StreamWorld w;
+  // A real DNS query this time, so the forge has a question to answer.
+  ede::dns::Message query;
+  query.header.id = 0x1234;
+  query.question.push_back({ede::dns::Name::of("victim.example"),
+                            ede::dns::RRType::A, ede::dns::RRClass::IN});
+  w.transport.set_behaviors(w.server, {StreamBehavior::different_answer()});
+  const auto conn = w.transport.connect(w.client, w.server);
+  ASSERT_EQ(conn.status, ConnectStatus::Established);
+  const auto io = w.transport.exchange(conn.conn_id, query.serialize());
+  ASSERT_EQ(io.status, IoStatus::Ok);
+
+  FrameAssembler assembler;
+  assembler.feed(io.bytes);
+  auto frame = assembler.pop();
+  ASSERT_EQ(frame.status, Status::Frame);
+  auto parsed = ede::dns::Message::parse(frame.frame);
+  ASSERT_TRUE(parsed.ok());
+  const auto& forged = parsed.value();
+  EXPECT_EQ(forged.header.id, 0x1234);
+  ASSERT_EQ(forged.answer.size(), 1u);
+  EXPECT_EQ(forged.answer[0].type, ede::dns::RRType::A);
+  // Unsigned and bearing the poison marker: validation must reject it and
+  // the scrubber must shed the additional record.
+  EXPECT_TRUE(forged.authority.empty());
+  ASSERT_FALSE(forged.additional.empty());
+  EXPECT_EQ(forged.additional[0].name, ede::sim::poison_marker());
+  EXPECT_EQ(w.transport.stats().forged_answers, 1u);
+}
+
+// --- determinism ------------------------------------------------------
+
+// A fixed seed must replay the exact same connection-fault storyline:
+// same refusals, same garbage draws, same segment-loss pattern. This is
+// the property the chaos campaign's run-twice-and-compare check rests on.
+TEST(StreamDeterminism, FixedSeedStorylineReplays) {
+  const auto run = [](std::uint64_t seed) {
+    auto clock = std::make_shared<Clock>();
+    StreamTransport transport(clock, seed);
+    const auto server = NodeAddress::of("93.184.216.1");
+    const auto client = NodeAddress::of("192.0.2.1");
+    transport.listen(server, [](BytesView, const auto&) {
+      return std::optional<Bytes>(Bytes(700, 0x5a));
+    });
+    transport.set_behaviors(
+        server, {StreamBehavior::refuse(0.3), StreamBehavior::stall(0.2),
+                 StreamBehavior::segment_loss(0.5, 40)});
+
+    std::vector<int> story;
+    for (int i = 0; i < 64; ++i) {
+      const auto conn = transport.connect(client, server);
+      story.push_back(static_cast<int>(conn.status));
+      if (conn.status != ConnectStatus::Established) continue;
+      const auto io = transport.exchange(conn.conn_id, Bytes(40, 0x01));
+      story.push_back(static_cast<int>(io.status));
+      story.push_back(static_cast<int>(io.bytes.size()));
+      transport.close(conn.conn_id);
+    }
+    story.push_back(static_cast<int>(transport.stats().segments_lost));
+    story.push_back(static_cast<int>(transport.stats().stalls));
+    return story;
+  };
+
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // and the seed actually matters
+}
+
+}  // namespace

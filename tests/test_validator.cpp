@@ -207,6 +207,7 @@ class DenialFixture : public ::testing::Test {
   /// signed zone, like the server would for qname.
   std::vector<dns::RRset> authority_for(const Name& qname) {
     server::ServerConfig config;
+    config.udp_payload_size = 0xffff;  // a stream-sized limit: no truncation
     server::AuthServer server(config);
     // Reuse the real server logic by asking it directly.
     auto shared = std::make_shared<zone::Zone>(*zone_);
@@ -272,6 +273,7 @@ TEST_F(DenialFixture, IterationLimitMakesInsecure) {
   policy.nsec3_iterations = 5;
   zone::sign_zone(high_iter, keys_, policy);
   server::AuthServer server;
+  server.config().udp_payload_size = 0xffff;  // no truncation in this test
   server.add_zone(std::make_shared<zone::Zone>(high_iter));
   dns::Message query = dns::make_query(1, Name::of("x.unit.example"), RRType::A);
   ede::edns::Edns e;
@@ -302,6 +304,7 @@ TEST_F(DenialFixture, DsAbsenceProofFromRealReferral) {
   zone::sign_zone(delegating, keys_, {});
 
   server::AuthServer server;
+  server.config().udp_payload_size = 0xffff;  // no truncation in this test
   server.add_zone(std::make_shared<zone::Zone>(delegating));
   dns::Message query =
       dns::make_query(1, Name::of("www.child.unit.example"), RRType::A);

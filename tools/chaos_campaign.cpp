@@ -20,8 +20,15 @@
 // anywhere near it); tools/verify.sh runs a small campaign under
 // sanitizers and diffs two runs.
 //
+//   5. (--hostile-tcp) no silent NOERROR after a failed DoTCP fallback:
+//      when a pass forces honest truncation over UDP and sabotages the
+//      stream side (refuse / SYN-drop / stall / mid-close / garbage
+//      framing), any resolution that saw a TC bit but never completed a
+//      stream exchange must not report NOERROR — and profiles that map
+//      the transport defects must surface EDE 22 or 23.
+//
 // Usage: chaos_campaign [--seeds N] [--base-seed S] [--out FILE]
-//        [--no-latency]
+//        [--no-latency] [--hostile-tcp]
 
 #include <algorithm>
 #include <cstdio>
@@ -38,6 +45,7 @@
 #include "resolver/profile.hpp"
 #include "resolver/resolver.hpp"
 #include "simnet/byzantine.hpp"
+#include "simnet/stream.hpp"
 #include "testbed/testbed.hpp"
 
 namespace {
@@ -49,6 +57,7 @@ struct CampaignOptions {
   std::uint64_t base_seed = 0xb12a17;
   std::string out_path;  // empty = stdout
   bool latency = true;
+  bool hostile_tcp = false;
 };
 
 struct Violation {
@@ -71,6 +80,56 @@ bool owned_by_marker(const std::vector<dns::ResourceRecord>& section) {
     if (rr.name == sim::poison_marker()) return true;
   }
   return false;
+}
+
+/// The hostile-TCP pass forces every child answer onto the stream: an
+/// honest truncation of whatever the server really said — TC set, answer
+/// and authority shed whole, OPT kept so the counts keep matching the
+/// records — exactly what a stingy-but-truthful authority produces.
+sim::ResponseMutator make_honest_tc_mutator() {
+  return [](crypto::BytesView, crypto::Bytes response,
+            sim::MutateContext& ctx) -> std::optional<crypto::Bytes> {
+    auto parsed = dns::Message::parse(response);
+    if (!parsed.ok()) return response;
+    dns::Message message = std::move(parsed).take();
+    if (message.answer.empty() && message.authority.empty()) {
+      return response;  // nothing to shed: referrals pass untouched
+    }
+    message.header.tc = true;
+    message.answer.clear();
+    message.authority.clear();
+    std::erase_if(message.additional, [](const dns::ResourceRecord& rr) {
+      return rr.type != dns::RRType::OPT;
+    });
+    ctx.mutated = true;
+    return message.serialize();
+  };
+}
+
+/// Deterministic hostile-stream schedule for one case: which way the TCP
+/// side dies, how often, and (sometimes) for how long.
+std::vector<sim::StreamBehavior> draw_stream_schedule(
+    crypto::Xoshiro256& rng, sim::SimTime pass_start) {
+  static constexpr double kProbabilities[] = {1.0, 0.6, 0.3};
+  const double p = kProbabilities[rng.below(3)];
+  sim::StreamBehavior behavior;
+  switch (rng.below(5)) {
+    case 0: behavior = sim::StreamBehavior::refuse(p); break;
+    case 1: behavior = sim::StreamBehavior::syn_drop(p); break;
+    case 2: behavior = sim::StreamBehavior::stall(p); break;
+    case 3:
+      behavior = sim::StreamBehavior::mid_close(
+          p, static_cast<std::uint32_t>(1 + rng.below(8)));
+      break;
+    default: behavior = sim::StreamBehavior::garbage_frame(p); break;
+  }
+  if (rng.below(4) == 0) {
+    const sim::SimTime t0 =
+        pass_start + static_cast<sim::SimTime>(rng.below(60));
+    behavior = behavior.between(
+        t0, t0 + static_cast<sim::SimTime>(30 + rng.below(120)));
+  }
+  return {behavior};
 }
 
 /// Deterministic Byzantine schedule for one case. All draws come from the
@@ -166,7 +225,8 @@ int run_campaign(const CampaignOptions& options) {
       network->set_latency({.enabled = true, .base_rtt_ms = 20,
                             .jitter_ms = 8, .seed = campaign_seed});
     }
-    testbed::Testbed testbed(network);
+    testbed::Testbed testbed(network,
+                             {.stream_family = options.hostile_tcp});
 
     for (const auto& profile : profiles) {
       PassResult pass;
@@ -270,6 +330,94 @@ int run_campaign(const CampaignOptions& options) {
         }
       }
     }
+
+    if (!options.hostile_tcp) continue;
+
+    // ---- hostile-TCP passes: honest truncation over UDP, a sabotaged
+    // stream side, and the no-silent-NOERROR invariant ------------------
+    for (const auto& profile : profiles) {
+      PassResult pass;
+      const sim::SimTime pass_start = clock->now();
+      const bool maps_transport =
+          profile.mapping.count(dnssec::Defect::TcpConnectFailed) != 0 ||
+          profile.mapping.count(dnssec::Defect::TcpStreamFailed) != 0;
+
+      crypto::Xoshiro256 schedule_rng(campaign_seed ^ 0x7c9b17);
+      for (const auto& spec : cases) {
+        const auto address = testbed.server_address(spec.label);
+        if (!address.has_value()) continue;
+        network->set_mutator(*address, make_honest_tc_mutator());
+        network->stream().set_behaviors(
+            *address, draw_stream_schedule(schedule_rng, pass_start));
+      }
+
+      auto resolver = testbed.make_resolver(profile);
+      const auto attempts_bound = static_cast<std::uint64_t>(
+          resolver.retry_policy().max_total_attempts);
+      for (const auto& spec : cases) {
+        const auto qname = testbed.query_name(spec);
+        const resolver::HardeningStats before = resolver.hardening_stats();
+        const auto outcome = resolver.resolve(qname, dns::RRType::A);
+        const resolver::HardeningStats after = resolver.hardening_stats();
+        ++resolutions;
+        std::ostringstream where;
+        where << "seed=" << seed << " profile=" << profile.name
+              << " [hostile-tcp] case=" << spec.label;
+
+        const auto upstream =
+            static_cast<std::uint64_t>(outcome.upstream_queries);
+        pass.upstream_queries += upstream;
+        pass.max_upstream_queries =
+            std::max(pass.max_upstream_queries, upstream);
+        max_upstream_observed = std::max(max_upstream_observed, upstream);
+        if (upstream > attempts_bound) {
+          violations.push_back({where.str(),
+                                "upstream queries " + std::to_string(upstream) +
+                                    " exceed the retry budget " +
+                                    std::to_string(attempts_bound)});
+        }
+
+        pass.rcodes[dns::to_string(outcome.rcode)] += 1;
+        bool has_transport_ede = false;
+        for (const auto& error : outcome.errors) {
+          pass.ede_codes[static_cast<std::uint16_t>(error.code)] += 1;
+          const auto code = static_cast<std::uint16_t>(error.code);
+          has_transport_ede |= code == 22 || code == 23;
+          if (!edns::is_registered(error.code)) {
+            violations.push_back(
+                {where.str(), "unregistered EDE code " + std::to_string(code)});
+          }
+        }
+
+        // Invariant 5: a TC bit followed by a failed stream retry must
+        // never present as a silent success — and the profiles that map
+        // the transport defects must say why (EDE 22 or 23).
+        const std::uint64_t tc_delta = after.tc_seen - before.tc_seen;
+        const std::uint64_t success_delta =
+            after.tcp_success - before.tcp_success;
+        if (tc_delta > 0 && success_delta == 0) {
+          if (outcome.rcode == dns::RCode::NOERROR) {
+            violations.push_back(
+                {where.str(), "silent NOERROR after a failed DoTCP fallback"});
+          }
+          if (maps_transport && !has_transport_ede) {
+            violations.push_back(
+                {where.str(),
+                 "failed stream retry surfaced neither EDE 22 nor 23"});
+          }
+        }
+      }
+
+      pass.hardening = resolver.hardening_stats();
+      passes[profile.name + " [hostile-tcp]"][seed] = std::move(pass);
+
+      for (const auto& spec : cases) {
+        if (const auto address = testbed.server_address(spec.label)) {
+          network->set_mutator(*address, nullptr);
+          network->stream().set_behaviors(*address, {});
+        }
+      }
+    }
   }
 
   // ---- JSON report (deterministic: sorted maps, no wall-clock) ---------
@@ -316,7 +464,12 @@ int run_campaign(const CampaignOptions& options) {
            << ", \"scrubbed\": " << h.scrubbed_records
            << ", \"coalesced\": " << h.coalesced_queries
            << ", \"servfail_hits\": " << h.servfail_cache_hits
-           << ", \"watchdog_trips\": " << h.watchdog_trips << "}";
+           << ", \"watchdog_trips\": " << h.watchdog_trips
+           << ", \"tc_seen\": " << h.tc_seen
+           << ", \"tcp_fallbacks\": " << h.tcp_fallbacks
+           << ", \"tcp_success\": " << h.tcp_success
+           << ", \"tcp_connect_failures\": " << h.tcp_connect_failures
+           << ", \"tcp_stream_failures\": " << h.tcp_stream_failures << "}";
       const auto& b = pass.byzantine;
       json << ", \"byzantine\": {\"exchanges\": " << b.exchanges_seen
            << ", \"mutations\": " << b.mutations_applied << ", \"by_kind\": {";
@@ -378,9 +531,11 @@ int main(int argc, char** argv) {
       options.out_path = argv[++i];
     } else if (arg == "--no-latency") {
       options.latency = false;
+    } else if (arg == "--hostile-tcp") {
+      options.hostile_tcp = true;
     } else {
       std::cerr << "usage: chaos_campaign [--seeds N] [--base-seed S] "
-                   "[--out FILE] [--no-latency]\n";
+                   "[--out FILE] [--no-latency] [--hostile-tcp]\n";
       return 2;
     }
   }

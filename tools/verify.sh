@@ -57,8 +57,9 @@ echo "=== [4/8] ASan+UBSan build: codec + robustness + chaos + malformed-corpus 
 cmake -B build-asan -S . -DEDE_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS" --target test_robustness test_chaos \
   test_malformed_corpus test_parallel_scan test_name test_wire test_rdata \
-  test_message test_codec_golden
-ctest --test-dir build-asan --output-on-failure -R 'Robust|Chaos|Malformed|Parallel|ScanMerge|PlanShards|ScannerStride|Name|Wire|Rdata|DecodeRdata|Presentation|TypeBitmap|Message|CodecGolden'
+  test_message test_codec_golden test_stream test_stream_scenarios \
+  test_truncation
+ctest --test-dir build-asan --output-on-failure -R 'Robust|Chaos|Malformed|Parallel|ScanMerge|PlanShards|ScannerStride|Name|Wire|Rdata|DecodeRdata|Presentation|TypeBitmap|Message|CodecGolden|Stream|Framing|Truncation'
 
 echo "=== [5/8] TSan build: parallel-scan suite ==="
 cmake -B build-tsan -S . -DEDE_TSAN=ON >/dev/null
@@ -72,7 +73,16 @@ cmake --build build-asan -j "$JOBS" --target chaos_campaign
 ./build-asan/tools/chaos_campaign --seeds 3 --out build-asan/chaos_report_b.json
 cmp build-asan/chaos_report_a.json build-asan/chaos_report_b.json \
   || { echo "chaos campaign report is not byte-reproducible" >&2; exit 1; }
-echo "chaos campaign: zero violations, report byte-reproducible"
+# The hostile-TCP campaign: honest truncation over UDP plus a sabotaged
+# stream side; checks the no-silent-NOERROR / EDE 22-23 invariant and its
+# own byte-reproducibility.
+./build-asan/tools/chaos_campaign --seeds 2 --hostile-tcp \
+  --out build-asan/chaos_tcp_a.json
+./build-asan/tools/chaos_campaign --seeds 2 --hostile-tcp \
+  --out build-asan/chaos_tcp_b.json
+cmp build-asan/chaos_tcp_a.json build-asan/chaos_tcp_b.json \
+  || { echo "hostile-TCP campaign report is not byte-reproducible" >&2; exit 1; }
+echo "chaos campaign: zero violations, reports byte-reproducible"
 
 echo "=== [7/8] perf smoke: codec deltas (informational) + scan perf gate (hard) ==="
 # The stage-1 tree defaults to RelWithDebInfo, so its bench targets pass
