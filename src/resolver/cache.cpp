@@ -89,6 +89,7 @@ const PositiveEntry* Cache::get_positive(const dns::Name& name,
                                          dns::RRType type,
                                          sim::SimTime now) const {
   if (!options_.enabled) return nullptr;
+  ++stats_.lookups;
   const auto it = positive_.find(CacheKey{name, type});
   if (it == positive_.end() || it->second.expires < now) {
     ++stats_.misses;
@@ -101,20 +102,19 @@ const PositiveEntry* Cache::get_positive(const dns::Name& name,
 const PositiveEntry* Cache::get_stale_positive(const dns::Name& name,
                                                dns::RRType type,
                                                sim::SimTime now) const {
+  // Stale getters run as the fallback of a fresh lookup whose miss is
+  // already on the books, so a nullptr here counts nothing — only an
+  // actual serve is a new, answered lookup (see the Stats contract).
   if (!options_.enabled) return nullptr;
   const auto it = positive_.find(CacheKey{name, type});
-  if (it == positive_.end()) {
-    ++stats_.misses;
-    return nullptr;
-  }
+  if (it == positive_.end()) return nullptr;
   if (it->second.expires >= now) {  // still fresh
+    ++stats_.lookups;
     ++stats_.hits;
     return &it->second;
   }
-  if (now - it->second.expires > options_.stale_window) {
-    ++stats_.misses;
-    return nullptr;
-  }
+  if (now - it->second.expires > options_.stale_window) return nullptr;
+  ++stats_.lookups;
   ++stats_.stale_hits;
   return &it->second;
 }
@@ -123,6 +123,7 @@ const NegativeEntry* Cache::get_negative(const dns::Name& name,
                                          dns::RRType type,
                                          sim::SimTime now) const {
   if (!options_.enabled) return nullptr;
+  ++stats_.lookups;
   const auto it = negative_.find(CacheKey{name, type});
   if (it == negative_.end() || it->second.expires < now) {
     ++stats_.misses;
@@ -135,20 +136,17 @@ const NegativeEntry* Cache::get_negative(const dns::Name& name,
 const NegativeEntry* Cache::get_stale_negative(const dns::Name& name,
                                                dns::RRType type,
                                                sim::SimTime now) const {
+  // Same no-recount rule as get_stale_positive.
   if (!options_.enabled) return nullptr;
   const auto it = negative_.find(CacheKey{name, type});
-  if (it == negative_.end()) {
-    ++stats_.misses;
-    return nullptr;
-  }
+  if (it == negative_.end()) return nullptr;
   if (it->second.expires >= now) {
+    ++stats_.lookups;
     ++stats_.hits;
     return &it->second;
   }
-  if (now - it->second.expires > options_.stale_window) {
-    ++stats_.misses;
-    return nullptr;
-  }
+  if (now - it->second.expires > options_.stale_window) return nullptr;
+  ++stats_.lookups;
   ++stats_.stale_hits;
   return &it->second;
 }
@@ -157,6 +155,7 @@ const ServfailEntry* Cache::get_servfail(const dns::Name& name,
                                          dns::RRType type,
                                          sim::SimTime now) const {
   if (!options_.enabled) return nullptr;
+  ++stats_.lookups;
   const auto it = servfail_.find(CacheKey{name, type});
   if (it == servfail_.end() || it->second.expires < now) {
     ++stats_.misses;

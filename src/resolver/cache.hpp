@@ -94,10 +94,20 @@ class Cache {
   void clear();
   [[nodiscard]] std::size_t size() const;
 
-  /// Every lookup path counts uniformly: a fresh or stale serve is a hit
-  /// (stale serves additionally count stale_hits), anything that returns
-  /// nullptr is a miss — across the positive, negative and SERVFAIL maps.
+  /// Counting contract (holds the invariant
+  ///     hits + misses + stale_hits == lookups
+  /// across the positive, negative and SERVFAIL maps):
+  ///
+  /// - A fresh getter counts one lookup, plus a hit or a miss.
+  /// - A stale getter counts a lookup ONLY when it serves something (a hit
+  ///   if the entry turned out still fresh, a stale_hit if it was inside
+  ///   the stale window). When it returns nullptr it counts nothing at
+  ///   all: every resolver serve-stale path reaches a stale getter only as
+  ///   the fallback of a fresh lookup that already booked the miss, so
+  ///   re-counting here double-counted the same logical lookup (the old
+  ///   behaviour made hits + misses + stale_hits drift above lookups).
   struct Stats {
+    std::uint64_t lookups = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t stale_hits = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
 
 #include "crypto/encoding.hpp"
 #include "dnssec/nsec3.hpp"
@@ -118,15 +119,11 @@ RecursiveResolver::RecursiveResolver(std::shared_ptr<sim::Network> network,
       options_(options),
       cache_(options.cache),
       retry_(options.retry.value_or(profile_.retry)),
-      infra_(options.infra) {
-  budget_.attempts_left = retry_.max_total_attempts;
-  budget_.deadline_ms = std::numeric_limits<sim::SimTimeMs>::max();
-}
+      infra_(options.infra) {}
 
 void RecursiveResolver::flush() {
   cache_.clear();
   zone_cache_.clear();
-  coalesced_.clear();
   denial_cache_.clear();
   reports_sent_.clear();
   infra_.clear();
@@ -134,34 +131,69 @@ void RecursiveResolver::flush() {
   root_trust_ok_ = false;
 }
 
-RecursiveResolver::QueryResult RecursiveResolver::query_servers(
-    const dns::Name& zone, const std::vector<sim::NodeAddress>& servers,
-    const dns::Name& qname, dns::RRType qtype) {
+std::uint64_t RecursiveResolver::fingerprint_servers(
+    const std::vector<sim::NodeAddress>& servers) {
+  // Order-sensitive FNV-1a over each address's family tag and raw bytes.
+  // Order matters deliberately: the memo key must distinguish "same
+  // servers, different configured order" as conservatively as possible —
+  // a collision here replays findings against a server never probed.
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t hash = kOffset;
+  const auto mix = [&hash](std::uint8_t byte) {
+    hash ^= byte;
+    hash *= kPrime;
+  };
+  for (const auto& server : servers) {
+    if (const auto* v4 = server.v4()) {
+      mix(1);
+      const std::uint32_t value = v4->value();
+      for (int shift = 24; shift >= 0; shift -= 8)
+        mix(static_cast<std::uint8_t>(value >> shift));
+    } else if (const auto* v6 = server.v6()) {
+      mix(2);
+      for (const auto byte : v6->octets()) mix(byte);
+    }
+  }
+  return hash;
+}
+
+sim::Task<RecursiveResolver::QueryResult> RecursiveResolver::query_servers(
+    ResolutionContext& ctx, dns::Name zone,
+    const std::vector<sim::NodeAddress>& servers, dns::Name qname,
+    dns::RRType qtype) {
   // In-flight coalescing: within one top-level resolution, replay a probe
   // that already failed instead of burning another round of retransmits
   // against the same dying servers (what BIND's recursive-clients dedup
   // and Unbound's query mesh do for concurrent clients). Only failures are
   // memoized — successful responses are already deduplicated by the record
   // and zone caches, and replaying them here would mask CNAME loops.
-  if (options_.coalesce_queries && !coalesced_.empty()) {
-    const auto it = coalesced_.find(CoalesceKey{zone, qname, qtype});
-    if (it != coalesced_.end()) {
+  // The key carries a fingerprint of the candidate server set: a failure
+  // recorded against yesterday's NS list must not answer for a probe that
+  // would have tried servers the original never reached.
+  const CoalesceKey key{zone, qname, qtype, fingerprint_servers(servers)};
+  if (options_.coalesce_queries && !ctx.coalesced.empty()) {
+    const auto it = ctx.coalesced.find(key);
+    if (it != ctx.coalesced.end()) {
       ++hardening_.coalesced_queries;
       QueryResult replay = it->second;
       replay.queries = 0;
-      return replay;
+      co_return replay;
     }
   }
-  QueryResult result = query_servers_uncoalesced(zone, servers, qname, qtype);
+  QueryResult result =
+      co_await query_servers_uncoalesced(ctx, zone, servers, qname, qtype);
   if (options_.coalesce_queries && !result.response.has_value()) {
-    coalesced_.emplace(CoalesceKey{zone, qname, qtype}, result);
+    ctx.coalesced.emplace(key, result);
   }
-  return result;
+  co_return result;
 }
 
-RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
-    const dns::Name& zone, const std::vector<sim::NodeAddress>& servers,
-    const dns::Name& qname, dns::RRType qtype) {
+sim::Task<RecursiveResolver::QueryResult>
+RecursiveResolver::query_servers_uncoalesced(
+    ResolutionContext& ctx, dns::Name zone,
+    const std::vector<sim::NodeAddress>& servers, dns::Name qname,
+    dns::RRType qtype) {
   QueryResult result;
   const std::string query_desc =
       qname.to_string() + " " + dns::to_string(qtype);
@@ -172,9 +204,11 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
   // servers with a backed-off (failure-inflated) SRTT and silently skip
   // the dead-server probes whose ServerTimeout findings the diagnosis
   // (and the paper's Table 4) depends on. stable_sort keeps configured
-  // NS order among ties, so unknown servers (SRTT 0) stay put.
+  // NS order among ties, so unknown servers (SRTT 0) stay put. The batch
+  // engine turns srtt_reorder off entirely (see ResolutionContext).
   std::vector<sim::NodeAddress> candidates = servers;
-  if (infra_.options().enabled && network_->latency().enabled) {
+  if (ctx.srtt_reorder && infra_.options().enabled &&
+      network_->latency().enabled) {
     std::stable_sort(candidates.begin(), candidates.end(),
                      [&](const sim::NodeAddress& a, const sim::NodeAddress& b) {
                        return infra_.expected_rtt_ms(a) <
@@ -190,11 +224,12 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
       if (entry != nullptr &&
           entry->last_failure == InfraCache::FailureKind::Timeout) {
         // Skipping must not change the diagnosis: a held-down lame server
-        // still surfaces exactly the ServerTimeout finding a probe would
-        // have produced — only the retransmissions are saved.
+        // still surfaces byte-for-byte the ServerTimeout finding a probe
+        // would have produced — only the retransmissions are saved. (The
+        // text must match the probe's exactly: findings feed EDE
+        // EXTRA-TEXT, and the inflight-equivalence suite compares those.)
         add_finding(result.findings, Stage::Transport, Defect::ServerTimeout,
-                    server.to_string() + ":53 timed out for " + query_desc +
-                        " (held down)");
+                    server.to_string() + ":53 timed out for " + query_desc);
       }
       continue;
     }
@@ -210,15 +245,15 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
     // the old three-attempt loop's special case.
     for (int attempt = 0;
          attempt < retry_.attempts_per_server && !received.has_value();) {
-      if (budget_.attempts_left <= 0 ||
-          network_->clock().now_ms() >= budget_.deadline_ms) {
+      if (ctx.budget.attempts_left <= 0 ||
+          network_->clock().now_ms() >= ctx.budget.deadline_ms) {
         // Watchdog: the per-resolution budget is exhausted, so stop
         // probing entirely and let the caller degrade into a clean
         // serve-stale / SERVFAIL (+ EDE 22/23) on what we have. The trace
         // and findings collected so far are preserved by the caller.
         ++hardening_.watchdog_trips;
         result.response = std::move(first_response);
-        return result;
+        co_return result;
       }
       dns::Message query = dns::make_query(next_id_++, qname, qtype,
                                            /*recursion_desired=*/false);
@@ -228,11 +263,18 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
       edns::set_edns(query, edns);
 
       ++result.queries;
-      --budget_.attempts_left;
-      const auto sent =
-          network_->send(profile_.source, server, arena_.serialize(query),
-                         /*retransmission=*/sent_once);
+      --ctx.budget.attempts_left;
+      // Deferred send: the exchange is decided at the send instant (fault
+      // windows, mutators, jitter draw) but the round trip is charged by
+      // parking this coroutine — other in-flight resolutions run while
+      // this one waits out its RTT.
+      const auto sent = network_->send_deferred(profile_.source, server,
+                                                arena_.serialize(query),
+                                                /*retransmission=*/sent_once);
       sent_once = true;
+      if (sent.status != sim::SendStatus::Timeout) {
+        co_await park(ctx, sent.rtt_ms);
+      }
       if (sent.status == sim::SendStatus::Unreachable) {
         // Special-purpose or otherwise unroutable address: nothing was
         // ever going to arrive. No per-server finding — the aggregate
@@ -242,7 +284,7 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
         break;
       }
       if (sent.status == sim::SendStatus::Timeout) {
-        network_->wait_ms(timeout_ms);  // retransmission timer runs out
+        co_await park(ctx, timeout_ms);  // retransmission timer runs out
         infra_.report_failure(server, InfraCache::FailureKind::Timeout,
                               network_->clock().now_ms());
         add_finding(result.findings, Stage::Transport, Defect::ServerTimeout,
@@ -264,12 +306,10 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
       // exchange); QID, QR and question-section matching — BIND and
       // Unbound's first line of defense against off-path spoofing — are
       // enforced here, and mismatches are counted, discarded and retried
-      // on the normal backoff schedule, never crashed on.
-      const auto discard_and_retry = [&]() {
-        network_->wait_ms(timeout_ms);
-        timeout_ms = retry_.next_timeout(timeout_ms);
-        ++attempt;
-      };
+      // on the normal backoff schedule, never crashed on. Each discard
+      // waits out the retransmission timer and backs it off (inlined at
+      // every rejection site: a lambda cannot co_await on behalf of the
+      // enclosing coroutine).
       if (sent.response.size() > payload_size) {
         // Larger than we advertised: a real UDP stack would have dropped
         // or fragmented this datagram away; treat it as never delivered.
@@ -277,7 +317,9 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
         add_finding(result.findings, Stage::Transport, Defect::ServerTimeout,
                     server.to_string() +
                         ":53 sent an oversized response for " + query_desc);
-        discard_and_retry();
+        co_await park(ctx, timeout_ms);
+        timeout_ms = retry_.next_timeout(timeout_ms);
+        ++attempt;
         continue;
       }
       auto parsed = dns::Message::parse(sent.response);
@@ -288,7 +330,9 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
         add_finding(result.findings, Stage::Transport, Defect::ServerTimeout,
                     server.to_string() +
                         ":53 sent an unparsable response for " + query_desc);
-        discard_and_retry();
+        co_await park(ctx, timeout_ms);
+        timeout_ms = retry_.next_timeout(timeout_ms);
+        ++attempt;
         continue;
       }
       if (!parsed.value().header.qr ||
@@ -296,7 +340,9 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
         // Not a response to our transaction (spoofed/corrupted ID or a
         // reflected query): discard and retry, like a dropped reply.
         ++hardening_.rejected_qid_mismatch;
-        discard_and_retry();
+        co_await park(ctx, timeout_ms);
+        timeout_ms = retry_.next_timeout(timeout_ms);
+        ++attempt;
         continue;
       }
       if (parsed.value().header.tc) {
@@ -308,7 +354,8 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
         // TcpConnectFailed / TcpStreamFailed findings the vendor profile
         // maps to EDE 22/23.
         ++hardening_.tc_seen;
-        if (auto streamed = query_over_stream(server, qname, qtype, result);
+        if (auto streamed = co_await query_over_stream(ctx, server, qname,
+                                                       qtype, result);
             streamed.has_value()) {
           received = std::move(streamed);
           continue;  // accepted: the loop condition exits
@@ -326,7 +373,9 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
                     Defect::MismatchedQuestion,
                     "Mismatched question from the authoritative server " +
                         server.to_string());
-        discard_and_retry();
+        co_await park(ctx, timeout_ms);
+        timeout_ms = retry_.next_timeout(timeout_ms);
+        ++attempt;
         continue;
       }
       received = std::move(parsed).take();
@@ -391,27 +440,27 @@ RecursiveResolver::QueryResult RecursiveResolver::query_servers_uncoalesced(
 
     if (!options_.exhaustive_ns_probing) {
       result.response = std::move(response);
-      return result;
+      co_return result;
     }
     if (!first_response) first_response = std::move(response);
   }
   result.response = std::move(first_response);
-  return result;
+  co_return result;
 }
 
-std::optional<dns::Message> RecursiveResolver::query_over_stream(
-    const sim::NodeAddress& server, const dns::Name& qname, dns::RRType qtype,
-    QueryResult& result) {
+sim::Task<std::optional<dns::Message>> RecursiveResolver::query_over_stream(
+    ResolutionContext& ctx, sim::NodeAddress server, dns::Name qname,
+    dns::RRType qtype, QueryResult& result) {
   ++hardening_.tcp_fallbacks;
   const std::string query_desc =
       qname.to_string() + " " + dns::to_string(qtype);
   auto& stream = network_->stream();
 
   for (int attempt = 0; attempt < retry_.tcp_attempts; ++attempt) {
-    if (budget_.attempts_left <= 0 ||
-        network_->clock().now_ms() >= budget_.deadline_ms) {
+    if (ctx.budget.attempts_left <= 0 ||
+        network_->clock().now_ms() >= ctx.budget.deadline_ms) {
       ++hardening_.watchdog_trips;
-      return std::nullopt;
+      co_return std::nullopt;
     }
 
     // A fresh connection and a fresh transaction per attempt: reusing the
@@ -425,8 +474,12 @@ std::optional<dns::Message> RecursiveResolver::query_over_stream(
     edns::set_edns(query, edns);
 
     ++result.queries;
-    --budget_.attempts_left;
+    --ctx.budget.attempts_left;
 
+    // The stream transport still charges its own handshake/IO round trips
+    // to the clock inline (one interleave point per exchange, not per
+    // segment — DESIGN.md §6 documents the coarser granularity); only the
+    // timers waited out on a dead path park the coroutine.
     const auto conn = stream.connect(profile_.source, server);
     if (conn.status != sim::StreamTransport::ConnectStatus::Established) {
       ++hardening_.tcp_connect_failures;
@@ -434,7 +487,7 @@ std::optional<dns::Message> RecursiveResolver::query_over_stream(
           conn.status == sim::StreamTransport::ConnectStatus::Refused;
       // An RST arrives promptly; a swallowed SYN burns the whole
       // handshake timer first.
-      if (!refused) network_->wait_ms(retry_.tcp_connect_timeout_ms);
+      if (!refused) co_await park(ctx, retry_.tcp_connect_timeout_ms);
       infra_.report_failure(server,
                             refused ? InfraCache::FailureKind::Unreachable
                                     : InfraCache::FailureKind::Timeout,
@@ -461,7 +514,7 @@ std::optional<dns::Message> RecursiveResolver::query_over_stream(
 
     if (io.status == sim::StreamTransport::IoStatus::Timeout) {
       // Accept-then-stall: the read timer runs out with zero bytes.
-      network_->wait_ms(retry_.tcp_read_timeout_ms);
+      co_await park(ctx, retry_.tcp_read_timeout_ms);
       stream_failed("stalled after accepting the query");
       continue;
     }
@@ -477,7 +530,7 @@ std::optional<dns::Message> RecursiveResolver::query_over_stream(
       } else {
         // An over-declared length prefix: the frame never completes, so
         // the read timer runs out with a partial buffer.
-        network_->wait_ms(retry_.tcp_read_timeout_ms);
+        co_await park(ctx, retry_.tcp_read_timeout_ms);
         stream_failed("never completed the response frame");
       }
       continue;
@@ -513,24 +566,24 @@ std::optional<dns::Message> RecursiveResolver::query_over_stream(
 
     infra_.report_success(server, conn.rtt_ms + io.rtt_ms);
     ++hardening_.tcp_success;
-    return std::move(parsed).take();
+    co_return std::move(parsed).take();
   }
-  return std::nullopt;
+  co_return std::nullopt;
 }
 
-bool RecursiveResolver::ensure_root_trust(
-    std::vector<Finding>& findings) {
-  if (root_keys_.has_value()) return root_trust_ok_;
+sim::Task<bool> RecursiveResolver::ensure_root_trust(
+    ResolutionContext& ctx, std::vector<Finding>& findings) {
+  if (root_keys_.has_value()) co_return root_trust_ok_;
 
-  auto qr = query_servers(dns::Name{}, root_servers_, dns::Name{},
-                          dns::RRType::DNSKEY);
+  auto qr = co_await query_servers(ctx, dns::Name{}, root_servers_,
+                                   dns::Name{}, dns::RRType::DNSKEY);
   for (auto& f : qr.findings) findings.push_back(std::move(f));
   if (!qr.response) {
     add_finding(findings, Stage::Transport, Defect::AllServersUnreachable,
                 "no root server reachable");
     root_keys_.emplace();
     root_trust_ok_ = false;
-    return false;
+    co_return false;
   }
 
   const auto rrsets = dns::group_rrsets(qr.response->answer);
@@ -545,16 +598,16 @@ bool RecursiveResolver::ensure_root_trust(
   for (const auto& f : trust.findings) findings.push_back(f);
   root_keys_ = collect_keys(dnskey_rrset);
   root_trust_ok_ = trust.security == Security::Secure;
-  return root_trust_ok_;
+  co_return root_trust_ok_;
 }
 
-std::vector<sim::NodeAddress> RecursiveResolver::resolve_ns_addresses(
-    const std::vector<dns::Name>& ns_names, int depth,
+sim::Task<std::vector<sim::NodeAddress>> RecursiveResolver::resolve_ns_addresses(
+    ResolutionContext& ctx, std::vector<dns::Name> ns_names, int depth,
     std::vector<Finding>& findings, int& upstream_queries) {
   std::vector<sim::NodeAddress> out;
-  if (depth >= options_.max_ns_resolution_depth) return out;
+  if (depth >= options_.max_ns_resolution_depth) co_return out;
   for (const auto& ns : ns_names) {
-    auto sub = resolve_internal(ns, dns::RRType::A, depth + 1);
+    auto sub = co_await resolve_internal(ctx, ns, dns::RRType::A, depth + 1);
     upstream_queries += sub.upstream_queries;
     // Only transport problems of the nameserver resolution are relevant to
     // the original query's diagnosis (the paper's "unreachable DNS
@@ -570,22 +623,23 @@ std::vector<sim::NodeAddress> RecursiveResolver::resolve_ns_addresses(
         out.emplace_back(a->address);
     }
   }
-  return out;
+  co_return out;
 }
 
-Outcome RecursiveResolver::resolve(const dns::Name& qname, dns::RRType qtype) {
+sim::Task<Outcome> RecursiveResolver::resolve_flow(ResolutionContext& ctx,
+                                                   dns::Name qname,
+                                                   dns::RRType qtype) {
   // Arm the per-resolution retry/time budget. The wall deadline only bites
   // when the latency model advances the clock; otherwise waits are free
-  // and the attempt counter is the effective bound.
-  budget_.attempts_left = retry_.max_total_attempts;
-  budget_.deadline_ms = retry_.total_budget_ms == 0
-                            ? std::numeric_limits<sim::SimTimeMs>::max()
-                            : network_->clock().now_ms() + retry_.total_budget_ms;
-  // The coalescing memo is scoped to one top-level resolution: it models
-  // in-flight deduplication, not a cache, so it must never outlive the
-  // resolution that populated it (a server dead now may be back later).
-  coalesced_.clear();
-  Outcome outcome = resolve_internal(qname, qtype, 0);
+  // and the attempt counter is the effective bound. The coalescing memo
+  // lives in ctx, so it is born empty and dies with this resolution (a
+  // server dead now may be back later).
+  ctx.budget.attempts_left = retry_.max_total_attempts;
+  ctx.budget.deadline_ms =
+      retry_.total_budget_ms == 0
+          ? std::numeric_limits<sim::SimTimeMs>::max()
+          : network_->clock().now_ms() + retry_.total_budget_ms;
+  Outcome outcome = co_await resolve_internal(ctx, qname, qtype, 0);
   annotate(outcome);
 
   // RFC 9567 DNS Error Reporting: fire-and-forget a report query for the
@@ -601,17 +655,149 @@ Outcome RecursiveResolver::resolve(const dns::Name& qname, dns::RRType qtype) {
     if (report_qname.has_value()) {
       const std::string key = report_qname->to_string();
       if (reports_sent_.insert(key).second) {
-        auto report = resolve_internal(*report_qname, dns::RRType::TXT, 1);
+        auto report =
+            co_await resolve_internal(ctx, *report_qname, dns::RRType::TXT, 1);
         outcome.upstream_queries += report.upstream_queries;
         outcome.report_sent = *report_qname;
       }
     }
   }
-  return outcome;
+  co_return outcome;
 }
 
-Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
-                                            dns::RRType qtype, int depth) {
+Outcome RecursiveResolver::resolve(const dns::Name& qname, dns::RRType qtype) {
+  // Drive the coroutine pipeline alone on a private scheduler: every park
+  // resumes immediately at its own wake time (which, with time moving
+  // monotonically, is exactly what the old blocking wait_ms did), so this
+  // path is bit-for-bit the classic blocking resolve.
+  sim::EventScheduler sched(network_->clock());
+  ResolutionContext ctx;
+  ctx.sched = &sched;
+  auto task = resolve_flow(ctx, qname, qtype);
+  task.start();
+  while (!task.done() && sched.run_one()) {
+  }
+  return task.take();
+}
+
+sim::Task<void> RecursiveResolver::run_job(
+    sim::EventScheduler& sched, dns::Name qname, dns::RRType qtype,
+    std::function<void(sim::SimTimeMs, Outcome&&)> record) {
+  // The context lives in this wrapper's own frame: child coroutines hold
+  // a reference to it across suspensions, so it needs a stable address
+  // for the resolution's whole lifetime (a container slot would move).
+  ResolutionContext ctx;
+  ctx.sched = &sched;
+  ctx.srtt_reorder = false;  // see ResolutionContext
+  const sim::SimTimeMs started_ms = network_->clock().now_ms();
+  Outcome outcome = co_await resolve_flow(ctx, std::move(qname), qtype);
+  record(network_->clock().now_ms() - started_ms, std::move(outcome));
+}
+
+EngineReport RecursiveResolver::resolve_many(
+    const std::vector<ResolveJob>& jobs, std::size_t inflight,
+    const std::function<void(std::size_t, Outcome&&)>& on_done) {
+  EngineReport report;
+  if (jobs.empty()) return report;
+  const std::size_t window = std::min(std::max<std::size_t>(inflight, 1),
+                                      jobs.size());
+
+  sim::EventScheduler sched(network_->clock());
+  const sim::SimTimeMs epoch = network_->clock().now_ms();
+
+  // Admission-slot model: `window` slots, each chaining resolutions
+  // back-to-back on its own virtual timeline starting at the batch epoch.
+  // Every admitted job has its timeline rebased to the epoch, so TTL and
+  // hold-down arithmetic matches a serial run of the same batch; the
+  // wall-clock win is that one worker interleaves all slots' waits.
+  struct Completion {
+    std::size_t slot = 0;
+    std::size_t index = 0;
+    sim::SimTimeMs duration_ms = 0;
+    Outcome outcome;
+  };
+  std::vector<Completion> completions;
+  std::vector<sim::Task<void>> slots(window);
+  std::vector<std::size_t> free_slots(window);
+  for (std::size_t s = 0; s < window; ++s) free_slots[s] = window - 1 - s;
+  // Virtual-time accounting lanes, deliberately decoupled from the
+  // coroutine slots above. Epoch rebasing makes a freshly admitted job's
+  // events fire before every parked job's, so in the steady state one
+  // physical slot frees and churns through most of the batch — which slot
+  // hosted a job says nothing about the batch's virtual schedule. Each
+  // completed resolution's duration is instead charged to the currently
+  // least-loaded of `window` lanes (list scheduling in completion order):
+  // that is literally the documented model — `inflight` lanes chaining
+  // resolutions back-to-back, the batch taking as long as its busiest
+  // lane. Heap ties break on lane index, so the schedule is deterministic.
+  using Lane = std::pair<sim::SimTimeMs, std::size_t>;
+  std::priority_queue<Lane, std::vector<Lane>, std::greater<>> lanes;
+  for (std::size_t lane = 0; lane < window; ++lane) lanes.push({0, lane});
+  std::size_t next = 0;
+  std::size_t active = 0;
+
+  const auto admit = [&](std::size_t slot, std::size_t index) {
+    network_->clock().set_ms(epoch);  // rebase this resolution's timeline
+    slots[slot] = run_job(
+        sched, jobs[index].qname, jobs[index].qtype,
+        [&completions, slot, index](sim::SimTimeMs duration_ms,
+                                    Outcome&& outcome) {
+          completions.push_back(
+              {slot, index, duration_ms, std::move(outcome)});
+        });
+    slots[slot].start();
+    ++active;
+  };
+  const auto drain = [&]() {
+    // Completion order is delivery order; the freed slot chains its next
+    // admission after the finished resolution's duration.
+    for (auto& done : completions) {
+      auto [load, lane] = lanes.top();
+      lanes.pop();
+      lanes.push({load + done.duration_ms, lane});
+      report.longest_job_ms = std::max(report.longest_job_ms,
+                                       done.duration_ms);
+      report.total_virtual_ms += done.duration_ms;
+      slots[done.slot] = sim::Task<void>{};
+      free_slots.push_back(done.slot);
+      --active;
+      if (on_done) on_done(done.index, std::move(done.outcome));
+    }
+    completions.clear();
+  };
+
+  while (true) {
+    while (next < jobs.size() && !free_slots.empty()) {
+      const std::size_t slot = free_slots.back();
+      free_slots.pop_back();
+      admit(slot, next++);
+      // Measure the high-water mark after draining: a resolution that
+      // completed synchronously inside start() (pure cache hit) was never
+      // really in flight alongside the next admission.
+      drain();
+      report.max_in_flight = std::max(report.max_in_flight, active);
+    }
+    if (active == 0 && next >= jobs.size()) break;
+    if (!sched.run_one()) break;  // defensive: active jobs always park
+    drain();
+  }
+
+  // The makespan is the busiest lane's accumulated load — with the heap
+  // holding window entries, the maximum is whatever ends up deepest.
+  while (!lanes.empty()) {
+    report.makespan_ms = std::max(report.makespan_ms, lanes.top().first);
+    lanes.pop();
+  }
+  // Leave the shared clock where a serial back-to-back run of the busiest
+  // slot would have left it.
+  network_->clock().set_ms(epoch + report.makespan_ms);
+  return report;
+}
+
+sim::Task<Outcome> RecursiveResolver::resolve_internal(ResolutionContext& ctx,
+                                                       dns::Name qname,
+                                                       dns::RRType qtype,
+                                                       int depth) {
   Outcome outcome;
   outcome.response = dns::make_query(next_id_++, qname, qtype);
   outcome.response.header.qr = true;
@@ -637,7 +823,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
     add_finding(outcome.findings, Stage::Policy, defect,
                 rule.reason.empty() ? "blocked by local policy"
                                     : rule.reason);
-    return finish(dns::RCode::NXDOMAIN, Security::Indeterminate);
+    co_return finish(dns::RCode::NXDOMAIN, Security::Indeterminate);
   }
 
   // --- cache lookups ---------------------------------------------------
@@ -655,7 +841,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
                     "answer served from cache past TTL expiry");
         for (auto& rr : stale->rrset.to_records())
           outcome.response.answer.push_back(std::move(rr));
-        return finish(dns::RCode::NOERROR, stale->security);
+        co_return finish(dns::RCode::NOERROR, stale->security);
       }
       if (const auto* stale = cache_.get_stale_negative(qname, qtype, now);
           stale != nullptr && stale->nxdomain) {
@@ -663,13 +849,13 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
         add_finding(outcome.findings, Stage::Cache,
                     Defect::StaleNxdomainServed,
                     "NXDOMAIN served from cache past TTL expiry");
-        return finish(dns::RCode::NXDOMAIN, stale->security);
+        co_return finish(dns::RCode::NXDOMAIN, stale->security);
       }
     }
     for (const auto& f : sf->findings) outcome.findings.push_back(f);
     add_finding(outcome.findings, Stage::Cache, Defect::CachedServfail,
                 "SERVFAIL served from cache for " + qname.to_string());
-    return finish(dns::RCode::SERVFAIL, Security::Indeterminate);
+    co_return finish(dns::RCode::SERVFAIL, Security::Indeterminate);
   }
   if (const auto* pos = cache_.get_positive(qname, qtype, now)) {
     for (auto& rr : pos->rrset.to_records())
@@ -679,11 +865,12 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
                                          dns::RRClass::IN, pos->rrset.ttl,
                                          dns::Rdata{sig}});
     }
-    return finish(dns::RCode::NOERROR, pos->security);
+    co_return finish(dns::RCode::NOERROR, pos->security);
   }
   if (const auto* neg = cache_.get_negative(qname, qtype, now)) {
-    return finish(neg->nxdomain ? dns::RCode::NXDOMAIN : dns::RCode::NOERROR,
-                  neg->security);
+    co_return finish(neg->nxdomain ? dns::RCode::NXDOMAIN
+                                   : dns::RCode::NOERROR,
+                     neg->security);
   }
   if (options_.aggressive_nsec_caching) {
     for (const auto& [zone, ranges] : denial_cache_) {
@@ -697,7 +884,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
                       Defect::AnswerSynthesized,
                       "NXDOMAIN synthesized from a cached NSEC3 range in " +
                           zone.to_string());
-          return finish(dns::RCode::NXDOMAIN, Security::Secure);
+          co_return finish(dns::RCode::NXDOMAIN, Security::Secure);
         }
       }
     }
@@ -742,12 +929,12 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
   };
 
   // --- establish the root context ---------------------------------------
-  const bool root_secure = ensure_root_trust(outcome.findings);
+  const bool root_secure = co_await ensure_root_trust(ctx, outcome.findings);
   if (!root_secure) {
     // With a configured trust anchor, an unvalidatable root is fatal:
     // either the root servers were unreachable or their keys were bogus.
-    if (root_keys_->empty()) return fail_with_stale();
-    return fail_bogus();
+    if (root_keys_->empty()) co_return fail_with_stale();
+    co_return fail_bogus();
   }
 
   dns::Name current_zone;  // "."
@@ -794,7 +981,8 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
       if (!(query_name == target)) query_type = dns::RRType::NS;
     }
 
-    auto qr = query_servers(current_zone, servers, query_name, query_type);
+    auto qr = co_await query_servers(ctx, current_zone, servers, query_name,
+                                     query_type);
     outcome.upstream_queries += qr.queries;
     outcome.trace.push_back({current_zone, query_name, query_type, ""});
     auto& step = outcome.trace.back();
@@ -806,7 +994,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
     }
     if (!qr.response) {
       step.note = "no usable response from any server";
-      return fail_with_stale();
+      co_return fail_with_stale();
     }
     dns::Message response = std::move(*qr.response);
 
@@ -824,14 +1012,14 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
               profile_.validator);
           for (const auto& f : denial.findings)
             outcome.findings.push_back(f);
-          if (denial.security == Security::Bogus) return fail_bogus();
+          if (denial.security == Security::Bogus) co_return fail_bogus();
           security = denial.security;
         }
         cache_.put_negative(query_name, query_type,
                             {true, security, now + negative_ttl(response)},
                             now);
         outcome.response.authority = response.authority;
-        return finish(dns::RCode::NXDOMAIN, security);
+        co_return finish(dns::RCode::NXDOMAIN, security);
       }
       // NOERROR (empty non-terminal or an in-zone node): reveal one more
       // label and continue against the same zone.
@@ -861,7 +1049,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
           if (ds_check.security != Security::Secure) {
             for (const auto& f : ds_check.findings)
               outcome.findings.push_back(f);
-            return fail_bogus();
+            co_return fail_bogus();
           }
           for (const auto& rd : ds_rrset->rdatas) {
             if (const auto* ds = std::get_if<dns::DsRdata>(&rd))
@@ -875,7 +1063,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
           if (absence.security == Security::Bogus) {
             for (const auto& f : absence.findings)
               outcome.findings.push_back(f);
-            return fail_bogus();
+            co_return fail_bogus();
           }
           child_secure = false;  // proven insecure delegation
         }
@@ -885,15 +1073,15 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
       const auto targets = ns_targets(response, *child);
       auto child_servers = glue_addresses(response, targets);
       if (child_servers.empty()) {
-        child_servers = resolve_ns_addresses(targets, depth, outcome.findings,
-                                             outcome.upstream_queries);
+        child_servers = co_await resolve_ns_addresses(
+            ctx, targets, depth, outcome.findings, outcome.upstream_queries);
       }
-      if (child_servers.empty()) return fail_with_stale();
+      if (child_servers.empty()) co_return fail_with_stale();
 
       std::vector<dns::DnskeyRdata> child_keys;
       if (child_secure) {
-        auto key_qr = query_servers(*child, child_servers, *child,
-                                    dns::RRType::DNSKEY);
+        auto key_qr = co_await query_servers(ctx, *child, child_servers,
+                                             *child, dns::RRType::DNSKEY);
         outcome.upstream_queries += key_qr.queries;
         if (key_qr.report_agent.has_value())
           outcome.report_agent = key_qr.report_agent;
@@ -907,7 +1095,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
                       Defect::DnskeyFetchFailed,
                       "could not obtain the DNSKEY RRset for " +
                           child->to_string());
-          return fail_with_stale();
+          co_return fail_with_stale();
         }
         const auto key_sets = dns::group_rrsets(key_qr.response->answer);
         const dns::RRset* dnskey_rrset = nullptr;
@@ -919,7 +1107,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
         const auto trust = dnssec::validate_zone_keys(
             *child, ds_set, dnskey_rrset, key_sigs, now, profile_.validator);
         for (const auto& f : trust.findings) outcome.findings.push_back(f);
-        if (trust.security == Security::Bogus) return fail_bogus();
+        if (trust.security == Security::Bogus) co_return fail_bogus();
         child_secure = trust.security == Security::Secure;
         child_keys = collect_keys(dnskey_rrset);
       }
@@ -949,7 +1137,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
             dns::group_rrsets(response.authority), zone_keys, now,
             profile_.validator);
         for (const auto& f : denial.findings) outcome.findings.push_back(f);
-        if (denial.security == Security::Bogus) return fail_bogus();
+        if (denial.security == Security::Bogus) co_return fail_bogus();
         security = denial.security;
       }
       const bool nxdomain = response.header.rcode == dns::RCode::NXDOMAIN;
@@ -971,7 +1159,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
         }
       }
       outcome.response.authority = response.authority;
-      return finish(response.header.rcode, security);
+      co_return finish(response.header.rcode, security);
     }
 
     // ----- answer ---------------------------------------------------------
@@ -996,7 +1184,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
                             {outcome.findings,
                              now + cache_.options().servfail_ttl},
                             now);
-        return finish(dns::RCode::SERVFAIL, Security::Indeterminate);
+        co_return finish(dns::RCode::SERVFAIL, Security::Indeterminate);
       }
       Security security = Security::Insecure;
       if (secure) {
@@ -1004,7 +1192,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
             *cname, answer_sigs, current_zone, zone_keys, now,
             profile_.validator);
         for (const auto& f : check.findings) outcome.findings.push_back(f);
-        if (check.security == Security::Bogus) return fail_bogus();
+        if (check.security == Security::Bogus) co_return fail_bogus();
         security = check.security;
       }
       (void)security;
@@ -1027,7 +1215,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
       add_finding(outcome.findings, Stage::Transport, Defect::ServerNotAuth,
                   "authority returned an unusable answer for " +
                       target.to_string());
-      return fail_with_stale();
+      co_return fail_with_stale();
     }
 
     step.note = "answer";
@@ -1037,7 +1225,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
           *rrset, answer_sigs, current_zone, zone_keys, now,
           profile_.validator);
       for (const auto& f : check.findings) outcome.findings.push_back(f);
-      if (check.security == Security::Bogus) return fail_bogus();
+      if (check.security == Security::Bogus) co_return fail_bogus();
       security = check.security;
     }
 
@@ -1055,7 +1243,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
                                          dns::RRClass::IN, rrset->ttl,
                                          dns::Rdata{sig}});
     }
-    return finish(dns::RCode::NOERROR, security);
+    co_return finish(dns::RCode::NOERROR, security);
   }
 
   add_finding(outcome.findings, Stage::Transport,
@@ -1063,7 +1251,7 @@ Outcome RecursiveResolver::resolve_internal(const dns::Name& qname,
   cache_.put_servfail(
       qname, qtype,
       {outcome.findings, now + cache_.options().servfail_ttl}, now);
-  return finish(dns::RCode::SERVFAIL, Security::Indeterminate);
+  co_return finish(dns::RCode::SERVFAIL, Security::Indeterminate);
 }
 
 void RecursiveResolver::annotate(Outcome& outcome) const {

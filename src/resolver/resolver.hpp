@@ -8,6 +8,7 @@
 // profile chooses to surface.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <set>
@@ -21,6 +22,7 @@
 #include "resolver/profile.hpp"
 #include "resolver/retry.hpp"
 #include "simnet/network.hpp"
+#include "simnet/sched.hpp"
 
 namespace ede::resolver {
 
@@ -118,6 +120,32 @@ struct HardeningStats {
   std::uint64_t tcp_stream_failures = 0;
 };
 
+/// One queued resolution for RecursiveResolver::resolve_many().
+struct ResolveJob {
+  dns::Name qname;
+  dns::RRType qtype = dns::RRType::A;
+};
+
+/// What the batch engine observed while multiplexing a resolve_many()
+/// call (see DESIGN.md §6 for the virtual-time model).
+struct EngineReport {
+  /// High-water mark of resolutions simultaneously admitted-but-
+  /// unfinished (what "concurrently in flight" means on one worker).
+  std::size_t max_in_flight = 0;
+  /// Virtual makespan of the batch under the admission-slot model: each
+  /// of the `inflight` slots chains its resolutions back-to-back, and the
+  /// batch takes as long as its busiest slot. Zero with the latency
+  /// model off (every resolution is instantaneous).
+  sim::SimTimeMs makespan_ms = 0;
+  /// Sum of per-resolution virtual durations — what a serial (inflight=1)
+  /// run would have charged the clock for the same batch.
+  sim::SimTimeMs total_virtual_ms = 0;
+  /// Longest single resolution in the batch. The makespan can never beat
+  /// it no matter how many slots multiplex, so it is the number to stare
+  /// at when a batch's speedup stalls below total/makespan expectations.
+  sim::SimTimeMs longest_job_ms = 0;
+};
+
 /// One step of the iterative resolution, for dig +trace-style display.
 struct TraceStep {
   dns::Name zone;        // the zone context the query ran under
@@ -154,7 +182,33 @@ class RecursiveResolver {
 
   /// Resolve and annotate. The returned response carries the EDE options
   /// this resolver's vendor profile emits for the observed findings.
+  ///
+  /// Internally the resolution is a coroutine parked on a private event
+  /// scheduler; driving it alone to completion replays exactly the
+  /// blocking behaviour this method always had (every park advances the
+  /// clock just like the old wait_ms calls did).
   [[nodiscard]] Outcome resolve(const dns::Name& qname, dns::RRType qtype);
+
+  /// Resolve a batch with up to `inflight` resolutions multiplexed over
+  /// one event scheduler and the shared record/infra/SERVFAIL caches (the
+  /// ZDNS shape: thousands of lightweight routines, one worker).
+  ///
+  /// Every resolution's virtual timeline is rebased to the batch epoch
+  /// (the clock at call time): TTLs, serve-stale windows, hold-downs and
+  /// signature validity see the same "now" a serial run of the same batch
+  /// would show them, which is what makes per-domain outcomes invariant
+  /// under `inflight` (the fixed-seed equivalence suite pins this).
+  /// `on_done(job_index, outcome)` fires as each resolution completes, in
+  /// completion order. On return the clock sits at epoch + makespan.
+  ///
+  /// Engine-mode resolutions keep the configured nameserver order instead
+  /// of the SRTT sort (probe order must not depend on what other
+  /// in-flight resolutions learned first); everything else — retry,
+  /// backoff, coalescing, scrubbing, SERVFAIL caching, DoTCP fallback,
+  /// EDE semantics — is the very same coroutine resolve() drives.
+  EngineReport resolve_many(
+      const std::vector<ResolveJob>& jobs, std::size_t inflight,
+      const std::function<void(std::size_t, Outcome&&)>& on_done);
 
   [[nodiscard]] Cache& cache() { return cache_; }
   [[nodiscard]] InfraCache& infra() { return infra_; }
@@ -171,6 +225,8 @@ class RecursiveResolver {
   void flush();
 
  private:
+  friend struct ResolverTestAccess;  // white-box regression tests
+
   struct QueryResult {
     std::optional<dns::Message> response;
     std::vector<dnssec::Finding> findings;
@@ -178,18 +234,97 @@ class RecursiveResolver {
     std::optional<dns::Name> report_agent;  // RFC 9567 Report-Channel
   };
 
+  /// Per-resolution retry/time budget (armed by each top-level
+  /// resolution's flow).
+  struct Budget {
+    int attempts_left = 0;
+    sim::SimTimeMs deadline_ms = 0;
+  };
+
+  /// In-flight coalescing memo key, scoped to one top-level resolution:
+  /// failed (zone, qname, qtype, server-set) probes recorded so CNAME
+  /// chains and nameserver sub-resolutions replay the failure (findings
+  /// included, zero packets) instead of re-stampeding the same dying
+  /// servers. The server-set fingerprint is part of the key because a
+  /// failure memoized against an early NS set must NOT be replayed once
+  /// glue discovery (or a zone-cache refresh) widens the set — that would
+  /// blame servers the probe never tried.
+  struct CoalesceKey {
+    dns::Name zone;
+    dns::Name qname;
+    dns::RRType qtype = dns::RRType::A;
+    std::uint64_t server_fingerprint = 0;
+
+    bool operator<(const CoalesceKey& other) const {
+      if (const auto c = zone.canonical_compare(other.zone);
+          c != std::strong_ordering::equal)
+        return c == std::strong_ordering::less;
+      if (const auto c = qname.canonical_compare(other.qname);
+          c != std::strong_ordering::equal)
+        return c == std::strong_ordering::less;
+      if (qtype != other.qtype) return qtype < other.qtype;
+      return server_fingerprint < other.server_fingerprint;
+    }
+  };
+
+  /// Order-sensitive fingerprint of a probe's candidate server list.
+  [[nodiscard]] static std::uint64_t fingerprint_servers(
+      const std::vector<sim::NodeAddress>& servers);
+
+  /// Everything one in-flight top-level resolution owns. Extracted from
+  /// resolver members so resolve_many can keep thousands of resolutions
+  /// in flight over one resolver (the caches stay shared; this does not).
+  struct ResolutionContext {
+    sim::EventScheduler* sched = nullptr;
+    Budget budget;
+    std::map<CoalesceKey, QueryResult> coalesced;
+    /// Classic resolutions prefer servers with the lowest SRTT (see
+    /// query_servers_uncoalesced). Batch-engine resolutions keep the
+    /// configured NS order instead: the SRTT table is shared, so probe
+    /// order — and with it the per-server findings the diagnosis emits —
+    /// must not depend on what other in-flight resolutions learned first.
+    bool srtt_reorder = true;
+  };
+
+  /// Park the calling coroutine for `delay_ms` of virtual time. Mirrors
+  /// the old Network::wait_ms discipline: with the latency model off the
+  /// delay is free (the coroutine re-queues at the current instant).
+  [[nodiscard]] sim::EventScheduler::SleepAwaiter park(
+      ResolutionContext& ctx, std::uint32_t delay_ms) const {
+    return ctx.sched->sleep_ms(network_->latency().enabled ? delay_ms : 0);
+  }
+
+  /// The complete per-resolution pipeline resolve()/resolve_many() drive:
+  /// resolve_internal + EDE annotation + the RFC 9567 report query.
+  [[nodiscard]] sim::Task<Outcome> resolve_flow(ResolutionContext& ctx,
+                                                dns::Name qname,
+                                                dns::RRType qtype);
+
+  /// resolve_many() worker: owns one resolution's context in its own
+  /// coroutine frame (child coroutines keep a reference to it across
+  /// suspensions, so it needs a stable address) and reports the finished
+  /// outcome plus the resolution's virtual duration through `record`.
+  [[nodiscard]] sim::Task<void> run_job(
+      sim::EventScheduler& sched, dns::Name qname, dns::RRType qtype,
+      std::function<void(sim::SimTimeMs, Outcome&&)> record);
+
   /// Probe `servers` (authoritative for `zone`) for qname/qtype. `zone` is
   /// the bailiwick the scrubber enforces on whatever comes back, and part
-  /// of the coalescing key.
-  [[nodiscard]] QueryResult query_servers(
-      const dns::Name& zone, const std::vector<sim::NodeAddress>& servers,
-      const dns::Name& qname, dns::RRType qtype);
-  [[nodiscard]] QueryResult query_servers_uncoalesced(
-      const dns::Name& zone, const std::vector<sim::NodeAddress>& servers,
-      const dns::Name& qname, dns::RRType qtype);
+  /// of the coalescing key. Name parameters ride by value: a coroutine
+  /// frame must not hold references into a caller temporary.
+  [[nodiscard]] sim::Task<QueryResult> query_servers(
+      ResolutionContext& ctx, dns::Name zone,
+      const std::vector<sim::NodeAddress>& servers, dns::Name qname,
+      dns::RRType qtype);
+  [[nodiscard]] sim::Task<QueryResult> query_servers_uncoalesced(
+      ResolutionContext& ctx, dns::Name zone,
+      const std::vector<sim::NodeAddress>& servers, dns::Name qname,
+      dns::RRType qtype);
 
-  [[nodiscard]] Outcome resolve_internal(const dns::Name& qname,
-                                         dns::RRType qtype, int depth);
+  [[nodiscard]] sim::Task<Outcome> resolve_internal(ResolutionContext& ctx,
+                                                    dns::Name qname,
+                                                    dns::RRType qtype,
+                                                    int depth);
 
   /// DoTCP fallback (RFC 7766): retry `qname`/`qtype` against `server`
   /// over the stream transport after a TC=1 UDP response, within the
@@ -198,15 +333,16 @@ class RecursiveResolver {
   /// stall, mid-stream close, garbage framing) — recording
   /// TcpConnectFailed/TcpStreamFailed findings for the profile to map to
   /// EDE 22/23.
-  [[nodiscard]] std::optional<dns::Message> query_over_stream(
-      const sim::NodeAddress& server, const dns::Name& qname,
+  [[nodiscard]] sim::Task<std::optional<dns::Message>> query_over_stream(
+      ResolutionContext& ctx, sim::NodeAddress server, dns::Name qname,
       dns::RRType qtype, QueryResult& result);
 
   /// Fetch and validate the root DNSKEY RRset once per cache lifetime.
-  [[nodiscard]] bool ensure_root_trust(std::vector<dnssec::Finding>& findings);
+  [[nodiscard]] sim::Task<bool> ensure_root_trust(
+      ResolutionContext& ctx, std::vector<dnssec::Finding>& findings);
 
-  [[nodiscard]] std::vector<sim::NodeAddress> resolve_ns_addresses(
-      const std::vector<dns::Name>& ns_names, int depth,
+  [[nodiscard]] sim::Task<std::vector<sim::NodeAddress>> resolve_ns_addresses(
+      ResolutionContext& ctx, std::vector<dns::Name> ns_names, int depth,
       std::vector<dnssec::Finding>& findings, int& upstream_queries);
 
   void annotate(Outcome& outcome) const;
@@ -219,13 +355,6 @@ class RecursiveResolver {
   Cache cache_;
   RetryPolicy retry_;
   InfraCache infra_;
-
-  /// Per-resolution retry/time budget (reset by each top-level resolve()).
-  struct Budget {
-    int attempts_left = 0;
-    sim::SimTimeMs deadline_ms = 0;
-  };
-  Budget budget_;
 
   std::optional<std::vector<dns::DnskeyRdata>> root_keys_;
   bool root_trust_ok_ = false;
@@ -253,27 +382,6 @@ class RecursiveResolver {
     }
   };
   std::map<dns::Name, ZoneContext, NameCanonicalLess> zone_cache_;
-
-  /// In-flight coalescing memo, scoped to one top-level resolve(): failed
-  /// (zone, qname, qtype) probes recorded so CNAME chains and nameserver
-  /// sub-resolutions replay the failure (findings included, zero packets)
-  /// instead of re-stampeding the same dying servers.
-  struct CoalesceKey {
-    dns::Name zone;
-    dns::Name qname;
-    dns::RRType qtype = dns::RRType::A;
-
-    bool operator<(const CoalesceKey& other) const {
-      if (const auto c = zone.canonical_compare(other.zone);
-          c != std::strong_ordering::equal)
-        return c == std::strong_ordering::less;
-      if (const auto c = qname.canonical_compare(other.qname);
-          c != std::strong_ordering::equal)
-        return c == std::strong_ordering::less;
-      return qtype < other.qtype;
-    }
-  };
-  std::map<CoalesceKey, QueryResult> coalesced_;
 
   /// RFC 9567 rate limiting: report QNAMEs already sent this cache
   /// lifetime.

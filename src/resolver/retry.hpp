@@ -45,9 +45,16 @@ struct RetryPolicy {
   int tcp_attempts = 2;
 
   [[nodiscard]] std::uint32_t next_timeout(std::uint32_t current_ms) const {
-    const auto scaled =
-        static_cast<std::uint32_t>(static_cast<double>(current_ms) *
-                                   backoff_factor);
+    // Clamp the backoff product while it is still a double: calibrated
+    // backoff_factor/timeout combinations can push it past uint32_t range
+    // (or below zero for a pathological negative factor), and a
+    // float-to-integer cast whose value does not fit the target type is
+    // undefined behaviour — so the cast only ever sees [0, max_timeout_ms].
+    const double product =
+        static_cast<double>(current_ms) * backoff_factor;
+    const double clamped = std::clamp(
+        product, 0.0, static_cast<double>(max_timeout_ms));
+    const auto scaled = static_cast<std::uint32_t>(clamped);
     return std::min(std::max(scaled, current_ms + 1), max_timeout_ms);
   }
 };

@@ -45,6 +45,11 @@ ParallelScanResult run_parallel_scan(const Population& population,
       // the shared read-only population, so nothing here is contended.
       auto clock = std::make_shared<sim::Clock>();
       auto network = std::make_shared<sim::Network>(clock, plan.seed);
+      if (options.latency.has_value()) {
+        sim::LatencyModel model = *options.latency;
+        model.seed = plan.seed;
+        network->set_latency(model);
+      }
       ScanWorld world(network, population);
       auto resolver = world.make_resolver(profile, options.resolver);
       if (options.prewarm) world.prewarm(resolver, plan.begin, plan.end);

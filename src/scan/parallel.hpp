@@ -12,6 +12,8 @@
 // caches up the hierarchy.
 #pragma once
 
+#include <optional>
+
 #include "resolver/profile.hpp"
 #include "scan/scanner.hpp"
 
@@ -37,6 +39,12 @@ struct ParallelScanOptions {
   /// Install the pre-scan cache entries (stale answers, cached SERVFAILs)
   /// for each shard's slice before scanning it.
   bool prewarm = true;
+  /// Optional latency model installed on every shard's network (the seed
+  /// is overridden with the shard's derived seed so jitter streams stay
+  /// independently reproducible, like the transport RNG). With latency on
+  /// a serial scan waits out every RTT and retry timer on the simulated
+  /// clock; scanner.inflight overlaps those waits on one worker.
+  std::optional<sim::LatencyModel> latency;
 };
 
 struct ShardOutcome {

@@ -1,7 +1,9 @@
-#include "resolver/resolver.hpp"
 #include "scan/scanner.hpp"
 
 #include <algorithm>
+
+#include "edns/ede.hpp"
+#include "resolver/resolver.hpp"
 
 namespace ede::scan {
 
@@ -58,6 +60,7 @@ void ScanResult::merge(const ScanResult& other) {
   hardening.tcp_success += other.hardening.tcp_success;
   hardening.tcp_connect_failures += other.hardening.tcp_connect_failures;
   hardening.tcp_stream_failures += other.hardening.tcp_stream_failures;
+  record_cache.lookups += other.record_cache.lookups;
   record_cache.hits += other.record_cache.hits;
   record_cache.misses += other.record_cache.misses;
   record_cache.stale_hits += other.record_cache.stale_hits;
@@ -65,6 +68,7 @@ void ScanResult::merge(const ScanResult& other) {
   record_cache.evicted_capacity += other.record_cache.evicted_capacity;
   wall_seconds += other.wall_seconds;
   sim_seconds += other.sim_seconds;
+  max_in_flight = std::max(max_in_flight, other.max_in_flight);
 }
 
 ScanResult Scanner::run(resolver::RecursiveResolver& resolver,
@@ -82,29 +86,26 @@ ScanResult Scanner::run(resolver::RecursiveResolver& resolver,
   const auto sim_before = resolver.network().clock().now_ms();
   const auto start = std::chrono::steady_clock::now();
 
-  // First index in [begin, end) on the global stride grid.
-  std::size_t i = begin;
-  if (const auto offset = begin % options_.stride; offset != 0)
-    i = begin + (options_.stride - offset);
-  for (; i < end; i += options_.stride) {
-    const auto& domain = population.domains[i];
-    const auto outcome =
-        resolver.resolve(dns::Name::of(domain.fqdn), dns::RRType::A);
-
+  // Per-domain aggregation, shared by the serial and async-engine paths.
+  // Folding happens in population (index) order on both paths — that
+  // order decides which extra-text samples survive the per-code cap and
+  // the tranco_hits sequence, so it must not depend on completion order.
+  const auto fold = [&](const DomainSpec& domain, dns::RCode rcode,
+                        const std::vector<edns::ExtendedError>& errors,
+                        int upstream_queries) {
     ++result.total_domains;
-    result.upstream_queries +=
-        static_cast<std::uint64_t>(outcome.upstream_queries);
+    result.upstream_queries += static_cast<std::uint64_t>(upstream_queries);
     result.per_tld[domain.tld].scanned += 1;
 
-    if (outcome.rcode == dns::RCode::SERVFAIL) ++result.servfail_domains;
-    if (outcome.errors.empty()) continue;
+    if (rcode == dns::RCode::SERVFAIL) ++result.servfail_domains;
+    if (errors.empty()) return;
 
     ++result.domains_with_ede;
     result.per_tld[domain.tld].with_ede += 1;
-    if (outcome.rcode == dns::RCode::NOERROR) ++result.noerror_with_ede;
+    if (rcode == dns::RCode::NOERROR) ++result.noerror_with_ede;
 
     bool lame = false;
-    for (const auto& error : outcome.errors) {
+    for (const auto& error : errors) {
       const auto code = static_cast<std::uint16_t>(error.code);
       auto& stats = result.per_code[code];
       stats.domains += 1;
@@ -119,7 +120,51 @@ ScanResult Scanner::run(resolver::RecursiveResolver& resolver,
 
     if (domain.tranco_rank != 0) {
       result.tranco_hits.push_back(
-          {domain.tranco_rank, outcome.rcode == dns::RCode::NOERROR});
+          {domain.tranco_rank, rcode == dns::RCode::NOERROR});
+    }
+  };
+
+  // First index in [begin, end) on the global stride grid.
+  std::size_t i = begin;
+  if (const auto offset = begin % options_.stride; offset != 0)
+    i = begin + (options_.stride - offset);
+
+  if (options_.inflight == 0) {
+    result.max_in_flight = 1;
+    for (; i < end; i += options_.stride) {
+      const auto& domain = population.domains[i];
+      const auto outcome =
+          resolver.resolve(dns::Name::of(domain.fqdn), dns::RRType::A);
+      fold(domain, outcome.rcode, outcome.errors, outcome.upstream_queries);
+    }
+  } else {
+    // Async engine: queue every domain of this shard, let resolve_many
+    // multiplex up to `inflight` of them over one scheduler, and keep only
+    // what fold needs per outcome (the full Outcome carries response
+    // messages and traces — far too heavy to hold for 100k+ domains).
+    struct LiteOutcome {
+      dns::RCode rcode = dns::RCode::SERVFAIL;
+      std::vector<edns::ExtendedError> errors;
+      int upstream_queries = 0;
+    };
+    std::vector<resolver::ResolveJob> jobs;
+    std::vector<std::size_t> population_index;
+    for (; i < end; i += options_.stride) {
+      jobs.push_back({dns::Name::of(population.domains[i].fqdn),
+                      dns::RRType::A});
+      population_index.push_back(i);
+    }
+    std::vector<LiteOutcome> outcomes(jobs.size());
+    const auto engine = resolver.resolve_many(
+        jobs, options_.inflight,
+        [&outcomes](std::size_t job, resolver::Outcome&& outcome) {
+          outcomes[job] = {outcome.rcode, std::move(outcome.errors),
+                           outcome.upstream_queries};
+        });
+    result.max_in_flight = engine.max_in_flight;
+    for (std::size_t job = 0; job < outcomes.size(); ++job) {
+      fold(population.domains[population_index[job]], outcomes[job].rcode,
+           outcomes[job].errors, outcomes[job].upstream_queries);
     }
   }
   const auto end_time = std::chrono::steady_clock::now();
@@ -175,6 +220,7 @@ ScanResult Scanner::run(resolver::RecursiveResolver& resolver,
   result.hardening.tcp_stream_failures =
       hardening_after.tcp_stream_failures -
       hardening_before.tcp_stream_failures;
+  result.record_cache.lookups = cache_after.lookups - cache_before.lookups;
   result.record_cache.hits = cache_after.hits - cache_before.hits;
   result.record_cache.misses = cache_after.misses - cache_before.misses;
   result.record_cache.stale_hits =

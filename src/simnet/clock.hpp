@@ -32,6 +32,12 @@ class Clock {
   void advance(SimTime seconds) { now_ms_ += SimTimeMs{seconds} * 1000; }
   void advance_ms(SimTimeMs milliseconds) { now_ms_ += milliseconds; }
   void set(SimTime now) { now_ms_ = SimTimeMs{now} * 1000; }
+  /// Jump to an absolute millisecond timestamp. Used by the event
+  /// scheduler, which owns the timeline while resolutions are multiplexed:
+  /// it rewinds the clock to each resolution's own virtual "now" before
+  /// resuming it, so a jump may move backwards relative to another
+  /// resolution's timeline. Outside the scheduler, keep time monotonic.
+  void set_ms(SimTimeMs milliseconds) { now_ms_ = milliseconds; }
 
  private:
   SimTimeMs now_ms_;

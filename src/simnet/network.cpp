@@ -87,15 +87,30 @@ std::uint32_t Network::link_rtt(const NodeAddress& destination) {
 SendResult Network::send(const NodeAddress& source,
                          const NodeAddress& destination,
                          crypto::BytesView query, bool retransmission) {
-  if (!tap_) return send_impl(source, destination, query, retransmission);
-  SendResult result = send_impl(source, destination, query, retransmission);
+  if (!tap_) {
+    return send_impl(source, destination, query, retransmission,
+                     /*advance_clock=*/true);
+  }
+  SendResult result = send_impl(source, destination, query, retransmission,
+                                /*advance_clock=*/true);
   tap_(query, result);
+  return result;
+}
+
+SendResult Network::send_deferred(const NodeAddress& source,
+                                  const NodeAddress& destination,
+                                  crypto::BytesView query,
+                                  bool retransmission) {
+  SendResult result = send_impl(source, destination, query, retransmission,
+                                /*advance_clock=*/false);
+  if (tap_) tap_(query, result);
   return result;
 }
 
 SendResult Network::send_impl(const NodeAddress& source,
                               const NodeAddress& destination,
-                              crypto::BytesView query, bool retransmission) {
+                              crypto::BytesView query, bool retransmission,
+                              bool advance_clock) {
   ++stats_.packets_sent;
   if (retransmission) ++stats_.retransmits;
   if (record_sends_ && send_log_.size() < kMaxSendLog) {
@@ -108,7 +123,7 @@ SendResult Network::send_impl(const NodeAddress& source,
   // what elapses, via wait_ms().
   std::uint32_t rtt = link_rtt(destination);
   const auto reply = [&](SendStatus status, crypto::Bytes bytes) {
-    if (latency_.enabled) clock_->advance_ms(rtt);
+    if (advance_clock && latency_.enabled) clock_->advance_ms(rtt);
     return SendResult{status, std::move(bytes), rtt};
   };
   const auto drop = [&]() {

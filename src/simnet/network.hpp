@@ -213,6 +213,18 @@ class Network {
                                 crypto::BytesView query,
                                 bool retransmission = false);
 
+  /// Exactly send(), except the clock is NOT advanced by the round trip:
+  /// the endpoint still runs (and faults, mutators and the jitter RNG are
+  /// consumed) at the send instant, and the caller owns charging
+  /// `SendResult::rtt_ms` — event-loop senders park on the scheduler for
+  /// that long instead of blocking the shared clock forward. A Timeout
+  /// result charges nothing either way (the caller's retry timer is what
+  /// elapses, exactly as with send()).
+  [[nodiscard]] SendResult send_deferred(const NodeAddress& source,
+                                         const NodeAddress& destination,
+                                         crypto::BytesView query,
+                                         bool retransmission = false);
+
   /// Optional wire tap observing every exchange after fault processing:
   /// exactly the bytes the sender put on the wire and what came back.
   /// Golden-bytes tests use this to fingerprint the codec's output.
@@ -257,7 +269,8 @@ class Network {
   [[nodiscard]] SendResult send_impl(const NodeAddress& source,
                                      const NodeAddress& destination,
                                      crypto::BytesView query,
-                                     bool retransmission);
+                                     bool retransmission,
+                                     bool advance_clock);
 
   std::shared_ptr<Clock> clock_;
   std::shared_ptr<StreamTransport> stream_;

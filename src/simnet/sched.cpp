@@ -1,0 +1,31 @@
+#include "simnet/sched.hpp"
+
+#include <algorithm>
+
+namespace ede::sim {
+
+void EventScheduler::schedule(SimTimeMs at_ms, std::coroutine_handle<> handle) {
+  events_.push_back(Event{at_ms, next_seq_++, handle});
+  std::push_heap(events_.begin(), events_.end(), FiresLater{});
+}
+
+bool EventScheduler::run_one() {
+  if (events_.empty()) return false;
+  std::pop_heap(events_.begin(), events_.end(), FiresLater{});
+  const Event event = events_.back();
+  events_.pop_back();
+  // The clock *jumps* to the event's timestamp: with several rebased
+  // timelines interleaved this may move backwards relative to the
+  // previously-resumed coroutine's "now" — each resolution only ever
+  // observes its own monotonic slice.
+  clock_->set_ms(event.at_ms);
+  event.handle.resume();
+  return true;
+}
+
+void EventScheduler::run_until_idle() {
+  while (run_one()) {
+  }
+}
+
+}  // namespace ede::sim

@@ -1,0 +1,235 @@
+// Discrete-event scheduler + coroutine task type for multiplexed
+// resolutions (the ZDNS architecture: thousands of lightweight routines
+// over a shared cache, one OS thread).
+//
+// A resolution step that used to block in Network::wait_ms now co_awaits
+// EventScheduler::sleep_ms instead: the coroutine parks, an event is
+// registered at (now + delay) on the simulated timeline, and the
+// scheduler's run loop resumes it once every earlier event has fired.
+// The scheduler owns the Clock while a batch is in flight: popping an
+// event *sets* the clock to the event's timestamp before resuming, so
+// each parked coroutine wakes on its own virtual timeline regardless of
+// how many other resolutions ran in between (timelines are epoch-rebased
+// by the batch engine; see resolver::RecursiveResolver::resolve_many).
+//
+// Determinism contract (enforced by tools/ede_lint rule D1): events are
+// ordered by (wake time, registration sequence number) — the monotonic
+// sequence number is the stable tie-break, so two events at the same
+// virtual millisecond always fire in registration order and a fixed seed
+// replays bit-identically. No wall clock, no pointer-keyed ordering.
+#pragma once
+
+#include <algorithm>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "simnet/clock.hpp"
+
+namespace ede::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct TaskPromiseBase {
+  /// Who to resume when this task finishes (symmetric transfer); null for
+  /// a top-level task driven by EventScheduler/Task::start().
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+};
+
+/// Resumes the awaiting parent when the task body runs off its end, or
+/// returns control to the run loop for a top-level task.
+template <typename Promise>
+struct TaskFinalAwaiter {
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  [[nodiscard]] std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> handle) const noexcept {
+    const auto continuation = handle.promise().continuation;
+    return continuation ? continuation : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase {
+  std::optional<T> value;
+
+  [[nodiscard]] Task<T> get_return_object();
+  [[nodiscard]] std::suspend_always initial_suspend() const noexcept {
+    return {};
+  }
+  [[nodiscard]] TaskFinalAwaiter<TaskPromise> final_suspend() const noexcept {
+    return {};
+  }
+  void return_value(T result) { value = std::move(result); }
+  void unhandled_exception() { exception = std::current_exception(); }
+
+  [[nodiscard]] T take() {
+    if (exception) std::rethrow_exception(exception);
+    return std::move(*value);
+  }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase {
+  [[nodiscard]] Task<void> get_return_object();
+  [[nodiscard]] std::suspend_always initial_suspend() const noexcept {
+    return {};
+  }
+  [[nodiscard]] TaskFinalAwaiter<TaskPromise> final_suspend() const noexcept {
+    return {};
+  }
+  void return_void() const noexcept {}
+  void unhandled_exception() { exception = std::current_exception(); }
+
+  void take() {
+    if (exception) std::rethrow_exception(exception);
+  }
+};
+
+}  // namespace detail
+
+/// A lazy coroutine: suspended at creation, started by co_await (which
+/// chains the awaiter as its continuation) or by start() for a top-level
+/// task. Single-consumer, move-only; the task object owns the frame.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const { return handle_ == nullptr || handle_.done(); }
+
+  /// Run a top-level task until its first suspension (or completion).
+  /// Subsequent progress comes from the EventScheduler resuming whatever
+  /// events the task registered.
+  void start() { handle_.resume(); }
+
+  /// The task's result; call only after done(). Rethrows an exception
+  /// that escaped the task body.
+  [[nodiscard]] T take() { return handle_.promise().take(); }
+
+  [[nodiscard]] auto operator co_await() noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      [[nodiscard]] std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) const noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;  // symmetric transfer: start the child now
+      }
+      [[nodiscard]] T await_resume() const { return handle.promise().take(); }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = nullptr;
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>{std::coroutine_handle<TaskPromise>::from_promise(*this)};
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>{std::coroutine_handle<TaskPromise>::from_promise(*this)};
+}
+
+}  // namespace detail
+
+/// The event loop. One instance drives one batch of resolutions (the
+/// sync resolve() path spins up a private one per call); it holds a
+/// min-heap of parked coroutines keyed (wake_ms, seq) over the shared
+/// Clock.
+class EventScheduler {
+ public:
+  explicit EventScheduler(Clock& clock) : clock_(&clock) {}
+  EventScheduler(const EventScheduler&) = delete;
+  EventScheduler& operator=(const EventScheduler&) = delete;
+
+  /// Awaitable: park the calling coroutine for `delay_ms` of virtual time
+  /// on its own timeline (0 parks at the current instant — the coroutine
+  /// still yields to every earlier-registered event before resuming).
+  class SleepAwaiter {
+   public:
+    SleepAwaiter(EventScheduler* sched, SimTimeMs delay_ms)
+        : sched_(sched), delay_ms_(delay_ms) {}
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> handle) const {
+      sched_->schedule(sched_->clock_->now_ms() + delay_ms_, handle);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    EventScheduler* sched_;
+    SimTimeMs delay_ms_;
+  };
+
+  [[nodiscard]] SleepAwaiter sleep_ms(SimTimeMs delay_ms) {
+    return SleepAwaiter{this, delay_ms};
+  }
+
+  /// Pop the earliest event, set the clock to its timestamp, resume the
+  /// parked coroutine until its next park (or completion). False when no
+  /// event is pending.
+  bool run_one();
+  void run_until_idle();
+
+  [[nodiscard]] bool idle() const { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+
+ private:
+  friend class SleepAwaiter;
+
+  struct Event {
+    SimTimeMs at_ms = 0;
+    std::uint64_t seq = 0;  // registration order: the stable tie-break
+    std::coroutine_handle<> handle;
+  };
+  /// Heap comparator: "fires later than" — std::push_heap keeps the
+  /// earliest (smallest (at_ms, seq)) event on top.
+  struct FiresLater {
+    [[nodiscard]] bool operator()(const Event& a, const Event& b) const {
+      return std::tie(a.at_ms, a.seq) > std::tie(b.at_ms, b.seq);
+    }
+  };
+
+  void schedule(SimTimeMs at_ms, std::coroutine_handle<> handle);
+
+  Clock* clock_;
+  std::vector<Event> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ede::sim

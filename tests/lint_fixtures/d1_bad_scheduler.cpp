@@ -1,0 +1,27 @@
+// ede-lint-fixture: src/simnet/bad_scheduler.cpp
+// Known-bad D1: event-loop hygiene — OS-thread sleeps and address-keyed
+// coroutine ordering, the two ways an async core goes nondeterministic.
+#include <coroutine>
+#include <map>
+#include <thread>
+
+namespace ede::sim {
+
+void nap_on_the_os_thread() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // D1 x2
+}
+
+void nap_until_wall_deadline(std::chrono::steady_clock::time_point t) {
+  std::this_thread::sleep_until(t);  // D1 x2 (steady_clock: line 14)
+}
+
+struct BadScheduler {
+  // Address-keyed parking: replays differently under ASLR.
+  std::map<void*, int> parked;
+
+  void park(std::coroutine_handle<> handle) {
+    parked[handle.address()] = 1;  // D1: line 23
+  }
+};
+
+}  // namespace ede::sim

@@ -217,6 +217,44 @@ TEST(Cache, StatsTrackHitsAndMisses) {
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.stats().misses, 1u);
   EXPECT_EQ(cache.stats().stale_hits, 1u);
+  EXPECT_EQ(cache.stats().lookups, 3u);
+}
+
+// The counting contract: every answered or missed lookup is counted
+// exactly once, so the outcome counters always partition the lookups.
+// (The serve-stale path used to double-count: the fresh miss was booked,
+// then the stale fallback re-booked the same client question.)
+TEST(Cache, StatsPartitionLookupsExactly) {
+  Cache::Options options;
+  options.stale_window = 100;
+  Cache cache(options);
+  cache.put_positive(entry_for("a.test", 1000));
+  NegativeEntry negative;
+  negative.nxdomain = true;
+  negative.expires = 1000;
+  cache.put_negative(Name::of("n.test"), RRType::A, negative);
+  ServfailEntry servfail;
+  servfail.expires = 100;
+  cache.put_servfail(Name::of("s.test"), RRType::A, servfail);
+
+  (void)cache.get_positive(Name::of("a.test"), RRType::A, 10);      // hit
+  (void)cache.get_positive(Name::of("a.test"), RRType::A, 1500);    // miss
+  (void)cache.get_stale_positive(Name::of("a.test"), RRType::A, 500);   // hit
+  (void)cache.get_stale_positive(Name::of("a.test"), RRType::A, 1050);  // stale
+  (void)cache.get_stale_positive(Name::of("a.test"), RRType::A, 1200);  // gone
+  (void)cache.get_stale_positive(Name::of("x.test"), RRType::A, 10);    // gone
+  (void)cache.get_negative(Name::of("n.test"), RRType::A, 10);      // hit
+  (void)cache.get_negative(Name::of("x.test"), RRType::A, 10);      // miss
+  (void)cache.get_stale_negative(Name::of("n.test"), RRType::A, 10);    // hit
+  (void)cache.get_servfail(Name::of("s.test"), RRType::A, 10);      // hit
+  (void)cache.get_servfail(Name::of("s.test"), RRType::A, 500);     // miss
+
+  const auto& stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.stale_hits, stats.lookups);
+  EXPECT_EQ(stats.hits, 5u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.stale_hits, 1u);
+  EXPECT_EQ(stats.lookups, 9u);
 }
 
 }  // namespace

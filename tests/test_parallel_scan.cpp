@@ -157,6 +157,59 @@ TEST(ParallelScan, ShardCountDoesNotChangeTheAggregates) {
   EXPECT_EQ(eight.merged.total_domains, population.domains.size());
 }
 
+// The fixed-seed inflight-equivalence contract: routing the scan through
+// the async engine must not change anything the paper's figures are
+// built from, whatever the admission window. Within the engine family
+// every resolution's timeline is rebased to the batch epoch, so window 1
+// (pure serial chaining) and a window wider than the whole shard see
+// identical per-domain worlds; only load counters (cache/holddown hit
+// rates, sim makespan, the in-flight high-water mark) may move.
+TEST(ParallelScan, InflightWindowDoesNotChangeTheAggregates) {
+  const auto population = generate_population(tiny_config());
+  const auto profile = resolver::profile_cloudflare();
+
+  for (const bool with_latency : {false, true}) {
+    ParallelScanOptions options;
+    options.shards = 1;
+    if (with_latency) {
+      sim::LatencyModel latency;
+      latency.enabled = true;
+      options.latency = latency;
+    }
+    options.scanner.inflight = 1;
+    const auto serial = run_parallel_scan(population, profile, options);
+    options.scanner.inflight = 4096;
+    const auto wide = run_parallel_scan(population, profile, options);
+
+    expect_same_aggregates(serial.merged, wide.merged);
+    EXPECT_EQ(serial.merged.max_in_flight, 1u);
+    EXPECT_GT(wide.merged.max_in_flight, 1u);
+    if (with_latency) {
+      // Overlapped waits shorten the batch; serial pays the full sum.
+      EXPECT_GT(serial.merged.sim_seconds, 0.0);
+      EXPECT_LT(wide.merged.sim_seconds, serial.merged.sim_seconds);
+    } else {
+      EXPECT_EQ(serial.merged.sim_seconds, 0.0);
+      EXPECT_EQ(wide.merged.sim_seconds, 0.0);
+    }
+  }
+}
+
+// And the engine family aggregates identically to the classic blocking
+// path when latency is off (waits are free, so the classic cumulative
+// clock and the engine's epoch-rebased timelines coincide).
+TEST(ParallelScan, EngineMatchesClassicPathWithLatencyOff) {
+  const auto population = generate_population(tiny_config());
+  const auto profile = resolver::profile_cloudflare();
+
+  ParallelScanOptions options;
+  options.shards = 1;
+  const auto classic = run_parallel_scan(population, profile, options);
+  options.scanner.inflight = 256;
+  const auto engine = run_parallel_scan(population, profile, options);
+  expect_same_aggregates(classic.merged, engine.merged);
+}
+
 // The merged hardening counters are exactly the sum over the shards, and
 // the scan world actually exercises the response-acceptance gate: its
 // Mangle pool answers with a rewritten question, so the question-mismatch

@@ -28,7 +28,15 @@
 //      the transport defects must surface EDE 22 or 23.
 //
 // Usage: chaos_campaign [--seeds N] [--base-seed S] [--out FILE]
-//        [--no-latency] [--hostile-tcp]
+//        [--no-latency] [--hostile-tcp] [--async]
+//
+// --async drives every Byzantine pass through the event-loop engine
+// (RecursiveResolver::resolve_many, all 63 cases multiplexed in one
+// batch) instead of case-by-case blocking resolve(): the same invariants
+// must hold when thousands of resolutions share the caches concurrently.
+// The hostile-TCP passes stay case-by-case either way — invariant 5
+// reads per-resolution hardening deltas, which have no meaning when
+// resolutions interleave.
 
 #include <algorithm>
 #include <cstdio>
@@ -58,6 +66,7 @@ struct CampaignOptions {
   std::string out_path;  // empty = stdout
   bool latency = true;
   bool hostile_tcp = false;
+  bool async = false;  // multiplex each pass through resolve_many
 };
 
 struct Violation {
@@ -252,9 +261,29 @@ int run_campaign(const CampaignOptions& options) {
       auto resolver = testbed.make_resolver(profile);
       const auto attempts_bound = static_cast<std::uint64_t>(
           resolver.retry_policy().max_total_attempts);
-      for (const auto& spec : cases) {
-        const auto qname = testbed.query_name(spec);
-        const auto outcome = resolver.resolve(qname, dns::RRType::A);
+      // Resolve all cases first — either the classic blocking loop or one
+      // multiplexed engine batch — then run the identical invariant
+      // checks over the collected outcomes.
+      std::vector<resolver::Outcome> outcomes(cases.size());
+      if (options.async) {
+        std::vector<resolver::ResolveJob> jobs;
+        jobs.reserve(cases.size());
+        for (const auto& spec : cases)
+          jobs.push_back({testbed.query_name(spec), dns::RRType::A});
+        (void)resolver.resolve_many(
+            jobs, jobs.size(),
+            [&outcomes](std::size_t index, resolver::Outcome&& outcome) {
+              outcomes[index] = std::move(outcome);
+            });
+      } else {
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+          outcomes[i] =
+              resolver.resolve(testbed.query_name(cases[i]), dns::RRType::A);
+        }
+      }
+      for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto& spec = cases[i];
+        const auto& outcome = outcomes[i];
         ++resolutions;
         std::ostringstream where;
         where << "seed=" << seed << " profile=" << profile.name
@@ -427,7 +456,8 @@ int run_campaign(const CampaignOptions& options) {
        << ", \"profiles\": " << profiles.size()
        << ", \"seeds\": " << options.seeds
        << ", \"base_seed\": " << options.base_seed
-       << ", \"latency\": " << (options.latency ? "true" : "false") << "},\n";
+       << ", \"latency\": " << (options.latency ? "true" : "false")
+       << ", \"async\": " << (options.async ? "true" : "false") << "},\n";
   json << "  \"invariants\": {\"resolutions\": " << resolutions
        << ", \"violations\": " << violations.size()
        << ", \"max_upstream_queries\": " << max_upstream_observed << "},\n";
@@ -533,9 +563,11 @@ int main(int argc, char** argv) {
       options.latency = false;
     } else if (arg == "--hostile-tcp") {
       options.hostile_tcp = true;
+    } else if (arg == "--async") {
+      options.async = true;
     } else {
       std::cerr << "usage: chaos_campaign [--seeds N] [--base-seed S] "
-                   "[--out FILE] [--no-latency] [--hostile-tcp]\n";
+                   "[--out FILE] [--no-latency] [--hostile-tcp] [--async]\n";
       return 2;
     }
   }

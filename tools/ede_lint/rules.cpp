@@ -115,9 +115,29 @@ void check_d1(const SourceFile& file, const ProjectIndex& index,
   const bool in_src = starts_with(file.rel, "src/");
 
   if (in_src) {
+    // Event-loop hygiene context: a file that spells coroutine_handle is
+    // scheduler-adjacent, where address-based ordering is the classic
+    // nondeterminism trap (see the (wake_ms, seq) contract in sched.hpp).
+    bool spells_coroutine_handle = false;
+    for (const Token& t : toks) {
+      if (t.kind == Tok::Ident && t.text == "coroutine_handle") {
+        spells_coroutine_handle = true;
+        break;
+      }
+    }
     for (std::size_t i = 0; i < toks.size(); ++i) {
       const Token& t = toks[i];
       if (t.kind != Tok::Ident) continue;
+      if (t.text == "this_thread") {
+        // Any use: sleep_for/sleep_until/yield block the OS thread the
+        // event loop multiplexes thousands of resolutions on, and none of
+        // them advance the simulated clock.
+        emit(out, config, "D1", file.rel, t.line, t.text,
+             "'std::this_thread' in src/ — parking belongs on the event "
+             "scheduler (sim::EventScheduler::sleep_ms), never the OS "
+             "thread");
+        continue;
+      }
       if (t.text == "random_device" || t.text == "system_clock" ||
           t.text == "steady_clock" || t.text == "high_resolution_clock") {
         emit(out, config, "D1", file.rel, t.line, t.text,
@@ -127,6 +147,25 @@ void check_d1(const SourceFile& file, const ProjectIndex& index,
         continue;
       }
       const bool called = i + 1 < toks.size() && is_punct(toks[i + 1], "(");
+      if (called && (t.text == "sleep_for" || t.text == "sleep_until")) {
+        emit(out, config, "D1", file.rel, t.line, t.text,
+             "wall-clock '" + t.text +
+                 "()' in src/ — co_await the event scheduler instead; OS "
+                 "sleeps neither advance sim time nor yield the loop");
+        continue;
+      }
+      // coroutine_handle<>::address() as an ordering/bookkeeping key: the
+      // frame address changes run to run under ASLR, so any container or
+      // comparison keyed on it replays differently. The scheduler's
+      // (wake_ms, seq) pair is the sanctioned ordering.
+      if (called && spells_coroutine_handle && t.text == "address" &&
+          i >= 1 && is_punct(toks[i - 1], ".")) {
+        emit(out, config, "D1", file.rel, t.line, t.text,
+             "coroutine_handle::address() is ASLR-nondeterministic — key "
+             "scheduler state by (wake_ms, registration seq), not the "
+             "frame address");
+        continue;
+      }
       if (called && (t.text == "rand" || t.text == "srand" ||
                      t.text == "gettimeofday" || t.text == "localtime" ||
                      t.text == "gmtime")) {

@@ -19,19 +19,28 @@
 #   5. configure + build a third tree with EDE_TSAN=ON (-fsanitize=thread)
 #      and run the parallel-scan suite under it — proof that the sharded
 #      scan's worker threads share nothing mutable.
-#   6. chaos campaign: run tools/chaos_campaign (63 testbed cases x 7
+#   6. async core: the scheduler/engine suites under both sanitizer trees
+#      (coroutine frames are exactly where lifetime bugs hide, and the
+#      TSan pass proves the per-shard event loops stay thread-confined),
+#      then the fixed-seed --inflight equivalence: a latency-mode shard
+#      scanned serially (inflight 1) and wide (inflight 512) must produce
+#      identical §4.2 per-code CSVs.
+#   7. chaos campaign: run tools/chaos_campaign (63 testbed cases x 7
 #      hostile profiles) from the ASan+UBSan tree with a small seed count,
 #      twice, and diff the two reports — the machine-checked invariants
 #      must hold with zero violations and the JSON must be byte-identical
 #      (the campaign is the determinism contract for the Byzantine layer).
-#   7. perf smoke: run perf_micro from the optimized stage-1 tree and
+#      The same campaign runs again with --async (all 63 cases multiplexed
+#      through resolve_many per pass) — the invariants must survive
+#      concurrent cache sharing, byte-reproducibly.
+#   8. perf smoke: run perf_micro from the optimized stage-1 tree and
 #      print per-benchmark deltas against the committed codec baseline
 #      (bench/perf_baseline_codec.json). Informational, never fails the
 #      run — container jitter makes a hard threshold flakier than useful.
 #      Then the scan perf gate: a full sec42_wild_scan measurement vs
 #      bench/perf_baseline_scan.json, which DOES fail the run if the
 #      hardened fault-free path lost more than 5% throughput.
-#   8. clang-tidy (optional): run the curated .clang-tidy check set over
+#   9. clang-tidy (optional): run the curated .clang-tidy check set over
 #      src/ when a clang-tidy binary is installed; skipped with a notice
 #      otherwise — the container toolchain is gcc-only by default.
 set -euo pipefail
@@ -39,35 +48,48 @@ cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/8] normal build + full test suite ==="
+echo "=== [1/9] normal build + full test suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "=== [2/8] static analysis: ede_lint self-test + whole-tree scan ==="
+echo "=== [2/9] static analysis: ede_lint self-test + whole-tree scan ==="
 ./build/tools/ede_lint/ede_lint --self-test tests/lint_fixtures
 ./build/tools/ede_lint/ede_lint --repo-root . --config tools/ede_lint.conf \
   src tests tools
 
-echo "=== [3/8] hardened-warnings build: EDE_WERROR=ON must compile clean ==="
+echo "=== [3/9] hardened-warnings build: EDE_WERROR=ON must compile clean ==="
 cmake -B build-werror -S . -DEDE_WERROR=ON >/dev/null
 cmake --build build-werror -j "$JOBS"
 
-echo "=== [4/8] ASan+UBSan build: codec + robustness + chaos + malformed-corpus + parallel-scan ==="
+echo "=== [4/9] ASan+UBSan build: codec + robustness + chaos + malformed-corpus + parallel-scan + async core ==="
 cmake -B build-asan -S . -DEDE_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS" --target test_robustness test_chaos \
-  test_malformed_corpus test_parallel_scan test_name test_wire test_rdata \
-  test_message test_codec_golden test_stream test_stream_scenarios \
-  test_truncation
-ctest --test-dir build-asan --output-on-failure -R 'Robust|Chaos|Malformed|Parallel|ScanMerge|PlanShards|ScannerStride|Name|Wire|Rdata|DecodeRdata|Presentation|TypeBitmap|Message|CodecGolden|Stream|Framing|Truncation'
+  test_malformed_corpus test_parallel_scan test_async_core test_name \
+  test_wire test_rdata test_message test_codec_golden test_stream \
+  test_stream_scenarios test_truncation
+ctest --test-dir build-asan --output-on-failure -R 'Robust|Chaos|Malformed|Parallel|ScanMerge|PlanShards|ScannerStride|Name|Wire|Rdata|DecodeRdata|Presentation|TypeBitmap|Message|CodecGolden|Stream|Framing|Truncation|EventScheduler|RetryPolicy|CoalesceKey|AsyncCore'
 
-echo "=== [5/8] TSan build: parallel-scan suite ==="
+echo "=== [5/9] TSan build: parallel-scan + async-core suites ==="
 cmake -B build-tsan -S . -DEDE_TSAN=ON >/dev/null
-cmake --build build-tsan -j "$JOBS" --target test_parallel_scan
+cmake --build build-tsan -j "$JOBS" --target test_parallel_scan test_async_core
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'Parallel|ScanMerge|PlanShards|ScannerStride'
+  -R 'Parallel|ScanMerge|PlanShards|ScannerStride|EventScheduler|AsyncCore'
 
-echo "=== [6/8] chaos campaign under ASan+UBSan: invariants + byte-reproducibility ==="
+echo "=== [6/9] async engine: fixed-seed --inflight equivalence ==="
+# The event-loop contract (DESIGN.md §5g): multiplexing width is a pure
+# throughput knob. The same fixed-seed shard scanned serially (inflight 1)
+# and 512-wide must roll up to byte-identical §4.2 per-code aggregates.
+cmake --build build -j "$JOBS" --target sec42_wild_scan
+./build/bench/sec42_wild_scan 303000 --shards 1 --inflight 1 >/dev/null
+mv sec42_codes.csv build/scan_inflight_serial.csv
+./build/bench/sec42_wild_scan 303000 --shards 1 --inflight 512 >/dev/null
+mv sec42_codes.csv build/scan_inflight_wide.csv
+cmp build/scan_inflight_serial.csv build/scan_inflight_wide.csv \
+  || { echo "--inflight width changed the scan aggregates" >&2; exit 1; }
+echo "async engine: inflight 1 and inflight 512 aggregates byte-identical"
+
+echo "=== [7/9] chaos campaign under ASan+UBSan: invariants + byte-reproducibility ==="
 cmake --build build-asan -j "$JOBS" --target chaos_campaign
 ./build-asan/tools/chaos_campaign --seeds 3 --out build-asan/chaos_report_a.json
 ./build-asan/tools/chaos_campaign --seeds 3 --out build-asan/chaos_report_b.json
@@ -82,9 +104,18 @@ cmp build-asan/chaos_report_a.json build-asan/chaos_report_b.json \
   --out build-asan/chaos_tcp_b.json
 cmp build-asan/chaos_tcp_a.json build-asan/chaos_tcp_b.json \
   || { echo "hostile-TCP campaign report is not byte-reproducible" >&2; exit 1; }
+# The async campaign: every main Byzantine pass multiplexes all 63 cases
+# through resolve_many over the shared caches — the invariants must hold
+# under concurrent cache sharing and the report must stay byte-reproducible.
+./build-asan/tools/chaos_campaign --seeds 3 --async \
+  --out build-asan/chaos_async_a.json
+./build-asan/tools/chaos_campaign --seeds 3 --async \
+  --out build-asan/chaos_async_b.json
+cmp build-asan/chaos_async_a.json build-asan/chaos_async_b.json \
+  || { echo "async campaign report is not byte-reproducible" >&2; exit 1; }
 echo "chaos campaign: zero violations, reports byte-reproducible"
 
-echo "=== [7/8] perf smoke: codec deltas (informational) + scan perf gate (hard) ==="
+echo "=== [8/9] perf smoke: codec deltas (informational) + scan perf gate (hard) ==="
 # The stage-1 tree defaults to RelWithDebInfo, so its bench targets pass
 # the release-only guard in bench/CMakeLists.txt.
 cmake --build build -j "$JOBS" --target perf_micro sec42_wild_scan
@@ -106,7 +137,7 @@ python3 tools/perf_smoke.py --scan build/scan_fresh_1.json \
   build/scan_fresh_2.json build/scan_fresh_3.json \
   --baseline bench/perf_baseline_scan.json
 
-echo "=== [8/8] clang-tidy (optional): curated check set over src/ ==="
+echo "=== [9/9] clang-tidy (optional): curated check set over src/ ==="
 if command -v clang-tidy >/dev/null 2>&1; then
   # Tidy reuses the stage-1 compile commands; the curated check set lives
   # in .clang-tidy at the repo root.
