@@ -165,6 +165,37 @@ const ServfailEntry* Cache::get_servfail(const dns::Name& name,
   return &it->second;
 }
 
+std::optional<sim::SimTime> Cache::ttl_remaining(const dns::Name& name,
+                                                 dns::RRType type,
+                                                 sim::SimTime now) const {
+  if (!options_.enabled) return std::nullopt;
+  const CacheKey key{name, type};
+  if (const auto it = positive_.find(key);
+      it != positive_.end() && it->second.expires >= now) {
+    return it->second.expires - now;
+  }
+  if (const auto it = negative_.find(key);
+      it != negative_.end() && it->second.expires >= now) {
+    return it->second.expires - now;
+  }
+  return std::nullopt;
+}
+
+std::vector<CacheKey> Cache::expiring_within(sim::SimTimeMs within_ms,
+                                             sim::SimTime now) const {
+  std::vector<CacheKey> keys;
+  if (!options_.enabled) return keys;
+  // Ceiling conversion: a 1 ms horizon still covers entries expiring at
+  // the next whole second (SimTime is second-granular).
+  const sim::SimTime horizon =
+      now + static_cast<sim::SimTime>((within_ms + 999) / 1000);
+  for (const auto& [key, entry] : positive_) {
+    if (entry.expires >= now && entry.expires <= horizon)
+      keys.push_back(key);
+  }
+  return keys;
+}
+
 void Cache::clear() {
   positive_.clear();
   negative_.clear();

@@ -682,13 +682,15 @@ Outcome RecursiveResolver::resolve(const dns::Name& qname, dns::RRType qtype) {
 
 sim::Task<void> RecursiveResolver::run_job(
     sim::EventScheduler& sched, dns::Name qname, dns::RRType qtype,
-    std::function<void(sim::SimTimeMs, Outcome&&)> record) {
+    bool refresh, std::function<void(sim::SimTimeMs, Outcome&&)> record) {
   // The context lives in this wrapper's own frame: child coroutines hold
   // a reference to it across suspensions, so it needs a stable address
   // for the resolution's whole lifetime (a container slot would move).
   ResolutionContext ctx;
   ctx.sched = &sched;
   ctx.srtt_reorder = false;  // see ResolutionContext
+  ctx.refresh = refresh;
+  ctx.epoch_guard = true;  // see ResolutionContext
   const sim::SimTimeMs started_ms = network_->clock().now_ms();
   Outcome outcome = co_await resolve_flow(ctx, std::move(qname), qtype);
   record(network_->clock().now_ms() - started_ms, std::move(outcome));
@@ -699,6 +701,7 @@ EngineReport RecursiveResolver::resolve_many(
     const std::function<void(std::size_t, Outcome&&)>& on_done) {
   EngineReport report;
   if (jobs.empty()) return report;
+  report.job_duration_ms.assign(jobs.size(), 0);
   const std::size_t window = std::min(std::max<std::size_t>(inflight, 1),
                                       jobs.size());
 
@@ -739,7 +742,7 @@ EngineReport RecursiveResolver::resolve_many(
   const auto admit = [&](std::size_t slot, std::size_t index) {
     network_->clock().set_ms(epoch);  // rebase this resolution's timeline
     slots[slot] = run_job(
-        sched, jobs[index].qname, jobs[index].qtype,
+        sched, jobs[index].qname, jobs[index].qtype, jobs[index].refresh,
         [&completions, slot, index](sim::SimTimeMs duration_ms,
                                     Outcome&& outcome) {
           completions.push_back(
@@ -758,6 +761,7 @@ EngineReport RecursiveResolver::resolve_many(
       report.longest_job_ms = std::max(report.longest_job_ms,
                                        done.duration_ms);
       report.total_virtual_ms += done.duration_ms;
+      report.job_duration_ms[done.index] = done.duration_ms;
       slots[done.slot] = sim::Task<void>{};
       free_slots.push_back(done.slot);
       --active;
@@ -857,34 +861,69 @@ sim::Task<Outcome> RecursiveResolver::resolve_internal(ResolutionContext& ctx,
                 "SERVFAIL served from cache for " + qname.to_string());
     co_return finish(dns::RCode::SERVFAIL, Security::Indeterminate);
   }
-  if (const auto* pos = cache_.get_positive(qname, qtype, now)) {
-    for (auto& rr : pos->rrset.to_records())
-      outcome.response.answer.push_back(std::move(rr));
-    for (const auto& sig : pos->signatures) {
-      outcome.response.answer.push_back({qname, dns::RRType::RRSIG,
-                                         dns::RRClass::IN, pos->rrset.ttl,
-                                         dns::Rdata{sig}});
+  // Prefetch refresh jobs bypass the fresh read at the top level: the
+  // whole point is to re-fetch an expiring answer early and re-cache it
+  // with a new TTL. Sub-resolutions (depth > 0) keep the full cache path.
+  const bool bypass_fresh = ctx.refresh && depth == 0;
+  if (!bypass_fresh) {
+    if (const auto* pos = cache_.get_positive(qname, qtype, now)) {
+      for (auto& rr : pos->rrset.to_records())
+        outcome.response.answer.push_back(std::move(rr));
+      for (const auto& sig : pos->signatures) {
+        outcome.response.answer.push_back({qname, dns::RRType::RRSIG,
+                                           dns::RRClass::IN, pos->rrset.ttl,
+                                           dns::Rdata{sig}});
+      }
+      co_return finish(dns::RCode::NOERROR, pos->security);
     }
-    co_return finish(dns::RCode::NOERROR, pos->security);
-  }
-  if (const auto* neg = cache_.get_negative(qname, qtype, now)) {
-    co_return finish(neg->nxdomain ? dns::RCode::NXDOMAIN
-                                   : dns::RCode::NOERROR,
-                     neg->security);
-  }
-  if (options_.aggressive_nsec_caching) {
-    for (const auto& [zone, ranges] : denial_cache_) {
-      if (!qname.is_subdomain_of(zone)) continue;
-      for (const auto& range : ranges) {
-        if (range.expires < now) continue;
-        const auto hash = dnssec::nsec3_hash(
-            qname, crypto::BytesView{range.salt}, range.iterations);
-        if (dnssec::nsec3_covers(range.owner_hash, range.next_hash, hash)) {
+    if (const auto* neg = cache_.get_negative(qname, qtype, now)) {
+      co_return finish(neg->nxdomain ? dns::RCode::NXDOMAIN
+                                     : dns::RCode::NOERROR,
+                       neg->security);
+    }
+    if (options_.aggressive_nsec_caching) {
+      for (const auto& [zone, ranges] : denial_cache_) {
+        if (!qname.is_subdomain_of(zone)) continue;
+        for (const auto& range : ranges) {
+          if (range.expires < now) continue;
+          // Batch engine: only proofs from an earlier epoch (see
+          // ResolutionContext::epoch_guard).
+          if (ctx.epoch_guard && range.born >= now) continue;
+          bool nxdomain = false;
+          bool nodata = false;
+          if (range.nsec3) {
+            const auto hash = dnssec::nsec3_hash(
+                qname, crypto::BytesView{range.salt}, range.iterations);
+            if (hash == range.owner_hash) {
+              nodata = !range.types.contains(qtype) &&
+                       !range.types.contains(dns::RRType::CNAME);
+            } else {
+              nxdomain = dnssec::nsec3_covers(range.owner_hash,
+                                              range.next_hash, hash);
+            }
+          } else {
+            if (range.owner == qname) {
+              nodata = !range.types.contains(qtype) &&
+                       !range.types.contains(dns::RRType::CNAME);
+            } else {
+              nxdomain = dnssec::nsec_covers(range.owner, range.next, qname);
+            }
+          }
+          if (!nxdomain && !nodata) continue;
+          // The synthesized negative inherits the proof's SOA-bounded
+          // lifetime — never a fresh negative-TTL window of its own.
+          cache_.put_negative(qname, qtype,
+                              {nxdomain, Security::Secure, range.expires},
+                              now);
           add_finding(outcome.findings, Stage::Cache,
                       Defect::AnswerSynthesized,
-                      "NXDOMAIN synthesized from a cached NSEC3 range in " +
+                      std::string{nxdomain ? "NXDOMAIN" : "NODATA"} +
+                          " synthesized from a cached " +
+                          (range.nsec3 ? "NSEC3" : "NSEC") + " range in " +
                           zone.to_string());
-          co_return finish(dns::RCode::NXDOMAIN, Security::Secure);
+          co_return finish(nxdomain ? dns::RCode::NXDOMAIN
+                                    : dns::RCode::NOERROR,
+                           Security::Secure);
         }
       }
     }
@@ -1144,18 +1183,51 @@ sim::Task<Outcome> RecursiveResolver::resolve_internal(ResolutionContext& ctx,
       cache_.put_negative(target, qtype,
                           {nxdomain, security, now + negative_ttl(response)},
                           now);
-      if (options_.aggressive_nsec_caching && nxdomain &&
+      if (options_.aggressive_nsec_caching &&
           security == Security::Secure && cache_.options().enabled) {
+        // Capture the validated proof spans for RFC 8198 synthesis. The
+        // lifetime is SOA-bounded exactly like the negative entry above.
+        const auto is_wildcard = [](const dns::Name& name) {
+          return !name.is_root() && name.label(0) == "*";
+        };
         auto& ranges = denial_cache_[current_zone];
+        const sim::SimTime proof_expires = now + negative_ttl(response);
         for (const auto& rr : response.authority) {
-          const auto* n3 = std::get_if<dns::Nsec3Rdata>(&rr.rdata);
-          if (n3 == nullptr || rr.name.is_root()) continue;
-          const auto owner_hash =
-              crypto::from_base32hex(rr.name.labels().front());
-          if (!owner_hash) continue;
           if (ranges.size() > 10'000) ranges.clear();  // bound memory
-          ranges.push_back({*owner_hash, n3->next_hashed_owner, n3->salt,
-                            n3->iterations, now + negative_ttl(response)});
+          if (const auto* n3 = std::get_if<dns::Nsec3Rdata>(&rr.rdata)) {
+            if (rr.name.is_root()) continue;
+            // Opt-out spans may hide unsigned delegations (RFC 5155 §6):
+            // they prove nothing about plain nonexistence, so they are
+            // useless for synthesis.
+            if ((n3->flags & 0x01) != 0) continue;
+            const auto owner_hash =
+                crypto::from_base32hex(rr.name.labels().front());
+            if (!owner_hash) continue;
+            DenialRange range;
+            range.nsec3 = true;
+            range.owner_hash = *owner_hash;
+            range.next_hash = n3->next_hashed_owner;
+            range.salt = n3->salt;
+            range.iterations = n3->iterations;
+            range.types = n3->types;
+            range.born = now;
+            range.expires = proof_expires;
+            ranges.push_back(std::move(range));
+          } else if (const auto* ns = std::get_if<dns::NsecRdata>(&rr.rdata)) {
+            // A span whose endpoint is a wildcard owner proves facts about
+            // wildcard expansion, not nonexistence — synthesizing NXDOMAIN
+            // across it would deny names the wildcard answers.
+            if (is_wildcard(rr.name) || is_wildcard(ns->next_domain))
+              continue;
+            DenialRange range;
+            range.nsec3 = false;
+            range.owner = rr.name;
+            range.next = ns->next_domain;
+            range.types = ns->types;
+            range.born = now;
+            range.expires = proof_expires;
+            ranges.push_back(std::move(range));
+          }
         }
       }
       outcome.response.authority = response.authority;

@@ -15,6 +15,7 @@
 
 #include "dnscore/arena.hpp"
 #include "dnscore/message.hpp"
+#include "dnscore/rdata.hpp"
 #include "dnssec/validate.hpp"
 #include "edns/ede.hpp"
 #include "resolver/cache.hpp"
@@ -124,6 +125,12 @@ struct HardeningStats {
 struct ResolveJob {
   dns::Name qname;
   dns::RRType qtype = dns::RRType::A;
+  /// Prefetch refresh: skip the fresh positive/negative cache read at the
+  /// top level and re-resolve upstream, re-caching the result with a new
+  /// TTL. Sub-resolutions (NS addresses, DNSKEYs) still use the caches,
+  /// and the SERVFAIL hold-down still applies — a refresh must not
+  /// stampede a dying authority.
+  bool refresh = false;
 };
 
 /// What the batch engine observed while multiplexing a resolve_many()
@@ -144,6 +151,9 @@ struct EngineReport {
   /// it no matter how many slots multiplex, so it is the number to stare
   /// at when a batch's speedup stalls below total/makespan expectations.
   sim::SimTimeMs longest_job_ms = 0;
+  /// Per-job virtual duration, indexed like `jobs` (what the serving
+  /// front end reports as a stub query's latency). A cache hit is 0 ms.
+  std::vector<sim::SimTimeMs> job_duration_ms;
 };
 
 /// One step of the iterative resolution, for dig +trace-style display.
@@ -284,6 +294,15 @@ class RecursiveResolver {
     /// order — and with it the per-server findings the diagnosis emits —
     /// must not depend on what other in-flight resolutions learned first.
     bool srtt_reorder = true;
+    /// ResolveJob::refresh for this resolution (prefetch re-fetch).
+    bool refresh = false;
+    /// Batch-engine resolutions only synthesize from denial proofs
+    /// captured in an earlier epoch (DenialRange::born < this job's
+    /// rebased "now"). Proofs captured by a sibling job in the same batch
+    /// are visible or not depending on scheduler interleaving — i.e. on
+    /// the inflight width — so using them would break the window-
+    /// invariance guarantee. Classic resolve() keeps the eager behavior.
+    bool epoch_guard = false;
   };
 
   /// Park the calling coroutine for `delay_ms` of virtual time. Mirrors
@@ -306,7 +325,7 @@ class RecursiveResolver {
   /// outcome plus the resolution's virtual duration through `record`.
   [[nodiscard]] sim::Task<void> run_job(
       sim::EventScheduler& sched, dns::Name qname, dns::RRType qtype,
-      std::function<void(sim::SimTimeMs, Outcome&&)> record);
+      bool refresh, std::function<void(sim::SimTimeMs, Outcome&&)> record);
 
   /// Probe `servers` (authoritative for `zone`) for qname/qtype. `zone` is
   /// the bailiwick the scrubber enforces on whatever comes back, and part
@@ -387,12 +406,29 @@ class RecursiveResolver {
   /// lifetime.
   std::set<std::string> reports_sent_;
 
-  /// RFC 8198: validated NSEC3 ranges usable for local NXDOMAIN synthesis.
+  /// RFC 8198: validated denial proofs usable for local NXDOMAIN/NODATA
+  /// synthesis. One entry is either a hashed NSEC3 span or a flat NSEC
+  /// span (never both). Opt-out NSEC3 spans and wildcard-adjacent NSECs
+  /// are rejected at capture time: an opt-out span can hide unsigned
+  /// delegations inside it, and a span touching `*.zone` proves facts
+  /// about wildcard expansion, not plain nonexistence — synthesizing
+  /// NXDOMAIN across either would deny names that actually resolve.
   struct DenialRange {
-    crypto::Bytes owner_hash;
+    bool nsec3 = true;
+    crypto::Bytes owner_hash;  // NSEC3: hashed span endpoints
     crypto::Bytes next_hash;
     crypto::Bytes salt;
     std::uint16_t iterations = 0;
+    dns::Name owner;  // NSEC: canonical-order span endpoints
+    dns::Name next;
+    /// Types present at the owner, for exact-match NODATA synthesis.
+    dns::TypeBitmap types;
+    /// When the proof was captured (the capturing resolution's rebased
+    /// epoch, in whole seconds) — see ResolutionContext::epoch_guard.
+    sim::SimTime born = 0;
+    /// SOA-bounded proof lifetime (min(SOA minimum, record TTL) past the
+    /// capture epoch, like any RFC 2308 negative entry). Synthesized
+    /// negative answers inherit this bound, never a longer one.
     sim::SimTime expires = 0;
   };
   std::map<dns::Name, std::vector<DenialRange>, NameCanonicalLess>

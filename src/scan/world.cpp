@@ -10,6 +10,7 @@
 #include "edns/edns.hpp"
 #include "resolver/resolver.hpp"
 #include "server/auth_server.hpp"
+#include "simnet/stream.hpp"
 #include "zone/signer.hpp"
 
 namespace ede::scan {
@@ -161,7 +162,8 @@ class TldAuthority {
   [[nodiscard]] const zone::ZoneKeys& keys() const { return keys_; }
 
   [[nodiscard]] std::optional<crypto::Bytes> handle(
-      crypto::BytesView wire, const sim::PacketContext& ctx) const {
+      crypto::BytesView wire, const sim::PacketContext& ctx,
+      bool over_stream = false) const {
     if (!arena_.parse(wire)) return std::nullopt;
     const dns::Message& query = arena_.message();
     if (query.question.empty()) return std::nullopt;
@@ -175,7 +177,8 @@ class TldAuthority {
       domain = world_->lookup(name);
     }
     if (domain == nullptr) {
-      return arena_.serialize_copy(apex_server_.handle(query, ctx));
+      return arena_.serialize_copy(
+          apex_server_.handle(query, ctx, over_stream));
     }
     return arena_.serialize_copy(referral(query, *domain));
   }
@@ -305,7 +308,8 @@ class ProviderServer {
   explicit ProviderServer(const ScanWorld* world) : world_(world) {}
 
   [[nodiscard]] std::optional<crypto::Bytes> handle(
-      crypto::BytesView wire, const sim::PacketContext& ctx) {
+      crypto::BytesView wire, const sim::PacketContext& ctx,
+      bool over_stream = false) {
     if (!arena_.parse(wire)) return std::nullopt;
     const dns::Message& query = arena_.message();
     if (query.question.empty()) return std::nullopt;
@@ -334,7 +338,7 @@ class ProviderServer {
       server->add_zone(world_->build_child_zone(*domain));
       it = cache_.emplace(domain->fqdn, std::move(server)).first;
     }
-    return arena_.serialize_copy(it->second->handle(query, ctx));
+    return arena_.serialize_copy(it->second->handle(query, ctx, over_stream));
   }
 
  private:
@@ -350,8 +354,10 @@ class ProviderServer {
 // --- ScanWorld ----------------------------------------------------------
 
 ScanWorld::ScanWorld(std::shared_ptr<sim::Network> network,
-                     const Population& population)
-    : network_(std::move(network)), population_(&population) {
+                     const Population& population, WorldOptions world_options)
+    : network_(std::move(network)),
+      population_(&population),
+      world_options_(world_options) {
   build();
 }
 
@@ -375,6 +381,17 @@ void ScanWorld::build() {
   for (const auto& domain : population_->domains) {
     index_.emplace(dns::Name::of(domain.fqdn).to_string(), &domain);
   }
+
+  // One registration point for every authority address: UDP always, plus
+  // a DoTCP stream listener when the world is configured with them
+  // (serving worlds; the wild scan stays UDP-only). The factory is called
+  // with over_stream so the stream side serves untruncated responses.
+  const auto attach_authority = [this](const sim::NodeAddress& address,
+                                       auto make_endpoint) {
+    if (world_options_.stream_listeners)
+      network_->stream().listen(address, make_endpoint(true));
+    network_->attach(address, make_endpoint(false));
+  };
 
   const dns::Name root_name;
   const dns::Name root_ns = dns::Name::of("a.root-servers.net");
@@ -408,27 +425,33 @@ void ScanWorld::build() {
     }
 
     auto authority = std::make_shared<TldAuthority>(this, apex, keys);
-    network_->attach(address,
-                     [authority](crypto::BytesView wire,
-                                 const sim::PacketContext& ctx) {
-                       return authority->handle(wire, ctx);
-                     });
+    attach_authority(address, [authority](bool over_stream) -> sim::Endpoint {
+      return [authority, over_stream](crypto::BytesView wire,
+                                      const sim::PacketContext& ctx) {
+        return authority->handle(wire, ctx, over_stream);
+      };
+    });
     keep_alive_.push_back(authority);
   }
 
   zone::sign_zone(*root_zone, root_keys, {});
   auto root_server = std::make_shared<server::AuthServer>();
   root_server->add_zone(root_zone);
-  network_->attach(sim::NodeAddress::of(kRootServerAddr),
-                   root_server->endpoint());
+  attach_authority(sim::NodeAddress::of(kRootServerAddr),
+                   [&root_server](bool over_stream) {
+                     return over_stream ? root_server->stream_endpoint()
+                                        : root_server->endpoint();
+                   });
   keep_alive_.push_back(root_server);
   root_servers_ = {sim::NodeAddress::of(kRootServerAddr)};
 
   // Provider pools.
   auto healthy = std::make_shared<ProviderServer>(this);
-  const auto healthy_endpoint = [healthy](crypto::BytesView wire,
-                                          const sim::PacketContext& ctx) {
-    return healthy->handle(wire, ctx);
+  const auto healthy_endpoint = [healthy](bool over_stream) -> sim::Endpoint {
+    return [healthy, over_stream](crypto::BytesView wire,
+                                  const sim::PacketContext& ctx) {
+      return healthy->handle(wire, ctx, over_stream);
+    };
   };
   keep_alive_.push_back(healthy);
 
@@ -446,14 +469,19 @@ void ScanWorld::build() {
   keep_alive_.push_back(mangle);
 
   for (std::uint32_t slot = 0; slot < kProviderSlots; ++slot) {
-    network_->attach(provider_address(ServingPlan::Pool::Healthy, slot),
+    attach_authority(provider_address(ServingPlan::Pool::Healthy, slot),
                      healthy_endpoint);
-    network_->attach(provider_address(ServingPlan::Pool::Refused, slot),
-                     refused->endpoint());
-    network_->attach(provider_address(ServingPlan::Pool::NotAuth, slot),
-                     notauth->endpoint());
-    network_->attach(provider_address(ServingPlan::Pool::Mangle, slot),
-                     mangle->endpoint());
+    const auto server_endpoint = [](const auto& server) {
+      return [&server](bool over_stream) {
+        return over_stream ? server->stream_endpoint() : server->endpoint();
+      };
+    };
+    attach_authority(provider_address(ServingPlan::Pool::Refused, slot),
+                     server_endpoint(refused));
+    attach_authority(provider_address(ServingPlan::Pool::NotAuth, slot),
+                     server_endpoint(notauth));
+    attach_authority(provider_address(ServingPlan::Pool::Mangle, slot),
+                     server_endpoint(mangle));
     // Timeout and Unroutable pools are deliberately left unattached.
   }
 
@@ -481,7 +509,7 @@ std::shared_ptr<zone::Zone> ScanWorld::build_child_zone(
   const dns::Name child = dns::Name::of(domain.fqdn);
   const dns::Name ns1 = child.prefixed("ns1").take();
 
-  auto zone = std::make_shared<zone::Zone>(child);
+  auto zone = std::make_shared<zone::Zone>(child, world_options_.child_zone_ttl);
   zone->add(child, dns::RRType::SOA, dns::Rdata{soa_for(child, ns1)});
   zone->add(child, dns::RRType::NS, dns::NsRdata{ns1});
   const auto addr1 = provider_address(plan.pool, domain.provider);

@@ -39,9 +39,26 @@ struct ServingPlan {
 /// unique nameservers"); computable without building a world.
 [[nodiscard]] std::size_t dead_provider_count(const Population& population);
 
+/// World-construction knobs beyond the population itself.
+struct WorldOptions {
+  /// Default RR TTL of the on-demand child zones. The wild scan keeps the
+  /// classic 3600 s; the serving benchmark shortens it so records expire
+  /// (and the prefetcher earns its keep) within a tractable virtual-time
+  /// trace. Delegation NS/glue TTLs at the TLD stay 3600 s either way.
+  std::uint32_t child_zone_ttl = 3'600;
+  /// Also register every attached authority as a DoTCP stream listener.
+  /// The wild scan keeps this off — its calibrated EDE 22/23 counts
+  /// include authorities that only speak UDP, so oversized signed answers
+  /// (TC=1 -> DoTCP) fail there. A frontline serving world turns it on:
+  /// production authorities speak TCP, and a signed NXDOMAIN with its
+  /// NSEC3 proofs routinely overflows a 1232-byte UDP budget.
+  bool stream_listeners = false;
+};
+
 class ScanWorld {
  public:
-  ScanWorld(std::shared_ptr<sim::Network> network, const Population& population);
+  ScanWorld(std::shared_ptr<sim::Network> network, const Population& population,
+            WorldOptions world_options = {});
 
   [[nodiscard]] const std::vector<sim::NodeAddress>& root_servers() const {
     return root_servers_;
@@ -83,6 +100,7 @@ class ScanWorld {
 
   std::shared_ptr<sim::Network> network_;
   const Population* population_;
+  WorldOptions world_options_;
   std::vector<sim::NodeAddress> root_servers_;
   dns::DnskeyRdata trust_anchor_;
 

@@ -1,0 +1,90 @@
+// Serving-benchmark report assembly (DESIGN.md §5h): fold per-query
+// ClientAnswers into latency percentiles, per-EDE-code delivery counts
+// (answers and distinct clients) and cache/upstream accounting, and
+// render the whole document as byte-stable JSON — same seed, same bytes.
+// Wall-clock throughput is deliberately NOT part of this document; the
+// bench emits it into a separate measurement file so the deterministic
+// report can be cmp'd across runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "resolver/cache.hpp"
+#include "serve/frontend.hpp"
+#include "serve/stubs.hpp"
+
+namespace ede::serve {
+
+struct LatencySummary {
+  sim::SimTimeMs p50 = 0;
+  sim::SimTimeMs p95 = 0;
+  sim::SimTimeMs p99 = 0;
+  sim::SimTimeMs max = 0;
+};
+
+/// Delivery of one EDE code across a run.
+struct EdeDelivery {
+  std::uint64_t answers = 0;  // served answers carrying the code
+  std::uint64_t clients = 0;  // distinct clients that ever received it
+};
+
+/// One serving run (the full engine, or a control with an optimization
+/// switched off) folded down to the numbers the report prints.
+struct RunSummary {
+  std::string label;
+  ServeStats stats;
+  LatencySummary latency;
+  /// Resolver-cache counter deltas over the run (Stats contract:
+  /// hits + misses + stale_hits == lookups).
+  resolver::Cache::Stats cache;
+  std::map<std::uint16_t, EdeDelivery> ede;
+
+  /// Client-visible hit rate: answers served in 0 virtual ms / served.
+  [[nodiscard]] double hit_rate() const;
+};
+
+/// Nearest-rank percentiles over the served (non-suppressed) answers.
+[[nodiscard]] LatencySummary summarize_latency(
+    const std::vector<ClientAnswer>& answers);
+
+/// Fold one run; `cache_delta` is after-minus-before resolver cache stats.
+[[nodiscard]] RunSummary summarize_run(
+    std::string label, const std::vector<ClientAnswer>& answers,
+    const ServeStats& stats, const resolver::Cache::Stats& cache_delta);
+
+/// The serve-stale-under-outage scenario's machine-checked summary.
+struct OutageSummary {
+  std::uint64_t served = 0;
+  std::uint64_t stale_answers = 0;    // EDE 3 deliveries
+  std::uint64_t stale_nxdomains = 0;  // EDE 19 deliveries
+  std::uint64_t ede3_clients = 0;
+  std::uint64_t ede19_clients = 0;
+  LatencySummary latency;
+  sim::SimTimeMs p99_bound_ms = 0;  // the invariant the bench enforced
+  /// Machine-checked invariant violations; must be empty for the bench
+  /// to exit 0. Rendered into the report so a regression is visible in
+  /// the artifact, not only in the exit code.
+  std::vector<std::string> violations;
+};
+
+struct ServeReportDoc {
+  StubOptions stub;
+  std::size_t inflight = 0;
+  sim::SimTimeMs wave_ms = 0;
+  /// runs[0] is the full engine; controls follow (no_prefetch,
+  /// no_aggressive) when the bench ran them.
+  std::vector<RunSummary> runs;
+  std::optional<OutageSummary> outage;
+};
+
+/// Byte-stable JSON rendering (fixed field order, fixed float precision).
+[[nodiscard]] std::string render_serve_json(const ServeReportDoc& doc);
+
+/// Human-oriented text table for stdout.
+[[nodiscard]] std::string render_serve_text(const ServeReportDoc& doc);
+
+}  // namespace ede::serve

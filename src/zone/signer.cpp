@@ -12,6 +12,8 @@ ZoneKeys make_zone_keys(const dns::Name& origin, std::uint8_t algorithm) {
           dnssec::make_zsk(origin, algorithm)};
 }
 
+crypto::Bytes default_nsec3_salt() { return {0xab, 0xcd}; }
+
 namespace {
 
 void add_nsec3_chain(Zone& zone, const SigningPolicy& policy) {
@@ -45,7 +47,7 @@ void add_nsec3_chain(Zone& zone, const SigningPolicy& policy) {
 
     dns::Nsec3Rdata n3;
     n3.hash_algorithm = 1;
-    n3.flags = 0;
+    n3.flags = policy.nsec3_opt_out ? 1 : 0;
     n3.iterations = policy.nsec3_iterations;
     n3.salt = policy.nsec3_salt;
     n3.next_hashed_owner = next.hash;

@@ -24,10 +24,20 @@ enum class DenialMode {
   None,   // no denial records (for surgically built test zones)
 };
 
+/// The salt every policy starts with. Out of line: gcc 12's
+/// -Wmaybe-uninitialized misfires on the initializer-list vector copy
+/// when the default constructor gets inlined into a large frame.
+[[nodiscard]] crypto::Bytes default_nsec3_salt();
+
 struct SigningPolicy {
   DenialMode denial = DenialMode::Nsec3;
   std::uint16_t nsec3_iterations = 0;  // RFC 9276 recommends 0
-  crypto::Bytes nsec3_salt = {0xab, 0xcd};
+  crypto::Bytes nsec3_salt = default_nsec3_salt();
+  /// Set the NSEC3 opt-out flag (RFC 5155 §6) on every chain record. An
+  /// opt-out span proves nothing about plain nonexistence, so RFC 8198
+  /// resolvers must not synthesize NXDOMAIN from it (the aggressive-
+  /// caching edge-case tests sign zones this way to pin that refusal).
+  bool nsec3_opt_out = false;
   dnssec::SignatureWindow window = {sim::kDefaultNow - 86'400,
                                     sim::kDefaultNow + 30 * 86'400};
   /// Sign the DNSKEY RRset with the ZSK in addition to the KSK (the

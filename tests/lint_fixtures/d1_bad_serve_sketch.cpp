@@ -1,0 +1,20 @@
+// ede-lint-fixture: src/serve/fixture_sketch.cpp
+// Known-bad D1: src/serve/ is emitter territory wholesale (its stats feed
+// byte-stable serving reports), so iterating an unordered container
+// without util::sorted_items flags even outside a report_* file.
+#include <string>
+#include <unordered_map>
+
+namespace ede::serve {
+
+std::string render_hot_names() {
+  std::unordered_map<std::string, unsigned> hot;
+  hot["a.example"] = 3;
+  std::string out;
+  for (const auto& [name, count] : hot) {                  // D1: line 14
+    out += name + "=" + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ede::serve

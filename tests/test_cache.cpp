@@ -257,4 +257,74 @@ TEST(Cache, StatsPartitionLookupsExactly) {
   EXPECT_EQ(stats.lookups, 9u);
 }
 
+// --- expiry introspection (the prefetcher's view) ------------------------
+
+TEST(Cache, TtlRemainingSeesOnlyFreshEntries) {
+  Cache cache;
+  cache.put_positive(entry_for("a.test", 1000));
+  NegativeEntry negative;
+  negative.nxdomain = true;
+  negative.expires = 500;
+  cache.put_negative(Name::of("n.test"), RRType::A, negative);
+
+  EXPECT_EQ(cache.ttl_remaining(Name::of("a.test"), RRType::A, 400),
+            std::optional<ede::sim::SimTime>{600});
+  // The boundary second still counts as fresh, mirroring get_positive.
+  EXPECT_EQ(cache.ttl_remaining(Name::of("a.test"), RRType::A, 1000),
+            std::optional<ede::sim::SimTime>{0});
+  // Expired entries have no remaining TTL, even inside the stale window.
+  EXPECT_EQ(cache.ttl_remaining(Name::of("a.test"), RRType::A, 1001),
+            std::nullopt);
+  // Negative entries are consulted too (lookup order: positive first).
+  EXPECT_EQ(cache.ttl_remaining(Name::of("n.test"), RRType::A, 400),
+            std::optional<ede::sim::SimTime>{100});
+  EXPECT_EQ(cache.ttl_remaining(Name::of("absent.test"), RRType::A, 400),
+            std::nullopt);
+  // The key is (name, type), exactly like a serving lookup.
+  EXPECT_EQ(cache.ttl_remaining(Name::of("a.test"), RRType::AAAA, 400),
+            std::nullopt);
+}
+
+TEST(Cache, ExpiringWithinListsTheHorizonInCanonicalOrder) {
+  Cache cache;
+  cache.put_positive(entry_for("soon.test", 1010));
+  cache.put_positive(entry_for("later.test", 1200));
+  cache.put_positive(entry_for("aaa-soon.test", 1005));
+  cache.put_positive(entry_for("gone.test", 900));  // already expired
+
+  const auto keys = cache.expiring_within(30'000, /*now=*/1000);
+  ASSERT_EQ(keys.size(), 2u);
+  // Canonical key order (deterministic for the prefetch scheduler).
+  EXPECT_EQ(keys[0].name, Name::of("aaa-soon.test"));
+  EXPECT_EQ(keys[1].name, Name::of("soon.test"));
+
+  // The millisecond horizon rounds up to the next whole second.
+  const auto tight = cache.expiring_within(4'500, /*now=*/1000);
+  ASSERT_EQ(tight.size(), 1u);
+  EXPECT_EQ(tight[0].name, Name::of("aaa-soon.test"));
+
+  // A wide-open horizon lists every fresh entry, never the expired one.
+  EXPECT_EQ(cache.expiring_within(1'000'000, /*now=*/1000).size(), 3u);
+}
+
+TEST(Cache, IntrospectionNeverTouchesTheStats) {
+  Cache cache;
+  cache.put_positive(entry_for("a.test", 1000));
+  (void)cache.get_positive(Name::of("a.test"), RRType::A, 10);    // hit
+  (void)cache.get_positive(Name::of("miss.test"), RRType::A, 10); // miss
+  const auto before = cache.stats();
+
+  (void)cache.ttl_remaining(Name::of("a.test"), RRType::A, 10);
+  (void)cache.ttl_remaining(Name::of("miss.test"), RRType::A, 10);
+  (void)cache.expiring_within(60'000, 10);
+
+  const auto& after = cache.stats();
+  EXPECT_EQ(after.lookups, before.lookups);
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.stale_hits, before.stale_hits);
+  // The partition invariant keeps holding around introspection reads.
+  EXPECT_EQ(after.hits + after.misses + after.stale_hits, after.lookups);
+}
+
 }  // namespace

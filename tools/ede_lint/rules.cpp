@@ -103,6 +103,10 @@ void emit(std::vector<Finding>& out, const Config& config, std::string rule,
 bool is_emitter_file(const std::string& rel) {
   if (rel == "tools/chaos_campaign.cpp") return true;
   if (!starts_with(rel, "src/")) return false;
+  // The whole serving engine emits byte-stable reports (client answers,
+  // per-wave stats, the qps benchmark's JSON), so every file there is
+  // held to the sorted-emission contract, not just the report_* ones.
+  if (starts_with(rel, "src/serve/")) return true;
   const std::size_t slash = rel.find_last_of('/');
   const std::string base = rel.substr(slash + 1);
   return base.find("report") != std::string::npos ||

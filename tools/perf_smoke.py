@@ -4,6 +4,8 @@
 Usage: perf_smoke.py <fresh.json> [baseline.json]
        perf_smoke.py --scan <fresh.json>... [--baseline FILE]
                      [--max-regress PCT]
+       perf_smoke.py --serve <fresh.json>... [--baseline FILE]
+                     [--max-regress PCT]
 
 Default (codec) mode prints a per-benchmark delta table (cpu_time, fresh
 vs baseline) and exits 0 unconditionally: it is a smoke check for gross
@@ -23,6 +25,10 @@ gate uses min-time methodology: pass SEVERAL measurement files from
 back-to-back runs and the best per-benchmark throughput is what gets
 gated. The committed baseline is recorded the same way (best of
 repeated runs), so the comparison is max-vs-max.
+
+--serve mode is the same hard gate for the frontline serving engine: it
+compares queries_per_second from serve_qps --json measurements against
+bench/perf_baseline_serve.json, best-of-N, same --max-regress default.
 """
 import json
 import sys
@@ -38,9 +44,8 @@ def load(path):
     }
 
 
-def scan_gate(argv):
+def throughput_gate(argv, label, metric, base_path):
     max_regress = 5.0
-    base_path = "bench/perf_baseline_scan.json"
     fresh_paths = []
     i = 0
     while i < len(argv):
@@ -62,14 +67,12 @@ def scan_gate(argv):
     fresh = {}
     for path in fresh_paths:
         for name, b in load(path).items():
-            if (name not in fresh
-                    or b["domains_per_second"]
-                    > fresh[name]["domains_per_second"]):
+            if name not in fresh or b[metric] > fresh[name][metric]:
                 fresh[name] = b
     base = load(base_path)
 
-    print(f"scan perf gate: best of {len(fresh_paths)} run(s) vs {base_path} "
-          f"(max regression {max_regress:.1f}%)")
+    print(f"{label} perf gate: best of {len(fresh_paths)} run(s) vs "
+          f"{base_path} (max regression {max_regress:.1f}%)")
     print(f"{'benchmark':<36} {'baseline':>10} {'fresh':>10} {'delta':>8}")
     failures = []
     compared = 0
@@ -77,8 +80,8 @@ def scan_gate(argv):
         if name not in fresh:
             continue
         compared += 1
-        b = base[name]["domains_per_second"]
-        f = fresh[name]["domains_per_second"]
+        b = base[name][metric]
+        f = fresh[name][metric]
         delta = (f - b) / b * 100.0
         verdict = ""
         if delta < -max_regress:
@@ -86,14 +89,14 @@ def scan_gate(argv):
             verdict = "  REGRESSED"
         print(f"{name:<36} {b:>8.0f}/s {f:>8.0f}/s {delta:>+7.1f}%{verdict}")
     if compared == 0:
-        print("scan perf gate: no overlapping benchmarks — nothing gated",
-              file=sys.stderr)
+        print(f"{label} perf gate: no overlapping benchmarks — nothing "
+              f"gated", file=sys.stderr)
         return 2
     if failures:
-        print(f"scan perf gate FAILED: {', '.join(failures)} regressed "
+        print(f"{label} perf gate FAILED: {', '.join(failures)} regressed "
               f"more than {max_regress:.1f}%", file=sys.stderr)
         return 1
-    print(f"scan perf gate passed ({compared} benchmark(s) within "
+    print(f"{label} perf gate passed ({compared} benchmark(s) within "
           f"{max_regress:.1f}%)")
     return 0
 
@@ -103,7 +106,11 @@ def main():
         print(__doc__.strip(), file=sys.stderr)
         return 2
     if sys.argv[1] == "--scan":
-        return scan_gate(sys.argv[2:])
+        return throughput_gate(sys.argv[2:], "scan", "domains_per_second",
+                               "bench/perf_baseline_scan.json")
+    if sys.argv[1] == "--serve":
+        return throughput_gate(sys.argv[2:], "serve", "queries_per_second",
+                               "bench/perf_baseline_serve.json")
     fresh_path = sys.argv[1]
     base_path = sys.argv[2] if len(sys.argv) > 2 else "bench/perf_baseline_codec.json"
     fresh = load(fresh_path)

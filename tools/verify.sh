@@ -43,26 +43,32 @@
 #   9. clang-tidy (optional): run the curated .clang-tidy check set over
 #      src/ when a clang-tidy binary is installed; skipped with a notice
 #      otherwise — the container toolchain is gcc-only by default.
+#  10. frontline serving (DESIGN.md §5h): serve_qps run twice at a fixed
+#      seed must produce byte-identical serving reports (which also
+#      machine-checks the serve-stale outage invariants and both
+#      optimization comparisons), then three measurement runs feed the
+#      serve perf gate against bench/perf_baseline_serve.json (hard,
+#      best-of-3, 5% bound — same methodology as the scan gate).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/9] normal build + full test suite ==="
+echo "=== [1/10] normal build + full test suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "=== [2/9] static analysis: ede_lint self-test + whole-tree scan ==="
+echo "=== [2/10] static analysis: ede_lint self-test + whole-tree scan ==="
 ./build/tools/ede_lint/ede_lint --self-test tests/lint_fixtures
 ./build/tools/ede_lint/ede_lint --repo-root . --config tools/ede_lint.conf \
   src tests tools
 
-echo "=== [3/9] hardened-warnings build: EDE_WERROR=ON must compile clean ==="
+echo "=== [3/10] hardened-warnings build: EDE_WERROR=ON must compile clean ==="
 cmake -B build-werror -S . -DEDE_WERROR=ON >/dev/null
 cmake --build build-werror -j "$JOBS"
 
-echo "=== [4/9] ASan+UBSan build: codec + robustness + chaos + malformed-corpus + parallel-scan + async core ==="
+echo "=== [4/10] ASan+UBSan build: codec + robustness + chaos + malformed-corpus + parallel-scan + async core ==="
 cmake -B build-asan -S . -DEDE_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS" --target test_robustness test_chaos \
   test_malformed_corpus test_parallel_scan test_async_core test_name \
@@ -70,13 +76,13 @@ cmake --build build-asan -j "$JOBS" --target test_robustness test_chaos \
   test_stream_scenarios test_truncation
 ctest --test-dir build-asan --output-on-failure -R 'Robust|Chaos|Malformed|Parallel|ScanMerge|PlanShards|ScannerStride|Name|Wire|Rdata|DecodeRdata|Presentation|TypeBitmap|Message|CodecGolden|Stream|Framing|Truncation|EventScheduler|RetryPolicy|CoalesceKey|AsyncCore'
 
-echo "=== [5/9] TSan build: parallel-scan + async-core suites ==="
+echo "=== [5/10] TSan build: parallel-scan + async-core suites ==="
 cmake -B build-tsan -S . -DEDE_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_parallel_scan test_async_core
 ctest --test-dir build-tsan --output-on-failure \
   -R 'Parallel|ScanMerge|PlanShards|ScannerStride|EventScheduler|AsyncCore'
 
-echo "=== [6/9] async engine: fixed-seed --inflight equivalence ==="
+echo "=== [6/10] async engine: fixed-seed --inflight equivalence ==="
 # The event-loop contract (DESIGN.md §5g): multiplexing width is a pure
 # throughput knob. The same fixed-seed shard scanned serially (inflight 1)
 # and 512-wide must roll up to byte-identical §4.2 per-code aggregates.
@@ -89,7 +95,7 @@ cmp build/scan_inflight_serial.csv build/scan_inflight_wide.csv \
   || { echo "--inflight width changed the scan aggregates" >&2; exit 1; }
 echo "async engine: inflight 1 and inflight 512 aggregates byte-identical"
 
-echo "=== [7/9] chaos campaign under ASan+UBSan: invariants + byte-reproducibility ==="
+echo "=== [7/10] chaos campaign under ASan+UBSan: invariants + byte-reproducibility ==="
 cmake --build build-asan -j "$JOBS" --target chaos_campaign
 ./build-asan/tools/chaos_campaign --seeds 3 --out build-asan/chaos_report_a.json
 ./build-asan/tools/chaos_campaign --seeds 3 --out build-asan/chaos_report_b.json
@@ -115,7 +121,7 @@ cmp build-asan/chaos_async_a.json build-asan/chaos_async_b.json \
   || { echo "async campaign report is not byte-reproducible" >&2; exit 1; }
 echo "chaos campaign: zero violations, reports byte-reproducible"
 
-echo "=== [8/9] perf smoke: codec deltas (informational) + scan perf gate (hard) ==="
+echo "=== [8/10] perf smoke: codec deltas (informational) + scan perf gate (hard) ==="
 # The stage-1 tree defaults to RelWithDebInfo, so its bench targets pass
 # the release-only guard in bench/CMakeLists.txt.
 cmake --build build -j "$JOBS" --target perf_micro sec42_wild_scan
@@ -137,7 +143,7 @@ python3 tools/perf_smoke.py --scan build/scan_fresh_1.json \
   build/scan_fresh_2.json build/scan_fresh_3.json \
   --baseline bench/perf_baseline_scan.json
 
-echo "=== [9/9] clang-tidy (optional): curated check set over src/ ==="
+echo "=== [9/10] clang-tidy (optional): curated check set over src/ ==="
 if command -v clang-tidy >/dev/null 2>&1; then
   # Tidy reuses the stage-1 compile commands; the curated check set lives
   # in .clang-tidy at the repo root.
@@ -149,5 +155,27 @@ else
   echo "clang-tidy: not installed in this container, skipping (install"
   echo "clang-tidy and re-run tools/verify.sh to enable this stage)"
 fi
+
+echo "=== [10/10] frontline serving: byte-reproducible report + serve perf gate ==="
+cmake --build build -j "$JOBS" --target serve_qps
+# Two fixed-seed runs must emit byte-identical serving reports. The run
+# itself machine-checks the outage invariants (EDE 3/19 delivery, bounded
+# p99, clean recovery) and the full-vs-control optimization comparisons,
+# exiting nonzero on any violation.
+./build/bench/serve_qps --report build/serve_report_a.json >/dev/null
+./build/bench/serve_qps --report build/serve_report_b.json >/dev/null
+cmp build/serve_report_a.json build/serve_report_b.json \
+  || { echo "serving report is not byte-reproducible" >&2; exit 1; }
+echo "frontline serving: fixed-seed reports byte-identical, outage invariants hold"
+# Hard gate on serving throughput, best-of-3 like the scan gate (the
+# controls and the outage scenario are skipped here: the gated number is
+# the full engine's qps, and wall-clock noise is one-sided).
+for i in 1 2 3; do
+  ./build/bench/serve_qps --no-controls --no-outage \
+    --json "build/serve_fresh_$i.json" >/dev/null
+done
+python3 tools/perf_smoke.py --serve build/serve_fresh_1.json \
+  build/serve_fresh_2.json build/serve_fresh_3.json \
+  --baseline bench/perf_baseline_serve.json
 
 echo "verify: OK"
