@@ -201,6 +201,7 @@ void encode_rdata(WireWriter& w, const Rdata& rdata, bool compress) {
             w.write_u16(static_cast<std::uint16_t>(opt.data.size()));
             w.write_bytes(opt.data);
           }
+          w.write_bytes(r.trailing);
         } else {
           w.write_bytes(r.data);
         }
@@ -416,17 +417,38 @@ Result<Rdata> decode_typed(WireReader& r, RRType type, std::size_t rdlen,
       return Rdata{std::move(p)};
     }
     case RRType::OPT: {
+      // Hardened against real-world EDNS garbage (RFC 6891 zoo): a
+      // truncated option header or an option whose declared length
+      // overruns the rdata must not fail the whole message parse — a
+      // resolver that threw the response away here would lose an answer
+      // a plain-DNS retry could have saved. The unparseable tail is
+      // captured verbatim so the record still round-trips byte-for-byte.
       OptRdata opt;
       while (r.position() < rdata_end) {
-        auto code = r.read_u16();
-        if (!code) return code.error();
-        auto len = r.read_u16();
-        if (!len) return len.error();
-        if (r.position() + len.value() > rdata_end)
-          return err("OPT: option overruns rdata");
-        auto data = r.read_bytes(len.value());
+        const std::size_t option_start = r.position();
+        bool garbled = option_start + 4 > rdata_end;
+        std::uint16_t code = 0;
+        std::uint16_t len = 0;
+        if (!garbled) {
+          auto c = r.read_u16();
+          if (!c) return c.error();
+          auto l = r.read_u16();
+          if (!l) return l.error();
+          code = c.value();
+          len = l.value();
+          garbled = r.position() + len > rdata_end;
+        }
+        if (garbled) {
+          auto rewind = r.seek(option_start);
+          if (!rewind) return rewind.error();
+          auto tail = r.read_bytes(rdata_end - option_start);
+          if (!tail) return tail.error();
+          opt.trailing = std::move(tail).take();
+          break;
+        }
+        auto data = r.read_bytes(len);
         if (!data) return data.error();
-        opt.options.push_back({code.value(), std::move(data).take()});
+        opt.options.push_back({code, std::move(data).take()});
       }
       return Rdata{std::move(opt)};
     }
@@ -535,6 +557,9 @@ std::string rdata_to_string(const Rdata& rdata) {
             } else {
               out << "; opt" << option.code;
             }
+          }
+          if (!r.trailing.empty()) {
+            out << "; garbled-tail " << r.trailing.size() << "B";
           }
           out << ")";
         } else {

@@ -172,6 +172,11 @@ struct EdnsOption {
 
 struct OptRdata {
   std::vector<EdnsOption> options;
+  /// Unparseable tail of the rdata: a truncated option header or an
+  /// option whose declared length overruns the record. Kept verbatim so
+  /// garbled OPT records (RFC 6891 compliance zoo) still round-trip
+  /// byte-identically instead of failing the whole message parse.
+  crypto::Bytes trailing;
   bool operator==(const OptRdata&) const = default;
 };
 

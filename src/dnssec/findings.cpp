@@ -70,6 +70,10 @@ std::string to_string(Defect defect) {
     case Defect::IterationLimitExceeded: return "iteration-limit-exceeded";
     case Defect::TcpConnectFailed: return "tcp-connect-failed";
     case Defect::TcpStreamFailed: return "tcp-stream-failed";
+    case Defect::EdnsFormerr: return "edns-formerr";
+    case Defect::EdnsBadvers: return "edns-badvers";
+    case Defect::EdnsGarbled: return "edns-garbled";
+    case Defect::EdnsDegraded: return "edns-degraded";
     case Defect::StaleAnswerServed: return "stale-answer-served";
     case Defect::StaleNxdomainServed: return "stale-nxdomain-served";
     case Defect::CachedServfail: return "cached-servfail";

@@ -85,6 +85,11 @@ enum class Defect {
   IterationLimitExceeded,  // resolver gave up chasing referrals
   TcpConnectFailed,        // DoTCP fallback: connection refused / timed out
   TcpStreamFailed,         // DoTCP fallback: stream died before a full answer
+  EdnsFormerr,             // authority answers FORMERR to queries with OPT
+  EdnsBadvers,             // authority answers BADVERS to EDNS version 0
+  EdnsGarbled,             // authority's OPT is malformed or duplicated
+  EdnsDegraded,            // answer obtained only after falling back to
+                           // plain DNS (no OPT => no DO, no signatures)
 
   // --- Cache stage ----------------------------------------------------
   StaleAnswerServed,

@@ -24,7 +24,7 @@ dns::ResourceRecord to_opt_record(const Edns& edns) {
   rr.klass = static_cast<dns::RRClass>(edns.udp_payload_size);
   rr.ttl = (std::uint32_t{edns.version} << 16) |
            (edns.dnssec_ok ? 0x8000u : 0u);
-  rr.rdata = dns::OptRdata{edns.options};
+  rr.rdata = dns::OptRdata{edns.options, edns.trailing};
   return rr;
 }
 
@@ -37,6 +37,7 @@ dns::Result<Edns> from_opt_record(const dns::ResourceRecord& rr) {
   out.version = static_cast<std::uint8_t>((rr.ttl >> 16) & 0xff);
   out.dnssec_ok = (rr.ttl & 0x8000u) != 0;
   out.options = opt->options;
+  out.trailing = opt->trailing;
   return out;
 }
 
@@ -67,6 +68,14 @@ std::vector<ExtendedError> get_extended_errors(const dns::Message& msg) {
   const auto edns = get_edns(msg);
   if (!edns) return {};
   return edns->extended_errors();
+}
+
+std::size_t opt_count(const dns::Message& msg) {
+  std::size_t count = 0;
+  for (const auto& rr : msg.additional) {
+    if (rr.type == dns::RRType::OPT) ++count;
+  }
+  return count;
 }
 
 }  // namespace ede::edns

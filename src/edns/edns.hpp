@@ -7,9 +7,11 @@
 // the scanners use.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <vector>
 
+#include "crypto/bytes.hpp"
 #include "dnscore/message.hpp"
 #include "edns/ede.hpp"
 
@@ -20,9 +22,16 @@ struct Edns {
   std::uint8_t version = 0;
   bool dnssec_ok = false;  // the DO bit
   std::vector<dns::EdnsOption> options;
+  /// Unparseable rdata tail carried through from a garbled OPT record
+  /// (see dns::OptRdata::trailing). Non-empty means the sender's EDNS
+  /// state could not be fully decoded.
+  crypto::Bytes trailing;
 
   /// All EDE options, decoded (malformed ones are skipped).
   [[nodiscard]] std::vector<ExtendedError> extended_errors() const;
+
+  /// True when the OPT rdata carried bytes that do not decode as options.
+  [[nodiscard]] bool garbled() const { return !trailing.empty(); }
 
   void add(const ExtendedError& error);
 };
@@ -47,5 +56,10 @@ void add_extended_error(dns::Message& msg, const ExtendedError& error);
 /// All EDE options found in the message, in wire order.
 [[nodiscard]] std::vector<ExtendedError> get_extended_errors(
     const dns::Message& msg);
+
+/// How many OPT records the message carries. RFC 6891 §6.1.1 allows
+/// exactly one; hostile authorities send more, which the resolver treats
+/// as a garbled-EDNS signal.
+[[nodiscard]] std::size_t opt_count(const dns::Message& msg);
 
 }  // namespace ede::edns

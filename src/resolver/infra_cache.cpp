@@ -50,6 +50,44 @@ void InfraCache::report_failure(const sim::NodeAddress& address,
   }
 }
 
+void InfraCache::report_edns_broken(const sim::NodeAddress& address,
+                                    sim::SimTimeMs now_ms,
+                                    std::uint32_t ttl_ms) {
+  if (!options_.enabled) return;
+  Entry& entry = entry_for(address);
+  entry.edns = EdnsCapability::PlainOnly;
+  entry.edns_retest_ms = now_ms + ttl_ms;
+  entry.edns_learned_ms = now_ms;
+  ++stats_.edns_broken_learned;
+}
+
+void InfraCache::report_edns_ok(const sim::NodeAddress& address,
+                                sim::SimTimeMs now_ms) {
+  if (!options_.enabled) return;
+  Entry& entry = entry_for(address);
+  entry.edns = EdnsCapability::Full;
+  entry.edns_retest_ms = 0;
+  entry.edns_learned_ms = now_ms;
+}
+
+InfraCache::EdnsCapability InfraCache::edns_capability(
+    const sim::NodeAddress& address, sim::SimTimeMs now_ms,
+    bool epoch_guard) const {
+  if (!options_.enabled) return EdnsCapability::Unknown;
+  const auto* entry = find(address);
+  if (entry == nullptr || entry->edns == EdnsCapability::Unknown) {
+    return EdnsCapability::Unknown;
+  }
+  if (epoch_guard && entry->edns_learned_ms >= now_ms) {
+    return EdnsCapability::Unknown;
+  }
+  if (entry->edns == EdnsCapability::PlainOnly &&
+      entry->edns_retest_ms <= now_ms) {
+    return EdnsCapability::Unknown;  // verdict expired: re-probe with EDNS
+  }
+  return entry->edns;
+}
+
 const InfraCache::Entry* InfraCache::find(
     const sim::NodeAddress& address) const {
   const auto it = entries_.find(address);

@@ -42,6 +42,10 @@ class InfraCache {
   /// EDE classification is identical with and without the cache).
   enum class FailureKind { None, Timeout, Unreachable };
 
+  /// Learned EDNS(0) capability of one server address (RFC 6891 §6.2.2):
+  /// what BIND keeps as ADB EDNS flags and Unbound as infra edns_state.
+  enum class EdnsCapability { Unknown, Full, PlainOnly };
+
   struct Entry {
     double srtt_ms = 0.0;
     int consecutive_timeouts = 0;
@@ -49,6 +53,16 @@ class InfraCache {
     FailureKind last_failure = FailureKind::None;
     std::uint64_t successes = 0;
     std::uint64_t failures = 0;
+    // --- EDNS capability memory (DESIGN.md §5i). Kept apart from the
+    // failure streak above: report_success clears that streak, but a
+    // server that answers plain DNS promptly is healthy *and* EDNS-broken
+    // at the same time, so the verdict must survive.
+    EdnsCapability edns = EdnsCapability::Unknown;
+    /// A PlainOnly verdict expires (and the server is re-probed with
+    /// EDNS) at this sim-time.
+    sim::SimTimeMs edns_retest_ms = 0;
+    /// When the verdict was recorded — the epoch guard for engine jobs.
+    sim::SimTimeMs edns_learned_ms = 0;
   };
 
   struct Stats {
@@ -56,6 +70,7 @@ class InfraCache {
     std::uint64_t holddown_skips = 0;  // candidate probes avoided
     std::uint64_t successes = 0;
     std::uint64_t failures = 0;
+    std::uint64_t edns_broken_learned = 0;  // PlainOnly verdicts recorded
   };
 
   explicit InfraCache(Options options) : options_(options) {}
@@ -72,6 +87,26 @@ class InfraCache {
   /// address sorts behind responsive ones.
   void report_failure(const sim::NodeAddress& address, FailureKind kind,
                       sim::SimTimeMs now_ms);
+
+  /// The address mishandled an EDNS query (FORMERR/BADVERS/garbled OPT,
+  /// or it exhausted the vendor's EDNS timeout quota): remember it as
+  /// plain-DNS-only until `now_ms + ttl_ms`, after which the verdict
+  /// expires and the next resolution re-probes with EDNS.
+  void report_edns_broken(const sim::NodeAddress& address,
+                          sim::SimTimeMs now_ms, std::uint32_t ttl_ms);
+
+  /// The address answered an EDNS query with a well-formed OPT.
+  void report_edns_ok(const sim::NodeAddress& address, sim::SimTimeMs now_ms);
+
+  /// The learned capability at `now_ms`. A PlainOnly verdict past its
+  /// re-probe deadline reads as Unknown (hold-down expiry triggers the
+  /// re-probe). With `epoch_guard`, verdicts recorded at or after
+  /// `now_ms` also read as Unknown: engine jobs rebase the clock, and a
+  /// verdict from a concurrent job's future must not leak into this
+  /// job's past (the DenialRange::born rule).
+  [[nodiscard]] EdnsCapability edns_capability(const sim::NodeAddress& address,
+                                              sim::SimTimeMs now_ms,
+                                              bool epoch_guard = false) const;
 
   [[nodiscard]] const Entry* find(const sim::NodeAddress& address) const;
   [[nodiscard]] bool held_down(const sim::NodeAddress& address,

@@ -46,6 +46,13 @@ ResolverProfile profile_bind() {
   p.retry.tcp_connect_timeout_ms = 10'000;
   p.retry.tcp_read_timeout_ms = 10'000;
   p.retry.tcp_attempts = 1;
+  // EDNS dance: BIND is the canonical prober — an explicit FORMERR or
+  // BADVERS triggers an immediate plain-DNS retry — but 9.19 is firmly
+  // post-flag-day: silence is never taken as an EDNS verdict (the value
+  // exceeds the attempt budget, so timeout-driven downgrade is off).
+  // Signal-driven verdicts stick in the ADB for ~30 minutes.
+  p.edns_dance.timeouts_before_downgrade = 3;
+  p.edns_dance.capability_ttl_ms = 1'800'000;
   return p;
 }
 
@@ -108,6 +115,12 @@ ResolverProfile profile_unbound() {
   p.retry.tcp_connect_timeout_ms = 3'000;
   p.retry.tcp_read_timeout_ms = 3'000;
   p.retry.tcp_attempts = 2;
+  // EDNS dance: Unbound is timeout-driven — exhausting the UDP attempt
+  // budget against a silent server records a plain-DNS-only edns_state in
+  // its infra-cache for the 15-minute host TTL, so the *next* contact
+  // goes out without EDNS.
+  p.edns_dance.timeouts_before_downgrade = 2;
+  p.edns_dance.capability_ttl_ms = 900'000;
   return p;
 }
 
@@ -161,6 +174,11 @@ ResolverProfile profile_powerdns() {
   p.retry.tcp_connect_timeout_ms = 1'500;
   p.retry.tcp_read_timeout_ms = 1'500;
   p.retry.tcp_attempts = 1;
+  // EDNS dance: the Recursor keeps a per-server EDNS-status table — a
+  // server that exhausts its attempt budget flips to plain DNS there, and
+  // the entry ages out after an hour.
+  p.edns_dance.timeouts_before_downgrade = 2;
+  p.edns_dance.capability_ttl_ms = 3'600'000;
   return p;
 }
 
@@ -222,6 +240,11 @@ ResolverProfile profile_knot() {
   p.retry.tcp_connect_timeout_ms = 1'000;
   p.retry.tcp_read_timeout_ms = 1'000;
   p.retry.tcp_attempts = 2;
+  // EDNS dance: Knot shipped post-flag-day like BIND — no timeout-driven
+  // downgrade, only explicit FORMERR/BADVERS rejections dance, with the
+  // short 15-minute infra memory.
+  p.edns_dance.timeouts_before_downgrade = 3;
+  p.edns_dance.capability_ttl_ms = 900'000;
   return p;
 }
 
@@ -281,6 +304,14 @@ ResolverProfile profile_cloudflare() {
       {Defect::ServerTimeout, EdeCode::NetworkError},
       {Defect::TcpConnectFailed, EdeCode::NetworkError},
       {Defect::TcpStreamFailed, EdeCode::NetworkError},
+      // EDNS-compliance zoo: only Cloudflare surfaces the OPT-layer
+      // pathologies — explicit rejections as Network Error (23), a garbled
+      // or duplicated OPT as Invalid Data (24). A degraded plain-DNS
+      // success stays silent everywhere (the answer carries no OPT, so
+      // there is nowhere to put an EDE).
+      {Defect::EdnsFormerr, EdeCode::NetworkError},
+      {Defect::EdnsBadvers, EdeCode::NetworkError},
+      {Defect::EdnsGarbled, EdeCode::InvalidData},
       {Defect::DnskeyFetchFailed, EdeCode::DnskeyMissing},
       {Defect::MismatchedQuestion, EdeCode::InvalidData},
       {Defect::IterationLimitExceeded, EdeCode::Other},
@@ -292,6 +323,11 @@ ResolverProfile profile_cloudflare() {
   p.fixed_extra_text = {
       {Defect::IterationLimitExceeded, "iteration limit exceeded"},
   };
+  // EDNS dance: an anycast farm cannot afford per-query patience — a
+  // server that burns its whole attempt budget is remembered plain-DNS-
+  // only for 15 minutes and never probed twice in that window.
+  p.edns_dance.timeouts_before_downgrade = 2;
+  p.edns_dance.capability_ttl_ms = 900'000;
   return p;
 }
 
@@ -332,6 +368,10 @@ ResolverProfile profile_quad9() {
       {Defect::DenialSaltMismatch, EdeCode::DnskeyMissing},
       {Defect::DenialAllMissing, EdeCode::RrsigsMissing},
   };
+  // EDNS dance: public-resolver default — learn the verdict when the
+  // attempt budget runs dry, re-probe after the 15-minute hold.
+  p.edns_dance.timeouts_before_downgrade = 2;
+  p.edns_dance.capability_ttl_ms = 900'000;
   return p;
 }
 
@@ -377,6 +417,10 @@ ResolverProfile profile_opendns() {
       {Defect::InsecureReferralProofFailed, EdeCode::NsecMissing},
       {Defect::ServerRefused, EdeCode::Prohibited},
   };
+  // EDNS dance: OpenDNS follows the same timeout-driven style as
+  // Unbound — the exhausted attempt budget is the downgrade signal.
+  p.edns_dance.timeouts_before_downgrade = 2;
+  p.edns_dance.capability_ttl_ms = 900'000;
   return p;
 }
 
@@ -437,6 +481,11 @@ ResolverProfile profile_reference() {
       {Defect::ServerTimeout, EdeCode::NetworkError},
       {Defect::TcpConnectFailed, EdeCode::NetworkError},
       {Defect::TcpStreamFailed, EdeCode::NetworkError},
+      // EDNS-compliance zoo (EdnsDegraded stays unmapped by design: a
+      // plain-DNS answer has no OPT to carry an EDE).
+      {Defect::EdnsFormerr, EdeCode::NetworkError},
+      {Defect::EdnsBadvers, EdeCode::NetworkError},
+      {Defect::EdnsGarbled, EdeCode::InvalidData},
       {Defect::ServerNotAuth, EdeCode::NotAuthoritative},
       {Defect::DnskeyFetchFailed, EdeCode::DnskeyMissing},
       {Defect::MismatchedQuestion, EdeCode::InvalidData},

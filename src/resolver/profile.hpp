@@ -37,6 +37,38 @@ enum class Vendor {
   OpenDns,
 };
 
+/// The EDNS probe-and-fallback "dance" (RFC 6891 §6.2.2): how a vendor
+/// reacts to an authority that mishandles the OPT pseudo-record. Two
+/// documented styles exist in the wild — BIND probes and retries plain DNS
+/// the moment it sees an explicit EDNS rejection, while Unbound is
+/// timeout-driven and only downgrades after repeated silence. Both then
+/// remember the verdict per server address (BIND's ADB EDNS flags,
+/// Unbound's infra-cache edns_state) for a bounded time. Calibrated
+/// per vendor in the .cpp; see DESIGN.md §5i.
+struct EdnsDancePolicy {
+  /// Retry the same server without EDNS after it answers FORMERR to a
+  /// query carrying OPT (the pre-EDNS-server reply, RFC 6891 §7).
+  bool downgrade_on_formerr = true;
+  /// Retry the same server without EDNS after BADVERS to version 0.
+  bool downgrade_on_badvers = true;
+  /// Retry without EDNS when the response's OPT is garbled (undecodable
+  /// rdata tail) or duplicated (RFC 6891 §6.1.1 allows exactly one).
+  bool downgrade_on_garbled = true;
+  /// Consecutive EDNS timeouts against one server before the downgrade
+  /// latch flips — the Unbound-style timeout-driven downgrade. Equal to
+  /// the retry policy's attempts_per_server it fires exactly at server
+  /// abandonment, so the verdict only shapes *later* contacts (via the
+  /// InfraCache memory) and a merely lossy path never silently loses
+  /// DNSSEC mid-resolution. Larger values disable timeout-driven
+  /// downgrade altogether — the post-DNS-flag-day (2019) stance, where
+  /// vendors ripped the timeout workarounds out and only an explicit
+  /// FORMERR/BADVERS still triggers the dance.
+  int timeouts_before_downgrade = 2;
+  /// How long a learned plain-DNS-only verdict holds before the server is
+  /// probed with EDNS again (the InfraCache re-probe TTL).
+  std::uint32_t capability_ttl_ms = 900'000;
+};
+
 struct ResolverProfile {
   Vendor vendor = Vendor::Unbound;
   std::string name;              // display string, e.g. "BIND 9.19.9"
@@ -51,6 +83,8 @@ struct ResolverProfile {
   /// Calibrated transport retry/backoff defaults (see retry.hpp); a
   /// ResolverOptions::retry override wins over this.
   RetryPolicy retry;
+  /// How this vendor handles EDNS-hostile authorities (DESIGN.md §5i).
+  EdnsDancePolicy edns_dance;
 
   /// The EDE (if any) this profile emits for a finding.
   [[nodiscard]] std::optional<edns::ExtendedError> ede_for(

@@ -235,9 +235,32 @@ RecursiveResolver::query_servers_uncoalesced(
     }
 
     std::optional<dns::Message> received;
-    const std::uint16_t payload_size = options_.edns_udp_payload;
     std::uint32_t timeout_ms = retry_.initial_timeout_ms;
     bool sent_once = false;
+
+    // ---- EDNS probe-and-fallback state (RFC 6891 §6.2.2) -------------
+    // Queries carry OPT until this server proves it cannot cope: an
+    // explicit rejection (FORMERR/BADVERS), a garbled or duplicated OPT,
+    // or the vendor's quota of silent timeouts flips the one-way
+    // `edns_downgraded` latch and the remaining attempts go out as plain
+    // DNS. The InfraCache remembers the verdict so later resolutions skip
+    // the dance until the vendor's re-probe TTL expires.
+    bool use_edns = true;
+    bool edns_downgraded = false;
+    bool plain_probe_counted = false;
+    int edns_timeouts = 0;
+    // A verdict this resolution earned itself (ctx.edns_self_plain) is
+    // always visible — the epoch guard only hides what concurrent batch
+    // siblings wrote to the shared InfraCache.
+    if (ctx.edns_self_plain.contains(server) ||
+        infra_.edns_capability(server, network_->clock().now_ms(),
+                               ctx.epoch_guard) ==
+            InfraCache::EdnsCapability::PlainOnly) {
+      use_edns = false;
+      edns_downgraded = true;
+      plain_probe_counted = true;  // a memory hit is a skip, not a probe
+      ++hardening_.edns_capability_skips;
+    }
     // Policy-driven attempts per server: each timed-out attempt waits out
     // the current retransmission timer, then backs the timer off
     // exponentially (capped). A TC-triggered DoTCP fallback does not
@@ -257,10 +280,19 @@ RecursiveResolver::query_servers_uncoalesced(
       }
       dns::Message query = dns::make_query(next_id_++, qname, qtype,
                                            /*recursion_desired=*/false);
-      edns::Edns edns;
-      edns.dnssec_ok = true;
-      edns.udp_payload_size = payload_size;
-      edns::set_edns(query, edns);
+      // A plain-DNS query implies the pre-EDNS 512-byte ceiling (RFC 1035
+      // §4.2.1) — both on the wire and for the oversize acceptance gate.
+      const std::uint16_t payload_size =
+          use_edns ? options_.edns_udp_payload : std::uint16_t{512};
+      if (use_edns) {
+        edns::Edns edns;
+        edns.dnssec_ok = true;
+        edns.udp_payload_size = payload_size;
+        edns::set_edns(query, edns);
+      } else if (edns_downgraded && !plain_probe_counted) {
+        ++hardening_.edns_fallback_probes;
+        plain_probe_counted = true;
+      }
 
       ++result.queries;
       --ctx.budget.attempts_left;
@@ -289,6 +321,21 @@ RecursiveResolver::query_servers_uncoalesced(
                               network_->clock().now_ms());
         add_finding(result.findings, Stage::Transport, Defect::ServerTimeout,
                     server.to_string() + ":53 timed out for " + query_desc);
+        if (use_edns && !edns_downgraded &&
+            ++edns_timeouts >= profile_.edns_dance.timeouts_before_downgrade) {
+          // Unbound-style timeout-driven downgrade: repeated silence to
+          // OPT queries smells like an EDNS-eating middlebox, so the
+          // remaining attempts against this server go out as plain DNS.
+          // Attempts are never added — a dead server costs exactly what
+          // it cost before the dance existed — so a vendor whose quota
+          // equals its attempt budget learns the verdict for *later*
+          // resolutions instead of probing plain in this one.
+          use_edns = false;
+          edns_downgraded = true;
+          ctx.edns_self_plain.insert(server);
+          infra_.report_edns_broken(server, network_->clock().now_ms(),
+                                    profile_.edns_dance.capability_ttl_ms);
+        }
         timeout_ms = retry_.next_timeout(timeout_ms);
         ++attempt;
         continue;
@@ -344,6 +391,53 @@ RecursiveResolver::query_servers_uncoalesced(
         timeout_ms = retry_.next_timeout(timeout_ms);
         ++attempt;
         continue;
+      }
+      // ---- EDNS probe-and-fallback (RFC 6891 §6.2.2) -----------------
+      // An explicit rejection of the OPT record — FORMERR from a server
+      // that predates EDNS, BADVERS to version 0 — or an OPT that comes
+      // back garbled or duplicated triggers the vendor's documented
+      // dance: drop EDNS and retry the same server immediately with
+      // plain DNS. The retry does not consume a UDP attempt (it is the
+      // probe half of probe-and-fallback, bounded to one by the latch),
+      // and the verdict is remembered per address so later resolutions
+      // skip the dance until the re-probe TTL expires.
+      if (use_edns && !edns_downgraded) {
+        const auto& dance = profile_.edns_dance;
+        std::string why;
+        auto defect = Defect::EdnsFormerr;
+        if (parsed.value().header.rcode == dns::RCode::FORMERR &&
+            dance.downgrade_on_formerr) {
+          why = ":53 rcode=FORMERR to an EDNS query for ";
+          defect = Defect::EdnsFormerr;
+          ++hardening_.edns_formerr_seen;
+        } else if (parsed.value().header.rcode == dns::RCode::BADVERS &&
+                   dance.downgrade_on_badvers) {
+          why = ":53 rcode=BADVERS for ";
+          defect = Defect::EdnsBadvers;
+          ++hardening_.edns_badvers_seen;
+        } else if (dance.downgrade_on_garbled &&
+                   edns::opt_count(parsed.value()) > 1) {
+          why = ":53 sent duplicate OPT records for ";
+          defect = Defect::EdnsGarbled;
+          ++hardening_.edns_garbled_opt;
+        } else if (dance.downgrade_on_garbled) {
+          if (const auto got = edns::get_edns(parsed.value());
+              got.has_value() && got->garbled()) {
+            why = ":53 sent a garbled OPT for ";
+            defect = Defect::EdnsGarbled;
+            ++hardening_.edns_garbled_opt;
+          }
+        }
+        if (!why.empty()) {
+          add_finding(result.findings, Stage::Transport, defect,
+                      server.to_string() + why + query_desc);
+          use_edns = false;
+          edns_downgraded = true;
+          ctx.edns_self_plain.insert(server);
+          infra_.report_edns_broken(server, network_->clock().now_ms(),
+                                    dance.capability_ttl_ms);
+          continue;
+        }
       }
       if (parsed.value().header.tc) {
         // Truncated: genuine RFC 7766 DoTCP fallback. The same question
@@ -427,10 +521,32 @@ RecursiveResolver::query_servers_uncoalesced(
     // EDNS-unaware authority: we sent an OPT, none came back (the paper's
     // §4.2.6 notes such servers behind its Invalid Data category). The
     // response is still usable — but without EDNS there are no RRSIGs, so
-    // signed zones will fail validation downstream, as in reality.
-    if (response.find_opt() == nullptr) {
+    // signed zones will fail validation downstream, as in reality. The
+    // server is remembered as plain-DNS-only (BIND's ADB does the same),
+    // so follow-up queries stop wasting an OPT on it.
+    if (use_edns && response.find_opt() == nullptr) {
       add_finding(result.findings, Stage::Transport, Defect::NoOptInResponse,
                   server.to_string() + ":53 ignored EDNS for " + query_desc);
+      ctx.edns_self_plain.insert(server);
+      infra_.report_edns_broken(server, network_->clock().now_ms(),
+                                profile_.edns_dance.capability_ttl_ms);
+    } else if (use_edns) {
+      infra_.report_edns_ok(server, network_->clock().now_ms());
+    } else {
+      // Degraded success: the dance (or the capability memory) got an
+      // answer out of an EDNS-broken server over plain DNS. No OPT means
+      // no DO bit and no signatures — signed zones degrade to the same
+      // validation findings a stripped answer produces — and the client
+      // response cannot carry an EDE about it, so the scan layer counts
+      // it instead. Refreshing the verdict extends the hold-down the way
+      // Unbound refreshes an infra-cache entry it keeps using.
+      add_finding(result.findings, Stage::Transport, Defect::EdnsDegraded,
+                  server.to_string() + ":53 answered plain DNS for " +
+                      query_desc);
+      ++hardening_.edns_degraded_success;
+      ctx.edns_self_plain.insert(server);
+      infra_.report_edns_broken(server, network_->clock().now_ms(),
+                                profile_.edns_dance.capability_ttl_ms);
     }
 
     // Remember an advertised RFC 9567 reporting agent.
@@ -468,10 +584,20 @@ sim::Task<std::optional<dns::Message>> RecursiveResolver::query_over_stream(
     // datagram leg a free forgery key for the stream leg.
     dns::Message query = dns::make_query(next_id_++, qname, qtype,
                                          /*recursion_desired=*/false);
-    edns::Edns edns;
-    edns.dnssec_ok = true;
-    edns.udp_payload_size = options_.edns_udp_payload;
-    edns::set_edns(query, edns);
+    // The per-server EDNS verdict is transport-independent: a server (or
+    // middlebox) that chokes on OPT over UDP chokes on it over the stream
+    // too, so a plain-DNS downgrade carries into the DoTCP fallback the
+    // way BIND's ADB "noedns" flag does. A signed zone behind such a
+    // server is unvalidatable by design — no DO bit, no RRSIGs.
+    if (!ctx.edns_self_plain.contains(server) &&
+        infra_.edns_capability(server, network_->clock().now_ms(),
+                               ctx.epoch_guard) !=
+            InfraCache::EdnsCapability::PlainOnly) {
+      edns::Edns edns;
+      edns.dnssec_ok = true;
+      edns.udp_payload_size = options_.edns_udp_payload;
+      edns::set_edns(query, edns);
+    }
 
     ++result.queries;
     --ctx.budget.attempts_left;

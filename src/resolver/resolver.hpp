@@ -119,6 +119,20 @@ struct HardeningStats {
   /// Streams that died after connecting: stalls, mid-stream closes,
   /// garbage framing, frames that never completed.
   std::uint64_t tcp_stream_failures = 0;
+  // --- EDNS probe-and-fallback (RFC 6891, DESIGN.md §5i) --------------
+  /// FORMERR replies to queries carrying OPT (the pre-EDNS-server tell).
+  std::uint64_t edns_formerr_seen = 0;
+  /// BADVERS replies to EDNS version 0.
+  std::uint64_t edns_badvers_seen = 0;
+  /// Responses whose OPT was garbled (undecodable rdata) or duplicated.
+  std::uint64_t edns_garbled_opt = 0;
+  /// Plain-DNS fallback probes actually sent after a downgrade latch.
+  std::uint64_t edns_fallback_probes = 0;
+  /// Accepted answers obtained without EDNS (degraded: no DO, no RRSIGs).
+  std::uint64_t edns_degraded_success = 0;
+  /// Dances skipped outright because the InfraCache already knew the
+  /// server as plain-DNS-only (capability memory hit).
+  std::uint64_t edns_capability_skips = 0;
 };
 
 /// One queued resolution for RecursiveResolver::resolve_many().
@@ -303,6 +317,13 @@ class RecursiveResolver {
     /// the inflight width — so using them would break the window-
     /// invariance guarantee. Classic resolve() keeps the eager behavior.
     bool epoch_guard = false;
+    /// Servers THIS resolution learned as plain-DNS-only. The epoch guard
+    /// hides same-instant InfraCache writes, but a verdict this very
+    /// resolution earned (say, on its DNSKEY sub-query) must shape its
+    /// own later queries in both engines — an A query fired in the same
+    /// virtual millisecond still has to skip the dance, exactly like the
+    /// sequential classic loop would.
+    std::set<sim::NodeAddress> edns_self_plain;
   };
 
   /// Park the calling coroutine for `delay_ms` of virtual time. Mirrors

@@ -113,6 +113,22 @@ std::string render_section42(const ScanResult& result,
         << h.tcp_stream_failures << " stream-failed)";
   }
   out << "\n";
+  // The RFC 6891 compliance breakdown: which flavors of hostile EDNS the
+  // scan ran into, and what the probe-and-fallback machinery made of them.
+  if (h.edns_formerr_seen != 0 || h.edns_badvers_seen != 0 ||
+      h.edns_garbled_opt != 0 || h.edns_fallback_probes != 0 ||
+      h.edns_degraded_success != 0 || h.edns_capability_skips != 0 ||
+      t.edns_broken_learned != 0) {
+    out << "edns compliance: " << h.edns_fallback_probes
+        << " plain-DNS probes, " << h.edns_degraded_success
+        << " degraded answers\n"
+        << "  rejections: " << h.edns_formerr_seen << " FORMERR-on-OPT, "
+        << h.edns_badvers_seen << " BADVERS, " << h.edns_garbled_opt
+        << " garbled/duplicate OPT\n"
+        << "  capability memory: " << t.edns_broken_learned
+        << " servers learned plain-only, " << h.edns_capability_skips
+        << " dances skipped\n";
+  }
   const auto& rc = result.record_cache;
   out << "record cache: " << rc.hits << " hits, " << rc.misses
       << " misses, " << rc.stale_hits << " stale answers served";

@@ -47,6 +47,7 @@ void ScanResult::merge(const ScanResult& other) {
   transport.rate_limited += other.transport.rate_limited;
   transport.holddown_skips += other.transport.holddown_skips;
   transport.holddowns_started += other.transport.holddowns_started;
+  transport.edns_broken_learned += other.transport.edns_broken_learned;
   hardening.rejected_qid_mismatch += other.hardening.rejected_qid_mismatch;
   hardening.rejected_question_mismatch +=
       other.hardening.rejected_question_mismatch;
@@ -60,6 +61,12 @@ void ScanResult::merge(const ScanResult& other) {
   hardening.tcp_success += other.hardening.tcp_success;
   hardening.tcp_connect_failures += other.hardening.tcp_connect_failures;
   hardening.tcp_stream_failures += other.hardening.tcp_stream_failures;
+  hardening.edns_formerr_seen += other.hardening.edns_formerr_seen;
+  hardening.edns_badvers_seen += other.hardening.edns_badvers_seen;
+  hardening.edns_garbled_opt += other.hardening.edns_garbled_opt;
+  hardening.edns_fallback_probes += other.hardening.edns_fallback_probes;
+  hardening.edns_degraded_success += other.hardening.edns_degraded_success;
+  hardening.edns_capability_skips += other.hardening.edns_capability_skips;
   record_cache.lookups += other.record_cache.lookups;
   record_cache.hits += other.record_cache.hits;
   record_cache.misses += other.record_cache.misses;
@@ -191,6 +198,8 @@ ScanResult Scanner::run(resolver::RecursiveResolver& resolver,
       infra_after.holddown_skips - infra_before.holddown_skips;
   result.transport.holddowns_started =
       infra_after.holddowns_started - infra_before.holddowns_started;
+  result.transport.edns_broken_learned =
+      infra_after.edns_broken_learned - infra_before.edns_broken_learned;
   const auto& hardening_after = resolver.hardening_stats();
   result.hardening.rejected_qid_mismatch =
       hardening_after.rejected_qid_mismatch -
@@ -220,6 +229,21 @@ ScanResult Scanner::run(resolver::RecursiveResolver& resolver,
   result.hardening.tcp_stream_failures =
       hardening_after.tcp_stream_failures -
       hardening_before.tcp_stream_failures;
+  result.hardening.edns_formerr_seen =
+      hardening_after.edns_formerr_seen - hardening_before.edns_formerr_seen;
+  result.hardening.edns_badvers_seen =
+      hardening_after.edns_badvers_seen - hardening_before.edns_badvers_seen;
+  result.hardening.edns_garbled_opt =
+      hardening_after.edns_garbled_opt - hardening_before.edns_garbled_opt;
+  result.hardening.edns_fallback_probes =
+      hardening_after.edns_fallback_probes -
+      hardening_before.edns_fallback_probes;
+  result.hardening.edns_degraded_success =
+      hardening_after.edns_degraded_success -
+      hardening_before.edns_degraded_success;
+  result.hardening.edns_capability_skips =
+      hardening_after.edns_capability_skips -
+      hardening_before.edns_capability_skips;
   result.record_cache.lookups = cache_after.lookups - cache_before.lookups;
   result.record_cache.hits = cache_after.hits - cache_before.hits;
   result.record_cache.misses = cache_after.misses - cache_before.misses;

@@ -42,6 +42,9 @@ struct TransportStats {
   std::uint64_t rate_limited = 0;
   std::uint64_t holddown_skips = 0;  // probes the infra cache avoided
   std::uint64_t holddowns_started = 0;
+  /// Servers the infra cache branded plain-DNS-only (RFC 6891 fallback
+  /// verdicts learned during the scan; a delta like the holddown pair).
+  std::uint64_t edns_broken_learned = 0;
 };
 
 /// What the record cache did during the scan (deltas, like TransportStats).

@@ -135,7 +135,20 @@ dns::Message AuthServer::handle(const dns::Message& query,
         out.options.push_back(
             edns::make_report_channel_option(*config_.report_agent));
       }
+      if (config_.edns_echo_extra) {
+        dns::EdnsOption echoed;
+        echoed.code = 0xfde9;  // local/experimental range (RFC 6891 §9)
+        echoed.data = {0x7a, 0x6f, 0x6f};  // "zoo"
+        out.options.push_back(echoed);
+      }
+      if (config_.edns_garble) {
+        // An option header declaring 0xffff payload bytes it never sends.
+        out.trailing = {0x00, 0x0a, 0xff, 0xff};
+      }
       edns::set_edns(response, out);
+      if (config_.edns_duplicate_opt) {
+        response.additional.push_back(edns::to_opt_record(out));
+      }
     }
     if (config_.mangle_question && !response.question.empty()) {
       response.question.front().qname =
@@ -157,7 +170,9 @@ dns::Message AuthServer::handle(const dns::Message& query,
             ? std::uint16_t{512}
             : std::max<std::uint16_t>(edns->udp_payload_size, 512);
     const std::uint16_t limit =
-        std::min(advertised, config_.udp_payload_size);
+        config_.edns_truncate_at.has_value()
+            ? *config_.edns_truncate_at
+            : std::min(advertised, config_.udp_payload_size);
     if (arena_.serialized_size(response) > limit) {
       response.header.tc = true;
       const auto drop_one = [](std::vector<dns::ResourceRecord>& section) {
@@ -179,6 +194,18 @@ dns::Message AuthServer::handle(const dns::Message& query,
     }
     return response;
   };
+
+  // EDNS-compliance zoo: OPT-layer pathologies fire before any lookup.
+  if (edns.has_value() && config_.edns_formerr) {
+    // The pre-EDNS reply: FORMERR, no OPT, no records, nothing of finish().
+    response.header.rcode = dns::RCode::FORMERR;
+    return response;
+  }
+  if (edns.has_value() && config_.edns_badvers) {
+    // finish() echoes the OPT the extended RCODE's high bits ride in.
+    response.header.rcode = dns::RCode::BADVERS;
+    return finish();
+  }
 
   if (query.question.empty() || query.header.opcode != dns::Opcode::QUERY) {
     response.header.rcode = dns::RCode::FORMERR;
@@ -439,6 +466,9 @@ sim::Endpoint AuthServer::endpoint() const {
   return [this](crypto::BytesView wire,
                 const sim::PacketContext& ctx) -> std::optional<crypto::Bytes> {
     if (!arena_.parse(wire)) return std::nullopt;  // unparsable packets vanish
+    if (config_.edns_drop && arena_.message().find_opt() != nullptr) {
+      return std::nullopt;  // EDNS-hostile firewall: the OPT query vanishes
+    }
     return arena_.serialize_copy(handle(arena_.message(), ctx));
   };
 }

@@ -38,6 +38,31 @@ struct ServerConfig {
   /// RFC 9567 Report-Channel: advertise this reporting-agent domain in
   /// every EDNS response so resolvers can report resolution failures.
   std::optional<dns::Name> report_agent;
+
+  // --- EDNS-compliance zoo (RFC 6891, DESIGN.md §5i): the OPT-layer
+  // pathologies observed in the wild. `edns_aware = false` above already
+  // models the strip-OPT server; these cover the rest. ------------------
+  /// Silently drop any UDP query that carries an OPT record — the
+  /// EDNS-hostile firewall. Plain-DNS queries are answered normally and
+  /// the stream side is unaffected (such middleboxes filter datagrams).
+  bool edns_drop = false;
+  /// Answer FORMERR, with no OPT echoed and no records, to any query
+  /// carrying OPT — the pre-EDNS-era server reply (RFC 6891 §7).
+  bool edns_formerr = false;
+  /// Reply BADVERS to any EDNS query, even version 0.
+  bool edns_badvers = false;
+  /// Echo an unregistered option (local/experimental range, RFC 6891 §9)
+  /// back in every EDNS response.
+  bool edns_echo_extra = false;
+  /// Attach a second OPT record to every EDNS response (RFC 6891 §6.1.1
+  /// allows exactly one).
+  bool edns_duplicate_opt = false;
+  /// Garble the OPT rdata: append an option header that declares more
+  /// payload than the record carries.
+  bool edns_garble = false;
+  /// Lie about buffer sizes: truncate any UDP response larger than this,
+  /// regardless of what the client advertised (spurious TC).
+  std::optional<std::uint16_t> edns_truncate_at;
 };
 
 class AuthServer {

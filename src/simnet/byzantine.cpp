@@ -191,6 +191,132 @@ Applied mutate_slow_drip(const crypto::Bytes& response, std::uint32_t stall_ms,
   return rewritten(std::move(out));
 }
 
+// ---- EDNS-compliance zoo (RFC 6891) ---------------------------------
+
+bool wire_has_opt(crypto::BytesView wire) {
+  auto parsed = dns::Message::parse(wire);
+  return parsed.ok() && parsed.value().find_opt() != nullptr;
+}
+
+/// Silently drop any query that carries an OPT record — the classic
+/// EDNS-hostile firewall. The sender sees a timeout; a plain-DNS retry
+/// sails through untouched.
+Applied mutate_edns_drop(crypto::BytesView query) {
+  if (!wire_has_opt(query)) return not_applicable();
+  return swallowed();
+}
+
+/// FORMERR with the OPT stripped: the pre-EDNS-era server reply. RFC 6891
+/// §7 names this as the signal a requestor may take to retry without OPT.
+Applied mutate_edns_formerr(crypto::BytesView query,
+                            const crypto::Bytes& response) {
+  if (!wire_has_opt(query)) return not_applicable();
+  auto parsed = dns::Message::parse(response);
+  if (!parsed) return not_applicable();
+  dns::Message m = std::move(parsed).value();
+  m.header.rcode = dns::RCode::FORMERR;
+  m.header.aa = false;
+  m.header.tc = false;
+  m.answer.clear();
+  m.authority.clear();
+  m.additional.clear();  // a server this old has never heard of OPT
+  return rewritten(m.serialize());
+}
+
+/// Answer normally but never echo the OPT back — EDNS-oblivious rather
+/// than EDNS-hostile (and indistinguishable from a middlebox that strips
+/// the OPT from responses in flight).
+Applied mutate_edns_strip_opt(const crypto::Bytes& response) {
+  auto parsed = dns::Message::parse(response);
+  if (!parsed) return not_applicable();
+  dns::Message m = std::move(parsed).value();
+  const std::size_t before = m.additional.size();
+  std::erase_if(m.additional, [](const dns::ResourceRecord& rr) {
+    return rr.type == dns::RRType::OPT;
+  });
+  if (m.additional.size() == before) return not_applicable();
+  return rewritten(m.serialize());
+}
+
+/// Echo an option from the local/experimental range (RFC 6891 §9) back at
+/// the client. Compliant requestors must ignore options they never sent;
+/// the round-trip must also preserve the echoed bytes verbatim.
+Applied mutate_edns_echo_extra(const crypto::Bytes& response,
+                               crypto::Xoshiro256& rng) {
+  auto parsed = dns::Message::parse(response);
+  if (!parsed) return not_applicable();
+  dns::Message m = std::move(parsed).value();
+  auto* opt = m.find_opt();
+  if (opt == nullptr) return not_applicable();
+  auto* rdata = std::get_if<dns::OptRdata>(&opt->rdata);
+  if (rdata == nullptr) return not_applicable();
+  dns::EdnsOption echoed;
+  echoed.code = static_cast<std::uint16_t>(0xfde9 + rng.below(16));
+  echoed.data = {0x7a, 0x6f, 0x6f};  // "zoo"
+  rdata->options.push_back(std::move(echoed));
+  return rewritten(m.serialize());
+}
+
+/// BADVERS even to EDNS version 0 — a server that objects to versions it
+/// in fact supports. BADVERS is an extended RCODE, so the reply must keep
+/// (or grow) an OPT record for the high bits to ride in.
+Applied mutate_edns_badvers(crypto::BytesView query,
+                            const crypto::Bytes& response) {
+  if (!wire_has_opt(query)) return not_applicable();
+  auto parsed = dns::Message::parse(response);
+  if (!parsed) return not_applicable();
+  dns::Message m = std::move(parsed).value();
+  m.header.rcode = dns::RCode::BADVERS;
+  m.header.aa = false;
+  m.header.tc = false;
+  m.answer.clear();
+  m.authority.clear();
+  std::erase_if(m.additional, [](const dns::ResourceRecord& rr) {
+    return rr.type != dns::RRType::OPT;
+  });
+  if (m.find_opt() == nullptr) {
+    m.additional.push_back({dns::Name{}, dns::RRType::OPT,
+                            static_cast<dns::RRClass>(512), 0,
+                            dns::OptRdata{}});
+  }
+  return rewritten(m.serialize());
+}
+
+/// Ignore the advertised buffer entirely: truncate as if the client had
+/// offered a 512-byte buffer, whole sections shed, OPT kept — spurious
+/// TC that sends the client to TCP for an answer that fit all along.
+Applied mutate_edns_buffer_lie(const crypto::Bytes& response) {
+  auto parsed = dns::Message::parse(response);
+  if (!parsed) return not_applicable();
+  dns::Message m = std::move(parsed).value();
+  if (m.answer.empty() && m.authority.empty()) return not_applicable();
+  m.header.tc = true;
+  m.answer.clear();
+  m.authority.clear();
+  std::erase_if(m.additional, [](const dns::ResourceRecord& rr) {
+    return rr.type != dns::RRType::OPT;
+  });
+  return rewritten(m.serialize());
+}
+
+/// Garble the OPT RDATA: append an option header that declares more
+/// payload than the record carries. The hardened OPT decoder must keep
+/// the message parseable and classify the EDNS state as garbled.
+Applied mutate_edns_garble(const crypto::Bytes& response,
+                           crypto::Xoshiro256& rng) {
+  auto parsed = dns::Message::parse(response);
+  if (!parsed) return not_applicable();
+  dns::Message m = std::move(parsed).value();
+  auto* opt = m.find_opt();
+  if (opt == nullptr) return not_applicable();
+  auto* rdata = std::get_if<dns::OptRdata>(&opt->rdata);
+  if (rdata == nullptr) return not_applicable();
+  rdata->trailing = {0x00, 0x0a,
+                     static_cast<std::uint8_t>(0x40 + rng.below(0x40)),
+                     static_cast<std::uint8_t>(rng.below(256))};
+  return rewritten(m.serialize());
+}
+
 Applied apply(const ByzantineBehavior& behavior, crypto::BytesView query,
               const crypto::Bytes& response, crypto::Xoshiro256& rng,
               MutateContext& ctx) {
@@ -213,6 +339,20 @@ Applied apply(const ByzantineBehavior& behavior, crypto::BytesView query,
       return mutate_fuzz(response, behavior.param, rng);
     case ByzantineKind::SlowDrip:
       return mutate_slow_drip(response, behavior.param, ctx);
+    case ByzantineKind::EdnsDrop:
+      return mutate_edns_drop(query);
+    case ByzantineKind::EdnsFormerr:
+      return mutate_edns_formerr(query, response);
+    case ByzantineKind::EdnsStripOpt:
+      return mutate_edns_strip_opt(response);
+    case ByzantineKind::EdnsEchoExtra:
+      return mutate_edns_echo_extra(response, rng);
+    case ByzantineKind::EdnsBadvers:
+      return mutate_edns_badvers(query, response);
+    case ByzantineKind::EdnsBufferLie:
+      return mutate_edns_buffer_lie(response);
+    case ByzantineKind::EdnsGarble:
+      return mutate_edns_garble(response, rng);
     case ByzantineKind::None:
       break;
   }
@@ -233,6 +373,13 @@ const char* to_string(ByzantineKind kind) {
     case ByzantineKind::Oversize: return "oversize";
     case ByzantineKind::Fuzz: return "fuzz";
     case ByzantineKind::SlowDrip: return "slow_drip";
+    case ByzantineKind::EdnsDrop: return "edns_drop";
+    case ByzantineKind::EdnsFormerr: return "edns_formerr";
+    case ByzantineKind::EdnsStripOpt: return "edns_strip_opt";
+    case ByzantineKind::EdnsEchoExtra: return "edns_echo_extra";
+    case ByzantineKind::EdnsBadvers: return "edns_badvers";
+    case ByzantineKind::EdnsBufferLie: return "edns_buffer_lie";
+    case ByzantineKind::EdnsGarble: return "edns_garble";
   }
   return "unknown";
 }

@@ -39,9 +39,21 @@ enum class ByzantineKind : std::uint8_t {
   Oversize,            // response padded far past the advertised UDP size
   Fuzz,                // random byte flips across the whole message
   SlowDrip,            // partial answer dribbling out after a long stall
+
+  // --- EDNS-compliance zoo (RFC 6891): the OPT-layer pathologies the
+  // "Analysis of an Extension Dynamic Name Service" study catalogs in
+  // the wild. Each models an authority (or a middlebox in front of it)
+  // that mishandles the OPT pseudo-record itself. -----------------------
+  EdnsDrop,        // silently drop any query that carries an OPT record
+  EdnsFormerr,     // answer FORMERR (OPT stripped) to any EDNS query
+  EdnsStripOpt,    // answer normally but never echo the OPT back
+  EdnsEchoExtra,   // echo an unregistered option back in the OPT
+  EdnsBadvers,     // reply BADVERS even to EDNS version 0
+  EdnsBufferLie,   // ignore the advertised size: spurious TC truncation
+  EdnsGarble,      // garble the OPT RDATA (undecodable option tail)
 };
 
-constexpr std::size_t kByzantineKindCount = 10;  // incl. None
+constexpr std::size_t kByzantineKindCount = 17;  // incl. None
 
 [[nodiscard]] const char* to_string(ByzantineKind kind);
 
@@ -99,6 +111,27 @@ struct ByzantineBehavior {
     ByzantineBehavior b{ByzantineKind::SlowDrip, p};
     b.param = stall_ms;
     return b;
+  }
+  static ByzantineBehavior edns_drop(double p = 1.0) {
+    return {ByzantineKind::EdnsDrop, p};
+  }
+  static ByzantineBehavior edns_formerr(double p = 1.0) {
+    return {ByzantineKind::EdnsFormerr, p};
+  }
+  static ByzantineBehavior edns_strip_opt(double p = 1.0) {
+    return {ByzantineKind::EdnsStripOpt, p};
+  }
+  static ByzantineBehavior edns_echo_extra(double p = 1.0) {
+    return {ByzantineKind::EdnsEchoExtra, p};
+  }
+  static ByzantineBehavior edns_badvers(double p = 1.0) {
+    return {ByzantineKind::EdnsBadvers, p};
+  }
+  static ByzantineBehavior edns_buffer_lie(double p = 1.0) {
+    return {ByzantineKind::EdnsBufferLie, p};
+  }
+  static ByzantineBehavior edns_garble(double p = 1.0) {
+    return {ByzantineKind::EdnsGarble, p};
   }
 
   /// The same behavior, active only inside [t0, t1) of simulated time.

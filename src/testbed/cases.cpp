@@ -407,4 +407,85 @@ const std::vector<StreamCaseSpec>& stream_cases() {
   return cases;
 }
 
+const std::vector<EdnsCaseSpec>& edns_cases() {
+  static const std::vector<EdnsCaseSpec> cases = [] {
+    std::vector<EdnsCaseSpec> c;
+    const auto add = [&c](EdnsCaseSpec spec) { c.push_back(std::move(spec)); };
+
+    // Control: a clean EDNS authority behind a secure delegation.
+    add({.label = "edns-clean",
+         .description = "Correctly configured EDNS authority (control)",
+         .signed_zone = true});
+
+    // The OPT-eating firewall. Timeout-driven vendors learn the verdict
+    // when the attempt budget runs dry and succeed plain on re-contact;
+    // post-flag-day vendors never downgrade on silence.
+    add({.label = "edns-drop",
+         .description = "Authority silently drops any query carrying OPT",
+         .fault = EdnsFault::DropOptQuery});
+    add({.label = "edns-drop-signed",
+         .description = "OPT-dropping authority behind a secure delegation "
+                        "— the degraded plain answer cannot validate",
+         .fault = EdnsFault::DropOptQuery,
+         .signed_zone = true});
+
+    // The pre-EDNS-era server (RFC 6891 §7): explicit FORMERR triggers
+    // the immediate plain-DNS retry in every vendor.
+    add({.label = "edns-formerr",
+         .description = "Authority answers FORMERR to any EDNS query",
+         .fault = EdnsFault::FormerrOnOpt});
+    add({.label = "edns-formerr-signed",
+         .description = "FORMERR-on-OPT authority behind a secure "
+                        "delegation — the dance succeeds but validation "
+                        "is impossible without the DO bit",
+         .fault = EdnsFault::FormerrOnOpt,
+         .signed_zone = true});
+    add({.label = "edns-formerr-always",
+         .description = "Authority answers FORMERR to everything — the "
+                        "plain-DNS retry cannot save it",
+         .fault = EdnsFault::FormerrAlways});
+
+    add({.label = "edns-badvers",
+         .description = "Authority replies BADVERS even to EDNS version 0",
+         .fault = EdnsFault::Badvers});
+
+    // EDNS-oblivious rather than hostile: the answer is usable but OPT
+    // (and with it every RRSIG) never comes back.
+    add({.label = "edns-strip-opt",
+         .description = "Authority never echoes the OPT; the signed "
+                        "delegation loses its signatures",
+         .fault = EdnsFault::StripOpt,
+         .signed_zone = true});
+
+    // Echoing unknown options back is legal-ish rubbish the resolver must
+    // tolerate (and round-trip byte-identically, RFC 6891 §6.1.2).
+    add({.label = "edns-echo-options",
+         .description = "Authority echoes an unregistered option back in "
+                        "every response",
+         .fault = EdnsFault::EchoUnknownOption,
+         .signed_zone = true});
+
+    // Buffer-size lie: spurious TC on an answer that fit the advertised
+    // size. The DoTCP fallback rescues the signed answer.
+    add({.label = "edns-buffer-lie",
+         .description = "Authority truncates at 512 regardless of the "
+                        "advertised size; DoTCP delivers the answer",
+         .fault = EdnsFault::BufferLie,
+         .signed_zone = true,
+         .query_txt = true});
+
+    // Garbled OPT material: undecodable rdata tail or a duplicated OPT.
+    add({.label = "edns-garble",
+         .description = "Authority garbles the OPT rdata (an option header "
+                        "declaring more payload than the record carries)",
+         .fault = EdnsFault::GarbleOptRdata});
+    add({.label = "edns-duplicate-opt",
+         .description = "Authority attaches two OPT records per response",
+         .fault = EdnsFault::DuplicateOpt});
+
+    return c;
+  }();
+  return cases;
+}
+
 }  // namespace ede::testbed

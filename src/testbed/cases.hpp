@@ -117,4 +117,41 @@ struct StreamCaseSpec {
 /// The stream scenario specs (fixed order, like all_cases()).
 [[nodiscard]] const std::vector<StreamCaseSpec>& stream_cases();
 
+// --- the EDNS-compliance zoo family (RFC 6891) ------------------------
+// Another separate family: children served by authorities that mishandle
+// the OPT pseudo-record itself, exercising the resolver's probe-and-
+// fallback dance and its per-server capability memory (DESIGN.md §5i).
+// Built only when TestbedOptions::edns_family is set.
+
+/// The OPT-layer pathology the child's authoritative server exhibits.
+enum class EdnsFault {
+  None,               // clean EDNS authority (the family's control)
+  DropOptQuery,       // silently drop any UDP query carrying OPT
+  FormerrOnOpt,       // FORMERR (no OPT echoed) to any EDNS query
+  FormerrAlways,      // FORMERR to everything — plain retries included
+  StripOpt,           // answer normally, never echo the OPT back
+  EchoUnknownOption,  // echo an unregistered option back in the OPT
+  Badvers,            // BADVERS even to EDNS version 0
+  BufferLie,          // truncate regardless of the advertised size
+  GarbleOptRdata,     // undecodable garbage in the OPT rdata tail
+  DuplicateOpt,       // two OPT records per response (§6.1.1 allows one)
+};
+
+struct EdnsCaseSpec {
+  std::string label;  // the subdomain, e.g. "edns-drop"
+  std::string description;
+  EdnsFault fault = EdnsFault::None;
+  /// Signed children make the DNSSEC interaction observable — a degraded
+  /// plain-DNS answer has no DO bit and loses its signatures, so a secure
+  /// delegation turns the transport pathology into a validation failure.
+  /// Unsigned children isolate the transport dance itself.
+  bool signed_zone = false;
+  /// Query the oversized TXT RRset instead of the apex A (the BufferLie
+  /// case needs an answer big enough for the spurious truncation to bite).
+  bool query_txt = false;
+};
+
+/// The EDNS zoo specs (fixed order, like all_cases()).
+[[nodiscard]] const std::vector<EdnsCaseSpec>& edns_cases();
+
 }  // namespace ede::testbed

@@ -153,4 +153,118 @@ const std::vector<ExpectedStreamRow>& expected_stream() {
   return table;
 }
 
+namespace {
+
+EdnsOutcome ok(Codes codes = {}) { return {"NOERROR", std::move(codes)}; }
+EdnsOutcome fail(Codes codes = {}) { return {"SERVFAIL", std::move(codes)}; }
+
+ExpectedEdnsRow edns_row(std::string label,
+                         std::array<EdnsOutcome, kProfileCount> first,
+                         std::array<EdnsOutcome, kProfileCount> second) {
+  return {std::move(label), std::move(first), std::move(second)};
+}
+
+}  // namespace
+
+const std::vector<ExpectedEdnsRow>& expected_edns() {
+  static const std::vector<ExpectedEdnsRow> table = [] {
+    std::vector<ExpectedEdnsRow> t;
+    // Columns: BIND, Unbound, PowerDNS, Knot, Cloudflare, Quad9, OpenDNS.
+    // The control: a clean EDNS authority, signed zone. Nobody dances.
+    t.push_back(edns_row(
+        "edns-clean",
+        {ok(), ok(), ok(), ok(), ok(), ok(), ok()},
+        {ok(), ok(), ok(), ok(), ok(), ok(), ok()}));
+    // Silent OPT-eater, unsigned child. First contact: every vendor burns
+    // its UDP attempts on EDNS and abandons the only server (Cloudflare
+    // alone maps the timeout story to EDE 22+23). Second contact: the
+    // timeout-downgrading vendors learned plain-DNS-only at abandonment
+    // and come back speaking plain; post-flag-day BIND and Knot never
+    // downgrade on timeouts, so they fail identically forever.
+    t.push_back(edns_row(
+        "edns-drop",
+        {fail(), fail(), fail(), fail(), fail({22, 23}), fail(), fail()},
+        {fail(), ok(), ok(), fail(), ok(), ok(), ok()}));
+    // The same OPT-eater behind a secure delegation: the capability
+    // memory gets an answer out on the second contact, but plain DNS
+    // carries no RRSIGs, so validation turns the rescue into the
+    // vendor's missing-signature story instead.
+    t.push_back(edns_row(
+        "edns-drop-signed",
+        {fail(), fail(), fail(), fail(), fail({9, 22, 23}), fail(), fail()},
+        {fail(), fail({10}), fail({10}), fail(), fail({10}), fail({9}),
+         fail({6})}));
+    // FORMERR to any EDNS query, unsigned: the classic RFC 6891 §6.2.2
+    // dance — one free plain-DNS retry in the same resolution — succeeds
+    // on the first contact for every vendor (Cloudflare surfaces the
+    // degraded transport as EDE 23); the verdict is remembered, so the
+    // second contact skips the dance silently.
+    t.push_back(edns_row(
+        "edns-formerr",
+        {ok(), ok(), ok(), ok(), ok({23}), ok(), ok()},
+        {ok(), ok(), ok(), ok(), ok(), ok(), ok()}));
+    // The same FORMERR authority behind a secure delegation: the plain
+    // retry answers, but unvalidatably — per-vendor missing-signature
+    // codes on both contacts (Cloudflare adds the EDE 23 transport story
+    // only while the dance is actually running).
+    t.push_back(edns_row(
+        "edns-formerr-signed",
+        {fail(), fail({10}), fail({10}), fail({10}), fail({10, 23}),
+         fail({9}), fail({6})},
+        {fail(), fail({10}), fail({10}), fail({10}), fail({10}), fail({9}),
+         fail({6})}));
+    // FORMERR to everything, plain retries included: the dance cannot
+    // save a server that rejects plain DNS too — terminal failure, EDE
+    // 22 (+23 while the probe is still being burned) from the one vendor
+    // that maps it.
+    t.push_back(edns_row(
+        "edns-formerr-always",
+        {fail(), fail(), fail(), fail(), fail({22, 23}), fail(), fail()},
+        {fail(), fail(), fail(), fail(), fail({22}), fail(), fail()}));
+    // BADVERS to EDNS version 0: same dance as FORMERR, same memory.
+    t.push_back(edns_row(
+        "edns-badvers",
+        {ok(), ok(), ok(), ok(), ok({23}), ok(), ok()},
+        {ok(), ok(), ok(), ok(), ok(), ok(), ok()}));
+    // Answers normally but never echoes the OPT (middlebox strip),
+    // signed: the no-OPT response flips the capability to plain-only
+    // mid-resolution, every later query to the server goes unsigned, and
+    // a secure delegation becomes unvalidatable on both contacts.
+    t.push_back(edns_row(
+        "edns-strip-opt",
+        {fail(), fail({10}), fail({10}), fail({10}), fail({10}), fail({10}),
+         fail()},
+        {fail(), fail({10}), fail({10}), fail({10}), fail({10}), fail({10}),
+         fail()}));
+    // Echoes an unregistered option back: RFC 6891 §6.1.2 says ignore
+    // what you do not understand, and every vendor does.
+    t.push_back(edns_row(
+        "edns-echo-options",
+        {ok(), ok(), ok(), ok(), ok(), ok(), ok()},
+        {ok(), ok(), ok(), ok(), ok(), ok(), ok()}));
+    // Ignores the advertised buffer size and truncates at 512: spurious
+    // TC, clean DoTCP rescue, no EDE — the tc_seen counter tells the
+    // story the rcode hides.
+    t.push_back(edns_row(
+        "edns-buffer-lie",
+        {ok(), ok(), ok(), ok(), ok(), ok(), ok()},
+        {ok(), ok(), ok(), ok(), ok(), ok(), ok()}));
+    // Undecodable garbage in the OPT rdata tail: treated like FORMERR —
+    // free plain retry, remembered verdict. Cloudflare maps the garbled
+    // OPT to EDE 24 (Invalid Data) while the dance runs.
+    t.push_back(edns_row(
+        "edns-garble",
+        {ok(), ok(), ok(), ok(), ok({24}), ok(), ok()},
+        {ok(), ok(), ok(), ok(), ok(), ok(), ok()}));
+    // Two OPT records in one response (§6.1.1 allows exactly one): same
+    // handling as a garbled OPT.
+    t.push_back(edns_row(
+        "edns-duplicate-opt",
+        {ok(), ok(), ok(), ok(), ok({24}), ok(), ok()},
+        {ok(), ok(), ok(), ok(), ok(), ok(), ok()}));
+    return t;
+  }();
+  return table;
+}
+
 }  // namespace ede::testbed

@@ -40,4 +40,30 @@ struct ExpectedStreamRow {
 /// One row per stream_cases() entry, same order.
 [[nodiscard]] const std::vector<ExpectedStreamRow>& expected_stream();
 
+/// One contact's calibrated outcome for one emulated system.
+struct EdnsOutcome {
+  /// "NOERROR" or "SERVFAIL".
+  std::string rcode;
+  /// Sorted INFO-CODE list; empty = no EDE on the client response.
+  std::vector<std::uint16_t> codes;
+};
+
+/// Calibrated outcomes for the EDNS-compliance zoo family (RFC 6891,
+/// DESIGN.md §5i). Every case is resolved twice: the first contact shows
+/// the probe-and-fallback dance against the hostile authority, the second
+/// — with a flipped qtype, so it misses the answer/SERVFAIL caches —
+/// shows what the InfraCache capability memory makes of the verdict.
+/// Vendors split on the second contact: the post-flag-day systems (BIND,
+/// Knot) never learn from silent timeouts, while the timeout-downgrading
+/// ones come back speaking plain DNS.
+struct ExpectedEdnsRow {
+  std::string label;
+  /// Per-system outcomes, columns as in ExpectedRow.
+  std::array<EdnsOutcome, kProfileCount> first;
+  std::array<EdnsOutcome, kProfileCount> second;
+};
+
+/// One row per edns_cases() entry, same order.
+[[nodiscard]] const std::vector<ExpectedEdnsRow>& expected_edns();
+
 }  // namespace ede::testbed

@@ -171,6 +171,7 @@ void Testbed::build_hierarchy() {
   }
 
   if (options_.stream_family) build_stream_family(*base_zone);
+  if (options_.edns_family) build_edns_family(*base_zone);
 
   zone::sign_zone(*base_zone, base_keys, {});
 
@@ -288,6 +289,99 @@ void Testbed::build_stream_family(zone::Zone& base_zone) {
     child_zones_.emplace(spec.label, std::move(child_zone));
     child_addresses_.emplace(spec.label, child_addr);
   }
+}
+
+void Testbed::build_edns_family(zone::Zone& base_zone) {
+  int index = 0;
+  for (const auto& spec : edns_cases()) {
+    ++index;
+    const dns::Name child = base_domain_.prefixed(spec.label).take();
+    const dns::Name child_ns = child.prefixed("ns1").take();
+    const std::string glue_addr = "93.184.220." + std::to_string(index);
+
+    // Same zone shape as the stream family: an apex A plus a TXT RRset
+    // big enough that the BufferLie case's spurious truncation bites.
+    auto child_zone = std::make_shared<zone::Zone>(child);
+    child_zone->add(child, dns::RRType::SOA,
+                    dns::Rdata{soa_for(child, child_ns)});
+    child_zone->add(child, dns::RRType::NS, dns::NsRdata{child_ns});
+    child_zone->add(child_ns, dns::RRType::A, a_rdata(glue_addr));
+    child_zone->add(child, dns::RRType::A, a_rdata(kChildWebAddr));
+    dns::TxtRdata txt;
+    for (int i = 0; i < 8; ++i) txt.strings.push_back(std::string(200, 'x'));
+    child_zone->add(child, dns::RRType::TXT, txt);
+
+    // Parent-side records. A signed child gets a real DS so the degraded
+    // plain-DNS path turns into a validation failure; an unsigned one is
+    // an insecure delegation that isolates the transport dance.
+    base_zone.add(child, dns::RRType::NS, dns::NsRdata{child_ns});
+    base_zone.add(child_ns, dns::RRType::A, a_rdata(glue_addr));
+    if (spec.signed_zone) {
+      const auto child_keys = zone::make_zone_keys(child);
+      zone::sign_zone(*child_zone, child_keys, {});
+      for (const auto& ds : zone::ds_records(child, child_keys)) {
+        base_zone.add(child, dns::RRType::DS, dns::Rdata{ds});
+      }
+    }
+
+    const auto child_addr = sim::NodeAddress::of(glue_addr);
+    server::ServerConfig config;
+    switch (spec.fault) {
+      case EdnsFault::None:
+        break;
+      case EdnsFault::DropOptQuery:
+        config.edns_drop = true;
+        break;
+      case EdnsFault::FormerrOnOpt:
+        config.edns_formerr = true;
+        break;
+      case EdnsFault::FormerrAlways:
+        config.fixed_rcode = dns::RCode::FORMERR;
+        break;
+      case EdnsFault::StripOpt:
+        config.edns_aware = false;
+        break;
+      case EdnsFault::EchoUnknownOption:
+        config.edns_echo_extra = true;
+        break;
+      case EdnsFault::Badvers:
+        config.edns_badvers = true;
+        break;
+      case EdnsFault::BufferLie:
+        config.edns_truncate_at = 512;
+        break;
+      case EdnsFault::GarbleOptRdata:
+        config.edns_garble = true;
+        break;
+      case EdnsFault::DuplicateOpt:
+        config.edns_duplicate_opt = true;
+        break;
+    }
+    auto server = std::make_shared<server::AuthServer>(config);
+    server->add_zone(child_zone);
+    network_->attach(child_addr, server->endpoint());
+    network_->stream().listen(child_addr, server->stream_endpoint());
+
+    servers_.push_back(std::move(server));
+    child_zones_.emplace(spec.label, std::move(child_zone));
+    child_addresses_.emplace(spec.label, child_addr);
+  }
+}
+
+const std::vector<EdnsCaseSpec>& Testbed::edns_case_specs() const {
+  static const std::vector<EdnsCaseSpec> kEmpty;
+  return options_.edns_family ? edns_cases() : kEmpty;
+}
+
+dns::Name Testbed::edns_query_name(const EdnsCaseSpec& spec) const {
+  return base_domain_.prefixed(spec.label).take();
+}
+
+dns::RRType Testbed::edns_qtype(const EdnsCaseSpec& spec,
+                                bool second_contact) {
+  const auto first = spec.query_txt ? dns::RRType::TXT : dns::RRType::A;
+  const auto flipped = spec.query_txt ? dns::RRType::A : dns::RRType::TXT;
+  return second_contact ? flipped : first;
 }
 
 const std::vector<StreamCaseSpec>& Testbed::stream_case_specs() const {

@@ -21,6 +21,10 @@ struct TestbedOptions {
   /// extra stream-scenario children. Off by default so the classic
   /// 63-case worlds keep exactly 63 cases.
   bool stream_family = false;
+  /// Also build the EDNS-compliance zoo family (edns_cases()): children
+  /// served by authorities that mishandle the OPT pseudo-record itself
+  /// (RFC 6891, DESIGN.md §5i). Off by default for the same reason.
+  bool edns_family = false;
 };
 
 class Testbed {
@@ -70,9 +74,21 @@ class Testbed {
   /// oversized record set is the TXT RRset there).
   [[nodiscard]] dns::Name stream_query_name(const StreamCaseSpec& spec) const;
 
+  // --- the EDNS-compliance zoo family --------------------------------
+  /// Empty unless TestbedOptions::edns_family was set.
+  [[nodiscard]] const std::vector<EdnsCaseSpec>& edns_case_specs() const;
+  /// The name to query for an EDNS case (always the child apex).
+  [[nodiscard]] dns::Name edns_query_name(const EdnsCaseSpec& spec) const;
+  /// The query type for an EDNS case's first or second contact. The
+  /// second contact flips the type so it misses the answer/SERVFAIL
+  /// caches and exercises the InfraCache capability memory instead.
+  [[nodiscard]] static dns::RRType edns_qtype(const EdnsCaseSpec& spec,
+                                              bool second_contact);
+
  private:
   void build_hierarchy();
   void build_stream_family(zone::Zone& base_zone);
+  void build_edns_family(zone::Zone& base_zone);
 
   std::shared_ptr<sim::Network> network_;
   TestbedOptions options_;

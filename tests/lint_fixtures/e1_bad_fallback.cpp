@@ -1,0 +1,31 @@
+// ede-lint-fixture: src/resolver/bad_edns_fallback.cpp
+// Known-bad E1: the RFC 6891 probe-and-fallback path emitting its
+// terminal EDEs as integer literals. The real resolver names the
+// registry enumerators (NoReachableAuthority, NetworkError, InvalidData);
+// a literal here would drift silently if the registry snapshot moved.
+#include <cstdint>
+
+#include "edns/ede.hpp"
+
+namespace ede::resolver {
+
+struct Finding {
+  edns::ExtendedError error;
+};
+
+Finding edns_dance_exhausted() {
+  // Every server abandoned after the plain-DNS retry: "no reachable
+  // authority" spelled numerically.
+  return {edns::ExtendedError{edns::EdeCode(22), "edns dance"}};  // E1: 19
+}
+
+Finding edns_timeout_terminal() {
+  return {edns::ExtendedError{
+      static_cast<edns::EdeCode>(23), "udp timeout"}};            // E1: 23
+}
+
+Finding garbled_opt_finding() {
+  return {edns::ExtendedError{edns::EdeCode{24}, "garbled OPT"}}; // E1: 27
+}
+
+}  // namespace ede::resolver

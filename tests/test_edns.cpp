@@ -2,6 +2,8 @@
 // encoding, and the IANA registry snapshot the paper's Table 1 lists.
 #include <gtest/gtest.h>
 
+#include "dnscore/rdata.hpp"
+#include "dnscore/wire.hpp"
 #include "edns/ede.hpp"
 #include "edns/edns.hpp"
 
@@ -133,6 +135,79 @@ TEST(Edns, MalformedEdeOptionsAreSkipped) {
   edns.options.push_back({kEdeOptionCode, {0x01}});  // too short
   edns.add({EdeCode::Censored, ""});
   EXPECT_EQ(edns.extended_errors().size(), 1u);
+}
+
+// RFC 6891 §6.1.2 round-trip symmetry: options the resolver never sent —
+// an echoed experimental-range option, a cookie-shaped blob — must survive
+// build → parse → build byte-identically, in order, between EDE options.
+// Golden-pinned so a codec change that silently reorders, re-encodes or
+// drops unknown options fails loudly.
+TEST(Edns, UnknownEchoedOptionsGoldenRoundTrip) {
+  Edns edns;
+  edns.udp_payload_size = 1232;
+  edns.dnssec_ok = true;
+  edns.options.push_back({0xfde9, {0x7a, 0x6f, 0x6f}});  // echoed "zoo"
+  edns.add({EdeCode::NetworkError, "x"});
+  edns.options.push_back({0x000a, {0xde, 0xad, 0xbe, 0xef}});  // cookie-ish
+
+  Message msg = ede::dns::make_query(7, Name::of("echo.test"), RRType::A);
+  msg.header.qr = true;
+  set_edns(msg, edns);
+  const auto first_wire = msg.serialize();
+
+  const auto parsed = Message::parse(first_wire);
+  ASSERT_TRUE(parsed.ok());
+  const auto view = get_edns(parsed.value());
+  ASSERT_TRUE(view.has_value());
+  ASSERT_EQ(view->options.size(), 3u);
+  EXPECT_EQ(view->options[0].code, 0xfde9);
+  EXPECT_FALSE(view->garbled());
+
+  Message rebuilt = ede::dns::make_query(7, Name::of("echo.test"), RRType::A);
+  rebuilt.header.qr = true;
+  set_edns(rebuilt, *view);
+  EXPECT_EQ(rebuilt.serialize(), first_wire);
+
+  // The golden OPT rdata wire: three options back to back, the EDE
+  // (option-code 15, INFO-CODE 23 "Network Error", extra-text "x")
+  // sandwiched between the two unknowns.
+  const ede::crypto::Bytes golden{
+      0xfd, 0xe9, 0x00, 0x03, 0x7a, 0x6f, 0x6f,        // echoed option
+      0x00, 0x0f, 0x00, 0x03, 0x00, 0x17, 0x78,        // EDE 23 "x"
+      0x00, 0x0a, 0x00, 0x04, 0xde, 0xad, 0xbe, 0xef,  // cookie-ish blob
+  };
+  ede::dns::WireWriter w;
+  ede::dns::encode_rdata(w, to_opt_record(*view).rdata, /*compress=*/false);
+  EXPECT_EQ(w.data(), golden);
+}
+
+// A garbled tail (unparseable OPT rdata bytes) is carried through the
+// typed view and re-serialized verbatim — byte fidelity even for the
+// bytes the decoder could not make sense of.
+TEST(Edns, GarbledTrailingBytesRoundTrip) {
+  Edns edns;
+  edns.add({EdeCode::DnssecBogus, ""});
+  edns.trailing = {0x00, 0x0a, 0x40, 0x99};  // declares more than it has
+
+  Message msg = ede::dns::make_query(8, Name::of("garble.test"), RRType::A);
+  msg.header.qr = true;
+  set_edns(msg, edns);
+  const auto wire = msg.serialize();
+
+  const auto parsed = Message::parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  const auto view = get_edns(parsed.value());
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(view->garbled());
+  EXPECT_EQ(view->trailing, edns.trailing);
+  // The well-formed prefix still decodes.
+  ASSERT_EQ(view->extended_errors().size(), 1u);
+
+  Message rebuilt = ede::dns::make_query(8, Name::of("garble.test"),
+                                         RRType::A);
+  rebuilt.header.qr = true;
+  set_edns(rebuilt, *view);
+  EXPECT_EQ(rebuilt.serialize(), wire);
 }
 
 TEST(Edns, SetEdnsReplacesExisting) {

@@ -9,6 +9,7 @@
 
 #include "crypto/rng.hpp"
 #include "dnscore/message.hpp"
+#include "edns/edns.hpp"
 #include "simnet/byzantine.hpp"
 
 namespace {
@@ -96,6 +97,120 @@ TEST(MalformedCorpus, EveryMutatorOutputParsesOrFailsCleanly) {
   parse_mutated_corpus(sim::ByzantineBehavior::oversize(1.0, 6000), kRounds);
   parse_mutated_corpus(sim::ByzantineBehavior::fuzz(1.0, 16), kRounds);
   parse_mutated_corpus(sim::ByzantineBehavior::slow_drip(), kRounds);
+}
+
+/// The same exchange but with the query carrying an OPT — the EDNS
+/// mutators that react to the client's EDNS state (drop, FORMERR,
+/// BADVERS) gate on it.
+crypto::Bytes sample_edns_query_wire() {
+  auto q = dns::make_query(0x4242,
+                           dns::Name::of("host.child.example-zone.test"),
+                           dns::RRType::A);
+  q.additional.push_back({dns::Name{}, dns::RRType::OPT,
+                          static_cast<dns::RRClass>(1232), 0x8000u,
+                          dns::OptRdata{}});
+  return q.serialize();
+}
+
+std::size_t parse_edns_mutated_corpus(sim::ByzantineBehavior behavior,
+                                      std::size_t rounds) {
+  const auto query = sample_edns_query_wire();
+  const auto response = sample_response().serialize();
+  std::size_t parsed_ok = 0;
+  for (std::size_t seed = 0; seed < rounds; ++seed) {
+    auto mutator = sim::make_byzantine_mutator({behavior}, 0xed25 + seed);
+    sim::MutateContext ctx;
+    ctx.now = 1'700'000'000;
+    const auto wire = mutator(query, response, ctx);
+    if (!wire) continue;
+    if (dns::Message::parse(*wire)) ++parsed_ok;
+  }
+  return parsed_ok;
+}
+
+// The RFC 6891 zoo mutators: every hostile-EDNS rewrite must stay
+// parseable (the fallback machinery needs to *read* the rejection to
+// react to it) — except the drop, which by definition puts nothing on
+// the wire. A crash anywhere here would abort a resolution that a
+// plain-DNS retry could have saved.
+TEST(MalformedCorpus, EdnsMutatorOutputsStayParseable) {
+  constexpr std::size_t kRounds = 200;
+  EXPECT_EQ(parse_edns_mutated_corpus(sim::ByzantineBehavior::edns_drop(),
+                                      kRounds),
+            0u);
+  EXPECT_EQ(parse_edns_mutated_corpus(sim::ByzantineBehavior::edns_formerr(),
+                                      kRounds),
+            kRounds);
+  EXPECT_EQ(parse_edns_mutated_corpus(
+                sim::ByzantineBehavior::edns_strip_opt(), kRounds),
+            kRounds);
+  EXPECT_EQ(parse_edns_mutated_corpus(
+                sim::ByzantineBehavior::edns_echo_extra(), kRounds),
+            kRounds);
+  EXPECT_EQ(parse_edns_mutated_corpus(sim::ByzantineBehavior::edns_badvers(),
+                                      kRounds),
+            kRounds);
+  EXPECT_EQ(parse_edns_mutated_corpus(
+                sim::ByzantineBehavior::edns_buffer_lie(), kRounds),
+            kRounds);
+  EXPECT_EQ(parse_edns_mutated_corpus(sim::ByzantineBehavior::edns_garble(),
+                                      kRounds),
+            kRounds);
+}
+
+/// A hand-built datagram: empty question, `opts` OPT records whose rdata
+/// is exactly `rdatas[i]`, raw bytes straight onto the wire with no codec
+/// in between.
+crypto::Bytes raw_opt_datagram(const std::vector<crypto::Bytes>& rdatas) {
+  crypto::Bytes wire(12, 0);
+  wire[2] = 0x80;  // QR
+  wire[11] = static_cast<std::uint8_t>(rdatas.size());  // arcount
+  for (const auto& rdata : rdatas) {
+    wire.push_back(0x00);                           // root owner
+    wire.insert(wire.end(), {0x00, 0x29});          // TYPE = OPT
+    wire.insert(wire.end(), {0x04, 0xd0});          // CLASS = 1232
+    wire.insert(wire.end(), {0x00, 0x00, 0x00, 0x00});  // TTL
+    wire.push_back(static_cast<std::uint8_t>(rdata.size() >> 8));
+    wire.push_back(static_cast<std::uint8_t>(rdata.size() & 0xff));
+    wire.insert(wire.end(), rdata.begin(), rdata.end());
+  }
+  return wire;
+}
+
+// Random OPT rdata — truncated option headers, lying lengths, pure noise —
+// must never fail the message parse (the hardened decoder captures the
+// unparseable tail instead), and whatever parsed must re-serialize to the
+// exact input bytes: option-list prefix plus verbatim tail.
+TEST(MalformedCorpus, OptRdataFuzzParsesAndRoundTrips) {
+  crypto::Xoshiro256 rng(0x0b57);
+  for (std::size_t round = 0; round < 400; ++round) {
+    crypto::Bytes rdata(rng.below(40));
+    for (auto& b : rdata) b = static_cast<std::uint8_t>(rng.below(256));
+    const auto wire = raw_opt_datagram({rdata});
+    const auto parsed = dns::Message::parse(wire);
+    ASSERT_TRUE(parsed.ok()) << "round " << round;
+    EXPECT_EQ(parsed.value().serialize(), wire) << "round " << round;
+  }
+}
+
+// Multi-OPT datagrams (RFC 6891 §6.1.1 forbids them; hostile authorities
+// send them anyway): they must parse, every OPT must be visible to the
+// duplicate-OPT detector, and fuzzed rdata in any of them must not change
+// that.
+TEST(MalformedCorpus, MultiOptDatagramsParseAndAreCountable) {
+  crypto::Xoshiro256 rng(0xd0b1);
+  for (std::size_t round = 0; round < 200; ++round) {
+    const std::size_t count = 2 + rng.below(3);
+    std::vector<crypto::Bytes> rdatas(count);
+    for (auto& rdata : rdatas) {
+      rdata.resize(rng.below(24));
+      for (auto& b : rdata) b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    const auto wire = raw_opt_datagram(rdatas);
+    const auto parsed = dns::Message::parse(wire);
+    ASSERT_TRUE(parsed.ok()) << "round " << round;
+    EXPECT_EQ(edns::opt_count(parsed.value()), count) << "round " << round;
+  }
 }
 
 // Every prefix of a valid message — a datagram cut anywhere, including

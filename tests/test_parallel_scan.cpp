@@ -69,6 +69,15 @@ void expect_same_aggregates(const ScanResult& a, const ScanResult& b) {
   EXPECT_EQ(a.hardening.coalesced_queries, b.hardening.coalesced_queries);
   EXPECT_EQ(a.hardening.servfail_cache_hits, b.hardening.servfail_cache_hits);
   EXPECT_EQ(a.hardening.watchdog_trips, b.hardening.watchdog_trips);
+  // The RFC 6891 signal-driven counters (FORMERR/BADVERS/garble seen)
+  // are per-response facts of scripted servers, shard-count-invariant
+  // like the gate counters above. The capability-memory counters
+  // (verdicts learned, dances skipped) are deliberately NOT compared:
+  // like the transport stats, they measure per-worker InfraCache warm-up
+  // — every shard re-learns the timeout pools for itself.
+  EXPECT_EQ(a.hardening.edns_formerr_seen, b.hardening.edns_formerr_seen);
+  EXPECT_EQ(a.hardening.edns_badvers_seen, b.hardening.edns_badvers_seen);
+  EXPECT_EQ(a.hardening.edns_garbled_opt, b.hardening.edns_garbled_opt);
 }
 
 /// Scan [begin, end) with a freshly built isolated stack — what one
@@ -249,6 +258,76 @@ TEST(ParallelScan, HardeningCountersSumAcrossShards) {
   EXPECT_GT(merged.servfail_cache_hits, 0u);
   EXPECT_EQ(merged.rejected_qid_mismatch, 0u);
   EXPECT_EQ(merged.rejected_oversize, 0u);
+
+  // The scan world's authorities answer EDNS compliantly (the paper's
+  // categories model lameness and DNSSEC breakage, not RFC 6891 abuse),
+  // so the signal-driven dance never fires — the clean-path guarantee the
+  // perf gate leans on. The *timeout* pools, though, teach this t=2
+  // profile plain-only verdicts at server abandonment, exactly like a
+  // real Unbound facing a dead nameserver — so the capability memory is
+  // demonstrably hot on the paper's own population, and its counters sum
+  // exactly across shards.
+  EXPECT_EQ(merged.edns_fallback_probes, 0u);
+  EXPECT_EQ(merged.edns_degraded_success, 0u);
+  EXPECT_EQ(merged.edns_formerr_seen, 0u);
+  EXPECT_EQ(merged.edns_badvers_seen, 0u);
+  EXPECT_EQ(merged.edns_garbled_opt, 0u);
+  EXPECT_GT(scan.merged.transport.edns_broken_learned, 0u);
+  std::uint64_t skips = 0;
+  std::uint64_t learned = 0;
+  for (const auto& shard : scan.shards) {
+    skips += shard.result.hardening.edns_capability_skips;
+    learned += shard.result.transport.edns_broken_learned;
+  }
+  EXPECT_EQ(merged.edns_capability_skips, skips);
+  EXPECT_EQ(scan.merged.transport.edns_broken_learned, learned);
+}
+
+// The merge arithmetic for the EDNS capability stats, independent of any
+// world: counters learned on different shards sum exactly, associatively,
+// and in any grouping — the shard-invariance contract for the compliance
+// breakdown the report renders.
+TEST(ScanMerge, EdnsCapabilityStatsSumShardInvariantly) {
+  const auto shard = [](std::uint64_t scale) {
+    ScanResult r;
+    r.total_domains = scale;
+    r.hardening.edns_formerr_seen = 1 * scale;
+    r.hardening.edns_badvers_seen = 2 * scale;
+    r.hardening.edns_garbled_opt = 3 * scale;
+    r.hardening.edns_fallback_probes = 5 * scale;
+    r.hardening.edns_degraded_success = 7 * scale;
+    r.hardening.edns_capability_skips = 11 * scale;
+    r.transport.edns_broken_learned = 13 * scale;
+    return r;
+  };
+
+  // ((a + b) + c) vs (a + (b + c)).
+  ScanResult left = shard(1);
+  left.merge(shard(10));
+  left.merge(shard(100));
+  ScanResult tail = shard(10);
+  tail.merge(shard(100));
+  ScanResult right = shard(1);
+  right.merge(tail);
+
+  for (const auto* r : {&left, &right}) {
+    EXPECT_EQ(r->hardening.edns_formerr_seen, 111u);
+    EXPECT_EQ(r->hardening.edns_badvers_seen, 222u);
+    EXPECT_EQ(r->hardening.edns_garbled_opt, 333u);
+    EXPECT_EQ(r->hardening.edns_fallback_probes, 555u);
+    EXPECT_EQ(r->hardening.edns_degraded_success, 777u);
+    EXPECT_EQ(r->hardening.edns_capability_skips, 1221u);
+    EXPECT_EQ(r->transport.edns_broken_learned, 1443u);
+  }
+
+  // And the report's compliance breakdown renders them (only when hot).
+  const auto population = generate_population(tiny_config());
+  const auto rendered = render_section42(left, population);
+  EXPECT_NE(rendered.find("edns compliance"), std::string::npos);
+  EXPECT_NE(rendered.find("1443 servers learned plain-only"),
+            std::string::npos);
+  const auto clean = render_section42(ScanResult{}, population);
+  EXPECT_EQ(clean.find("edns compliance"), std::string::npos);
 }
 
 TEST(ParallelScan, SimClockTimingIsDeterministic) {

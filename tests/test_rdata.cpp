@@ -147,11 +147,42 @@ TEST(DecodeRdata, RejectsTruncatedSoa) {
   EXPECT_FALSE(decode_rdata(r, RRType::SOA, 1).ok());
 }
 
-TEST(DecodeRdata, OptionOverrunRejected) {
-  // OPT option claims 10 bytes but only 2 remain.
+TEST(DecodeRdata, OptionOverrunPreservedAsGarbledTail) {
+  // OPT option claims 10 bytes but only 2 remain. A garbled OPT must not
+  // abort the whole message parse — a plain-DNS retry could still save
+  // the resolution (RFC 6891 compliance zoo) — so the undecodable bytes
+  // ride along verbatim as the trailing tail instead.
   const Bytes data = {0x00, 0x0f, 0x00, 0x0a, 0xab, 0xcd};
   WireReader r(data);
-  EXPECT_FALSE(decode_rdata(r, RRType::OPT, data.size()).ok());
+  const auto decoded = decode_rdata(r, RRType::OPT, data.size());
+  ASSERT_TRUE(decoded.ok());
+  const auto& opt = std::get<OptRdata>(decoded.value());
+  EXPECT_TRUE(opt.options.empty());
+  EXPECT_EQ(opt.trailing, data);
+}
+
+TEST(DecodeRdata, TruncatedOptionHeaderPreservedAsGarbledTail) {
+  // Three bytes cannot hold the 4-byte option code+length header.
+  const Bytes data = {0x00, 0x0a, 0x00};
+  WireReader r(data);
+  const auto decoded = decode_rdata(r, RRType::OPT, data.size());
+  ASSERT_TRUE(decoded.ok());
+  const auto& opt = std::get<OptRdata>(decoded.value());
+  EXPECT_TRUE(opt.options.empty());
+  EXPECT_EQ(opt.trailing, data);
+}
+
+TEST(DecodeRdata, GarbledTailAfterValidOptionKeepsBoth) {
+  // One well-formed 2-byte COOKIE option, then an overrunning header.
+  const Bytes data = {0x00, 0x0a, 0x00, 0x02, 0xaa, 0xbb,   // option
+                      0x00, 0x0f, 0xff, 0xff};              // overrun
+  WireReader r(data);
+  const auto decoded = decode_rdata(r, RRType::OPT, data.size());
+  ASSERT_TRUE(decoded.ok());
+  const auto& opt = std::get<OptRdata>(decoded.value());
+  ASSERT_EQ(opt.options.size(), 1u);
+  EXPECT_EQ(opt.options[0].code, 0x0a);
+  EXPECT_EQ(opt.trailing, Bytes({0x00, 0x0f, 0xff, 0xff}));
 }
 
 TEST(DecodeRdata, UnknownTypePreservesBytes) {

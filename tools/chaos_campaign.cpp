@@ -27,8 +27,19 @@
 //      stream exchange must not report NOERROR — and profiles that map
 //      the transport defects must surface EDE 22 or 23.
 //
+//   6. (--hostile-edns) the EDNS-compliance zoo family (testbed
+//      edns_cases(), DESIGN.md §5i) resolved twice per case — the second
+//      contact with a flipped qtype so it bypasses the answer caches and
+//      exercises the InfraCache capability memory — must produce
+//      byte-identical (rcode, EDE set) outcomes whether driven
+//      case-by-case through resolve() or multiplexed through
+//      resolve_many() at --inflight; the same pass also sweeps randomized
+//      EDNS Byzantine mutators over the classic 63 cases under
+//      invariants 1-4.
+//
 // Usage: chaos_campaign [--seeds N] [--base-seed S] [--out FILE]
-//        [--no-latency] [--hostile-tcp] [--async]
+//        [--no-latency] [--hostile-tcp] [--hostile-edns] [--inflight N]
+//        [--async]
 //
 // --async drives every Byzantine pass through the event-loop engine
 // (RecursiveResolver::resolve_many, all 63 cases multiplexed in one
@@ -66,6 +77,8 @@ struct CampaignOptions {
   std::string out_path;  // empty = stdout
   bool latency = true;
   bool hostile_tcp = false;
+  bool hostile_edns = false;
+  std::size_t inflight = 4096;  // engine batch width for --hostile-edns
   bool async = false;  // multiplex each pass through resolve_many
 };
 
@@ -178,9 +191,18 @@ std::vector<sim::ByzantineBehavior> draw_schedule(crypto::Xoshiro256& rng,
       behavior = sim::ByzantineBehavior::fuzz(
           p, static_cast<std::uint32_t>(1 + rng.below(16)));
       break;
-    // The kind draw starts at 1, so None never comes up — if it ever did,
-    // treating it as the slow-drip default keeps the pass adversarial.
+    // The kind draw starts at 1 and stops before the EDNS kinds (they
+    // get their own --hostile-edns pass), so None and the EDNS
+    // enumerators never come up — if one ever did, treating it as the
+    // slow-drip default keeps the pass adversarial.
     case sim::ByzantineKind::None:
+    case sim::ByzantineKind::EdnsDrop:
+    case sim::ByzantineKind::EdnsFormerr:
+    case sim::ByzantineKind::EdnsStripOpt:
+    case sim::ByzantineKind::EdnsEchoExtra:
+    case sim::ByzantineKind::EdnsBadvers:
+    case sim::ByzantineKind::EdnsBufferLie:
+    case sim::ByzantineKind::EdnsGarble:
     case sim::ByzantineKind::SlowDrip:
     default:
       behavior = sim::ByzantineBehavior::slow_drip(
@@ -197,6 +219,74 @@ std::vector<sim::ByzantineBehavior> draw_schedule(crypto::Xoshiro256& rng,
   }
   return {behavior};
 }
+
+/// Deterministic EDNS-pathology schedule for one case: which way the
+/// authority mishandles the OPT pseudo-record, and how often.
+std::vector<sim::ByzantineBehavior> draw_edns_schedule(
+    crypto::Xoshiro256& rng, sim::SimTime pass_start) {
+  static constexpr double kProbabilities[] = {1.0, 0.6, 0.3};
+  const double p = kProbabilities[rng.below(3)];
+  sim::ByzantineBehavior behavior;
+  switch (rng.below(7)) {
+    case 0: behavior = sim::ByzantineBehavior::edns_drop(p); break;
+    case 1: behavior = sim::ByzantineBehavior::edns_formerr(p); break;
+    case 2: behavior = sim::ByzantineBehavior::edns_strip_opt(p); break;
+    case 3: behavior = sim::ByzantineBehavior::edns_echo_extra(p); break;
+    case 4: behavior = sim::ByzantineBehavior::edns_badvers(p); break;
+    case 5:
+      behavior = sim::ByzantineBehavior::edns_buffer_lie(p);
+      break;
+    default: behavior = sim::ByzantineBehavior::edns_garble(p); break;
+  }
+  if (rng.below(4) == 0) {
+    const sim::SimTime t0 =
+        pass_start + static_cast<sim::SimTime>(rng.below(60));
+    behavior = behavior.between(
+        t0, t0 + static_cast<sim::SimTime>(30 + rng.below(120)));
+  }
+  return {behavior};
+}
+
+/// One resolution's externally visible outcome, reduced to the pair the
+/// engine-equivalence invariant compares.
+struct ContactOutcome {
+  std::string rcode;
+  std::vector<std::uint16_t> codes;  // sorted
+
+  bool operator==(const ContactOutcome&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = rcode + "{";
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      if (i != 0) out += ",";
+      out += std::to_string(codes[i]);
+    }
+    return out + "}";
+  }
+};
+
+ContactOutcome reduce_outcome(const resolver::Outcome& outcome) {
+  ContactOutcome reduced;
+  reduced.rcode = dns::to_string(outcome.rcode);
+  for (const auto& error : outcome.errors) {
+    reduced.codes.push_back(static_cast<std::uint16_t>(error.code));
+  }
+  std::sort(reduced.codes.begin(), reduced.codes.end());
+  reduced.codes.erase(
+      std::unique(reduced.codes.begin(), reduced.codes.end()),
+      reduced.codes.end());
+  return reduced;
+}
+
+/// Everything one engine mode's run over the EDNS zoo family produced:
+/// per profile, per case, the first- and second-contact outcomes, plus
+/// the per-profile pass aggregates for the report.
+struct EdnsFamilyRun {
+  // profile name -> case index -> {first contact, second contact}.
+  std::map<std::string, std::vector<std::array<ContactOutcome, 2>>> outcomes;
+  std::map<std::string, PassResult> passes;
+  std::size_t resolutions = 0;
+};
 
 std::string json_escape(const std::string& in) {
   std::string out;
@@ -224,6 +314,10 @@ int run_campaign(const CampaignOptions& options) {
 
   // profile name -> seed -> pass aggregate (map keeps report order stable).
   std::map<std::string, std::map<std::size_t, PassResult>> passes;
+  // Seed-0 per-case outcomes of the EDNS zoo family, for the report's
+  // calibration section (profile name -> case index -> two contacts).
+  std::map<std::string, std::vector<std::array<ContactOutcome, 2>>>
+      zoo_outcomes;
 
   for (std::size_t seed = 0; seed < options.seeds; ++seed) {
     const std::uint64_t campaign_seed =
@@ -356,6 +450,220 @@ int run_campaign(const CampaignOptions& options) {
       for (const auto& spec : cases) {
         if (const auto address = testbed.server_address(spec.label)) {
           network->set_mutator(*address, nullptr);
+        }
+      }
+    }
+
+    if (options.hostile_edns) {
+      // ---- EDNS-compliance zoo passes (DESIGN.md §5i) ------------------
+      // (a) The calibrated family: every case resolved twice per profile
+      // (the second contact with a flipped qtype, so it misses the answer
+      // caches and reads the InfraCache capability memory instead), in a
+      // fresh identically-seeded world per engine mode. Classic resolve()
+      // and resolve_many() at --inflight must agree exactly.
+      const auto run_family = [&](bool use_engine) {
+        EdnsFamilyRun run;
+        auto family_clock = std::make_shared<sim::Clock>();
+        auto family_network =
+            std::make_shared<sim::Network>(family_clock, campaign_seed);
+        if (options.latency) {
+          family_network->set_latency({.enabled = true, .base_rtt_ms = 20,
+                                       .jitter_ms = 8,
+                                       .seed = campaign_seed});
+        }
+        testbed::Testbed family_testbed(family_network,
+                                        {.edns_family = true});
+        const auto& especs = family_testbed.edns_case_specs();
+        for (const auto& profile : profiles) {
+          PassResult pass;
+          auto resolver = family_testbed.make_resolver(profile);
+          const auto attempts_bound = static_cast<std::uint64_t>(
+              resolver.retry_policy().max_total_attempts);
+          std::vector<std::array<resolver::Outcome, 2>> got(especs.size());
+          for (const bool second : {false, true}) {
+            if (use_engine) {
+              std::vector<resolver::ResolveJob> jobs;
+              jobs.reserve(especs.size());
+              for (const auto& spec : especs) {
+                jobs.push_back({family_testbed.edns_query_name(spec),
+                                testbed::Testbed::edns_qtype(spec, second)});
+              }
+              (void)resolver.resolve_many(
+                  jobs, options.inflight,
+                  [&got, second](std::size_t index,
+                                 resolver::Outcome&& outcome) {
+                    got[index][second ? 1 : 0] = std::move(outcome);
+                  });
+              // The engine's virtual timeline can end the batch at the
+              // very instant the capability verdicts were learned; step
+              // past it so the second batch's epoch guard reads them.
+              family_clock->advance_ms(1);
+            } else {
+              for (std::size_t i = 0; i < especs.size(); ++i) {
+                got[i][second ? 1 : 0] = resolver.resolve(
+                    family_testbed.edns_query_name(especs[i]),
+                    testbed::Testbed::edns_qtype(especs[i], second));
+              }
+            }
+          }
+          auto& reduced = run.outcomes[profile.name];
+          reduced.resize(especs.size());
+          for (std::size_t i = 0; i < especs.size(); ++i) {
+            for (int contact = 0; contact < 2; ++contact) {
+              const auto& outcome =
+                  got[i][static_cast<std::size_t>(contact)];
+              ++run.resolutions;
+              std::ostringstream where;
+              where << "seed=" << seed << " profile=" << profile.name
+                    << " [edns-zoo" << (use_engine ? " engine" : "")
+                    << "] case=" << especs[i].label
+                    << (contact == 0 ? " first" : " second");
+              const auto upstream =
+                  static_cast<std::uint64_t>(outcome.upstream_queries);
+              pass.upstream_queries += upstream;
+              pass.max_upstream_queries =
+                  std::max(pass.max_upstream_queries, upstream);
+              max_upstream_observed =
+                  std::max(max_upstream_observed, upstream);
+              if (upstream > attempts_bound) {
+                violations.push_back(
+                    {where.str(),
+                     "upstream queries " + std::to_string(upstream) +
+                         " exceed the retry budget " +
+                         std::to_string(attempts_bound)});
+              }
+              if (outcome.rcode != dns::RCode::NOERROR &&
+                  outcome.rcode != dns::RCode::NXDOMAIN &&
+                  outcome.rcode != dns::RCode::SERVFAIL) {
+                violations.push_back(
+                    {where.str(),
+                     "unexpected RCODE " + dns::to_string(outcome.rcode)});
+              }
+              pass.rcodes[dns::to_string(outcome.rcode)] += 1;
+              for (const auto& error : outcome.errors) {
+                pass.ede_codes[static_cast<std::uint16_t>(error.code)] += 1;
+                if (!edns::is_registered(error.code)) {
+                  violations.push_back(
+                      {where.str(),
+                       "unregistered EDE code " +
+                           std::to_string(
+                               static_cast<std::uint16_t>(error.code))});
+                }
+              }
+              reduced[i][static_cast<std::size_t>(contact)] =
+                  reduce_outcome(outcome);
+            }
+          }
+          pass.hardening = resolver.hardening_stats();
+          run.passes[profile.name] = std::move(pass);
+        }
+        return run;
+      };
+
+      auto classic_run = run_family(/*use_engine=*/false);
+      const auto engine_run = run_family(/*use_engine=*/true);
+      resolutions += classic_run.resolutions + engine_run.resolutions;
+
+      // Invariant 6: the engine is outcome-equivalent to the classic
+      // loop, capability memory included.
+      const auto& especs = testbed::edns_cases();
+      for (const auto& [name, rows] : classic_run.outcomes) {
+        const auto& engine_rows = engine_run.outcomes.at(name);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          for (std::size_t contact = 0; contact < 2; ++contact) {
+            if (rows[i][contact] == engine_rows[i][contact]) continue;
+            std::ostringstream where;
+            where << "seed=" << seed << " profile=" << name
+                  << " [edns-zoo] case=" << especs[i].label
+                  << (contact == 0 ? " first" : " second");
+            violations.push_back(
+                {where.str(), "engine diverges from classic: " +
+                                  rows[i][contact].to_string() + " vs " +
+                                  engine_rows[i][contact].to_string()});
+          }
+        }
+      }
+      for (auto& [name, pass] : classic_run.passes) {
+        passes[name + " [edns-zoo]"][seed] = std::move(pass);
+      }
+      if (seed == 0) zoo_outcomes = std::move(classic_run.outcomes);
+
+      // (b) Randomized EDNS pathologies over the classic 63 cases: the
+      // same invariants as the main Byzantine pass, with the mutator zoo
+      // restricted to the OPT-layer kinds.
+      for (const auto& profile : profiles) {
+        PassResult pass;
+        auto byz_stats = std::make_shared<sim::ByzantineStats>();
+        const sim::SimTime pass_start = clock->now();
+        crypto::Xoshiro256 schedule_rng(campaign_seed ^ 0xed25ed);
+        for (const auto& spec : cases) {
+          const auto address = testbed.server_address(spec.label);
+          if (!address.has_value()) continue;
+          network->set_mutator(
+              *address,
+              sim::make_byzantine_mutator(
+                  draw_edns_schedule(schedule_rng, pass_start),
+                  schedule_rng(), byz_stats));
+        }
+
+        auto resolver = testbed.make_resolver(profile);
+        const auto attempts_bound = static_cast<std::uint64_t>(
+            resolver.retry_policy().max_total_attempts);
+        for (const auto& spec : cases) {
+          const auto outcome =
+              resolver.resolve(testbed.query_name(spec), dns::RRType::A);
+          ++resolutions;
+          std::ostringstream where;
+          where << "seed=" << seed << " profile=" << profile.name
+                << " [hostile-edns] case=" << spec.label;
+
+          const auto upstream =
+              static_cast<std::uint64_t>(outcome.upstream_queries);
+          pass.upstream_queries += upstream;
+          pass.max_upstream_queries =
+              std::max(pass.max_upstream_queries, upstream);
+          max_upstream_observed = std::max(max_upstream_observed, upstream);
+          if (upstream > attempts_bound) {
+            violations.push_back(
+                {where.str(),
+                 "upstream queries " + std::to_string(upstream) +
+                     " exceed the retry budget " +
+                     std::to_string(attempts_bound)});
+          }
+          if (outcome.rcode != dns::RCode::NOERROR &&
+              outcome.rcode != dns::RCode::NXDOMAIN &&
+              outcome.rcode != dns::RCode::SERVFAIL) {
+            violations.push_back(
+                {where.str(),
+                 "unexpected RCODE " + dns::to_string(outcome.rcode)});
+          }
+          pass.rcodes[dns::to_string(outcome.rcode)] += 1;
+          for (const auto& error : outcome.errors) {
+            pass.ede_codes[static_cast<std::uint16_t>(error.code)] += 1;
+            if (!edns::is_registered(error.code)) {
+              violations.push_back(
+                  {where.str(),
+                   "unregistered EDE code " +
+                       std::to_string(
+                           static_cast<std::uint16_t>(error.code))});
+            }
+          }
+          if (owned_by_marker(outcome.response.answer) ||
+              owned_by_marker(outcome.response.authority) ||
+              owned_by_marker(outcome.response.additional)) {
+            violations.push_back(
+                {where.str(), "poison marker served in a client response"});
+          }
+        }
+
+        pass.hardening = resolver.hardening_stats();
+        pass.byzantine = *byz_stats;
+        passes[profile.name + " [hostile-edns]"][seed] = std::move(pass);
+
+        for (const auto& spec : cases) {
+          if (const auto address = testbed.server_address(spec.label)) {
+            network->set_mutator(*address, nullptr);
+          }
         }
       }
     }
@@ -499,7 +807,13 @@ int run_campaign(const CampaignOptions& options) {
            << ", \"tcp_fallbacks\": " << h.tcp_fallbacks
            << ", \"tcp_success\": " << h.tcp_success
            << ", \"tcp_connect_failures\": " << h.tcp_connect_failures
-           << ", \"tcp_stream_failures\": " << h.tcp_stream_failures << "}";
+           << ", \"tcp_stream_failures\": " << h.tcp_stream_failures
+           << ", \"edns_formerr\": " << h.edns_formerr_seen
+           << ", \"edns_badvers\": " << h.edns_badvers_seen
+           << ", \"edns_garbled\": " << h.edns_garbled_opt
+           << ", \"edns_probes\": " << h.edns_fallback_probes
+           << ", \"edns_degraded\": " << h.edns_degraded_success
+           << ", \"edns_skips\": " << h.edns_capability_skips << "}";
       const auto& b = pass.byzantine;
       json << ", \"byzantine\": {\"exchanges\": " << b.exchanges_seen
            << ", \"mutations\": " << b.mutations_applied << ", \"by_kind\": {";
@@ -516,6 +830,40 @@ int run_campaign(const CampaignOptions& options) {
     json << "\n    ]}";
   }
   json << "\n  ],\n";
+  if (options.hostile_edns) {
+    // Seed-0 per-case EDNS zoo outcomes: the calibration ground truth the
+    // expected_edns() table in src/testbed/expected.cpp is pinned to.
+    json << "  \"edns_zoo\": [\n";
+    const auto& especs = testbed::edns_cases();
+    const auto emit_contact = [&json](const ContactOutcome& contact) {
+      json << "{\"rcode\": \"" << json_escape(contact.rcode)
+           << "\", \"ede\": [";
+      for (std::size_t i = 0; i < contact.codes.size(); ++i) {
+        if (i != 0) json << ", ";
+        json << contact.codes[i];
+      }
+      json << "]}";
+    };
+    for (std::size_t i = 0; i < especs.size(); ++i) {
+      if (i != 0) json << ",\n";
+      json << "    {\"case\": \"" << json_escape(especs[i].label)
+           << "\", \"profiles\": {";
+      bool first = true;
+      for (const auto& profile : profiles) {
+        const auto it = zoo_outcomes.find(profile.name);
+        if (it == zoo_outcomes.end() || i >= it->second.size()) continue;
+        if (!first) json << ", ";
+        first = false;
+        json << "\"" << json_escape(profile.name) << "\": {\"first\": ";
+        emit_contact(it->second[i][0]);
+        json << ", \"second\": ";
+        emit_contact(it->second[i][1]);
+        json << "}";
+      }
+      json << "}}";
+    }
+    json << "\n  ],\n";
+  }
   json << "  \"violation_details\": [";
   for (std::size_t i = 0; i < violations.size(); ++i) {
     if (i != 0) json << ", ";
@@ -563,11 +911,17 @@ int main(int argc, char** argv) {
       options.latency = false;
     } else if (arg == "--hostile-tcp") {
       options.hostile_tcp = true;
+    } else if (arg == "--hostile-edns") {
+      options.hostile_edns = true;
+    } else if (arg == "--inflight" && i + 1 < argc) {
+      options.inflight = static_cast<std::size_t>(std::strtoull(argv[++i],
+                                                                nullptr, 10));
     } else if (arg == "--async") {
       options.async = true;
     } else {
       std::cerr << "usage: chaos_campaign [--seeds N] [--base-seed S] "
-                   "[--out FILE] [--no-latency] [--hostile-tcp] [--async]\n";
+                   "[--out FILE] [--no-latency] [--hostile-tcp] "
+                   "[--hostile-edns] [--inflight N] [--async]\n";
       return 2;
     }
   }

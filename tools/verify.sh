@@ -49,26 +49,35 @@
 #      optimization comparisons), then three measurement runs feed the
 #      serve perf gate against bench/perf_baseline_serve.json (hard,
 #      best-of-3, 5% bound — same methodology as the scan gate).
+#  11. EDNS-compliance zoo (DESIGN.md §5i): the calibrated expected_edns()
+#      tables re-checked under ASan+UBSan (the probe-and-fallback dance is
+#      retry-path code, exactly where lifetime bugs hide), then the
+#      hostile-EDNS campaign — the zoo family across all 7 vendor profiles
+#      through both engines plus the randomized EDNS mutator pass — run
+#      twice and byte-compared. The E1 lint rule (EDE INFO-CODEs in the
+#      fallback path must name registry enumerators, never literals) is
+#      enforced by stage 2's whole-tree scan and exercised by the
+#      e1_bad_fallback fixture in its self-test.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/10] normal build + full test suite ==="
+echo "=== [1/11] normal build + full test suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "=== [2/10] static analysis: ede_lint self-test + whole-tree scan ==="
+echo "=== [2/11] static analysis: ede_lint self-test + whole-tree scan ==="
 ./build/tools/ede_lint/ede_lint --self-test tests/lint_fixtures
 ./build/tools/ede_lint/ede_lint --repo-root . --config tools/ede_lint.conf \
   src tests tools
 
-echo "=== [3/10] hardened-warnings build: EDE_WERROR=ON must compile clean ==="
+echo "=== [3/11] hardened-warnings build: EDE_WERROR=ON must compile clean ==="
 cmake -B build-werror -S . -DEDE_WERROR=ON >/dev/null
 cmake --build build-werror -j "$JOBS"
 
-echo "=== [4/10] ASan+UBSan build: codec + robustness + chaos + malformed-corpus + parallel-scan + async core ==="
+echo "=== [4/11] ASan+UBSan build: codec + robustness + chaos + malformed-corpus + parallel-scan + async core ==="
 cmake -B build-asan -S . -DEDE_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS" --target test_robustness test_chaos \
   test_malformed_corpus test_parallel_scan test_async_core test_name \
@@ -76,13 +85,13 @@ cmake --build build-asan -j "$JOBS" --target test_robustness test_chaos \
   test_stream_scenarios test_truncation
 ctest --test-dir build-asan --output-on-failure -R 'Robust|Chaos|Malformed|Parallel|ScanMerge|PlanShards|ScannerStride|Name|Wire|Rdata|DecodeRdata|Presentation|TypeBitmap|Message|CodecGolden|Stream|Framing|Truncation|EventScheduler|RetryPolicy|CoalesceKey|AsyncCore'
 
-echo "=== [5/10] TSan build: parallel-scan + async-core suites ==="
+echo "=== [5/11] TSan build: parallel-scan + async-core suites ==="
 cmake -B build-tsan -S . -DEDE_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_parallel_scan test_async_core
 ctest --test-dir build-tsan --output-on-failure \
   -R 'Parallel|ScanMerge|PlanShards|ScannerStride|EventScheduler|AsyncCore'
 
-echo "=== [6/10] async engine: fixed-seed --inflight equivalence ==="
+echo "=== [6/11] async engine: fixed-seed --inflight equivalence ==="
 # The event-loop contract (DESIGN.md §5g): multiplexing width is a pure
 # throughput knob. The same fixed-seed shard scanned serially (inflight 1)
 # and 512-wide must roll up to byte-identical §4.2 per-code aggregates.
@@ -95,7 +104,7 @@ cmp build/scan_inflight_serial.csv build/scan_inflight_wide.csv \
   || { echo "--inflight width changed the scan aggregates" >&2; exit 1; }
 echo "async engine: inflight 1 and inflight 512 aggregates byte-identical"
 
-echo "=== [7/10] chaos campaign under ASan+UBSan: invariants + byte-reproducibility ==="
+echo "=== [7/11] chaos campaign under ASan+UBSan: invariants + byte-reproducibility ==="
 cmake --build build-asan -j "$JOBS" --target chaos_campaign
 ./build-asan/tools/chaos_campaign --seeds 3 --out build-asan/chaos_report_a.json
 ./build-asan/tools/chaos_campaign --seeds 3 --out build-asan/chaos_report_b.json
@@ -121,7 +130,7 @@ cmp build-asan/chaos_async_a.json build-asan/chaos_async_b.json \
   || { echo "async campaign report is not byte-reproducible" >&2; exit 1; }
 echo "chaos campaign: zero violations, reports byte-reproducible"
 
-echo "=== [8/10] perf smoke: codec deltas (informational) + scan perf gate (hard) ==="
+echo "=== [8/11] perf smoke: codec deltas (informational) + scan perf gate (hard) ==="
 # The stage-1 tree defaults to RelWithDebInfo, so its bench targets pass
 # the release-only guard in bench/CMakeLists.txt.
 cmake --build build -j "$JOBS" --target perf_micro sec42_wild_scan
@@ -143,7 +152,7 @@ python3 tools/perf_smoke.py --scan build/scan_fresh_1.json \
   build/scan_fresh_2.json build/scan_fresh_3.json \
   --baseline bench/perf_baseline_scan.json
 
-echo "=== [9/10] clang-tidy (optional): curated check set over src/ ==="
+echo "=== [9/11] clang-tidy (optional): curated check set over src/ ==="
 if command -v clang-tidy >/dev/null 2>&1; then
   # Tidy reuses the stage-1 compile commands; the curated check set lives
   # in .clang-tidy at the repo root.
@@ -156,7 +165,7 @@ else
   echo "clang-tidy and re-run tools/verify.sh to enable this stage)"
 fi
 
-echo "=== [10/10] frontline serving: byte-reproducible report + serve perf gate ==="
+echo "=== [10/11] frontline serving: byte-reproducible report + serve perf gate ==="
 cmake --build build -j "$JOBS" --target serve_qps
 # Two fixed-seed runs must emit byte-identical serving reports. The run
 # itself machine-checks the outage invariants (EDE 3/19 delivery, bounded
@@ -177,5 +186,20 @@ done
 python3 tools/perf_smoke.py --serve build/serve_fresh_1.json \
   build/serve_fresh_2.json build/serve_fresh_3.json \
   --baseline bench/perf_baseline_serve.json
+
+echo "=== [11/11] EDNS zoo: calibrated tables under ASan + hostile-EDNS campaign ==="
+cmake --build build-asan -j "$JOBS" --target test_edns_zoo chaos_campaign
+ctest --test-dir build-asan --output-on-failure -R 'EdnsRow|EdnsZoo'
+# The hostile-EDNS campaign: the zoo family (12 cases x 7 vendor profiles,
+# classic and resolve_many engines, whose equality is itself an invariant)
+# plus a randomized EDNS-mutator pass over the 63 classic cases. Zero
+# invariant violations and byte-reproducible output required.
+./build-asan/tools/chaos_campaign --seeds 2 --hostile-edns \
+  --out build-asan/chaos_edns_a.json
+./build-asan/tools/chaos_campaign --seeds 2 --hostile-edns \
+  --out build-asan/chaos_edns_b.json
+cmp build-asan/chaos_edns_a.json build-asan/chaos_edns_b.json \
+  || { echo "hostile-EDNS campaign report is not byte-reproducible" >&2; exit 1; }
+echo "edns zoo: calibrated tables hold under ASan, campaign byte-reproducible"
 
 echo "verify: OK"
