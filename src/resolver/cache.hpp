@@ -130,6 +130,19 @@ class Cache {
     std::uint64_t stale_hits = 0;
     std::uint64_t evicted_expired = 0;   // swept past the stale horizon
     std::uint64_t evicted_capacity = 0;  // live but oldest-expiring at cap
+
+    /// Fold another delta in (scan shards aggregate cache activity this
+    /// way; preserves the hits + misses + stale_hits == lookups
+    /// invariant since it holds per shard). S1-checked: every counter
+    /// must be summed here and rendered in a report.
+    void merge(const Stats& other) {
+      lookups += other.lookups;
+      hits += other.hits;
+      misses += other.misses;
+      stale_hits += other.stale_hits;
+      evicted_expired += other.evicted_expired;
+      evicted_capacity += other.evicted_capacity;
+    }
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 

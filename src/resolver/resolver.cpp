@@ -812,6 +812,9 @@ sim::Task<void> RecursiveResolver::run_job(
   // The context lives in this wrapper's own frame: child coroutines hold
   // a reference to it across suspensions, so it needs a stable address
   // for the resolution's whole lifetime (a container slot would move).
+  // This owner-frame discipline is what the C1 allowlist entries in
+  // tools/ede_lint.conf rely on — children are always co_awaited, and
+  // these top-level frames are held in resolve_many's slots until join.
   ResolutionContext ctx;
   ctx.sched = &sched;
   ctx.srtt_reorder = false;  // see ResolutionContext

@@ -133,6 +133,31 @@ struct HardeningStats {
   /// Dances skipped outright because the InfraCache already knew the
   /// server as plain-DNS-only (capability memory hit).
   std::uint64_t edns_capability_skips = 0;
+
+  /// Fold another tally into this one (shard deltas recombine by plain
+  /// sums). ede_lint's S1 rule holds every counter above to "summed here
+  /// AND surfaced in a report renderer" — adding a counter without
+  /// touching both trips the tree lint.
+  void merge(const HardeningStats& other) {
+    rejected_qid_mismatch += other.rejected_qid_mismatch;
+    rejected_question_mismatch += other.rejected_question_mismatch;
+    rejected_oversize += other.rejected_oversize;
+    scrubbed_records += other.scrubbed_records;
+    coalesced_queries += other.coalesced_queries;
+    servfail_cache_hits += other.servfail_cache_hits;
+    watchdog_trips += other.watchdog_trips;
+    tc_seen += other.tc_seen;
+    tcp_fallbacks += other.tcp_fallbacks;
+    tcp_success += other.tcp_success;
+    tcp_connect_failures += other.tcp_connect_failures;
+    tcp_stream_failures += other.tcp_stream_failures;
+    edns_formerr_seen += other.edns_formerr_seen;
+    edns_badvers_seen += other.edns_badvers_seen;
+    edns_garbled_opt += other.edns_garbled_opt;
+    edns_fallback_probes += other.edns_fallback_probes;
+    edns_degraded_success += other.edns_degraded_success;
+    edns_capability_skips += other.edns_capability_skips;
+  }
 };
 
 /// One queued resolution for RecursiveResolver::resolve_many().

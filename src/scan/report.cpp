@@ -82,6 +82,19 @@ std::string render_section42(const ScanResult& result,
     }
   }
 
+  // The diagnostic cross-tab: which misconfiguration category produced
+  // which INFO-CODEs. Both map levels are ordered, so the block is
+  // byte-stable for identical scans.
+  if (!result.codes_by_category.empty()) {
+    out << "\ncategory -> codes:\n";
+    for (const auto& [category, codes] : result.codes_by_category) {
+      out << "  " << to_string(category) << ":";
+      for (const auto& [code, count] : codes)
+        out << " " << code << "x" << count;
+      out << "\n";
+    }
+  }
+
   const auto& t = result.transport;
   out << "\ntransport: " << t.packets_sent << " packets ("
       << t.retransmits << " retransmits, " << t.timeouts << " timeouts, "

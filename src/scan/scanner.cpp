@@ -39,40 +39,9 @@ void ScanResult::merge(const ScanResult& other) {
   }
 
   upstream_queries += other.upstream_queries;
-  transport.packets_sent += other.transport.packets_sent;
-  transport.retransmits += other.transport.retransmits;
-  transport.timeouts += other.transport.timeouts;
-  transport.unreachable += other.transport.unreachable;
-  transport.corrupted += other.transport.corrupted;
-  transport.rate_limited += other.transport.rate_limited;
-  transport.holddown_skips += other.transport.holddown_skips;
-  transport.holddowns_started += other.transport.holddowns_started;
-  transport.edns_broken_learned += other.transport.edns_broken_learned;
-  hardening.rejected_qid_mismatch += other.hardening.rejected_qid_mismatch;
-  hardening.rejected_question_mismatch +=
-      other.hardening.rejected_question_mismatch;
-  hardening.rejected_oversize += other.hardening.rejected_oversize;
-  hardening.scrubbed_records += other.hardening.scrubbed_records;
-  hardening.coalesced_queries += other.hardening.coalesced_queries;
-  hardening.servfail_cache_hits += other.hardening.servfail_cache_hits;
-  hardening.watchdog_trips += other.hardening.watchdog_trips;
-  hardening.tc_seen += other.hardening.tc_seen;
-  hardening.tcp_fallbacks += other.hardening.tcp_fallbacks;
-  hardening.tcp_success += other.hardening.tcp_success;
-  hardening.tcp_connect_failures += other.hardening.tcp_connect_failures;
-  hardening.tcp_stream_failures += other.hardening.tcp_stream_failures;
-  hardening.edns_formerr_seen += other.hardening.edns_formerr_seen;
-  hardening.edns_badvers_seen += other.hardening.edns_badvers_seen;
-  hardening.edns_garbled_opt += other.hardening.edns_garbled_opt;
-  hardening.edns_fallback_probes += other.hardening.edns_fallback_probes;
-  hardening.edns_degraded_success += other.hardening.edns_degraded_success;
-  hardening.edns_capability_skips += other.hardening.edns_capability_skips;
-  record_cache.lookups += other.record_cache.lookups;
-  record_cache.hits += other.record_cache.hits;
-  record_cache.misses += other.record_cache.misses;
-  record_cache.stale_hits += other.record_cache.stale_hits;
-  record_cache.evicted_expired += other.record_cache.evicted_expired;
-  record_cache.evicted_capacity += other.record_cache.evicted_capacity;
+  transport.merge(other.transport);
+  hardening.merge(other.hardening);
+  record_cache.merge(other.record_cache);
   wall_seconds += other.wall_seconds;
   sim_seconds += other.sim_seconds;
   max_in_flight = std::max(max_in_flight, other.max_in_flight);

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <map>
 
+#include "resolver/cache.hpp"
 #include "resolver/resolver.hpp"
 #include "scan/world.hpp"
 
@@ -45,16 +46,20 @@ struct TransportStats {
   /// Servers the infra cache branded plain-DNS-only (RFC 6891 fallback
   /// verdicts learned during the scan; a delta like the holddown pair).
   std::uint64_t edns_broken_learned = 0;
-};
 
-/// What the record cache did during the scan (deltas, like TransportStats).
-struct RecordCacheStats {
-  std::uint64_t lookups = 0;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t stale_hits = 0;
-  std::uint64_t evicted_expired = 0;
-  std::uint64_t evicted_capacity = 0;
+  /// Fold another shard's deltas in (plain sums). S1-checked: every
+  /// counter must be summed here and rendered in a report.
+  void merge(const TransportStats& other) {
+    packets_sent += other.packets_sent;
+    retransmits += other.retransmits;
+    timeouts += other.timeouts;
+    unreachable += other.unreachable;
+    corrupted += other.corrupted;
+    rate_limited += other.rate_limited;
+    holddown_skips += other.holddown_skips;
+    holddowns_started += other.holddowns_started;
+    edns_broken_learned += other.edns_broken_learned;
+  }
 };
 
 struct ScanResult {
@@ -70,7 +75,10 @@ struct ScanResult {
       codes_by_category;  // diagnostic cross-tab
   std::uint64_t upstream_queries = 0;
   TransportStats transport;
-  RecordCacheStats record_cache;
+  /// What the record cache did during the scan — deltas over the cache's
+  /// own counters, so the type is the cache's Stats itself rather than a
+  /// field-for-field clone (they drifted apart once already).
+  resolver::Cache::Stats record_cache;
   /// What the Byzantine-hardening pipeline did during the scan (deltas
   /// over the resolver's counters, like TransportStats). On the fault-free
   /// scan world the gate/scrub counters stay zero — asserted by tests and

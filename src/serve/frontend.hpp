@@ -12,6 +12,7 @@
 // suppressed, exactly as a real front end absorbs them.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -81,6 +82,27 @@ struct ServeStats {
   /// Sum of wave makespans: virtual time the engine spent resolving.
   sim::SimTimeMs busy_virtual_ms = 0;
   sim::SimTimeMs longest_wave_ms = 0;
+
+  /// Fold another run's stats in — counters sum, the wave high-water
+  /// mark takes the max (the report's all-runs totals line uses this).
+  /// S1-checked: every counter must be folded here and rendered.
+  void merge(const ServeStats& other) {
+    queries += other.queries;
+    served += other.served;
+    suppressed_retries += other.suppressed_retries;
+    live_retransmits += other.live_retransmits;
+    coalesced += other.coalesced;
+    cache_answered += other.cache_answered;
+    synthesized_answers += other.synthesized_answers;
+    stale_answers += other.stale_answers;
+    stale_nxdomains += other.stale_nxdomains;
+    upstream_queries += other.upstream_queries;
+    prefetch_upstream_queries += other.prefetch_upstream_queries;
+    prefetch_jobs += other.prefetch_jobs;
+    waves += other.waves;
+    busy_virtual_ms += other.busy_virtual_ms;
+    longest_wave_ms = std::max(longest_wave_ms, other.longest_wave_ms);
+  }
 };
 
 class FrontEnd {

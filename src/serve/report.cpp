@@ -56,6 +56,7 @@ void render_run(std::ostringstream& out, const RunSummary& run) {
       << "      \"prefetch_upstream_queries\": "
       << s.prefetch_upstream_queries << ",\n"
       << "      \"busy_virtual_ms\": " << s.busy_virtual_ms << ",\n"
+      << "      \"longest_wave_ms\": " << s.longest_wave_ms << ",\n"
       << "      \"resolver_cache\": {\"lookups\": " << run.cache.lookups
       << ", \"hits\": " << run.cache.hits
       << ", \"misses\": " << run.cache.misses
@@ -214,6 +215,15 @@ std::string render_serve_text(const ServeReportDoc& doc) {
           << delivery.answers << " answers to " << delivery.clients
           << " clients\n";
     }
+  }
+  if (doc.runs.size() > 1) {
+    ServeStats totals;
+    for (const auto& run : doc.runs) totals.merge(run.stats);
+    out << "  [all runs] " << totals.queries << " queries over "
+        << totals.waves << " waves (" << totals.live_retransmits
+        << " live retransmits), busy " << totals.busy_virtual_ms
+        << " virtual ms, longest wave " << totals.longest_wave_ms
+        << " ms\n";
   }
   if (doc.outage) {
     const auto& o = *doc.outage;

@@ -159,6 +159,16 @@ struct ByzantineStats {
     ++mutations_applied;
     ++by_kind[static_cast<std::size_t>(kind)];
   }
+
+  /// Fold another tally in (the chaos campaign sums per-seed stats into
+  /// campaign-wide totals). S1-checked like every merge-bearing stats
+  /// struct: counters must be summed here and rendered in a report.
+  void merge(const ByzantineStats& other) {
+    exchanges_seen += other.exchanges_seen;
+    mutations_applied += other.mutations_applied;
+    for (std::size_t k = 0; k < by_kind.size(); ++k)
+      by_kind[k] += other.by_kind[k];
+  }
 };
 
 /// The owner name every poisoning-shaped mutation stuffs into responses.

@@ -1,0 +1,15 @@
+// ede-lint-fixture: src/async/bad_detached.cpp
+// Known-bad C1: a dropped sim::Task return (the coroutine never runs) and
+// a Task local that is never awaited, started, or stored.
+#include "simnet/sched.hpp"
+
+namespace ede::async_fix {
+
+sim::Task<void> kick(int step);
+
+void fire_and_forget(int steps) {
+  kick(steps);                                             // C1: line 11
+  sim::Task<void> pending = kick(steps + 1);               // C1: line 12
+}
+
+}  // namespace ede::async_fix

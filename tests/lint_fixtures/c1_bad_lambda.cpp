@@ -1,0 +1,18 @@
+// ede-lint-fixture: src/async/bad_lambda.cpp
+// Known-bad C1: a by-reference lambda invoked after a suspension point —
+// its captures may dangle across the co_await.
+#include "simnet/sched.hpp"
+
+namespace ede::async_fix {
+
+sim::Task<int> probe_once(int delay_ms);
+
+sim::Task<int> retry_with_note(int budget) {
+  int failures = 0;
+  auto note_failure = [&] { ++failures; };                 // C1: line 12
+  const int got = co_await probe_once(budget);
+  if (got == 0) note_failure();
+  co_return failures;
+}
+
+}  // namespace ede::async_fix

@@ -1,0 +1,25 @@
+// ede-lint-fixture: src/async/bad_ref_after_await.cpp
+// Known-bad C1: a reference parameter written after the coroutine's
+// suspension loop — the caller's frame may already be gone by then.
+#include <cstdint>
+
+#include "simnet/sched.hpp"
+
+namespace ede::async_fix {
+
+struct Tally {
+  int probes = 0;
+};
+
+sim::Task<int> probe_once(int delay_ms);
+
+sim::Task<int> count_probes(Tally& tally, int rounds) {    // C1: line 16
+  int total = 0;
+  for (int i = 0; i < rounds; ++i) {
+    total += co_await probe_once(i);
+  }
+  tally.probes = total;
+  co_return total;
+}
+
+}  // namespace ede::async_fix

@@ -1,0 +1,17 @@
+// ede-lint-fixture: src/async/bad_view_param.cpp
+// Known-bad C1: a string_view parameter read after the first co_await —
+// the view points into storage the caller may have freed.
+#include <string_view>
+
+#include "simnet/sched.hpp"
+
+namespace ede::async_fix {
+
+sim::Task<int> probe_once(int delay_ms);
+
+sim::Task<bool> lookup_name(std::string_view qname) {      // C1: line 12
+  const int rc = co_await probe_once(1);
+  co_return rc > 0 && !qname.empty();
+}
+
+}  // namespace ede::async_fix

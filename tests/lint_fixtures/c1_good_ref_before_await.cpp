@@ -1,0 +1,26 @@
+// ede-lint-fixture: src/async/good_ref_before_await.cpp
+// Known-good C1: a reference parameter and a by-reference lambda are both
+// fine when every use happens before the first suspension point.
+#include <string>
+
+#include "simnet/sched.hpp"
+
+namespace ede::async_fix {
+
+sim::Task<int> probe_once(int delay_ms);
+
+sim::Task<int> hash_then_wait(const std::string& seed_text) {
+  const int seed = static_cast<int>(seed_text.size());
+  const int got = co_await probe_once(seed);
+  co_return got;
+}
+
+sim::Task<int> note_then_wait(int base) {
+  int count = 0;
+  auto bump = [&] { ++count; };
+  bump();
+  const int got = co_await probe_once(base);
+  co_return got + count;
+}
+
+}  // namespace ede::async_fix

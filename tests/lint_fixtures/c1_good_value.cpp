@@ -1,0 +1,24 @@
+// ede-lint-fixture: src/async/good_value.cpp
+// Known-good C1: by-value parameters are safe to read after suspensions,
+// and a Task local that is co_awaited is neither detached nor leaked.
+#include <string>
+
+#include "simnet/sched.hpp"
+
+namespace ede::async_fix {
+
+sim::Task<int> probe_once(int delay_ms);
+
+sim::Task<int> sum_probes(std::string label, int rounds) {
+  int total = 0;
+  for (int i = 0; i < rounds; ++i) total += co_await probe_once(i);
+  total += static_cast<int>(label.size());
+  co_return total;
+}
+
+sim::Task<int> wrapped(int rounds) {
+  sim::Task<int> inner = sum_probes("w", rounds);
+  co_return co_await inner;
+}
+
+}  // namespace ede::async_fix

@@ -1,0 +1,29 @@
+// ede-lint-fixture: src/stats/free_merge_export.cpp
+// Known-bad S1: a struct aggregated by a free merge() that drops
+// skipped_rows. Self-contained: the *_export basename makes this file a
+// renderer, and export_shard surfaces every field — only the merge gap
+// fires.
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace ede::stats_fix {
+
+struct ShardAgg {
+  std::uint64_t rows_in = 0;
+  std::uint64_t rows_out = 0;
+  std::uint64_t skipped_rows = 0;                          // S1: line 15
+};
+
+void merge(ShardAgg& into, const ShardAgg& from) {
+  into.rows_in += from.rows_in;
+  into.rows_out += from.rows_out;
+}
+
+std::string export_shard(const ShardAgg& agg) {
+  std::ostringstream out;
+  out << agg.rows_in << " " << agg.rows_out << " " << agg.skipped_rows;
+  return out.str();
+}
+
+}  // namespace ede::stats_fix

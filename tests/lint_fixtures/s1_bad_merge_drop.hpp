@@ -1,0 +1,22 @@
+// ede-lint-fixture: src/stats/bad_merge_drop.hpp
+// Known-bad S1: wave_count is never folded in merge — an N-shard
+// aggregation silently drops it. (Rendering is covered by the companion
+// renderer fixture src/stats/tally_report.cpp.)
+#pragma once
+
+#include <cstdint>
+
+namespace ede::stats_fix {
+
+struct ProbeTally {
+  std::uint64_t sent_total = 0;
+  std::uint64_t lost_total = 0;
+  std::uint64_t wave_count = 0;                            // S1: line 14
+
+  void merge(const ProbeTally& other) {
+    sent_total += other.sent_total;
+    lost_total += other.lost_total;
+  }
+};
+
+}  // namespace ede::stats_fix

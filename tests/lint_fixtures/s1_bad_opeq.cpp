@@ -1,0 +1,26 @@
+// ede-lint-fixture: src/stats/opeq_export.cpp
+// Known-bad S1: operator+= counts as the struct's merge, and it drops
+// waves_skipped. Self-contained renderer file like free_merge_export.
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace ede::stats_fix {
+
+struct WaveAgg {
+  std::uint64_t waves_run = 0;
+  std::uint64_t waves_skipped = 0;                         // S1: line 12
+
+  WaveAgg& operator+=(const WaveAgg& rhs) {
+    waves_run += rhs.waves_run;
+    return *this;
+  }
+};
+
+std::string export_waves(const WaveAgg& agg) {
+  std::ostringstream out;
+  out << agg.waves_run << " " << agg.waves_skipped;
+  return out.str();
+}
+
+}  // namespace ede::stats_fix

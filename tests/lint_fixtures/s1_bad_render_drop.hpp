@@ -1,0 +1,23 @@
+// ede-lint-fixture: src/stats/bad_render_drop.hpp
+// Known-bad S1: ghost_evictions is summed in merge but surfaced by no
+// report renderer — counted, never seen. (The companion renderer fixture
+// src/stats/tally_report.cpp deliberately leaves it out.)
+#pragma once
+
+#include <cstdint>
+
+namespace ede::stats_fix {
+
+struct CacheTally {
+  std::uint64_t probe_hits = 0;
+  std::uint64_t probe_misses = 0;
+  std::uint64_t ghost_evictions = 0;                       // S1: line 14
+
+  void merge(const CacheTally& other) {
+    probe_hits += other.probe_hits;
+    probe_misses += other.probe_misses;
+    ghost_evictions += other.ghost_evictions;
+  }
+};
+
+}  // namespace ede::stats_fix

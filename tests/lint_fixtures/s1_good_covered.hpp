@@ -1,0 +1,20 @@
+// ede-lint-fixture: src/stats/good_covered.hpp
+// Known-good S1: every counter is folded in merge AND surfaced by the
+// companion renderer fixture src/stats/tally_report.cpp.
+#pragma once
+
+#include <cstdint>
+
+namespace ede::stats_fix {
+
+struct RouteTally {
+  std::uint64_t routes_ok = 0;
+  std::uint64_t routes_failed = 0;
+
+  void merge(const RouteTally& other) {
+    routes_ok += other.routes_ok;
+    routes_failed += other.routes_failed;
+  }
+};
+
+}  // namespace ede::stats_fix

@@ -1,0 +1,31 @@
+// ede-lint-fixture: src/stats/good_delegate.hpp
+// Known-good S1: a nested stats struct whose outer merge delegates to the
+// inner one's merge — both levels fully folded and fully rendered (see
+// src/stats/tally_report.cpp).
+#pragma once
+
+#include <cstdint>
+
+namespace ede::stats_fix {
+
+struct LinkCounters {
+  std::uint64_t up_events = 0;
+  std::uint64_t down_events = 0;
+
+  void merge(const LinkCounters& other) {
+    up_events += other.up_events;
+    down_events += other.down_events;
+  }
+};
+
+struct NodeTally {
+  std::uint64_t node_visits = 0;
+  LinkCounters links;
+
+  void merge(const NodeTally& other) {
+    node_visits += other.node_visits;
+    links.merge(other.links);
+  }
+};
+
+}  // namespace ede::stats_fix

@@ -1,0 +1,31 @@
+// ede-lint-fixture: src/stats/tally_report.cpp
+// Known-good renderer companion for the S1 fixtures: surfaces every
+// counter of ProbeTally, CacheTally, RouteTally, LinkCounters and
+// NodeTally — except CacheTally::ghost_evictions, which is
+// bad_render_drop's bait and must stay unrendered here.
+#include <sstream>
+#include <string>
+
+#include "stats/bad_merge_drop.hpp"
+#include "stats/bad_render_drop.hpp"
+#include "stats/good_covered.hpp"
+#include "stats/good_delegate.hpp"
+
+namespace ede::stats_fix {
+
+std::string render_tallies(const ProbeTally& probes, const CacheTally& cache,
+                           const RouteTally& routes, const NodeTally& node) {
+  std::ostringstream out;
+  out << "probes " << probes.sent_total << "/" << probes.lost_total
+      << " over " << probes.wave_count << " waves\n";
+  out << "cache " << cache.probe_hits << " hits, " << cache.probe_misses
+      << " misses\n";
+  out << "routes " << routes.routes_ok << " ok, " << routes.routes_failed
+      << " failed\n";
+  out << "node " << node.node_visits << " visits, links "
+      << node.links.up_events << " up / " << node.links.down_events
+      << " down\n";
+  return out.str();
+}
+
+}  // namespace ede::stats_fix

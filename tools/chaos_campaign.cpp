@@ -830,6 +830,27 @@ int run_campaign(const CampaignOptions& options) {
     json << "\n    ]}";
   }
   json << "\n  ],\n";
+  // Campaign-wide mutator totals: every (profile, seed) tally folded
+  // through ByzantineStats::merge — what the whole campaign actually
+  // threw at the resolver, independent of how passes are grouped.
+  sim::ByzantineStats byz_totals;
+  for (const auto& [profile_name, seeds] : passes)
+    for (const auto& [seed, pass] : seeds) byz_totals.merge(pass.byzantine);
+  json << "  \"byzantine_totals\": {\"exchanges\": "
+       << byz_totals.exchanges_seen
+       << ", \"mutations\": " << byz_totals.mutations_applied
+       << ", \"by_kind\": {";
+  {
+    bool first = true;
+    for (std::size_t k = 1; k < sim::kByzantineKindCount; ++k) {
+      if (byz_totals.by_kind[k] == 0) continue;
+      if (!first) json << ", ";
+      first = false;
+      json << "\"" << sim::to_string(static_cast<sim::ByzantineKind>(k))
+           << "\": " << byz_totals.by_kind[k];
+    }
+  }
+  json << "}},\n";
   if (options.hostile_edns) {
     // Seed-0 per-case EDNS zoo outcomes: the calibration ground truth the
     // expected_edns() table in src/testbed/expected.cpp is pinned to.

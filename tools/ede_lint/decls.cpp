@@ -1,0 +1,304 @@
+#include "decls.hpp"
+
+#include "token_util.hpp"
+
+namespace ede::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+std::size_t try_parse_struct(const SourceFile& file, const Tokens& toks,
+                             std::size_t i, std::size_t hi,
+                             const std::string& prefix, StructDecl* outer,
+                             std::vector<StructDecl>& out);
+
+/// Record `name [, name2] ;` declarators that follow a nested type or enum
+/// definition (`struct Inner { ... } member;`). Initializer tokens after
+/// '=' or inside braces never become field names.
+std::size_t record_trailing_declarators(const Tokens& toks, std::size_t k,
+                                        std::size_t hi, StructDecl* decl) {
+  bool in_init = false;
+  while (k < hi && toks[k].kind != Tok::End && !is_punct(toks[k], ";")) {
+    if (is_punct(toks[k], "=")) {
+      in_init = true;
+      ++k;
+    } else if (is_punct(toks[k], "{")) {
+      k = match_forward(toks, k, "{", "}") + 1;
+    } else if (is_punct(toks[k], "[")) {
+      k = match_forward(toks, k, "[", "]") + 1;
+    } else {
+      if (!in_init && decl != nullptr && toks[k].kind == Tok::Ident &&
+          !is_cpp_keyword(toks[k].text))
+        decl->fields.push_back({toks[k].text, toks[k].line});
+      ++k;
+    }
+  }
+  return k < hi ? k + 1 : k;
+}
+
+/// Advance past a whole declaration: past the first top-level ';', or past
+/// a top-level '{...}' body (function definition).
+std::size_t skip_declaration(const Tokens& toks, std::size_t k,
+                             std::size_t hi) {
+  while (k < hi && toks[k].kind != Tok::End) {
+    if (is_punct(toks[k], ";")) return k + 1;
+    if (is_punct(toks[k], "(")) k = match_forward(toks, k, "(", ")") + 1;
+    else if (is_punct(toks[k], "[")) k = match_forward(toks, k, "[", "]") + 1;
+    else if (is_punct(toks[k], "{")) return match_forward(toks, k, "{", "}") + 1;
+    else ++k;
+  }
+  return hi;
+}
+
+/// Parse one member declaration starting at `j`; returns one past it.
+/// Data-member declarators are appended to `decl.fields`; inline
+/// `merge`/`operator+=` member bodies are captured for S1.
+std::size_t parse_member(const Tokens& toks, std::size_t j, std::size_t hi,
+                         StructDecl& decl) {
+  bool is_static = false;
+  bool seen_eq = false;
+  bool is_function = false;
+  bool in_init_list = false;  // ctor-init-list state: between ')' ':' and body
+  std::string fn_name;
+  std::size_t body_begin = 0, body_end = 0;
+  std::vector<std::size_t> commas;
+  std::size_t terminator = hi;
+
+  std::size_t k = j;
+  while (k < hi) {
+    const Token& t = toks[k];
+    if (t.kind == Tok::End) { terminator = k; break; }
+    if (is_punct(t, ";")) { terminator = k; break; }
+    if (is_ident(t, "static") || is_ident(t, "constexpr")) {
+      is_static = true;
+      ++k;
+      continue;
+    }
+    if (is_ident(t, "operator") && !seen_eq && !is_function) {
+      // operator<puncts>( … — consume the operator token(s) here so e.g.
+      // the '=' of `operator+=` is not mistaken for an initializer.
+      std::size_t k2 = k + 1;
+      std::string op;
+      while (k2 < hi && toks[k2].kind == Tok::Punct &&
+             !is_punct(toks[k2], "(")) {
+        op += toks[k2].text;
+        ++k2;
+      }
+      if (op.empty() && k2 + 1 < hi && is_punct(toks[k2], "(") &&
+          is_punct(toks[k2 + 1], ")")) {
+        op = "()";
+        k2 += 2;
+      }
+      if (!op.empty() && k2 < hi && is_punct(toks[k2], "(")) {
+        is_function = true;
+        fn_name = "operator" + op;
+        k = k2;  // leave '(' for the paren branch to skip
+        continue;
+      }
+      ++k;  // conversion operator: the '(' branch names it
+      continue;
+    }
+    if (is_punct(t, "=") && !is_function) { seen_eq = true; ++k; continue; }
+    if (is_punct(t, "<") && !seen_eq) { k = skip_angles(toks, k); continue; }
+    if (is_punct(t, "[")) { k = match_forward(toks, k, "[", "]") + 1; continue; }
+    if (is_punct(t, "(")) {
+      if (!seen_eq && !is_function && k > j) {
+        const Token& prev = toks[k - 1];
+        if (prev.kind == Tok::Ident && !is_cpp_keyword(prev.text)) {
+          is_function = true;
+          fn_name = prev.text;
+          if (k >= j + 2 && is_ident(toks[k - 2], "operator"))
+            fn_name = "operator " + fn_name;  // e.g. operator bool
+        } else if (prev.kind == Tok::Punct && k >= j + 2 &&
+                   is_ident(toks[k - 2], "operator")) {
+          is_function = true;
+          fn_name = "operator" + prev.text;  // e.g. operator+=
+        } else {
+          // function pointer / parenthesized declarator — no field name to
+          // extract, treat as a (skipped) function-shaped member.
+          is_function = true;
+        }
+      }
+      k = match_forward(toks, k, "(", ")") + 1;
+      continue;
+    }
+    if (is_punct(t, "{")) {
+      const std::size_t close = match_forward(toks, k, "{", "}");
+      // In a ctor-init-list, `member{init}` braces follow a plain
+      // identifier; the body brace follows ')' / '}' (or the list itself).
+      const bool init_brace = in_init_list && k > j &&
+                              toks[k - 1].kind == Tok::Ident &&
+                              !is_cpp_keyword(toks[k - 1].text);
+      if (is_function && body_begin == 0 && !init_brace) {
+        body_begin = k;
+        body_end = close;
+        terminator = close;  // a definition needs no trailing ';'
+        break;
+      }
+      k = close + 1;  // brace initializer (or ctor-init-list braces)
+      continue;
+    }
+    if (is_punct(t, ":") && is_function) in_init_list = true;
+    if (is_punct(t, ",") && !is_function) commas.push_back(k);
+    ++k;
+  }
+  if (terminator >= hi) return hi;
+
+  if (is_function) {
+    if (fn_name == "merge" || fn_name == "operator+=") {
+      decl.has_merge_member = true;
+      if (body_begin != 0)
+        decl.merge_bodies.emplace_back(body_begin + 1, body_end);
+    }
+    return terminator + 1;
+  }
+  if (is_static) return terminator + 1;
+
+  // Data member(s): split [j, terminator) at the recorded top-level commas;
+  // in each declarator the field name is the last top-level identifier
+  // before the initializer ('=' / '{') or bitfield width (':').
+  std::vector<std::pair<std::size_t, std::size_t>> segments;
+  std::size_t seg_start = j;
+  for (const std::size_t c : commas) {
+    segments.emplace_back(seg_start, c);
+    seg_start = c + 1;
+  }
+  segments.emplace_back(seg_start, terminator);
+  for (const auto& [a, b] : segments) {
+    std::string name;
+    int line = 0;
+    for (std::size_t m = a; m < b;) {
+      const Token& t = toks[m];
+      if (is_punct(t, "=") || is_punct(t, "{") || is_punct(t, ":")) break;
+      if (is_punct(t, "<")) { m = skip_angles(toks, m); continue; }
+      if (is_punct(t, "[")) { m = match_forward(toks, m, "[", "]") + 1; continue; }
+      if (is_punct(t, "(")) { m = match_forward(toks, m, "(", ")") + 1; continue; }
+      if (t.kind == Tok::Ident && !is_cpp_keyword(t.text)) {
+        name = t.text;
+        line = t.line;
+      }
+      ++m;
+    }
+    if (!name.empty()) decl.fields.push_back({name, line});
+  }
+  return terminator + 1;
+}
+
+void parse_members(const SourceFile& file, const Tokens& toks, std::size_t lo,
+                   std::size_t hi, StructDecl& decl, const std::string& prefix,
+                   std::vector<StructDecl>& out) {
+  std::size_t j = lo;
+  while (j < hi) {
+    const Token& t = toks[j];
+    if (t.kind == Tok::End) break;
+    if (is_punct(t, ";")) { ++j; continue; }
+    if ((is_ident(t, "public") || is_ident(t, "private") ||
+         is_ident(t, "protected")) &&
+        j + 1 < hi && is_punct(toks[j + 1], ":")) {
+      j += 2;
+      continue;
+    }
+    if (is_ident(t, "struct") || is_ident(t, "class") ||
+        is_ident(t, "union")) {
+      const std::size_t after =
+          try_parse_struct(file, toks, j, hi, prefix, &decl, out);
+      if (after == j + 1) { ++j; continue; }  // elaborated `struct X member;`
+      j = record_trailing_declarators(toks, after, hi, &decl);
+      continue;
+    }
+    if (is_ident(t, "enum")) {
+      std::size_t k = j + 1;
+      while (k < hi && !is_punct(toks[k], "{") && !is_punct(toks[k], ";")) ++k;
+      if (k < hi && is_punct(toks[k], "{"))
+        k = match_forward(toks, k, "{", "}") + 1;
+      j = record_trailing_declarators(toks, k, hi, &decl);
+      continue;
+    }
+    if (is_ident(t, "using") || is_ident(t, "typedef") ||
+        is_ident(t, "friend") || is_ident(t, "static_assert")) {
+      while (j < hi && toks[j].kind != Tok::End && !is_punct(toks[j], ";")) {
+        if (is_punct(toks[j], "(")) j = match_forward(toks, j, "(", ")");
+        else if (is_punct(toks[j], "{")) j = match_forward(toks, j, "{", "}");
+        ++j;
+      }
+      if (j < hi) ++j;
+      continue;
+    }
+    if (is_ident(t, "template")) {
+      std::size_t k = j + 1;
+      if (k < hi && is_punct(toks[k], "<")) k = skip_angles(toks, k);
+      j = skip_declaration(toks, k, hi);
+      continue;
+    }
+    j = parse_member(toks, j, hi, decl);
+  }
+}
+
+std::size_t try_parse_struct(const SourceFile& file, const Tokens& toks,
+                             std::size_t i, std::size_t hi,
+                             const std::string& prefix, StructDecl* outer,
+                             std::vector<StructDecl>& out) {
+  std::size_t j = i + 1;
+  while (j < hi) {  // attributes / alignas between keyword and name
+    if (is_punct(toks[j], "[")) {
+      j = match_forward(toks, j, "[", "]") + 1;
+    } else if (is_ident(toks[j], "alignas") && j + 1 < hi &&
+               is_punct(toks[j + 1], "(")) {
+      j = match_forward(toks, j + 1, "(", ")") + 1;
+    } else {
+      break;
+    }
+  }
+  std::string name;
+  const int line = toks[i].line;
+  if (j < hi && toks[j].kind == Tok::Ident && !is_cpp_keyword(toks[j].text) &&
+      !is_ident(toks[j], "final")) {
+    name = toks[j].text;
+    ++j;
+    if (j < hi && is_punct(toks[j], "<")) j = skip_angles(toks, j);
+    if (j < hi && is_ident(toks[j], "final")) ++j;
+  }
+  if (j < hi && is_punct(toks[j], ":")) {  // base clause
+    ++j;
+    while (j < hi && !is_punct(toks[j], "{") && !is_punct(toks[j], ";")) {
+      if (is_punct(toks[j], "<")) j = skip_angles(toks, j);
+      else ++j;
+    }
+  }
+  if (!(j < hi && is_punct(toks[j], "{"))) return i + 1;  // not a definition
+  const std::size_t close = match_forward(toks, j, "{", "}");
+
+  if (name.empty()) {
+    // Anonymous struct/union: its members belong to the enclosing struct.
+    if (outer != nullptr) parse_members(file, toks, j + 1, close, *outer, prefix, out);
+    return close + 1;
+  }
+  StructDecl decl;
+  decl.name = name;
+  decl.qualified = prefix.empty() ? name : prefix + "::" + name;
+  decl.file = file.rel;
+  decl.line = line;
+  parse_members(file, toks, j + 1, close, decl, decl.qualified, out);
+  out.push_back(std::move(decl));
+  return close + 1;
+}
+
+}  // namespace
+
+std::vector<StructDecl> index_structs(const SourceFile& file) {
+  std::vector<StructDecl> out;
+  const Tokens& toks = file.lex.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!(is_ident(toks[i], "struct") || is_ident(toks[i], "class") ||
+          is_ident(toks[i], "union")))
+      continue;
+    if (i > 0 && is_ident(toks[i - 1], "enum")) continue;
+    const std::size_t after =
+        try_parse_struct(file, toks, i, toks.size(), "", nullptr, out);
+    if (after > i + 1) i = after - 1;
+  }
+  return out;
+}
+
+}  // namespace ede::lint

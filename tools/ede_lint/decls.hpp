@@ -1,0 +1,47 @@
+// ede_lint declaration index (DESIGN.md §5j): struct/class definitions and
+// their non-static data members, recovered from the token stream by
+// brace-matching — no preprocessor, no full parse. This is the substrate
+// for the S1 stats-merge-completeness family: S1 diffs a struct's declared
+// counter fields against the identifiers its merge body and the report
+// renderers actually touch.
+//
+// Deliberately handled: bitfields (`unsigned x : 3`), default member
+// initializers (`= 0` and `{0}`), multi-declarator lines, nested types
+// (recorded as their own qualified StructDecl, and the enclosing member —
+// `struct Inner {...} member;` — attributed to the outer struct),
+// anonymous struct/union members (fields fold into the enclosing struct),
+// static/constexpr members and member functions (skipped, except that
+// inline `merge`/`operator+=` bodies are captured for S1).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace ede::lint {
+
+struct FieldDecl {
+  std::string name;
+  int line = 0;
+};
+
+struct StructDecl {
+  std::string name;       // unqualified, e.g. "Stats"
+  std::string qualified;  // lexical nesting chain, e.g. "Cache::Stats"
+  std::string file;       // rel path of the declaring file
+  int line = 0;           // line of the struct/class keyword
+  std::vector<FieldDecl> fields;  // non-static data members, in order
+  bool has_merge_member = false;  // inline `merge` or `operator+=` member
+  /// Token ranges [begin, end) of inline merge/operator+= bodies, indices
+  /// into the declaring file's token stream. Out-of-line and free merge
+  /// functions are matched separately through the flow layer.
+  std::vector<std::pair<std::size_t, std::size_t>> merge_bodies;
+};
+
+/// Scan one file for struct/class definitions. Never fails: adversarial
+/// or unparsable input yields a best-effort (possibly empty) index.
+[[nodiscard]] std::vector<StructDecl> index_structs(const SourceFile& file);
+
+}  // namespace ede::lint

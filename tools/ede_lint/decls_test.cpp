@@ -1,0 +1,129 @@
+// Unit test for the ede_lint declaration index (DESIGN.md §5j): a struct
+// with bitfields, default member initializers, multi-declarator lines,
+// and nested types must round-trip with every member attributed to the
+// right struct — and inline merge/operator+= bodies must be captured.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "decls.hpp"
+#include "lexer.hpp"
+
+namespace {
+
+int failures = 0;
+
+void expect(bool ok, const std::string& what) {
+  if (ok) return;
+  ++failures;
+  std::cerr << "FAIL: " << what << "\n";
+}
+
+std::vector<std::string> field_names(const ede::lint::StructDecl& s) {
+  std::vector<std::string> names;
+  names.reserve(s.fields.size());
+  for (const auto& f : s.fields) names.push_back(f.name);
+  return names;
+}
+
+const ede::lint::StructDecl* find(const std::vector<ede::lint::StructDecl>& v,
+                                  const std::string& qualified) {
+  for (const auto& s : v)
+    if (s.qualified == qualified) return &s;
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  const std::string source = R"src(
+struct Outer {
+  // bitfields: the width expression must not become a field name
+  unsigned flag_a : 1;
+  unsigned flag_b : 3;
+
+  // default member initializers, both forms, plus multi-declarator lines
+  std::uint64_t hits = 0;
+  std::uint64_t misses{0};
+  double ratio = compute_ratio(hits, misses);
+  int lo = 0, hi = kLimit;
+
+  // static members and member functions are not data members
+  static constexpr std::size_t kLimit = 64;
+  static int shared_counter;
+  [[nodiscard]] bool valid() const noexcept { return hits > 0; }
+  Outer() : flag_a(0), flag_b{1} { lo = 1; }
+
+  // nested struct: its members belong to Inner, the declarator to Outer
+  struct Inner {
+    std::uint32_t depth = 0;
+    std::array<std::uint8_t, 4> pad{};
+  } inner;
+
+  enum class Kind { A, B };
+  Kind kind = Kind::A;
+
+  void merge(const Outer& other) {
+    hits += other.hits;
+    misses += other.misses;
+  }
+};
+
+struct Plus {
+  long total = 0;
+  Plus& operator+=(const Plus& rhs) {
+    total += rhs.total;
+    return *this;
+  }
+};
+)src";
+
+  ede::lint::SourceFile file;
+  file.rel = "src/test/decls_fixture.hpp";
+  file.lex = ede::lint::lex(source);
+  const auto structs = ede::lint::index_structs(file);
+
+  const auto* outer = find(structs, "Outer");
+  const auto* inner = find(structs, "Outer::Inner");
+  const auto* plus = find(structs, "Plus");
+  expect(outer != nullptr, "Outer indexed");
+  expect(inner != nullptr, "Outer::Inner indexed with qualified name");
+  expect(plus != nullptr, "Plus indexed");
+  if (failures != 0) return 1;
+
+  const std::vector<std::string> want_outer = {
+      "flag_a", "flag_b", "hits", "misses", "ratio",
+      "lo",     "hi",     "inner", "kind"};
+  expect(field_names(*outer) == want_outer,
+         "Outer fields exact (bitfields, default inits, multi-declarator, "
+         "nested declarator, enum member)");
+  const std::vector<std::string> want_inner = {"depth", "pad"};
+  expect(field_names(*inner) == want_inner,
+         "Inner fields stay on Inner, not Outer");
+  expect(field_names(*plus) == std::vector<std::string>{"total"},
+         "Plus fields exact");
+
+  expect(outer->has_merge_member, "Outer merge member detected");
+  expect(outer->merge_bodies.size() == 1, "Outer inline merge body captured");
+  expect(plus->has_merge_member, "Plus operator+= detected as merge");
+  expect(plus->merge_bodies.size() == 1, "Plus operator+= body captured");
+  expect(!inner->has_merge_member, "Inner has no merge member");
+
+  if (outer->merge_bodies.size() == 1) {
+    const auto [b, e] = outer->merge_bodies.front();
+    bool saw_hits = false;
+    for (std::size_t i = b; i < e; ++i)
+      if (file.lex.tokens[i].kind == ede::lint::Tok::Ident &&
+          file.lex.tokens[i].text == "hits")
+        saw_hits = true;
+    expect(saw_hits, "merge body token range covers the member sums");
+  }
+
+  if (failures == 0) {
+    std::cout << "ede_lint decls_test: all ok\n";
+    return 0;
+  }
+  std::cerr << "ede_lint decls_test: " << failures << " failure(s)\n";
+  return 1;
+}

@@ -1,6 +1,7 @@
 #include "lint.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -8,6 +9,7 @@
 #include <ostream>
 #include <set>
 #include <sstream>
+#include <thread>
 
 namespace ede::lint {
 
@@ -144,25 +146,31 @@ bool collect_files(const Options& options, const Config& config,
     }
   }
 
-  // Preload the rest of src/ so the cross-file indices (unordered
-  // container names, Result-returning functions, include graph) are
-  // complete even for a partial lint.
-  std::error_code ec;
-  if (fs::is_directory(root / "src", ec))
-    if (!add_tree(root / "src", /*analyze=*/false)) return false;
+  // Preload the rest of src/, bench/, and tools/ so the cross-file
+  // indices (unordered container names, Result/Task-returning functions,
+  // include graph, S1's renderer member-access union) are complete even
+  // for a partial lint — several aggregate counters are rendered only by
+  // the benchmarks' JSON emitters.
+  for (const char* dir : {"src", "bench", "tools"}) {
+    std::error_code ec;
+    if (fs::is_directory(root / dir, ec))
+      if (!add_tree(root / dir, /*analyze=*/false)) return false;
+  }
 
   for (auto& [rel, raw] : by_rel) out.push_back(std::move(raw));
   return true;
 }
 
-std::vector<SourceFile> lex_all(const std::vector<RawFile>& raw_files) {
+std::vector<SourceFile> lex_all(const std::vector<RawFile>& raw_files,
+                                unsigned jobs) {
   std::set<std::string> known;
   for (const RawFile& raw : raw_files) known.insert(raw.virt);
 
-  std::vector<SourceFile> files;
-  files.reserve(raw_files.size());
-  for (const RawFile& raw : raw_files) {
-    SourceFile file;
+  const std::size_t n = raw_files.size();
+  std::vector<SourceFile> files(n);
+  const auto lex_one = [&](std::size_t i) {
+    const RawFile& raw = raw_files[i];
+    SourceFile& file = files[i];
     file.rel = raw.virt;
     file.analyze = raw.analyze;
     file.lex = lex(raw.source);
@@ -171,9 +179,29 @@ std::vector<SourceFile> lex_all(const std::vector<RawFile>& raw_files) {
       file.project_includes.push_back(
           resolve_include(file.rel, inc.path, known));
     }
-    files.push_back(std::move(file));
+  };
+  if (jobs <= 1 || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) lex_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+      for (std::size_t i; (i = next.fetch_add(1)) < n;) lex_one(i);
+    };
+    std::vector<std::thread> pool;
+    const std::size_t width = std::min<std::size_t>(jobs, n);
+    pool.reserve(width);
+    for (std::size_t t = 0; t < width; ++t) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
   }
   return files;
+}
+
+/// Effective worker count: an explicit --jobs wins; 0 means "ask the
+/// hardware", clamped to at least 1 so the serial path stays reachable.
+unsigned effective_jobs(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
 }
 
 std::string json_escape(const std::string& in) {
@@ -234,11 +262,13 @@ std::set<std::string> load_baseline(const std::string& path,
 
 }  // namespace
 
-Config parse_config(const std::string& text) {
+Config parse_config(const std::string& text, std::string& error) {
   Config config;
   std::istringstream in(text);
   std::string line;
+  int line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream fields(line);
@@ -247,11 +277,26 @@ Config parse_config(const std::string& text) {
     if (verb == "allow") {
       AllowEntry entry;
       fields >> entry.rule >> entry.file >> entry.token;
-      if (!entry.rule.empty() && !entry.file.empty())
-        config.allow.push_back(std::move(entry));
+      if (entry.rule.empty() || entry.file.empty()) {
+        error = "config line " + std::to_string(line_no) +
+                ": 'allow' needs <rule> <file> [token]";
+        return {};
+      }
+      config.allow.push_back(std::move(entry));
     } else if (verb == "ignore") {
       std::string prefix;
-      if (fields >> prefix) config.ignore_prefixes.push_back(std::move(prefix));
+      if (!(fields >> prefix)) {
+        error = "config line " + std::to_string(line_no) +
+                ": 'ignore' needs a path prefix";
+        return {};
+      }
+      config.ignore_prefixes.push_back(std::move(prefix));
+    } else {
+      // A typo'd verb would silently drop allow entries; that is a parse
+      // error (exit 2), not a clean run.
+      error = "config line " + std::to_string(line_no) +
+              ": unknown verb '" + verb + "'";
+      return {};
     }
   }
   return config;
@@ -263,7 +308,9 @@ Config load_config(const std::string& path, std::string& error) {
     error = "cannot read config " + path;
     return {};
   }
-  return parse_config(text);
+  Config config = parse_config(text, error);
+  if (!error.empty()) error = path + ": " + error;
+  return config;
 }
 
 LintResult run_lint(const Options& options, std::string& error) {
@@ -280,11 +327,12 @@ LintResult run_lint(const Options& options, std::string& error) {
     if (!error.empty()) return {};
   }
 
+  const unsigned jobs = effective_jobs(options.jobs);
   std::vector<RawFile> raw;
   if (!collect_files(options, config, raw, error)) return {};
-  const std::vector<SourceFile> files = lex_all(raw);
+  const std::vector<SourceFile> files = lex_all(raw, jobs);
   const ProjectIndex index = build_index(files);
-  std::vector<Finding> findings = run_rules(files, index, config);
+  std::vector<Finding> findings = run_rules(files, index, config, jobs);
 
   std::string baseline_path = options.baseline_path;
   if (baseline_path.empty()) {
@@ -318,9 +366,25 @@ void print_text(const LintResult& result, std::ostream& out) {
 }
 
 void print_json(const LintResult& result, std::ostream& out) {
+  // Per-family counts: every known family is always present (byte-stable
+  // shape), families a fixture invents are merged in sorted order.
+  std::map<std::string, std::pair<std::size_t, std::size_t>> families{
+      {"C1", {0, 0}}, {"D1", {0, 0}}, {"E1", {0, 0}},
+      {"H1", {0, 0}}, {"S1", {0, 0}}, {"W1", {0, 0}}};
+  for (const Finding& f : result.fresh) ++families[f.rule].first;
+  for (const Finding& f : result.baselined) ++families[f.rule].second;
+
   out << "{\n  \"new_findings\": " << result.fresh.size()
       << ",\n  \"baselined_findings\": " << result.baselined.size()
-      << ",\n  \"findings\": [\n";
+      << ",\n  \"families\": {";
+  bool first_family = true;
+  for (const auto& [rule, counts] : families) {
+    if (!first_family) out << ", ";
+    first_family = false;
+    out << "\"" << json_escape(rule) << "\": {\"new\": " << counts.first
+        << ", \"baselined\": " << counts.second << "}";
+  }
+  out << "},\n  \"findings\": [\n";
   bool first = true;
   for (const Finding& f : result.fresh) {
     if (!first) out << ",\n";
@@ -351,7 +415,7 @@ std::string to_baseline(const std::vector<Finding>& findings) {
   return out;
 }
 
-bool run_self_test(const std::string& fixtures_dir, std::ostream& out) {
+int run_self_test(const std::string& fixtures_dir, std::ostream& out) {
   std::vector<fs::path> paths;
   std::error_code ec;
   for (fs::directory_iterator it(fixtures_dir, ec), end; it != end;
@@ -363,7 +427,7 @@ bool run_self_test(const std::string& fixtures_dir, std::ostream& out) {
   std::sort(paths.begin(), paths.end());
   if (paths.empty()) {
     out << "ede_lint --self-test: no fixtures under " << fixtures_dir << "\n";
-    return false;
+    return 2;
   }
 
   // Analyze all fixtures as one project so cross-fixture includes work.
@@ -373,18 +437,18 @@ bool run_self_test(const std::string& fixtures_dir, std::ostream& out) {
     r.rel = slashes(path.filename().generic_string());
     if (!read_file(path, r.source)) {
       out << "cannot read fixture " << path.string() << "\n";
-      return false;
+      return 2;
     }
     const std::string virt = fixture_virtual_path(r.source);
     if (virt.empty()) {
       out << "fixture " << r.rel
           << " is missing its '// ede-lint-fixture: <path>' first line\n";
-      return false;
+      return 2;
     }
     r.virt = slashes(virt);
     raw.push_back(std::move(r));
   }
-  const std::vector<SourceFile> files = lex_all(raw);
+  const std::vector<SourceFile> files = lex_all(raw, /*jobs=*/1);
   const ProjectIndex index = build_index(files);
   const std::vector<Finding> findings = run_rules(files, index, Config{});
 
@@ -419,7 +483,7 @@ bool run_self_test(const std::string& fixtures_dir, std::ostream& out) {
   }
   out << "ede_lint --self-test: " << checked << " fixture(s), "
       << (all_ok ? "all ok" : "FAILURES") << "\n";
-  return all_ok;
+  return all_ok ? 0 : 1;
 }
 
 }  // namespace ede::lint

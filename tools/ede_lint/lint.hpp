@@ -19,6 +19,7 @@ struct Options {
   bool json = false;
   bool self_test = false;
   std::string fixtures_dir;           // for --self-test
+  unsigned jobs = 0;                  // 0: hardware concurrency
 };
 
 /// Findings split against the baseline: `fresh` fails the run, `baselined`
@@ -31,11 +32,14 @@ struct LintResult {
 [[nodiscard]] Config load_config(const std::string& path, std::string& error);
 
 /// Parse `allow`/`ignore` lines from an in-memory config (exposed for the
-/// self-test fixtures).
-[[nodiscard]] Config parse_config(const std::string& text);
+/// self-test fixtures). A malformed line or unknown verb sets `error`
+/// (the caller maps that to exit code 2, not "findings").
+[[nodiscard]] Config parse_config(const std::string& text,
+                                  std::string& error);
 
-/// Lex every input (plus all project sources under <repo_root>/src for
-/// index completeness), run the rules, apply the baseline.
+/// Lex every input (plus all project sources under <repo_root>/src and
+/// <repo_root>/bench for index/renderer completeness), run the rules,
+/// apply the baseline.
 [[nodiscard]] LintResult run_lint(const Options& options, std::string& error);
 
 /// Render diagnostics. JSON output is byte-stable across runs: findings
@@ -50,8 +54,10 @@ void print_json(const LintResult& result, std::ostream& out);
 
 /// Run the fixture self-test: every tests/lint_fixtures/*.{cpp,hpp} is
 /// analyzed under its `// ede-lint-fixture: <virtual-path>` identity and
-/// compared against its `.expect` sidecar. Returns true if all pass.
-[[nodiscard]] bool run_self_test(const std::string& fixtures_dir,
-                                 std::ostream& out);
+/// compared against its `.expect` sidecar. Returns the process exit code:
+/// 0 all fixtures match, 1 expectation mismatches, 2 setup/IO error
+/// (missing directory, unreadable fixture, missing identity marker).
+[[nodiscard]] int run_self_test(const std::string& fixtures_dir,
+                                std::ostream& out);
 
 }  // namespace ede::lint

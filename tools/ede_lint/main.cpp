@@ -2,11 +2,14 @@
 //
 // Usage:
 //   ede_lint [--repo-root DIR] [--config FILE] [--baseline FILE]
-//            [--json] [--write-baseline FILE] PATH...
+//            [--json] [--jobs N] [--write-baseline FILE] PATH...
 //   ede_lint --self-test FIXTURES_DIR
 //
-// Exit status: 0 = no new findings (baselined debt is reported but does
-// not fail), 1 = new findings, 2 = usage or I/O error.
+// Exit status (three-valued; CI distinguishes all three):
+//   0 = clean (no new findings; baselined debt is reported but passes)
+//   1 = new findings
+//   2 = usage, I/O, or config-parse error
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -19,7 +22,7 @@ int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " [--repo-root DIR] [--config FILE] [--baseline FILE] [--json]\n"
-      << "       [--write-baseline FILE] PATH...\n"
+      << "       [--jobs N] [--write-baseline FILE] PATH...\n"
       << "       " << argv0 << " --self-test FIXTURES_DIR\n";
   return 2;
 }
@@ -51,6 +54,17 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       options.write_baseline_path = v;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      char* end = nullptr;
+      const long parsed = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || parsed < 1) {
+        std::cerr << "ede_lint: --jobs needs a positive integer, got '" << v
+                  << "'\n";
+        return 2;
+      }
+      options.jobs = static_cast<unsigned>(parsed);
     } else if (arg == "--self-test") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
@@ -68,7 +82,7 @@ int main(int argc, char** argv) {
   }
 
   if (options.self_test)
-    return ede::lint::run_self_test(options.fixtures_dir, std::cout) ? 0 : 1;
+    return ede::lint::run_self_test(options.fixtures_dir, std::cout);
   if (options.inputs.empty()) return usage(argv[0]);
 
   std::string error;

@@ -2,7 +2,14 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstddef>
+#include <iterator>
+#include <thread>
+
+#include "decls.hpp"
+#include "flow.hpp"
+#include "token_util.hpp"
 
 namespace ede::lint {
 
@@ -11,44 +18,12 @@ namespace {
 using Tokens = std::vector<Token>;
 
 bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+  return tok_starts_with(s, prefix);
 }
 bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+  return tok_ends_with(s, suffix);
 }
-
-bool is_ident(const Token& t, const char* text) {
-  return t.kind == Tok::Ident && t.text == text;
-}
-bool is_punct(const Token& t, const char* text) {
-  return t.kind == Tok::Punct && t.text == text;
-}
-
-/// Index of the matching closer for the opener at `open`, or the end
-/// sentinel if unbalanced. `open_c`/`close_c` are single-char puncts.
-std::size_t match_forward(const Tokens& toks, std::size_t open,
-                          const char* open_c, const char* close_c) {
-  std::size_t depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    if (is_punct(toks[i], open_c)) ++depth;
-    else if (is_punct(toks[i], close_c)) {
-      if (--depth == 0) return i;
-    }
-  }
-  return toks.size() - 1;
-}
-
-bool is_keyword(const std::string& t) {
-  static const std::set<std::string> kKeywords = {
-      "if", "else", "while", "for", "do", "switch", "case", "default",
-      "return", "break", "continue", "goto", "using", "namespace", "new",
-      "delete", "throw", "try", "catch", "static_assert", "co_return",
-      "co_await", "co_yield", "public", "private", "protected", "template",
-      "typedef", "typename", "class", "struct", "enum", "union", "static",
-      "const", "constexpr", "auto", "void", "sizeof", "operator"};
-  return kKeywords.count(t) != 0;
-}
+bool is_keyword(const std::string& t) { return is_cpp_keyword(t); }
 
 /// RFC 8914 + registered additions as of the paper's snapshot (Table 1):
 /// the authoritative table the in-tree enum is checked against. Codes 0-24
@@ -493,6 +468,309 @@ void check_h1(const SourceFile& file, const Config& config,
   }
 }
 
+// --- C1: coroutine-safety (flow layer, DESIGN.md §5j) -------------------
+
+/// A plain (non-member-access, non-qualified) use of identifier `nm` at
+/// token `u`. `x.nm`, `x->nm`, and `X::nm` name someone else's member.
+bool is_plain_use(const Tokens& toks, std::size_t u, const std::string& nm) {
+  if (toks[u].kind != Tok::Ident || toks[u].text != nm) return false;
+  if (u >= 1 && (is_punct(toks[u - 1], ".") || is_punct(toks[u - 1], "::")))
+    return false;
+  if (u >= 2 && is_punct(toks[u - 1], ">") && is_punct(toks[u - 2], "-"))
+    return false;
+  return true;
+}
+
+/// Loop extents [keyword, closer] inside `fn` that contain a suspension
+/// point. A use inside such a loop runs again after the co_await even when
+/// it is textually before it — the whole loop body is post-suspension.
+std::vector<std::pair<std::size_t, std::size_t>> suspension_loops(
+    const Tokens& toks, const FunctionDef& fn) {
+  std::vector<std::pair<std::size_t, std::size_t>> loops;
+  for (std::size_t j = fn.body_begin + 1; j < fn.body_end; ++j) {
+    if (toks[j].kind != Tok::Ident) continue;
+    std::size_t lo = j, hi = 0;
+    if ((toks[j].text == "for" || toks[j].text == "while") &&
+        j + 1 < fn.body_end && is_punct(toks[j + 1], "(")) {
+      const std::size_t cp = match_forward(toks, j + 1, "(", ")");
+      std::size_t b = cp + 1;
+      if (b < fn.body_end && is_punct(toks[b], "{")) {
+        hi = match_forward(toks, b, "{", "}");
+      } else {  // single-statement body: runs to the next top-level ';'
+        while (b < fn.body_end && !is_punct(toks[b], ";")) {
+          if (is_punct(toks[b], "(")) b = match_forward(toks, b, "(", ")");
+          else if (is_punct(toks[b], "{")) b = match_forward(toks, b, "{", "}");
+          ++b;
+        }
+        hi = b;
+      }
+    } else if (toks[j].text == "do" && j + 1 < fn.body_end &&
+               is_punct(toks[j + 1], "{")) {
+      hi = match_forward(toks, j + 1, "{", "}");
+    }
+    if (hi == 0) continue;
+    for (const std::size_t s : fn.suspends) {
+      if (s > lo && s < hi) {
+        loops.emplace_back(lo, hi);
+        break;
+      }
+    }
+  }
+  return loops;
+}
+
+/// Detached/leaked Task checks, run over every function body in src/:
+/// (a) an expression-statement that is exactly `task_fn(...)` drops the
+/// returned Task — the coroutine frame leaks without ever running;
+/// (b) a Task-typed local that is never referenced again does the same.
+void check_task_leaks(const SourceFile& file, const FunctionDef& fn,
+                      const ProjectIndex& index, const Config& config,
+                      std::vector<Finding>& out) {
+  const Tokens& toks = file.lex.tokens;
+
+  std::size_t start = fn.body_begin + 1;
+  for (std::size_t i = fn.body_begin + 1; i <= fn.body_end; ++i) {
+    const Token& t = toks[i];
+    const bool boundary = t.kind == Tok::Punct &&
+                          (t.text == ";" || t.text == "{" || t.text == "}");
+    if (!boundary && t.kind != Tok::End) continue;
+    if (t.kind == Tok::Punct && t.text == ";" && i > start) {
+      std::size_t j = start;
+      if (toks[j].kind == Tok::Ident && !is_keyword(toks[j].text)) {
+        std::string callee = toks[j].text;
+        int call_line = toks[j].line;
+        ++j;
+        while (j + 1 < i && toks[j].kind == Tok::Punct) {
+          if ((toks[j].text == "." || toks[j].text == "::") &&
+              toks[j + 1].kind == Tok::Ident) {
+            callee = toks[j + 1].text;
+            call_line = toks[j + 1].line;
+            j += 2;
+          } else if (toks[j].text == "-" && j + 2 < i &&
+                     is_punct(toks[j + 1], ">") &&
+                     toks[j + 2].kind == Tok::Ident) {
+            callee = toks[j + 2].text;
+            call_line = toks[j + 2].line;
+            j += 3;
+          } else {
+            break;
+          }
+        }
+        if (j < i && is_punct(toks[j], "(") &&
+            match_forward(toks, j, "(", ")") == i - 1 &&
+            index.task_functions.count(callee) != 0) {
+          emit(out, config, "C1", file.rel, call_line, callee,
+               "detached task: the sim::Task returned by '" + callee +
+                   "()' is dropped — co_await it, store it, or start it on "
+                   "the scheduler");
+        }
+      }
+    }
+    start = i + 1;
+  }
+
+  // (b) Task<T> local (or `auto x = task_fn(...)`) never referenced again.
+  for (std::size_t i = fn.body_begin + 1; i + 1 < fn.body_end; ++i) {
+    std::string local;
+    int line = 0;
+    std::size_t decl_end = 0;  // index of the declaration's ';'
+    if (is_ident(toks[i], "Task") && is_punct(toks[i + 1], "<")) {
+      std::size_t j = match_forward(toks, i + 1, "<", ">") + 1;
+      if (j + 1 < fn.body_end && toks[j].kind == Tok::Ident &&
+          !is_keyword(toks[j].text) &&
+          (is_punct(toks[j + 1], "=") || is_punct(toks[j + 1], ";") ||
+           is_punct(toks[j + 1], "{"))) {
+        local = toks[j].text;
+        line = toks[j].line;
+        decl_end = j + 1;
+      }
+    } else if (is_ident(toks[i], "auto") && i + 2 < fn.body_end &&
+               toks[i + 1].kind == Tok::Ident &&
+               !is_keyword(toks[i + 1].text) && is_punct(toks[i + 2], "=") &&
+               toks[i + 3].kind == Tok::Ident &&
+               index.task_functions.count(toks[i + 3].text) != 0 &&
+               i + 4 < fn.body_end && is_punct(toks[i + 4], "(")) {
+      local = toks[i + 1].text;
+      line = toks[i + 1].line;
+      decl_end = i + 4;
+    }
+    if (local.empty()) continue;
+    while (decl_end < fn.body_end && !is_punct(toks[decl_end], ";")) {
+      if (is_punct(toks[decl_end], "(")) decl_end = match_forward(toks, decl_end, "(", ")");
+      else if (is_punct(toks[decl_end], "{")) decl_end = match_forward(toks, decl_end, "{", "}");
+      ++decl_end;
+    }
+    bool used = false;
+    for (std::size_t u = decl_end + 1; u < fn.body_end && !used; ++u)
+      used = is_plain_use(toks, u, local);
+    if (!used) {
+      emit(out, config, "C1", file.rel, line, local,
+           "Task local '" + local +
+               "' is never awaited, started, or stored — the coroutine "
+               "frame leaks without running");
+    }
+  }
+}
+
+void check_c1(const SourceFile& file, const std::vector<FunctionDef>& fns,
+              const ProjectIndex& index, const Config& config,
+              std::vector<Finding>& out) {
+  if (!starts_with(file.rel, "src/")) return;
+  const Tokens& toks = file.lex.tokens;
+  for (const FunctionDef& fn : fns) {
+    check_task_leaks(file, fn, index, config, out);
+    if (!fn.is_coroutine || fn.suspends.empty()) continue;
+
+    // The post-suspension region: everything after the end of the
+    // statement holding the first co_await (its operands evaluate before
+    // the suspension), plus every loop extent containing a suspension.
+    std::size_t stmt_end = fn.suspends.front();
+    while (stmt_end < fn.body_end && !is_punct(toks[stmt_end], ";")) {
+      if (is_punct(toks[stmt_end], "(")) stmt_end = match_forward(toks, stmt_end, "(", ")");
+      else if (is_punct(toks[stmt_end], "{")) stmt_end = match_forward(toks, stmt_end, "{", "}");
+      else if (is_punct(toks[stmt_end], "[")) stmt_end = match_forward(toks, stmt_end, "[", "]");
+      ++stmt_end;
+    }
+    const auto loops = suspension_loops(toks, fn);
+    const auto after_suspension = [&](std::size_t u) {
+      if (u > stmt_end) return true;
+      for (const auto& [lo, hi] : loops)
+        if (u > lo && u < hi) return true;
+      return false;
+    };
+
+    for (const ParamDecl& p : fn.params) {
+      if (p.name.empty() || !(p.by_ref || p.is_view)) continue;
+      for (std::size_t u = fn.body_begin + 1; u < fn.body_end; ++u) {
+        if (!is_plain_use(toks, u, p.name) || !after_suspension(u)) continue;
+        emit(out, config, "C1", file.rel, p.line, p.name,
+             "coroutine '" + fn.name + "' uses " +
+                 (p.by_ref ? "reference" : "view") + " parameter '" + p.name +
+                 "' after a suspension point (line " +
+                 std::to_string(toks[u].line) +
+                 ") — the caller's frame may be gone by then; take it by "
+                 "value, or allowlist the structured-concurrency call path");
+        break;
+      }
+    }
+    for (const LambdaDef& lam : fn.lambdas) {
+      if (!lam.ref_capture || lam.name.empty()) continue;
+      for (std::size_t u = lam.body_end + 1; u < fn.body_end; ++u) {
+        if (!is_plain_use(toks, u, lam.name) || !after_suspension(u))
+          continue;
+        emit(out, config, "C1", file.rel, lam.line, lam.name,
+             "by-reference lambda '" + lam.name +
+                 "' is invoked after a suspension point (line " +
+                 std::to_string(toks[u].line) +
+                 ") — its captures may dangle across the co_await; "
+                 "capture by value or allowlist with justification");
+        break;
+      }
+    }
+  }
+}
+
+// --- S1: stats-merge completeness (decl layer, DESIGN.md §5j) -----------
+
+/// Per-file structural facts, computed in the (parallel) per-file pass and
+/// consumed by the global S1 cross-check.
+struct FileStructure {
+  std::vector<StructDecl> structs;
+  std::vector<FunctionDef> functions;
+  std::set<std::string> member_access;  // idents reached via '.' or '->'
+};
+
+/// Files whose member accesses count as "rendered" for S1: the report/CSV
+/// emitters plus everything under bench/ (several aggregate counters are
+/// only surfaced by the benchmarks' JSON).
+bool is_renderer_file(const std::string& rel) {
+  return is_emitter_file(rel) || starts_with(rel, "bench/");
+}
+
+std::set<std::string> collect_member_access(const Tokens& toks) {
+  std::set<std::string> out;
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::Ident) continue;
+    const bool dot = is_punct(toks[i - 1], ".");
+    const bool arrow = i >= 2 && is_punct(toks[i - 1], ">") &&
+                       is_punct(toks[i - 2], "-");
+    if (dot || arrow) out.insert(toks[i].text);
+  }
+  return out;
+}
+
+bool type_mentions(const std::string& type_text, const std::string& name) {
+  const std::string padded = " " + type_text + " ";
+  return padded.find(" " + name + " ") != std::string::npos;
+}
+
+void check_s1(const std::vector<SourceFile>& files,
+              const std::vector<FileStructure>& structure,
+              const Config& config, std::vector<Finding>& out) {
+  std::set<std::string> rendered;
+  for (std::size_t i = 0; i < files.size(); ++i)
+    if (is_renderer_file(files[i].rel))
+      rendered.insert(structure[i].member_access.begin(),
+                      structure[i].member_access.end());
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const SourceFile& file = files[i];
+    if (!file.analyze || config.ignored(file.rel)) continue;
+    if (!starts_with(file.rel, "src/")) continue;
+    for (const StructDecl& s : structure[i].structs) {
+      bool has_merge = s.has_merge_member;
+      std::set<std::string> used;
+      for (const auto& [b, e] : s.merge_bodies)
+        for (std::size_t k = b; k < e; ++k)
+          if (file.lex.tokens[k].kind == Tok::Ident)
+            used.insert(file.lex.tokens[k].text);
+      // Out-of-line member definitions and free merge/operator+= overloads
+      // anywhere in the project, matched by qualifier or parameter type.
+      for (std::size_t j = 0; j < files.size(); ++j) {
+        // Inline merge members also surface as unqualified FunctionDefs;
+        // their bodies are already owned by their struct's merge_bodies,
+        // and matching them by parameter type here would make every
+        // same-named struct in the project qualify (e.g. each nested
+        // `Stats`). Skip any function whose body a struct has claimed.
+        std::set<std::size_t> member_bodies;
+        for (const StructDecl& other : structure[j].structs)
+          for (const auto& [b, e] : other.merge_bodies) member_bodies.insert(b);
+        for (const FunctionDef& fn : structure[j].functions) {
+          if (fn.name != "merge" && fn.name != "operator+=") continue;
+          if (member_bodies.count(fn.body_begin + 1) != 0) continue;
+          bool matches = !fn.qualifier.empty() &&
+                         (fn.qualifier == s.qualified ||
+                          fn.qualifier == s.name);
+          if (!matches && fn.qualifier.empty()) {
+            for (const ParamDecl& p : fn.params)
+              if (type_mentions(p.type_text, s.name)) matches = true;
+          }
+          if (!matches) continue;
+          has_merge = true;
+          const Tokens& jt = files[j].lex.tokens;
+          for (std::size_t k = fn.body_begin + 1; k < fn.body_end; ++k)
+            if (jt[k].kind == Tok::Ident) used.insert(jt[k].text);
+        }
+      }
+      if (!has_merge || s.fields.empty()) continue;
+      for (const FieldDecl& f : s.fields) {
+        if (used.count(f.name) == 0) {
+          emit(out, config, "S1", file.rel, f.line, f.name,
+               "counter '" + s.qualified + "::" + f.name +
+                   "' is not referenced in the struct's merge — shard "
+                   "aggregation silently drops it");
+        }
+        if (rendered.count(f.name) == 0) {
+          emit(out, config, "S1", file.rel, f.line, f.name,
+               "counter '" + s.qualified + "::" + f.name +
+                   "' never appears in a report renderer — it is counted "
+                   "but never surfaced");
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 bool Config::allows(const Finding& finding) const {
@@ -552,15 +830,23 @@ ProjectIndex build_index(const std::vector<SourceFile>& files) {
       }
 
       // Result<...> name(   — a function declared to return dns::Result.
-      if (t.text == "Result" && i + 1 < toks.size() &&
+      // Task<...> name(     — a coroutine declared to return sim::Task.
+      if ((t.text == "Result" || t.text == "Task") && i + 1 < toks.size() &&
           is_punct(toks[i + 1], "<")) {
         std::size_t j = match_forward(toks, i + 1, "<", ">") + 1;
         while (j < toks.size() &&
                (is_punct(toks[j], "&") || is_punct(toks[j], "*")))
           ++j;
+        // Out-of-line definitions qualify the name: Task<T> Class::name(.
+        while (j + 2 < toks.size() && toks[j].kind == Tok::Ident &&
+               is_punct(toks[j + 1], "::") && toks[j + 2].kind == Tok::Ident)
+          j += 2;
         if (j + 1 < toks.size() && toks[j].kind == Tok::Ident &&
             !is_keyword(toks[j].text) && is_punct(toks[j + 1], "(")) {
-          index.result_functions.insert(toks[j].text);
+          if (t.text == "Result")
+            index.result_functions.insert(toks[j].text);
+          else
+            index.task_functions.insert(toks[j].text);
         }
       }
     }
@@ -570,15 +856,52 @@ ProjectIndex build_index(const std::vector<SourceFile>& files) {
 
 std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
                                const ProjectIndex& index,
-                               const Config& config) {
-  std::vector<Finding> findings;
-  for (const SourceFile& file : files) {
-    if (!file.analyze || config.ignored(file.rel)) continue;
-    check_d1(file, index, config, findings);
-    check_w1(file, index, config, findings);
-    check_e1(file, config, findings);
-    check_h1(file, config, findings);
+                               const Config& config, unsigned jobs) {
+  const std::size_t n = files.size();
+  std::vector<std::vector<Finding>> slots(n);
+  std::vector<FileStructure> structure(n);
+
+  // Per-file pass: structural extraction plus every per-file rule family.
+  // Findings land in the file's own slot, so the final order (global sort
+  // below) is identical for every jobs value.
+  const auto work_one = [&](std::size_t i) {
+    const SourceFile& file = files[i];
+    FileStructure& fs = structure[i];
+    fs.structs = index_structs(file);
+    fs.functions = extract_functions(file);
+    if (is_renderer_file(file.rel))
+      fs.member_access = collect_member_access(file.lex.tokens);
+    if (!file.analyze || config.ignored(file.rel)) return;
+    std::vector<Finding>& out = slots[i];
+    check_d1(file, index, config, out);
+    check_w1(file, index, config, out);
+    check_e1(file, config, out);
+    check_h1(file, config, out);
+    check_c1(file, fs.functions, index, config, out);
+  };
+
+  if (jobs <= 1 || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) work_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+      for (std::size_t i; (i = next.fetch_add(1)) < n;) work_one(i);
+    };
+    std::vector<std::thread> pool;
+    const std::size_t width = std::min<std::size_t>(jobs, n);
+    pool.reserve(width);
+    for (std::size_t t = 0; t < width; ++t) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
   }
+
+  std::vector<Finding> findings;
+  for (std::vector<Finding>& slot : slots)
+    findings.insert(findings.end(), std::make_move_iterator(slot.begin()),
+                    std::make_move_iterator(slot.end()));
+  // S1 is a cross-file pass: it needs every struct, merge body, and
+  // renderer member-access set at once.
+  check_s1(files, structure, config, findings);
+
   std::sort(findings.begin(), findings.end());
   findings.erase(std::unique(findings.begin(), findings.end(),
                              [](const Finding& a, const Finding& b) {

@@ -1,7 +1,7 @@
 // ede_lint rule engine: project-specific invariants checked over the token
 // streams produced by lexer.hpp.
 //
-// Rule families (see DESIGN.md §5e):
+// Rule families (see DESIGN.md §5e, §5j):
 //   D1 determinism  — no wall-clock / ambient randomness / address-based
 //                     hashing inside src/; report emitters iterate
 //                     unordered containers only through util::sorted_items.
@@ -13,6 +13,13 @@
 //                     src/edns/ede.hpp matches the RFC 8914 registry.
 //   H1 hygiene      — include-what-you-spell for key project types, and no
 //                     `using namespace` in headers.
+//   C1 coroutine-safety — in a coroutine, reference/view parameters and
+//                     by-reference lambdas must not be used after a
+//                     suspension point; Task values must be awaited,
+//                     stored, or handed to the scheduler (flow layer).
+//   S1 merge-completeness — every counter field of a stats struct with a
+//                     merge()/operator+= must be referenced in the merge
+//                     body and touched by a report renderer (decl layer).
 #pragma once
 
 #include <map>
@@ -25,7 +32,7 @@
 namespace ede::lint {
 
 struct Finding {
-  std::string rule;     // "D1" | "W1" | "E1" | "H1"
+  std::string rule;     // "D1" | "W1" | "E1" | "H1" | "C1" | "S1"
   std::string file;     // repo-relative path (virtual path for fixtures)
   int line = 0;
   std::string token;    // the offending identifier, for allow-list matching
@@ -72,6 +79,9 @@ struct ProjectIndex {
   std::map<std::string, std::set<std::string>> unordered_names;
   /// Function names declared as returning dns::Result<...>.
   std::set<std::string> result_functions;
+  /// Function names declared as returning sim::Task<...> — the C1
+  /// detached-task check treats a discarded call to one as a leak.
+  std::set<std::string> task_functions;
   /// file rel -> resolved direct project includes.
   std::map<std::string, std::vector<std::string>> includes;
 
@@ -83,9 +93,11 @@ struct ProjectIndex {
 [[nodiscard]] ProjectIndex build_index(const std::vector<SourceFile>& files);
 
 /// Run every rule over the analyzable files. Findings are sorted and
-/// deduplicated; the allow-list has already been applied.
+/// deduplicated; the allow-list has already been applied. `jobs` > 1
+/// fans the per-file passes out over a thread pool; the result is
+/// byte-identical for every jobs value (per-file slots, global sort).
 [[nodiscard]] std::vector<Finding> run_rules(
     const std::vector<SourceFile>& files, const ProjectIndex& index,
-    const Config& config);
+    const Config& config, unsigned jobs = 1);
 
 }  // namespace ede::lint

@@ -1,0 +1,73 @@
+// Shared token-stream helpers for the ede_lint rule and structural layers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace ede::lint {
+
+inline bool tok_starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+inline bool tok_ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+inline bool is_ident(const Token& t, const char* text) {
+  return t.kind == Tok::Ident && t.text == text;
+}
+inline bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::Punct && t.text == text;
+}
+
+/// Index of the matching closer for the opener at `open`, or the end
+/// sentinel if unbalanced. `open_c`/`close_c` are single-char puncts.
+inline std::size_t match_forward(const std::vector<Token>& toks,
+                                 std::size_t open, const char* open_c,
+                                 const char* close_c) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], open_c)) ++depth;
+    else if (is_punct(toks[i], close_c)) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size() - 1;
+}
+
+/// With `toks[open]` == '<': index one past the matching '>', treating the
+/// '<' as a template-argument opener. Falls back to `open + 1` (the '<'
+/// was a comparison) when no balanced closer exists in the stream.
+inline std::size_t skip_angles(const std::vector<Token>& toks,
+                               std::size_t open) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, "<")) ++depth;
+    else if (is_punct(t, ">")) {
+      if (--depth == 0) return i + 1;
+    } else if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}")) {
+      break;  // template args never span a statement boundary
+    }
+  }
+  return open + 1;
+}
+
+inline bool is_cpp_keyword(const std::string& t) {
+  static const char* const kKeywords[] = {
+      "if", "else", "while", "for", "do", "switch", "case", "default",
+      "return", "break", "continue", "goto", "using", "namespace", "new",
+      "delete", "throw", "try", "catch", "static_assert", "co_return",
+      "co_await", "co_yield", "public", "private", "protected", "template",
+      "typedef", "typename", "class", "struct", "enum", "union", "static",
+      "const", "constexpr", "auto", "void", "sizeof", "operator"};
+  for (const char* k : kKeywords)
+    if (t == k) return true;
+  return false;
+}
+
+}  // namespace ede::lint

@@ -4,7 +4,10 @@
 #      (which includes the ede_lint self-test + whole-tree scan)
 #   2. static analysis: tools/ede_lint fixture self-test, then the
 #      whole-tree scan (determinism / wire-safety / EDE-registry /
-#      hygiene rules; see DESIGN.md §5e) — zero new findings required
+#      hygiene / coroutine-lifetime / stats-merge rules; see DESIGN.md
+#      §5e and §5j) — zero new findings required. Exit codes are
+#      three-valued and this stage tells them apart: 1 means findings,
+#      2 means the lint itself broke (I/O or config-parse error)
 #   3. hardened-warnings build: a separate tree with EDE_WERROR=ON
 #      (-Wshadow -Wconversion -Wswitch-enum -Werror) must compile clean
 #   4. configure + build a second tree with EDE_SANITIZE=ON
@@ -58,26 +61,42 @@
 #      fallback path must name registry enumerators, never literals) is
 #      enforced by stage 2's whole-tree scan and exercised by the
 #      e1_bad_fallback fixture in its self-test.
+#  12. flow-aware lint determinism (DESIGN.md §5j): the full tree scan
+#      again with the C1/S1 families — through the same three-valued
+#      exit handling — plus the --jobs byte-stability contract: JSON
+#      reports (which carry per-family counts) from --jobs 1 and
+#      --jobs 4 runs must be byte-identical, re-checked here on top of
+#      the EdeLint.JsonByteStable ctest so a verify run proves it even
+#      when stage 1's suite was filtered.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/11] normal build + full test suite ==="
+echo "=== [1/12] normal build + full test suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "=== [2/11] static analysis: ede_lint self-test + whole-tree scan ==="
+echo "=== [2/12] static analysis: ede_lint self-test + whole-tree scan ==="
 ./build/tools/ede_lint/ede_lint --self-test tests/lint_fixtures
+# Three-valued exit: 0 clean, 1 new findings, 2 internal/I-O/parse error.
+# Distinguish them so a broken lint never masquerades as "findings".
+lint_status=0
 ./build/tools/ede_lint/ede_lint --repo-root . --config tools/ede_lint.conf \
-  src tests tools
+  src tests tools || lint_status=$?
+case "$lint_status" in
+  0) ;;
+  1) echo "ede_lint: new findings in the tree" >&2; exit 1 ;;
+  *) echo "ede_lint: internal/I-O/parse error (exit $lint_status)" >&2
+     exit 1 ;;
+esac
 
-echo "=== [3/11] hardened-warnings build: EDE_WERROR=ON must compile clean ==="
+echo "=== [3/12] hardened-warnings build: EDE_WERROR=ON must compile clean ==="
 cmake -B build-werror -S . -DEDE_WERROR=ON >/dev/null
 cmake --build build-werror -j "$JOBS"
 
-echo "=== [4/11] ASan+UBSan build: codec + robustness + chaos + malformed-corpus + parallel-scan + async core ==="
+echo "=== [4/12] ASan+UBSan build: codec + robustness + chaos + malformed-corpus + parallel-scan + async core ==="
 cmake -B build-asan -S . -DEDE_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS" --target test_robustness test_chaos \
   test_malformed_corpus test_parallel_scan test_async_core test_name \
@@ -85,13 +104,13 @@ cmake --build build-asan -j "$JOBS" --target test_robustness test_chaos \
   test_stream_scenarios test_truncation
 ctest --test-dir build-asan --output-on-failure -R 'Robust|Chaos|Malformed|Parallel|ScanMerge|PlanShards|ScannerStride|Name|Wire|Rdata|DecodeRdata|Presentation|TypeBitmap|Message|CodecGolden|Stream|Framing|Truncation|EventScheduler|RetryPolicy|CoalesceKey|AsyncCore'
 
-echo "=== [5/11] TSan build: parallel-scan + async-core suites ==="
+echo "=== [5/12] TSan build: parallel-scan + async-core suites ==="
 cmake -B build-tsan -S . -DEDE_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_parallel_scan test_async_core
 ctest --test-dir build-tsan --output-on-failure \
   -R 'Parallel|ScanMerge|PlanShards|ScannerStride|EventScheduler|AsyncCore'
 
-echo "=== [6/11] async engine: fixed-seed --inflight equivalence ==="
+echo "=== [6/12] async engine: fixed-seed --inflight equivalence ==="
 # The event-loop contract (DESIGN.md §5g): multiplexing width is a pure
 # throughput knob. The same fixed-seed shard scanned serially (inflight 1)
 # and 512-wide must roll up to byte-identical §4.2 per-code aggregates.
@@ -104,7 +123,7 @@ cmp build/scan_inflight_serial.csv build/scan_inflight_wide.csv \
   || { echo "--inflight width changed the scan aggregates" >&2; exit 1; }
 echo "async engine: inflight 1 and inflight 512 aggregates byte-identical"
 
-echo "=== [7/11] chaos campaign under ASan+UBSan: invariants + byte-reproducibility ==="
+echo "=== [7/12] chaos campaign under ASan+UBSan: invariants + byte-reproducibility ==="
 cmake --build build-asan -j "$JOBS" --target chaos_campaign
 ./build-asan/tools/chaos_campaign --seeds 3 --out build-asan/chaos_report_a.json
 ./build-asan/tools/chaos_campaign --seeds 3 --out build-asan/chaos_report_b.json
@@ -130,7 +149,7 @@ cmp build-asan/chaos_async_a.json build-asan/chaos_async_b.json \
   || { echo "async campaign report is not byte-reproducible" >&2; exit 1; }
 echo "chaos campaign: zero violations, reports byte-reproducible"
 
-echo "=== [8/11] perf smoke: codec deltas (informational) + scan perf gate (hard) ==="
+echo "=== [8/12] perf smoke: codec deltas (informational) + scan perf gate (hard) ==="
 # The stage-1 tree defaults to RelWithDebInfo, so its bench targets pass
 # the release-only guard in bench/CMakeLists.txt.
 cmake --build build -j "$JOBS" --target perf_micro sec42_wild_scan
@@ -152,7 +171,7 @@ python3 tools/perf_smoke.py --scan build/scan_fresh_1.json \
   build/scan_fresh_2.json build/scan_fresh_3.json \
   --baseline bench/perf_baseline_scan.json
 
-echo "=== [9/11] clang-tidy (optional): curated check set over src/ ==="
+echo "=== [9/12] clang-tidy (optional): curated check set over src/ ==="
 if command -v clang-tidy >/dev/null 2>&1; then
   # Tidy reuses the stage-1 compile commands; the curated check set lives
   # in .clang-tidy at the repo root.
@@ -165,7 +184,7 @@ else
   echo "clang-tidy and re-run tools/verify.sh to enable this stage)"
 fi
 
-echo "=== [10/11] frontline serving: byte-reproducible report + serve perf gate ==="
+echo "=== [10/12] frontline serving: byte-reproducible report + serve perf gate ==="
 cmake --build build -j "$JOBS" --target serve_qps
 # Two fixed-seed runs must emit byte-identical serving reports. The run
 # itself machine-checks the outage invariants (EDE 3/19 delivery, bounded
@@ -187,7 +206,7 @@ python3 tools/perf_smoke.py --serve build/serve_fresh_1.json \
   build/serve_fresh_2.json build/serve_fresh_3.json \
   --baseline bench/perf_baseline_serve.json
 
-echo "=== [11/11] EDNS zoo: calibrated tables under ASan + hostile-EDNS campaign ==="
+echo "=== [11/12] EDNS zoo: calibrated tables under ASan + hostile-EDNS campaign ==="
 cmake --build build-asan -j "$JOBS" --target test_edns_zoo chaos_campaign
 ctest --test-dir build-asan --output-on-failure -R 'EdnsRow|EdnsZoo'
 # The hostile-EDNS campaign: the zoo family (12 cases x 7 vendor profiles,
@@ -201,5 +220,27 @@ ctest --test-dir build-asan --output-on-failure -R 'EdnsRow|EdnsZoo'
 cmp build-asan/chaos_edns_a.json build-asan/chaos_edns_b.json \
   || { echo "hostile-EDNS campaign report is not byte-reproducible" >&2; exit 1; }
 echo "edns zoo: calibrated tables hold under ASan, campaign byte-reproducible"
+
+echo "=== [12/12] flow-aware lint: tree scan with C1/S1 + --jobs byte-stability ==="
+# Full tree again (C1/S1 run as part of every scan — this stage exists so
+# a verify run exercises them explicitly), then the determinism contract
+# the linter holds itself to: JSON output, including the per-family
+# counts, must be byte-identical between a serial and a parallel run.
+lint_status=0
+./build/tools/ede_lint/ede_lint --repo-root . --config tools/ede_lint.conf \
+  --json --jobs 1 src tests tools >build/lint_jobs1.json || lint_status=$?
+case "$lint_status" in
+  0) ;;
+  1) echo "ede_lint: new findings in the tree (see build/lint_jobs1.json)" >&2
+     exit 1 ;;
+  *) echo "ede_lint: internal/I-O/parse error (exit $lint_status)" >&2
+     exit 1 ;;
+esac
+./build/tools/ede_lint/ede_lint --repo-root . --config tools/ede_lint.conf \
+  --json --jobs 4 src tests tools >build/lint_jobs4.json
+cmp build/lint_jobs1.json build/lint_jobs4.json \
+  || { echo "ede_lint --json differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+ctest --test-dir build --output-on-failure -R 'EdeLint.JsonByteStable'
+echo "flow-aware lint: tree clean, --jobs 1 and --jobs 4 reports byte-identical"
 
 echo "verify: OK"
